@@ -1,0 +1,84 @@
+//! # t2c-accel
+//!
+//! A behavioural simulator for the *prototype hardware accelerator* the
+//! paper deploys to. The original work hands its exported parameters to an
+//! RTL testbench on ASIC/FPGA; this crate closes the same loop in
+//! simulation:
+//!
+//! 1. [`Accelerator::from_package`] loads a deployment package written by
+//!    `t2c-export` (the `.t2cm` integer model — the artifact RTL
+//!    verification would consume),
+//! 2. [`Accelerator::run`] executes it with integer-only arithmetic on a
+//!    configurable output-stationary MAC-array timing model, producing
+//!    both the outputs and an [`ExecutionTrace`] (per-layer MACs, cycles,
+//!    memory traffic),
+//! 3. [`Accelerator::verify_against`] checks bit-exactness against the
+//!    toolkit's golden integer reference.
+//!
+//! The timing model supports **zero-skipping** (computation skipping on
+//! sparse weights) so the sparsity experiments can report cycle savings —
+//! the hardware motivation in paper §2.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sim;
+
+pub use sim::{Accelerator, AcceleratorConfig, ExecutionTrace, LayerTrace};
+
+use std::fmt;
+
+/// Errors from loading or running the simulated accelerator.
+#[derive(Debug)]
+pub enum AccelError {
+    /// The deployment package could not be loaded.
+    Export(t2c_export::ExportError),
+    /// An execution error inside the integer graph.
+    Tensor(t2c_tensor::TensorError),
+    /// The accelerator output diverged from the golden reference.
+    Mismatch {
+        /// First differing flat index.
+        index: usize,
+        /// Accelerator value.
+        got: i32,
+        /// Golden value.
+        expected: i32,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::Export(e) => write!(f, "package error: {e}"),
+            AccelError::Tensor(e) => write!(f, "execution error: {e}"),
+            AccelError::Mismatch { index, got, expected } => {
+                write!(f, "output mismatch at {index}: accelerator {got} vs golden {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccelError::Export(e) => Some(e),
+            AccelError::Tensor(e) => Some(e),
+            AccelError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<t2c_export::ExportError> for AccelError {
+    fn from(e: t2c_export::ExportError) -> Self {
+        AccelError::Export(e)
+    }
+}
+
+impl From<t2c_tensor::TensorError> for AccelError {
+    fn from(e: t2c_tensor::TensorError) -> Self {
+        AccelError::Tensor(e)
+    }
+}
+
+/// Convenience alias for this crate's `Result`.
+pub type Result<T> = std::result::Result<T, AccelError>;

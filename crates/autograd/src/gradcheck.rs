@@ -1,0 +1,116 @@
+//! Finite-difference gradient checking utilities, used by this crate's own
+//! tests and by downstream quantizer tests to validate custom gradients.
+
+use t2c_tensor::Tensor;
+
+use crate::{Param, Result};
+
+/// Result of a gradient check: the worst absolute and relative error seen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between numeric and analytic gradients.
+    pub max_abs_err: f32,
+    /// Largest relative difference (|num − ana| / max(|num|, |ana|, 1e-3)).
+    pub max_rel_err: f32,
+}
+
+impl GradCheckReport {
+    /// `true` if both error bounds are within tolerance.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Compares the analytic gradient of `param` (produced by running `loss_fn`
+/// once with autograd) against central finite differences of the same
+/// closure.
+///
+/// `loss_fn` must build a fresh graph each call and return the scalar loss
+/// value. Only `probe_indices` of the parameter are perturbed (exhaustive
+/// checks are quadratic).
+///
+/// # Errors
+///
+/// Propagates errors from `loss_fn`.
+pub fn check_param_grad(
+    param: &Param,
+    probe_indices: &[usize],
+    eps: f32,
+    mut loss_fn: impl FnMut() -> Result<f32>,
+) -> Result<GradCheckReport> {
+    param.zero_grad();
+    // One autograd pass: the caller's loss_fn is expected to call backward.
+    let _ = loss_fn()?;
+    let analytic = param.grad();
+    let original = param.value();
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    for &i in probe_indices {
+        let mut plus = original.clone();
+        plus.as_mut_slice()[i] += eps;
+        param.set_value(plus);
+        let lp = loss_fn()?;
+        let mut minus = original.clone();
+        minus.as_mut_slice()[i] -= eps;
+        param.set_value(minus);
+        let lm = loss_fn()?;
+        param.set_value(original.clone());
+        let numeric = (lp - lm) / (2.0 * eps);
+        let ana = analytic.as_slice()[i];
+        let abs = (numeric - ana).abs();
+        let rel = abs / numeric.abs().max(ana.abs()).max(1e-3);
+        report.max_abs_err = report.max_abs_err.max(abs);
+        report.max_rel_err = report.max_rel_err.max(rel);
+    }
+    // Restore gradient state to the analytic pass for the caller.
+    param.zero_grad();
+    let _ = loss_fn()?;
+    Ok(report)
+}
+
+/// Numerically differentiates a scalar function of a tensor at the probe
+/// indices (helper for testing ops without parameters).
+pub fn numeric_grad(
+    x: &Tensor<f32>,
+    probe_indices: &[usize],
+    eps: f32,
+    mut f: impl FnMut(&Tensor<f32>) -> f32,
+) -> Vec<f32> {
+    probe_indices
+        .iter()
+        .map(|&i| {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            (f(&plus) - f(&minus)) / (2.0 * eps)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn check_param_grad_validates_square_loss() {
+        let p = Param::new("p", Tensor::from_vec(vec![1.0_f32, -2.0, 3.0], &[3]).unwrap());
+        let pc = p.clone();
+        let report = check_param_grad(&p, &[0, 1, 2], 1e-3, move || {
+            pc.zero_grad();
+            let g = Graph::new();
+            let loss = g.param(&pc).square().mean_all();
+            loss.backward()?;
+            Ok(loss.tensor().item())
+        })
+        .unwrap();
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn numeric_grad_of_square() {
+        let x = Tensor::from_vec(vec![3.0_f32], &[1]).unwrap();
+        let g = numeric_grad(&x, &[0], 1e-3, |t| t.square().sum());
+        assert!((g[0] - 6.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,197 @@
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use t2c_tensor::{Tensor, TensorError};
+
+use crate::{Param, Result, Var};
+
+/// A backward function: given the node's output gradient, produce the
+/// gradient contribution for each parent as `(parent_id, grad)` pairs.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor<f32>) -> Vec<(usize, Tensor<f32>)>>;
+
+pub(crate) struct Node {
+    pub value: Rc<Tensor<f32>>,
+    pub grad: Option<Tensor<f32>>,
+    pub backward: Option<BackwardFn>,
+    /// Set on leaves created from a [`Param`]; backward accumulates into it.
+    pub param: Option<Param>,
+}
+
+/// The recording tape for one forward pass.
+///
+/// A `Graph` is a cheaply clonable handle; every [`Var`] holds one. Typical
+/// training code builds a fresh graph per batch:
+///
+/// ```
+/// use t2c_autograd::{Graph, Param};
+/// use t2c_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = Param::new("w", Tensor::from_vec(vec![1.0_f32, 2.0], &[2])?);
+/// for _step in 0..3 {
+///     let g = Graph::new();
+///     let loss = g.param(&w).square().mean_all();
+///     w.zero_grad();
+///     loss.backward()?;
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default)]
+pub struct Graph {
+    pub(crate) inner: Rc<RefCell<Vec<Node>>>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Records a constant leaf: gradients flow *to* it (readable via
+    /// [`Var::grad`]) but nowhere further.
+    pub fn leaf(&self, value: Tensor<f32>) -> Var {
+        self.push(Node { value: Rc::new(value), grad: None, backward: None, param: None })
+    }
+
+    /// Records a leaf bound to a trainable [`Param`]; backward accumulates
+    /// the leaf gradient into the parameter.
+    pub fn param(&self, param: &Param) -> Var {
+        self.push(Node {
+            value: Rc::new(param.value()),
+            grad: None,
+            backward: None,
+            param: Some(param.clone()),
+        })
+    }
+
+    pub(crate) fn push(&self, node: Node) -> Var {
+        let mut nodes = self.inner.borrow_mut();
+        let id = nodes.len();
+        nodes.push(node);
+        Var { graph: self.clone(), id }
+    }
+
+    pub(crate) fn value(&self, id: usize) -> Rc<Tensor<f32>> {
+        Rc::clone(&self.inner.borrow()[id].value)
+    }
+
+    /// Runs reverse-mode accumulation from `root`, seeding with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `seed`'s shape differs from the root value's
+    /// shape, or if any backward contribution has a mismatched shape.
+    pub(crate) fn backward_from(&self, root: usize, seed: Tensor<f32>) -> Result<()> {
+        {
+            let mut nodes = self.inner.borrow_mut();
+            let rv = &nodes[root].value;
+            if rv.dims() != seed.dims() {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: rv.dims().to_vec(),
+                    rhs: seed.dims().to_vec(),
+                    op: "backward seed",
+                });
+            }
+            accumulate(&mut nodes[root].grad, seed)?;
+        }
+        for id in (0..=root).rev() {
+            // Take what we need, then release the borrow before running the
+            // user-supplied backward closure.
+            let (grad, back) = {
+                let mut nodes = self.inner.borrow_mut();
+                let node = &mut nodes[id];
+                match (&node.grad, node.backward.take()) {
+                    (Some(g), Some(b)) => (g.clone(), b),
+                    _ => continue,
+                }
+            };
+            let contributions = back(&grad);
+            let mut nodes = self.inner.borrow_mut();
+            for (parent, g) in contributions {
+                debug_assert!(parent < id, "backward edge must point to an earlier node");
+                accumulate(&mut nodes[parent].grad, g)?;
+            }
+            // Reinstall so a second backward pass over an unrelated root
+            // still sees the closure.
+            nodes[id].backward = Some(back);
+        }
+        // Flush leaf gradients into parameters.
+        let nodes = self.inner.borrow();
+        for node in nodes.iter() {
+            if let (Some(param), Some(grad)) = (&node.param, &node.grad) {
+                param.accumulate_grad(grad);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn accumulate(slot: &mut Option<Tensor<f32>>, delta: Tensor<f32>) -> Result<()> {
+    match slot {
+        None => {
+            *slot = Some(delta);
+            Ok(())
+        }
+        Some(existing) => {
+            *existing = existing.zip_map(&delta, |a, b| a + b)?;
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} nodes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_records_value() {
+        let g = Graph::new();
+        let v = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0], &[2]).unwrap());
+        assert_eq!(v.value().as_slice(), &[1.0, 2.0]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn param_leaf_accumulates_into_param() {
+        let p = Param::new("p", Tensor::from_vec(vec![3.0_f32], &[1]).unwrap());
+        let g = Graph::new();
+        let loss = g.param(&p).mul_scalar(2.0).mean_all();
+        loss.backward().unwrap();
+        assert_eq!(p.grad().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn gradients_fan_in_and_accumulate() {
+        // y = p + p ⇒ dy/dp = 2
+        let p = Param::new("p", Tensor::from_vec(vec![1.0_f32], &[1]).unwrap());
+        let g = Graph::new();
+        let x = g.param(&p);
+        let y = x.add(&x).unwrap().mean_all();
+        y.backward().unwrap();
+        assert_eq!(p.grad().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn backward_rejects_bad_seed_shape() {
+        let g = Graph::new();
+        let v = g.leaf(Tensor::zeros(&[2, 2]));
+        assert!(g.backward_from(v.id, Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # t2c-autograd
+//!
+//! A tape-based reverse-mode automatic differentiation engine over
+//! [`t2c_tensor::Tensor`].
+//!
+//! Torch2Chip's "Dual-Path" design needs a training path in which
+//! *non-differentiable* quantization operations (rounding, clipping,
+//! bit-discretization) participate in gradient descent through
+//! **straight-through estimators** (STE). This engine therefore exposes:
+//!
+//! * the usual differentiable primitives (arithmetic, matmul, convolution,
+//!   pooling, normalization, softmax, losses),
+//! * STE primitives ([`Var::round_ste`], [`Var::clamp_ste`],
+//!   [`Var::detach`]), and
+//! * a [`Var::custom`] escape hatch with which the quantizer crate installs
+//!   exact custom gradients (PACT's clip-threshold gradient, LSQ's scale
+//!   gradient, AdaRound's soft-rounding gradient, …).
+//!
+//! ## Example
+//!
+//! ```
+//! use t2c_autograd::{Graph, Param};
+//! use t2c_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = Param::new("w", Tensor::from_vec(vec![2.0_f32], &[1])?);
+//! let g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec(vec![3.0_f32], &[1])?);
+//! let y = g.param(&w).mul(&x)?.square().mean_all(); // y = (w·x)²
+//! y.backward()?;
+//! // dy/dw = 2·w·x² = 36
+//! assert_eq!(w.grad().as_slice(), &[36.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod param;
+mod var;
+
+pub mod gradcheck;
+
+pub use graph::Graph;
+pub use param::Param;
+pub use var::Var;
+
+/// Convenience alias for this crate's `Result`.
+pub type Result<T> = std::result::Result<T, t2c_tensor::TensorError>;

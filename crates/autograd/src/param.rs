@@ -1,0 +1,172 @@
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use t2c_tensor::Tensor;
+
+/// A trainable tensor that persists across forward/backward passes.
+///
+/// `Param` is a shared handle (`Clone` is cheap); layers hold one clone,
+/// optimizers hold another. Gradients produced by [`crate::Var::backward`]
+/// accumulate into the parameter until [`Param::zero_grad`] clears them.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+struct ParamInner {
+    name: String,
+    value: Tensor<f32>,
+    grad: Tensor<f32>,
+    trainable: bool,
+}
+
+impl Param {
+    /// Creates a trainable parameter with a zeroed gradient buffer.
+    pub fn new(name: impl Into<String>, value: Tensor<f32>) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param {
+            inner: Rc::new(RefCell::new(ParamInner {
+                name: name.into(),
+                value,
+                grad,
+                trainable: true,
+            })),
+        }
+    }
+
+    /// Creates a non-trainable parameter (e.g. BatchNorm running statistics):
+    /// its gradient buffer exists but optimizers skip it.
+    pub fn frozen(name: impl Into<String>, value: Tensor<f32>) -> Self {
+        let p = Param::new(name, value);
+        p.inner.borrow_mut().trainable = false;
+        p
+    }
+
+    /// The parameter's diagnostic name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Whether optimizers should update this parameter.
+    pub fn is_trainable(&self) -> bool {
+        self.inner.borrow().trainable
+    }
+
+    /// Marks the parameter trainable or frozen.
+    pub fn set_trainable(&self, trainable: bool) {
+        self.inner.borrow_mut().trainable = trainable;
+    }
+
+    /// A copy of the current value.
+    pub fn value(&self) -> Tensor<f32> {
+        self.inner.borrow().value.clone()
+    }
+
+    /// A copy of the accumulated gradient.
+    pub fn grad(&self) -> Tensor<f32> {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Number of elements in the parameter.
+    pub fn numel(&self) -> usize {
+        self.inner.borrow().value.numel()
+    }
+
+    /// Replaces the value (the gradient buffer is resized to match).
+    pub fn set_value(&self, value: Tensor<f32>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.grad = Tensor::zeros(value.dims());
+        inner.value = value;
+    }
+
+    /// Adds `delta` into the gradient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree — a gradient with the wrong shape is a
+    /// bug in an upstream op, not a recoverable condition.
+    pub fn accumulate_grad(&self, delta: &Tensor<f32>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.grad = inner
+            .grad
+            .zip_map(delta, |g, d| g + d)
+            .expect("gradient shape must match parameter shape");
+    }
+
+    /// Clears the gradient buffer to zero.
+    pub fn zero_grad(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.grad = Tensor::zeros(inner.value.dims());
+    }
+
+    /// Applies an in-place update `value ← f(value, grad)`, used by
+    /// optimizers.
+    pub fn update(&self, f: impl FnOnce(&Tensor<f32>, &Tensor<f32>) -> Tensor<f32>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.value = f(&inner.value, &inner.grad);
+    }
+
+    /// Mutates the value in place through a closure (used by pruning masks).
+    pub fn modify_value(&self, f: impl FnOnce(&mut Tensor<f32>)) {
+        f(&mut self.inner.borrow_mut().value)
+    }
+
+    /// `true` if both handles point at the same underlying parameter.
+    pub fn ptr_eq(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "Param({}, shape {:?}, trainable: {})",
+            inner.name,
+            inner.value.dims(),
+            inner.trainable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_accumulates_and_clears() {
+        let p = Param::new("p", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5, 0.5], &[2]).unwrap());
+        assert_eq!(p.grad().as_slice(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn update_applies_closure() {
+        let p = Param::new("p", Tensor::from_vec(vec![1.0_f32], &[1]).unwrap());
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5_f32], &[1]).unwrap());
+        p.update(|v, g| v.sub(&g.mul_scalar(0.1)).unwrap());
+        assert!((p.value().as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_params_are_not_trainable() {
+        let p = Param::frozen("stats", Tensor::zeros(&[3]));
+        assert!(!p.is_trainable());
+        p.set_trainable(true);
+        assert!(p.is_trainable());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let p = Param::new("p", Tensor::zeros(&[1]));
+        let q = p.clone();
+        q.set_value(Tensor::from_vec(vec![7.0_f32], &[1]).unwrap());
+        assert_eq!(p.value().as_slice(), &[7.0]);
+        assert!(p.ptr_eq(&q));
+    }
+}

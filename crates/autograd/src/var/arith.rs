@@ -1,0 +1,224 @@
+//! Elementwise arithmetic and activation functions on [`Var`].
+
+use crate::{Result, Var};
+
+impl Var {
+    /// Broadcasting addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes do not broadcast.
+    pub fn add(&self, other: &Var) -> Result<Var> {
+        self.binary_broadcast(other, |a, b| a + b, |_, _| 1.0, |_, _| 1.0)
+    }
+
+    /// Broadcasting subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes do not broadcast.
+    pub fn sub(&self, other: &Var) -> Result<Var> {
+        self.binary_broadcast(other, |a, b| a - b, |_, _| 1.0, |_, _| -1.0)
+    }
+
+    /// Broadcasting multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes do not broadcast.
+    pub fn mul(&self, other: &Var) -> Result<Var> {
+        self.binary_broadcast(other, |a, b| a * b, |_, b| b, |a, _| a)
+    }
+
+    /// Broadcasting division.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes do not broadcast.
+    pub fn div(&self, other: &Var) -> Result<Var> {
+        self.binary_broadcast(other, |a, b| a / b, |_, b| 1.0 / b, |a, b| -a / (b * b))
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(&self, s: f32) -> Var {
+        let v = self.value().add_scalar(s);
+        self.unary(v, |g| g.clone())
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn mul_scalar(&self, s: f32) -> Var {
+        let v = self.value().mul_scalar(s);
+        self.unary(v, move |g| g.mul_scalar(s))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Var {
+        self.mul_scalar(-1.0)
+    }
+
+    /// Elementwise absolute value (subgradient 0 at 0).
+    pub fn abs(&self) -> Var {
+        let x = self.value();
+        let v = x.abs();
+        self.unary(v, move |g| {
+            g.zip_map(&x, |gi, xi| gi * if xi > 0.0 { 1.0 } else if xi < 0.0 { -1.0 } else { 0.0 })
+                .expect("abs backward shape")
+        })
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var {
+        let x = self.value();
+        let v = x.square();
+        self.unary(v, move |g| g.zip_map(&x, |gi, xi| gi * 2.0 * xi).expect("square backward"))
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Var {
+        let v = self.value().exp();
+        let vc = v.clone();
+        self.unary(v, move |g| g.zip_map(&vc, |gi, yi| gi * yi).expect("exp backward"))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Var {
+        let x = self.value();
+        let v = x.ln();
+        self.unary(v, move |g| g.zip_map(&x, |gi, xi| gi / xi).expect("ln backward"))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Var {
+        let v = self.value().sqrt();
+        let vc = v.clone();
+        self.unary(v, move |g| {
+            g.zip_map(&vc, |gi, yi| gi * 0.5 / yi.max(1e-12)).expect("sqrt backward")
+        })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let x = self.value();
+        let v = x.relu();
+        self.unary(v, move |g| {
+            g.zip_map(&x, |gi, xi| if xi > 0.0 { gi } else { 0.0 }).expect("relu backward")
+        })
+    }
+
+    /// GELU with the tanh approximation and its analytic derivative.
+    pub fn gelu(&self) -> Var {
+        let x = self.value();
+        let v = x.gelu();
+        self.unary(v, move |g| {
+            g.zip_map(&x, |gi, xi| gi * gelu_derivative(xi)).expect("gelu backward")
+        })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let v = self.value().sigmoid();
+        let vc = v.clone();
+        self.unary(v, move |g| {
+            g.zip_map(&vc, |gi, si| gi * si * (1.0 - si)).expect("sigmoid backward")
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let v = self.value().tanh();
+        let vc = v.clone();
+        self.unary(v, move |g| {
+            g.zip_map(&vc, |gi, ti| gi * (1.0 - ti * ti)).expect("tanh backward")
+        })
+    }
+
+    /// Clamp with the *true* (masked) gradient: zero outside `[lo, hi]`.
+    ///
+    /// For the straight-through variant used by quantizers see
+    /// [`Var::clamp_ste`].
+    pub fn clamp(&self, lo: f32, hi: f32) -> Var {
+        let x = self.value();
+        let v = x.clamp(lo, hi);
+        self.unary(v, move |g| {
+            g.zip_map(&x, |gi, xi| if xi >= lo && xi <= hi { gi } else { 0.0 })
+                .expect("clamp backward")
+        })
+    }
+}
+
+/// Derivative of the tanh-approximated GELU.
+fn gelu_derivative(x: f32) -> f32 {
+    const A: f32 = 0.797_884_6; // sqrt(2/π)
+    const B: f32 = 0.044_715;
+    let u = A * (x + B * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * A * (1.0 + 3.0 * B * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+    use t2c_tensor::Tensor;
+
+    fn leaf(g: &Graph, data: &[f32]) -> Var {
+        g.leaf(Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap())
+    }
+
+    #[test]
+    fn mul_product_rule() {
+        let g = Graph::new();
+        let a = leaf(&g, &[2.0, 3.0]);
+        let b = leaf(&g, &[5.0, 7.0]);
+        let y = a.mul(&b).unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[5.0, 7.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn div_quotient_rule() {
+        let g = Graph::new();
+        let a = leaf(&g, &[6.0]);
+        let b = leaf(&g, &[3.0]);
+        let y = a.div(&b).unwrap();
+        y.backward().unwrap();
+        assert!((a.grad().unwrap().as_slice()[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((b.grad().unwrap().as_slice()[0] + 6.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_add_reduces_gradient() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::zeros(&[2, 3]));
+        let b = g.leaf(Tensor::zeros(&[3]));
+        let y = a.add(&b).unwrap();
+        y.backward().unwrap();
+        assert_eq!(b.grad().unwrap().as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let g = Graph::new();
+        let a = leaf(&g, &[-1.0, 2.0]);
+        a.relu().backward().unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn clamp_masks_gradient_outside_range() {
+        let g = Graph::new();
+        let a = leaf(&g, &[-2.0, 0.5, 2.0]);
+        a.clamp(-1.0, 1.0).backward().unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn exp_ln_inverse_gradients() {
+        let g = Graph::new();
+        let a = leaf(&g, &[2.0]);
+        let y = a.exp().ln(); // identity
+        y.backward().unwrap();
+        assert!((a.grad().unwrap().as_slice()[0] - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,220 @@
+//! Differentiable variables and the operation library.
+
+mod arith;
+mod nn_ops;
+mod reduce;
+mod shape_ops;
+mod ste;
+
+use std::rc::Rc;
+
+use t2c_tensor::{ops, Tensor, TensorError};
+
+use crate::graph::Node;
+use crate::{Graph, Result};
+
+/// A handle to one value recorded on a [`Graph`] tape.
+///
+/// `Var` is cheap to clone. All operations record themselves on the tape so
+/// that [`Var::backward`] can replay them in reverse.
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) graph: Graph,
+    pub(crate) id: usize,
+}
+
+impl Var {
+    /// Shared reference to the forward value.
+    pub fn value(&self) -> Rc<Tensor<f32>> {
+        self.graph.value(self.id)
+    }
+
+    /// The graph this variable is recorded on (cheap clone of the handle).
+    pub fn graph_handle(&self) -> Graph {
+        self.graph.clone()
+    }
+
+    /// Deep copy of the forward value.
+    pub fn tensor(&self) -> Tensor<f32> {
+        (*self.value()).clone()
+    }
+
+    /// The value's dimensions.
+    pub fn dims(&self) -> Vec<usize> {
+        self.value().dims().to_vec()
+    }
+
+    /// The gradient accumulated at this node by a previous backward pass.
+    pub fn grad(&self) -> Option<Tensor<f32>> {
+        self.graph.inner.borrow()[self.id].grad.clone()
+    }
+
+    /// Runs backpropagation from this node, seeding with ones.
+    ///
+    /// For a scalar loss this is the ordinary gradient; for non-scalar roots
+    /// it differentiates the *sum* of the root's elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from any recorded backward function.
+    pub fn backward(&self) -> Result<()> {
+        let seed = Tensor::full(self.value().dims(), 1.0);
+        self.graph.backward_from(self.id, seed)
+    }
+
+    /// Runs backpropagation with an explicit seed gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `seed` does not match this node's shape.
+    pub fn backward_with(&self, seed: Tensor<f32>) -> Result<()> {
+        self.graph.backward_from(self.id, seed)
+    }
+
+    /// Records a custom operation.
+    ///
+    /// `inputs` are the operands; `value` is the precomputed forward result;
+    /// `backward` maps the output gradient to one gradient per input
+    /// *position* (same order as `inputs`). Positions may be omitted to send
+    /// no gradient to that input.
+    ///
+    /// This is the extension point the quantizer crate uses to install
+    /// straight-through and learned-step-size gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `inputs` is empty or the inputs live on
+    /// different graphs.
+    pub fn custom(
+        inputs: &[&Var],
+        value: Tensor<f32>,
+        backward: impl Fn(&Tensor<f32>) -> Vec<(usize, Tensor<f32>)> + 'static,
+    ) -> Result<Var> {
+        let first = inputs.first().ok_or_else(|| {
+            TensorError::InvalidArgument("custom op requires at least one input".into())
+        })?;
+        let graph = first.graph.clone();
+        let ids: Vec<usize> = inputs
+            .iter()
+            .map(|v| {
+                if !Rc::ptr_eq(&v.graph.inner, &graph.inner) {
+                    return Err(TensorError::InvalidArgument(
+                        "custom op inputs must share one graph".into(),
+                    ));
+                }
+                Ok(v.id)
+            })
+            .collect::<Result<_>>()?;
+        Ok(graph.push(Node {
+            value: Rc::new(value),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                backward(g).into_iter().map(|(pos, grad)| (ids[pos], grad)).collect()
+            })),
+            param: None,
+        }))
+    }
+
+    /// Internal helper: unary op with value `y` and gradient
+    /// `g ↦ f(g)` flowing to `self`.
+    pub(crate) fn unary(
+        &self,
+        value: Tensor<f32>,
+        grad_fn: impl Fn(&Tensor<f32>) -> Tensor<f32> + 'static,
+    ) -> Var {
+        let parent = self.id;
+        self.graph.push(Node {
+            value: Rc::new(value),
+            grad: None,
+            backward: Some(Box::new(move |g| vec![(parent, grad_fn(g))])),
+            param: None,
+        })
+    }
+
+    /// Internal helper: broadcasting binary elementwise op.
+    ///
+    /// `d_lhs`/`d_rhs` produce the *local* derivative factor at the
+    /// broadcast shape; the helper multiplies by the output gradient and
+    /// reduces back to each operand's shape.
+    pub(crate) fn binary_broadcast(
+        &self,
+        other: &Var,
+        f: impl Fn(f32, f32) -> f32,
+        d_lhs: impl Fn(f32, f32) -> f32 + 'static,
+        d_rhs: impl Fn(f32, f32) -> f32 + 'static,
+    ) -> Result<Var> {
+        let a = self.value();
+        let b = other.value();
+        let value = ops::broadcast_zip(&a, &b, f)?;
+        let (ida, idb) = (self.id, other.id);
+        let a_shape = a.shape().clone();
+        let b_shape = b.shape().clone();
+        let (ac, bc) = (Rc::clone(&a), Rc::clone(&b));
+        Ok(self.graph.push(Node {
+            value: Rc::new(value),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                let mut out = Vec::with_capacity(2);
+                // local · upstream at broadcast shape, then reduce.
+                if let Ok(da) = ops::broadcast_zip(&ac, &bc, &d_lhs)
+                    .and_then(|d| g.mul(&d))
+                    .and_then(|gg| ops::reduce_to_shape(&gg, &a_shape))
+                {
+                    out.push((ida, da));
+                }
+                if let Ok(db) = ops::broadcast_zip(&ac, &bc, &d_rhs)
+                    .and_then(|d| g.mul(&d))
+                    .and_then(|gg| ops::reduce_to_shape(&gg, &b_shape))
+                {
+                    out.push((idb, db));
+                }
+                out
+            })),
+            param: None,
+        }))
+    }
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var(id {}, shape {:?})", self.id, self.value().dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn custom_op_routes_gradients_by_position() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0_f32], &[1]).unwrap());
+        let b = g.leaf(Tensor::from_vec(vec![2.0_f32], &[1]).unwrap());
+        // y = a + 3b with a deliberately custom backward.
+        let y = Var::custom(&[&a, &b], Tensor::from_vec(vec![7.0], &[1]).unwrap(), |g| {
+            vec![(0, g.clone()), (1, g.mul_scalar(3.0))]
+        })
+        .unwrap();
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[1.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn custom_op_rejects_cross_graph_inputs() {
+        let g1 = Graph::new();
+        let g2 = Graph::new();
+        let a = g1.leaf(Tensor::zeros(&[1]));
+        let b = g2.leaf(Tensor::zeros(&[1]));
+        assert!(Var::custom(&[&a, &b], Tensor::zeros(&[1]), |_| vec![]).is_err());
+    }
+
+    #[test]
+    fn backward_with_explicit_seed() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0], &[2]).unwrap());
+        let y = a.mul_scalar(2.0);
+        y.backward_with(Tensor::from_vec(vec![10.0, 100.0], &[2]).unwrap()).unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[20.0, 200.0]);
+    }
+}

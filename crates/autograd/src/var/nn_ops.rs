@@ -1,0 +1,558 @@
+//! Neural-network primitives on [`Var`]: matmul, convolution, pooling and
+//! normalization, each with exact backward passes.
+
+use std::rc::Rc;
+
+use t2c_tensor::ops::{
+    avg_pool2d, avg_pool2d_backward, col2im, conv2d, global_avg_pool2d, im2col, max_pool2d,
+    max_pool2d_backward, Conv2dSpec, PoolSpec,
+};
+use t2c_tensor::{Tensor, TensorError};
+
+use crate::graph::Node;
+use crate::{Result, Var};
+
+impl Var {
+    /// Matrix product `[m,k] × [k,n] → [m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatch.
+    pub fn matmul(&self, other: &Var) -> Result<Var> {
+        let a = self.value();
+        let b = other.value();
+        let value = a.matmul(&b)?;
+        let (ida, idb) = (self.id, other.id);
+        Ok(self.graph.push(Node {
+            value: Rc::new(value),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                let ga = g.matmul(&b.transpose().expect("matmul bwd")).expect("matmul bwd a");
+                let gb = a.transpose().expect("matmul bwd").matmul(g).expect("matmul bwd b");
+                vec![(ida, ga), (idb, gb)]
+            })),
+            param: None,
+        }))
+    }
+
+    /// Batched matrix product `[b,m,k] × [b,k,n] → [b,m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatch.
+    pub fn bmm(&self, other: &Var) -> Result<Var> {
+        let a = self.value();
+        let b = other.value();
+        let value = a.bmm(&b)?;
+        let (ida, idb) = (self.id, other.id);
+        Ok(self.graph.push(Node {
+            value: Rc::new(value),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                let bt = b.permute(&[0, 2, 1]).expect("bmm bwd");
+                let at = a.permute(&[0, 2, 1]).expect("bmm bwd");
+                let ga = g.bmm(&bt).expect("bmm bwd a");
+                let gb = at.bmm(g).expect("bmm bwd b");
+                vec![(ida, ga), (idb, gb)]
+            })),
+            param: None,
+        }))
+    }
+
+    /// Grouped 2-D convolution `[N,C,H,W] ⊛ [OC,C/g,KH,KW]` (no bias; add a
+    /// broadcast bias separately).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch.
+    pub fn conv2d(&self, weight: &Var, spec: Conv2dSpec) -> Result<Var> {
+        let x = self.value();
+        let w = weight.value();
+        let value = conv2d(&x, &w, None, spec)?;
+        let (idx, idw) = (self.id, weight.id);
+        Ok(self.graph.push(Node {
+            value: Rc::new(value),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                let (gx, gw) = conv2d_backward(&x, &w, g, spec).expect("conv2d backward");
+                vec![(idx, gx), (idw, gw)]
+            })),
+            param: None,
+        }))
+    }
+
+    /// Max pooling over `[N,C,H,W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch.
+    pub fn max_pool2d(&self, spec: PoolSpec) -> Result<Var> {
+        let x = self.value();
+        let (value, argmax) = max_pool2d(&x, spec)?;
+        let in_dims = x.dims().to_vec();
+        Ok(self.unary(value, move |g| {
+            max_pool2d_backward(g, &argmax, &in_dims).expect("max_pool2d backward")
+        }))
+    }
+
+    /// Average pooling over `[N,C,H,W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch.
+    pub fn avg_pool2d(&self, spec: PoolSpec) -> Result<Var> {
+        let x = self.value();
+        let value = avg_pool2d(&x, spec)?;
+        let in_dims = x.dims().to_vec();
+        Ok(self.unary(value, move |g| {
+            avg_pool2d_backward(g, &in_dims, spec).expect("avg_pool2d backward")
+        }))
+    }
+
+    /// Global average pooling `[N,C,H,W] → [N,C]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-4 input.
+    pub fn global_avg_pool2d(&self) -> Result<Var> {
+        let x = self.value();
+        let value = global_avg_pool2d(&x)?;
+        let dims = x.dims().to_vec();
+        let inv = 1.0 / (dims[2] * dims[3]) as f32;
+        Ok(self.unary(value, move |g| {
+            let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+            let mut out = Tensor::<f32>::zeros(&dims);
+            let os = out.as_mut_slice();
+            let gs = g.as_slice();
+            for img in 0..n {
+                for ch in 0..c {
+                    let gv = gs[img * c + ch] * inv;
+                    let base = (img * c + ch) * h * w;
+                    for v in &mut os[base..base + h * w] {
+                        *v = gv;
+                    }
+                }
+            }
+            out
+        }))
+    }
+
+    /// Training-mode BatchNorm over `[N,C,H,W]` with batch statistics.
+    ///
+    /// Returns the normalized output plus the batch `(mean, var)` per
+    /// channel so the caller can maintain running statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/shape mismatch.
+    pub fn batch_norm2d(
+        &self,
+        gamma: &Var,
+        beta: &Var,
+        eps: f32,
+    ) -> Result<(Var, Tensor<f32>, Tensor<f32>)> {
+        let x = self.value();
+        if x.rank() != 4 {
+            return Err(TensorError::RankMismatch { got: x.rank(), expected: 4, op: "batch_norm2d" });
+        }
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let gv = gamma.value();
+        let bv = beta.value();
+        if gv.numel() != c || bv.numel() != c {
+            return Err(TensorError::ShapeMismatch {
+                lhs: gv.dims().to_vec(),
+                rhs: vec![c],
+                op: "batch_norm2d gamma/beta",
+            });
+        }
+        let (mean, var) = x.channel_stats()?;
+        let m = (n * h * w) as f32;
+        // xhat = (x − μ)/σ, y = γ·xhat + β
+        let mut xhat = Tensor::<f32>::zeros(x.dims());
+        let mut y = Tensor::<f32>::zeros(x.dims());
+        let inv_std: Vec<f32> = var.as_slice().iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        {
+            let xs = x.as_slice();
+            let xh = xhat.as_mut_slice();
+            let ys = y.as_mut_slice();
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    let mu = mean.as_slice()[ch];
+                    let is = inv_std[ch];
+                    let (ga, be) = (gv.as_slice()[ch], bv.as_slice()[ch]);
+                    for i in base..base + h * w {
+                        let xx = (xs[i] - mu) * is;
+                        xh[i] = xx;
+                        ys[i] = ga * xx + be;
+                    }
+                }
+            }
+        }
+        let (idx, idg, idb) = (self.id, gamma.id, beta.id);
+        let xhat_rc = Rc::new(xhat);
+        let xhat_b = Rc::clone(&xhat_rc);
+        let out = self.graph.push(Node {
+            value: Rc::new(y),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                // Standard BN backward:
+                //   gβ_c   = Σ g
+                //   gγ_c   = Σ g·xhat
+                //   gx     = γ/σ · (g − gβ/m − xhat·gγ/m)
+                let gs = g.as_slice();
+                let xh = xhat_b.as_slice();
+                let mut gbeta = vec![0f32; c];
+                let mut ggamma = vec![0f32; c];
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * h * w;
+                        for i in base..base + h * w {
+                            gbeta[ch] += gs[i];
+                            ggamma[ch] += gs[i] * xh[i];
+                        }
+                    }
+                }
+                let mut gx = Tensor::<f32>::zeros(&[n, c, h, w]);
+                {
+                    let gxs = gx.as_mut_slice();
+                    for img in 0..n {
+                        for ch in 0..c {
+                            let base = (img * c + ch) * h * w;
+                            let coeff = gv.as_slice()[ch] * inv_std[ch];
+                            let mb = gbeta[ch] / m;
+                            let mg = ggamma[ch] / m;
+                            for i in base..base + h * w {
+                                gxs[i] = coeff * (gs[i] - mb - xh[i] * mg);
+                            }
+                        }
+                    }
+                }
+                vec![
+                    (idx, gx),
+                    (idg, Tensor::from_vec(ggamma, &[c]).expect("bn ggamma")),
+                    (idb, Tensor::from_vec(gbeta, &[c]).expect("bn gbeta")),
+                ]
+            })),
+            param: None,
+        });
+        Ok((out, mean, var))
+    }
+
+    /// LayerNorm over the last axis with learnable per-feature `gamma` and
+    /// `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `gamma`/`beta` do not match the last axis.
+    pub fn layer_norm(&self, gamma: &Var, beta: &Var, eps: f32) -> Result<Var> {
+        let x = self.value();
+        if x.rank() == 0 {
+            return Err(TensorError::RankMismatch { got: 0, expected: 1, op: "layer_norm" });
+        }
+        let d = x.dim(x.rank() - 1);
+        let rows = x.numel() / d;
+        let gv = gamma.value();
+        let bv = beta.value();
+        if gv.numel() != d || bv.numel() != d {
+            return Err(TensorError::ShapeMismatch {
+                lhs: gv.dims().to_vec(),
+                rhs: vec![d],
+                op: "layer_norm gamma/beta",
+            });
+        }
+        let mut xhat = Tensor::<f32>::zeros(x.dims());
+        let mut y = Tensor::<f32>::zeros(x.dims());
+        let mut inv_std = vec![0f32; rows];
+        {
+            let xs = x.as_slice();
+            let xh = xhat.as_mut_slice();
+            let ys = y.as_mut_slice();
+            for r in 0..rows {
+                let base = r * d;
+                let row = &xs[base..base + d];
+                let mu: f32 = row.iter().sum::<f32>() / d as f32;
+                let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+                let is = 1.0 / (var + eps).sqrt();
+                inv_std[r] = is;
+                for j in 0..d {
+                    let xx = (row[j] - mu) * is;
+                    xh[base + j] = xx;
+                    ys[base + j] = gv.as_slice()[j] * xx + bv.as_slice()[j];
+                }
+            }
+        }
+        let (idx, idg, idb) = (self.id, gamma.id, beta.id);
+        let dims = x.dims().to_vec();
+        let xhat_rc = Rc::new(xhat);
+        Ok(self.graph.push(Node {
+            value: Rc::new(y),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                let gs = g.as_slice();
+                let xh = xhat_rc.as_slice();
+                let mut ggamma = vec![0f32; d];
+                let mut gbeta = vec![0f32; d];
+                let mut gx = vec![0f32; rows * d];
+                for r in 0..rows {
+                    let base = r * d;
+                    // gh = g·γ (per element); then the LN row Jacobian.
+                    let mut sum_gh = 0.0f32;
+                    let mut sum_gh_xh = 0.0f32;
+                    for j in 0..d {
+                        let gh = gs[base + j] * gv.as_slice()[j];
+                        sum_gh += gh;
+                        sum_gh_xh += gh * xh[base + j];
+                        ggamma[j] += gs[base + j] * xh[base + j];
+                        gbeta[j] += gs[base + j];
+                    }
+                    let inv_d = 1.0 / d as f32;
+                    for j in 0..d {
+                        let gh = gs[base + j] * gv.as_slice()[j];
+                        gx[base + j] = inv_std[r]
+                            * (gh - sum_gh * inv_d - xh[base + j] * sum_gh_xh * inv_d);
+                    }
+                }
+                vec![
+                    (idx, Tensor::from_vec(gx, &dims).expect("ln gx")),
+                    (idg, Tensor::from_vec(ggamma, &[d]).expect("ln ggamma")),
+                    (idb, Tensor::from_vec(gbeta, &[d]).expect("ln gbeta")),
+                ]
+            })),
+            param: None,
+        }))
+    }
+}
+
+/// Gradient of a grouped conv2d w.r.t. input and weight.
+pub(crate) fn conv2d_backward(
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    grad_out: &Tensor<f32>,
+    spec: Conv2dSpec,
+) -> crate::Result<(Tensor<f32>, Tensor<f32>)> {
+    let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, _cg, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    let g = spec.groups;
+    let (cg, ocg) = (c / g, oc / g);
+    let l = grad_out.dim(2) * grad_out.dim(3);
+    let k = cg * kh * kw;
+    let cols = im2col(x, kh, kw, spec)?;
+    let mut gw = Tensor::<f32>::zeros(w.dims());
+    let mut gcols = Tensor::<f32>::zeros(cols.dims());
+    let ws = w.as_slice();
+    let gos = grad_out.as_slice();
+    let cs = cols.as_slice();
+    {
+        let gws = gw.as_mut_slice();
+        let gcs = gcols.as_mut_slice();
+        for img in 0..n {
+            for grp in 0..g {
+                let go_base = img * oc * l + grp * ocg * l;
+                let col_base = img * c * kh * kw * l + grp * k * l;
+                let w_base = grp * ocg * k;
+                for o in 0..ocg {
+                    let grow = &gos[go_base + o * l..go_base + (o + 1) * l];
+                    // gw[o, p] += Σ_j grow[j] · cols[p, j]
+                    for p in 0..k {
+                        let crow = &cs[col_base + p * l..col_base + (p + 1) * l];
+                        let mut acc = 0.0f32;
+                        for j in 0..l {
+                            acc += grow[j] * crow[j];
+                        }
+                        gws[w_base + o * k + p] += acc;
+                    }
+                    // gcols[p, j] += w[o, p] · grow[j]
+                    for p in 0..k {
+                        let wv = ws[w_base + o * k + p];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let gcrow = &mut gcs[col_base + p * l..col_base + (p + 1) * l];
+                        for j in 0..l {
+                            gcrow[j] += wv * grow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let gx = col2im(&gcols, c, h, wd, kh, kw, spec)?;
+    Ok((gx, gw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+    use t2c_tensor::rng::TensorRng;
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let b = g.leaf(Tensor::from_vec(vec![5.0_f32, 6.0, 7.0, 8.0], &[2, 2]).unwrap());
+        let y = a.matmul(&b).unwrap();
+        y.backward().unwrap();
+        // With seed=1s: gA = 1·Bᵀ, gB = Aᵀ·1
+        assert_eq!(a.grad().unwrap().as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn conv2d_backward_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(9);
+        let x0 = rng.normal(&[1, 2, 5, 5], 0.0, 1.0);
+        let w0 = rng.normal(&[3, 2, 3, 3], 0.0, 0.5);
+        let spec = Conv2dSpec::new(1, 1);
+        let g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let w = g.leaf(w0.clone());
+        let loss = x.conv2d(&w, spec).unwrap().square().mean_all();
+        loss.backward().unwrap();
+        let gw = w.grad().unwrap();
+        // Finite-difference check on a few weight entries.
+        let eps = 1e-2;
+        for &i in &[0usize, 7, 20, 53] {
+            let mut wp = w0.clone();
+            wp.as_mut_slice()[i] += eps;
+            let mut wm = w0.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let lp = conv2d(&x0, &wp, None, spec).unwrap().square().mean();
+            let lm = conv2d(&x0, &wm, None, spec).unwrap().square().mean();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gw.as_slice()[i];
+            assert!((num - ana).abs() < 2e-2, "weight {i}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn depthwise_conv_backward_finite_difference() {
+        let mut rng = TensorRng::seed_from(10);
+        let x0 = rng.normal(&[1, 4, 4, 4], 0.0, 1.0);
+        let w0 = rng.normal(&[4, 1, 3, 3], 0.0, 0.5);
+        let spec = Conv2dSpec::new(1, 1).with_groups(4);
+        let g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let w = g.leaf(w0.clone());
+        let loss = x.conv2d(&w, spec).unwrap().square().mean_all();
+        loss.backward().unwrap();
+        let gx = x.grad().unwrap();
+        let eps = 1e-2;
+        for &i in &[0usize, 13, 40, 63] {
+            let mut xp = x0.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x0.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = conv2d(&xp, &w0, None, spec).unwrap().square().mean();
+            let lm = conv2d(&xm, &w0, None, spec).unwrap().square().mean();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gx.as_slice()[i];
+            assert!((num - ana).abs() < 2e-2, "input {i}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_output_is_standardized() {
+        let mut rng = TensorRng::seed_from(11);
+        let g = Graph::new();
+        let x = g.leaf(rng.normal(&[4, 3, 5, 5], 2.0, 3.0));
+        let gamma = g.leaf(Tensor::ones(&[3]));
+        let beta = g.leaf(Tensor::zeros(&[3]));
+        let (y, mean, var) = x.batch_norm2d(&gamma, &beta, 1e-5).unwrap();
+        let (ym, yv) = y.tensor().channel_stats().unwrap();
+        for ch in 0..3 {
+            assert!(ym.as_slice()[ch].abs() < 1e-4);
+            assert!((yv.as_slice()[ch] - 1.0).abs() < 1e-3);
+        }
+        assert!((mean.as_slice()[0] - 2.0).abs() < 0.5);
+        assert!((var.as_slice()[0] - 9.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn batch_norm_gradient_finite_difference_on_gamma() {
+        let mut rng = TensorRng::seed_from(12);
+        let x0 = rng.normal(&[2, 2, 3, 3], 0.0, 1.0);
+        let gamma0 = Tensor::from_vec(vec![1.5_f32, 0.5], &[2]).unwrap();
+        let beta0 = Tensor::from_vec(vec![0.1_f32, -0.2], &[2]).unwrap();
+        let target = rng.normal(&[2, 2, 3, 3], 0.0, 1.0);
+        let run = |ga: &Tensor<f32>| -> f32 {
+            let g = Graph::new();
+            let x = g.leaf(x0.clone());
+            let gam = g.leaf(ga.clone());
+            let bet = g.leaf(beta0.clone());
+            let (y, _, _) = x.batch_norm2d(&gam, &bet, 1e-5).unwrap();
+            y.mse_loss(&target).unwrap().tensor().item()
+        };
+        let g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let gam = g.leaf(gamma0.clone());
+        let bet = g.leaf(beta0.clone());
+        let (y, _, _) = x.batch_norm2d(&gam, &bet, 1e-5).unwrap();
+        y.mse_loss(&target).unwrap().backward().unwrap();
+        let ana = gam.grad().unwrap();
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut gp = gamma0.clone();
+            gp.as_mut_slice()[i] += eps;
+            let mut gm = gamma0.clone();
+            gm.as_mut_slice()[i] -= eps;
+            let num = (run(&gp) - run(&gm)) / (2.0 * eps);
+            assert!(
+                (num - ana.as_slice()[i]).abs() < 1e-2,
+                "gamma {i}: numeric {num} vs analytic {}",
+                ana.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn layer_norm_rows_standardized_and_grad_checks() {
+        let mut rng = TensorRng::seed_from(13);
+        let x0 = rng.normal(&[3, 8], 1.0, 2.0);
+        let g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let gamma = g.leaf(Tensor::ones(&[8]));
+        let beta = g.leaf(Tensor::zeros(&[8]));
+        let y = x.layer_norm(&gamma, &beta, 1e-5).unwrap();
+        let yt = y.tensor();
+        for r in 0..3 {
+            let row = &yt.as_slice()[r * 8..(r + 1) * 8];
+            let mu: f32 = row.iter().sum::<f32>() / 8.0;
+            assert!(mu.abs() < 1e-4);
+        }
+        // Gradient sanity: LN output is invariant to a constant shift of the
+        // input row, so the input gradient rows must sum to ~0.
+        y.square().mean_all().backward().unwrap();
+        let gx = x.grad().unwrap();
+        for r in 0..3 {
+            let s: f32 = gx.as_slice()[r * 8..(r + 1) * 8].iter().sum();
+            assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn pooling_gradients_flow() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32));
+        let y = x.max_pool2d(PoolSpec::new(2)).unwrap();
+        y.sum_all().backward().unwrap();
+        let gx = x.grad().unwrap();
+        assert_eq!(gx.sum(), 4.0); // one winner per window
+        let g2 = Graph::new();
+        let x2 = g2.leaf(Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32));
+        let y2 = x2.avg_pool2d(PoolSpec::new(2)).unwrap();
+        y2.sum_all().backward().unwrap();
+        assert!(x2.grad().unwrap().as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_gradient() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2, 3, 4, 4]));
+        let y = x.global_avg_pool2d().unwrap();
+        assert_eq!(y.dims(), vec![2, 3]);
+        y.sum_all().backward().unwrap();
+        assert!(x.grad().unwrap().as_slice().iter().all(|&v| (v - 1.0 / 16.0).abs() < 1e-6));
+    }
+}

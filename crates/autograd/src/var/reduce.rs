@@ -1,0 +1,239 @@
+//! Reductions and row-wise softmax / loss functions on [`Var`].
+
+use std::rc::Rc;
+
+use t2c_tensor::{Tensor, TensorError};
+
+use crate::graph::Node;
+use crate::{Result, Var};
+
+impl Var {
+    /// Sum of all elements (rank-0 result).
+    pub fn sum_all(&self) -> Var {
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let v = Tensor::scalar(x.sum());
+        self.unary(v, move |g| Tensor::full(&dims, g.item()))
+    }
+
+    /// Mean of all elements (rank-0 result).
+    pub fn mean_all(&self) -> Var {
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let n = x.numel().max(1) as f32;
+        let v = Tensor::scalar(x.mean());
+        self.unary(v, move |g| Tensor::full(&dims, g.item() / n))
+    }
+
+    /// Sum along `axis`, keeping the axis with extent 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad axis.
+    pub fn sum_axis(&self, axis: usize) -> Result<Var> {
+        let x = self.value();
+        let v = x.sum_axis(axis)?;
+        let dims = x.dims().to_vec();
+        Ok(self.unary(v, move |g| expand_axis(g, axis, &dims, 1.0)))
+    }
+
+    /// Mean along `axis`, keeping the axis with extent 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Var> {
+        let x = self.value();
+        let v = x.mean_axis(axis)?;
+        let dims = x.dims().to_vec();
+        let scale = 1.0 / dims[axis].max(1) as f32;
+        Ok(self.unary(v, move |g| expand_axis(g, axis, &dims, scale)))
+    }
+
+    /// Row-wise softmax over the last axis, with the exact softmax Jacobian
+    /// in the backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 input.
+    pub fn softmax_lastdim(&self) -> Result<Var> {
+        let x = self.value();
+        let y = x.softmax_lastdim()?;
+        let yc = y.clone();
+        Ok(self.unary(y, move |g| {
+            // gx = (g − ⟨g, y⟩_row) ⊙ y
+            let cols = yc.dims()[yc.rank() - 1];
+            let rows = yc.numel() / cols;
+            let mut out = vec![0f32; yc.numel()];
+            let (gs, ys) = (g.as_slice(), yc.as_slice());
+            for r in 0..rows {
+                let base = r * cols;
+                let dot: f32 =
+                    (0..cols).map(|j| gs[base + j] * ys[base + j]).sum();
+                for j in 0..cols {
+                    out[base + j] = (gs[base + j] - dot) * ys[base + j];
+                }
+            }
+            Tensor::from_vec(out, yc.dims()).expect("softmax backward shape")
+        }))
+    }
+
+    /// Mean cross-entropy between row logits `[N, K]` and integer class
+    /// labels, with the fused softmax backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not rank 2, `labels.len() != N`, or
+    /// any label is out of range.
+    pub fn cross_entropy_logits(&self, labels: &[usize]) -> Result<Var> {
+        let x = self.value();
+        if x.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                got: x.rank(),
+                expected: 2,
+                op: "cross_entropy_logits",
+            });
+        }
+        let (n, k) = (x.dim(0), x.dim(1));
+        if labels.len() != n {
+            return Err(TensorError::InvalidArgument(format!(
+                "expected {n} labels, got {}",
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+            return Err(TensorError::InvalidArgument(format!(
+                "label {bad} out of range for {k} classes"
+            )));
+        }
+        let probs = x.softmax_lastdim()?;
+        let mut loss = 0.0;
+        for (row, &label) in labels.iter().enumerate() {
+            loss -= probs.as_slice()[row * k + label].max(1e-12).ln();
+        }
+        loss /= n as f32;
+        let labels = labels.to_vec();
+        let parent = self.id;
+        Ok(self.graph.push(Node {
+            value: Rc::new(Tensor::scalar(loss)),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                let scale = g.item() / n as f32;
+                let mut gx = probs.clone();
+                for (row, &label) in labels.iter().enumerate() {
+                    let v = gx.as_mut_slice()[row * k + label] - 1.0;
+                    gx.as_mut_slice()[row * k + label] = v;
+                }
+                vec![(parent, gx.mul_scalar(scale))]
+            })),
+            param: None,
+        }))
+    }
+
+    /// Mean squared error against a constant target.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes differ.
+    pub fn mse_loss(&self, target: &Tensor<f32>) -> Result<Var> {
+        let x = self.value();
+        if x.dims() != target.dims() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: x.dims().to_vec(),
+                rhs: target.dims().to_vec(),
+                op: "mse_loss",
+            });
+        }
+        let diff = x.zip_map(target, |a, b| a - b)?;
+        let n = x.numel().max(1) as f32;
+        let loss = diff.square().sum() / n;
+        let diff_c = diff.clone();
+        Ok(self.unary(Tensor::scalar(loss), move |g| {
+            diff_c.mul_scalar(2.0 * g.item() / n)
+        }))
+    }
+}
+
+/// Broadcasts a keep-dim reduced gradient back along `axis`, scaled.
+fn expand_axis(g: &Tensor<f32>, axis: usize, dims: &[usize], scale: f32) -> Tensor<f32> {
+    let outer: usize = dims[..axis].iter().product();
+    let mid = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    let gs = g.as_slice();
+    let mut out = vec![0f32; outer * mid * inner];
+    for o in 0..outer {
+        for m in 0..mid {
+            let dst = (o * mid + m) * inner;
+            let src = o * inner;
+            for i in 0..inner {
+                out[dst + i] = gs[src + i] * scale;
+            }
+        }
+    }
+    Tensor::from_vec(out, dims).expect("expand_axis shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn mean_all_distributes_gradient() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        a.mean_all().backward().unwrap();
+        assert!(a.grad().unwrap().as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn sum_axis_gradient_broadcasts_back() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_fn(&[2, 3], |i| i as f32));
+        let y = a.sum_axis(1).unwrap();
+        assert_eq!(y.dims(), vec![2, 1]);
+        y.backward_with(Tensor::from_vec(vec![10.0, 20.0], &[2, 1]).unwrap()).unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[10.0, 10.0, 10.0, 20.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn softmax_gradient_sums_to_zero_per_row() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0, 3.0], &[1, 3]).unwrap());
+        let y = a.softmax_lastdim().unwrap();
+        y.backward_with(Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 3]).unwrap()).unwrap();
+        let gsum: f32 = a.grad().unwrap().as_slice().iter().sum();
+        assert!(gsum.abs() < 1e-6, "softmax grad rows must sum to zero, got {gsum}");
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![0.0_f32, 0.0], &[1, 2]).unwrap());
+        let loss = a.cross_entropy_logits(&[1]).unwrap();
+        assert!((loss.tensor().item() - (2.0_f32).ln()).abs() < 1e-5);
+        loss.backward().unwrap();
+        let grad = a.grad().unwrap();
+        assert!((grad.as_slice()[0] - 0.5).abs() < 1e-5);
+        assert!((grad.as_slice()[1] + 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::zeros(&[2, 3]));
+        assert!(a.cross_entropy_logits(&[0]).is_err());
+        assert!(a.cross_entropy_logits(&[0, 3]).is_err());
+    }
+
+    #[test]
+    fn mse_loss_gradient() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0], &[2]).unwrap());
+        let target = Tensor::from_vec(vec![0.0_f32, 0.0], &[2]).unwrap();
+        let loss = a.mse_loss(&target).unwrap();
+        assert!((loss.tensor().item() - 2.5).abs() < 1e-6);
+        loss.backward().unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shape manipulation on [`Var`]: reshape, permute, transpose, concat,
+//! narrow.
+
+use t2c_tensor::{Tensor, TensorError};
+
+use crate::graph::Node;
+use crate::{Result, Var};
+use std::rc::Rc;
+
+impl Var {
+    /// Reshapes to `dims` (same volume).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Var> {
+        let old_dims = self.value().dims().to_vec();
+        let v = self.value().reshape(dims)?;
+        Ok(self.unary(v, move |g| g.reshape(&old_dims).expect("reshape backward")))
+    }
+
+    /// Permutes axes; the backward applies the inverse permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `perm` is not a valid permutation.
+    pub fn permute(&self, perm: &[usize]) -> Result<Var> {
+        let v = self.value().permute(perm)?;
+        let mut inverse = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        Ok(self.unary(v, move |g| g.permute(&inverse).expect("permute backward")))
+    }
+
+    /// Transposes a rank-2 value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices.
+    pub fn transpose(&self) -> Result<Var> {
+        let v = self.value().transpose()?;
+        Ok(self.unary(v, move |g| g.transpose().expect("transpose backward")))
+    }
+
+    /// Concatenates two variables along `axis`; the backward splits the
+    /// gradient back.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes are incompatible for concatenation.
+    pub fn concat(&self, other: &Var, axis: usize) -> Result<Var> {
+        let a = self.value();
+        let b = other.value();
+        let value = Tensor::concat(&[&a, &b], axis)?;
+        let a_dims = a.dims().to_vec();
+        let b_dims = b.dims().to_vec();
+        let (ida, idb) = (self.id, other.id);
+        Ok(self.graph.push(Node {
+            value: Rc::new(value),
+            grad: None,
+            backward: Some(Box::new(move |g| {
+                let (ga, gb) = split_axis(g, axis, a_dims[axis], &a_dims, &b_dims);
+                vec![(ida, ga), (idb, gb)]
+            })),
+            param: None,
+        }))
+    }
+
+    /// Takes the slice `[start, start+len)` along `axis`; the backward
+    /// zero-pads the gradient back to the source extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range exceeds the axis extent.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Result<Var> {
+        let x = self.value();
+        if axis >= x.rank() {
+            return Err(TensorError::AxisOutOfRange { axis, rank: x.rank() });
+        }
+        if start + len > x.dim(axis) {
+            return Err(TensorError::InvalidArgument(format!(
+                "narrow range {start}..{} exceeds extent {}",
+                start + len,
+                x.dim(axis)
+            )));
+        }
+        let src_dims = x.dims().to_vec();
+        let mut dst_dims = src_dims.clone();
+        dst_dims[axis] = len;
+        let value = copy_axis_range(&x, axis, start, len, &dst_dims);
+        Ok(self.unary(value, move |g| {
+            // Scatter the gradient back into a zero tensor of the source shape.
+            let mut out = Tensor::<f32>::zeros(&src_dims);
+            scatter_axis_range(&mut out, g, axis, start);
+            out
+        }))
+    }
+}
+
+fn copy_axis_range(
+    x: &Tensor<f32>,
+    axis: usize,
+    start: usize,
+    len: usize,
+    dst_dims: &[usize],
+) -> Tensor<f32> {
+    let src_dims = x.dims();
+    let outer: usize = src_dims[..axis].iter().product();
+    let inner: usize = src_dims[axis + 1..].iter().product();
+    let src_mid = src_dims[axis];
+    let mut data = Vec::with_capacity(outer * len * inner);
+    let xs = x.as_slice();
+    for o in 0..outer {
+        let base = (o * src_mid + start) * inner;
+        data.extend_from_slice(&xs[base..base + len * inner]);
+    }
+    Tensor::from_vec(data, dst_dims).expect("narrow copy shape")
+}
+
+fn scatter_axis_range(out: &mut Tensor<f32>, g: &Tensor<f32>, axis: usize, start: usize) {
+    let dst_dims = out.dims().to_vec();
+    let outer: usize = dst_dims[..axis].iter().product();
+    let inner: usize = dst_dims[axis + 1..].iter().product();
+    let dst_mid = dst_dims[axis];
+    let len = g.dims()[axis];
+    let gs = g.as_slice();
+    let os = out.as_mut_slice();
+    for o in 0..outer {
+        let dst_base = (o * dst_mid + start) * inner;
+        let src_base = o * len * inner;
+        os[dst_base..dst_base + len * inner].copy_from_slice(&gs[src_base..src_base + len * inner]);
+    }
+}
+
+fn split_axis(
+    g: &Tensor<f32>,
+    axis: usize,
+    split: usize,
+    a_dims: &[usize],
+    b_dims: &[usize],
+) -> (Tensor<f32>, Tensor<f32>) {
+    let dims = g.dims();
+    let outer: usize = dims[..axis].iter().product();
+    let inner: usize = dims[axis + 1..].iter().product();
+    let mid = dims[axis];
+    let gs = g.as_slice();
+    let mut ga = Vec::with_capacity(outer * split * inner);
+    let mut gb = Vec::with_capacity(outer * (mid - split) * inner);
+    for o in 0..outer {
+        let base = o * mid * inner;
+        ga.extend_from_slice(&gs[base..base + split * inner]);
+        gb.extend_from_slice(&gs[base + split * inner..base + mid * inner]);
+    }
+    (
+        Tensor::from_vec(ga, a_dims).expect("concat backward lhs"),
+        Tensor::from_vec(gb, b_dims).expect("concat backward rhs"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn reshape_round_trips_gradient() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap());
+        let y = a.reshape(&[3, 2]).unwrap().mul_scalar(2.0);
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().dims(), &[2, 3]);
+        assert!(a.grad().unwrap().as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn permute_backward_uses_inverse() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_fn(&[2, 3, 4], |i| i as f32));
+        let y = a.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(y.dims(), vec![4, 2, 3]);
+        y.backward_with(y.tensor()).unwrap();
+        // With seed == permuted value, the gradient must equal the original.
+        assert_eq!(a.grad().unwrap().as_slice(), a.value().as_slice());
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0], &[1, 2]).unwrap());
+        let b = g.leaf(Tensor::from_vec(vec![3.0_f32], &[1, 1]).unwrap());
+        let y = a.concat(&b, 1).unwrap();
+        assert_eq!(y.dims(), vec![1, 3]);
+        y.backward_with(Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]).unwrap()).unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[10.0, 20.0]);
+        assert_eq!(b.grad().unwrap().as_slice(), &[30.0]);
+    }
+
+    #[test]
+    fn narrow_zero_pads_gradient() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[1, 4]).unwrap());
+        let y = a.narrow(1, 1, 2).unwrap();
+        assert_eq!(y.tensor().as_slice(), &[2.0, 3.0]);
+        y.backward().unwrap();
+        assert_eq!(a.grad().unwrap().as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+        assert!(a.narrow(1, 3, 2).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Straight-through estimators — the gradient plumbing that makes
+//! non-differentiable quantization ops trainable (paper §3.1).
+
+use crate::Var;
+
+impl Var {
+    /// Rounds to the nearest integer in the forward pass; passes the
+    /// gradient through unchanged (the classic STE).
+    ///
+    /// This is the op at the heart of every fake-quantizer's training path:
+    /// `w_dq = round(w/S)·S` forwards like the discretized weight but
+    /// backpropagates like the identity.
+    pub fn round_ste(&self) -> Var {
+        let v = self.value().round();
+        self.unary(v, |g| g.clone())
+    }
+
+    /// Floors in the forward pass; identity gradient.
+    pub fn floor_ste(&self) -> Var {
+        let v = self.value().floor();
+        self.unary(v, |g| g.clone())
+    }
+
+    /// Clamps into `[lo, hi]` in the forward pass; identity gradient
+    /// (contrast with [`Var::clamp`], whose gradient is masked).
+    pub fn clamp_ste(&self, lo: f32, hi: f32) -> Var {
+        let v = self.value().clamp(lo, hi);
+        self.unary(v, |g| g.clone())
+    }
+
+    /// Stops gradient flow: the value continues forward, nothing flows back.
+    pub fn detach(&self) -> Var {
+        self.graph.leaf(self.tensor())
+    }
+
+    /// The fake-quantization residual trick used throughout Torch2Chip's
+    /// base quantizer:
+    ///
+    /// ```text
+    /// w_dq = (quantized − w).detach() + w
+    /// ```
+    ///
+    /// Forwards the quantized value exactly while backpropagating as the
+    /// identity w.r.t. `self`. `quantized` must be a tensor computed from
+    /// `self`'s value (its own graph history, if any, is ignored).
+    pub fn ste_from(&self, quantized: t2c_tensor::Tensor<f32>) -> Var {
+        self.unary(quantized, |g| g.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Graph;
+    use t2c_tensor::Tensor;
+
+    #[test]
+    fn round_ste_forwards_rounded_backwards_identity() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.4_f32, 1.6, -2.3], &[3]).unwrap());
+        let y = x.round_ste();
+        assert_eq!(y.tensor().as_slice(), &[0.0, 2.0, -2.0]);
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn clamp_ste_passes_gradient_outside_range() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![-5.0_f32, 5.0], &[2]).unwrap());
+        let y = x.clamp_ste(-1.0, 1.0);
+        assert_eq!(y.tensor().as_slice(), &[-1.0, 1.0]);
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0_f32], &[1]).unwrap());
+        let y = x.detach().square();
+        y.backward().unwrap();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn ste_from_swaps_forward_value() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.2_f32], &[1]).unwrap());
+        let q = Tensor::from_vec(vec![1.0_f32], &[1]).unwrap();
+        let y = x.ste_from(q).mul_scalar(3.0);
+        assert_eq!(y.tensor().as_slice(), &[3.0]);
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn floor_ste() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.9_f32, -0.1], &[2]).unwrap());
+        let y = x.floor_ste();
+        assert_eq!(y.tensor().as_slice(), &[1.0, -1.0]);
+        y.backward().unwrap();
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 1.0]);
+    }
+}

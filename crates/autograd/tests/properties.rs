@@ -1,0 +1,116 @@
+//! Property-based tests: analytic gradients must match finite differences
+//! for arbitrary inputs across the differentiable op library.
+
+use proptest::prelude::*;
+use t2c_autograd::{gradcheck, Graph, Param};
+use t2c_tensor::Tensor;
+
+fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-300i32..300).prop_map(|v| v as f32 / 100.0), n)
+}
+
+/// Runs a finite-difference check of `loss_fn` (which must do its own
+/// backward pass) against the analytic gradient of `p`.
+fn check(
+    p: &Param,
+    probes: &[usize],
+    loss_fn: impl FnMut() -> t2c_autograd::Result<f32>,
+) -> bool {
+    gradcheck::check_param_grad(p, probes, 1e-3, loss_fn)
+        .map(|r| r.passes(0.03))
+        .unwrap_or(false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn elementwise_chain_gradients(vals in values(6)) {
+        // loss = mean(sigmoid(x)·tanh(x) + x²)
+        let p = Param::new("p", Tensor::from_vec(vals, &[6]).unwrap());
+        let pc = p.clone();
+        let ok = check(&p, &[0, 2, 5], move || {
+            pc.zero_grad();
+            let g = Graph::new();
+            let x = g.param(&pc);
+            let loss = x.sigmoid().mul(&x.tanh())?.add(&x.square())?.mean_all();
+            loss.backward()?;
+            Ok(loss.tensor().item())
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn matmul_gradients(vals in values(12)) {
+        let p = Param::new("w", Tensor::from_vec(vals, &[3, 4]).unwrap());
+        let fixed = Tensor::from_fn(&[4, 2], |i| (i as f32) * 0.3 - 1.0);
+        let pc = p.clone();
+        let ok = check(&p, &[0, 5, 11], move || {
+            pc.zero_grad();
+            let g = Graph::new();
+            let w = g.param(&pc);
+            let loss = w.matmul(&g.leaf(fixed.clone()))?.square().mean_all();
+            loss.backward()?;
+            Ok(loss.tensor().item())
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradients(vals in values(8)) {
+        let p = Param::new("logits", Tensor::from_vec(vals, &[2, 4]).unwrap());
+        let pc = p.clone();
+        let ok = check(&p, &[0, 3, 6], move || {
+            pc.zero_grad();
+            let g = Graph::new();
+            let loss = g.param(&pc).cross_entropy_logits(&[1, 3])?;
+            loss.backward()?;
+            Ok(loss.tensor().item())
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn layer_norm_gradients(vals in values(8)) {
+        let p = Param::new("x", Tensor::from_vec(vals, &[2, 4]).unwrap());
+        let pc = p.clone();
+        let target = Tensor::from_fn(&[2, 4], |i| (i as f32) * 0.1);
+        let ok = check(&p, &[0, 4, 7], move || {
+            pc.zero_grad();
+            let g = Graph::new();
+            let gamma = g.leaf(Tensor::from_fn(&[4], |i| 1.0 + i as f32 * 0.1));
+            let beta = g.leaf(Tensor::zeros(&[4]));
+            let loss = g.param(&pc).layer_norm(&gamma, &beta, 1e-5)?.mse_loss(&target)?;
+            loss.backward()?;
+            Ok(loss.tensor().item())
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn reduction_and_broadcast_gradients(vals in values(6)) {
+        // loss = sum_axis + broadcast interplay.
+        let p = Param::new("x", Tensor::from_vec(vals, &[2, 3]).unwrap());
+        let pc = p.clone();
+        let ok = check(&p, &[0, 3, 5], move || {
+            pc.zero_grad();
+            let g = Graph::new();
+            let x = g.param(&pc);
+            let col_mean = x.mean_axis(1)?; // [2,1]
+            let loss = x.sub(&col_mean)?.square().mean_all();
+            loss.backward()?;
+            Ok(loss.tensor().item())
+        });
+        prop_assert!(ok);
+    }
+
+    #[test]
+    fn ste_round_gradient_is_identity(vals in values(5)) {
+        let p = Param::new("x", Tensor::from_vec(vals.clone(), &[5]).unwrap());
+        p.zero_grad();
+        let g = Graph::new();
+        let y = g.param(&p).round_ste();
+        y.sum_all().backward().unwrap();
+        prop_assert!(p.grad().as_slice().iter().all(|&v| v == 1.0));
+    }
+}

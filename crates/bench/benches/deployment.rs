@@ -1,0 +1,93 @@
+//! Criterion microbenches for the deployment stage: LUT non-linearities
+//! versus their float references, model-file serialization, and integer
+//! LayerNorm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use t2c_core::intmodel::{IntOp, LayerNormInt, Src};
+use t2c_core::lut::{GeluLut, SoftmaxLut};
+use t2c_core::{FixedPointFormat, IntModel, MulQuant, QuantSpec};
+use t2c_export::{read_intmodel, write_intmodel};
+use t2c_tensor::ops::Conv2dSpec;
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(5);
+    let scores_f = rng.normal(&[64, 65], 0.0, 2.0);
+    let scores_q = scores_f.map(|v| (v / 0.05).round() as i32);
+    let lut = SoftmaxLut::build(0.05, QuantSpec::unsigned(8), 512, 15);
+    let mut group = c.benchmark_group("softmax_64x65");
+    group.sample_size(50);
+    group.bench_function("float reference", |b| {
+        b.iter(|| black_box(&scores_f).softmax_lastdim().unwrap())
+    });
+    group.bench_function("integer LUT", |b| b.iter(|| lut.apply(black_box(&scores_q))));
+    group.finish();
+}
+
+fn bench_gelu(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(6);
+    let x_f = rng.normal(&[64, 256], 0.0, 1.5);
+    let x_q = x_f.map(|v| ((v / 0.05).round() as i32).clamp(-127, 127));
+    let lut = GeluLut::build(QuantSpec::signed(8), 0.05, QuantSpec::signed(8), 0.05);
+    let mut group = c.benchmark_group("gelu_64x256");
+    group.sample_size(50);
+    group.bench_function("float reference", |b| b.iter(|| black_box(&x_f).gelu()));
+    group.bench_function("integer LUT", |b| b.iter(|| lut.apply(black_box(&x_q))));
+    group.finish();
+}
+
+fn bench_layernorm_int(c: &mut Criterion) {
+    let d = 128;
+    let ln = LayerNormInt {
+        gamma_m: vec![1200; d],
+        beta_b: vec![0; d],
+        frac: 12,
+        shift: 6,
+        out_spec: QuantSpec::signed(8),
+    };
+    let x = Tensor::from_fn(&[64, d], |i| (i as i32 % 201) - 100);
+    c.bench_function("layernorm_int_64x128", |b| b.iter(|| ln.apply(black_box(&x))));
+}
+
+fn sample_model() -> IntModel {
+    let mut m = IntModel::new();
+    m.push("input", IntOp::Quantize { scale: 0.05, spec: QuantSpec::signed(8) }, vec![]);
+    let mut prev = 0usize;
+    for i in 0..8 {
+        let id = m.push(
+            format!("conv{i}"),
+            IntOp::Conv2d {
+                weight: Tensor::from_fn(&[16, 16, 3, 3], |j| ((i * 31 + j) as i32 % 15) - 7),
+                bias: None,
+                spec: Conv2dSpec::new(1, 1),
+                requant: MulQuant::from_float_auto(
+                    &[0.004; 16],
+                    &[0.1; 16],
+                    16,
+                    QuantSpec::unsigned(8),
+                ),
+                relu: true,
+                weight_spec: QuantSpec::signed(4),
+            },
+            vec![Src::Node(prev)],
+        );
+        prev = id;
+    }
+    m
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let model = sample_model();
+    let bytes = write_intmodel(&model);
+    let mut group = c.benchmark_group("t2cm_serialization");
+    group.sample_size(50);
+    group.bench_function("write", |b| b.iter(|| write_intmodel(black_box(&model))));
+    group.bench_function("read+verify", |b| b.iter(|| read_intmodel(black_box(&bytes)).unwrap()));
+    group.finish();
+    let _ = FixedPointFormat::default();
+}
+
+criterion_group!(benches, bench_softmax, bench_gelu, bench_layernorm_int, bench_serialization);
+criterion_main!(benches);

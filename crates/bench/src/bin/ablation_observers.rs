@@ -1,0 +1,49 @@
+//! **Ablation** — activation-range observers (MinMax vs EMA vs percentile)
+//! under PTQ at 8 and 4 bits: the calibration knob every hardware team
+//! tunes first.
+//!
+//! ```sh
+//! cargo run --release -p t2c-bench --bin ablation_observers
+//! ```
+
+use t2c_bench::row;
+use t2c_core::qmodels::{QResNet, QuantFactory};
+use t2c_core::trainer::{evaluate_int, FpTrainer, PtqPipeline, TrainConfig};
+use t2c_core::{FuseScheme, ObserverKind, QuantConfig, T2C};
+use t2c_data::{SynthVision, SynthVisionConfig};
+use t2c_nn::models::{ResNet, ResNetConfig};
+use t2c_nn::Module;
+use t2c_tensor::rng::TensorRng;
+
+fn main() {
+    let data = SynthVision::generate(&SynthVisionConfig::imagenet_like(48));
+    let mut rng = TensorRng::seed_from(802);
+    let model = ResNet::new(&mut rng, ResNetConfig::resnet20(data.num_classes()).scaled(0.5));
+    let fp = FpTrainer::new(TrainConfig::quick(30)).fit(&model, &data).expect("fp");
+    println!("# Ablation — activation observers under PTQ\n");
+    println!("FP32 baseline: {:.2}%\n", fp.best_acc() * 100.0);
+    row(&["observer".into(), "W/A".into(), "integer acc".into()]);
+    row(&(0..3).map(|_| "---".to_string()).collect::<Vec<_>>());
+
+    let observers: Vec<(&str, ObserverKind)> = vec![
+        ("minmax (running)", ObserverKind::MinMax),
+        ("ema 0.95", ObserverKind::Ema { momentum: 0.95 }),
+        ("ema 0.7", ObserverKind::Ema { momentum: 0.7 }),
+        ("percentile 99.9%", ObserverKind::Percentile { fraction: 0.999 }),
+        ("percentile 99%", ObserverKind::Percentile { fraction: 0.99 }),
+    ];
+    for bits in [8u8, 4] {
+        for (name, kind) in &observers {
+            let mut cfg = QuantConfig::wa(bits);
+            cfg.observer = *kind;
+            let qnn = QResNet::from_float(&model, &QuantFactory::minmax(cfg));
+            PtqPipeline::calibrate(8, 32).run(&qnn, &data).expect("ptq");
+            qnn.set_training(false);
+            let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::auto(bits)).expect("convert");
+            let acc = evaluate_int(&chip, &data, 32).expect("eval");
+            row(&[name.to_string(), format!("{bits}/{bits}"), format!("{:.2}%", acc * 100.0)]);
+        }
+    }
+    println!("\nShape check: observer choice barely matters at 8 bits and decides 4-bit accuracy");
+    println!("(percentile clipping trades outlier coverage for resolution).");
+}

@@ -1,0 +1,88 @@
+//! **Table 1** — PTQ toolkit comparison on the ImageNet-like task.
+//!
+//! Paper rows: AIMET/AdaRound 8/8 (float scales), OpenVINO/MinMax 8/8
+//! (float scales), Torch2Chip/QDrop 4/4 and 8/8 (INT16 fixed-point scales).
+//! Shape to reproduce: every 8/8 method sits ≈ at the FP baseline; QDrop
+//! keeps most of the accuracy even at 4/4; T2C rows do it with integer-only
+//! scale/bias words.
+//!
+//! ```sh
+//! cargo run --release -p t2c-bench --bin table1
+//! ```
+
+use t2c_bench::{fmt_acc, ptq_int_accuracy, row};
+use t2c_core::qmodels::{QResNet, QuantFactory};
+use t2c_core::trainer::{FpTrainer, PtqPipeline, TrainConfig};
+use t2c_core::{FixedPointFormat, FuseScheme, QuantConfig};
+use t2c_data::{SynthVision, SynthVisionConfig};
+use t2c_nn::models::{ResNet, ResNetConfig};
+use t2c_nn::Module;
+use t2c_tensor::rng::TensorRng;
+
+/// A 31-bit fixed-point budget ≈ float-precision rescale factors — the
+/// "Scale and Bias: Float" rows of the paper.
+fn float_like(mut cfg: QuantConfig) -> QuantConfig {
+    cfg.fixed = FixedPointFormat { int_bits: 1, frac_bits: 30 };
+    cfg
+}
+
+fn main() {
+    let data = SynthVision::generate(&SynthVisionConfig::imagenet_like(48));
+    let mut rng = TensorRng::seed_from(101);
+    let model = ResNet::new(&mut rng, ResNetConfig::resnet20(data.num_classes()).scaled(0.5));
+    println!(
+        "# Table 1 — PTQ comparison (SynthImageNet, ResNet-20×0.5, {} params)\n",
+        model.num_trainable()
+    );
+    let fp = FpTrainer::new(TrainConfig::quick(30)).fit(&model, &data).expect("fp training");
+    println!("FP32 baseline: {:.2}%\n", fp.final_acc() * 100.0);
+    row(&["Toolkit".into(), "Method".into(), "W/A".into(), "Scale+Bias".into(), "Acc (Δ)".into()]);
+    row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()]);
+
+    let batch = 32;
+    // --- AIMET-like: AdaRound, float-precision scales -------------------
+    let qnn = QResNet::from_float(&model, &QuantFactory::adaround(float_like(QuantConfig::wa(8))));
+    let (acc, _) =
+        ptq_int_accuracy(&qnn, &data, PtqPipeline::reconstruct(8, batch, 60), FuseScheme::PreFuse, batch);
+    row(&[
+        "AIMET-like".into(),
+        "AdaRound".into(),
+        "8/8".into(),
+        "Float".into(),
+        fmt_acc(acc, fp.final_acc()),
+    ]);
+
+    // --- OpenVINO-like: MinMax, float-precision scales -------------------
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(float_like(QuantConfig::wa(8))));
+    let (acc, _) =
+        ptq_int_accuracy(&qnn, &data, PtqPipeline::calibrate(8, batch), FuseScheme::PreFuse, batch);
+    row(&[
+        "OpenVINO-like".into(),
+        "MinMax".into(),
+        "8/8".into(),
+        "Float".into(),
+        fmt_acc(acc, fp.final_acc()),
+    ]);
+
+    // --- Torch2Chip: QDrop at 4/4 and 8/8, INT16 fixed-point -------------
+    for bits in [4u8, 8] {
+        let qnn =
+            QResNet::from_float(&model, &QuantFactory::qdrop(QuantConfig::wa(bits), 0.5, 17));
+        let (acc, report) = ptq_int_accuracy(
+            &qnn,
+            &data,
+            PtqPipeline::reconstruct(8, batch, 60),
+            FuseScheme::auto(bits),
+            batch,
+        );
+        row(&[
+            "Torch2Chip (ours)".into(),
+            "QDrop".into(),
+            format!("{bits}/{bits}"),
+            "INT16".into(),
+            fmt_acc(acc, fp.final_acc()),
+        ]);
+        let _ = report;
+    }
+    println!("\nShape check: all 8/8 ≈ FP; T2C 4/4 within a few points with integer-only scales.");
+}

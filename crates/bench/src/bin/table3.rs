@@ -1,0 +1,101 @@
+//! **Table 3** — sparse training composed with PTQ: the pruned zeros
+//! survive as raw zeros in the deployed integer model.
+//!
+//! Paper rows: GraNet 80% and N:M = 2:4, each PTQ-quantized to 8/8 and
+//! 4/4 on the ImageNet-like task. Shape: sparsity carries into the integer
+//! export unchanged; accuracy cost grows from 8/8 to 4/4; 2:4 (50%) costs
+//! less than 80% unstructured. Bonus column: zero-skipping accelerator
+//! speed-up, the hardware payoff §2.2 motivates.
+//!
+//! ```sh
+//! cargo run --release -p t2c-bench --bin table3
+//! ```
+
+use t2c_accel::{Accelerator, AcceleratorConfig};
+use t2c_bench::{fmt_acc, row};
+use t2c_core::qmodels::{QResNet, QuantFactory};
+use t2c_nn::Module;
+use t2c_core::trainer::{evaluate_int, FpTrainer, PtqPipeline, TrainConfig};
+use t2c_core::{FuseScheme, QuantConfig, T2C};
+use t2c_data::{SynthVision, SynthVisionConfig};
+use t2c_nn::models::{ResNet, ResNetConfig};
+use t2c_sparse::{prunable_weights, GraNetPruner, NmPruner, SparseTrainer, SparseTrainerConfig};
+use t2c_tensor::rng::TensorRng;
+
+fn sparse_then_ptq(model: &ResNet, data: &SynthVision, bits: u8) -> (f32, f32, f64) {
+    let qnn = QResNet::from_float(model, &QuantFactory::minmax(QuantConfig::wa(bits)));
+    PtqPipeline::calibrate(8, 32).run(&qnn, data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::auto(bits)).expect("convert");
+    let acc = evaluate_int(&chip, data, 32).expect("eval");
+    // Zero-skipping speed-up on the simulated accelerator.
+    let dims = [1usize, 3, 16, 16];
+    let dense = Accelerator::new(chip.clone(), AcceleratorConfig::dense16x16())
+        .trace(&dims)
+        .expect("trace");
+    let skip = Accelerator::new(chip, AcceleratorConfig::sparse16x16()).trace(&dims).expect("trace");
+    let speedup = dense.total_cycles() as f64 / skip.total_cycles().max(1) as f64;
+    (acc, report.sparsity, speedup)
+}
+
+fn main() {
+    let data = SynthVision::generate(&SynthVisionConfig::imagenet_like(48));
+    println!("# Table 3 — sparse + low-precision ResNet on SynthImageNet\n");
+    let epochs = 30;
+    let classes = data.num_classes();
+
+    // Dense FP baseline.
+    let mut rng = TensorRng::seed_from(301);
+    let dense = ResNet::new(&mut rng, ResNetConfig::resnet20(classes).scaled(0.5));
+    let fp = FpTrainer::new(TrainConfig::quick(epochs)).fit(&dense, &data).expect("fp").best_acc();
+    println!("dense FP32 baseline: {:.2}%\n", fp * 100.0);
+    row(&[
+        "Method".into(),
+        "Target".into(),
+        "W/A".into(),
+        "Int sparsity".into(),
+        "Acc (Δ)".into(),
+        "Zero-skip speedup".into(),
+    ]);
+    row(&(0..6).map(|_| "---".to_string()).collect::<Vec<_>>());
+
+    // ---- GraNet 80% -------------------------------------------------------
+    let mut rng = TensorRng::seed_from(302);
+    let granet_model = ResNet::new(&mut rng, ResNetConfig::resnet20(classes).scaled(0.5));
+    let mut pruner = GraNetPruner::new(prunable_weights(&granet_model), 0.8);
+    SparseTrainer::new(SparseTrainerConfig::quick(epochs))
+        .fit(&granet_model, &mut pruner, &data)
+        .expect("granet");
+    for bits in [8u8, 4] {
+        let (acc, sparsity, speedup) = sparse_then_ptq(&granet_model, &data, bits);
+        row(&[
+            "GraNet".into(),
+            "80%".into(),
+            format!("{bits}/{bits}"),
+            format!("{:.0}%", sparsity * 100.0),
+            fmt_acc(acc, fp),
+            format!("{speedup:.2}×"),
+        ]);
+    }
+
+    // ---- N:M = 2:4 ---------------------------------------------------------
+    let mut rng = TensorRng::seed_from(303);
+    let nm_model = ResNet::new(&mut rng, ResNetConfig::resnet20(classes).scaled(0.5));
+    let mut pruner = NmPruner::new(prunable_weights(&nm_model), 2, 4);
+    SparseTrainer::new(SparseTrainerConfig::quick(epochs))
+        .fit(&nm_model, &mut pruner, &data)
+        .expect("nm");
+    assert!(pruner.masks_satisfy_constraint(), "2:4 constraint must hold after training");
+    for bits in [8u8, 4] {
+        let (acc, sparsity, speedup) = sparse_then_ptq(&nm_model, &data, bits);
+        row(&[
+            "N:M = 2:4".into(),
+            "50%".into(),
+            format!("{bits}/{bits}"),
+            format!("{:.0}%", sparsity * 100.0),
+            fmt_acc(acc, fp),
+            format!("{speedup:.2}×"),
+        ]);
+    }
+    println!("\nShape check: sparsity survives into the integer export; 2:4 costs less than 80%; 4/4 costs more than 8/8.");
+}

@@ -1,0 +1,54 @@
+//! Shared plumbing for the table/figure harness binaries.
+//!
+//! Each paper table/figure has one binary (`table1` … `table4`,
+//! `fig3_dualpath`, `fig4_vit`, `fig5_export`) that trains the relevant
+//! models on the synthetic substrate and prints the same rows/series the
+//! paper reports. `EXPERIMENTS.md` records paper-vs-measured for each.
+
+use t2c_core::qmodels::QuantModel;
+use t2c_core::trainer::{evaluate_int, PtqPipeline};
+use t2c_core::{FuseScheme, T2C};
+use t2c_data::SynthVision;
+
+/// Formats an accuracy and its delta against a baseline the way the
+/// paper's tables do: `74.40 (-1.60)`.
+pub fn fmt_acc(acc: f32, baseline: f32) -> String {
+    format!("{:.2} ({:+.2})", acc * 100.0, (acc - baseline) * 100.0)
+}
+
+/// Runs the standard PTQ-convert-evaluate tail shared by several tables:
+/// calibrate (and optionally reconstruct), convert with `scheme`, and
+/// return `(integer accuracy, conversion report)`.
+///
+/// # Panics
+///
+/// Panics on pipeline errors — harness binaries want loud failures.
+pub fn ptq_int_accuracy<M: QuantModel>(
+    qnn: &M,
+    data: &SynthVision,
+    pipeline: PtqPipeline,
+    scheme: FuseScheme,
+    batch: usize,
+) -> (f32, t2c_core::ConversionReport) {
+    pipeline.run(qnn, data).expect("ptq pipeline");
+    qnn.set_training(false);
+    let (chip, report) = T2C::new(qnn).nn2chip(scheme).expect("conversion");
+    let acc = evaluate_int(&chip, data, batch).expect("integer evaluation");
+    (acc, report)
+}
+
+/// Prints a Markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_acc_matches_paper_style() {
+        assert_eq!(fmt_acc(0.744, 0.76), "74.40 (-1.60)");
+        assert_eq!(fmt_acc(0.7596, 0.76), "75.96 (-0.04)");
+    }
+}

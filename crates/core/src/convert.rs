@@ -1,0 +1,67 @@
+//! The top-level converter (paper §3.4): `T2C(model).nn2chip()`.
+//!
+//! Together with a trainer this reproduces the paper's five-line workflow:
+//!
+//! ```text
+//! model  = ...                       // build / load a float model
+//! trainer = TRAINER[user_select]    // QatTrainer / PtqPipeline / SSL
+//! trainer.fit()                      // train or calibrate
+//! nn2c = T2C(model, fuser=NetFuser)  // T2C::new(&qmodel)
+//! qnn  = nn2c.nn2chip(save=True)     // t2c.nn2chip(scheme)
+//! ```
+
+use crate::qmodels::QuantModel;
+use crate::{FuseScheme, IntModel, Result};
+
+/// Summary of one conversion, mirroring the columns of the paper's tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversionReport {
+    /// Compression method name.
+    pub method: String,
+    /// Fusion scheme applied.
+    pub scheme: FuseScheme,
+    /// Number of integer ops in the extracted model.
+    pub num_nodes: usize,
+    /// Packed integer parameter storage (bytes) — "Model Size".
+    pub weight_bytes: usize,
+    /// Fraction of zero weights — survives pruning into deployment.
+    pub sparsity: f32,
+}
+
+impl ConversionReport {
+    /// Model size in megabytes.
+    pub fn size_mb(&self) -> f64 {
+        self.weight_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// The converter: wraps a trained quantized model and extracts the
+/// integer-only deployment artifact.
+pub struct T2C<'m, M: QuantModel + ?Sized> {
+    model: &'m M,
+}
+
+impl<'m, M: QuantModel + ?Sized> T2C<'m, M> {
+    /// Wraps a quantized model for conversion.
+    pub fn new(model: &'m M) -> Self {
+        T2C { model }
+    }
+
+    /// Fuses normalization, extracts integer parameters and returns the
+    /// deployable [`IntModel`] plus a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model's quantizers are uncalibrated.
+    pub fn nn2chip(&self, scheme: FuseScheme) -> Result<(IntModel, ConversionReport)> {
+        let int = self.model.to_int(scheme)?;
+        let report = ConversionReport {
+            method: self.model.method().to_string(),
+            scheme,
+            num_nodes: int.len(),
+            weight_bytes: int.weight_bytes(),
+            sparsity: int.weight_sparsity(),
+        };
+        Ok((int, report))
+    }
+}

@@ -1,0 +1,339 @@
+//! Automatic normalization fusion (paper §3.2).
+//!
+//! Two schemes, selected by [`FuseScheme`]:
+//!
+//! * **Pre-fusing** (Eq. 8–11, 14): BatchNorm is folded into the weights
+//!   *before* quantization (`W_fuse = γW/√(σ²+ε)`), and the requantizer
+//!   carries a **unified** per-tensor scale. Stable at 8 bits, the
+//!   mainstream PyTorch/TFLite approach — and demonstrably unstable below
+//!   8 bits, which the Fig. 3 bench reproduces.
+//! * **Channel-wise scaling** (Eq. 12–13, 15): the weights stay unfused and
+//!   γ\* = γ/√(σ²+ε) rides in the per-channel MulQuant multiplier. This is
+//!   the scheme low-precision accelerators need and the one PyTorch does
+//!   not support.
+
+use t2c_autograd::Param;
+use t2c_nn::layers::BatchNorm2d;
+use t2c_tensor::Tensor;
+
+use crate::fixed::FixedPointFormat;
+use crate::mulquant::MulQuant;
+use crate::quantizer::WeightQuantizer;
+use crate::{QuantSpec, Result};
+
+/// Which fusion strategy the converter applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuseScheme {
+    /// Fold BN into the weights before quantization; unified scaling.
+    PreFuse,
+    /// Keep weights unfused; carry γ\* in per-channel MulQuant factors.
+    ChannelWise,
+}
+
+impl FuseScheme {
+    /// The paper's guidance: pre-fusing at ≥8 bits, channel-wise below.
+    pub fn auto(weight_bits: u8) -> Self {
+        if weight_bits >= 8 {
+            FuseScheme::PreFuse
+        } else {
+            FuseScheme::ChannelWise
+        }
+    }
+}
+
+/// Snapshot of a BatchNorm layer's parameters at fusion time.
+#[derive(Debug, Clone)]
+pub struct BnParams {
+    /// Learnable scale γ.
+    pub gamma: Vec<f32>,
+    /// Learnable shift β.
+    pub beta: Vec<f32>,
+    /// Running mean μ.
+    pub mean: Vec<f32>,
+    /// Running variance σ².
+    pub var: Vec<f32>,
+    /// Stability epsilon.
+    pub eps: f32,
+}
+
+impl BnParams {
+    /// Extracts the fusion-relevant parameters from a live BatchNorm.
+    pub fn from_layer(bn: &BatchNorm2d) -> Self {
+        BnParams {
+            gamma: bn.gamma().value().into_vec(),
+            beta: bn.beta().value().into_vec(),
+            mean: bn.running_mean().value().into_vec(),
+            var: bn.running_var().value().into_vec(),
+            eps: bn.eps(),
+        }
+    }
+
+    /// Extracts from raw parameter handles (used by the quantized twins).
+    pub fn from_params(gamma: &Param, beta: &Param, mean: &Param, var: &Param, eps: f32) -> Self {
+        BnParams {
+            gamma: gamma.value().into_vec(),
+            beta: beta.value().into_vec(),
+            mean: mean.value().into_vec(),
+            var: var.value().into_vec(),
+            eps,
+        }
+    }
+
+    /// γ\*_c = γ_c / √(σ²_c + ε) (Eq. 13).
+    pub fn gamma_star(&self) -> Vec<f32> {
+        self.gamma
+            .iter()
+            .zip(&self.var)
+            .map(|(&g, &v)| g / (v + self.eps).sqrt())
+            .collect()
+    }
+
+    /// β\*_c = β_c − γ\*_c·μ_c (Eq. 11).
+    pub fn beta_star(&self) -> Vec<f32> {
+        self.gamma_star()
+            .iter()
+            .zip(&self.beta)
+            .zip(&self.mean)
+            .map(|((&gs, &b), &m)| b - gs * m)
+            .collect()
+    }
+}
+
+/// Output of fusing one conv/linear(+BN) layer: integer weights and the
+/// fixed-point requantizer.
+#[derive(Debug, Clone)]
+pub struct FusedLayer {
+    /// The quantized integer weights.
+    pub weight_q: Tensor<i32>,
+    /// The requantizer carrying every float factor as fixed point.
+    pub requant: MulQuant,
+    /// The per-channel weight scales actually used (for reports).
+    pub weight_scales: Vec<f32>,
+}
+
+/// Fuses one layer: weights (+ optional conv bias and BN) with input scale
+/// `s_x`, producing integer weights and a MulQuant that requantizes the
+/// integer accumulator into the `s_y` output grid (Eq. 14/15).
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch between weights and BN parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn fuse_layer(
+    weight: &Tensor<f32>,
+    conv_bias: Option<&Tensor<f32>>,
+    bn: Option<&BnParams>,
+    wq: &dyn WeightQuantizer,
+    s_x: f32,
+    s_y: f32,
+    scheme: FuseScheme,
+    format: FixedPointFormat,
+    out_spec: QuantSpec,
+) -> Result<FusedLayer> {
+    let oc = weight.dim(0);
+    if let Some(bn) = bn {
+        if bn.gamma.len() != oc {
+            return Err(t2c_tensor::TensorError::ShapeMismatch {
+                lhs: vec![bn.gamma.len()],
+                rhs: vec![oc],
+                op: "fuse_layer bn",
+            });
+        }
+    }
+    let inner = weight.numel() / oc.max(1);
+    let bias_fp: Vec<f32> = match conv_bias {
+        Some(b) => b.as_slice().to_vec(),
+        None => vec![0.0; oc],
+    };
+    match (scheme, bn) {
+        // ---- Pre-fuse: scale weights by γ* first, then quantize. --------
+        (FuseScheme::PreFuse, Some(bn)) => {
+            let gs = bn.gamma_star();
+            let bstar = bn.beta_star();
+            let fused = Tensor::from_fn(weight.dims(), |i| {
+                weight.as_slice()[i] * gs[i / inner.max(1)]
+            });
+            wq.calibrate(&fused);
+            let weight_q = wq.quantize(&fused);
+            let w_scales = wq.scale().to_per_channel(oc);
+            // bias after fusion: β* + γ*·b_conv, requantized by 1/S_y.
+            let scales: Vec<f32> = w_scales.iter().map(|&sw| sw * s_x / s_y).collect();
+            let biases: Vec<f32> = (0..oc)
+                .map(|c| (bstar[c] + gs[c] * bias_fp[c]) / s_y)
+                .collect();
+            Ok(FusedLayer {
+                weight_q,
+                requant: MulQuant::from_float_auto(&scales, &biases, format.total_bits(), out_spec),
+                weight_scales: w_scales,
+            })
+        }
+        // ---- Channel-wise: quantize raw weights, γ* rides in MulQuant. --
+        (FuseScheme::ChannelWise, Some(bn)) => {
+            let gs = bn.gamma_star();
+            let bstar = bn.beta_star();
+            wq.calibrate(weight);
+            let weight_q = wq.quantize(weight);
+            let w_scales = wq.scale().to_per_channel(oc);
+            let scales: Vec<f32> =
+                (0..oc).map(|c| gs[c] * w_scales[c] * s_x / s_y).collect();
+            let biases: Vec<f32> = (0..oc)
+                .map(|c| (bstar[c] + gs[c] * bias_fp[c]) / s_y)
+                .collect();
+            Ok(FusedLayer {
+                weight_q,
+                requant: MulQuant::from_float_auto(&scales, &biases, format.total_bits(), out_spec),
+                weight_scales: w_scales,
+            })
+        }
+        // ---- No normalization to fuse. ----------------------------------
+        (_, None) => {
+            wq.calibrate(weight);
+            let weight_q = wq.quantize(weight);
+            let w_scales = wq.scale().to_per_channel(oc);
+            let scales: Vec<f32> = w_scales.iter().map(|&sw| sw * s_x / s_y).collect();
+            let biases: Vec<f32> = (0..oc).map(|c| bias_fp[c] / s_y).collect();
+            Ok(FusedLayer {
+                weight_q,
+                requant: MulQuant::from_float_auto(&scales, &biases, format.total_bits(), out_spec),
+                weight_scales: w_scales,
+            })
+        }
+    }
+}
+
+/// Quantizes a bias vector into the accumulator domain
+/// (`b_q = round(b / (S_w_c · S_x))`) — used by layers without a
+/// requantizer (the classifier head).
+pub fn bias_to_accumulator(bias: &Tensor<f32>, weight_scales: &[f32], s_x: f32) -> Vec<i64> {
+    bias.as_slice()
+        .iter()
+        .enumerate()
+        .map(|(c, &b)| {
+            let s = weight_scales[c.min(weight_scales.len() - 1)] * s_x;
+            (b / s.max(f32::MIN_POSITIVE)).round() as i64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::MinMaxWeight;
+    use t2c_tensor::ops::{conv2d, conv2d_i32, Conv2dSpec};
+    use t2c_tensor::rng::TensorRng;
+
+    fn bn_params(oc: usize, rng: &mut TensorRng) -> BnParams {
+        BnParams {
+            gamma: (0..oc).map(|_| rng.next_range(0.5, 1.5)).collect(),
+            beta: (0..oc).map(|_| rng.next_range(-0.3, 0.3)).collect(),
+            mean: (0..oc).map(|_| rng.next_range(-0.5, 0.5)).collect(),
+            var: (0..oc).map(|_| rng.next_range(0.5, 2.0)).collect(),
+            eps: 1e-5,
+        }
+    }
+
+    /// Reference float conv+BN for a given input.
+    fn float_conv_bn(
+        x: &Tensor<f32>,
+        w: &Tensor<f32>,
+        bn: &BnParams,
+        spec: Conv2dSpec,
+    ) -> Tensor<f32> {
+        let y = conv2d(x, w, None, spec).unwrap();
+        let gs = bn.gamma_star();
+        let bs = bn.beta_star();
+        let (n, oc, oh, ow) = (y.dim(0), y.dim(1), y.dim(2), y.dim(3));
+        let mut out = y.clone();
+        for img in 0..n {
+            for c in 0..oc {
+                let base = (img * oc + c) * oh * ow;
+                for i in base..base + oh * ow {
+                    out.as_mut_slice()[i] = y.as_slice()[i] * gs[c] + bs[c];
+                }
+            }
+        }
+        out
+    }
+
+    fn end_to_end_error(scheme: FuseScheme, bits: u8) -> f32 {
+        let mut rng = TensorRng::seed_from(42);
+        let w = rng.normal(&[4, 3, 3, 3], 0.0, 0.4);
+        let bn = bn_params(4, &mut rng);
+        let spec = Conv2dSpec::new(1, 1);
+        let x = rng.normal(&[1, 3, 8, 8], 0.0, 1.0);
+        // Input quantization.
+        let s_x = x.abs_max() / 127.0;
+        let x_q = x.map(|v| ((v / s_x).round() as i32).clamp(-127, 127));
+        // Reference float output and its scale.
+        let ref_out = float_conv_bn(&x.map(|v| ((v / s_x).round()) * s_x), &w, &bn, spec);
+        let s_y = ref_out.abs_max() / QuantSpec::signed(8).qmax() as f32;
+        let wq = MinMaxWeight::new(QuantSpec::signed(bits), scheme == FuseScheme::ChannelWise);
+        let fused = fuse_layer(
+            &w,
+            None,
+            Some(&bn),
+            &wq,
+            s_x,
+            s_y,
+            scheme,
+            FixedPointFormat::int16_frac12(),
+            QuantSpec::signed(8),
+        )
+        .unwrap();
+        let acc = conv2d_i32(&x_q, &fused.weight_q, None, spec).unwrap();
+        let y_q = fused.requant.apply(&acc, 1, false);
+        // Compare dequantized integer output with the float reference.
+        let mut err = 0.0f32;
+        for (q, r) in y_q.as_slice().iter().zip(ref_out.as_slice()) {
+            err = err.max((*q as f32 * s_y - r).abs());
+        }
+        err / ref_out.abs_max().max(1e-6)
+    }
+
+    #[test]
+    fn prefuse_8bit_tracks_float_reference() {
+        let err = end_to_end_error(FuseScheme::PreFuse, 8);
+        assert!(err < 0.05, "relative error {err}");
+    }
+
+    #[test]
+    fn channelwise_8bit_tracks_float_reference() {
+        let err = end_to_end_error(FuseScheme::ChannelWise, 8);
+        assert!(err < 0.05, "relative error {err}");
+    }
+
+    #[test]
+    fn channelwise_beats_prefuse_at_low_precision() {
+        // The paper's §3.2 claim: pre-fusing degrades below 8 bits while
+        // channel-wise scaling holds up.
+        let pre = end_to_end_error(FuseScheme::PreFuse, 3);
+        let cw = end_to_end_error(FuseScheme::ChannelWise, 3);
+        assert!(cw < pre, "channel-wise {cw} should beat pre-fuse {pre} at 3 bits");
+    }
+
+    #[test]
+    fn auto_scheme_selection() {
+        assert_eq!(FuseScheme::auto(8), FuseScheme::PreFuse);
+        assert_eq!(FuseScheme::auto(4), FuseScheme::ChannelWise);
+    }
+
+    #[test]
+    fn gamma_beta_star_formulas() {
+        let bn = BnParams {
+            gamma: vec![2.0],
+            beta: vec![1.0],
+            mean: vec![3.0],
+            var: vec![4.0],
+            eps: 0.0,
+        };
+        assert!((bn.gamma_star()[0] - 1.0).abs() < 1e-6);
+        assert!((bn.beta_star()[0] + 2.0).abs() < 1e-6); // 1 − 1·3 = −2
+    }
+
+    #[test]
+    fn bias_to_accumulator_scales_correctly() {
+        let bias = Tensor::from_vec(vec![1.0_f32, -0.5], &[2]).unwrap();
+        let b = bias_to_accumulator(&bias, &[0.1, 0.05], 0.2);
+        assert_eq!(b, vec![50, -50]);
+    }
+}

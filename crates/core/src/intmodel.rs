@@ -1,0 +1,818 @@
+//! The integer-only model IR — the paper's "deploy mode" (Figure 3c/4c).
+//!
+//! After fusion and extraction, a network is a graph of **vanilla integer
+//! operations**: convolutions and matrix multiplies over integer tensors,
+//! fixed-point [`MulQuant`] requantization, LUT non-linearities and integer
+//! LayerNorm. No floating point exists anywhere in [`IntModel::run`] after
+//! the initial input quantization — this is the property RTL verification
+//! needs, and the export crate serializes exactly this structure.
+
+use t2c_tensor::ops::{conv2d_i32, Conv2dSpec, PoolSpec};
+use t2c_tensor::{Tensor, TensorError};
+
+use crate::fixed::{round_shift, FixedScalar};
+use crate::lut::{isqrt, GeluLut, SoftmaxLut};
+use crate::mulquant::MulQuant;
+use crate::qconfig::QuantSpec;
+use crate::Result;
+
+/// Where an op reads its operand from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// The model's (already quantized) input.
+    Input,
+    /// The output of a previous node.
+    Node(usize),
+}
+
+/// Integer LayerNorm parameters (instant statistics, paper §3.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNormInt {
+    /// Per-feature fixed-point multipliers `round(γ_j/(S_y·2^shift)·2^frac)`.
+    pub gamma_m: Vec<i32>,
+    /// Per-feature fixed-point biases `round(β_j/S_y·2^frac)`.
+    pub beta_b: Vec<i64>,
+    /// Fractional bits of the multipliers/biases.
+    pub frac: u8,
+    /// Extra precision bits given to the normalized value.
+    pub shift: u8,
+    /// Output grid.
+    pub out_spec: QuantSpec,
+}
+
+impl LayerNormInt {
+    /// Applies integer LayerNorm over the last axis.
+    pub fn apply(&self, x: &Tensor<i32>) -> Tensor<i32> {
+        let d = x.dim(x.rank() - 1);
+        let rows = x.numel() / d.max(1);
+        let mut out = Tensor::<i32>::zeros(x.dims());
+        let xs = x.as_slice();
+        let os = out.as_mut_slice();
+        let (qmin, qmax) = (self.out_spec.qmin() as i64, self.out_spec.qmax() as i64);
+        for r in 0..rows {
+            let row = &xs[r * d..(r + 1) * d];
+            let sum: i64 = row.iter().map(|&v| v as i64).sum();
+            let mean = round_shift_div(sum, d as i64);
+            let var: i64 = row
+                .iter()
+                .map(|&v| {
+                    let c = v as i64 - mean;
+                    c * c
+                })
+                .sum::<i64>()
+                / d as i64;
+            let std = isqrt(var).max(1);
+            for j in 0..d {
+                let c = row[j] as i64 - mean;
+                let xhat = (c << self.shift) / std;
+                let v = self.gamma_m[j] as i64 * xhat + self.beta_b[j];
+                os[r * d + j] = round_shift(v, self.frac).clamp(qmin, qmax) as i32;
+            }
+        }
+        out
+    }
+}
+
+fn round_shift_div(v: i64, d: i64) -> i64 {
+    // round(v/d) for positive d, round-half-away.
+    if v >= 0 {
+        (v + d / 2) / d
+    } else {
+        (v - d / 2) / d
+    }
+}
+
+/// One integer operation.
+#[derive(Debug, Clone)]
+pub enum IntOp {
+    /// Quantizes the float model input: `round(x/scale)` clamped.
+    Quantize {
+        /// Input scale.
+        scale: f32,
+        /// Input grid.
+        spec: QuantSpec,
+    },
+    /// Integer convolution → MulQuant requantization (+ optional ReLU).
+    Conv2d {
+        /// Integer weights `[OC, C/g, K, K]`.
+        weight: Tensor<i32>,
+        /// Accumulator-domain bias (length OC).
+        bias: Option<Vec<i64>>,
+        /// Geometry.
+        spec: Conv2dSpec,
+        /// The fused requantizer.
+        requant: MulQuant,
+        /// Integer ReLU before the output clamp.
+        relu: bool,
+        /// Grid the weights live on (for size accounting).
+        weight_spec: QuantSpec,
+    },
+    /// Integer linear layer; without a requantizer the raw i32 accumulators
+    /// are the output (classifier head — argmax is scale-invariant).
+    Linear {
+        /// Integer weights `[OUT, IN]`.
+        weight: Tensor<i32>,
+        /// Accumulator-domain bias (length OUT).
+        bias: Option<Vec<i64>>,
+        /// Optional requantizer.
+        requant: Option<MulQuant>,
+        /// Integer ReLU before the clamp (requires `requant`).
+        relu: bool,
+        /// Grid the weights live on.
+        weight_spec: QuantSpec,
+    },
+    /// Residual add: each branch is rescaled into the output grid by a
+    /// fixed-point factor, then summed (+ optional ReLU).
+    AddRequant {
+        /// Factor for the first input (`S_a/S_out`).
+        m_a: FixedScalar,
+        /// Factor for the second input (`S_b/S_out`).
+        m_b: FixedScalar,
+        /// Output grid.
+        out_spec: QuantSpec,
+        /// Integer ReLU.
+        relu: bool,
+    },
+    /// Adds a pre-quantized constant (position embedding), then rescales.
+    AddConstRequant {
+        /// Constant in the input's scale (broadcast over batch).
+        value: Tensor<i32>,
+        /// `S_in/S_out` fixed-point factor.
+        m: FixedScalar,
+        /// Output grid.
+        out_spec: QuantSpec,
+    },
+    /// Integer max pooling (scale-preserving).
+    MaxPool2d {
+        /// Window geometry.
+        spec: PoolSpec,
+    },
+    /// Global average pooling with a runtime fixed-point `1/(H·W)`
+    /// multiplier: `[N,C,H,W] → [N,C]`. The output keeps `frac_bits` extra
+    /// fractional bits (output scale = input scale / 2^frac_bits) so the
+    /// classifier does not lose sub-LSB precision to the division.
+    GlobalAvgPool {
+        /// Extra fractional bits retained in the pooled codes.
+        frac_bits: u8,
+    },
+    /// `[N, C, H, W] → [N, C·H·W]`.
+    Flatten,
+    /// `[N, D, h, w] → [N, h·w, D]` (patch embedding to token sequence).
+    PatchToTokens,
+    /// Prepends a constant token `[1, D]` to every sequence.
+    ConcatToken {
+        /// The class token, quantized at the sequence's scale.
+        token: Tensor<i32>,
+    },
+    /// Extracts token `index`: `[N, L, D] → [N, D]`.
+    TakeToken {
+        /// Token position.
+        index: usize,
+    },
+    /// `[N, L, H·Dh] → [N·H, L, Dh]`.
+    SplitHeads {
+        /// Head count.
+        heads: usize,
+    },
+    /// `[N·H, L, Dh] → [N, L, H·Dh]`.
+    MergeHeads {
+        /// Head count.
+        heads: usize,
+    },
+    /// Batched integer matmul with requantization; optionally transposes
+    /// the last two axes of the second operand (for `q·kᵀ`).
+    BmmRequant {
+        /// Transpose the rhs.
+        transpose_rhs: bool,
+        /// `S_a·S_b/S_out` fixed-point factor.
+        m: FixedScalar,
+        /// Output grid.
+        out_spec: QuantSpec,
+    },
+    /// Elementwise integer rescale between two activation grids (e.g. the
+    /// 8-bit residual stream feeding a 2-bit conv input).
+    Requant {
+        /// `S_in/S_out` fixed-point factor.
+        m: FixedScalar,
+        /// Output grid.
+        out_spec: QuantSpec,
+    },
+    /// Integer LayerNorm.
+    LayerNorm(LayerNormInt),
+    /// LUT softmax over the last axis.
+    SoftmaxLut(SoftmaxLut),
+    /// LUT GELU, elementwise.
+    GeluLut(GeluLut),
+}
+
+/// One node: an op plus where its operands come from.
+#[derive(Debug, Clone)]
+pub struct IntNode {
+    /// The operation.
+    pub op: IntOp,
+    /// Operand sources (1 for most ops, 2 for adds/bmm).
+    pub inputs: Vec<Src>,
+    /// Human-readable name for reports and export manifests.
+    pub name: String,
+}
+
+/// An integer-only network: a topologically ordered op list.
+#[derive(Debug, Clone, Default)]
+pub struct IntModel {
+    /// Nodes in execution order.
+    pub nodes: Vec<IntNode>,
+}
+
+impl IntModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        IntModel::default()
+    }
+
+    /// Appends a node, returning its id.
+    pub fn push(&mut self, name: impl Into<String>, op: IntOp, inputs: Vec<Src>) -> usize {
+        self.nodes.push(IntNode { op, inputs, name: name.into() });
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the model has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Runs the model on a float input batch; the last node's output are
+    /// the integer logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is malformed or shapes mismatch.
+    pub fn run(&self, x: &Tensor<f32>) -> Result<Tensor<i32>> {
+        // The input enters through the first Quantize node.
+        let quantized = match self.nodes.first().map(|n| &n.op) {
+            Some(IntOp::Quantize { scale, spec }) => {
+                x.map(|v| ((v / scale).round() as i32).clamp(spec.qmin(), spec.qmax()))
+            }
+            _ => {
+                return Err(TensorError::InvalidArgument(
+                    "IntModel must start with a Quantize node".into(),
+                ))
+            }
+        };
+        self.run_quantized(&quantized)
+    }
+
+    /// Runs the model and returns *every* node's output — the hook
+    /// per-layer verification and divergence analysis use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is malformed or shapes mismatch.
+    pub fn run_all(&self, x: &Tensor<f32>) -> Result<Vec<Tensor<i32>>> {
+        let quantized = match self.nodes.first().map(|n| &n.op) {
+            Some(IntOp::Quantize { scale, spec }) => {
+                x.map(|v| ((v / scale).round() as i32).clamp(spec.qmin(), spec.qmax()))
+            }
+            _ => {
+                return Err(TensorError::InvalidArgument(
+                    "IntModel must start with a Quantize node".into(),
+                ))
+            }
+        };
+        self.execute(&quantized)
+    }
+
+    /// Runs the model on an already-quantized integer input (skipping the
+    /// leading Quantize node) — the accelerator-simulator entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is malformed or shapes mismatch.
+    pub fn run_quantized(&self, input: &Tensor<i32>) -> Result<Tensor<i32>> {
+        self.execute(input)?.pop().ok_or_else(|| TensorError::InvalidArgument("empty IntModel".into()))
+    }
+
+    fn execute(&self, input: &Tensor<i32>) -> Result<Vec<Tensor<i32>>> {
+        let mut values: Vec<Tensor<i32>> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let fetch = |src: &Src| -> Result<&Tensor<i32>> {
+                match src {
+                    Src::Input => Ok(input),
+                    Src::Node(id) if *id < values.len() => Ok(&values[*id]),
+                    Src::Node(id) => Err(TensorError::InvalidArgument(format!(
+                        "node {i} reads not-yet-computed node {id}"
+                    ))),
+                }
+            };
+            let out = match &node.op {
+                IntOp::Quantize { .. } => input.clone(),
+                IntOp::Conv2d { weight, bias, spec, requant, relu, .. } => {
+                    let xin = fetch(&node.inputs[0])?;
+                    let acc = conv2d_i32(xin, weight, None, *spec)?;
+                    let acc = match bias {
+                        Some(b) => add_channel_bias(&acc, b, 1),
+                        None => acc,
+                    };
+                    requant.apply(&acc, 1, *relu)
+                }
+                IntOp::Linear { weight, bias, requant, relu, .. } => {
+                    let xin = fetch(&node.inputs[0])?;
+                    let acc = linear_i32(xin, weight)?;
+                    let acc = match bias {
+                        Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
+                        None => acc,
+                    };
+                    match requant {
+                        Some(r) => r.apply(&acc, acc.rank() - 1, *relu),
+                        None => acc,
+                    }
+                }
+                IntOp::AddRequant { m_a, m_b, out_spec, relu } => {
+                    let a = fetch(&node.inputs[0])?;
+                    let b = fetch(&node.inputs[1])?;
+                    add_requant(a, b, *m_a, *m_b, *out_spec, *relu)?
+                }
+                IntOp::AddConstRequant { value, m, out_spec } => {
+                    let a = fetch(&node.inputs[0])?;
+                    add_const_requant(a, value, *m, *out_spec)?
+                }
+                IntOp::MaxPool2d { spec } => {
+                    let a = fetch(&node.inputs[0])?;
+                    max_pool_i32(a, *spec)?
+                }
+                IntOp::GlobalAvgPool { frac_bits } => {
+                    let a = fetch(&node.inputs[0])?;
+                    global_avg_pool_i32(a, *frac_bits)?
+                }
+                IntOp::Flatten => {
+                    let a = fetch(&node.inputs[0])?;
+                    let n = a.dim(0);
+                    let rest = a.numel() / n.max(1);
+                    a.reshape(&[n, rest])?
+                }
+                IntOp::PatchToTokens => {
+                    let a = fetch(&node.inputs[0])?;
+                    let (n, d, h, w) = (a.dim(0), a.dim(1), a.dim(2), a.dim(3));
+                    a.reshape(&[n, d, h * w])?.permute(&[0, 2, 1])?
+                }
+                IntOp::ConcatToken { token } => {
+                    let a = fetch(&node.inputs[0])?;
+                    concat_token(a, token)?
+                }
+                IntOp::TakeToken { index } => {
+                    let a = fetch(&node.inputs[0])?;
+                    take_token(a, *index)?
+                }
+                IntOp::SplitHeads { heads } => {
+                    let a = fetch(&node.inputs[0])?;
+                    let (n, l, d) = (a.dim(0), a.dim(1), a.dim(2));
+                    a.reshape(&[n, l, *heads, d / heads])?
+                        .permute(&[0, 2, 1, 3])?
+                        .reshape(&[n * heads, l, d / heads])?
+                }
+                IntOp::MergeHeads { heads } => {
+                    let a = fetch(&node.inputs[0])?;
+                    let (nh, l, dh) = (a.dim(0), a.dim(1), a.dim(2));
+                    let n = nh / heads;
+                    a.reshape(&[n, *heads, l, dh])?
+                        .permute(&[0, 2, 1, 3])?
+                        .reshape(&[n, l, heads * dh])?
+                }
+                IntOp::BmmRequant { transpose_rhs, m, out_spec } => {
+                    let a = fetch(&node.inputs[0])?;
+                    let b = fetch(&node.inputs[1])?;
+                    let b = if *transpose_rhs { b.permute(&[0, 2, 1])? } else { b.clone() };
+                    let acc = a.bmm_i(&b)?;
+                    Ok::<Tensor<i32>, TensorError>(requant_per_tensor(&acc, *m, *out_spec, false))?
+                }
+                IntOp::Requant { m, out_spec } => {
+                    let a = fetch(&node.inputs[0])?;
+                    requant_per_tensor(a, *m, *out_spec, false)
+                }
+                IntOp::LayerNorm(ln) => {
+                    let a = fetch(&node.inputs[0])?;
+                    ln.apply(a)
+                }
+                IntOp::SoftmaxLut(lut) => {
+                    let a = fetch(&node.inputs[0])?;
+                    lut.apply(a)
+                }
+                IntOp::GeluLut(lut) => {
+                    let a = fetch(&node.inputs[0])?;
+                    lut.apply(a)
+                }
+            };
+            values.push(out);
+        }
+        Ok(values)
+    }
+
+    /// Classifies a float batch: integer forward + argmax over logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is malformed.
+    pub fn predict(&self, x: &Tensor<f32>) -> Result<Vec<usize>> {
+        let logits = self.run(x)?;
+        logits.to_f32().argmax_rows()
+    }
+
+    /// Total packed weight storage in bytes at the deployed bit widths
+    /// (the paper's "Model Size (MB)" column).
+    pub fn weight_bytes(&self) -> usize {
+        let mut bits = 0usize;
+        for node in &self.nodes {
+            match &node.op {
+                IntOp::Conv2d { weight, weight_spec, bias, requant, .. } => {
+                    bits += weight.numel() * weight_spec.bits as usize;
+                    bits += bias.as_ref().map_or(0, |b| b.len() * 32);
+                    bits += requant.size_bytes() * 8;
+                }
+                IntOp::Linear { weight, weight_spec, bias, requant, .. } => {
+                    bits += weight.numel() * weight_spec.bits as usize;
+                    bits += bias.as_ref().map_or(0, |b| b.len() * 32);
+                    bits += requant.as_ref().map_or(0, |r| r.size_bytes()) * 8;
+                }
+                IntOp::SoftmaxLut(l) => bits += l.size_bytes() * 8,
+                IntOp::GeluLut(l) => bits += l.size_bytes() * 8,
+                IntOp::LayerNorm(ln) => bits += (ln.gamma_m.len() + ln.beta_b.len()) * 16,
+                IntOp::ConcatToken { token } => bits += token.numel() * 8,
+                IntOp::AddConstRequant { value, .. } => bits += value.numel() * 8,
+                _ => {}
+            }
+        }
+        bits.div_ceil(8)
+    }
+
+    /// A human-readable per-op summary: `id name(op) ← inputs`.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let srcs: Vec<String> = node
+                .inputs
+                .iter()
+                .map(|s| match s {
+                    Src::Input => "input".to_string(),
+                    Src::Node(id) => format!("#{id}"),
+                })
+                .collect();
+            out.push_str(&format!("#{i:<3} {:<24} ← [{}]\n", node.name, srcs.join(", ")));
+        }
+        out
+    }
+
+    /// Fraction of zero weights across conv/linear nodes (sparsity audit).
+    pub fn weight_sparsity(&self) -> f32 {
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for node in &self.nodes {
+            match &node.op {
+                IntOp::Conv2d { weight, .. } | IntOp::Linear { weight, .. } => {
+                    zeros += weight.count_zeros();
+                    total += weight.numel();
+                }
+                _ => {}
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f32 / total as f32
+        }
+    }
+}
+
+fn add_channel_bias(acc: &Tensor<i32>, bias: &[i64], ch_axis: usize) -> Tensor<i32> {
+    let dims = acc.dims();
+    let ch_extent = dims[ch_axis];
+    let inner: usize = dims[ch_axis + 1..].iter().product();
+    let mut out = acc.clone();
+    let os = out.as_mut_slice();
+    for (i, v) in os.iter_mut().enumerate() {
+        let ch = (i / inner.max(1)) % ch_extent.max(1);
+        *v = (*v as i64 + bias[ch.min(bias.len() - 1)]).clamp(i32::MIN as i64, i32::MAX as i64)
+            as i32;
+    }
+    out
+}
+
+fn linear_i32(x: &Tensor<i32>, w: &Tensor<i32>) -> Result<Tensor<i32>> {
+    // Accepts [N, IN] or [N, L, IN]; weight is [OUT, IN].
+    let wt = w.transpose()?;
+    match x.rank() {
+        2 => x.matmul_i(&wt),
+        3 => {
+            let (n, l, din) = (x.dim(0), x.dim(1), x.dim(2));
+            let flat = x.reshape(&[n * l, din])?;
+            flat.matmul_i(&wt)?.reshape(&[n, l, w.dim(0)])
+        }
+        r => Err(TensorError::RankMismatch { got: r, expected: 2, op: "linear_i32" }),
+    }
+}
+
+fn requant_per_tensor(acc: &Tensor<i32>, m: FixedScalar, spec: QuantSpec, relu: bool) -> Tensor<i32> {
+    acc.map(|v| {
+        let mut s = m.mul_shift(v as i64);
+        if relu {
+            s = s.max(0);
+        }
+        s.clamp(spec.qmin() as i64, spec.qmax() as i64) as i32
+    })
+}
+
+fn add_requant(
+    a: &Tensor<i32>,
+    b: &Tensor<i32>,
+    m_a: FixedScalar,
+    m_b: FixedScalar,
+    spec: QuantSpec,
+    relu: bool,
+) -> Result<Tensor<i32>> {
+    a.zip_map(b, |x, y| {
+        let mut v = m_a.mul_shift(x as i64) + m_b.mul_shift(y as i64);
+        if relu {
+            v = v.max(0);
+        }
+        v.clamp(spec.qmin() as i64, spec.qmax() as i64) as i32
+    })
+}
+
+fn add_const_requant(
+    a: &Tensor<i32>,
+    c: &Tensor<i32>,
+    m: FixedScalar,
+    spec: QuantSpec,
+) -> Result<Tensor<i32>> {
+    // c broadcasts over the batch axis: c is [1, …] matching a[1..].
+    let inner = c.numel();
+    if a.numel() % inner != 0 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: c.dims().to_vec(),
+            op: "add_const_requant",
+        });
+    }
+    let cs = c.as_slice();
+    let mut out = Tensor::<i32>::zeros(a.dims());
+    let os = out.as_mut_slice();
+    for (i, &v) in a.as_slice().iter().enumerate() {
+        let sum = v as i64 + cs[i % inner] as i64;
+        os[i] = m.mul_shift(sum).clamp(spec.qmin() as i64, spec.qmax() as i64) as i32;
+    }
+    Ok(out)
+}
+
+fn max_pool_i32(x: &Tensor<i32>, spec: PoolSpec) -> Result<Tensor<i32>> {
+    // Reuse the float kernel's geometry through a lossless i32→f32 round
+    // trip is unacceptable for large ints; implement directly.
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let oh = (h + 2 * spec.padding - spec.kernel) / spec.stride + 1;
+    let ow = (w + 2 * spec.padding - spec.kernel) / spec.stride + 1;
+    let mut out = Tensor::<i32>::zeros(&[n, c, oh, ow]);
+    let xs = x.as_slice();
+    let os = out.as_mut_slice();
+    let mut o = 0usize;
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = i32::MIN;
+                    for ki in 0..spec.kernel {
+                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        if ii < 0 || ii as usize >= h {
+                            continue;
+                        }
+                        for kj in 0..spec.kernel {
+                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                            if jj < 0 || jj as usize >= w {
+                                continue;
+                            }
+                            best = best.max(xs[base + ii as usize * w + jj as usize]);
+                        }
+                    }
+                    os[o] = best;
+                    o += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn global_avg_pool_i32(x: &Tensor<i32>, frac_bits: u8) -> Result<Tensor<i32>> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch { got: x.rank(), expected: 4, op: "global_avg_pool_i32" });
+    }
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    // Fixed-point 2^frac/(H·W) with 16 fractional bits of intermediate
+    // precision; the output keeps `frac_bits` fractional bits.
+    let m = (((1i64 << (16 + frac_bits as i64)) as f64) / (h * w) as f64).round() as i64;
+    let mut out = Tensor::<i32>::zeros(&[n, c]);
+    let xs = x.as_slice();
+    let os = out.as_mut_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            let sum: i64 = xs[base..base + h * w].iter().map(|&v| v as i64).sum();
+            os[img * c + ch] = round_shift(sum * m, 16) as i32;
+        }
+    }
+    Ok(out)
+}
+
+fn concat_token(x: &Tensor<i32>, token: &Tensor<i32>) -> Result<Tensor<i32>> {
+    let (n, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+    if token.numel() != d {
+        return Err(TensorError::ShapeMismatch {
+            lhs: token.dims().to_vec(),
+            rhs: vec![d],
+            op: "concat_token",
+        });
+    }
+    let mut out = Tensor::<i32>::zeros(&[n, l + 1, d]);
+    let os = out.as_mut_slice();
+    let xs = x.as_slice();
+    let ts = token.as_slice();
+    for img in 0..n {
+        let base = img * (l + 1) * d;
+        os[base..base + d].copy_from_slice(ts);
+        os[base + d..base + (l + 1) * d].copy_from_slice(&xs[img * l * d..(img + 1) * l * d]);
+    }
+    Ok(out)
+}
+
+fn take_token(x: &Tensor<i32>, index: usize) -> Result<Tensor<i32>> {
+    let (n, l, d) = (x.dim(0), x.dim(1), x.dim(2));
+    if index >= l {
+        return Err(TensorError::InvalidArgument(format!("token {index} out of {l}")));
+    }
+    let mut out = Tensor::<i32>::zeros(&[n, d]);
+    let os = out.as_mut_slice();
+    let xs = x.as_slice();
+    for img in 0..n {
+        os[img * d..(img + 1) * d]
+            .copy_from_slice(&xs[(img * l + index) * d..(img * l + index) * d + d]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedPointFormat;
+
+    fn fixed(v: f32) -> FixedScalar {
+        FixedPointFormat::int16_frac12().quantize(v)
+    }
+
+    #[test]
+    fn minimal_model_runs_quantize_and_linear() {
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 0.1, spec: QuantSpec::signed(8) }, vec![]);
+        let w = Tensor::from_vec(vec![1, 0, 0, 1], &[2, 2]).unwrap();
+        m.push(
+            "fc",
+            IntOp::Linear {
+                weight: w,
+                bias: Some(vec![10, -10]),
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(8),
+            },
+            vec![Src::Node(0)],
+        );
+        let x = Tensor::from_vec(vec![1.0_f32, -0.5], &[1, 2]).unwrap();
+        let y = m.run(&x).unwrap();
+        // codes: [10, −5]; logits = codes + bias
+        assert_eq!(y.as_slice(), &[20, -15]);
+        assert_eq!(m.predict(&x).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn model_requires_leading_quantize() {
+        let mut m = IntModel::new();
+        m.push("flatten", IntOp::Flatten, vec![Src::Input]);
+        assert!(m.run(&Tensor::ones(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn add_requant_aligns_scales() {
+        // a at scale 0.5, b at scale 0.25, out at scale 0.5:
+        // a·1.0 + b·0.5
+        let a = Tensor::from_vec(vec![4], &[1]).unwrap();
+        let b = Tensor::from_vec(vec![4], &[1]).unwrap();
+        let y = add_requant(&a, &b, fixed(1.0), fixed(0.5), QuantSpec::signed(8), false).unwrap();
+        assert_eq!(y.as_slice(), &[6]);
+    }
+
+    #[test]
+    fn global_avg_pool_fixed_point_division() {
+        let x = Tensor::from_vec(vec![10, 20, 30, 40], &[1, 1, 2, 2]).unwrap();
+        let y = global_avg_pool_i32(&x, 0).unwrap();
+        assert_eq!(y.as_slice(), &[25]);
+        // With 4 fractional bits the mean carries sub-LSB precision.
+        let x2 = Tensor::from_vec(vec![10, 11, 10, 11], &[1, 1, 2, 2]).unwrap();
+        let y2 = global_avg_pool_i32(&x2, 4).unwrap();
+        assert_eq!(y2.as_slice(), &[168]); // 10.5 · 16
+    }
+
+    #[test]
+    fn max_pool_int() {
+        let x = Tensor::from_vec(vec![-5, 2, 7, 1], &[1, 1, 2, 2]).unwrap();
+        let y = max_pool_i32(&x, PoolSpec::new(2)).unwrap();
+        assert_eq!(y.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn token_ops_round_trip() {
+        let x = Tensor::from_vec((0..12).collect::<Vec<i32>>(), &[1, 3, 4]).unwrap();
+        let token = Tensor::from_vec(vec![100, 101, 102, 103], &[4]).unwrap();
+        let with = concat_token(&x, &token).unwrap();
+        assert_eq!(with.dims(), &[1, 4, 4]);
+        assert_eq!(take_token(&with, 0).unwrap().as_slice(), token.as_slice());
+        assert_eq!(take_token(&with, 1).unwrap().as_slice(), &[0, 1, 2, 3]);
+        assert!(take_token(&with, 4).is_err());
+    }
+
+    #[test]
+    fn requant_op_rescales_between_grids() {
+        // 8-bit stream (scale 0.02) → 2-bit conv input (scale 0.64):
+        // m = 0.02/0.64 = 1/32.
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 0.02, spec: QuantSpec::unsigned(8) }, vec![]);
+        m.push(
+            "in_requant",
+            IntOp::Requant {
+                m: FixedPointFormat::int16_frac12().quantize(1.0 / 32.0),
+                out_spec: QuantSpec::unsigned(2),
+            },
+            vec![Src::Node(0)],
+        );
+        let x = Tensor::from_vec(vec![0.0_f32, 0.64, 1.28, 5.0], &[1, 4]).unwrap();
+        let y = m.run(&x).unwrap();
+        // codes 0, 32, 64, 250 → /32 → 0, 1, 2, clamp(8→3)
+        assert_eq!(y.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn split_merge_heads_inverse() {
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        m.push("split", IntOp::SplitHeads { heads: 2 }, vec![Src::Node(0)]);
+        m.push("merge", IntOp::MergeHeads { heads: 2 }, vec![Src::Node(1)]);
+        let x = Tensor::from_fn(&[2, 3, 4], |i| (i as f32) - 10.0);
+        let y = m.run(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 4]);
+        assert_eq!(y.as_slice(), x.map(|v| v as i32).as_slice());
+    }
+
+    #[test]
+    fn layer_norm_int_standardizes_rows() {
+        let d = 8;
+        let ln = LayerNormInt {
+            gamma_m: vec![FixedPointFormat::int16_frac12().quantize(1.0 / (0.05 * 64.0)).raw; d],
+            beta_b: vec![0; d],
+            frac: 12,
+            shift: 6,
+            out_spec: QuantSpec::signed(8),
+        };
+        let x = Tensor::from_vec(vec![100, 120, 80, 90, 110, 105, 95, 100], &[1, 8]).unwrap();
+        let y = ln.apply(&x);
+        // Output scale 0.05: dequantized row mean ≈ 0, std ≈ 1.
+        let vals: Vec<f32> = y.as_slice().iter().map(|&v| v as f32 * 0.05).collect();
+        let mean: f32 = vals.iter().sum::<f32>() / 8.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+        assert!((var - 1.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn weight_accounting_scales_with_bits() {
+        let mut m8 = IntModel::new();
+        m8.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        let w = Tensor::<i32>::zeros(&[16, 16]);
+        m8.push(
+            "fc",
+            IntOp::Linear {
+                weight: w.clone(),
+                bias: None,
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(8),
+            },
+            vec![Src::Node(0)],
+        );
+        let mut m4 = m8.clone();
+        if let IntOp::Linear { weight_spec, .. } = &mut m4.nodes[1].op {
+            *weight_spec = QuantSpec::signed(4);
+        }
+        assert_eq!(m8.weight_bytes(), 256);
+        assert_eq!(m4.weight_bytes(), 128);
+        assert_eq!(m8.weight_sparsity(), 1.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # t2c-core — the Torch2Chip toolkit
+//!
+//! This crate is the Rust reproduction of the paper's primary contribution:
+//! an **end-to-end customizable compression and deployment pipeline** that
+//! takes a user-defined quantization algorithm from training all the way to
+//! integer-only parameters ready for prototype-accelerator (RTL)
+//! verification.
+//!
+//! The architecture follows the paper section by section:
+//!
+//! * **Dual-Path quantizers** (§3.1): [`quantizer::WeightQuantizer`] /
+//!   [`quantizer::ActQuantizer`] separate a differentiable *training path*
+//!   (fake quantization with straight-through gradients, fully customizable)
+//!   from an integer-only *inference path*. Implementations: MinMax, SAWB,
+//!   PACT, RCF (reparameterized clipping), LSQ, AdaRound, QDrop.
+//! * **Automatic fusion** (§3.2): [`fuse`] implements both the 8-bit
+//!   *pre-fusing* scheme (BN folded into weights, Eq. 8–11/14) and the
+//!   sub-8-bit *channel-wise scaling* scheme (Eq. 12–13/15), materialized as
+//!   the fixed-point [`MulQuant`] requantizer.
+//! * **Integer-only ViT** (§3.2.2): LUT-based softmax and GELU
+//!   ([`lut`]), integer LayerNorm, and an integer attention pipeline.
+//! * **Parameter extraction** (§3.4): [`convert::T2C`] converts a trained
+//!   quantized model into an [`IntModel`] — a vanilla-layer integer graph
+//!   that downstream crates export (hex/binary/decimal) and replay on the
+//!   accelerator simulator.
+//! * **Trainers** (§3.3/3.4): supervised QAT, PTQ calibration and
+//!   reconstruction (AdaRound / QDrop) in [`trainer`]; the SSL trainer
+//!   lives in `t2c-ssl` and plugs into the same pipeline.
+//!
+//! The five-line workflow of the paper maps to:
+//!
+//! ```text
+//! let mut trainer = QatTrainer::new(cfg);        // TRAINER[user_select]
+//! trainer.fit(&qmodel, &data)?;                  // trainer.fit()
+//! let t2c = T2C::new(&qmodel);                   // nn2c = T2C(model)
+//! let chip = t2c.nn2chip(FuseScheme::auto(bits))?; // qnn = nn2c.nn2chip()
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod fuse;
+pub mod intmodel;
+pub mod lut;
+pub mod qmodels;
+pub mod quantizer;
+pub mod trainer;
+
+mod fixed;
+mod mulquant;
+mod observer;
+mod qconfig;
+mod qlayers;
+
+pub use convert::{ConversionReport, T2C};
+pub use fixed::{FixedPointFormat, FixedScalar};
+pub use fuse::FuseScheme;
+pub use intmodel::IntModel;
+pub use mulquant::MulQuant;
+pub use observer::{Observer, ObserverKind};
+pub use qconfig::{QuantConfig, QuantSpec};
+pub use qlayers::{PathMode, QAdd, QConvUnit, QLinearUnit};
+
+/// Convenience alias for this crate's `Result`.
+pub type Result<T> = std::result::Result<T, t2c_tensor::TensorError>;
+
+/// Public re-export of the rounding shift (used by property tests and
+/// downstream verification code that mirrors the hardware datapath).
+pub fn round_shift_public(v: i64, bits: u8) -> i64 {
+    fixed::round_shift(v, bits)
+}

@@ -1,0 +1,215 @@
+//! Look-up-table non-linear functions for integer-only transformers
+//! (paper §3.2.2, Figure 4).
+//!
+//! Mainstream frameworks compute softmax and GELU in full float precision
+//! even inside "quantized" models. Here both are integer-only:
+//!
+//! * [`SoftmaxLut`] — `exp` is a table indexed by the (non-positive)
+//!   max-shifted score code; normalization is one integer division per
+//!   element.
+//! * [`GeluLut`] — a direct code→code table over the entire input grid.
+//!
+//! Table contents are user-customizable (size, fractional precision),
+//! exactly as the paper advertises.
+
+use t2c_tensor::Tensor;
+
+use crate::qconfig::QuantSpec;
+
+/// Integer softmax over the last axis via an exponential look-up table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftmaxLut {
+    /// `table[i] = round(exp(−i·in_scale)·2^frac)`.
+    pub table: Vec<i32>,
+    /// The score quantization scale the table was built for.
+    pub in_scale: f32,
+    /// Output probability grid (unsigned; scale is `1/qmax`).
+    pub out_spec: QuantSpec,
+    /// Fractional bits of the table entries.
+    pub frac_bits: u8,
+}
+
+impl SoftmaxLut {
+    /// Builds the table. `table_size` entries cover scores down to
+    /// `−table_size·in_scale` below the row max; anything lower maps to the
+    /// last entry (≈0).
+    pub fn build(in_scale: f32, out_spec: QuantSpec, table_size: usize, frac_bits: u8) -> Self {
+        let table = (0..table_size)
+            .map(|i| ((-(i as f32) * in_scale).exp() * (1i64 << frac_bits) as f32).round() as i32)
+            .collect();
+        SoftmaxLut { table, in_scale, out_spec, frac_bits }
+    }
+
+    /// The scale of the produced probability codes.
+    pub fn out_scale(&self) -> f32 {
+        1.0 / self.out_spec.qmax() as f32
+    }
+
+    /// Applies the integer softmax along the last axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 input.
+    pub fn apply(&self, scores: &Tensor<i32>) -> Tensor<i32> {
+        assert!(scores.rank() > 0, "softmax needs at least rank 1");
+        let cols = scores.dim(scores.rank() - 1);
+        let rows = scores.numel() / cols.max(1);
+        let mut out = Tensor::<i32>::zeros(scores.dims());
+        let xs = scores.as_slice();
+        let os = out.as_mut_slice();
+        let qmax = self.out_spec.qmax() as i64;
+        for r in 0..rows {
+            let row = &xs[r * cols..(r + 1) * cols];
+            let m = *row.iter().max().expect("non-empty row");
+            let mut num = vec![0i64; cols];
+            let mut den: i64 = 0;
+            for (j, &v) in row.iter().enumerate() {
+                let idx = ((m - v) as usize).min(self.table.len() - 1);
+                num[j] = self.table[idx] as i64;
+                den += num[j];
+            }
+            let den = den.max(1);
+            for j in 0..cols {
+                // round(num·qmax/den)
+                os[r * cols + j] = ((num[j] * qmax + den / 2) / den) as i32;
+            }
+        }
+        out
+    }
+
+    /// Bytes needed to store the table.
+    pub fn size_bytes(&self) -> usize {
+        self.table.len() * 4
+    }
+}
+
+/// Integer GELU as a direct code→code table over the input grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeluLut {
+    /// `table[c − qmin] = round(gelu(c·in_scale)/out_scale)`.
+    pub table: Vec<i32>,
+    /// Input grid.
+    pub in_spec: QuantSpec,
+    /// Input scale.
+    pub in_scale: f32,
+    /// Output grid.
+    pub out_spec: QuantSpec,
+    /// Output scale.
+    pub out_scale: f32,
+}
+
+impl GeluLut {
+    /// Builds the table for every representable input code.
+    pub fn build(in_spec: QuantSpec, in_scale: f32, out_spec: QuantSpec, out_scale: f32) -> Self {
+        let table = (in_spec.qmin()..=in_spec.qmax())
+            .map(|c| {
+                let x = c as f32 * in_scale;
+                let y = gelu(x) / out_scale.max(f32::MIN_POSITIVE);
+                (y.round() as i32).clamp(out_spec.qmin(), out_spec.qmax())
+            })
+            .collect();
+        GeluLut { table, in_spec, in_scale, out_spec, out_scale }
+    }
+
+    /// Applies the table elementwise.
+    pub fn apply(&self, x: &Tensor<i32>) -> Tensor<i32> {
+        let qmin = self.in_spec.qmin();
+        let qmax = self.in_spec.qmax();
+        x.map(|c| self.table[(c.clamp(qmin, qmax) - qmin) as usize])
+    }
+
+    /// Bytes needed to store the table.
+    pub fn size_bytes(&self) -> usize {
+        self.table.len() * 4
+    }
+}
+
+fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Integer square root (floor), used by the integer LayerNorm.
+pub fn isqrt(v: i64) -> i64 {
+    if v <= 0 {
+        return 0;
+    }
+    let mut x = (v as f64).sqrt() as i64;
+    // Fix up float error to exact floor.
+    while (x + 1) * (x + 1) <= v {
+        x += 1;
+    }
+    while x * x > v {
+        x -= 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_lut_rows_sum_to_qmax() {
+        let lut = SoftmaxLut::build(0.1, QuantSpec::unsigned(8), 256, 15);
+        let scores = Tensor::from_vec(vec![10, 5, 0, -5], &[1, 4]).unwrap();
+        let p = lut.apply(&scores);
+        let sum: i32 = p.as_slice().iter().sum();
+        // Rounding allows ±cols of slack around qmax.
+        assert!((sum - 255).abs() <= 4, "sum {sum}");
+        // Monotone in the score.
+        assert!(p.as_slice()[0] > p.as_slice()[1]);
+        assert!(p.as_slice()[1] > p.as_slice()[2]);
+    }
+
+    #[test]
+    fn softmax_lut_matches_float_softmax() {
+        let in_scale = 0.05;
+        let lut = SoftmaxLut::build(in_scale, QuantSpec::unsigned(8), 512, 15);
+        let codes = vec![40, 10, -30, 0, 25];
+        let scores = Tensor::from_vec(codes.clone(), &[1, 5]).unwrap();
+        let p = lut.apply(&scores);
+        let float: Tensor<f32> = Tensor::from_vec(
+            codes.iter().map(|&c| c as f32 * in_scale).collect(),
+            &[1, 5],
+        )
+        .unwrap()
+        .softmax_lastdim()
+        .unwrap();
+        for (q, f) in p.as_slice().iter().zip(float.as_slice()) {
+            assert!((*q as f32 / 255.0 - f).abs() < 0.01, "{q} vs {f}");
+        }
+    }
+
+    #[test]
+    fn gelu_lut_matches_float_gelu() {
+        let in_spec = QuantSpec::signed(8);
+        let in_scale = 0.05;
+        let out_scale = 0.05;
+        let lut = GeluLut::build(in_spec, in_scale, QuantSpec::signed(8), out_scale);
+        for code in [-100i32, -20, -3, 0, 3, 20, 100] {
+            let x = Tensor::from_vec(vec![code], &[1]).unwrap();
+            let y = lut.apply(&x).as_slice()[0] as f32 * out_scale;
+            let f = gelu(code as f32 * in_scale);
+            assert!((y - f).abs() <= out_scale, "code {code}: {y} vs {f}");
+        }
+    }
+
+    #[test]
+    fn gelu_lut_clamps_out_of_range_codes() {
+        let lut = GeluLut::build(QuantSpec::signed(4), 0.5, QuantSpec::signed(8), 0.05);
+        let x = Tensor::from_vec(vec![100, -100], &[2]).unwrap();
+        let y = lut.apply(&x);
+        // Grid is [−8, 7]: the last entry is code 7, the first is code −8.
+        assert_eq!(y.as_slice()[0], lut.table[(7 + 8) as usize]);
+        assert_eq!(y.as_slice()[1], lut.table[0]);
+    }
+
+    #[test]
+    fn isqrt_exact_floors() {
+        for v in [0i64, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1_000_000, 999_999_999_999] {
+            let r = isqrt(v);
+            assert!(r * r <= v && (r + 1) * (r + 1) > v, "isqrt({v}) = {r}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Range observers for activation calibration.
+//!
+//! During PTQ calibration (and during QAT warm-up) the toolkit streams
+//! activations through an [`Observer`], which tracks the numeric range that
+//! the activation quantizer's scale is then derived from.
+
+use t2c_tensor::Tensor;
+
+/// Which observer an activation quantizer uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObserverKind {
+    /// Running min/max over everything observed.
+    MinMax,
+    /// Exponential moving average of per-batch min/max — robust to
+    /// outlier batches; the default.
+    Ema {
+        /// EMA momentum toward the history (0.95 keeps 95% of history).
+        momentum: f32,
+    },
+    /// Per-batch percentile of |x| with an EMA across batches — clips rare
+    /// outliers entirely.
+    Percentile {
+        /// Fraction of mass to keep, e.g. 0.999.
+        fraction: f32,
+    },
+}
+
+/// Streaming range statistics.
+#[derive(Debug, Clone)]
+pub struct Observer {
+    kind: ObserverKind,
+    min: f32,
+    max: f32,
+    batches: usize,
+}
+
+impl Observer {
+    /// Creates an empty observer.
+    pub fn new(kind: ObserverKind) -> Self {
+        Observer { kind, min: 0.0, max: 0.0, batches: 0 }
+    }
+
+    /// The observer variant.
+    pub fn kind(&self) -> ObserverKind {
+        self.kind
+    }
+
+    /// Number of batches observed so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// `true` once at least one batch has been observed.
+    pub fn is_calibrated(&self) -> bool {
+        self.batches > 0
+    }
+
+    /// Feeds one activation tensor.
+    pub fn observe(&mut self, x: &Tensor<f32>) {
+        if x.numel() == 0 {
+            return;
+        }
+        let (bmin, bmax) = match self.kind {
+            ObserverKind::MinMax | ObserverKind::Ema { .. } => (x.min_value(), x.max_value()),
+            ObserverKind::Percentile { fraction } => percentile_range(x, fraction),
+        };
+        if self.batches == 0 {
+            (self.min, self.max) = (bmin, bmax);
+        } else {
+            match self.kind {
+                ObserverKind::MinMax => {
+                    self.min = self.min.min(bmin);
+                    self.max = self.max.max(bmax);
+                }
+                ObserverKind::Ema { momentum } => {
+                    self.min = momentum * self.min + (1.0 - momentum) * bmin;
+                    self.max = momentum * self.max + (1.0 - momentum) * bmax;
+                }
+                ObserverKind::Percentile { .. } => {
+                    // Percentile batches are EMA-combined with a fixed 0.9.
+                    self.min = 0.9 * self.min + 0.1 * bmin;
+                    self.max = 0.9 * self.max + 0.1 * bmax;
+                }
+            }
+        }
+        self.batches += 1;
+    }
+
+    /// Observed minimum.
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// Observed maximum.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// Largest observed magnitude (symmetric range).
+    pub fn abs_max(&self) -> f32 {
+        self.min.abs().max(self.max.abs())
+    }
+
+    /// Resets to the uncalibrated state.
+    pub fn reset(&mut self) {
+        self.min = 0.0;
+        self.max = 0.0;
+        self.batches = 0;
+    }
+}
+
+/// The `(−p, p)` range keeping `fraction` of |x| mass.
+fn percentile_range(x: &Tensor<f32>, fraction: f32) -> (f32, f32) {
+    let mut mags: Vec<f32> = x.as_slice().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((mags.len() as f32 * fraction) as usize).min(mags.len() - 1);
+    let p = mags[idx];
+    let has_neg = x.min_value() < 0.0;
+    (if has_neg { -p } else { 0.0 }, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_tracks_extremes_across_batches() {
+        let mut obs = Observer::new(ObserverKind::MinMax);
+        obs.observe(&Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap());
+        obs.observe(&Tensor::from_vec(vec![-5.0, 1.0], &[2]).unwrap());
+        assert_eq!(obs.min(), -5.0);
+        assert_eq!(obs.max(), 2.0);
+        assert_eq!(obs.abs_max(), 5.0);
+    }
+
+    #[test]
+    fn ema_smooths_outlier_batch() {
+        let mut obs = Observer::new(ObserverKind::Ema { momentum: 0.9 });
+        obs.observe(&Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap());
+        obs.observe(&Tensor::from_vec(vec![0.0, 100.0], &[2]).unwrap());
+        // One outlier batch only moves the EMA by 10%.
+        assert!(obs.max() < 15.0, "max {}", obs.max());
+        assert!(obs.max() > 1.0);
+    }
+
+    #[test]
+    fn percentile_clips_tail() {
+        let mut data = vec![1.0f32; 999];
+        data.push(1000.0);
+        let mut obs = Observer::new(ObserverKind::Percentile { fraction: 0.99 });
+        obs.observe(&Tensor::from_vec(data, &[1000]).unwrap());
+        assert!(obs.max() < 10.0, "max {}", obs.max());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut obs = Observer::new(ObserverKind::MinMax);
+        obs.observe(&Tensor::ones(&[4]));
+        assert!(obs.is_calibrated());
+        obs.reset();
+        assert!(!obs.is_calibrated());
+        assert_eq!(obs.batches(), 0);
+    }
+
+    #[test]
+    fn empty_tensor_is_ignored() {
+        let mut obs = Observer::new(ObserverKind::MinMax);
+        obs.observe(&Tensor::zeros(&[0]));
+        assert!(!obs.is_calibrated());
+    }
+}

@@ -1,0 +1,165 @@
+//! Quantization target specifications.
+
+use std::fmt;
+
+use crate::fixed::FixedPointFormat;
+use crate::observer::ObserverKind;
+
+/// The integer grid a tensor is quantized onto: bit width and signedness.
+///
+/// Torch2Chip's pipeline is symmetric (zero-point 0): weights use signed
+/// grids, post-ReLU activations use unsigned grids, and signed grids cover
+/// the possibly-negative transformer activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantSpec {
+    /// Bit width (1..=16).
+    pub bits: u8,
+    /// Signed two's-complement (`true`) or unsigned (`false`).
+    pub signed: bool,
+}
+
+impl QuantSpec {
+    /// A signed two's-complement grid of `bits` bits:
+    /// `[-2^(b-1), 2^(b-1)-1]`. The scale is still derived symmetrically
+    /// from `qmax` (the positive side), but the full negative range stays
+    /// usable — at 2 bits this is the difference between 4 levels and a
+    /// ternary grid.
+    pub fn signed(bits: u8) -> Self {
+        QuantSpec { bits, signed: true }
+    }
+
+    /// An unsigned grid of `bits` bits: `[0, 2^b − 1]`.
+    pub fn unsigned(bits: u8) -> Self {
+        QuantSpec { bits, signed: false }
+    }
+
+    /// Smallest representable code.
+    pub fn qmin(&self) -> i32 {
+        if self.signed {
+            -(1i32 << (self.bits - 1))
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable code.
+    pub fn qmax(&self) -> i32 {
+        if self.signed {
+            (1i32 << (self.bits - 1)) - 1
+        } else {
+            (1i32 << self.bits) - 1
+        }
+    }
+
+    /// Number of positive levels (used when computing scales from a
+    /// clipping threshold: `scale = α / levels`).
+    pub fn positive_levels(&self) -> f32 {
+        self.qmax() as f32
+    }
+}
+
+impl fmt::Display for QuantSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.signed { "int" } else { "uint" }, self.bits)
+    }
+}
+
+/// A full layer quantization configuration: weight and activation bit
+/// widths, per-channel weight scaling, observer choice and the fixed-point
+/// format of the fused scale/bias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantConfig {
+    /// Weight grid.
+    pub weight: QuantSpec,
+    /// Activation grid.
+    pub act: QuantSpec,
+    /// Per-output-channel weight scales (`true`) or a single per-tensor
+    /// scale.
+    pub per_channel: bool,
+    /// Observer used to calibrate activation ranges.
+    pub observer: ObserverKind,
+    /// Fixed-point format of the MulQuant scale and bias.
+    pub fixed: FixedPointFormat,
+    /// Keep the first (stem) layer at 8-bit when the target width is below
+    /// 4 bits — standard practice in the sub-4-bit literature (SAWB/PACT,
+    /// PROFIT) that the quantized twins honor. The classifier head is
+    /// always 8-bit per-tensor regardless.
+    pub keep_edges_8bit: bool,
+}
+
+impl QuantConfig {
+    /// A `W<bits>/A<bits>` config for CNNs: signed weights, unsigned
+    /// activations (post-ReLU), per-channel weights, EMA observer.
+    pub fn wa(bits: u8) -> Self {
+        QuantConfig {
+            weight: QuantSpec::signed(bits),
+            act: QuantSpec::unsigned(bits),
+            per_channel: true,
+            observer: ObserverKind::Ema { momentum: 0.95 },
+            fixed: FixedPointFormat::int16_frac12(),
+            keep_edges_8bit: true,
+        }
+    }
+
+    /// A `W<w>/A<a>` config with distinct widths.
+    pub fn w_a(wbits: u8, abits: u8) -> Self {
+        let mut cfg = Self::wa(wbits);
+        cfg.act = QuantSpec::unsigned(abits);
+        cfg
+    }
+
+    /// Transformer variant: signed activations (LayerNorm outputs are
+    /// zero-centred).
+    pub fn vit(bits: u8) -> Self {
+        QuantConfig {
+            weight: QuantSpec::signed(bits),
+            act: QuantSpec::signed(bits),
+            per_channel: false,
+            observer: ObserverKind::Ema { momentum: 0.95 },
+            fixed: FixedPointFormat::int16_frac3(),
+            keep_edges_8bit: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_range_is_full_twos_complement() {
+        let s = QuantSpec::signed(4);
+        assert_eq!(s.qmin(), -8);
+        assert_eq!(s.qmax(), 7);
+        let s8 = QuantSpec::signed(8);
+        assert_eq!((s8.qmin(), s8.qmax()), (-128, 127));
+        // 2-bit keeps 4 usable levels, not a ternary grid.
+        let s2 = QuantSpec::signed(2);
+        assert_eq!((s2.qmin(), s2.qmax()), (-2, 1));
+    }
+
+    #[test]
+    fn unsigned_range() {
+        let u = QuantSpec::unsigned(4);
+        assert_eq!((u.qmin(), u.qmax()), (0, 15));
+        let u8 = QuantSpec::unsigned(8);
+        assert_eq!(u8.qmax(), 255);
+    }
+
+    #[test]
+    fn config_presets() {
+        let c = QuantConfig::wa(4);
+        assert_eq!(c.weight.bits, 4);
+        assert!(c.weight.signed && !c.act.signed);
+        let v = QuantConfig::vit(8);
+        assert!(v.act.signed);
+        let m = QuantConfig::w_a(2, 4);
+        assert_eq!((m.weight.bits, m.act.bits), (2, 4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(QuantSpec::signed(4).to_string(), "int4");
+        assert_eq!(QuantSpec::unsigned(8).to_string(), "uint8");
+    }
+}

@@ -1,0 +1,589 @@
+//! Dual-path quantized layer units (paper §3.1, Figure 2–3).
+//!
+//! A [`QConvUnit`] bundles a convolution (sharing parameter storage with
+//! the vanilla model), its following BatchNorm, its activation, a weight
+//! quantizer and a *post-activation* output quantizer. The unit executes in
+//! one of three [`PathMode`]s:
+//!
+//! * `Float` — plain floating point (FP baseline / pre-calibration).
+//! * `Calibrate` — floating point, but observers stream the activations
+//!   (PTQ calibration; also captures layer I/O for reconstruction).
+//! * `Quant` — the training path: fake-quantized weights and activations,
+//!   fully differentiable, with BatchNorm still live.
+//!
+//! The integer-only inference path is not a mode of these units — it is
+//! *extracted* from them by the converter into an [`crate::IntModel`],
+//! which is the paper's deploy stage (Figure 3c).
+
+use std::cell::{Cell, RefCell};
+
+use t2c_autograd::{Param, Var};
+use t2c_nn::layers::{Activation, BatchNorm2d, Conv2d, Linear};
+use t2c_nn::Module;
+use t2c_tensor::Tensor;
+
+use crate::fuse::BnParams;
+use crate::quantizer::{ActQuantizer, WeightQuantizer};
+use crate::Result;
+
+/// Which computation path a quantized unit executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathMode {
+    /// Plain floating point.
+    Float,
+    /// Floating point with observer updates (and optional I/O capture).
+    Calibrate,
+    /// Fake-quantized training path.
+    #[default]
+    Quant,
+}
+
+/// One captured (input, float output) pair for PTQ reconstruction.
+pub type CapturedIo = (Tensor<f32>, Tensor<f32>);
+
+/// A quantized convolution unit: conv (+BN) (+activation) with a weight
+/// quantizer and a post-activation output quantizer.
+pub struct QConvUnit {
+    conv: Conv2d,
+    bn: Option<BatchNorm2d>,
+    act: Activation,
+    wq: Box<dyn WeightQuantizer>,
+    out_q: Box<dyn ActQuantizer>,
+    /// Pre-activation observer, required when `act` is GELU (the LUT needs
+    /// an input scale); unused for ReLU/Identity.
+    pre_q: Option<Box<dyn ActQuantizer>>,
+    /// Optional layer-input quantizer (the paper's per-layer `X_Q`): used
+    /// when conv inputs run at a lower precision than the activation
+    /// stream feeding them (e.g. A2 conv inputs over an 8-bit residual
+    /// stream).
+    in_q: Option<Box<dyn ActQuantizer>>,
+    mode: Cell<PathMode>,
+    capture: Cell<bool>,
+    captured: RefCell<Vec<CapturedIo>>,
+    name: String,
+}
+
+impl QConvUnit {
+    /// Wraps a conv (+ optional BN) into a quantized unit. The conv/BN
+    /// parameters are *shared* with the vanilla model (paper's
+    /// vanilla→custom step).
+    pub fn new(
+        name: &str,
+        conv: Conv2d,
+        bn: Option<BatchNorm2d>,
+        act: Activation,
+        wq: Box<dyn WeightQuantizer>,
+        out_q: Box<dyn ActQuantizer>,
+    ) -> Self {
+        QConvUnit {
+            conv,
+            bn,
+            act,
+            wq,
+            out_q,
+            pre_q: None,
+            in_q: None,
+            mode: Cell::new(PathMode::Quant),
+            capture: Cell::new(false),
+            captured: RefCell::new(Vec::new()),
+            name: name.to_string(),
+        }
+    }
+
+    /// Installs a layer-input quantizer (per-layer `X_Q`).
+    #[must_use]
+    pub fn with_in_q(mut self, in_q: Box<dyn ActQuantizer>) -> Self {
+        self.in_q = Some(in_q);
+        self
+    }
+
+    /// The layer-input quantizer, if installed.
+    pub fn in_quantizer(&self) -> Option<&dyn ActQuantizer> {
+        self.in_q.as_deref()
+    }
+
+    /// Installs a pre-activation observer (needed for GELU units).
+    #[must_use]
+    pub fn with_pre_q(mut self, pre_q: Box<dyn ActQuantizer>) -> Self {
+        self.pre_q = Some(pre_q);
+        self
+    }
+
+    /// Unit name (diagnostics and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped convolution.
+    pub fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
+
+    /// The BN parameters at fusion time, if a BN is attached.
+    pub fn bn_params(&self) -> Option<BnParams> {
+        self.bn.as_ref().map(BnParams::from_layer)
+    }
+
+    /// The activation following the unit.
+    pub fn act(&self) -> Activation {
+        self.act
+    }
+
+    /// The weight quantizer.
+    pub fn weight_quantizer(&self) -> &dyn WeightQuantizer {
+        self.wq.as_ref()
+    }
+
+    /// The post-activation output quantizer.
+    pub fn out_quantizer(&self) -> &dyn ActQuantizer {
+        self.out_q.as_ref()
+    }
+
+    /// The pre-activation quantizer, if installed.
+    pub fn pre_quantizer(&self) -> Option<&dyn ActQuantizer> {
+        self.pre_q.as_deref()
+    }
+
+    /// Sets the execution path.
+    pub fn set_mode(&self, mode: PathMode) {
+        self.mode.set(mode);
+    }
+
+    /// Current execution path.
+    pub fn mode(&self) -> PathMode {
+        self.mode.get()
+    }
+
+    /// Enables or disables I/O capture (used by PTQ reconstruction).
+    pub fn set_capture(&self, on: bool) {
+        self.capture.set(on);
+        if !on {
+            self.captured.borrow_mut().clear();
+        }
+    }
+
+    /// Drains the captured (input, output) pairs.
+    pub fn take_captured(&self) -> Vec<CapturedIo> {
+        std::mem::take(&mut self.captured.borrow_mut())
+    }
+
+    /// Learnable quantizer parameters of this unit.
+    pub fn quant_trainables(&self) -> Vec<Param> {
+        let mut out = self.wq.trainable();
+        out.extend(self.out_q.trainable());
+        if let Some(pq) = &self.pre_q {
+            out.extend(pq.trainable());
+        }
+        if let Some(iq) = &self.in_q {
+            out.extend(iq.trainable());
+        }
+        out
+    }
+
+    fn forward_core(&self, x: &Var, quantized: bool) -> Result<Var> {
+        let g = x.graph_handle();
+        let x = match (&self.in_q, quantized) {
+            (Some(q), true) => q.train_path(x)?,
+            (Some(q), false) => {
+                if self.mode.get() == PathMode::Calibrate {
+                    q.observe(&x.value());
+                }
+                x.clone()
+            }
+            (None, _) => x.clone(),
+        };
+        let x = &x;
+        let w = g.param(self.conv.weight());
+        let w = if quantized { self.wq.train_path(&w)? } else { w };
+        let b = self.conv.bias().map(|p| g.param(p));
+        let mut h = self.conv.forward_with_weight(x, &w, b.as_ref())?;
+        if let Some(bn) = &self.bn {
+            h = bn.forward(&h)?;
+        }
+        if quantized {
+            if let Some(pq) = &self.pre_q {
+                h = pq.train_path(&h)?;
+            }
+        } else if self.mode.get() == PathMode::Calibrate {
+            if let Some(pq) = &self.pre_q {
+                pq.observe(&h.value());
+            }
+        }
+        self.act.forward(&h)
+    }
+}
+
+impl Module for QConvUnit {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        match self.mode.get() {
+            PathMode::Float => self.forward_core(x, false),
+            PathMode::Calibrate => {
+                self.wq.calibrate(&self.conv.weight().value());
+                let y = self.forward_core(x, false)?;
+                self.out_q.observe(&y.value());
+                if self.capture.get() {
+                    self.captured.borrow_mut().push((x.tensor(), y.tensor()));
+                }
+                Ok(y)
+            }
+            PathMode::Quant => {
+                let y = self.out_q.train_path(&self.forward_core(x, true)?)?;
+                if self.capture.get() {
+                    self.captured.borrow_mut().push((x.tensor(), y.tensor()));
+                }
+                Ok(y)
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut out = self.conv.params();
+        if let Some(bn) = &self.bn {
+            out.extend(bn.params());
+        }
+        out
+    }
+
+    fn set_training(&self, training: bool) {
+        if let Some(bn) = &self.bn {
+            bn.set_training(training);
+        }
+        self.out_q.set_frozen(!training);
+        if let Some(pq) = &self.pre_q {
+            pq.set_frozen(!training);
+        }
+        if let Some(iq) = &self.in_q {
+            iq.set_frozen(!training);
+        }
+    }
+}
+
+impl std::fmt::Debug for QConvUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QConvUnit({}, wq: {}, out_q: {}, bn: {})",
+            self.name,
+            self.wq.name(),
+            self.out_q.name(),
+            self.bn.is_some()
+        )
+    }
+}
+
+/// A quantized linear unit (optionally with activation and output
+/// quantizer; the classifier head omits the output quantizer and leaves
+/// its logits in the raw accumulator domain, where argmax is
+/// scale-invariant).
+pub struct QLinearUnit {
+    linear: Linear,
+    act: Activation,
+    wq: Box<dyn WeightQuantizer>,
+    out_q: Option<Box<dyn ActQuantizer>>,
+    pre_q: Option<Box<dyn ActQuantizer>>,
+    mode: Cell<PathMode>,
+    name: String,
+}
+
+impl QLinearUnit {
+    /// Wraps a linear layer into a quantized unit.
+    pub fn new(
+        name: &str,
+        linear: Linear,
+        act: Activation,
+        wq: Box<dyn WeightQuantizer>,
+        out_q: Option<Box<dyn ActQuantizer>>,
+    ) -> Self {
+        QLinearUnit {
+            linear,
+            act,
+            wq,
+            out_q,
+            pre_q: None,
+            mode: Cell::new(PathMode::Quant),
+            name: name.to_string(),
+        }
+    }
+
+    /// Installs a pre-activation observer (needed for GELU units).
+    #[must_use]
+    pub fn with_pre_q(mut self, pre_q: Box<dyn ActQuantizer>) -> Self {
+        self.pre_q = Some(pre_q);
+        self
+    }
+
+    /// Unit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped linear layer.
+    pub fn linear(&self) -> &Linear {
+        &self.linear
+    }
+
+    /// The weight quantizer.
+    pub fn weight_quantizer(&self) -> &dyn WeightQuantizer {
+        self.wq.as_ref()
+    }
+
+    /// The output quantizer, if any.
+    pub fn out_quantizer(&self) -> Option<&dyn ActQuantizer> {
+        self.out_q.as_deref()
+    }
+
+    /// The pre-activation quantizer, if installed.
+    pub fn pre_quantizer(&self) -> Option<&dyn ActQuantizer> {
+        self.pre_q.as_deref()
+    }
+
+    /// The activation following the unit.
+    pub fn act(&self) -> Activation {
+        self.act
+    }
+
+    /// Sets the execution path.
+    pub fn set_mode(&self, mode: PathMode) {
+        self.mode.set(mode);
+    }
+
+    /// Learnable quantizer parameters of this unit.
+    pub fn quant_trainables(&self) -> Vec<Param> {
+        let mut out = self.wq.trainable();
+        if let Some(q) = &self.out_q {
+            out.extend(q.trainable());
+        }
+        if let Some(q) = &self.pre_q {
+            out.extend(q.trainable());
+        }
+        out
+    }
+}
+
+impl Module for QLinearUnit {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let g = x.graph_handle();
+        let quantized = self.mode.get() == PathMode::Quant;
+        if self.mode.get() == PathMode::Calibrate {
+            self.wq.calibrate(&self.linear.weight().value());
+        }
+        let w = g.param(self.linear.weight());
+        let w = if quantized { self.wq.train_path(&w)? } else { w };
+        let b = self.linear.bias().map(|p| g.param(p));
+        let mut h = self.linear.forward_with_weight(x, &w, b.as_ref())?;
+        if quantized {
+            if let Some(pq) = &self.pre_q {
+                h = pq.train_path(&h)?;
+            }
+        } else if self.mode.get() == PathMode::Calibrate {
+            if let Some(pq) = &self.pre_q {
+                pq.observe(&h.value());
+            }
+        }
+        let y = self.act.forward(&h)?;
+        match (&self.out_q, self.mode.get()) {
+            (Some(q), PathMode::Quant) => q.train_path(&y),
+            (Some(q), PathMode::Calibrate) => {
+                q.observe(&y.value());
+                Ok(y)
+            }
+            _ => Ok(y),
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.linear.params()
+    }
+
+    fn set_training(&self, training: bool) {
+        if let Some(q) = &self.out_q {
+            q.set_frozen(!training);
+        }
+        if let Some(q) = &self.pre_q {
+            q.set_frozen(!training);
+        }
+    }
+}
+
+impl std::fmt::Debug for QLinearUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QLinearUnit({}, wq: {})", self.name, self.wq.name())
+    }
+}
+
+/// A quantized residual add: `out_q(act(a + b))`.
+pub struct QAdd {
+    act: Activation,
+    out_q: Box<dyn ActQuantizer>,
+    mode: Cell<PathMode>,
+}
+
+impl QAdd {
+    /// Creates the add with its own output quantizer.
+    pub fn new(act: Activation, out_q: Box<dyn ActQuantizer>) -> Self {
+        QAdd { act, out_q, mode: Cell::new(PathMode::Quant) }
+    }
+
+    /// The output quantizer.
+    pub fn out_quantizer(&self) -> &dyn ActQuantizer {
+        self.out_q.as_ref()
+    }
+
+    /// The activation applied after the add.
+    pub fn act(&self) -> Activation {
+        self.act
+    }
+
+    /// Sets the execution path.
+    pub fn set_mode(&self, mode: PathMode) {
+        self.mode.set(mode);
+    }
+
+    /// Freezes or unfreezes the output quantizer's observer.
+    pub fn set_training(&self, training: bool) {
+        self.out_q.set_frozen(!training);
+    }
+
+    /// Applies the residual combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn forward(&self, a: &Var, b: &Var) -> Result<Var> {
+        let y = self.act.forward(&a.add(b)?)?;
+        match self.mode.get() {
+            PathMode::Quant => self.out_q.train_path(&y),
+            PathMode::Calibrate => {
+                self.out_q.observe(&y.value());
+                Ok(y)
+            }
+            PathMode::Float => Ok(y),
+        }
+    }
+}
+
+impl std::fmt::Debug for QAdd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QAdd(out_q: {})", self.out_q.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::ObserverKind;
+    use crate::quantizer::{MinMaxAct, MinMaxWeight};
+    use crate::QuantSpec;
+    use t2c_autograd::Graph;
+    use t2c_tensor::ops::Conv2dSpec;
+    use t2c_tensor::rng::TensorRng;
+
+    fn unit(rng: &mut TensorRng) -> QConvUnit {
+        let conv = Conv2d::new(rng, "c", 2, 4, 3, Conv2dSpec::new(1, 1), false);
+        let bn = BatchNorm2d::new("bn", 4);
+        QConvUnit::new(
+            "u",
+            conv,
+            Some(bn),
+            Activation::Relu,
+            Box::new(MinMaxWeight::new(QuantSpec::signed(4), true)),
+            Box::new(MinMaxAct::new(QuantSpec::unsigned(4), ObserverKind::MinMax)),
+        )
+    }
+
+    #[test]
+    fn float_mode_does_not_calibrate() {
+        let mut rng = TensorRng::seed_from(20);
+        let u = unit(&mut rng);
+        u.set_mode(PathMode::Float);
+        let g = Graph::new();
+        u.forward(&g.leaf(rng.normal(&[2, 2, 6, 6], 0.0, 1.0))).unwrap();
+        assert!(!u.out_quantizer().is_calibrated());
+    }
+
+    #[test]
+    fn calibrate_mode_feeds_observer_and_captures() {
+        let mut rng = TensorRng::seed_from(21);
+        let u = unit(&mut rng);
+        u.set_mode(PathMode::Calibrate);
+        u.set_capture(true);
+        let g = Graph::new();
+        u.forward(&g.leaf(rng.normal(&[2, 2, 6, 6], 0.0, 1.0))).unwrap();
+        assert!(u.out_quantizer().is_calibrated());
+        assert_eq!(u.take_captured().len(), 1);
+    }
+
+    #[test]
+    fn quant_mode_output_lies_on_grid() {
+        let mut rng = TensorRng::seed_from(22);
+        let u = unit(&mut rng);
+        u.set_training(false);
+        u.set_mode(PathMode::Calibrate);
+        let g = Graph::new();
+        let x = rng.normal(&[2, 2, 6, 6], 0.0, 1.0);
+        u.forward(&g.leaf(x.clone())).unwrap();
+        u.set_mode(PathMode::Quant);
+        let g2 = Graph::new();
+        let y = u.forward(&g2.leaf(x)).unwrap().tensor();
+        let s = u.out_quantizer().scale();
+        for &v in y.as_slice() {
+            let code = v / s;
+            assert!((code - code.round()).abs() < 1e-3, "value {v} not on grid (scale {s})");
+        }
+    }
+
+    #[test]
+    fn quant_mode_gradients_flow_to_weights() {
+        let mut rng = TensorRng::seed_from(23);
+        let u = unit(&mut rng);
+        let g = Graph::new();
+        let y = u.forward(&g.leaf(rng.normal(&[1, 2, 6, 6], 0.0, 1.0))).unwrap();
+        y.square().mean_all().backward().unwrap();
+        assert!(u.conv().weight().grad().abs_max() > 0.0);
+    }
+
+    #[test]
+    fn input_quantizer_constrains_conv_inputs() {
+        let mut rng = TensorRng::seed_from(25);
+        let conv = Conv2d::new(&mut rng, "c", 2, 4, 3, Conv2dSpec::new(1, 1), false);
+        let in_q = MinMaxAct::new(QuantSpec::unsigned(2), ObserverKind::MinMax);
+        in_q.observe(&Tensor::from_vec(vec![0.0_f32, 3.0], &[2]).unwrap());
+        let u = QConvUnit::new(
+            "u",
+            conv,
+            None,
+            Activation::Relu,
+            Box::new(MinMaxWeight::new(QuantSpec::signed(8), true)),
+            Box::new(MinMaxAct::new(QuantSpec::unsigned(8), ObserverKind::MinMax)),
+        )
+        .with_in_q(Box::new(in_q));
+        assert!(u.in_quantizer().is_some());
+        // Calibrate pass seeds the out observer, then the quant pass runs
+        // with the 2-bit input grid without error.
+        u.set_mode(PathMode::Calibrate);
+        let g = Graph::new();
+        let x = rng.uniform(&[1, 2, 5, 5], 0.0, 3.0);
+        u.forward(&g.leaf(x.clone())).unwrap();
+        u.set_mode(PathMode::Quant);
+        let g2 = Graph::new();
+        let y = u.forward(&g2.leaf(x)).unwrap();
+        assert!(y.tensor().all_finite());
+        // The in-quantizer is included in the trainables plumbing.
+        let _ = u.quant_trainables();
+    }
+
+    #[test]
+    fn qadd_combines_and_quantizes() {
+        let mut rng = TensorRng::seed_from(24);
+        let add = QAdd::new(
+            Activation::Relu,
+            Box::new(MinMaxAct::new(QuantSpec::unsigned(8), ObserverKind::MinMax)),
+        );
+        let g = Graph::new();
+        let a = g.leaf(rng.normal(&[1, 4], 0.0, 1.0));
+        let b = g.leaf(rng.normal(&[1, 4], 0.0, 1.0));
+        let y = add.forward(&a, &b).unwrap().tensor();
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(add.out_quantizer().is_calibrated());
+    }
+}

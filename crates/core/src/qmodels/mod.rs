@@ -1,0 +1,259 @@
+//! Quantized model twins of the `t2c-nn` model zoo.
+//!
+//! A quantized twin is built *from* a floating-point model
+//! ([`QResNet::from_float`] etc.) and **shares its parameter storage** —
+//! the paper's "vanilla → custom" step. Training the twin (QAT) therefore
+//! updates the same tensors; converting it ([`crate::T2C`]) extracts
+//! integer-only parameters back out ("custom → vanilla").
+//!
+//! Which quantization algorithm runs inside every layer is decided by a
+//! [`QuantFactory`] — the user-customization point. The factory presets
+//! cover every method the paper evaluates; `QuantFactory::custom` accepts
+//! arbitrary user closures.
+
+mod qmobilenet;
+mod qresnet;
+mod qvit;
+
+pub use qmobilenet::QMobileNet;
+pub use qresnet::QResNet;
+pub use qvit::QViT;
+
+use t2c_autograd::Param;
+use t2c_nn::Module;
+
+use crate::observer::ObserverKind;
+use crate::qlayers::{PathMode, QConvUnit};
+use crate::quantizer::{
+    ActQuantizer, AdaRoundWeight, LsqAct, LsqWeight, MinMaxAct, MinMaxWeight, PactAct, PotWeight,
+    QDropAct, RcfAct, RcfWeight, SawbWeight, WeightQuantizer,
+};
+use crate::{FuseScheme, IntModel, QuantConfig, QuantSpec, Result};
+
+/// Closure producing a weight quantizer for a named layer.
+pub type WeightFactoryFn = dyn Fn(&str, QuantSpec, bool) -> Box<dyn WeightQuantizer>;
+/// Closure producing an activation quantizer for a named site.
+pub type ActFactoryFn = dyn Fn(&str, QuantSpec) -> Box<dyn ActQuantizer>;
+
+/// The user-customization point: decides which quantizer runs at every
+/// weight and activation site of a model.
+pub struct QuantFactory {
+    config: QuantConfig,
+    weight_fn: Box<WeightFactoryFn>,
+    act_fn: Box<ActFactoryFn>,
+    method: String,
+}
+
+impl QuantFactory {
+    /// Fully custom factory from user closures.
+    pub fn custom(
+        method: impl Into<String>,
+        config: QuantConfig,
+        weight_fn: Box<WeightFactoryFn>,
+        act_fn: Box<ActFactoryFn>,
+    ) -> Self {
+        QuantFactory { config, weight_fn, act_fn, method: method.into() }
+    }
+
+    /// MinMax everywhere — the OpenVINO-style / PyTorch-native baseline.
+    pub fn minmax(config: QuantConfig) -> Self {
+        Self::custom(
+            "minmax",
+            config,
+            Box::new(|_, spec, pc| Box::new(MinMaxWeight::new(spec, pc))),
+            Box::new(move |_, spec| Box::new(MinMaxAct::new(spec, config.observer))),
+        )
+    }
+
+    /// SAWB weights + PACT activations — the paper's 2-bit QAT recipe.
+    pub fn sawb_pact(config: QuantConfig) -> Self {
+        Self::custom(
+            "sawb+pact",
+            config,
+            Box::new(|_, spec, _| Box::new(SawbWeight::new(spec))),
+            Box::new(move |name, spec| {
+                if spec.signed {
+                    // PACT assumes post-ReLU inputs; signed sites fall back
+                    // to the observer-based quantizer.
+                    Box::new(MinMaxAct::new(spec, config.observer))
+                } else {
+                    Box::new(PactAct::new(name, spec))
+                }
+            }),
+        )
+    }
+
+    /// RCF (reparameterized clipping) on weights and activations — the
+    /// paper's ResNet-18 / ViT-7 QAT recipe.
+    pub fn rcf(config: QuantConfig) -> Self {
+        Self::custom(
+            "rcf",
+            config,
+            Box::new(|name, spec, _| Box::new(RcfWeight::new(name, spec))),
+            Box::new(|name, spec| Box::new(RcfAct::new(name, spec))),
+        )
+    }
+
+    /// Power-of-two weights (shift-only multiplies) with RCF activations —
+    /// the non-uniform grid of Li et al. 2020. Weight bits are clamped to
+    /// the PoT-supported 3–6 range.
+    pub fn pot(config: QuantConfig) -> Self {
+        Self::custom(
+            "pot",
+            config,
+            Box::new(|_, spec, _| Box::new(PotWeight::new(spec.bits.clamp(3, 6)))),
+            Box::new(|name, spec| Box::new(RcfAct::new(name, spec))),
+        )
+    }
+
+    /// LSQ (learned step size) everywhere.
+    pub fn lsq(config: QuantConfig) -> Self {
+        Self::custom(
+            "lsq",
+            config,
+            Box::new(|name, spec, _| Box::new(LsqWeight::new(name, spec))),
+            Box::new(|name, spec| Box::new(LsqAct::new(name, spec))),
+        )
+    }
+
+    /// AdaRound weights + observer activations — PTQ with learned rounding.
+    pub fn adaround(config: QuantConfig) -> Self {
+        Self::custom(
+            "adaround",
+            config,
+            Box::new(|name, spec, pc| Box::new(AdaRoundWeight::new(name, spec, pc))),
+            Box::new(move |_, spec| Box::new(MinMaxAct::new(spec, config.observer))),
+        )
+    }
+
+    /// QDrop: AdaRound weights + stochastically dropped activation
+    /// quantization — the paper's Table 1 headline PTQ method.
+    pub fn qdrop(config: QuantConfig, drop_prob: f32, seed: u64) -> Self {
+        let counter = std::cell::Cell::new(seed);
+        Self::custom(
+            "qdrop",
+            config,
+            Box::new(|name, spec, pc| Box::new(AdaRoundWeight::new(name, spec, pc))),
+            Box::new(move |_, spec| {
+                counter.set(counter.get().wrapping_add(1));
+                Box::new(QDropAct::new(spec, config.observer, drop_prob, counter.get()))
+            }),
+        )
+    }
+
+    /// The algorithm name (for reports).
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The layer configuration.
+    pub fn config(&self) -> QuantConfig {
+        self.config
+    }
+
+    /// A weight quantizer for a named layer.
+    pub fn weight(&self, name: &str) -> Box<dyn WeightQuantizer> {
+        (self.weight_fn)(name, self.config.weight, self.config.per_channel)
+    }
+
+    /// An activation quantizer for a post-ReLU (unsigned) site.
+    pub fn act(&self, name: &str) -> Box<dyn ActQuantizer> {
+        (self.act_fn)(name, self.config.act)
+    }
+
+    /// An activation quantizer for a signed site (pre-activation values,
+    /// residual streams, transformer tokens).
+    pub fn act_signed(&self, name: &str) -> Box<dyn ActQuantizer> {
+        (self.act_fn)(name, QuantSpec::signed(self.config.act.bits))
+    }
+
+    /// The quantizer for the model input (always signed, observer-based:
+    /// images are preprocessed floats).
+    pub fn input(&self) -> Box<dyn ActQuantizer> {
+        Box::new(MinMaxAct::new(QuantSpec::signed(8), ObserverKind::MinMax))
+    }
+
+    /// `true` when the stem should stay at 8 bits under this config.
+    fn widen_stem(&self) -> bool {
+        self.config.keep_edges_8bit && self.config.weight.bits < 4
+    }
+
+    /// `true` when conv inputs run below the 8-bit activation stream.
+    ///
+    /// Sub-8-bit activation configs follow the cited 2/4-bit recipes
+    /// (SAWB+PACT, PROFIT): the inter-layer activation *stream* (residual
+    /// adds, block outputs) stays at 8 bits while every convolution reads
+    /// its input through a dedicated low-precision quantizer — the paper's
+    /// per-layer `X_Q` (Eq. 1). At deployment this becomes one integer
+    /// `Requant` op per conv input.
+    pub fn narrow_acts(&self) -> bool {
+        self.config.act.bits < 8
+    }
+
+    /// The 8-bit unsigned quantizer for a stream site (post-ReLU).
+    pub fn stream_act(&self, name: &str) -> Box<dyn ActQuantizer> {
+        (self.act_fn)(name, QuantSpec::unsigned(8))
+    }
+
+    /// The 8-bit signed quantizer for a stream site (pre-add branches).
+    pub fn stream_act_signed(&self, name: &str) -> Box<dyn ActQuantizer> {
+        (self.act_fn)(name, QuantSpec::signed(8))
+    }
+
+    /// The low-precision conv-input quantizer, when the config is
+    /// sub-8-bit (`None` at 8 bits — the stream itself is the input).
+    pub fn conv_in(&self, name: &str) -> Option<Box<dyn ActQuantizer>> {
+        self.narrow_acts().then(|| (self.act_fn)(name, self.config.act))
+    }
+
+    /// A weight quantizer for the stem (first) layer — 8-bit when the
+    /// sub-4-bit edge rule applies.
+    pub fn stem_weight(&self, name: &str) -> Box<dyn WeightQuantizer> {
+        if self.widen_stem() {
+            (self.weight_fn)(name, QuantSpec::signed(8), self.config.per_channel)
+        } else {
+            self.weight(name)
+        }
+    }
+
+    /// An activation quantizer for the stem output — 8-bit when the
+    /// sub-4-bit edge rule applies.
+    pub fn stem_act(&self, name: &str) -> Box<dyn ActQuantizer> {
+        if self.widen_stem() {
+            (self.act_fn)(name, QuantSpec::unsigned(8))
+        } else {
+            self.act(name)
+        }
+    }
+}
+
+impl std::fmt::Debug for QuantFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QuantFactory({}, {:?})", self.method, self.config)
+    }
+}
+
+/// The converter-facing contract every quantized twin implements.
+pub trait QuantModel: Module {
+    /// Switches all units between Float / Calibrate / Quant paths.
+    fn set_path(&self, mode: PathMode);
+
+    /// Learnable quantizer parameters across the whole model.
+    fn quant_trainables(&self) -> Vec<Param>;
+
+    /// Convolution units in execution order (PTQ reconstruction targets).
+    fn conv_units(&self) -> Vec<&QConvUnit> {
+        Vec::new()
+    }
+
+    /// Extracts the integer-only model (paper's deploy stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any quantizer is uncalibrated or shapes
+    /// mismatch.
+    fn to_int(&self, scheme: FuseScheme) -> Result<IntModel>;
+
+    /// The compression method's name.
+    fn method(&self) -> &str;
+}

@@ -1,0 +1,244 @@
+//! AdaRound — adaptive rounding for post-training quantization
+//! (Nagel et al., 2020).
+//!
+//! Instead of rounding to nearest, AdaRound *learns* whether each weight
+//! rounds up or down, minimizing a layer-reconstruction loss. Training path
+//! (paper Eq. 5): `W_Q = ⌊W/S⌋ + h(α)` with the rectified sigmoid
+//! `h(α) = clamp(1.2·σ(α) − 0.1, 0, 1)`. Inference path (paper Eq. 6):
+//! `W_Q = ⌊W/S⌋ + 1{α ≥ 0}`.
+//!
+//! The paper calls out exactly this asymmetry as the reason AdaRound does
+//! not fit PyTorch's built-in quantization; in Torch2Chip both paths live
+//! on the same quantizer object and the conversion to integers is
+//! automatic.
+
+use std::cell::RefCell;
+
+use t2c_autograd::{Param, Var};
+use t2c_tensor::Tensor;
+
+use crate::quantizer::{abs_max_per_channel, Scale, WeightQuantizer};
+use crate::{QuantSpec, Result};
+
+/// The rectified-sigmoid relaxation `h(α)`.
+fn h_alpha(a: f32) -> f32 {
+    (1.2 / (1.0 + (-a).exp()) - 0.1).clamp(0.0, 1.0)
+}
+
+/// Learned-rounding weight quantizer.
+#[derive(Debug)]
+pub struct AdaRoundWeight {
+    spec: QuantSpec,
+    per_channel: bool,
+    scale: RefCell<Scale>,
+    alpha: RefCell<Option<Param>>,
+    name: String,
+}
+
+impl AdaRoundWeight {
+    /// Creates the quantizer; the per-element rounding offsets α are
+    /// allocated on first calibration.
+    pub fn new(name: &str, spec: QuantSpec, per_channel: bool) -> Self {
+        AdaRoundWeight {
+            spec,
+            per_channel,
+            scale: RefCell::new(Scale::PerTensor(1.0)),
+            alpha: RefCell::new(None),
+            name: name.to_string(),
+        }
+    }
+
+    /// The learnable rounding-offset parameter, once allocated.
+    pub fn alpha(&self) -> Option<Param> {
+        self.alpha.borrow().clone()
+    }
+
+    /// The rounding-regularizer `Σ 1 − |2h(α) − 1|^β` that anneals the
+    /// offsets toward binary decisions during reconstruction.
+    pub fn round_regularizer(&self, beta: f32) -> f32 {
+        match &*self.alpha.borrow() {
+            Some(alpha) => alpha
+                .value()
+                .as_slice()
+                .iter()
+                .map(|&a| 1.0 - (2.0 * h_alpha(a) - 1.0).abs().powf(beta))
+                .sum(),
+            None => 0.0,
+        }
+    }
+
+    fn per_channel_scales(&self, dims: &[usize]) -> Vec<f32> {
+        let oc = dims[0];
+        self.scale.borrow().to_per_channel(oc)
+    }
+
+    fn ensure_alpha(&self, w: &Tensor<f32>) {
+        let mut slot = self.alpha.borrow_mut();
+        if slot.is_none() {
+            // Initialize α so h(α) reproduces nearest rounding:
+            // frac = w/S − ⌊w/S⌋, α = σ⁻¹((frac + 0.1)/1.2).
+            let scales = self.per_channel_scales(w.dims());
+            let inner = w.numel() / w.dim(0).max(1);
+            let alpha0 = Tensor::from_fn(w.dims(), |i| {
+                let s = scales[i / inner.max(1)];
+                let u = w.as_slice()[i] / s;
+                let frac = (u - u.floor()).clamp(0.011, 0.989);
+                let p = (frac + 0.1) / 1.2;
+                (p / (1.0 - p)).ln()
+            });
+            *slot = Some(Param::new(format!("{}.ada_alpha", self.name), alpha0));
+        }
+    }
+}
+
+impl WeightQuantizer for AdaRoundWeight {
+    fn name(&self) -> &'static str {
+        "adaround"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    fn calibrate(&self, w: &Tensor<f32>) {
+        let scale = if self.per_channel {
+            Scale::PerChannel(abs_max_per_channel(w, self.spec))
+        } else {
+            Scale::PerTensor((w.abs_max() / self.spec.positive_levels()).max(f32::MIN_POSITIVE))
+        };
+        *self.scale.borrow_mut() = scale;
+        self.ensure_alpha(w);
+    }
+
+    fn scale(&self) -> Scale {
+        self.scale.borrow().clone()
+    }
+
+    fn train_path(&self, w: &Var) -> Result<Var> {
+        // PTQ: the scale is frozen at calibration; only α learns.
+        let wv = w.value();
+        if self.alpha.borrow().is_none() {
+            self.calibrate(&wv);
+        }
+        let scales = self.per_channel_scales(wv.dims());
+        let inner = wv.numel() / wv.dim(0).max(1);
+        let g = w.graph_handle();
+        let alpha = self.alpha.borrow().clone().expect("alpha allocated");
+        let alpha_var = g.param(&alpha);
+        // floor(w/S) as a constant (PTQ does not differentiate w).
+        let floor_codes = Tensor::from_fn(wv.dims(), |i| {
+            let s = scales[i / inner.max(1)];
+            (wv.as_slice()[i] / s).floor()
+        });
+        let scale_t = Tensor::from_fn(wv.dims(), |i| scales[i / inner.max(1)]);
+        let floor_leaf = g.leaf(floor_codes);
+        let scale_leaf = g.leaf(scale_t);
+        // h(α) = clamp(1.2σ(α) − 0.1, 0, 1)
+        let h = alpha_var.sigmoid().mul_scalar(1.2).add_scalar(-0.1).clamp(0.0, 1.0);
+        let codes = floor_leaf.add(&h)?.clamp_ste(self.spec.qmin() as f32, self.spec.qmax() as f32);
+        codes.mul(&scale_leaf)
+    }
+
+    fn quantize(&self, w: &Tensor<f32>) -> Tensor<i32> {
+        let scales = self.per_channel_scales(w.dims());
+        let inner = w.numel() / w.dim(0).max(1);
+        let alpha = self.alpha.borrow();
+        let mut out = Tensor::<i32>::zeros(w.dims());
+        let os = out.as_mut_slice();
+        for i in 0..w.numel() {
+            let s = scales[i / inner.max(1)];
+            let base = (w.as_slice()[i] / s).floor() as i32;
+            let up = match &*alpha {
+                Some(a) => i32::from(a.value().as_slice()[i] >= 0.0),
+                // Uncalibrated fallback: nearest rounding.
+                None => i32::from((w.as_slice()[i] / s) - (w.as_slice()[i] / s).floor() >= 0.5),
+            };
+            os[i] = (base + up).clamp(self.spec.qmin(), self.spec.qmax());
+        }
+        out
+    }
+
+    fn trainable(&self) -> Vec<Param> {
+        self.alpha.borrow().clone().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::rng::TensorRng;
+
+    #[test]
+    fn h_alpha_is_a_rectified_sigmoid() {
+        assert_eq!(h_alpha(-20.0), 0.0);
+        assert_eq!(h_alpha(20.0), 1.0);
+        assert!((h_alpha(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn initial_alpha_reproduces_nearest_rounding() {
+        let mut rng = TensorRng::seed_from(10);
+        let w = rng.normal(&[4, 8], 0.0, 0.5);
+        let q = AdaRoundWeight::new("t", QuantSpec::signed(8), true);
+        q.calibrate(&w);
+        let ada = q.quantize(&w);
+        // Compare with plain nearest rounding at the same scales.
+        let nearest = crate::quantizer::quantize_per_channel(
+            &w,
+            &q.scale().to_per_channel(4),
+            QuantSpec::signed(8),
+        );
+        let diff: usize = ada
+            .as_slice()
+            .iter()
+            .zip(nearest.as_slice())
+            .filter(|(a, b)| a != b)
+            .count();
+        // h(α) sits on the nearest side initially; ties may differ.
+        assert!(diff <= w.numel() / 10, "{diff} of {} codes differ", w.numel());
+    }
+
+    #[test]
+    fn alpha_gradient_flows_through_train_path() {
+        let mut rng = TensorRng::seed_from(11);
+        let w0 = rng.normal(&[2, 4], 0.0, 0.5);
+        let q = AdaRoundWeight::new("t", QuantSpec::signed(8), false);
+        q.calibrate(&w0);
+        let alpha = q.alpha().unwrap();
+        alpha.zero_grad();
+        let g = Graph::new();
+        let w = g.leaf(w0);
+        let y = q.train_path(&w).unwrap();
+        y.square().mean_all().backward().unwrap();
+        assert!(alpha.grad().abs_max() > 0.0);
+    }
+
+    #[test]
+    fn hardened_rounding_follows_alpha_sign() {
+        let w = Tensor::from_vec(vec![0.24_f32, 0.26], &[1, 2]).unwrap();
+        let q = AdaRoundWeight::new("t", QuantSpec::signed(8), false);
+        q.calibrate(&w);
+        let alpha = q.alpha().unwrap();
+        // Force: first rounds up, second rounds down.
+        alpha.set_value(Tensor::from_vec(vec![5.0, -5.0], &[1, 2]).unwrap());
+        let s = match q.scale() {
+            Scale::PerTensor(s) => s,
+            _ => unreachable!(),
+        };
+        let codes = q.quantize(&w);
+        assert_eq!(codes.as_slice()[0], (0.24 / s).floor() as i32 + 1);
+        assert_eq!(codes.as_slice()[1], (0.26 / s).floor() as i32);
+    }
+
+    #[test]
+    fn regularizer_vanishes_when_binary() {
+        let w = Tensor::from_vec(vec![0.3_f32, 0.7], &[1, 2]).unwrap();
+        let q = AdaRoundWeight::new("t", QuantSpec::signed(8), false);
+        q.calibrate(&w);
+        q.alpha().unwrap().set_value(Tensor::from_vec(vec![30.0, -30.0], &[1, 2]).unwrap());
+        assert!(q.round_regularizer(2.0) < 1e-5);
+        q.alpha().unwrap().set_value(Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap());
+        assert!(q.round_regularizer(2.0) > 1.9);
+    }
+}

@@ -1,0 +1,187 @@
+//! MinMax quantizers — the non-customized baseline every industry toolkit
+//! ships (the paper's OpenVINO comparison row).
+
+use std::cell::RefCell;
+
+use t2c_autograd::Var;
+use t2c_tensor::Tensor;
+
+use crate::observer::{Observer, ObserverKind};
+use crate::quantizer::{
+    abs_max_per_channel, fake_quant_per_channel, fake_quant_per_tensor, quantize_per_channel,
+    quantize_per_tensor, ActQuantizer, Scale, WeightQuantizer,
+};
+use crate::{QuantSpec, Result};
+
+/// Symmetric abs-max weight quantizer, per-tensor or per-output-channel.
+#[derive(Debug)]
+pub struct MinMaxWeight {
+    spec: QuantSpec,
+    per_channel: bool,
+    scale: RefCell<Scale>,
+}
+
+impl MinMaxWeight {
+    /// Creates the quantizer (scale is derived on first use).
+    pub fn new(spec: QuantSpec, per_channel: bool) -> Self {
+        MinMaxWeight { spec, per_channel, scale: RefCell::new(Scale::PerTensor(1.0)) }
+    }
+}
+
+impl WeightQuantizer for MinMaxWeight {
+    fn name(&self) -> &'static str {
+        "minmax"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    fn calibrate(&self, w: &Tensor<f32>) {
+        let scale = if self.per_channel {
+            Scale::PerChannel(abs_max_per_channel(w, self.spec))
+        } else {
+            Scale::PerTensor((w.abs_max() / self.spec.positive_levels()).max(f32::MIN_POSITIVE))
+        };
+        *self.scale.borrow_mut() = scale;
+    }
+
+    fn scale(&self) -> Scale {
+        self.scale.borrow().clone()
+    }
+
+    fn train_path(&self, w: &Var) -> Result<Var> {
+        self.calibrate(&w.value());
+        match &*self.scale.borrow() {
+            Scale::PerTensor(s) => fake_quant_per_tensor(w, *s, self.spec),
+            Scale::PerChannel(scales) => fake_quant_per_channel(w, scales, self.spec),
+        }
+    }
+
+    fn quantize(&self, w: &Tensor<f32>) -> Tensor<i32> {
+        match &*self.scale.borrow() {
+            Scale::PerTensor(s) => quantize_per_tensor(w, *s, self.spec),
+            Scale::PerChannel(scales) => quantize_per_channel(w, scales, self.spec),
+        }
+    }
+}
+
+/// Observer-driven symmetric activation quantizer.
+#[derive(Debug)]
+pub struct MinMaxAct {
+    spec: QuantSpec,
+    observer: RefCell<Observer>,
+    frozen: std::cell::Cell<bool>,
+}
+
+impl MinMaxAct {
+    /// Creates the quantizer with the given observer policy.
+    pub fn new(spec: QuantSpec, observer: ObserverKind) -> Self {
+        MinMaxAct {
+            spec,
+            observer: RefCell::new(Observer::new(observer)),
+            frozen: std::cell::Cell::new(false),
+        }
+    }
+
+    fn current_scale(&self) -> f32 {
+        let obs = self.observer.borrow();
+        let range = if self.spec.signed { obs.abs_max() } else { obs.max().max(0.0) };
+        (range / self.spec.positive_levels()).max(f32::MIN_POSITIVE)
+    }
+}
+
+impl ActQuantizer for MinMaxAct {
+    fn name(&self) -> &'static str {
+        "minmax"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    fn observe(&self, x: &Tensor<f32>) {
+        // Explicit calibration always updates; `frozen` only gates the
+        // train path's implicit observation below.
+        self.observer.borrow_mut().observe(x);
+    }
+
+    fn is_calibrated(&self) -> bool {
+        self.observer.borrow().is_calibrated()
+    }
+
+    fn set_frozen(&self, frozen: bool) {
+        self.frozen.set(frozen);
+    }
+
+    fn scale(&self) -> f32 {
+        self.current_scale()
+    }
+
+    fn train_path(&self, x: &Var) -> Result<Var> {
+        if !self.frozen.get() {
+            self.observe(&x.value());
+        }
+        fake_quant_per_tensor(x, self.current_scale(), self.spec)
+    }
+
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        quantize_per_tensor(x, self.current_scale(), self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+
+    #[test]
+    fn weight_quantizer_round_trip_error_bound() {
+        let w = Tensor::from_vec(vec![0.9_f32, -0.5, 0.1, -0.02], &[2, 2]).unwrap();
+        let q = MinMaxWeight::new(QuantSpec::signed(8), false);
+        q.calibrate(&w);
+        let codes = q.quantize(&w);
+        let s = match q.scale() {
+            Scale::PerTensor(s) => s,
+            _ => unreachable!(),
+        };
+        for (c, orig) in codes.as_slice().iter().zip(w.as_slice()) {
+            assert!((*c as f32 * s - orig).abs() <= s / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn act_quantizer_unsigned_ignores_negative_range() {
+        let q = MinMaxAct::new(QuantSpec::unsigned(8), ObserverKind::MinMax);
+        q.observe(&Tensor::from_vec(vec![-3.0_f32, 2.55], &[2]).unwrap());
+        assert!((q.scale() - 0.01).abs() < 1e-4);
+        let codes = q.quantize(&Tensor::from_vec(vec![-1.0_f32, 1.0, 2.55], &[3]).unwrap());
+        assert_eq!(codes.as_slice(), &[0, 100, 255]);
+    }
+
+    #[test]
+    fn train_path_keeps_observer_fresh() {
+        let q = MinMaxAct::new(QuantSpec::unsigned(4), ObserverKind::MinMax);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.0_f32, 1.5], &[2]).unwrap());
+        let y = q.train_path(&x).unwrap();
+        assert!(q.is_calibrated());
+        // max 1.5 → scale 0.1; 1.5 round-trips exactly.
+        assert!((y.tensor().as_slice()[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_train_path_refreshes_scale_from_current_weights() {
+        let q = MinMaxWeight::new(QuantSpec::signed(4), true);
+        let g = Graph::new();
+        let w = g.leaf(Tensor::from_vec(vec![2.0_f32, -2.0, 0.5, 0.5], &[2, 2]).unwrap());
+        q.train_path(&w).unwrap();
+        match q.scale() {
+            Scale::PerChannel(s) => {
+                assert!((s[0] - 2.0 / 7.0).abs() < 1e-6);
+                assert!((s[1] - 0.5 / 7.0).abs() < 1e-6);
+            }
+            _ => panic!("expected per-channel"),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The customizable quantizer hierarchy (paper §3.1).
+//!
+//! Every quantizer exposes Torch2Chip's **Dual-Path** contract:
+//!
+//! * [`WeightQuantizer::train_path`] / [`ActQuantizer::train_path`] — the
+//!   *training path*: differentiable fake quantization
+//!   (`w_dq = round(w/S)·S` with straight-through or custom gradients).
+//!   This is the only part a user implementing a new algorithm writes.
+//! * [`WeightQuantizer::quantize`] / [`ActQuantizer::quantize`] — the
+//!   *inference path*: the raw low-precision integers, derived
+//!   automatically from the scale the training path maintains.
+//!
+//! Implementations: [`MinMaxWeight`]/[`MinMaxAct`] (the OpenVINO-style
+//! baseline), [`SawbWeight`] (statistics-aware clipping), [`PactAct`]
+//! (learnable activation clipping), [`RcfWeight`]/[`RcfAct`]
+//! (reparameterized clipping function, the APoT training recipe),
+//! [`LsqWeight`]/[`LsqAct`] (learned step size with the exact LSQ scale
+//! gradient installed through `Var::custom`), [`AdaRoundWeight`] (learned
+//! rounding offsets for PTQ) and [`QDropAct`] (randomly dropped activation
+//! quantization for PTQ reconstruction).
+
+mod adaround;
+mod lsq;
+mod minmax;
+mod pact;
+mod pot;
+mod qdrop;
+mod rcf;
+mod sawb;
+
+pub use adaround::AdaRoundWeight;
+pub use lsq::{LsqAct, LsqWeight};
+pub use minmax::{MinMaxAct, MinMaxWeight};
+pub use pact::PactAct;
+pub use pot::PotWeight;
+pub use qdrop::QDropAct;
+pub use rcf::{RcfAct, RcfWeight};
+pub use sawb::SawbWeight;
+
+use std::fmt;
+
+use t2c_autograd::{Param, Var};
+use t2c_tensor::Tensor;
+
+use crate::{QuantSpec, Result};
+
+/// A per-tensor or per-output-channel scale factor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scale {
+    /// One scale for the whole tensor.
+    PerTensor(f32),
+    /// One scale per leading-axis (output-channel) slice.
+    PerChannel(Vec<f32>),
+}
+
+impl Scale {
+    /// The scale applying to channel `ch`.
+    pub fn at(&self, ch: usize) -> f32 {
+        match self {
+            Scale::PerTensor(s) => *s,
+            Scale::PerChannel(v) => v[ch],
+        }
+    }
+
+    /// Expands to one scale per channel.
+    pub fn to_per_channel(&self, channels: usize) -> Vec<f32> {
+        match self {
+            Scale::PerTensor(s) => vec![*s; channels],
+            Scale::PerChannel(v) => v.clone(),
+        }
+    }
+
+    /// `true` if this is a per-channel scale.
+    pub fn is_per_channel(&self) -> bool {
+        matches!(self, Scale::PerChannel(_))
+    }
+}
+
+/// The weight half of the Dual-Path contract. All methods take `&self`;
+/// implementations keep their mutable calibration state in interior
+/// mutability so the training path can refresh scales every step, exactly
+/// like observer-driven QAT in the original toolkit.
+pub trait WeightQuantizer: fmt::Debug {
+    /// Algorithm name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Target integer grid.
+    fn spec(&self) -> QuantSpec;
+
+    /// Derives/refreshes the scale from a weight tensor without building a
+    /// graph (used before conversion and by PTQ).
+    fn calibrate(&self, w: &Tensor<f32>);
+
+    /// The current scale.
+    fn scale(&self) -> Scale;
+
+    /// The training path: returns the fake-quantized weight as a graph
+    /// node, refreshing internal scale state from `w`'s value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    fn train_path(&self, w: &Var) -> Result<Var>;
+
+    /// The inference path: the integer weight codes under the current
+    /// scale.
+    fn quantize(&self, w: &Tensor<f32>) -> Tensor<i32>;
+
+    /// Learnable quantization parameters (clipping thresholds, step sizes,
+    /// rounding offsets), if any.
+    fn trainable(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// The activation half of the Dual-Path contract.
+pub trait ActQuantizer: fmt::Debug {
+    /// Algorithm name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Target integer grid.
+    fn spec(&self) -> QuantSpec;
+
+    /// Streams a calibration tensor through the observer.
+    fn observe(&self, x: &Tensor<f32>);
+
+    /// `true` once a scale is available.
+    fn is_calibrated(&self) -> bool;
+
+    /// The current per-tensor scale.
+    fn scale(&self) -> f32;
+
+    /// The training path: observes (keeping EMA statistics fresh) and
+    /// fake-quantizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    fn train_path(&self, x: &Var) -> Result<Var>;
+
+    /// The inference path: integer activation codes (used for the model
+    /// input and for verification).
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32>;
+
+    /// Learnable quantization parameters, if any.
+    fn trainable(&self) -> Vec<Param> {
+        Vec::new()
+    }
+
+    /// Freezes (or unfreezes) range adaptation. Evaluation must freeze
+    /// observers so the fake-quant path uses exactly the scales the
+    /// integer conversion snapshots. Default: no-op (quantizers whose
+    /// state is a trainable parameter are frozen by not stepping it).
+    fn set_frozen(&self, _frozen: bool) {}
+}
+
+/// Reference fake-quantization used by scale-based quantizers:
+/// clamp → scale → round(STE) → rescale, with the clamp gradient masked.
+pub(crate) fn fake_quant_per_tensor(x: &Var, scale: f32, spec: QuantSpec) -> Result<Var> {
+    let s = scale.max(f32::MIN_POSITIVE);
+    let lo = spec.qmin() as f32 * s;
+    let hi = spec.qmax() as f32 * s;
+    Ok(x.clamp(lo, hi).mul_scalar(1.0 / s).round_ste().mul_scalar(s))
+}
+
+/// Reference integer quantization: `round(x/S)` clamped to the grid.
+///
+/// Implemented as multiplication by the reciprocal so ties round exactly
+/// like the fake-quant training path (which uses `mul_scalar(1/S)`) —
+/// dual-path bit-consistency matters more than the last ulp of the
+/// division.
+pub(crate) fn quantize_per_tensor(x: &Tensor<f32>, scale: f32, spec: QuantSpec) -> Tensor<i32> {
+    let inv = 1.0 / scale.max(f32::MIN_POSITIVE);
+    x.map(|v| ((v * inv).round() as i32).clamp(spec.qmin(), spec.qmax()))
+}
+
+/// Per-channel variants over the leading axis of a weight tensor.
+pub(crate) fn quantize_per_channel(
+    w: &Tensor<f32>,
+    scales: &[f32],
+    spec: QuantSpec,
+) -> Tensor<i32> {
+    let oc = w.dim(0);
+    debug_assert_eq!(scales.len(), oc);
+    let inner = w.numel() / oc.max(1);
+    let mut out = Tensor::<i32>::zeros(w.dims());
+    let ws = w.as_slice();
+    let os = out.as_mut_slice();
+    for ch in 0..oc {
+        let s = scales[ch].max(f32::MIN_POSITIVE);
+        for i in ch * inner..(ch + 1) * inner {
+            os[i] = ((ws[i] / s).round() as i32).clamp(spec.qmin(), spec.qmax());
+        }
+    }
+    out
+}
+
+/// Per-channel symmetric abs-max scales over the leading axis.
+pub(crate) fn abs_max_per_channel(w: &Tensor<f32>, spec: QuantSpec) -> Vec<f32> {
+    let oc = w.dim(0);
+    let inner = w.numel() / oc.max(1);
+    let ws = w.as_slice();
+    (0..oc)
+        .map(|ch| {
+            let m = ws[ch * inner..(ch + 1) * inner].iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            (m / spec.positive_levels()).max(f32::MIN_POSITIVE)
+        })
+        .collect()
+}
+
+/// Per-channel fake quantization on the training path: builds the
+/// broadcast scale as a constant leaf (scales follow statistics, not
+/// gradients — matching observer-driven QAT).
+pub(crate) fn fake_quant_per_channel(w: &Var, scales: &[f32], spec: QuantSpec) -> Result<Var> {
+    let dims = w.dims();
+    let oc = dims[0];
+    let mut shape = vec![1; dims.len()];
+    shape[0] = oc;
+    let g = w.graph_handle();
+    let s = g.leaf(Tensor::from_vec(scales.to_vec(), &shape)?);
+    let lo = g.leaf(Tensor::from_vec(
+        scales.iter().map(|s| spec.qmin() as f32 * s).collect(),
+        &shape,
+    )?);
+    let hi = g.leaf(Tensor::from_vec(
+        scales.iter().map(|s| spec.qmax() as f32 * s).collect(),
+        &shape,
+    )?);
+    // clamp(w, lo, hi) with broadcast bounds: min(max(w, lo), hi) built from
+    // differentiable primitives. max(a,b) = a + relu(b−a) keeps the gradient
+    // on the active side only when composed with relu's mask.
+    let clamped = broadcast_min(&broadcast_max(w, &lo)?, &hi)?;
+    clamped.div(&s)?.round_ste().mul(&s)
+}
+
+fn broadcast_max(a: &Var, b: &Var) -> Result<Var> {
+    // max(a, b) = b + relu(a − b); gradient flows to `a` where a > b.
+    b.add(&a.sub(b)?.relu())
+}
+
+fn broadcast_min(a: &Var, b: &Var) -> Result<Var> {
+    // min(a, b) = b − relu(b − a)
+    b.sub(&b.sub(a)?.relu())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+
+    #[test]
+    fn scale_accessors() {
+        let s = Scale::PerTensor(0.5);
+        assert_eq!(s.at(3), 0.5);
+        assert_eq!(s.to_per_channel(2), vec![0.5, 0.5]);
+        let pc = Scale::PerChannel(vec![1.0, 2.0]);
+        assert_eq!(pc.at(1), 2.0);
+        assert!(pc.is_per_channel());
+    }
+
+    #[test]
+    fn fake_quant_error_bounded_by_half_step() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.3_f32, -0.7, 0.11, 0.49], &[4]).unwrap());
+        let spec = QuantSpec::signed(8);
+        let y = fake_quant_per_tensor(&x, 0.01, spec).unwrap().tensor();
+        for (a, b) in y.as_slice().iter().zip(x.tensor().as_slice()) {
+            assert!((a - b).abs() <= 0.005 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantize_per_tensor_clamps_to_grid() {
+        let x = Tensor::from_vec(vec![10.0_f32, -10.0, 0.04], &[3]).unwrap();
+        let q = quantize_per_tensor(&x, 0.1, QuantSpec::signed(4));
+        assert_eq!(q.as_slice(), &[7, -8, 0]);
+    }
+
+    #[test]
+    fn per_channel_scales_differ_per_row() {
+        let w = Tensor::from_vec(vec![1.0_f32, -1.0, 10.0, -10.0], &[2, 2]).unwrap();
+        let spec = QuantSpec::signed(8);
+        let scales = abs_max_per_channel(&w, spec);
+        assert!((scales[0] - 1.0 / 127.0).abs() < 1e-6);
+        assert!((scales[1] - 10.0 / 127.0).abs() < 1e-6);
+        let q = quantize_per_channel(&w, &scales, spec);
+        assert_eq!(q.as_slice(), &[127, -127, 127, -127]);
+    }
+
+    #[test]
+    fn per_channel_fake_quant_matches_integer_path() {
+        let g = Graph::new();
+        let w0 = Tensor::from_vec(vec![0.5_f32, -0.25, 4.0, -2.0], &[2, 2]).unwrap();
+        let spec = QuantSpec::signed(4);
+        let scales = abs_max_per_channel(&w0, spec);
+        let wv = g.leaf(w0.clone());
+        let dq = fake_quant_per_channel(&wv, &scales, spec).unwrap().tensor();
+        let q = quantize_per_channel(&w0, &scales, spec);
+        for ch in 0..2 {
+            for i in 0..2 {
+                let expected = q.at(&[ch, i]) as f32 * scales[ch];
+                assert!((dq.at(&[ch, i]) - expected).abs() < 1e-5);
+            }
+        }
+    }
+}

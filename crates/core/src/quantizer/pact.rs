@@ -1,0 +1,161 @@
+//! PACT — Parameterized Clipping Activation (Choi et al., 2019).
+//!
+//! PACT learns the activation clipping threshold α by gradient descent.
+//! The clip is written in its reparameterized form `y = α·clamp(x/α, 0, 1)`
+//! so the exact PACT gradient (`∂y/∂α = 1` where `x ≥ α`, 0 inside the
+//! range) emerges from ordinary autograd primitives — no custom backward
+//! needed. Quantization then rides on the learned range.
+
+use std::cell::{Cell, RefCell};
+
+use t2c_autograd::{Param, Var};
+use t2c_tensor::Tensor;
+
+use crate::quantizer::{quantize_per_tensor, ActQuantizer};
+use crate::{QuantSpec, Result};
+
+/// Learnable-clipping activation quantizer (unsigned grids only: PACT
+/// follows a ReLU).
+#[derive(Debug)]
+pub struct PactAct {
+    spec: QuantSpec,
+    alpha: Param,
+    initialized: Cell<bool>,
+    last_scale: RefCell<f32>,
+}
+
+impl PactAct {
+    /// Creates PACT with clipping threshold α initialized lazily from the
+    /// first observed batch (or trainable from `init` if given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is signed — PACT assumes a ReLU-style input.
+    pub fn new(name: &str, spec: QuantSpec) -> Self {
+        assert!(!spec.signed, "PACT quantizes post-ReLU (unsigned) activations");
+        PactAct {
+            spec,
+            alpha: Param::new(format!("{name}.pact_alpha"), Tensor::from_vec(vec![6.0], &[1]).expect("alpha")),
+            initialized: Cell::new(false),
+            last_scale: RefCell::new(1.0),
+        }
+    }
+
+    /// The learnable threshold parameter.
+    pub fn alpha(&self) -> &Param {
+        &self.alpha
+    }
+
+    fn alpha_value(&self) -> f32 {
+        self.alpha.value().as_slice()[0].max(1e-4)
+    }
+}
+
+impl ActQuantizer for PactAct {
+    fn name(&self) -> &'static str {
+        "pact"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    fn observe(&self, x: &Tensor<f32>) {
+        if !self.initialized.get() {
+            // Initialize α at the observed maximum so early training sees
+            // little clipping.
+            let m = x.max_value().max(1e-3);
+            self.alpha.set_value(Tensor::from_vec(vec![m], &[1]).expect("alpha init"));
+            self.initialized.set(true);
+        }
+    }
+
+    fn is_calibrated(&self) -> bool {
+        self.initialized.get()
+    }
+
+    fn scale(&self) -> f32 {
+        *self.last_scale.borrow()
+    }
+
+    fn train_path(&self, x: &Var) -> Result<Var> {
+        self.observe(&x.value());
+        let g = x.graph_handle();
+        let alpha = g.param(&self.alpha);
+        // y = α·clamp(x/α, 0, 1): PACT's reparameterized clip.
+        let unit = x.div(&alpha)?.clamp(0.0, 1.0);
+        // Quantize the unit interval onto the unsigned grid (STE round).
+        let levels = self.spec.positive_levels();
+        let q = unit.mul_scalar(levels).round_ste().mul_scalar(1.0 / levels);
+        let y = q.mul(&alpha)?;
+        *self.last_scale.borrow_mut() = self.alpha_value() / levels;
+        Ok(y)
+    }
+
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        let scale = self.alpha_value() / self.spec.positive_levels();
+        *self.last_scale.borrow_mut() = scale;
+        quantize_per_tensor(&x.clamp(0.0, self.alpha_value()), scale, self.spec)
+    }
+
+    fn trainable(&self) -> Vec<Param> {
+        vec![self.alpha.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+
+    #[test]
+    fn pact_alpha_gradient_matches_definition() {
+        // For x ≥ α: ∂y/∂α = 1. For 0 < x < α: ∂y/∂α = 0.
+        let q = PactAct::new("t", QuantSpec::unsigned(8));
+        q.alpha().set_value(Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        q.observe(&Tensor::from_vec(vec![1.0_f32], &[1]).unwrap()); // mark initialized
+        q.alpha().set_value(Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0_f32, 0.4], &[2]).unwrap());
+        q.alpha().zero_grad();
+        let y = q.train_path(&x).unwrap();
+        y.sum_all().backward().unwrap();
+        // Only the clipped element (2.0 ≥ α) contributes ∂/∂α = 1.
+        let ga = q.alpha().grad().as_slice()[0];
+        assert!((ga - 1.0).abs() < 0.02, "alpha grad {ga}");
+    }
+
+    #[test]
+    fn pact_forward_clips_at_alpha() {
+        let q = PactAct::new("t", QuantSpec::unsigned(8));
+        q.observe(&Tensor::from_vec(vec![1.0_f32], &[1]).unwrap());
+        q.alpha().set_value(Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![5.0_f32, 0.5, -1.0], &[3]).unwrap());
+        let y = q.train_path(&x).unwrap().tensor();
+        assert!((y.as_slice()[0] - 1.0).abs() < 1e-5);
+        assert!((y.as_slice()[1] - 0.5).abs() < 0.01);
+        assert_eq!(y.as_slice()[2], 0.0);
+    }
+
+    #[test]
+    fn quantize_respects_learned_range() {
+        let q = PactAct::new("t", QuantSpec::unsigned(4));
+        q.observe(&Tensor::from_vec(vec![1.5_f32], &[1]).unwrap());
+        let codes = q.quantize(&Tensor::from_vec(vec![0.0_f32, 0.75, 1.5, 99.0], &[4]).unwrap());
+        assert_eq!(codes.as_slice(), &[0, 8, 15, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned")]
+    fn rejects_signed_spec() {
+        let _ = PactAct::new("t", QuantSpec::signed(8));
+    }
+
+    #[test]
+    fn alpha_is_trainable() {
+        let q = PactAct::new("t", QuantSpec::unsigned(8));
+        assert_eq!(q.trainable().len(), 1);
+        assert!(q.trainable()[0].is_trainable());
+    }
+}

@@ -1,0 +1,219 @@
+//! Power-of-two (PoT) weight quantization — the non-uniform grid of
+//! Li et al. 2020 that the paper cites alongside RCF.
+//!
+//! Levels are `{0} ∪ {±α·2⁻ⁱ : i = 0..2^(b−1)−2}`: a shift-based datapath
+//! replaces every multiply with a barrel shift. The training path rounds in
+//! the *log domain* (nearest exponent) under STE; the inference path emits
+//! the levels exactly on a fine uniform grid (code `±2^(max_exp−i)`), so
+//! the generic integer pipeline executes them unchanged while a real
+//! shift-based accelerator would store just the sign+exponent.
+//!
+//! Size accounting is intentionally conservative: the emitted codes need
+//! `max_exp+2` storage bits on the uniform grid even though their entropy
+//! is `b` bits; [`PotWeight::effective_bits`] reports the true cost.
+
+use std::cell::{Cell, RefCell};
+
+use t2c_autograd::{Param, Var};
+use t2c_tensor::Tensor;
+
+use crate::quantizer::{Scale, WeightQuantizer};
+use crate::{QuantSpec, Result};
+
+/// Power-of-two weight quantizer.
+#[derive(Debug)]
+pub struct PotWeight {
+    /// Nominal (entropy) bit width: 1 sign bit + exponent bits.
+    bits: u8,
+    alpha: RefCell<f32>,
+    calibrated: Cell<bool>,
+}
+
+impl PotWeight {
+    /// Creates a PoT quantizer with `bits` total (sign + exponent),
+    /// `3 ≤ bits ≤ 6`.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside the supported range.
+    pub fn new(bits: u8) -> Self {
+        assert!((3..=6).contains(&bits), "PoT supports 3–6 bits, got {bits}");
+        PotWeight { bits, alpha: RefCell::new(1.0), calibrated: Cell::new(false) }
+    }
+
+    /// Number of distinct negative exponents (`2^(b−1) − 1` magnitudes).
+    pub fn num_exponents(&self) -> u32 {
+        (1u32 << (self.bits - 1)) - 1
+    }
+
+    /// The entropy cost per weight in bits (what a shift datapath stores).
+    pub fn effective_bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Smallest level as a fraction of α: `2^-(num_exponents−1)`.
+    fn min_fraction(&self) -> f32 {
+        0.5f32.powi(self.num_exponents() as i32 - 1)
+    }
+
+    /// Rounds `|v|/α` onto the PoT fraction grid `{0} ∪ {2⁻ⁱ}`.
+    fn round_fraction(&self, mag: f32) -> f32 {
+        if mag <= 0.0 {
+            return 0.0;
+        }
+        let clipped = mag.min(1.0);
+        // Nearest exponent in the log domain.
+        let exp = (-clipped.log2()).round().clamp(0.0, self.num_exponents() as f32 - 1.0);
+        let level = 0.5f32.powf(exp);
+        // Values far below the smallest level snap to zero when closer to 0.
+        if clipped < self.min_fraction() / 2.0 {
+            0.0
+        } else {
+            level
+        }
+    }
+}
+
+impl WeightQuantizer for PotWeight {
+    fn name(&self) -> &'static str {
+        "pot"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        // Codes live on the fine uniform grid: ±2^(num_exponents−1) max.
+        QuantSpec::signed(self.num_exponents() as u8 + 1)
+    }
+
+    fn calibrate(&self, w: &Tensor<f32>) {
+        *self.alpha.borrow_mut() = w.abs_max().max(f32::MIN_POSITIVE);
+        self.calibrated.set(true);
+    }
+
+    fn scale(&self) -> Scale {
+        // Code 2^(num_exponents−1) corresponds to α.
+        let top = (1u64 << (self.num_exponents() - 1)) as f32;
+        Scale::PerTensor(*self.alpha.borrow() / top)
+    }
+
+    fn train_path(&self, w: &Var) -> Result<Var> {
+        self.calibrate(&w.value());
+        let alpha = *self.alpha.borrow();
+        let wv = w.value();
+        // Forward: snap to the nearest PoT level; backward: identity (STE).
+        let snapped = wv.map(|v| v.signum() * self.round_fraction(v.abs() / alpha) * alpha);
+        Ok(w.ste_from(snapped))
+    }
+
+    fn quantize(&self, w: &Tensor<f32>) -> Tensor<i32> {
+        let alpha = *self.alpha.borrow();
+        let top = (1u64 << (self.num_exponents() - 1)) as f32;
+        w.map(|v| {
+            let frac = self.round_fraction(v.abs() / alpha);
+            (v.signum() * frac * top).round() as i32
+        })
+    }
+
+    fn trainable(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::rng::TensorRng;
+
+    #[test]
+    fn codes_are_powers_of_two_or_zero() {
+        let mut rng = TensorRng::seed_from(40);
+        let w = rng.normal(&[256], 0.0, 1.0);
+        let q = PotWeight::new(4);
+        q.calibrate(&w);
+        let codes = q.quantize(&w);
+        for &c in codes.as_slice() {
+            let m = c.unsigned_abs();
+            assert!(m == 0 || m.is_power_of_two(), "code {c} is not a power of two");
+        }
+    }
+
+    #[test]
+    fn level_count_matches_bit_width() {
+        let mut rng = TensorRng::seed_from(41);
+        let w = rng.normal(&[4096], 0.0, 1.0);
+        let q = PotWeight::new(4);
+        q.calibrate(&w);
+        let codes = q.quantize(&w);
+        let mut uniq: Vec<i32> = codes.as_slice().to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        // 4-bit PoT: 7 magnitudes ×2 signs + 0 = 15 levels max.
+        assert!(uniq.len() <= 15, "got {} levels: {uniq:?}", uniq.len());
+        assert!(uniq.len() > 8, "grid too coarse: {uniq:?}");
+    }
+
+    #[test]
+    fn train_path_matches_integer_path() {
+        let mut rng = TensorRng::seed_from(42);
+        let w0 = rng.normal(&[64], 0.0, 0.5);
+        let q = PotWeight::new(4);
+        let g = Graph::new();
+        let dq = q.train_path(&g.leaf(w0.clone())).unwrap().tensor();
+        let codes = q.quantize(&w0);
+        let s = match q.scale() {
+            Scale::PerTensor(s) => s,
+            _ => unreachable!(),
+        };
+        for (d, &c) in dq.as_slice().iter().zip(codes.as_slice()) {
+            assert!((d - c as f32 * s).abs() < 1e-5, "{d} vs {}", c as f32 * s);
+        }
+    }
+
+    #[test]
+    fn ste_gradient_is_identity() {
+        let mut rng = TensorRng::seed_from(43);
+        let q = PotWeight::new(4);
+        let g = Graph::new();
+        let w = g.leaf(rng.normal(&[16], 0.0, 1.0));
+        q.train_path(&w).unwrap().sum_all().backward().unwrap();
+        assert!(w.grad().unwrap().as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn relative_error_bounded_in_log_domain() {
+        // PoT rounding in the log domain bounds the *relative* error of
+        // every non-zero weight by √2.
+        let mut rng = TensorRng::seed_from(44);
+        let w = rng.normal(&[512], 0.0, 1.0);
+        let q = PotWeight::new(5);
+        q.calibrate(&w);
+        let codes = q.quantize(&w);
+        let s = match q.scale() {
+            Scale::PerTensor(s) => s,
+            _ => unreachable!(),
+        };
+        let min_level = *self_min(&q) * w.abs_max();
+        for (&c, &orig) in codes.as_slice().iter().zip(w.as_slice()) {
+            if c != 0 && orig.abs() > min_level {
+                let ratio = (c as f32 * s / orig).abs();
+                assert!(
+                    (0.7..=1.45).contains(&ratio),
+                    "weight {orig} quantized to {} (ratio {ratio})",
+                    c as f32 * s
+                );
+            }
+        }
+
+        fn self_min(q: &PotWeight) -> &'static f32 {
+            // Smallest representable fraction for a 5-bit PoT grid.
+            let _ = q;
+            &0.000_061_035_156 // 2^-14
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PoT supports")]
+    fn rejects_unsupported_widths() {
+        let _ = PotWeight::new(8);
+    }
+}

@@ -1,0 +1,151 @@
+//! QDrop — randomly dropping activation quantization during PTQ
+//! reconstruction (Wei et al., 2022), the paper's Table 1 headline method.
+//!
+//! During the reconstruction phase each activation element is quantized
+//! with probability `1 − p` and passed through in full precision with
+//! probability `p`. This exposes the optimization to both the quantized
+//! and unquantized loss surfaces, flattening the final minimum. At
+//! inference the quantizer behaves like a plain calibrated quantizer.
+
+use std::cell::RefCell;
+
+use t2c_autograd::{Param, Var};
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+use crate::observer::ObserverKind;
+use crate::quantizer::{ActQuantizer, MinMaxAct};
+use crate::{QuantSpec, Result};
+
+/// Activation quantizer with stochastic quantization dropping.
+#[derive(Debug)]
+pub struct QDropAct {
+    inner: MinMaxAct,
+    /// Probability of *keeping full precision* per element.
+    drop_prob: f32,
+    rng: RefCell<TensorRng>,
+    /// When `false` the quantizer behaves deterministically (inference).
+    stochastic: std::cell::Cell<bool>,
+}
+
+impl QDropAct {
+    /// Creates QDrop with drop probability `p` (the paper uses 0.5).
+    pub fn new(spec: QuantSpec, observer: ObserverKind, drop_prob: f32, seed: u64) -> Self {
+        QDropAct {
+            inner: MinMaxAct::new(spec, observer),
+            drop_prob,
+            rng: RefCell::new(TensorRng::seed_from(seed)),
+            stochastic: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Enables or disables the stochastic drop (disable for evaluation).
+    pub fn set_stochastic(&self, on: bool) {
+        self.stochastic.set(on);
+    }
+
+    /// The configured drop probability.
+    pub fn drop_prob(&self) -> f32 {
+        self.drop_prob
+    }
+}
+
+impl ActQuantizer for QDropAct {
+    fn name(&self) -> &'static str {
+        "qdrop"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        self.inner.spec()
+    }
+
+    fn observe(&self, x: &Tensor<f32>) {
+        self.inner.observe(x);
+    }
+
+    fn is_calibrated(&self) -> bool {
+        self.inner.is_calibrated()
+    }
+
+    fn scale(&self) -> f32 {
+        self.inner.scale()
+    }
+
+    fn train_path(&self, x: &Var) -> Result<Var> {
+        let xq = self.inner.train_path(x)?;
+        if !self.stochastic.get() || self.drop_prob <= 0.0 {
+            return Ok(xq);
+        }
+        // mix = m ⊙ x + (1 − m) ⊙ x̂, with a fresh Bernoulli(p) mask.
+        let mask = self.rng.borrow_mut().bernoulli(&x.dims(), self.drop_prob);
+        let g = x.graph_handle();
+        let m = g.leaf(mask);
+        let keep_fp = x.mul(&m)?;
+        let one_minus = m.neg().add_scalar(1.0);
+        keep_fp.add(&xq.mul(&one_minus)?)
+    }
+
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        self.inner.quantize(x)
+    }
+
+    fn trainable(&self) -> Vec<Param> {
+        Vec::new()
+    }
+
+    fn set_frozen(&self, frozen: bool) {
+        self.inner.set_frozen(frozen);
+        // Frozen evaluation must be deterministic.
+        self.set_stochastic(!frozen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+
+    fn setup(p: f32) -> QDropAct {
+        let q = QDropAct::new(QuantSpec::unsigned(4), ObserverKind::MinMax, p, 77);
+        q.observe(&Tensor::from_vec(vec![0.0_f32, 1.5], &[2]).unwrap());
+        q
+    }
+
+    #[test]
+    fn deterministic_mode_matches_plain_quantizer() {
+        let q = setup(0.5);
+        q.set_stochastic(false);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.33_f32; 8], &[8]).unwrap());
+        let y = q.train_path(&x).unwrap().tensor();
+        // All outputs identical (no random mixing).
+        assert!(y.as_slice().windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn stochastic_mode_mixes_fp_and_quantized() {
+        let q = setup(0.5);
+        let g = Graph::new();
+        // 0.33 does not fall on the grid, so FP and quantized values differ.
+        let x = g.leaf(Tensor::from_vec(vec![0.33_f32; 64], &[64]).unwrap());
+        let y = q.train_path(&x).unwrap().tensor();
+        let fp_count = y.as_slice().iter().filter(|&&v| (v - 0.33).abs() < 1e-6).count();
+        assert!(fp_count > 5 && fp_count < 60, "fp elements {fp_count}");
+    }
+
+    #[test]
+    fn drop_prob_zero_never_mixes() {
+        let q = setup(0.0);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.33_f32; 16], &[16]).unwrap());
+        let y = q.train_path(&x).unwrap().tensor();
+        assert!(y.as_slice().iter().all(|&v| (v - 0.33).abs() > 1e-6));
+    }
+
+    #[test]
+    fn inference_path_is_plain_integer_quantization() {
+        let q = setup(0.9);
+        let codes = q.quantize(&Tensor::from_vec(vec![0.0_f32, 1.5], &[2]).unwrap());
+        assert_eq!(codes.as_slice(), &[0, 15]);
+    }
+}

@@ -1,0 +1,251 @@
+//! RCF — the Reparameterized Clipping Function from the Additive
+//! Powers-of-Two paper (Li et al., 2020), the paper's Table 2 QAT recipe
+//! for ResNet-18 and ViT-7.
+//!
+//! RCF normalizes by a learnable clipping threshold α before the
+//! discretization and rescales after:
+//! `ŵ = α · q(clamp(w/α, −1, 1))`. Written this way the gradient to α is
+//! exactly the APoT-paper gradient and flows through ordinary primitives.
+
+use std::cell::{Cell, RefCell};
+
+use t2c_autograd::{Param, Var};
+use t2c_tensor::Tensor;
+
+use crate::quantizer::{quantize_per_tensor, ActQuantizer, Scale, WeightQuantizer};
+use crate::{QuantSpec, Result};
+
+/// Learnable-clipping weight quantizer (RCF).
+#[derive(Debug)]
+pub struct RcfWeight {
+    spec: QuantSpec,
+    alpha: Param,
+    initialized: Cell<bool>,
+}
+
+impl RcfWeight {
+    /// Creates RCF with α initialized from the first calibration.
+    pub fn new(name: &str, spec: QuantSpec) -> Self {
+        RcfWeight {
+            spec,
+            alpha: Param::new(
+                format!("{name}.rcf_alpha"),
+                Tensor::from_vec(vec![1.0], &[1]).expect("alpha"),
+            ),
+            initialized: Cell::new(false),
+        }
+    }
+
+    /// The learnable threshold parameter.
+    pub fn alpha(&self) -> &Param {
+        &self.alpha
+    }
+
+    fn alpha_value(&self) -> f32 {
+        self.alpha.value().as_slice()[0].abs().max(1e-5)
+    }
+
+    fn ensure_init(&self, w: &Tensor<f32>) {
+        if !self.initialized.get() {
+            // 3σ initialization keeps the initial grid tight on Gaussians.
+            let n = w.numel().max(1) as f32;
+            let std = (w.as_slice().iter().map(|v| v * v).sum::<f32>() / n).sqrt();
+            let init = (3.0 * std).max(1e-4);
+            self.alpha.set_value(Tensor::from_vec(vec![init], &[1]).expect("alpha init"));
+            self.initialized.set(true);
+        }
+    }
+}
+
+impl WeightQuantizer for RcfWeight {
+    fn name(&self) -> &'static str {
+        "rcf"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    fn calibrate(&self, w: &Tensor<f32>) {
+        self.ensure_init(w);
+    }
+
+    fn scale(&self) -> Scale {
+        Scale::PerTensor(self.alpha_value() / self.spec.positive_levels())
+    }
+
+    fn train_path(&self, w: &Var) -> Result<Var> {
+        self.ensure_init(&w.value());
+        let g = w.graph_handle();
+        let alpha = g.param(&self.alpha);
+        let levels = self.spec.positive_levels();
+        // ŵ = α · round(clamp(w/α, −1, 1)·L)/L
+        let unit = w.div(&alpha)?.clamp(-1.0, 1.0);
+        let q = unit.mul_scalar(levels).round_ste().mul_scalar(1.0 / levels);
+        q.mul(&alpha)
+    }
+
+    fn quantize(&self, w: &Tensor<f32>) -> Tensor<i32> {
+        let a = self.alpha_value();
+        quantize_per_tensor(&w.clamp(-a, a), a / self.spec.positive_levels(), self.spec)
+    }
+
+    fn trainable(&self) -> Vec<Param> {
+        vec![self.alpha.clone()]
+    }
+}
+
+/// RCF applied to activations (signed variant used inside transformer
+/// blocks; unsigned after ReLU).
+#[derive(Debug)]
+pub struct RcfAct {
+    spec: QuantSpec,
+    alpha: Param,
+    initialized: Cell<bool>,
+    last_scale: RefCell<f32>,
+}
+
+impl RcfAct {
+    /// Creates the activation quantizer.
+    pub fn new(name: &str, spec: QuantSpec) -> Self {
+        RcfAct {
+            spec,
+            alpha: Param::new(
+                format!("{name}.rcf_alpha"),
+                Tensor::from_vec(vec![4.0], &[1]).expect("alpha"),
+            ),
+            initialized: Cell::new(false),
+            last_scale: RefCell::new(1.0),
+        }
+    }
+
+    /// The learnable threshold parameter.
+    pub fn alpha(&self) -> &Param {
+        &self.alpha
+    }
+
+    fn alpha_value(&self) -> f32 {
+        self.alpha.value().as_slice()[0].abs().max(1e-5)
+    }
+}
+
+impl ActQuantizer for RcfAct {
+    fn name(&self) -> &'static str {
+        "rcf"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    fn observe(&self, x: &Tensor<f32>) {
+        if !self.initialized.get() {
+            let m = if self.spec.signed { x.abs_max() } else { x.max_value() }.max(1e-3);
+            self.alpha.set_value(Tensor::from_vec(vec![m], &[1]).expect("alpha init"));
+            self.initialized.set(true);
+        }
+    }
+
+    fn is_calibrated(&self) -> bool {
+        self.initialized.get()
+    }
+
+    fn scale(&self) -> f32 {
+        *self.last_scale.borrow()
+    }
+
+    fn train_path(&self, x: &Var) -> Result<Var> {
+        self.observe(&x.value());
+        let g = x.graph_handle();
+        let alpha = g.param(&self.alpha);
+        let levels = self.spec.positive_levels();
+        let lo = if self.spec.signed { -1.0 } else { 0.0 };
+        let unit = x.div(&alpha)?.clamp(lo, 1.0);
+        let q = unit.mul_scalar(levels).round_ste().mul_scalar(1.0 / levels);
+        *self.last_scale.borrow_mut() = self.alpha_value() / levels;
+        q.mul(&alpha)
+    }
+
+    fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        let a = self.alpha_value();
+        let scale = a / self.spec.positive_levels();
+        *self.last_scale.borrow_mut() = scale;
+        let lo = if self.spec.signed { -a } else { 0.0 };
+        quantize_per_tensor(&x.clamp(lo, a), scale, self.spec)
+    }
+
+    fn trainable(&self) -> Vec<Param> {
+        vec![self.alpha.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::rng::TensorRng;
+
+    #[test]
+    fn rcf_alpha_initializes_at_three_sigma() {
+        let mut rng = TensorRng::seed_from(4);
+        let w = rng.normal(&[4096], 0.0, 0.5);
+        let q = RcfWeight::new("t", QuantSpec::signed(4));
+        q.calibrate(&w);
+        let a = q.alpha().value().as_slice()[0];
+        assert!((a - 1.5).abs() < 0.15, "alpha {a}");
+    }
+
+    #[test]
+    fn rcf_gradient_reaches_alpha() {
+        let mut rng = TensorRng::seed_from(5);
+        let q = RcfWeight::new("t", QuantSpec::signed(4));
+        let g = Graph::new();
+        let w = g.leaf(rng.normal(&[64], 0.0, 1.0));
+        q.alpha().zero_grad();
+        let y = q.train_path(&w).unwrap();
+        y.square().mean_all().backward().unwrap();
+        assert!(q.alpha().grad().abs_max() > 0.0);
+    }
+
+    #[test]
+    fn rcf_integer_codes_within_grid() {
+        let mut rng = TensorRng::seed_from(6);
+        let w = rng.normal(&[256], 0.0, 1.0);
+        let spec = QuantSpec::signed(4);
+        let q = RcfWeight::new("t", spec);
+        q.calibrate(&w);
+        let codes = q.quantize(&w);
+        assert!(codes.as_slice().iter().all(|&c| c >= spec.qmin() && c <= spec.qmax()));
+    }
+
+    #[test]
+    fn rcf_act_signed_and_unsigned() {
+        let signed = RcfAct::new("s", QuantSpec::signed(8));
+        signed.observe(&Tensor::from_vec(vec![-2.0_f32, 2.0], &[2]).unwrap());
+        let c = signed.quantize(&Tensor::from_vec(vec![-2.0_f32, 0.0, 2.0], &[3]).unwrap());
+        assert_eq!(c.as_slice(), &[-127, 0, 127]);
+
+        let unsigned = RcfAct::new("u", QuantSpec::unsigned(8));
+        unsigned.observe(&Tensor::from_vec(vec![0.0_f32, 2.55], &[2]).unwrap());
+        let c = unsigned.quantize(&Tensor::from_vec(vec![-1.0_f32, 2.55], &[2]).unwrap());
+        assert_eq!(c.as_slice(), &[0, 255]);
+    }
+
+    #[test]
+    fn fake_quant_consistent_with_integer_path() {
+        let mut rng = TensorRng::seed_from(7);
+        let w0 = rng.normal(&[32], 0.0, 0.5);
+        let q = RcfWeight::new("t", QuantSpec::signed(4));
+        q.calibrate(&w0);
+        let g = Graph::new();
+        let dq = q.train_path(&g.leaf(w0.clone())).unwrap().tensor();
+        let codes = q.quantize(&w0);
+        let s = match q.scale() {
+            Scale::PerTensor(s) => s,
+            _ => unreachable!(),
+        };
+        for (d, c) in dq.as_slice().iter().zip(codes.as_slice()) {
+            assert!((d - *c as f32 * s).abs() < 1e-4, "{d} vs {}", *c as f32 * s);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! SAWB — Statistics-Aware Weight Binning (Choi et al., 2019).
+//!
+//! SAWB picks the clipping threshold α* from the first two absolute
+//! moments of the weight distribution, `α* = c₁·√E[w²] + c₂·E[|w|]`, with
+//! bit-width-specific coefficients fit offline by the original authors.
+//! Combined with PACT on activations it is the paper's 2-bit QAT recipe
+//! (Table 2, rows 1–2).
+
+use std::cell::RefCell;
+
+use t2c_autograd::Var;
+use t2c_tensor::Tensor;
+
+use crate::quantizer::{
+    fake_quant_per_tensor, quantize_per_tensor, Scale, WeightQuantizer,
+};
+use crate::{QuantSpec, Result};
+
+/// SAWB coefficients `(c₁, c₂)` per bit width, from the original paper.
+fn coefficients(bits: u8) -> Option<(f32, f32)> {
+    match bits {
+        2 => Some((3.12, -2.064)),
+        3 => Some((7.509, -6.892)),
+        4 => Some((12.68, -12.80)),
+        _ => None,
+    }
+}
+
+/// Statistics-aware clipped weight quantizer.
+#[derive(Debug)]
+pub struct SawbWeight {
+    spec: QuantSpec,
+    scale: RefCell<Scale>,
+}
+
+impl SawbWeight {
+    /// Creates the quantizer; bit widths without published coefficients
+    /// fall back to abs-max clipping.
+    pub fn new(spec: QuantSpec) -> Self {
+        SawbWeight { spec, scale: RefCell::new(Scale::PerTensor(1.0)) }
+    }
+
+    /// The optimal clipping threshold for the given weights.
+    pub fn clip_threshold(&self, w: &Tensor<f32>) -> f32 {
+        let n = w.numel().max(1) as f32;
+        let e_abs: f32 = w.as_slice().iter().map(|v| v.abs()).sum::<f32>() / n;
+        let e_sq: f32 = w.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
+        match coefficients(self.spec.bits) {
+            Some((c1, c2)) => (c1 * e_sq.sqrt() + c2 * e_abs).max(f32::MIN_POSITIVE),
+            None => w.abs_max().max(f32::MIN_POSITIVE),
+        }
+    }
+}
+
+impl WeightQuantizer for SawbWeight {
+    fn name(&self) -> &'static str {
+        "sawb"
+    }
+
+    fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    fn calibrate(&self, w: &Tensor<f32>) {
+        let alpha = self.clip_threshold(w);
+        *self.scale.borrow_mut() = Scale::PerTensor(alpha / self.spec.positive_levels());
+    }
+
+    fn scale(&self) -> Scale {
+        self.scale.borrow().clone()
+    }
+
+    fn train_path(&self, w: &Var) -> Result<Var> {
+        self.calibrate(&w.value());
+        let s = match &*self.scale.borrow() {
+            Scale::PerTensor(s) => *s,
+            Scale::PerChannel(_) => unreachable!("SAWB is per-tensor"),
+        };
+        fake_quant_per_tensor(w, s, self.spec)
+    }
+
+    fn quantize(&self, w: &Tensor<f32>) -> Tensor<i32> {
+        let s = match &*self.scale.borrow() {
+            Scale::PerTensor(s) => *s,
+            Scale::PerChannel(_) => unreachable!("SAWB is per-tensor"),
+        };
+        quantize_per_tensor(w, s, self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_tensor::rng::TensorRng;
+
+    #[test]
+    fn sawb_clips_tighter_than_absmax_on_gaussian() {
+        // For Gaussian weights the SAWB threshold sits well inside the
+        // empirical max — that is the whole point of the method.
+        let mut rng = TensorRng::seed_from(1);
+        let w = rng.normal(&[4096], 0.0, 1.0);
+        let q = SawbWeight::new(QuantSpec::signed(2));
+        let alpha = q.clip_threshold(&w);
+        assert!(alpha < w.abs_max(), "alpha {alpha} vs max {}", w.abs_max());
+        assert!(alpha > 0.5, "alpha {alpha} unreasonably small");
+    }
+
+    #[test]
+    fn two_bit_levels_are_four() {
+        let mut rng = TensorRng::seed_from(2);
+        let w = rng.normal(&[512], 0.0, 1.0);
+        let q = SawbWeight::new(QuantSpec::signed(2));
+        q.calibrate(&w);
+        let codes = q.quantize(&w);
+        let mut uniq: Vec<i32> = codes.as_slice().to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 4, "2-bit full-range grid has codes −2/−1/0/1, got {uniq:?}");
+        assert!(uniq.contains(&-2), "the full negative range must be used: {uniq:?}");
+    }
+
+    #[test]
+    fn fallback_to_absmax_for_8bit() {
+        let w = Tensor::from_vec(vec![0.5_f32, -2.0], &[2]).unwrap();
+        let q = SawbWeight::new(QuantSpec::signed(8));
+        assert_eq!(q.clip_threshold(&w), 2.0);
+    }
+
+    #[test]
+    fn train_path_refreshes_scale() {
+        let q = SawbWeight::new(QuantSpec::signed(4));
+        let g = t2c_autograd::Graph::new();
+        let mut rng = TensorRng::seed_from(3);
+        let w = g.leaf(rng.normal(&[64], 0.0, 0.5));
+        let dq = q.train_path(&w).unwrap();
+        assert!(dq.tensor().all_finite());
+        match q.scale() {
+            Scale::PerTensor(s) => assert!(s > 0.0),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Trainers — the paper's `TRAINER[user_select]` registry (§3.3–3.4).
+//!
+//! * [`FpTrainer`] — plain supervised training of the float model (the
+//!   baseline every table's Δ-accuracy is measured against).
+//! * [`QatTrainer`] — quantization-aware training on the Dual-Path
+//!   training route, with an optional PROFIT-style progressive-freezing
+//!   phase for sub-4-bit models.
+//! * [`PtqPipeline`] — post-training quantization: observer calibration
+//!   plus optional AdaRound / QDrop layer-wise reconstruction.
+//!
+//! The self-supervised trainer lives in the `t2c-ssl` crate and plugs into
+//! the same models.
+
+mod ptq;
+mod qat;
+
+pub use ptq::{PtqMethod, PtqPipeline};
+pub use qat::{FpTrainer, QatTrainer, TrainConfig, TrainHistory};
+
+use t2c_autograd::Graph;
+use t2c_data::{BatchIter, SynthVision};
+use t2c_nn::Module;
+
+use crate::{IntModel, Result};
+
+/// Top-1 accuracy of a module on a dataset's test split (the module's
+/// current path/mode is respected — call `set_path` first).
+///
+/// # Errors
+///
+/// Returns an error on a malformed model.
+pub fn evaluate(model: &dyn Module, data: &SynthVision, batch: usize) -> Result<f32> {
+    model.set_training(false);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (images, labels) in BatchIter::test(data, batch) {
+        let g = Graph::new();
+        let logits = model.forward(&g.leaf(images))?;
+        let preds = logits.value().argmax_rows()?;
+        correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        total += labels.len();
+    }
+    model.set_training(true);
+    Ok(correct as f32 / total.max(1) as f32)
+}
+
+/// Top-1 accuracy of an extracted integer-only model on the test split —
+/// the number the paper's tables report.
+///
+/// # Errors
+///
+/// Returns an error on a malformed integer graph.
+pub fn evaluate_int(model: &IntModel, data: &SynthVision, batch: usize) -> Result<f32> {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (images, labels) in BatchIter::test(data, batch) {
+        let preds = model.predict(&images)?;
+        correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        total += labels.len();
+    }
+    Ok(correct as f32 / total.max(1) as f32)
+}

@@ -1,0 +1,176 @@
+//! Post-training quantization: observer calibration and layer-wise
+//! reconstruction (AdaRound / QDrop).
+
+use t2c_autograd::Graph;
+use t2c_data::{BatchIter, SynthVision};
+use t2c_nn::Module;
+use t2c_optim::{AdamW, Optimizer};
+
+use crate::qlayers::PathMode;
+use crate::qmodels::QuantModel;
+use crate::Result;
+
+/// Which PTQ procedure to run after calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PtqMethod {
+    /// Observer calibration only (the OpenVINO-style MinMax baseline).
+    CalibrateOnly,
+    /// Layer-wise reconstruction of the quantizers' learnable parameters
+    /// (AdaRound rounding offsets; with QDrop activation quantizers this
+    /// *is* the QDrop procedure).
+    Reconstruct {
+        /// Gradient steps per layer.
+        iters: usize,
+        /// Adam learning rate.
+        lr: f32,
+        /// Weight of the AdaRound rounding regularizer (β = 2).
+        lambda: f32,
+    },
+}
+
+/// The PTQ pipeline: stream calibration batches, then optionally
+/// reconstruct each convolution unit against its float output.
+#[derive(Debug, Clone, Copy)]
+pub struct PtqPipeline {
+    /// Calibration batches.
+    pub calib_batches: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Post-calibration procedure.
+    pub method: PtqMethod,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl PtqPipeline {
+    /// Calibration-only PTQ.
+    pub fn calibrate(calib_batches: usize, batch: usize) -> Self {
+        PtqPipeline { calib_batches, batch, method: PtqMethod::CalibrateOnly, seed: 7 }
+    }
+
+    /// Reconstruction PTQ (AdaRound/QDrop) with sensible defaults.
+    pub fn reconstruct(calib_batches: usize, batch: usize, iters: usize) -> Self {
+        PtqPipeline {
+            calib_batches,
+            batch,
+            method: PtqMethod::Reconstruct { iters, lr: 1e-2, lambda: 0.01 },
+            seed: 7,
+        }
+    }
+
+    /// Runs the pipeline on a quantized twin whose float weights are
+    /// already trained. Leaves the model on the `Quant` path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches inside the model.
+    pub fn run<M: QuantModel>(&self, model: &M, data: &SynthVision) -> Result<()> {
+        model.set_training(false);
+        // ---- Calibration: stream batches on the observer path. ----------
+        model.set_path(PathMode::Calibrate);
+        let capture = matches!(self.method, PtqMethod::Reconstruct { .. });
+        if capture {
+            for unit in model.conv_units() {
+                unit.set_capture(true);
+            }
+        }
+        let mut seen = 0usize;
+        for (images, _labels) in BatchIter::train(data, self.batch, self.seed) {
+            let g = Graph::new();
+            let _ = model.forward(&g.leaf(images))?;
+            seen += 1;
+            if seen >= self.calib_batches {
+                break;
+            }
+        }
+        // ---- Optional layer-wise reconstruction. -------------------------
+        if let PtqMethod::Reconstruct { iters, lr, lambda } = self.method {
+            for unit in model.conv_units() {
+                let captured = unit.take_captured();
+                unit.set_capture(false);
+                if captured.is_empty() {
+                    continue;
+                }
+                unit.set_mode(PathMode::Quant);
+                let trainables = unit.quant_trainables();
+                if trainables.is_empty() {
+                    continue;
+                }
+                let mut opt = AdamW::new(trainables.clone(), lr);
+                for it in 0..iters {
+                    let (x, y_fp) = &captured[it % captured.len()];
+                    let g = Graph::new();
+                    let y_q = unit.forward(&g.leaf(x.clone()))?;
+                    let mut loss = y_q.mse_loss(y_fp)?;
+                    // AdaRound's rounding regularizer (β = 2), built on the
+                    // graph so its gradient reaches α.
+                    if lambda > 0.0 {
+                        for p in &trainables {
+                            if p.name().ends_with(".ada_alpha") {
+                                let alpha = g.param(p);
+                                let h = alpha
+                                    .sigmoid()
+                                    .mul_scalar(1.2)
+                                    .add_scalar(-0.1)
+                                    .clamp(0.0, 1.0);
+                                let reg = h
+                                    .mul_scalar(2.0)
+                                    .add_scalar(-1.0)
+                                    .square()
+                                    .neg()
+                                    .add_scalar(1.0)
+                                    .sum_all();
+                                loss = loss.add(&reg.mul_scalar(lambda))?;
+                            }
+                        }
+                    }
+                    opt.zero_grad();
+                    loss.backward()?;
+                    opt.step();
+                }
+                unit.set_mode(PathMode::Calibrate);
+            }
+        }
+        model.set_path(PathMode::Quant);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qmodels::{QMobileNet, QuantFactory};
+    use crate::trainer::{evaluate, evaluate_int, FpTrainer, TrainConfig};
+    use crate::{FuseScheme, QuantConfig, T2C};
+    use t2c_data::SynthVisionConfig;
+    use t2c_nn::models::{MobileNetConfig, MobileNetV1};
+    use t2c_tensor::rng::TensorRng;
+
+    #[test]
+    fn calibration_then_conversion_keeps_accuracy() {
+        let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+        let mut rng = TensorRng::seed_from(3);
+        let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+        let fp = FpTrainer::new(TrainConfig::quick(4)).fit(&model, &data).unwrap();
+        let qmodel = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+        PtqPipeline::calibrate(4, 16).run(&qmodel, &data).unwrap();
+        let fake_acc = evaluate(&qmodel, &data, 16).unwrap();
+        let (int, report) = T2C::new(&qmodel).nn2chip(FuseScheme::PreFuse).unwrap();
+        let int_acc = evaluate_int(&int, &data, 16).unwrap();
+        assert!(fake_acc >= fp.final_acc() - 0.25, "fake-quant acc {fake_acc} vs fp {}", fp.final_acc());
+        assert!(int_acc >= fake_acc - 0.2, "integer acc {int_acc} vs fake {fake_acc}");
+        assert!(report.weight_bytes > 0);
+    }
+
+    #[test]
+    fn reconstruction_runs_and_improves_or_matches() {
+        let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 12));
+        let mut rng = TensorRng::seed_from(4);
+        let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+        FpTrainer::new(TrainConfig::quick(3)).fit(&model, &data).unwrap();
+        let qmodel = QMobileNet::from_float(&model, &QuantFactory::adaround(QuantConfig::wa(4)));
+        PtqPipeline::reconstruct(3, 12, 10).run(&qmodel, &data).unwrap();
+        let acc = evaluate(&qmodel, &data, 12).unwrap();
+        assert!(acc > 0.3, "reconstructed acc {acc}");
+    }
+}

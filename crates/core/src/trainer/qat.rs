@@ -1,0 +1,326 @@
+//! Supervised trainers: float baseline and quantization-aware training.
+
+use t2c_autograd::Graph;
+use t2c_data::{Augment, AugmentConfig, BatchIter, SynthVision};
+use t2c_nn::Module;
+use t2c_optim::{clip_grad_norm, CosineSchedule, LrSchedule, Optimizer, Sgd};
+
+use crate::qlayers::PathMode;
+use crate::qmodels::QuantModel;
+use crate::trainer::evaluate;
+use crate::Result;
+
+/// Hyperparameters shared by the supervised trainers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Peak learning rate (cosine-annealed to 0).
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// RNG seed (shuffling, augmentation).
+    pub seed: u64,
+    /// Batches run in `Calibrate` mode before QAT flips to the quantized
+    /// path.
+    pub calibration_batches: usize,
+    /// Augmentation worker threads for the FP trainer (0 = inline). The
+    /// parallel loader is deterministic: outputs are identical to the
+    /// inline path regardless of worker count.
+    pub loader_workers: usize,
+}
+
+impl TrainConfig {
+    /// A quick-but-meaningful recipe for the synthetic datasets.
+    pub fn quick(epochs: usize) -> Self {
+        TrainConfig {
+            epochs,
+            batch: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            grad_clip: 5.0,
+            seed: 42,
+            calibration_batches: 4,
+            loader_workers: 0,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Default)]
+pub struct TrainHistory {
+    /// Mean training loss per epoch.
+    pub losses: Vec<f32>,
+    /// Test accuracy per epoch.
+    pub accs: Vec<f32>,
+}
+
+impl TrainHistory {
+    /// The last recorded accuracy (0 if untrained).
+    pub fn final_acc(&self) -> f32 {
+        self.accs.last().copied().unwrap_or(0.0)
+    }
+
+    /// The best recorded accuracy.
+    pub fn best_acc(&self) -> f32 {
+        self.accs.iter().copied().fold(0.0, f32::max)
+    }
+}
+
+/// Plain supervised training of a float model — the FP baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct FpTrainer {
+    /// Hyperparameters.
+    pub config: TrainConfig,
+}
+
+impl FpTrainer {
+    /// Creates the trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        FpTrainer { config }
+    }
+
+    /// Trains `model` on `data` and returns the history.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches inside the model.
+    pub fn fit(&self, model: &dyn Module, data: &SynthVision) -> Result<TrainHistory> {
+        let cfg = self.config;
+        let params = model.params();
+        let mut opt = Sgd::new(params.clone(), cfg.lr)
+            .momentum(cfg.momentum)
+            .weight_decay(cfg.weight_decay);
+        let schedule = CosineSchedule { base_lr: cfg.lr, min_lr: cfg.lr * 0.01, total: cfg.epochs };
+        let mut history = TrainHistory::default();
+        let mut augment = Augment::new(AugmentConfig::standard(), cfg.seed);
+        model.set_training(true);
+        for epoch in 0..cfg.epochs {
+            opt.set_lr(schedule.lr_at(epoch));
+            let mut loss_sum = 0.0;
+            let mut batches = 0;
+            let mut step = |images: t2c_tensor::Tensor<f32>,
+                            labels: &[usize]|
+             -> Result<f32> {
+                let g = Graph::new();
+                let logits = model.forward(&g.leaf(images))?;
+                let loss = logits.cross_entropy_logits(labels)?;
+                opt.zero_grad();
+                loss.backward()?;
+                if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&params, cfg.grad_clip);
+                }
+                opt.step();
+                Ok(loss.tensor().item())
+            };
+            if cfg.loader_workers > 0 {
+                // Augmentation prepared on worker threads (deterministic).
+                let loader = t2c_data::ParallelLoader::prepare(
+                    data,
+                    cfg.batch,
+                    AugmentConfig::standard(),
+                    cfg.seed + epoch as u64,
+                    cfg.loader_workers,
+                );
+                for (images, labels) in loader.iter() {
+                    loss_sum += step(images.clone(), labels)?;
+                    batches += 1;
+                }
+            } else {
+                for (images, labels) in BatchIter::train(data, cfg.batch, cfg.seed + epoch as u64) {
+                    let images = augment.apply_batch(&images);
+                    loss_sum += step(images, &labels)?;
+                    batches += 1;
+                }
+            }
+            history.losses.push(loss_sum / batches.max(1) as f32);
+            history.accs.push(evaluate(model, data, cfg.batch)?);
+        }
+        Ok(history)
+    }
+}
+
+/// Quantization-aware training over the Dual-Path training route.
+///
+/// The first `calibration_batches` batches run on the `Calibrate` path to
+/// seed observers and clipping thresholds; training then proceeds on the
+/// fake-quantized path, with quantizer parameters (PACT α, RCF α, LSQ
+/// steps, …) optimized jointly with the weights.
+#[derive(Debug, Clone, Copy)]
+pub struct QatTrainer {
+    /// Hyperparameters.
+    pub config: TrainConfig,
+    /// Enables PROFIT-style progressive freezing for the last third of
+    /// training (paper Table 2's sub-4-bit MobileNet recipe).
+    pub profit: bool,
+}
+
+impl QatTrainer {
+    /// Creates the trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        QatTrainer { config, profit: false }
+    }
+
+    /// Enables the PROFIT progressive-freezing phase.
+    #[must_use]
+    pub fn with_profit(mut self) -> Self {
+        self.profit = true;
+        self
+    }
+
+    /// Runs QAT on a quantized twin.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches inside the model.
+    pub fn fit<M: QuantModel>(&self, model: &M, data: &SynthVision) -> Result<TrainHistory> {
+        let cfg = self.config;
+        let mut params = model.params();
+        params.extend(model.quant_trainables());
+        let mut opt = Sgd::new(params.clone(), cfg.lr)
+            .momentum(cfg.momentum)
+            .weight_decay(cfg.weight_decay);
+        let schedule = CosineSchedule { base_lr: cfg.lr, min_lr: cfg.lr * 0.01, total: cfg.epochs };
+        let mut history = TrainHistory::default();
+        let mut augment = Augment::new(AugmentConfig::standard(), cfg.seed);
+        model.set_training(true);
+        // --- Calibration warm-up -----------------------------------------
+        model.set_path(PathMode::Calibrate);
+        let mut seen = 0usize;
+        for (images, labels) in BatchIter::train(data, cfg.batch, cfg.seed) {
+            let g = Graph::new();
+            let _ = model.forward(&g.leaf(images))?;
+            let _ = labels;
+            seen += 1;
+            if seen >= cfg.calibration_batches {
+                break;
+            }
+        }
+        model.set_path(PathMode::Quant);
+        // --- Main QAT loop -------------------------------------------------
+        let freeze_start = if self.profit { cfg.epochs.saturating_sub(cfg.epochs / 3) } else { usize::MAX };
+        for epoch in 0..cfg.epochs {
+            if epoch == freeze_start {
+                self.profit_freeze(model)?;
+            }
+            opt.set_lr(schedule.lr_at(epoch));
+            let mut loss_sum = 0.0;
+            let mut batches = 0;
+            for (images, labels) in BatchIter::train(data, cfg.batch, cfg.seed + 1 + epoch as u64) {
+                let images = augment.apply_batch(&images);
+                let g = Graph::new();
+                let logits = model.forward(&g.leaf(images))?;
+                let loss = logits.cross_entropy_logits(&labels)?;
+                opt.zero_grad();
+                loss.backward()?;
+                if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&params, cfg.grad_clip);
+                }
+                opt.step();
+                loss_sum += loss.tensor().item();
+                batches += 1;
+            }
+            history.losses.push(loss_sum / batches.max(1) as f32);
+            history.accs.push(evaluate(model, data, cfg.batch)?);
+        }
+        Ok(history)
+    }
+
+    /// PROFIT: freeze the weights of the most quantization-unstable
+    /// convolution units (by weight-quantization error) and fine-tune the
+    /// rest — the core idea of Park & Yoo's progressive freezing.
+    fn profit_freeze<M: QuantModel + ?Sized>(&self, model: &M) -> Result<()> {
+        let units = model.conv_units();
+        if units.is_empty() {
+            return Ok(());
+        }
+        // Rank units by relative weight quantization error.
+        let mut scored: Vec<(usize, f32)> = units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let w = u.conv().weight().value();
+                u.weight_quantizer().calibrate(&w);
+                let codes = u.weight_quantizer().quantize(&w);
+                let scales =
+                    u.weight_quantizer().scale().to_per_channel(w.dim(0));
+                let inner = w.numel() / w.dim(0).max(1);
+                let mut err = 0.0f32;
+                for (j, (&orig, &c)) in w.as_slice().iter().zip(codes.as_slice()).enumerate() {
+                    let s = scales[j / inner.max(1)];
+                    err += (orig - c as f32 * s).powi(2);
+                }
+                (i, err / w.abs_max().max(1e-6).powi(2))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Freeze the most unstable third.
+        for (i, _) in scored.iter().take(units.len().div_ceil(3)) {
+            units[*i].conv().weight().set_trainable(false);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qmodels::{QMobileNet, QuantFactory};
+    use crate::QuantConfig;
+    use t2c_data::SynthVisionConfig;
+    use t2c_nn::models::{MobileNetConfig, MobileNetV1};
+    use t2c_tensor::rng::TensorRng;
+
+    fn tiny_data() -> SynthVision {
+        SynthVision::generate(&SynthVisionConfig::tiny(3, 16))
+    }
+
+    #[test]
+    fn fp_trainer_learns_tiny_task() {
+        let data = tiny_data();
+        let mut rng = TensorRng::seed_from(0);
+        let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+        let history = FpTrainer::new(TrainConfig::quick(4)).fit(&model, &data).unwrap();
+        assert!(
+            history.final_acc() > 0.5,
+            "accuracy {} should beat chance 0.33",
+            history.final_acc()
+        );
+        // Loss decreases.
+        assert!(history.losses.last().unwrap() < history.losses.first().unwrap());
+    }
+
+    #[test]
+    fn qat_trainer_learns_with_fake_quant() {
+        let data = tiny_data();
+        let mut rng = TensorRng::seed_from(1);
+        let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+        let qmodel = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+        let history = QatTrainer::new(TrainConfig::quick(4)).fit(&qmodel, &data).unwrap();
+        assert!(history.final_acc() > 0.5, "accuracy {}", history.final_acc());
+        assert!(qmodel.input_quantizer().is_calibrated());
+    }
+
+    #[test]
+    fn profit_freezes_some_weights() {
+        let data = tiny_data();
+        let mut rng = TensorRng::seed_from(2);
+        let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+        let qmodel = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(4)));
+        let trainer = QatTrainer::new(TrainConfig::quick(3)).with_profit();
+        trainer.fit(&qmodel, &data).unwrap();
+        let frozen = qmodel
+            .conv_units()
+            .iter()
+            .filter(|u| !u.conv().weight().is_trainable())
+            .count();
+        assert!(frozen > 0, "PROFIT should freeze at least one unit");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the quantization core: error bounds, fixed-point
+//! fidelity and fusion algebra must hold for *arbitrary* inputs.
+
+use proptest::prelude::*;
+use t2c_autograd::Graph;
+use t2c_core::quantizer::{
+    ActQuantizer, MinMaxAct, MinMaxWeight, RcfWeight, SawbWeight, Scale, WeightQuantizer,
+};
+use t2c_core::{FixedPointFormat, FixedScalar, MulQuant, ObserverKind, QuantSpec};
+use t2c_tensor::Tensor;
+
+fn weights(n: usize) -> impl Strategy<Value = Tensor<f32>> {
+    proptest::collection::vec(-1000i32..1000, n)
+        .prop_map(move |v| Tensor::from_vec(v.iter().map(|&x| x as f32 / 250.0).collect(), &[n]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minmax_quantize_dequantize_error_bounded(w in weights(32), bits in 2u8..9) {
+        // |ŵ − w| ≤ S/2 inside the clipping range — the defining bound.
+        let q = MinMaxWeight::new(QuantSpec::signed(bits), false);
+        q.calibrate(&w);
+        let codes = q.quantize(&w);
+        let s = match q.scale() { Scale::PerTensor(s) => s, _ => unreachable!() };
+        for (&c, &orig) in codes.as_slice().iter().zip(w.as_slice()) {
+            prop_assert!((c as f32 * s - orig).abs() <= s / 2.0 + 1e-5,
+                "code {c} scale {s} orig {orig}");
+        }
+    }
+
+    #[test]
+    fn fake_quant_equals_dequantized_codes(w in weights(24), bits in 2u8..9) {
+        // Dual-path consistency: the training path's forward value must be
+        // exactly scale × the inference path's codes.
+        let q = MinMaxWeight::new(QuantSpec::signed(bits), false);
+        let g = Graph::new();
+        let dq = q.train_path(&g.leaf(w.clone())).unwrap().tensor();
+        let codes = q.quantize(&w);
+        let s = match q.scale() { Scale::PerTensor(s) => s, _ => unreachable!() };
+        for (d, &c) in dq.as_slice().iter().zip(codes.as_slice()) {
+            prop_assert!((d - c as f32 * s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn quantized_codes_always_on_grid(w in weights(16), bits in 2u8..9) {
+        for q in [
+            Box::new(MinMaxWeight::new(QuantSpec::signed(bits), false)) as Box<dyn WeightQuantizer>,
+            Box::new(SawbWeight::new(QuantSpec::signed(bits))),
+            Box::new(RcfWeight::new("p", QuantSpec::signed(bits))),
+        ] {
+            q.calibrate(&w);
+            let spec = q.spec();
+            let codes = q.quantize(&w);
+            prop_assert!(codes.as_slice().iter().all(|&c| c >= spec.qmin() && c <= spec.qmax()),
+                "{} emitted off-grid codes", q.name());
+        }
+    }
+
+    #[test]
+    fn act_quantizer_respects_unsigned_grid(x in weights(32)) {
+        let q = MinMaxAct::new(QuantSpec::unsigned(8), ObserverKind::MinMax);
+        let relu = x.relu();
+        q.observe(&relu);
+        let codes = q.quantize(&relu);
+        prop_assert!(codes.as_slice().iter().all(|&c| (0..=255).contains(&c)));
+    }
+
+    #[test]
+    fn fixed_point_auto_never_saturates_the_driving_value(v in -10000i32..10000) {
+        let value = v as f32 / 16.0;
+        if value != 0.0 {
+            let fs = FixedScalar::auto(value, 16);
+            // Relative error of the chosen representation ≤ 2^-(frac) / |v|·… — in
+            // particular never more than ~0.1% for 16-bit budgets.
+            let err = (fs.to_f32() - value).abs() / value.abs();
+            prop_assert!(err < 2e-3, "value {value} repr {} err {err}", fs.to_f32());
+        }
+    }
+
+    #[test]
+    fn mulquant_tracks_float_epilogue(
+        acc in proptest::collection::vec(-30000i32..30000, 8),
+        scale_raw in 1i32..2000,
+        bias_raw in -500i32..500,
+    ) {
+        let scale = scale_raw as f32 / 10000.0; // (0, 0.2]
+        let bias = bias_raw as f32 / 10.0;
+        let mq = MulQuant::from_float_auto(&[scale], &[bias], 16, QuantSpec::signed(8));
+        let t = Tensor::from_vec(acc.clone(), &[acc.len()]).unwrap();
+        let y = mq.apply(&t, 0, false);
+        for (&a, &q) in acc.iter().zip(y.as_slice()) {
+            let float = (a as f32 * scale + bias).round().clamp(-127.0, 127.0);
+            // Fixed-point error ≤ 1 code plus the scale's representation error.
+            prop_assert!((float - q as f32).abs() <= (a as f32 * scale).abs() * 2e-3 + 1.0,
+                "acc {a}: float {float} vs fixed {q}");
+        }
+    }
+
+    #[test]
+    fn round_shift_monotone(a in -100000i64..100000, b in -100000i64..100000, bits in 1u8..16) {
+        // Requantization must preserve ordering (argmax safety).
+        if a <= b {
+            prop_assert!(t2c_core::round_shift_public(a, bits) <= t2c_core::round_shift_public(b, bits));
+        }
+    }
+
+    #[test]
+    fn format_auto_covers_magnitude_with_mantissa_precision(mag_raw in 1u32..1_000_000_000) {
+        // Magnitudes from 1e-6 up to 1e3: `auto` must represent the value
+        // itself with ≈ full-word relative precision.
+        let mag = mag_raw as f32 / 1_000_000.0;
+        let fmt = FixedPointFormat::auto(16, mag);
+        let q = fmt.quantize(mag);
+        let err = (q.to_f32() - mag).abs() / mag;
+        prop_assert!(err < 1e-3, "mag {mag}: repr {} err {err} fmt {fmt}", q.to_f32());
+    }
+
+    #[test]
+    fn format_auto_small_words_still_represent_small_scales(mag_raw in 1u32..10_000) {
+        // The mantissa+shift fix: a 6-bit word must still carry a 1e-4-ish
+        // multiplier with ≤ ~6% relative error (2^-4).
+        let mag = mag_raw as f32 / 10_000_000.0; // 1e-7 .. 1e-3
+        let fmt = FixedPointFormat::auto(6, mag);
+        let q = fmt.quantize(mag);
+        let err = (q.to_f32() - mag).abs() / mag;
+        prop_assert!(err < 0.07, "mag {mag}: repr {} err {err} fmt {fmt}", q.to_f32());
+    }
+}

@@ -1,0 +1,211 @@
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+/// Configuration of the stochastic augmentation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Zero-padding used by the random crop (crop size = original size).
+    pub crop_pad: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+    /// σ of additive Gaussian noise (0 disables).
+    pub noise: f32,
+    /// Half-width of the multiplicative brightness jitter (0 disables).
+    pub brightness: f32,
+    /// Edge length of a random zeroed square (0 disables cutout).
+    pub cutout: usize,
+}
+
+impl AugmentConfig {
+    /// The standard supervised-training recipe: pad-crop + flip.
+    pub fn standard() -> Self {
+        AugmentConfig { crop_pad: 2, flip_prob: 0.5, noise: 0.0, brightness: 0.0, cutout: 0 }
+    }
+
+    /// The heavier two-view recipe used for self-supervised pre-training.
+    pub fn ssl() -> Self {
+        AugmentConfig { crop_pad: 3, flip_prob: 0.5, noise: 0.15, brightness: 0.3, cutout: 4 }
+    }
+
+    /// No augmentation (evaluation).
+    pub fn none() -> Self {
+        AugmentConfig { crop_pad: 0, flip_prob: 0.0, noise: 0.0, brightness: 0.0, cutout: 0 }
+    }
+}
+
+/// A seeded augmentation pipeline over `[C, H, W]` images.
+#[derive(Debug, Clone)]
+pub struct Augment {
+    config: AugmentConfig,
+    rng: TensorRng,
+}
+
+impl Augment {
+    /// Creates the pipeline with its own RNG stream.
+    pub fn new(config: AugmentConfig, seed: u64) -> Self {
+        Augment { config, rng: TensorRng::seed_from(seed) }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> AugmentConfig {
+        self.config
+    }
+
+    /// Applies one random augmentation to a `[C, H, W]` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `img` is not rank 3.
+    pub fn apply(&mut self, img: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(img.rank(), 3, "augment expects [C,H,W]");
+        let mut out = img.clone();
+        let cfg = self.config;
+        if cfg.crop_pad > 0 {
+            let dy = self.rng.next_usize(2 * cfg.crop_pad + 1) as isize - cfg.crop_pad as isize;
+            let dx = self.rng.next_usize(2 * cfg.crop_pad + 1) as isize - cfg.crop_pad as isize;
+            out = shift_zero_pad(&out, dy, dx);
+        }
+        if cfg.flip_prob > 0.0 && self.rng.next_f32() < cfg.flip_prob {
+            out = hflip(&out);
+        }
+        if cfg.brightness > 0.0 {
+            let gain = 1.0 + self.rng.next_range(-cfg.brightness, cfg.brightness);
+            out = out.mul_scalar(gain);
+        }
+        if cfg.noise > 0.0 {
+            let sigma = cfg.noise;
+            out = Tensor::from_fn(out.dims(), |i| out.as_slice()[i] + sigma * self.rng.next_normal());
+        }
+        if cfg.cutout > 0 {
+            out = cutout(&out, cfg.cutout, &mut self.rng);
+        }
+        out
+    }
+
+    /// Produces the two independently augmented views used by contrastive
+    /// self-supervised learning.
+    pub fn two_views(&mut self, img: &Tensor<f32>) -> (Tensor<f32>, Tensor<f32>) {
+        (self.apply(img), self.apply(img))
+    }
+
+    /// Augments a whole `[B, C, H, W]` batch sample-by-sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is not rank 4.
+    pub fn apply_batch(&mut self, batch: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(batch.rank(), 4, "augment_batch expects [B,C,H,W]");
+        let views: Vec<Tensor<f32>> = (0..batch.dim(0))
+            .map(|i| self.apply(&batch.index_axis0(i).expect("batch index")))
+            .collect();
+        let refs: Vec<&Tensor<f32>> = views.iter().collect();
+        Tensor::stack(&refs).expect("augment stack")
+    }
+}
+
+fn shift_zero_pad(img: &Tensor<f32>, dy: isize, dx: isize) -> Tensor<f32> {
+    let (c, h, w) = (img.dim(0), img.dim(1), img.dim(2));
+    let mut out = Tensor::<f32>::zeros(&[c, h, w]);
+    for ch in 0..c {
+        for y in 0..h {
+            let sy = y as isize + dy;
+            if sy < 0 || sy >= h as isize {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as isize + dx;
+                if sx < 0 || sx >= w as isize {
+                    continue;
+                }
+                out.set(&[ch, y, x], img.at(&[ch, sy as usize, sx as usize]));
+            }
+        }
+    }
+    out
+}
+
+fn hflip(img: &Tensor<f32>) -> Tensor<f32> {
+    let (c, h, w) = (img.dim(0), img.dim(1), img.dim(2));
+    let mut out = Tensor::<f32>::zeros(&[c, h, w]);
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                out.set(&[ch, y, x], img.at(&[ch, y, w - 1 - x]));
+            }
+        }
+    }
+    out
+}
+
+fn cutout(img: &Tensor<f32>, size: usize, rng: &mut TensorRng) -> Tensor<f32> {
+    let (c, h, w) = (img.dim(0), img.dim(1), img.dim(2));
+    let cy = rng.next_usize(h);
+    let cx = rng.next_usize(w);
+    let half = size / 2;
+    let mut out = img.clone();
+    for ch in 0..c {
+        for y in cy.saturating_sub(half)..(cy + half + 1).min(h) {
+            for x in cx.saturating_sub(half)..(cx + half + 1).min(w) {
+                out.set(&[ch, y, x], 0.0);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Tensor<f32> {
+        Tensor::from_fn(&[1, 4, 4], |i| i as f32)
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let mut aug = Augment::new(AugmentConfig::none(), 0);
+        let img = ramp();
+        assert_eq!(aug.apply(&img).as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn hflip_reverses_rows() {
+        let img = ramp();
+        let f = hflip(&img);
+        assert_eq!(f.at(&[0, 0, 0]), img.at(&[0, 0, 3]));
+        assert_eq!(hflip(&f).as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn shift_pads_with_zeros() {
+        let img = Tensor::ones(&[1, 3, 3]);
+        let s = shift_zero_pad(&img, 1, 0);
+        // The last row reads beyond the source and must be zero.
+        assert_eq!(s.at(&[0, 2, 0]), 0.0);
+        assert_eq!(s.at(&[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn two_views_differ() {
+        let mut aug = Augment::new(AugmentConfig::ssl(), 7);
+        let img = ramp();
+        let (a, b) = aug.two_views(&img);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn cutout_zeroes_a_patch() {
+        let mut rng = TensorRng::seed_from(3);
+        let img = Tensor::ones(&[1, 8, 8]);
+        let c = cutout(&img, 4, &mut rng);
+        let zeros = c.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 0 && zeros < 64);
+    }
+
+    #[test]
+    fn apply_batch_keeps_shape() {
+        let mut aug = Augment::new(AugmentConfig::standard(), 9);
+        let batch = Tensor::ones(&[3, 1, 4, 4]);
+        assert_eq!(aug.apply_batch(&batch).dims(), &[3, 1, 4, 4]);
+    }
+}

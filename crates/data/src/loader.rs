@@ -1,0 +1,157 @@
+use crossbeam::channel;
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+use crate::{Augment, AugmentConfig, SynthVision};
+
+/// An epoch's worth of shuffled `([B,C,H,W], labels)` batches drawn from a
+/// dataset split.
+#[derive(Debug)]
+pub struct BatchIter<'d> {
+    data: &'d SynthVision,
+    order: Vec<usize>,
+    batch: usize,
+    cursor: usize,
+    test_split: bool,
+}
+
+impl<'d> BatchIter<'d> {
+    /// Shuffled training batches for one epoch. `seed` should vary per
+    /// epoch for a fresh order.
+    pub fn train(data: &'d SynthVision, batch: usize, seed: u64) -> Self {
+        let mut rng = TensorRng::seed_from(seed);
+        BatchIter { data, order: rng.permutation(data.train_len()), batch, cursor: 0, test_split: false }
+    }
+
+    /// Sequential test batches.
+    pub fn test(data: &'d SynthVision, batch: usize) -> Self {
+        BatchIter { data, order: (0..data.test_len()).collect(), batch, cursor: 0, test_split: true }
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch)
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor<f32>, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(if self.test_split { self.data.test_batch(idx) } else { self.data.train_batch(idx) })
+    }
+}
+
+/// Prepares augmented training batches on worker threads (crossbeam scoped
+/// threads + a bounded channel), overlapping augmentation with training.
+///
+/// The deterministic path is preserved: each batch's augmentation RNG is
+/// seeded from `(seed, batch_index)`, so the output is identical to a
+/// sequential loader regardless of thread scheduling.
+pub struct ParallelLoader {
+    batches: Vec<(Tensor<f32>, Vec<usize>)>,
+}
+
+impl ParallelLoader {
+    /// Materializes one epoch of augmented batches using `workers` threads.
+    pub fn prepare(
+        data: &SynthVision,
+        batch: usize,
+        augment: AugmentConfig,
+        seed: u64,
+        workers: usize,
+    ) -> Self {
+        let plan: Vec<(usize, Vec<usize>)> = {
+            let mut rng = TensorRng::seed_from(seed);
+            let order = rng.permutation(data.train_len());
+            order.chunks(batch).map(|c| c.to_vec()).enumerate().collect()
+        };
+        let (tx, rx) = channel::unbounded::<(usize, (Tensor<f32>, Vec<usize>))>();
+        let workers = workers.max(1);
+        crossbeam::scope(|scope| {
+            for wid in 0..workers {
+                let tx = tx.clone();
+                let plan = &plan;
+                scope.spawn(move |_| {
+                    for (bi, indices) in plan.iter().skip(wid).step_by(workers) {
+                        let (imgs, labels) = data.train_batch(indices);
+                        let mut aug = Augment::new(augment, seed ^ (*bi as u64).wrapping_mul(0x9E37_79B9));
+                        let imgs = aug.apply_batch(&imgs);
+                        tx.send((*bi, (imgs, labels))).expect("loader channel");
+                    }
+                });
+            }
+            drop(tx);
+        })
+        .expect("loader scope");
+        let mut collected: Vec<Option<(Tensor<f32>, Vec<usize>)>> = (0..plan.len()).map(|_| None).collect();
+        for (bi, b) in rx.iter() {
+            collected[bi] = Some(b);
+        }
+        ParallelLoader { batches: collected.into_iter().map(|b| b.expect("all batches produced")).collect() }
+    }
+
+    /// Number of prepared batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// `true` when no batches were prepared.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Iterates over the prepared batches in epoch order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Tensor<f32>, Vec<usize>)> {
+        self.batches.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthVisionConfig;
+
+    #[test]
+    fn batch_iter_covers_epoch_once() {
+        let d = SynthVision::generate(&SynthVisionConfig::tiny(3, 5));
+        let it = BatchIter::train(&d, 4, 0);
+        let n = it.num_batches();
+        let total: usize = it.map(|(_, labels)| labels.len()).sum();
+        assert_eq!(total, d.train_len());
+        assert_eq!(n, d.train_len().div_ceil(4));
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let d = SynthVision::generate(&SynthVisionConfig::tiny(3, 8));
+        let a: Vec<usize> = BatchIter::train(&d, 6, 1).next().unwrap().1;
+        let b: Vec<usize> = BatchIter::train(&d, 6, 2).next().unwrap().1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn test_iter_is_sequential_and_complete() {
+        let d = SynthVision::generate(&SynthVisionConfig::tiny(2, 6));
+        let total: usize = BatchIter::test(&d, 4).map(|(_, l)| l.len()).sum();
+        assert_eq!(total, d.test_len());
+    }
+
+    #[test]
+    fn parallel_loader_is_deterministic_across_worker_counts() {
+        let d = SynthVision::generate(&SynthVisionConfig::tiny(3, 6));
+        let a = ParallelLoader::prepare(&d, 4, AugmentConfig::standard(), 11, 1);
+        let b = ParallelLoader::prepare(&d, 4, AugmentConfig::standard(), 11, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.0.as_slice(), y.0.as_slice());
+            assert_eq!(x.1, y.1);
+        }
+    }
+}

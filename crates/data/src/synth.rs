@@ -1,0 +1,371 @@
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+/// Parameters of a synthetic class-conditional image distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthVisionConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Image edge length.
+    pub image: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Per-sample Gaussian pixel noise (σ). Larger = harder task.
+    pub noise: f32,
+    /// Maximum cyclic shift applied per sample, in pixels.
+    pub shift_max: usize,
+    /// Number of sinusoidal texture components per class prototype.
+    pub texture_components: usize,
+    /// Seed controlling the whole distribution.
+    pub seed: u64,
+}
+
+impl SynthVisionConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny(num_classes: usize, per_class: usize) -> Self {
+        SynthVisionConfig {
+            num_classes,
+            train_per_class: per_class,
+            test_per_class: per_class.div_ceil(2),
+            image: 16,
+            channels: 3,
+            noise: 0.3,
+            shift_max: 2,
+            texture_components: 4,
+            seed: 1234,
+        }
+    }
+
+    /// CIFAR-10-like: 10 classes, 32×32 difficulty profile (at reduced
+    /// resolution for CPU budgets).
+    pub fn cifar10_like(per_class: usize) -> Self {
+        SynthVisionConfig {
+            num_classes: 10,
+            train_per_class: per_class,
+            test_per_class: per_class / 4,
+            image: 16,
+            channels: 3,
+            noise: 0.8,
+            shift_max: 4,
+            texture_components: 5,
+            seed: 0xC1FA_0010,
+        }
+    }
+
+    /// CIFAR-100-like: many classes, same images — a harder label space.
+    pub fn cifar100_like(per_class: usize) -> Self {
+        SynthVisionConfig {
+            num_classes: 20,
+            train_per_class: per_class,
+            test_per_class: per_class / 4,
+            image: 16,
+            channels: 3,
+            noise: 0.9,
+            shift_max: 4,
+            texture_components: 5,
+            seed: 0xC1FA_0100,
+        }
+    }
+
+    /// Aircraft-like: fewer classes, high intra-class variability (large
+    /// shifts), fine-grained textures.
+    pub fn aircraft_like(per_class: usize) -> Self {
+        SynthVisionConfig {
+            num_classes: 8,
+            train_per_class: per_class,
+            test_per_class: per_class / 4,
+            image: 16,
+            channels: 3,
+            noise: 0.4,
+            shift_max: 5,
+            texture_components: 8,
+            seed: 0xA1C_4AF7,
+        }
+    }
+
+    /// Flowers-like: colour-dominated classes (low texture count, strong
+    /// channel structure).
+    pub fn flowers_like(per_class: usize) -> Self {
+        SynthVisionConfig {
+            num_classes: 8,
+            train_per_class: per_class,
+            test_per_class: per_class / 4,
+            image: 16,
+            channels: 3,
+            noise: 0.35,
+            shift_max: 2,
+            texture_components: 2,
+            seed: 0xF10_3355,
+        }
+    }
+
+    /// Food-101-like: noisy, cluttered classes.
+    pub fn food_like(per_class: usize) -> Self {
+        SynthVisionConfig {
+            num_classes: 12,
+            train_per_class: per_class,
+            test_per_class: per_class / 4,
+            image: 16,
+            channels: 3,
+            noise: 0.6,
+            shift_max: 4,
+            texture_components: 6,
+            seed: 0xF00D_0101,
+        }
+    }
+
+    /// ImageNet-like: the largest label space used by the Table 1/3
+    /// experiments.
+    pub fn imagenet_like(per_class: usize) -> Self {
+        SynthVisionConfig {
+            num_classes: 16,
+            train_per_class: per_class,
+            test_per_class: per_class / 4,
+            image: 16,
+            channels: 3,
+            noise: 0.85,
+            shift_max: 4,
+            texture_components: 6,
+            seed: 0x1A6E_7001,
+        }
+    }
+}
+
+/// A generated dataset: train and test splits of `[C, H, W]` images with
+/// integer labels.
+#[derive(Debug, Clone)]
+pub struct SynthVision {
+    train: Vec<(Tensor<f32>, usize)>,
+    test: Vec<(Tensor<f32>, usize)>,
+    config: SynthVisionConfig,
+}
+
+impl SynthVision {
+    /// Generates the dataset deterministically from its config.
+    pub fn generate(config: &SynthVisionConfig) -> Self {
+        let mut rng = TensorRng::seed_from(config.seed);
+        let prototypes: Vec<Tensor<f32>> =
+            (0..config.num_classes).map(|_| class_prototype(&mut rng, config)).collect();
+        let mut train = Vec::with_capacity(config.num_classes * config.train_per_class);
+        let mut test = Vec::with_capacity(config.num_classes * config.test_per_class);
+        for (label, proto) in prototypes.iter().enumerate() {
+            for _ in 0..config.train_per_class {
+                train.push((draw_sample(&mut rng, proto, config), label));
+            }
+            for _ in 0..config.test_per_class {
+                test.push((draw_sample(&mut rng, proto, config), label));
+            }
+        }
+        // Interleave classes so sequential batches are class-balanced.
+        let mut shuffler = TensorRng::seed_from(config.seed ^ 0x5EED);
+        permute_in_place(&mut train, &mut shuffler);
+        permute_in_place(&mut test, &mut shuffler);
+        SynthVision { train, test, config: config.clone() }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &SynthVisionConfig {
+        &self.config
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test.len()
+    }
+
+    /// A training sample by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn train_sample(&self, i: usize) -> (&Tensor<f32>, usize) {
+        let (img, label) = &self.train[i];
+        (img, *label)
+    }
+
+    /// A test sample by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn test_sample(&self, i: usize) -> (&Tensor<f32>, usize) {
+        let (img, label) = &self.test[i];
+        (img, *label)
+    }
+
+    /// Stacks training samples at `indices` into `([B,C,H,W], labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn train_batch(&self, indices: &[usize]) -> (Tensor<f32>, Vec<usize>) {
+        batch(&self.train, indices)
+    }
+
+    /// Stacks test samples at `indices` into `([B,C,H,W], labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn test_batch(&self, indices: &[usize]) -> (Tensor<f32>, Vec<usize>) {
+        batch(&self.test, indices)
+    }
+}
+
+fn batch(samples: &[(Tensor<f32>, usize)], indices: &[usize]) -> (Tensor<f32>, Vec<usize>) {
+    let imgs: Vec<&Tensor<f32>> = indices.iter().map(|&i| &samples[i].0).collect();
+    let labels = indices.iter().map(|&i| samples[i].1).collect();
+    (Tensor::stack(&imgs).expect("batch stack"), labels)
+}
+
+fn permute_in_place<T>(v: &mut [T], rng: &mut TensorRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.next_usize(i + 1);
+        v.swap(i, j);
+    }
+}
+
+/// A class prototype: a sum of random 2-D sinusoids (band-limited texture)
+/// plus a random soft blob, per channel.
+fn class_prototype(rng: &mut TensorRng, cfg: &SynthVisionConfig) -> Tensor<f32> {
+    let (c, h, w) = (cfg.channels, cfg.image, cfg.image);
+    let mut img = Tensor::<f32>::zeros(&[c, h, w]);
+    for ch in 0..c {
+        // Sinusoidal texture components with class-random frequency/phase.
+        let comps: Vec<(f32, f32, f32, f32)> = (0..cfg.texture_components)
+            .map(|_| {
+                (
+                    rng.next_range(0.5, 3.5),           // fx (cycles per image)
+                    rng.next_range(0.5, 3.5),           // fy
+                    rng.next_range(0.0, std::f32::consts::TAU), // phase
+                    rng.next_range(0.4, 1.0),           // amplitude
+                )
+            })
+            .collect();
+        // One soft blob per channel.
+        let (bx, by) = (rng.next_range(0.2, 0.8) * w as f32, rng.next_range(0.2, 0.8) * h as f32);
+        let radius = rng.next_range(0.15, 0.35) * w as f32;
+        let blob_amp = rng.next_range(0.5, 1.5);
+        for y in 0..h {
+            for x in 0..w {
+                let mut v = 0.0f32;
+                for &(fx, fy, phase, amp) in &comps {
+                    v += amp
+                        * (std::f32::consts::TAU * (fx * x as f32 / w as f32 + fy * y as f32 / h as f32)
+                            + phase)
+                            .sin();
+                }
+                let d2 = (x as f32 - bx).powi(2) + (y as f32 - by).powi(2);
+                v += blob_amp * (-d2 / (radius * radius)).exp();
+                img.set(&[ch, y, x], v / (cfg.texture_components as f32).sqrt());
+            }
+        }
+    }
+    img
+}
+
+/// Draws one sample: cyclic shift + brightness scale + Gaussian noise.
+fn draw_sample(rng: &mut TensorRng, proto: &Tensor<f32>, cfg: &SynthVisionConfig) -> Tensor<f32> {
+    let (c, h, w) = (cfg.channels, cfg.image, cfg.image);
+    let dy = rng.next_usize(2 * cfg.shift_max + 1) as isize - cfg.shift_max as isize;
+    let dx = rng.next_usize(2 * cfg.shift_max + 1) as isize - cfg.shift_max as isize;
+    let gain = rng.next_range(0.8, 1.2);
+    let mut out = Tensor::<f32>::zeros(&[c, h, w]);
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = ((y as isize + dy).rem_euclid(h as isize)) as usize;
+                let sx = ((x as isize + dx).rem_euclid(w as isize)) as usize;
+                let v = proto.at(&[ch, sy, sx]) * gain + cfg.noise * rng.next_normal();
+                out.set(&[ch, y, x], v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthVisionConfig::tiny(3, 4);
+        let a = SynthVision::generate(&cfg);
+        let b = SynthVision::generate(&cfg);
+        assert_eq!(a.train_sample(0).0.as_slice(), b.train_sample(0).0.as_slice());
+        assert_eq!(a.train_sample(0).1, b.train_sample(0).1);
+    }
+
+    #[test]
+    fn split_sizes() {
+        let d = SynthVision::generate(&SynthVisionConfig::tiny(3, 4));
+        assert_eq!(d.train_len(), 12);
+        assert_eq!(d.test_len(), 6);
+    }
+
+    #[test]
+    fn all_classes_present_in_both_splits() {
+        let d = SynthVision::generate(&SynthVisionConfig::tiny(5, 4));
+        for split_len in [d.train_len(), d.test_len()] {
+            let mut seen = vec![false; 5];
+            for i in 0..split_len {
+                let label = if split_len == d.train_len() {
+                    d.train_sample(i).1
+                } else {
+                    d.test_sample(i).1
+                };
+                seen[label] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn class_prototypes_are_distinguishable() {
+        // Mean inter-class L2 distance must dominate intra-class distance;
+        // otherwise the task is unlearnable and every experiment collapses.
+        let d = SynthVision::generate(&SynthVisionConfig::tiny(4, 8));
+        let mut per_class: Vec<Vec<&Tensor<f32>>> = vec![Vec::new(); 4];
+        for i in 0..d.train_len() {
+            let (img, label) = d.train_sample(i);
+            per_class[label].push(img);
+        }
+        let dist = |a: &Tensor<f32>, b: &Tensor<f32>| -> f32 {
+            a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).powi(2)).sum::<f32>()
+        };
+        let intra = dist(per_class[0][0], per_class[0][1]);
+        let inter = dist(per_class[0][0], per_class[1][0]);
+        assert!(inter > intra * 0.8, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn batch_stacks_images() {
+        let d = SynthVision::generate(&SynthVisionConfig::tiny(2, 3));
+        let (imgs, labels) = d.train_batch(&[0, 1, 2, 3]);
+        assert_eq!(imgs.dims(), &[4, 3, 16, 16]);
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn named_variants_differ() {
+        let a = SynthVision::generate(&SynthVisionConfig::cifar10_like(2));
+        let b = SynthVision::generate(&SynthVisionConfig::flowers_like(2));
+        assert_ne!(a.train_sample(0).0.as_slice(), b.train_sample(0).0.as_slice());
+        assert_ne!(a.num_classes(), b.num_classes() + 100); // sanity: different configs
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors from exporting or re-loading deployment artifacts.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a T2CM model (bad magic bytes).
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u16),
+    /// The payload checksum does not match (corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed from the payload.
+        computed: u64,
+    },
+    /// The byte stream ended prematurely or a field is malformed.
+    Malformed(String),
+    /// A hex/decimal line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A value does not fit the declared bit width.
+    ValueOutOfRange {
+        /// The offending value.
+        value: i64,
+        /// The declared width.
+        bits: u8,
+    },
+    /// An error surfaced from the tensor layer.
+    Tensor(t2c_tensor::TensorError),
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "i/o error: {e}"),
+            ExportError::BadMagic => write!(f, "not a T2CM model file (bad magic)"),
+            ExportError::UnsupportedVersion(v) => write!(f, "unsupported T2CM version {v}"),
+            ExportError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+            ExportError::Malformed(msg) => write!(f, "malformed model file: {msg}"),
+            ExportError::BadLine { line, content } => {
+                write!(f, "unparsable line {line}: {content:?}")
+            }
+            ExportError::ValueOutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit in {bits} bits")
+            }
+            ExportError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io(e) => Some(e),
+            ExportError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+impl From<t2c_tensor::TensorError> for ExportError {
+    fn from(e: t2c_tensor::TensorError) -> Self {
+        ExportError::Tensor(e)
+    }
+}

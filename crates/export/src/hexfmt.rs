@@ -1,0 +1,154 @@
+//! Hexadecimal and binary text encodings of integer tensors — the formats
+//! an RTL testbench reads with `$readmemh` / `$readmemb`.
+
+use crate::{ExportError, Result};
+
+fn check_range(value: i64, bits: u8) -> Result<()> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    // Unsigned grids still serialize through the same two's-complement
+    // word, so allow [min, 2^bits − 1].
+    let umax = (1i64 << bits) - 1;
+    if value < min || value > umax.max(max) {
+        return Err(ExportError::ValueOutOfRange { value, bits });
+    }
+    Ok(())
+}
+
+/// Encodes integer codes as two's-complement hex words of `bits` width,
+/// one per line, matching `$readmemh` conventions.
+///
+/// # Errors
+///
+/// Returns [`ExportError::ValueOutOfRange`] if any value does not fit.
+pub fn to_hex_lines(codes: &[i32], bits: u8) -> Result<Vec<String>> {
+    let nibbles = bits.div_ceil(4) as usize;
+    let mask: u64 = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    codes
+        .iter()
+        .map(|&c| {
+            check_range(c as i64, bits)?;
+            Ok(format!("{:0width$x}", (c as i64 as u64) & mask, width = nibbles))
+        })
+        .collect()
+}
+
+/// Encodes integer codes as two's-complement binary words of `bits` width,
+/// one per line, matching `$readmemb` conventions.
+///
+/// # Errors
+///
+/// Returns [`ExportError::ValueOutOfRange`] if any value does not fit.
+pub fn to_binary_lines(codes: &[i32], bits: u8) -> Result<Vec<String>> {
+    let mask: u64 = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    codes
+        .iter()
+        .map(|&c| {
+            check_range(c as i64, bits)?;
+            Ok(format!("{:0width$b}", (c as i64 as u64) & mask, width = bits as usize))
+        })
+        .collect()
+}
+
+/// Decodes hex words of `bits` width back to signed integer codes
+/// (sign-extended two's complement).
+///
+/// # Errors
+///
+/// Returns [`ExportError::BadLine`] for unparsable lines.
+pub fn from_hex_lines<'a>(
+    lines: impl IntoIterator<Item = &'a str>,
+    bits: u8,
+    signed: bool,
+) -> Result<Vec<i32>> {
+    let mut out = Vec::new();
+    for (i, line) in lines.into_iter().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        let raw = u64::from_str_radix(trimmed, 16)
+            .map_err(|_| ExportError::BadLine { line: i + 1, content: trimmed.to_string() })?;
+        let value = if signed {
+            sign_extend(raw, bits)
+        } else {
+            raw as i64
+        };
+        out.push(value as i32);
+    }
+    Ok(out)
+}
+
+fn sign_extend(raw: u64, bits: u8) -> i64 {
+    if bits >= 64 {
+        return raw as i64;
+    }
+    let sign_bit = 1u64 << (bits - 1);
+    if raw & sign_bit != 0 {
+        (raw | !((1u64 << bits) - 1)) as i64
+    } else {
+        raw as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip_signed() {
+        let codes = vec![-8i32, -1, 0, 1, 7];
+        let lines = to_hex_lines(&codes, 4).unwrap();
+        assert_eq!(lines, vec!["8", "f", "0", "1", "7"]);
+        let joined: Vec<&str> = lines.iter().map(String::as_str).collect();
+        assert_eq!(from_hex_lines(joined, 4, true).unwrap(), codes);
+    }
+
+    #[test]
+    fn hex_round_trip_8bit() {
+        let codes = vec![-128i32, -127, 127, 255];
+        let lines = to_hex_lines(&codes, 8).unwrap();
+        assert_eq!(lines[0], "80");
+        assert_eq!(lines[3], "ff");
+        let joined: Vec<&str> = lines.iter().map(String::as_str).collect();
+        // 255 as a signed byte reads back as −1.
+        assert_eq!(from_hex_lines(joined.clone(), 8, true).unwrap(), vec![-128, -127, 127, -1]);
+        assert_eq!(from_hex_lines(joined, 8, false).unwrap(), vec![128, 129, 127, 255]);
+    }
+
+    #[test]
+    fn binary_lines_width() {
+        let lines = to_binary_lines(&[-1, 2], 4).unwrap();
+        assert_eq!(lines, vec!["1111", "0010"]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(to_hex_lines(&[16], 4).is_err());
+        assert!(to_hex_lines(&[-9], 4).is_err());
+        assert!(to_hex_lines(&[15], 4).is_ok()); // unsigned-style max
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let parsed = from_hex_lines(vec!["// header", "", "0a"], 8, true).unwrap();
+        assert_eq!(parsed, vec![10]);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let err = from_hex_lines(vec!["0a", "zz"], 8, true).unwrap_err();
+        match err {
+            ExportError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn wide_words_for_mulquant() {
+        let codes = vec![-30000i32, 30000];
+        let lines = to_hex_lines(&codes, 16).unwrap();
+        let joined: Vec<&str> = lines.iter().map(String::as_str).collect();
+        assert_eq!(from_hex_lines(joined, 16, true).unwrap(), codes);
+    }
+}

@@ -1,0 +1,38 @@
+//! # t2c-export
+//!
+//! Automated, versatile parameter extraction (paper §3.4, Figure 5).
+//!
+//! Hardware description languages consume raw hexadecimal or binary memory
+//! contents, not `torch.qint8` pickles. This crate exports the integer-only
+//! [`IntModel`] produced by `t2c-core` in every format Figure 5 shows:
+//!
+//! * **Integer model file** (`.t2cm`) — a checksummed binary serialization
+//!   of the complete op graph (weights, MulQuant fixed-point parameters,
+//!   LUT contents), loadable back via [`read_intmodel`] and executable by
+//!   the `t2c-accel` simulator. This is the analogue of the "vanilla model
+//!   file with integer-only parameters".
+//! * **Hexadecimal memory images** — one `.hex` file per weight/scale/bias
+//!   tensor, one two's-complement word per line, bit width matching the
+//!   deployed precision — ready to `$readmemh` into an RTL testbench.
+//! * **Decimal dumps** — human-readable integer text files.
+//!
+//! [`export_package`] writes all of them plus a manifest;
+//! [`verify_package`] re-reads every artifact and checks bit-exactness.
+//!
+//! [`IntModel`]: t2c_core::IntModel
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod error;
+mod hexfmt;
+mod package;
+
+pub use binary::{read_intmodel, write_intmodel};
+pub use error::ExportError;
+pub use hexfmt::{from_hex_lines, to_binary_lines, to_hex_lines};
+pub use package::{export_package, verify_package, ExportManifest};
+
+/// Convenience alias for this crate's `Result`.
+pub type Result<T> = std::result::Result<T, ExportError>;

@@ -1,0 +1,202 @@
+//! Deployment packages: one directory containing every export format plus
+//! a manifest, ready to hand to an RTL verification flow.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use t2c_core::intmodel::IntOp;
+use t2c_core::IntModel;
+
+use crate::binary::{read_intmodel, write_intmodel};
+use crate::hexfmt::{from_hex_lines, to_binary_lines, to_hex_lines};
+use crate::Result;
+
+/// What [`export_package`] wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportManifest {
+    /// Package root.
+    pub root: PathBuf,
+    /// Path of the binary model file.
+    pub model_file: PathBuf,
+    /// `(node name, hex weight file, element count, bit width)` entries.
+    pub hex_files: Vec<(String, PathBuf, usize, u8)>,
+    /// Total bytes written across all artifacts.
+    pub total_bytes: usize,
+}
+
+fn sanitized(name: &str) -> String {
+    name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Writes the full deployment package:
+///
+/// ```text
+/// dir/model.t2cm       — checksummed binary op graph
+/// dir/manifest.txt     — human-readable op list
+/// dir/hex/*.hex        — per-layer weight memory images ($readmemh)
+/// dir/bin/*.mem        — the same in binary text ($readmemb)
+/// dir/dec/*.txt        — decimal dumps
+/// ```
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or unencodable values.
+pub fn export_package(model: &IntModel, dir: &Path) -> Result<ExportManifest> {
+    fs::create_dir_all(dir.join("hex"))?;
+    fs::create_dir_all(dir.join("bin"))?;
+    fs::create_dir_all(dir.join("dec"))?;
+    let mut total = 0usize;
+    // Binary model file.
+    let model_bytes = write_intmodel(model);
+    total += model_bytes.len();
+    let model_file = dir.join("model.t2cm");
+    fs::write(&model_file, &model_bytes)?;
+    // Per-layer weight memories.
+    let mut hex_files = Vec::new();
+    let mut manifest = String::from("# Torch2Chip deployment package\n");
+    for (i, node) in model.nodes.iter().enumerate() {
+        manifest.push_str(&format!("node {i}: {} ({})\n", node.name, op_label(&node.op)));
+        let (codes, bits) = match &node.op {
+            IntOp::Conv2d { weight, weight_spec, .. }
+            | IntOp::Linear { weight, weight_spec, .. } => {
+                (weight.as_slice().to_vec(), weight_spec.bits)
+            }
+            _ => continue,
+        };
+        let base = format!("{i:03}_{}", sanitized(&node.name));
+        let hex_path = dir.join("hex").join(format!("{base}.hex"));
+        let hex_lines = to_hex_lines(&codes, bits)?;
+        let hex_payload = hex_lines.join("\n") + "\n";
+        total += hex_payload.len();
+        fs::write(&hex_path, hex_payload)?;
+        let bin_lines = to_binary_lines(&codes, bits)?;
+        let bin_payload = bin_lines.join("\n") + "\n";
+        total += bin_payload.len();
+        fs::write(dir.join("bin").join(format!("{base}.mem")), bin_payload)?;
+        let dec_payload =
+            codes.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n") + "\n";
+        total += dec_payload.len();
+        fs::write(dir.join("dec").join(format!("{base}.txt")), dec_payload)?;
+        manifest.push_str(&format!("  weights: {} × int{bits} → hex/{base}.hex\n", codes.len()));
+        hex_files.push((node.name.clone(), hex_path, codes.len(), bits));
+    }
+    total += manifest.len();
+    fs::write(dir.join("manifest.txt"), manifest)?;
+    Ok(ExportManifest { root: dir.to_path_buf(), model_file, hex_files, total_bytes: total })
+}
+
+/// Reloads every artifact in a package and verifies bit-exactness:
+/// the binary model must round-trip, and every hex memory image must decode
+/// to exactly the weights inside it.
+///
+/// Returns the reloaded model on success.
+///
+/// # Errors
+///
+/// Returns an error on any mismatch or unreadable artifact.
+pub fn verify_package(manifest: &ExportManifest) -> Result<IntModel> {
+    let bytes = fs::read(&manifest.model_file)?;
+    let model = read_intmodel(&bytes)?;
+    for (name, hex_path, count, bits) in &manifest.hex_files {
+        let content = fs::read_to_string(hex_path)?;
+        let node = model
+            .nodes
+            .iter()
+            .find(|n| &n.name == name)
+            .ok_or_else(|| crate::ExportError::Malformed(format!("node {name} missing")))?;
+        let (weights, signed) = match &node.op {
+            IntOp::Conv2d { weight, weight_spec, .. }
+            | IntOp::Linear { weight, weight_spec, .. } => (weight, weight_spec.signed),
+            _ => return Err(crate::ExportError::Malformed(format!("node {name} has no weights"))),
+        };
+        let decoded = from_hex_lines(content.lines(), *bits, signed)?;
+        if decoded.len() != *count || decoded != weights.as_slice() {
+            return Err(crate::ExportError::Malformed(format!(
+                "hex image {} does not match model weights",
+                hex_path.display()
+            )));
+        }
+    }
+    Ok(model)
+}
+
+fn op_label(op: &IntOp) -> &'static str {
+    match op {
+        IntOp::Quantize { .. } => "quantize",
+        IntOp::Conv2d { .. } => "conv2d_int",
+        IntOp::Linear { .. } => "linear_int",
+        IntOp::AddRequant { .. } => "add_requant",
+        IntOp::AddConstRequant { .. } => "add_const_requant",
+        IntOp::MaxPool2d { .. } => "max_pool",
+        IntOp::GlobalAvgPool { .. } => "global_avg_pool",
+        IntOp::Flatten => "flatten",
+        IntOp::PatchToTokens => "patch_to_tokens",
+        IntOp::ConcatToken { .. } => "concat_token",
+        IntOp::TakeToken { .. } => "take_token",
+        IntOp::SplitHeads { .. } => "split_heads",
+        IntOp::MergeHeads { .. } => "merge_heads",
+        IntOp::BmmRequant { .. } => "bmm_requant",
+        IntOp::Requant { .. } => "requant",
+        IntOp::LayerNorm(_) => "layer_norm_int",
+        IntOp::SoftmaxLut(_) => "softmax_lut",
+        IntOp::GeluLut(_) => "gelu_lut",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_core::intmodel::Src;
+    use t2c_core::{FixedPointFormat, MulQuant, QuantSpec};
+    use t2c_tensor::ops::Conv2dSpec;
+    use t2c_tensor::Tensor;
+
+    fn sample() -> IntModel {
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 0.1, spec: QuantSpec::signed(8) }, vec![]);
+        m.push(
+            "conv1",
+            IntOp::Conv2d {
+                weight: Tensor::from_fn(&[2, 1, 3, 3], |i| (i as i32 % 15) - 7),
+                bias: None,
+                spec: Conv2dSpec::new(1, 1),
+                requant: MulQuant::from_float(
+                    &[0.5],
+                    &[0.0],
+                    FixedPointFormat::int16_frac12(),
+                    QuantSpec::unsigned(8),
+                ),
+                relu: true,
+                weight_spec: QuantSpec::signed(4),
+            },
+            vec![Src::Node(0)],
+        );
+        m
+    }
+
+    #[test]
+    fn export_then_verify_round_trips() {
+        let dir = std::env::temp_dir().join(format!("t2c_pkg_{}", std::process::id()));
+        let model = sample();
+        let manifest = export_package(&model, &dir).unwrap();
+        assert!(manifest.model_file.exists());
+        assert_eq!(manifest.hex_files.len(), 1);
+        assert!(manifest.total_bytes > 0);
+        let reloaded = verify_package(&manifest).unwrap();
+        let x = Tensor::from_fn(&[1, 1, 5, 5], |i| i as f32 * 0.05);
+        assert_eq!(model.run(&x).unwrap().as_slice(), reloaded.run(&x).unwrap().as_slice());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_hex_detected() {
+        let dir = std::env::temp_dir().join(format!("t2c_pkg_tamper_{}", std::process::id()));
+        let manifest = export_package(&sample(), &dir).unwrap();
+        let hex = &manifest.hex_files[0].1;
+        let mut content = fs::read_to_string(hex).unwrap();
+        content = content.replacen('7', "6", 1);
+        fs::write(hex, content).unwrap();
+        assert!(verify_package(&manifest).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests: every export encoding must round-trip bit-exactly
+//! for arbitrary values in range.
+
+use proptest::prelude::*;
+use t2c_export::{from_hex_lines, read_intmodel, to_binary_lines, to_hex_lines};
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hex_round_trip_signed_any_width(values in proptest::collection::vec(-128i32..128, 1..64), bits_sel in 0usize..2) {
+        let bits = [8u8, 16][bits_sel];
+        let lines = to_hex_lines(&values, bits).unwrap();
+        let decoded = from_hex_lines(lines.iter().map(String::as_str), bits, true).unwrap();
+        prop_assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn hex_round_trip_4bit(values in proptest::collection::vec(-8i32..8, 1..64)) {
+        let lines = to_hex_lines(&values, 4).unwrap();
+        let decoded = from_hex_lines(lines.iter().map(String::as_str), 4, true).unwrap();
+        prop_assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn binary_lines_have_exact_width(values in proptest::collection::vec(-8i32..8, 1..32), bits in 4u8..9) {
+        let lines = to_binary_lines(&values, bits).unwrap();
+        prop_assert!(lines.iter().all(|l| l.len() == bits as usize));
+        prop_assert!(lines.iter().all(|l| l.chars().all(|c| c == '0' || c == '1')));
+    }
+
+    #[test]
+    fn hex_encoding_width_is_constant(values in proptest::collection::vec(-128i32..256, 1..32)) {
+        let lines = to_hex_lines(&values, 9).unwrap();
+        // 9 bits → 3 nibbles per word, uniformly.
+        prop_assert!(lines.iter().all(|l| l.len() == 3));
+    }
+
+    #[test]
+    fn out_of_range_values_always_rejected(v in 16i32..10_000) {
+        prop_assert!(to_hex_lines(&[v], 4).is_err());
+        prop_assert!(to_hex_lines(&[-v], 4).is_err());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_payloads(body in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // A syntactically "checksum-valid" file with garbage content: the
+        // parser must reject gracefully, never panic or loop.
+        let mut bytes = Vec::with_capacity(body.len() + 18);
+        bytes.extend_from_slice(b"T2CM");
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let sum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        let _ = read_intmodel(&bytes); // any Err is fine; panics are not
+    }
+
+    #[test]
+    fn parser_never_panics_on_raw_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_intmodel(&bytes);
+    }
+}

@@ -1,0 +1,46 @@
+use t2c_autograd::{Param, Var};
+
+use crate::{Module, Result};
+
+/// A parameter-free activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit (CNN default).
+    #[default]
+    Relu,
+    /// GELU, tanh approximation (transformer default).
+    Gelu,
+    /// No-op, for places where a block's activation is optional.
+    Identity,
+}
+
+impl Module for Activation {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        Ok(match self {
+            Activation::Relu => x.relu(),
+            Activation::Gelu => x.gelu(),
+            Activation::Identity => x.clone(),
+        })
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::Tensor;
+
+    #[test]
+    fn activations_apply() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![-1.0_f32, 1.0], &[2]).unwrap());
+        assert_eq!(Activation::Relu.forward(&x).unwrap().tensor().as_slice(), &[0.0, 1.0]);
+        assert_eq!(Activation::Identity.forward(&x).unwrap().tensor().as_slice(), &[-1.0, 1.0]);
+        let gelu = Activation::Gelu.forward(&x).unwrap().tensor();
+        assert!(gelu.as_slice()[0] < 0.0 && gelu.as_slice()[0] > -0.2);
+    }
+}

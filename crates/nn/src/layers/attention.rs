@@ -1,0 +1,137 @@
+use t2c_autograd::{Param, Var};
+use t2c_tensor::rng::TensorRng;
+
+use crate::layers::Linear;
+use crate::{Module, Result};
+
+/// Multi-head self-attention over token batches `[N, L, D]`.
+///
+/// Q/K/V are separate [`Linear`] projections (rather than one fused QKV) so
+/// that the quantized twin can attach an independent quantizer to each
+/// matrix multiplication, matching Figure 4 of the paper.
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    proj: Linear,
+    heads: usize,
+    dim: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates attention with `heads` heads over feature width `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(rng: &mut TensorRng, name: &str, dim: usize, heads: usize) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} must be divisible by heads {heads}");
+        MultiHeadAttention {
+            q: Linear::new(rng, &format!("{name}.q"), dim, dim, true),
+            k: Linear::new(rng, &format!("{name}.k"), dim, dim, true),
+            v: Linear::new(rng, &format!("{name}.v"), dim, dim, true),
+            proj: Linear::new(rng, &format!("{name}.proj"), dim, dim, true),
+            heads,
+            dim,
+            head_dim: dim / heads,
+        }
+    }
+
+    /// The query projection.
+    pub fn q_proj(&self) -> &Linear {
+        &self.q
+    }
+
+    /// The key projection.
+    pub fn k_proj(&self) -> &Linear {
+        &self.k
+    }
+
+    /// The value projection.
+    pub fn v_proj(&self) -> &Linear {
+        &self.v
+    }
+
+    /// The output projection.
+    pub fn out_proj(&self) -> &Linear {
+        &self.proj
+    }
+
+    /// Head count.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Splits `[N, L, D]` into `[N·H, L, Dh]`.
+    fn split_heads(&self, x: &Var, n: usize, l: usize) -> Result<Var> {
+        x.reshape(&[n, l, self.heads, self.head_dim])?
+            .permute(&[0, 2, 1, 3])?
+            .reshape(&[n * self.heads, l, self.head_dim])
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let dims = x.dims();
+        let (n, l) = (dims[0], dims[1]);
+        let q = self.split_heads(&self.q.forward(x)?, n, l)?;
+        let k = self.split_heads(&self.k.forward(x)?, n, l)?;
+        let v = self.split_heads(&self.v.forward(x)?, n, l)?;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let scores = q.bmm(&k.permute(&[0, 2, 1])?)?.mul_scalar(scale);
+        let attn = scores.softmax_lastdim()?;
+        let ctx = attn
+            .bmm(&v)?
+            .reshape(&[n, self.heads, l, self.head_dim])?
+            .permute(&[0, 2, 1, 3])?
+            .reshape(&[n, l, self.dim])?;
+        self.proj.forward(&ctx)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        [&self.q, &self.k, &self.v, &self.proj].iter().flat_map(|m| m.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::Tensor;
+
+    #[test]
+    fn attention_shape_preserved() {
+        let mut rng = TensorRng::seed_from(6);
+        let mha = MultiHeadAttention::new(&mut rng, "attn", 8, 2);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2, 5, 8]));
+        let y = mha.forward(&x).unwrap();
+        assert_eq!(y.dims(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn attention_gradients_reach_all_projections() {
+        let mut rng = TensorRng::seed_from(7);
+        let mha = MultiHeadAttention::new(&mut rng, "attn", 4, 2);
+        let g = Graph::new();
+        let x = g.leaf(rng.normal(&[1, 3, 4], 0.0, 1.0));
+        mha.forward(&x).unwrap().square().mean_all().backward().unwrap();
+        for p in mha.params().iter().filter(|p| p.name().ends_with("weight")) {
+            assert!(p.grad().abs_max() > 0.0, "no gradient reached {}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn attention_rejects_indivisible_heads() {
+        let mut rng = TensorRng::seed_from(8);
+        let _ = MultiHeadAttention::new(&mut rng, "attn", 7, 2);
+    }
+}

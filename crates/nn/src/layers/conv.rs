@@ -1,0 +1,148 @@
+use t2c_autograd::{Param, Var};
+use t2c_tensor::ops::Conv2dSpec;
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+use crate::layers::linear::VarGraphExt;
+use crate::{Module, Result};
+
+/// A 2-D convolution layer with weight `[OC, C/groups, K, K]`.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    spec: Conv2dSpec,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+}
+
+impl Conv2d {
+    /// Creates a square-kernel convolution with Kaiming-normal weights.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rng: &mut TensorRng,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        bias: bool,
+    ) -> Self {
+        let weight = Param::new(
+            format!("{name}.weight"),
+            rng.kaiming(&[out_channels, in_channels / spec.groups, kernel, kernel]),
+        );
+        let bias = bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_channels])));
+        Conv2d { weight, bias, spec, in_channels, out_channels, kernel }
+    }
+
+    /// Creates a layer from existing parameter handles.
+    pub fn from_params(weight: Param, bias: Option<Param>, spec: Conv2dSpec) -> Self {
+        let dims = weight.value().dims().to_vec();
+        Conv2d {
+            weight,
+            bias,
+            spec,
+            in_channels: dims[1] * spec.groups,
+            out_channels: dims[0],
+            kernel: dims[2],
+        }
+    }
+
+    /// The weight parameter handle.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The bias parameter handle, if present.
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
+
+    /// Convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel edge length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Forward with an externally supplied weight variable (quantized-twin
+    /// hook).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry mismatch.
+    pub fn forward_with_weight(&self, x: &Var, weight: &Var, bias: Option<&Var>) -> Result<Var> {
+        let mut y = x.conv2d(weight, self.spec)?;
+        if let Some(b) = bias {
+            let oc = self.out_channels;
+            y = y.add(&b.reshape(&[1, oc, 1, 1])?)?;
+        }
+        Ok(y)
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let g = x.graph();
+        let w = g.param(&self.weight);
+        let b = self.bias.as_ref().map(|p| g.param(p));
+        self.forward_with_weight(x, &w, b.as_ref())
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut out = vec![self.weight.clone()];
+        out.extend(self.bias.clone());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+
+    #[test]
+    fn conv_forward_shape_and_bias_grad() {
+        let mut rng = TensorRng::seed_from(3);
+        let layer = Conv2d::new(&mut rng, "conv", 3, 8, 3, Conv2dSpec::new(1, 1), true);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2, 3, 8, 8]));
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.dims(), vec![2, 8, 8, 8]);
+        y.sum_all().backward().unwrap();
+        // dL/db_c = N·OH·OW = 2·8·8
+        assert!(layer
+            .bias()
+            .unwrap()
+            .grad()
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 128.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn depthwise_conv_layer() {
+        let mut rng = TensorRng::seed_from(4);
+        let layer =
+            Conv2d::new(&mut rng, "dw", 6, 6, 3, Conv2dSpec::new(1, 1).with_groups(6), false);
+        assert_eq!(layer.weight().value().dims(), &[6, 1, 3, 3]);
+        let g = Graph::new();
+        let y = layer.forward(&g.leaf(Tensor::ones(&[1, 6, 5, 5]))).unwrap();
+        assert_eq!(y.dims(), vec![1, 6, 5, 5]);
+    }
+}

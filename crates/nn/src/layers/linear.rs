@@ -1,0 +1,141 @@
+use t2c_autograd::{Param, Var};
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+use crate::{Module, Result};
+
+/// A fully-connected layer `y = x·Wᵀ + b` with weight `[out, in]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-normal weights and zero bias.
+    pub fn new(
+        rng: &mut TensorRng,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+    ) -> Self {
+        let weight = Param::new(format!("{name}.weight"), rng.kaiming(&[out_features, in_features]));
+        let bias = bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_features])));
+        Linear { weight, bias, in_features, out_features }
+    }
+
+    /// Creates a layer from existing parameter handles (weight `[out, in]`).
+    pub fn from_params(weight: Param, bias: Option<Param>) -> Self {
+        let dims = weight.value().dims().to_vec();
+        Linear { weight, bias, in_features: dims[1], out_features: dims[0] }
+    }
+
+    /// The weight parameter handle.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The bias parameter handle, if present.
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Forward with an externally supplied weight variable — the hook the
+    /// quantized twin uses to route the *fake-quantized* weight through the
+    /// same arithmetic.
+    ///
+    /// `x` may be rank 2 `[N, in]` or rank 3 `[N, L, in]` (token batches).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn forward_with_weight(&self, x: &Var, weight: &Var, bias: Option<&Var>) -> Result<Var> {
+        let dims = x.dims();
+        let (flat, restore): (Var, Option<Vec<usize>>) = if dims.len() == 3 {
+            let mut out_dims = dims.clone();
+            out_dims[2] = self.out_features;
+            (x.reshape(&[dims[0] * dims[1], dims[2]])?, Some(out_dims))
+        } else {
+            (x.clone(), None)
+        };
+        let mut y = flat.matmul(&weight.transpose()?)?;
+        if let Some(b) = bias {
+            y = y.add(b)?;
+        }
+        match restore {
+            Some(out_dims) => y.reshape(&out_dims),
+            None => Ok(y),
+        }
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let g = &x.graph();
+        let w = g.param(&self.weight);
+        let b = self.bias.as_ref().map(|p| g.param(p));
+        self.forward_with_weight(x, &w, b.as_ref())
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut out = vec![self.weight.clone()];
+        out.extend(self.bias.clone());
+        out
+    }
+}
+
+// Accessing the graph from a Var: small extension trait kept local.
+pub(crate) trait VarGraphExt {
+    fn graph(&self) -> t2c_autograd::Graph;
+}
+
+impl VarGraphExt for Var {
+    fn graph(&self) -> t2c_autograd::Graph {
+        // Every op carries its graph; re-deriving it from an existing node
+        // keeps layer signatures free of an explicit graph argument.
+        self.graph_handle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+
+    #[test]
+    fn linear_shapes_and_grads() {
+        let mut rng = TensorRng::seed_from(1);
+        let layer = Linear::new(&mut rng, "fc", 3, 5, true);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2, 3]));
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.dims(), vec![2, 5]);
+        y.mean_all().backward().unwrap();
+        assert_eq!(layer.weight().grad().dims(), &[5, 3]);
+        // dL/db_j = (batch rows)/(output elements) = 2/10
+        assert!(layer.bias().unwrap().grad().as_slice().iter().all(|&v| (v - 0.2).abs() < 1e-6));
+    }
+
+    #[test]
+    fn linear_token_batches() {
+        let mut rng = TensorRng::seed_from(2);
+        let layer = Linear::new(&mut rng, "fc", 4, 6, false);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2, 7, 4]));
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.dims(), vec![2, 7, 6]);
+    }
+}

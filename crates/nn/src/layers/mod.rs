@@ -1,0 +1,15 @@
+//! The vanilla layer library.
+
+mod act;
+mod attention;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+
+pub use act::Activation;
+pub use attention::MultiHeadAttention;
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use norm::{BatchNorm2d, LayerNorm};
+pub use pool::{AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d};

@@ -1,0 +1,247 @@
+use std::cell::Cell;
+
+use t2c_autograd::{Param, Var};
+use t2c_tensor::Tensor;
+
+use crate::layers::linear::VarGraphExt;
+use crate::{Module, Result};
+
+/// Batch normalization over `[N, C, H, W]` with running statistics.
+///
+/// In training mode it normalizes with batch statistics and updates the
+/// running mean/variance with exponential momentum; in evaluation mode it
+/// applies the affine transform derived from the running statistics — the
+/// exact parameters Torch2Chip later fuses (paper §3.2).
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Param,
+    running_var: Param,
+    eps: f32,
+    momentum: f32,
+    training: Cell<bool>,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// Creates a BatchNorm layer with `γ = 1`, `β = 0` and unit running
+    /// variance.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            running_mean: Param::frozen(format!("{name}.running_mean"), Tensor::zeros(&[channels])),
+            running_var: Param::frozen(format!("{name}.running_var"), Tensor::ones(&[channels])),
+            eps: 1e-5,
+            momentum: 0.1,
+            training: Cell::new(true),
+            channels,
+        }
+    }
+
+    /// Creates a BatchNorm sharing existing parameter handles — the hook
+    /// the quantized twin uses so QAT updates the same storage as the
+    /// float model.
+    pub fn from_params(gamma: Param, beta: Param, running_mean: Param, running_var: Param, eps: f32) -> Self {
+        let channels = gamma.numel();
+        BatchNorm2d {
+            gamma,
+            beta,
+            running_mean,
+            running_var,
+            eps,
+            momentum: 0.1,
+            training: Cell::new(true),
+            channels,
+        }
+    }
+
+    /// Learnable scale γ.
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// Learnable shift β.
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// Running mean (frozen parameter).
+    pub fn running_mean(&self) -> &Param {
+        &self.running_mean
+    }
+
+    /// Running variance (frozen parameter).
+    pub fn running_var(&self) -> &Param {
+        &self.running_var
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// `true` while in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training.get()
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let g = x.graph();
+        let c = self.channels;
+        if self.training.get() {
+            let gamma = g.param(&self.gamma);
+            let beta = g.param(&self.beta);
+            let (y, mean, var) = x.batch_norm2d(&gamma, &beta, self.eps)?;
+            // running ← (1−m)·running + m·batch
+            let m = self.momentum;
+            self.running_mean.set_value(
+                self.running_mean.value().mul_scalar(1.0 - m).add(&mean.mul_scalar(m))?,
+            );
+            self.running_var.set_value(
+                self.running_var.value().mul_scalar(1.0 - m).add(&var.mul_scalar(m))?,
+            );
+            Ok(y)
+        } else {
+            // y = γ·(x − μ)/σ + β, as a per-channel affine with constants
+            // from the running statistics (still differentiable in γ, β, x).
+            let std_inv: Tensor<f32> =
+                self.running_var.value().map(|v| 1.0 / (v + self.eps).sqrt());
+            let gamma = g.param(&self.gamma).reshape(&[1, c, 1, 1])?;
+            let beta = g.param(&self.beta).reshape(&[1, c, 1, 1])?;
+            let scale = gamma.mul(&g.leaf(std_inv.reshape(&[1, c, 1, 1])?))?;
+            let mean = g.leaf(self.running_mean.value().reshape(&[1, c, 1, 1])?);
+            x.sub(&mean)?.mul(&scale)?.add(&beta)
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![
+            self.gamma.clone(),
+            self.beta.clone(),
+            self.running_mean.clone(),
+            self.running_var.clone(),
+        ]
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+/// Layer normalization over the last axis (the transformer convention).
+///
+/// The paper notes LayerNorm statistics can be either computed on the fly
+/// (`instant` mode) or replaced by pre-computed running statistics for
+/// cheaper hardware; the running-statistics variant lives in the quantized
+/// twin (`t2c-core`).
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    dim: usize,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over a trailing feature axis of extent `dim`.
+    pub fn new(name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            eps: 1e-5,
+            dim,
+        }
+    }
+
+    /// Creates a LayerNorm sharing existing parameter handles.
+    pub fn from_params(gamma: Param, beta: Param, eps: f32) -> Self {
+        let dim = gamma.numel();
+        LayerNorm { gamma, beta, eps, dim }
+    }
+
+    /// Learnable scale γ.
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// Learnable shift β.
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// Feature extent.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let g = x.graph();
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        x.layer_norm(&gamma, &beta, self.eps)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::rng::TensorRng;
+
+    #[test]
+    fn bn_updates_running_stats_in_training() {
+        let mut rng = TensorRng::seed_from(5);
+        let bn = BatchNorm2d::new("bn", 2);
+        let x = rng.normal(&[8, 2, 4, 4], 3.0, 2.0);
+        for _ in 0..20 {
+            let g = Graph::new();
+            bn.forward(&g.leaf(x.clone())).unwrap();
+        }
+        // Running stats converge toward the batch statistics.
+        assert!((bn.running_mean().value().as_slice()[0] - 3.0).abs() < 0.6);
+        assert!((bn.running_var().value().as_slice()[0] - 4.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn bn_eval_uses_running_stats() {
+        let bn = BatchNorm2d::new("bn", 1);
+        bn.running_mean().set_value(Tensor::from_vec(vec![10.0], &[1]).unwrap());
+        bn.running_var().set_value(Tensor::from_vec(vec![4.0], &[1]).unwrap());
+        bn.set_training(false);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::full(&[1, 1, 1, 1], 12.0));
+        let y = bn.forward(&x).unwrap();
+        // (12−10)/2 = 1
+        assert!((y.tensor().item() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_forward_standardizes() {
+        let ln = LayerNorm::new("ln", 4);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[1, 4]).unwrap());
+        let y = ln.forward(&x).unwrap().tensor();
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+}

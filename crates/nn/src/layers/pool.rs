@@ -1,0 +1,80 @@
+use t2c_autograd::{Param, Var};
+use t2c_tensor::ops::PoolSpec;
+
+use crate::{Module, Result};
+
+/// Max pooling layer over `[N, C, H, W]`.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d(pub PoolSpec);
+
+impl Module for MaxPool2d {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        x.max_pool2d(self.0)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// Average pooling layer over `[N, C, H, W]`.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d(pub PoolSpec);
+
+impl Module for AvgPool2d {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        x.avg_pool2d(self.0)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// Global average pooling `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool2d;
+
+impl Module for GlobalAvgPool2d {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        x.global_avg_pool2d()
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// Flattens all trailing axes into one: `[N, …] → [N, prod(…)]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flatten;
+
+impl Module for Flatten {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let dims = x.dims();
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::Tensor;
+
+    #[test]
+    fn pooling_layers_shapes() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[1, 2, 4, 4]));
+        assert_eq!(MaxPool2d(PoolSpec::new(2)).forward(&x).unwrap().dims(), vec![1, 2, 2, 2]);
+        assert_eq!(AvgPool2d(PoolSpec::new(2)).forward(&x).unwrap().dims(), vec![1, 2, 2, 2]);
+        assert_eq!(GlobalAvgPool2d.forward(&x).unwrap().dims(), vec![1, 2]);
+        assert_eq!(Flatten.forward(&x).unwrap().dims(), vec![1, 32]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # t2c-nn
+//!
+//! Neural-network layers and the floating-point model zoo
+//! (ResNet / MobileNet-V1 / Vision Transformer) that Torch2Chip compresses.
+//!
+//! The layers here are the **vanilla** modules of the paper's
+//! "vanilla → custom → vanilla" workflow: the quantization crate
+//! (`t2c-core`) wraps them with Dual-Path quantized twins during training,
+//! and the final deployment step extracts integer parameters back into
+//! vanilla-layer containers.
+//!
+//! ## Example
+//!
+//! ```
+//! use t2c_autograd::Graph;
+//! use t2c_nn::layers::Linear;
+//! use t2c_nn::Module;
+//! use t2c_tensor::{rng::TensorRng, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = TensorRng::seed_from(0);
+//! let layer = Linear::new(&mut rng, "fc", 8, 4, true);
+//! let g = Graph::new();
+//! let x = g.leaf(Tensor::ones(&[2, 8]));
+//! let y = layer.forward(&x)?;
+//! assert_eq!(y.dims(), vec![2, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod module;
+
+pub mod layers;
+pub mod models;
+
+pub use module::{load_state_dict, state_dict, Module, Sequential};
+
+/// Convenience alias for this crate's `Result`.
+pub type Result<T> = std::result::Result<T, t2c_tensor::TensorError>;

@@ -1,0 +1,277 @@
+use t2c_autograd::{Param, Var};
+use t2c_tensor::ops::Conv2dSpec;
+use t2c_tensor::rng::TensorRng;
+
+use crate::layers::{BatchNorm2d, Conv2d, Linear};
+use crate::{Module, Result};
+
+/// Architecture description for MobileNet-V1 (Howard et al., 2017).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobileNetConfig {
+    /// Width multiplier α applied to every channel count.
+    pub width_mult: f32,
+    /// `(out_channels, stride)` of each depthwise-separable block, before
+    /// the width multiplier.
+    pub blocks: Vec<(usize, usize)>,
+    /// Stem output channels before the width multiplier.
+    pub stem_width: usize,
+    /// Classifier output count.
+    pub num_classes: usize,
+    /// Input image channels.
+    pub in_channels: usize,
+}
+
+impl MobileNetConfig {
+    /// The standard MobileNet-V1 (1×) block table, with a CIFAR-friendly
+    /// stride-1 stem.
+    pub fn v1(num_classes: usize) -> Self {
+        MobileNetConfig {
+            width_mult: 1.0,
+            blocks: vec![
+                (64, 1),
+                (128, 2),
+                (128, 1),
+                (256, 2),
+                (256, 1),
+                (512, 2),
+                (512, 1),
+                (512, 1),
+                (512, 1),
+                (512, 1),
+                (512, 1),
+                (1024, 2),
+                (1024, 1),
+            ],
+            stem_width: 32,
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    /// A reduced block table for synthetic-data experiments and tests.
+    pub fn tiny(num_classes: usize) -> Self {
+        MobileNetConfig {
+            width_mult: 1.0,
+            blocks: vec![(16, 1), (32, 2), (32, 1)],
+            stem_width: 8,
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    fn width(&self, c: usize) -> usize {
+        ((c as f32 * self.width_mult).round() as usize).max(1)
+    }
+}
+
+/// A depthwise-separable block: depthwise 3×3 conv + BN + ReLU, then
+/// pointwise 1×1 conv + BN + ReLU.
+#[derive(Debug)]
+pub struct DwSeparable {
+    dw: Conv2d,
+    bn1: BatchNorm2d,
+    pw: Conv2d,
+    bn2: BatchNorm2d,
+}
+
+impl DwSeparable {
+    fn new(rng: &mut TensorRng, name: &str, in_c: usize, out_c: usize, stride: usize) -> Self {
+        DwSeparable {
+            dw: Conv2d::new(
+                rng,
+                &format!("{name}.dw"),
+                in_c,
+                in_c,
+                3,
+                Conv2dSpec { stride, padding: 1, groups: in_c },
+                false,
+            ),
+            bn1: BatchNorm2d::new(&format!("{name}.bn1"), in_c),
+            pw: Conv2d::new(rng, &format!("{name}.pw"), in_c, out_c, 1, Conv2dSpec::new(1, 0), false),
+            bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_c),
+        }
+    }
+
+    /// Depthwise convolution.
+    pub fn dw(&self) -> &Conv2d {
+        &self.dw
+    }
+
+    /// BatchNorm after the depthwise conv.
+    pub fn bn1(&self) -> &BatchNorm2d {
+        &self.bn1
+    }
+
+    /// Pointwise convolution.
+    pub fn pw(&self) -> &Conv2d {
+        &self.pw
+    }
+
+    /// BatchNorm after the pointwise conv.
+    pub fn bn2(&self) -> &BatchNorm2d {
+        &self.bn2
+    }
+}
+
+impl Module for DwSeparable {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let h = self.bn1.forward(&self.dw.forward(x)?)?.relu();
+        Ok(self.bn2.forward(&self.pw.forward(&h)?)?.relu())
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut out = Vec::new();
+        out.extend(self.dw.params());
+        out.extend(self.bn1.params());
+        out.extend(self.pw.params());
+        out.extend(self.bn2.params());
+        out
+    }
+
+    fn set_training(&self, training: bool) {
+        self.bn1.set_training(training);
+        self.bn2.set_training(training);
+    }
+}
+
+/// MobileNet-V1: stem conv + stack of depthwise-separable blocks + global
+/// average pool + linear classifier.
+#[derive(Debug)]
+pub struct MobileNetV1 {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    blocks: Vec<DwSeparable>,
+    head: Linear,
+    config: MobileNetConfig,
+}
+
+impl MobileNetV1 {
+    /// Builds the network with seeded initialization.
+    pub fn new(rng: &mut TensorRng, config: MobileNetConfig) -> Self {
+        let stem_w = config.width(config.stem_width);
+        let stem =
+            Conv2d::new(rng, "stem", config.in_channels, stem_w, 3, Conv2dSpec::new(1, 1), false);
+        let stem_bn = BatchNorm2d::new("stem_bn", stem_w);
+        let mut blocks = Vec::new();
+        let mut in_c = stem_w;
+        for (i, &(out, stride)) in config.blocks.iter().enumerate() {
+            let out_c = config.width(out);
+            blocks.push(DwSeparable::new(rng, &format!("block{i}"), in_c, out_c, stride));
+            in_c = out_c;
+        }
+        let head = Linear::new(rng, "head", in_c, config.num_classes, true);
+        MobileNetV1 { stem, stem_bn, blocks, head, config }
+    }
+
+    /// The architecture description.
+    pub fn config(&self) -> &MobileNetConfig {
+        &self.config
+    }
+
+    /// Stem convolution.
+    pub fn stem(&self) -> &Conv2d {
+        &self.stem
+    }
+
+    /// Stem BatchNorm.
+    pub fn stem_bn(&self) -> &BatchNorm2d {
+        &self.stem_bn
+    }
+
+    /// Depthwise-separable blocks in execution order.
+    pub fn blocks(&self) -> &[DwSeparable] {
+        &self.blocks
+    }
+
+    /// Classifier head.
+    pub fn head(&self) -> &Linear {
+        &self.head
+    }
+
+    /// Feature width entering the classifier.
+    pub fn feature_dim(&self) -> usize {
+        self.head.in_features()
+    }
+
+    /// Runs the convolutional trunk only, returning pooled `[N, F]`
+    /// features — the encoder interface used by the SSL trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn features(&self, x: &Var) -> Result<Var> {
+        let mut h = self.stem_bn.forward(&self.stem.forward(x)?)?.relu();
+        for block in &self.blocks {
+            h = block.forward(&h)?;
+        }
+        h.global_avg_pool2d()
+    }
+}
+
+impl Module for MobileNetV1 {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        self.head.forward(&self.features(x)?)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut out = Vec::new();
+        out.extend(self.stem.params());
+        out.extend(self.stem_bn.params());
+        for b in &self.blocks {
+            out.extend(b.params());
+        }
+        out.extend(self.head.params());
+        out
+    }
+
+    fn set_training(&self, training: bool) {
+        self.stem_bn.set_training(training);
+        for b in &self.blocks {
+            b.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::Tensor;
+
+    #[test]
+    fn mobilenet_tiny_forward() {
+        let mut rng = TensorRng::seed_from(4);
+        let net = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(10));
+        let g = Graph::new();
+        let y = net.forward(&g.leaf(Tensor::ones(&[2, 3, 16, 16]))).unwrap();
+        assert_eq!(y.dims(), vec![2, 10]);
+    }
+
+    #[test]
+    fn mobilenet_v1_param_count_matches_paper_scale() {
+        let mut rng = TensorRng::seed_from(5);
+        let net = MobileNetV1::new(&mut rng, MobileNetConfig::v1(10));
+        // Paper Table 2 reports ~4.2M parameters for MobileNet-V1.
+        let n = net.num_trainable();
+        assert!((3_000_000..5_000_000).contains(&n), "param count {n}");
+    }
+
+    #[test]
+    fn width_multiplier_shrinks_model() {
+        let mut rng = TensorRng::seed_from(6);
+        let mut cfg = MobileNetConfig::tiny(10);
+        cfg.width_mult = 0.5;
+        let half = MobileNetV1::new(&mut rng, cfg).num_trainable();
+        let full = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(10)).num_trainable();
+        assert!(half < full);
+    }
+
+    #[test]
+    fn features_returns_pooled_embedding() {
+        let mut rng = TensorRng::seed_from(7);
+        let net = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(10));
+        let g = Graph::new();
+        let f = net.features(&g.leaf(Tensor::ones(&[2, 3, 16, 16]))).unwrap();
+        assert_eq!(f.dims(), vec![2, net.feature_dim()]);
+    }
+}

@@ -1,0 +1,14 @@
+//! The floating-point model zoo the paper evaluates: ResNet (CIFAR-style),
+//! MobileNet-V1 and a compact Vision Transformer.
+//!
+//! All models are configurable in width/depth so the same architectures run
+//! at paper scale or at the reduced scale used by this repository's
+//! synthetic-data experiments.
+
+mod mobilenet;
+mod resnet;
+mod vit;
+
+pub use mobilenet::{DwSeparable, MobileNetConfig, MobileNetV1};
+pub use resnet::{BasicBlock, ResNet, ResNetConfig, StageConfig};
+pub use vit::{ViT, ViTBlock, ViTConfig};

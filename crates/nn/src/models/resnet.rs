@@ -1,0 +1,330 @@
+use t2c_autograd::{Param, Var};
+use t2c_tensor::ops::Conv2dSpec;
+use t2c_tensor::rng::TensorRng;
+
+use crate::layers::{BatchNorm2d, Conv2d, Linear};
+use crate::{Module, Result};
+
+/// One ResNet stage: `blocks` basic blocks at `width` channels, the first
+/// with stride `stride`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageConfig {
+    /// Channel width of the stage.
+    pub width: usize,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Stride of the first block (2 halves the resolution).
+    pub stride: usize,
+}
+
+/// Architecture description for a CIFAR-style ResNet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Stem convolution width.
+    pub stem_width: usize,
+    /// Stage list.
+    pub stages: Vec<StageConfig>,
+    /// Classifier output count.
+    pub num_classes: usize,
+    /// Input image channels.
+    pub in_channels: usize,
+}
+
+impl ResNetConfig {
+    /// ResNet-20 (He et al., CIFAR variant): 3 stages × 3 blocks at
+    /// 16/32/64 channels.
+    pub fn resnet20(num_classes: usize) -> Self {
+        ResNetConfig {
+            stem_width: 16,
+            stages: vec![
+                StageConfig { width: 16, blocks: 3, stride: 1 },
+                StageConfig { width: 32, blocks: 3, stride: 2 },
+                StageConfig { width: 64, blocks: 3, stride: 2 },
+            ],
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    /// ResNet-18-style: 4 stages × 2 blocks at 64/128/256/512 channels
+    /// (CIFAR stem: 3×3, no max-pool).
+    pub fn resnet18(num_classes: usize) -> Self {
+        ResNetConfig {
+            stem_width: 64,
+            stages: vec![
+                StageConfig { width: 64, blocks: 2, stride: 1 },
+                StageConfig { width: 128, blocks: 2, stride: 2 },
+                StageConfig { width: 256, blocks: 2, stride: 2 },
+                StageConfig { width: 512, blocks: 2, stride: 2 },
+            ],
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    /// A reduced-width ResNet for synthetic-data experiments and tests.
+    pub fn tiny(num_classes: usize) -> Self {
+        ResNetConfig {
+            stem_width: 8,
+            stages: vec![
+                StageConfig { width: 8, blocks: 1, stride: 1 },
+                StageConfig { width: 16, blocks: 1, stride: 2 },
+            ],
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    /// Uniformly scales every width by `mult` (minimum 1 channel).
+    #[must_use]
+    pub fn scaled(mut self, mult: f32) -> Self {
+        let scale = |w: usize| ((w as f32 * mult).round() as usize).max(1);
+        self.stem_width = scale(self.stem_width);
+        for s in &mut self.stages {
+            s.width = scale(s.width);
+        }
+        self
+    }
+}
+
+/// A pre-activation-free basic residual block: conv-bn-relu-conv-bn (+skip).
+#[derive(Debug)]
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    downsample: Option<(Conv2d, BatchNorm2d)>,
+}
+
+impl BasicBlock {
+    fn new(rng: &mut TensorRng, name: &str, in_c: usize, out_c: usize, stride: usize) -> Self {
+        let conv1 = Conv2d::new(
+            rng,
+            &format!("{name}.conv1"),
+            in_c,
+            out_c,
+            3,
+            Conv2dSpec { stride, padding: 1, groups: 1 },
+            false,
+        );
+        let bn1 = BatchNorm2d::new(&format!("{name}.bn1"), out_c);
+        let conv2 =
+            Conv2d::new(rng, &format!("{name}.conv2"), out_c, out_c, 3, Conv2dSpec::new(1, 1), false);
+        let bn2 = BatchNorm2d::new(&format!("{name}.bn2"), out_c);
+        let downsample = (stride != 1 || in_c != out_c).then(|| {
+            (
+                Conv2d::new(
+                    rng,
+                    &format!("{name}.down"),
+                    in_c,
+                    out_c,
+                    1,
+                    Conv2dSpec { stride, padding: 0, groups: 1 },
+                    false,
+                ),
+                BatchNorm2d::new(&format!("{name}.down_bn"), out_c),
+            )
+        });
+        BasicBlock { conv1, bn1, conv2, bn2, downsample }
+    }
+
+    /// First convolution.
+    pub fn conv1(&self) -> &Conv2d {
+        &self.conv1
+    }
+
+    /// First BatchNorm.
+    pub fn bn1(&self) -> &BatchNorm2d {
+        &self.bn1
+    }
+
+    /// Second convolution.
+    pub fn conv2(&self) -> &Conv2d {
+        &self.conv2
+    }
+
+    /// Second BatchNorm.
+    pub fn bn2(&self) -> &BatchNorm2d {
+        &self.bn2
+    }
+
+    /// Projection shortcut, if the block changes shape.
+    pub fn downsample(&self) -> Option<(&Conv2d, &BatchNorm2d)> {
+        self.downsample.as_ref().map(|(c, b)| (c, b))
+    }
+}
+
+impl Module for BasicBlock {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let h = self.bn1.forward(&self.conv1.forward(x)?)?.relu();
+        let h = self.bn2.forward(&self.conv2.forward(&h)?)?;
+        let skip = match &self.downsample {
+            Some((conv, bn)) => bn.forward(&conv.forward(x)?)?,
+            None => x.clone(),
+        };
+        Ok(h.add(&skip)?.relu())
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut out = Vec::new();
+        out.extend(self.conv1.params());
+        out.extend(self.bn1.params());
+        out.extend(self.conv2.params());
+        out.extend(self.bn2.params());
+        if let Some((conv, bn)) = &self.downsample {
+            out.extend(conv.params());
+            out.extend(bn.params());
+        }
+        out
+    }
+
+    fn set_training(&self, training: bool) {
+        self.bn1.set_training(training);
+        self.bn2.set_training(training);
+        if let Some((_, bn)) = &self.downsample {
+            bn.set_training(training);
+        }
+    }
+}
+
+/// A CIFAR-style ResNet: 3×3 stem, residual stages, global average pool and
+/// a linear classifier.
+#[derive(Debug)]
+pub struct ResNet {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    blocks: Vec<BasicBlock>,
+    head: Linear,
+    config: ResNetConfig,
+}
+
+impl ResNet {
+    /// Builds the network with seeded initialization.
+    pub fn new(rng: &mut TensorRng, config: ResNetConfig) -> Self {
+        let stem = Conv2d::new(
+            rng,
+            "stem",
+            config.in_channels,
+            config.stem_width,
+            3,
+            Conv2dSpec::new(1, 1),
+            false,
+        );
+        let stem_bn = BatchNorm2d::new("stem_bn", config.stem_width);
+        let mut blocks = Vec::new();
+        let mut in_c = config.stem_width;
+        for (si, stage) in config.stages.iter().enumerate() {
+            for bi in 0..stage.blocks {
+                let stride = if bi == 0 { stage.stride } else { 1 };
+                blocks.push(BasicBlock::new(
+                    rng,
+                    &format!("stage{si}.block{bi}"),
+                    in_c,
+                    stage.width,
+                    stride,
+                ));
+                in_c = stage.width;
+            }
+        }
+        let head = Linear::new(rng, "head", in_c, config.num_classes, true);
+        ResNet { stem, stem_bn, blocks, head, config }
+    }
+
+    /// The architecture description.
+    pub fn config(&self) -> &ResNetConfig {
+        &self.config
+    }
+
+    /// Stem convolution.
+    pub fn stem(&self) -> &Conv2d {
+        &self.stem
+    }
+
+    /// Stem BatchNorm.
+    pub fn stem_bn(&self) -> &BatchNorm2d {
+        &self.stem_bn
+    }
+
+    /// All residual blocks in execution order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Classifier head.
+    pub fn head(&self) -> &Linear {
+        &self.head
+    }
+}
+
+impl Module for ResNet {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let mut h = self.stem_bn.forward(&self.stem.forward(x)?)?.relu();
+        for block in &self.blocks {
+            h = block.forward(&h)?;
+        }
+        self.head.forward(&h.global_avg_pool2d()?)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut out = Vec::new();
+        out.extend(self.stem.params());
+        out.extend(self.stem_bn.params());
+        for b in &self.blocks {
+            out.extend(b.params());
+        }
+        out.extend(self.head.params());
+        out
+    }
+
+    fn set_training(&self, training: bool) {
+        self.stem_bn.set_training(training);
+        for b in &self.blocks {
+            b.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::Tensor;
+
+    #[test]
+    fn resnet_tiny_forward_shape() {
+        let mut rng = TensorRng::seed_from(1);
+        let net = ResNet::new(&mut rng, ResNetConfig::tiny(10));
+        let g = Graph::new();
+        let y = net.forward(&g.leaf(Tensor::ones(&[2, 3, 16, 16]))).unwrap();
+        assert_eq!(y.dims(), vec![2, 10]);
+    }
+
+    #[test]
+    fn resnet20_block_count_and_params() {
+        let mut rng = TensorRng::seed_from(2);
+        let net = ResNet::new(&mut rng, ResNetConfig::resnet20(10));
+        assert_eq!(net.blocks().len(), 9);
+        // The CIFAR ResNet-20 has ~0.27M parameters.
+        let n = net.num_trainable();
+        assert!((250_000..300_000).contains(&n), "param count {n}");
+    }
+
+    #[test]
+    fn resnet_gradients_flow_to_stem() {
+        let mut rng = TensorRng::seed_from(3);
+        let net = ResNet::new(&mut rng, ResNetConfig::tiny(4));
+        let g = Graph::new();
+        let x = g.leaf(rng.normal(&[2, 3, 8, 8], 0.0, 1.0));
+        let loss = net.forward(&x).unwrap().cross_entropy_logits(&[0, 1]).unwrap();
+        loss.backward().unwrap();
+        assert!(net.stem().weight().grad().abs_max() > 0.0);
+    }
+
+    #[test]
+    fn scaled_config_shrinks_widths() {
+        let cfg = ResNetConfig::resnet20(10).scaled(0.25);
+        assert_eq!(cfg.stem_width, 4);
+        assert_eq!(cfg.stages[2].width, 16);
+    }
+}

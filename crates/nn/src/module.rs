@@ -1,0 +1,175 @@
+use t2c_autograd::{Param, Var};
+
+use crate::Result;
+
+/// A neural-network building block.
+///
+/// Modules transform a [`Var`] on a recording graph and expose their
+/// trainable [`Param`]s to optimizers. Layers with mode-dependent behaviour
+/// (BatchNorm) react to [`Module::set_training`].
+pub trait Module {
+    /// Applies the module to `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has an incompatible shape.
+    fn forward(&self, x: &Var) -> Result<Var>;
+
+    /// All parameters, trainable and frozen, in deterministic order.
+    fn params(&self) -> Vec<Param>;
+
+    /// Switches between training and evaluation behaviour. The default is a
+    /// no-op for mode-independent layers.
+    fn set_training(&self, _training: bool) {}
+
+    /// Total number of elements across trainable parameters.
+    fn num_trainable(&self) -> usize {
+        self.params().iter().filter(|p| p.is_trainable()).map(Param::numel).sum()
+    }
+}
+
+impl<M: Module + ?Sized> Module for Box<M> {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        (**self).forward(x)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        (**self).params()
+    }
+
+    fn set_training(&self, training: bool) {
+        (**self).set_training(training)
+    }
+}
+
+/// Snapshots every parameter of a module as `(name, tensor)` pairs — the
+/// state-dict convention. Use with [`load_state_dict`] to checkpoint or to
+/// give several compression experiments the same starting weights.
+pub fn state_dict(module: &dyn Module) -> Vec<(String, t2c_tensor::Tensor<f32>)> {
+    module.params().iter().map(|p| (p.name(), p.value())).collect()
+}
+
+/// Restores a snapshot taken by [`state_dict`] into a module with the same
+/// architecture (parameters are matched positionally and verified by name).
+///
+/// # Errors
+///
+/// Returns an error if the parameter count, any name, or any shape differs.
+pub fn load_state_dict(
+    module: &dyn Module,
+    snapshot: &[(String, t2c_tensor::Tensor<f32>)],
+) -> Result<()> {
+    let params = module.params();
+    if params.len() != snapshot.len() {
+        return Err(t2c_tensor::TensorError::InvalidArgument(format!(
+            "state dict has {} entries, module has {} parameters",
+            snapshot.len(),
+            params.len()
+        )));
+    }
+    for (p, (name, value)) in params.iter().zip(snapshot) {
+        if &p.name() != name {
+            return Err(t2c_tensor::TensorError::InvalidArgument(format!(
+                "parameter name mismatch: module `{}` vs snapshot `{name}`",
+                p.name()
+            )));
+        }
+        if p.value().dims() != value.dims() {
+            return Err(t2c_tensor::TensorError::ShapeMismatch {
+                lhs: p.value().dims().to_vec(),
+                rhs: value.dims().to_vec(),
+                op: "load_state_dict",
+            });
+        }
+        p.set_value(value.clone());
+    }
+    Ok(())
+}
+
+/// A sequential container applying modules in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Sequential::default()
+    }
+
+    /// Appends a module (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of contained modules.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, x: &Var) -> Result<Var> {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h)?;
+        }
+        Ok(h)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        for layer in &self.layers {
+            layer.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Linear};
+    use t2c_autograd::Graph;
+    use t2c_tensor::rng::TensorRng;
+    use t2c_tensor::Tensor;
+
+    #[test]
+    fn state_dict_round_trips() {
+        let mut rng = TensorRng::seed_from(7);
+        let a = Linear::new(&mut rng, "fc", 4, 4, true);
+        let snapshot = state_dict(&a);
+        // Perturb, then restore.
+        a.weight().set_value(Tensor::zeros(&[4, 4]));
+        load_state_dict(&a, &snapshot).unwrap();
+        assert_eq!(a.weight().value().as_slice(), snapshot[0].1.as_slice());
+        // Mismatched architecture is rejected.
+        let b = Linear::new(&mut rng, "other", 4, 4, true);
+        assert!(load_state_dict(&b, &snapshot).is_err());
+    }
+
+    #[test]
+    fn sequential_chains_layers() {
+        let mut rng = TensorRng::seed_from(0);
+        let net = Sequential::new()
+            .push(Linear::new(&mut rng, "fc1", 4, 8, true))
+            .push(Activation::Relu)
+            .push(Linear::new(&mut rng, "fc2", 8, 2, true));
+        assert_eq!(net.len(), 3);
+        let g = Graph::new();
+        let y = net.forward(&g.leaf(Tensor::ones(&[3, 4]))).unwrap();
+        assert_eq!(y.dims(), vec![3, 2]);
+        // fc1: 4·8+8, fc2: 8·2+2
+        assert_eq!(net.num_trainable(), 40 + 18);
+    }
+}

@@ -1,0 +1,111 @@
+//! # t2c-optim
+//!
+//! Optimizers (SGD with momentum, AdamW) and learning-rate schedules
+//! (step decay, cosine annealing, linear warmup) used by every Torch2Chip
+//! trainer — supervised QAT, PTQ reconstruction, sparse training and
+//! self-supervised pre-training.
+//!
+//! ## Example
+//!
+//! ```
+//! use t2c_autograd::{Graph, Param};
+//! use t2c_optim::{Optimizer, Sgd};
+//! use t2c_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = Param::new("w", Tensor::from_vec(vec![4.0_f32], &[1])?);
+//! let mut opt = Sgd::new(vec![w.clone()], 0.1).momentum(0.9);
+//! for _ in 0..300 {
+//!     w.zero_grad();
+//!     let g = Graph::new();
+//!     let loss = g.param(&w).square().mean_all(); // minimize w²
+//!     loss.backward()?;
+//!     opt.step();
+//! }
+//! assert!(w.value().as_slice()[0].abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+mod schedule;
+mod sgd;
+
+pub use adam::AdamW;
+pub use schedule::{CosineSchedule, LrSchedule, StepSchedule, WarmupCosine};
+pub use sgd::Sgd;
+
+use t2c_autograd::Param;
+
+/// A gradient-descent optimizer over a fixed parameter group.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently accumulated in the
+    /// parameters. Does **not** clear gradients; call
+    /// [`Optimizer::zero_grad`] (or `Param::zero_grad`) before the next
+    /// backward pass.
+    fn step(&mut self);
+
+    /// Clears the gradients of every managed parameter.
+    fn zero_grad(&self);
+
+    /// Sets the learning rate (used by schedules).
+    fn set_lr(&mut self, lr: f32);
+
+    /// The current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Clips the global L2 norm of the gradients of `params` to `max_norm`.
+///
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        if !p.is_trainable() {
+            continue;
+        }
+        let g = p.grad();
+        total += g.as_slice().iter().map(|&v| v * v).sum::<f32>();
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if !p.is_trainable() {
+                continue;
+            }
+            let scaled = p.grad().mul_scalar(scale);
+            p.zero_grad();
+            p.accumulate_grad(&scaled);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_tensor::Tensor;
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let p = Param::new("p", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let g = p.grad();
+        let norm = (g.as_slice()[0].powi(2) + g.as_slice()[1].powi(2)).sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_grads() {
+        let p = Param::new("p", Tensor::zeros(&[1]));
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5], &[1]).unwrap());
+        clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert_eq!(p.grad().as_slice(), &[0.5]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Learning-rate schedules. All schedules map an epoch (or step) index to a
+//! learning rate; trainers call [`LrSchedule::lr_at`] and pass the result to
+//! [`crate::Optimizer::set_lr`].
+
+/// A learning-rate schedule.
+pub trait LrSchedule {
+    /// The learning rate to use at `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Step decay: multiply by `gamma` after each milestone.
+#[derive(Debug, Clone)]
+pub struct StepSchedule {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Epochs at which the rate decays.
+    pub milestones: Vec<usize>,
+    /// Multiplicative decay factor.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepSchedule {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let decays = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base_lr * self.gamma.powi(decays as i32)
+    }
+}
+
+/// Cosine annealing from `base_lr` to `min_lr` over `total` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineSchedule {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Final learning rate.
+    pub min_lr: f32,
+    /// Schedule length in epochs.
+    pub total: usize,
+}
+
+impl LrSchedule for CosineSchedule {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        if self.total == 0 {
+            return self.base_lr;
+        }
+        let t = (epoch.min(self.total) as f32) / self.total as f32;
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+/// Linear warmup for `warmup` epochs, then cosine annealing — the standard
+/// ViT / SSL recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupCosine {
+    /// Peak learning rate reached after warmup.
+    pub base_lr: f32,
+    /// Final learning rate.
+    pub min_lr: f32,
+    /// Warmup length in epochs.
+    pub warmup: usize,
+    /// Total schedule length in epochs.
+    pub total: usize,
+}
+
+impl LrSchedule for WarmupCosine {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        if epoch < self.warmup {
+            return self.base_lr * (epoch + 1) as f32 / self.warmup.max(1) as f32;
+        }
+        CosineSchedule {
+            base_lr: self.base_lr,
+            min_lr: self.min_lr,
+            total: self.total.saturating_sub(self.warmup),
+        }
+        .lr_at(epoch - self.warmup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_schedule_decays_at_milestones() {
+        let s = StepSchedule { base_lr: 1.0, milestones: vec![10, 20], gamma: 0.1 };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(25) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineSchedule { base_lr: 1.0, min_lr: 0.0, total: 100 };
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(100) < 1e-6);
+        assert!((s.lr_at(50) - 0.5).abs() < 1e-3);
+        // Monotone decreasing.
+        assert!(s.lr_at(30) > s.lr_at(60));
+    }
+
+    #[test]
+    fn warmup_cosine_ramps_then_decays() {
+        let s = WarmupCosine { base_lr: 1.0, min_lr: 0.0, warmup: 5, total: 50 };
+        assert!(s.lr_at(0) < s.lr_at(4));
+        assert!((s.lr_at(5) - 1.0).abs() < 1e-3);
+        assert!(s.lr_at(49) < 0.05);
+    }
+}

@@ -1,0 +1,34 @@
+//! # t2c-sparse
+//!
+//! User-customizable weight sparsification (paper §2.2 / §4.3).
+//!
+//! Torch2Chip's position is that pruning must *compose* with quantization:
+//! the sparse weights are stored as **raw zero values in the integer
+//! model**, not as a side-channel binary mask over full-precision weights.
+//! This crate provides the pruners and the sparse trainer; the zeros
+//! survive `t2c-core`'s symmetric quantization (0 always maps to code 0)
+//! and show up in the exported integer files, which
+//! `IntModel::weight_sparsity` audits.
+//!
+//! Pruners:
+//!
+//! * [`MagnitudePruner`] — global element-wise magnitude pruning
+//!   (Han et al., 2016), one-shot at a target sparsity.
+//! * [`GraNetPruner`] — gradual magnitude pruning on the cubic
+//!   Zhu–Gupta schedule with gradient-based regrowth (the paper's
+//!   "GraNet" sparse-training rows).
+//! * [`NmPruner`] — N:M structured fine-grained sparsity (Zhou et al.,
+//!   2021): in every group of `m` consecutive weights along the input
+//!   dimension at most `n` survive (2:4 in Table 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pruner;
+mod trainer;
+
+pub use pruner::{GraNetPruner, MagnitudePruner, NmPruner, Pruner};
+pub use trainer::{prunable_weights, SparseTrainer, SparseTrainerConfig};
+
+/// Convenience alias for this crate's `Result`.
+pub type Result<T> = std::result::Result<T, t2c_tensor::TensorError>;

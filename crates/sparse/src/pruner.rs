@@ -1,0 +1,400 @@
+use t2c_autograd::Param;
+use t2c_tensor::Tensor;
+
+/// A weight pruner over a fixed parameter group.
+///
+/// Pruners maintain one binary mask per parameter. [`Pruner::step`] is
+/// called once per optimizer step with training progress in `[0, 1]`;
+/// implementations decide when to update their masks. [`Pruner::apply`]
+/// zeroes the masked weights in place (called after every optimizer step
+/// so pruned weights stay dead).
+pub trait Pruner {
+    /// Algorithm name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Advances the schedule; `progress` is `completed/total` steps.
+    fn step(&mut self, progress: f32);
+
+    /// Zeroes masked weights in place.
+    fn apply(&self);
+
+    /// Current achieved sparsity over the managed parameters.
+    fn sparsity(&self) -> f32 {
+        let (zeros, total) = self.mask_stats();
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f32 / total as f32
+        }
+    }
+
+    /// `(masked, total)` element counts.
+    fn mask_stats(&self) -> (usize, usize);
+}
+
+fn masked_counts(masks: &[Tensor<f32>]) -> (usize, usize) {
+    let zeros = masks
+        .iter()
+        .map(|m| m.as_slice().iter().filter(|&&v| v == 0.0).count())
+        .sum();
+    let total = masks.iter().map(Tensor::numel).sum();
+    (zeros, total)
+}
+
+/// Magnitude below-or-equal which `sparsity` of the sorted `mags` fall.
+/// Returns negative infinity for zero sparsity (keep everything).
+fn threshold_for(sorted_mags: &[f32], sparsity: f32) -> f32 {
+    let k = (sorted_mags.len() as f32 * sparsity).round() as usize;
+    if k == 0 {
+        f32::NEG_INFINITY
+    } else {
+        sorted_mags[(k - 1).min(sorted_mags.len() - 1)]
+    }
+}
+
+fn apply_masks(params: &[Param], masks: &[Tensor<f32>]) {
+    for (p, m) in params.iter().zip(masks) {
+        p.modify_value(|w| {
+            for (wi, &mi) in w.as_mut_slice().iter_mut().zip(m.as_slice()) {
+                *wi *= mi;
+            }
+        });
+    }
+}
+
+/// Keeps the `1 − sparsity` largest-magnitude weights globally across the
+/// whole parameter group.
+pub struct MagnitudePruner {
+    params: Vec<Param>,
+    masks: Vec<Tensor<f32>>,
+    target: f32,
+}
+
+impl MagnitudePruner {
+    /// Creates the pruner over `params` with the final `target` sparsity
+    /// in `[0, 1)`.
+    pub fn new(params: Vec<Param>, target: f32) -> Self {
+        let masks = params.iter().map(|p| Tensor::ones(p.value().dims())).collect();
+        MagnitudePruner { params, masks, target }
+    }
+
+    /// Recomputes masks at `sparsity` using the global magnitude
+    /// threshold.
+    pub fn prune_to(&mut self, sparsity: f32) {
+        let mut mags: Vec<f32> = self
+            .params
+            .iter()
+            .flat_map(|p| p.value().into_vec())
+            .map(f32::abs)
+            .collect();
+        if mags.is_empty() {
+            return;
+        }
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let threshold = threshold_for(&mags, sparsity);
+        for (p, m) in self.params.iter().zip(&mut self.masks) {
+            let w = p.value();
+            *m = w.map(|v| if v.abs() > threshold { 1.0 } else { 0.0 });
+        }
+    }
+}
+
+impl Pruner for MagnitudePruner {
+    fn name(&self) -> &'static str {
+        "magnitude"
+    }
+
+    fn step(&mut self, progress: f32) {
+        // One-shot: prune at the end of a warm-up third, then keep masks.
+        if progress >= 0.3 && self.sparsity() == 0.0 {
+            self.prune_to(self.target);
+        }
+    }
+
+    fn apply(&self) {
+        apply_masks(&self.params, &self.masks);
+    }
+
+    fn mask_stats(&self) -> (usize, usize) {
+        masked_counts(&self.masks)
+    }
+}
+
+/// Gradual magnitude pruning with gradient-based regrowth, on the cubic
+/// Zhu–Gupta sparsity schedule `s(t) = s_f·(1 − (1 − t)³)`.
+pub struct GraNetPruner {
+    params: Vec<Param>,
+    masks: Vec<Tensor<f32>>,
+    final_sparsity: f32,
+    /// Fraction of the pruned budget regrown by gradient magnitude at each
+    /// mask update.
+    regrow_fraction: f32,
+    /// Fraction of training kept fully dense before pruning starts.
+    warmup: f32,
+    /// Fraction of training after which the schedule saturates (leaving a
+    /// stable fine-tuning tail at the final sparsity).
+    ramp_end: f32,
+    updates: usize,
+}
+
+impl GraNetPruner {
+    /// Creates the pruner with the paper's defaults: 10% regrowth, 20%
+    /// dense warm-up, sparsity ramp finishing at 70% of training.
+    pub fn new(params: Vec<Param>, final_sparsity: f32) -> Self {
+        let masks = params.iter().map(|p| Tensor::ones(p.value().dims())).collect();
+        GraNetPruner {
+            params,
+            masks,
+            final_sparsity,
+            regrow_fraction: 0.1,
+            warmup: 0.2,
+            ramp_end: 0.7,
+            updates: 0,
+        }
+    }
+
+    /// The cubic schedule value at `progress ∈ [0, 1]`: dense through the
+    /// warm-up, then `s_f·(1 − (1 − t̂)³)` over the ramp.
+    pub fn scheduled_sparsity(&self, progress: f32) -> f32 {
+        let t = progress.clamp(0.0, 1.0);
+        if t <= self.warmup {
+            return 0.0;
+        }
+        let t_hat = ((t - self.warmup) / (self.ramp_end - self.warmup).max(1e-6)).min(1.0);
+        self.final_sparsity * (1.0 - (1.0 - t_hat).powi(3))
+    }
+
+    fn update_masks(&mut self, sparsity: f32) {
+        // 1) Magnitude-prune each layer to slightly beyond the target
+        //    (per-layer thresholds: a global threshold can dead-end whole
+        //    layers in narrow networks)…
+        let over = (sparsity + self.regrow_fraction * sparsity).min(0.99);
+        let mut total_elems = 0usize;
+        for (p, m) in self.params.iter().zip(&mut self.masks) {
+            let w = p.value();
+            let mut mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+            if mags.is_empty() {
+                continue;
+            }
+            total_elems += mags.len();
+            mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let threshold = threshold_for(&mags, over);
+            *m = w.map(|v| if v.abs() > threshold { 1.0 } else { 0.0 });
+        }
+        // 2) …then regrow the highest-|gradient| pruned weights back.
+        let budget = ((over - sparsity).max(0.0) * total_elems as f32) as usize;
+        if budget == 0 {
+            return;
+        }
+        let mut candidates: Vec<(f32, usize, usize)> = Vec::new();
+        for (pi, (p, m)) in self.params.iter().zip(&self.masks).enumerate() {
+            let g = p.grad();
+            for (j, (&mask, &grad)) in m.as_slice().iter().zip(g.as_slice()).enumerate() {
+                if mask == 0.0 {
+                    candidates.push((grad.abs(), pi, j));
+                }
+            }
+        }
+        candidates
+            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for &(_, pi, j) in candidates.iter().take(budget) {
+            self.masks[pi].as_mut_slice()[j] = 1.0;
+        }
+        self.updates += 1;
+    }
+}
+
+impl Pruner for GraNetPruner {
+    fn name(&self) -> &'static str {
+        "granet"
+    }
+
+    fn step(&mut self, progress: f32) {
+        let target = self.scheduled_sparsity(progress);
+        // Batched mask updates (5% sparsity increments): recomputing masks
+        // every step churns the surviving set and stalls learning.
+        if target > self.sparsity() + 0.05
+            || (target >= self.final_sparsity - 1e-6 && self.sparsity() < target - 0.01)
+        {
+            self.update_masks(target);
+        }
+    }
+
+    fn apply(&self) {
+        apply_masks(&self.params, &self.masks);
+    }
+
+    fn mask_stats(&self) -> (usize, usize) {
+        masked_counts(&self.masks)
+    }
+}
+
+/// N:M structured fine-grained sparsity: within every group of `m`
+/// consecutive weights along the fastest axis, only the `n` largest
+/// magnitudes survive.
+pub struct NmPruner {
+    params: Vec<Param>,
+    masks: Vec<Tensor<f32>>,
+    n: usize,
+    m: usize,
+}
+
+impl NmPruner {
+    /// Creates an N:M pruner (e.g. `n = 2`, `m = 4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > m` or `m == 0`.
+    pub fn new(params: Vec<Param>, n: usize, m: usize) -> Self {
+        assert!(m > 0 && n <= m, "invalid N:M = {n}:{m}");
+        let masks = params.iter().map(|p| Tensor::ones(p.value().dims())).collect();
+        NmPruner { params, masks, n, m }
+    }
+
+    /// The structural sparsity `1 − n/m`.
+    pub fn structural_sparsity(&self) -> f32 {
+        1.0 - self.n as f32 / self.m as f32
+    }
+
+    /// Recomputes every mask from the current weights.
+    pub fn update_masks(&mut self) {
+        for (p, mask) in self.params.iter().zip(&mut self.masks) {
+            let w = p.value();
+            let mut m = Tensor::<f32>::ones(w.dims());
+            let ws = w.as_slice();
+            let ms = m.as_mut_slice();
+            for group in (0..ws.len()).step_by(self.m) {
+                let end = (group + self.m).min(ws.len());
+                let mut idx: Vec<usize> = (group..end).collect();
+                idx.sort_by(|&a, &b| {
+                    ws[b].abs().partial_cmp(&ws[a].abs()).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for &i in idx.iter().skip(self.n) {
+                    ms[i] = 0.0;
+                }
+            }
+            *mask = m;
+        }
+    }
+
+    /// Verifies the N:M constraint on every mask (test/audit helper).
+    pub fn masks_satisfy_constraint(&self) -> bool {
+        self.masks.iter().all(|m| {
+            m.as_slice().chunks(self.m).all(|g| {
+                g.iter().filter(|&&v| v != 0.0).count() <= self.n
+            })
+        })
+    }
+}
+
+impl Pruner for NmPruner {
+    fn name(&self) -> &'static str {
+        "n:m"
+    }
+
+    fn step(&mut self, progress: f32) {
+        // Refresh masks periodically after a dense warm-up.
+        if progress >= 0.25 {
+            self.update_masks();
+        }
+    }
+
+    fn apply(&self) {
+        apply_masks(&self.params, &self.masks);
+    }
+
+    fn mask_stats(&self) -> (usize, usize) {
+        masked_counts(&self.masks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_tensor::rng::TensorRng;
+
+    fn param(rng: &mut TensorRng, n: usize) -> Param {
+        Param::new("w", rng.normal(&[n], 0.0, 1.0))
+    }
+
+    #[test]
+    fn magnitude_pruner_hits_target() {
+        let mut rng = TensorRng::seed_from(1);
+        let p = param(&mut rng, 1000);
+        let mut pruner = MagnitudePruner::new(vec![p.clone()], 0.8);
+        pruner.prune_to(0.8);
+        pruner.apply();
+        let zeros = p.value().as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f32 / 1000.0 - 0.8).abs() < 0.02, "zeros {zeros}");
+        assert!((pruner.sparsity() - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn magnitude_pruner_keeps_largest() {
+        let p = Param::new("w", Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0], &[4]).unwrap());
+        let mut pruner = MagnitudePruner::new(vec![p.clone()], 0.5);
+        pruner.prune_to(0.5);
+        pruner.apply();
+        assert_eq!(p.value().as_slice(), &[0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn granet_schedule_is_cubic_and_monotone() {
+        let mut rng = TensorRng::seed_from(2);
+        let pruner = GraNetPruner::new(vec![param(&mut rng, 10)], 0.8);
+        assert_eq!(pruner.scheduled_sparsity(0.0), 0.0);
+        assert!((pruner.scheduled_sparsity(1.0) - 0.8).abs() < 1e-6);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let s = pruner.scheduled_sparsity(i as f32 / 10.0);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn granet_regrows_high_gradient_weights() {
+        let mut rng = TensorRng::seed_from(3);
+        let p = param(&mut rng, 200);
+        // Gradients concentrated on the first half.
+        let grad = Tensor::from_fn(&[200], |i| if i < 100 { 10.0 } else { 0.0 });
+        p.accumulate_grad(&grad);
+        let mut pruner = GraNetPruner::new(vec![p.clone()], 0.5);
+        pruner.step(1.0);
+        pruner.apply();
+        assert!(pruner.sparsity() > 0.4, "sparsity {}", pruner.sparsity());
+    }
+
+    #[test]
+    fn nm_pruner_enforces_constraint() {
+        let mut rng = TensorRng::seed_from(4);
+        let p = param(&mut rng, 64);
+        let mut pruner = NmPruner::new(vec![p.clone()], 2, 4);
+        pruner.update_masks();
+        pruner.apply();
+        assert!(pruner.masks_satisfy_constraint());
+        assert!((pruner.sparsity() - 0.5).abs() < 1e-6);
+        // Every group of 4 has exactly 2 non-zeros in the weights too.
+        for g in p.value().as_slice().chunks(4) {
+            assert_eq!(g.iter().filter(|&&v| v != 0.0).count(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid N:M")]
+    fn nm_rejects_bad_config() {
+        let _ = NmPruner::new(vec![], 5, 4);
+    }
+
+    #[test]
+    fn pruned_weights_stay_dead_after_apply() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0, 0.01, 2.0, 0.02], &[4]).unwrap());
+        let mut pruner = MagnitudePruner::new(vec![p.clone()], 0.5);
+        pruner.prune_to(0.5);
+        pruner.apply();
+        // Simulate an optimizer reviving weights...
+        p.set_value(Tensor::from_vec(vec![1.0, 9.0, 2.0, 9.0], &[4]).unwrap());
+        pruner.apply();
+        assert_eq!(p.value().as_slice(), &[1.0, 0.0, 2.0, 0.0]);
+    }
+}

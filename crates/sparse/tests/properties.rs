@@ -1,0 +1,81 @@
+//! Property-based tests: structural sparsity invariants.
+
+use proptest::prelude::*;
+use t2c_autograd::Param;
+use t2c_sparse::{MagnitudePruner, NmPruner, Pruner};
+use t2c_tensor::Tensor;
+
+fn weight_param(values: Vec<f32>) -> Param {
+    let n = values.len();
+    Param::new("w", Tensor::from_vec(values, &[n]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nm_constraint_holds_for_any_weights(
+        raw in proptest::collection::vec(-1000i32..1000, 64),
+        n in 1usize..4,
+    ) {
+        let m = 4usize;
+        let p = weight_param(raw.iter().map(|&v| v as f32 / 100.0).collect());
+        let mut pruner = NmPruner::new(vec![p.clone()], n, m);
+        pruner.update_masks();
+        pruner.apply();
+        prop_assert!(pruner.masks_satisfy_constraint());
+        // The surviving weights per group are the n largest magnitudes.
+        let w = p.value();
+        for g in w.as_slice().chunks(m) {
+            let nonzero = g.iter().filter(|&&v| v != 0.0).count();
+            prop_assert!(nonzero <= n);
+        }
+        prop_assert!((pruner.sparsity() - (1.0 - n as f32 / m as f32)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn magnitude_pruner_sparsity_close_to_target(
+        raw in proptest::collection::vec(-10_000i32..10_000, 200..400),
+        target_pct in 10u32..90,
+    ) {
+        // Distinct-ish magnitudes so the threshold cut is clean.
+        let target = target_pct as f32 / 100.0;
+        let p = weight_param(raw.iter().enumerate()
+            .map(|(i, &v)| v as f32 + i as f32 * 1e-3).collect());
+        let mut pruner = MagnitudePruner::new(vec![p.clone()], target);
+        pruner.prune_to(target);
+        pruner.apply();
+        prop_assert!((pruner.sparsity() - target).abs() < 0.05,
+            "target {target}, got {}", pruner.sparsity());
+    }
+
+    #[test]
+    fn pruned_weights_never_resurrect(
+        raw in proptest::collection::vec(-1000i32..1000, 32),
+    ) {
+        let p = weight_param(raw.iter().map(|&v| v as f32 / 10.0).collect());
+        let mut pruner = NmPruner::new(vec![p.clone()], 2, 4);
+        pruner.update_masks();
+        pruner.apply();
+        let zero_idx: Vec<usize> = p
+            .value()
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        // Simulate an optimizer writing junk into every weight…
+        p.modify_value(|w| {
+            for v in w.as_mut_slice() {
+                *v += 42.0;
+            }
+        });
+        // …masks bring the pruned ones back to zero.
+        pruner.apply();
+        let w = p.value();
+        for &i in &zero_idx {
+            prop_assert_eq!(w.as_slice()[i], 0.0);
+        }
+    }
+}

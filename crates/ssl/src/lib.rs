@@ -1,0 +1,32 @@
+//! # t2c-ssl
+//!
+//! Self-supervised pre-training (paper §3.3) — the alternative to
+//! supervised pre-training that industry toolkits (OpenVINO, AIMET) do not
+//! offer, and the source of Table 4's transfer-learning gains.
+//!
+//! The method is the paper's adopted recipe: correlation-based contrastive
+//! learning (Barlow Twins, Zbontar et al. 2021) plus the lightweight-model
+//! **cross-distillation (XD)** objective of Meng et al. 2023 (paper
+//! Eq. 16):
+//!
+//! ```text
+//! L_XD = Σᵢ (1 − C_ii) + λ Σᵢ Σ_{j≠i} C_ij²
+//! ```
+//!
+//! where `C` is the cross-correlation between the batch-normalized latent
+//! embeddings of two augmented views. The XD term is applied
+//! asymmetrically (each view distills from the *detached* other view),
+//! following the cross-distillation idea of the original at the scale this
+//! reproduction runs at; `DESIGN.md` records the simplification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod loss;
+mod trainer;
+
+pub use loss::{barlow_loss, cross_correlation, xd_loss};
+pub use trainer::{Encoder, FineTuner, ProjectionHead, SslConfig, SslMethod, SslTrainer};
+
+/// Convenience alias for this crate's `Result`.
+pub type Result<T> = std::result::Result<T, t2c_tensor::TensorError>;

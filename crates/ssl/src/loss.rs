@@ -1,0 +1,138 @@
+//! Correlation-based self-supervised objectives.
+
+use t2c_autograd::Var;
+use t2c_tensor::Tensor;
+
+use crate::Result;
+
+/// Standardizes each embedding dimension over the batch:
+/// `(z − μ₀)/σ₀` with statistics along axis 0 — differentiable.
+fn batch_standardize(z: &Var) -> Result<Var> {
+    let mean = z.mean_axis(0)?; // [1, D]
+    let centered = z.sub(&mean)?;
+    let var = centered.square().mean_axis(0)?; // biased, [1, D]
+    let std = var.add_scalar(1e-5).sqrt();
+    centered.div(&std)
+}
+
+/// The `[D, D]` cross-correlation matrix `C = ẑᵀ ẑ̃ / N` between two
+/// batch-standardized embedding matrices `[N, D]`.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree.
+pub fn cross_correlation(z1: &Var, z2: &Var) -> Result<Var> {
+    let n = z1.dims()[0] as f32;
+    let z1n = batch_standardize(z1)?;
+    let z2n = batch_standardize(z2)?;
+    Ok(z1n.transpose()?.matmul(&z2n)?.mul_scalar(1.0 / n))
+}
+
+fn eye_masks(d: usize, g: &t2c_autograd::Graph) -> (Var, Var) {
+    let eye = Tensor::from_fn(&[d, d], |i| if i / d == i % d { 1.0 } else { 0.0 });
+    let off = eye.map(|v| 1.0 - v);
+    (g.leaf(eye), g.leaf(off))
+}
+
+/// Barlow-Twins loss: `Σᵢ (1 − C_ii)² + λ·Σ_{i≠j} C_ij²`.
+///
+/// # Errors
+///
+/// Returns an error if the embeddings' shapes disagree.
+pub fn barlow_loss(z1: &Var, z2: &Var, lambda: f32) -> Result<Var> {
+    let c = cross_correlation(z1, z2)?;
+    let d = c.dims()[0];
+    let (eye, off) = eye_masks(d, &z1.graph_handle());
+    // on-diagonal: (C_ii − 1)²; masks zero-out the complementary entries.
+    let on = c.sub(&eye)?.mul(&eye)?.square().sum_all();
+    let off_term = c.mul(&off)?.square().sum_all();
+    on.add(&off_term.mul_scalar(lambda))
+}
+
+/// The cross-distillation loss of Eq. 16: linear on-diagonal alignment
+/// `Σᵢ (1 − C_ii)` plus the quadratic redundancy term. The second operand
+/// acts as the (detached) teacher.
+///
+/// # Errors
+///
+/// Returns an error if the embeddings' shapes disagree.
+pub fn xd_loss(z_student: &Var, z_teacher: &Var, lambda: f32) -> Result<Var> {
+    let c = cross_correlation(z_student, &z_teacher.detach())?;
+    let d = c.dims()[0];
+    let (eye, off) = eye_masks(d, &z_student.graph_handle());
+    // Σᵢ (1 − C_ii) = D − trace(C)
+    let trace = c.mul(&eye)?.sum_all();
+    let on = trace.neg().add_scalar(d as f32);
+    let off_term = c.mul(&off)?.square().sum_all();
+    on.add(&off_term.mul_scalar(lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_autograd::Graph;
+    use t2c_tensor::rng::TensorRng;
+
+    #[test]
+    fn correlation_of_identical_views_is_identityish() {
+        let mut rng = TensorRng::seed_from(1);
+        let z = rng.normal(&[64, 8], 0.0, 1.0);
+        let g = Graph::new();
+        let z1 = g.leaf(z.clone());
+        let z2 = g.leaf(z);
+        let c = cross_correlation(&z1, &z2).unwrap().tensor();
+        for i in 0..8 {
+            assert!((c.at(&[i, i]) - 1.0).abs() < 0.05, "diag {i}: {}", c.at(&[i, i]));
+        }
+    }
+
+    #[test]
+    fn barlow_loss_zero_for_perfectly_aligned_decorrelated() {
+        // Independent standardized dimensions + identical views ⇒ C ≈ I.
+        let mut rng = TensorRng::seed_from(2);
+        let z = rng.normal(&[256, 4], 0.0, 1.0);
+        let g = Graph::new();
+        let loss = barlow_loss(&g.leaf(z.clone()), &g.leaf(z), 5e-3).unwrap();
+        assert!(loss.tensor().item() < 0.1, "loss {}", loss.tensor().item());
+    }
+
+    #[test]
+    fn barlow_loss_penalizes_redundant_dimensions() {
+        // Duplicate dimensions ⇒ large off-diagonal correlation.
+        let mut rng = TensorRng::seed_from(3);
+        let base = rng.normal(&[128, 1], 0.0, 1.0);
+        let dup = Tensor::from_fn(&[128, 4], |i| base.as_slice()[i / 4]);
+        let indep = rng.normal(&[128, 4], 0.0, 1.0);
+        let g = Graph::new();
+        let redundant =
+            barlow_loss(&g.leaf(dup.clone()), &g.leaf(dup), 5e-3).unwrap().tensor().item();
+        let g2 = Graph::new();
+        let clean =
+            barlow_loss(&g2.leaf(indep.clone()), &g2.leaf(indep), 5e-3).unwrap().tensor().item();
+        assert!(redundant > clean, "redundant {redundant} vs clean {clean}");
+    }
+
+    #[test]
+    fn xd_loss_teacher_receives_no_gradient() {
+        let mut rng = TensorRng::seed_from(4);
+        let g = Graph::new();
+        let student = g.leaf(rng.normal(&[32, 4], 0.0, 1.0));
+        let teacher = g.leaf(rng.normal(&[32, 4], 0.0, 1.0));
+        let loss = xd_loss(&student, &teacher, 5e-3).unwrap();
+        loss.backward().unwrap();
+        assert!(student.grad().is_some());
+        assert!(teacher.grad().is_none(), "teacher must be detached");
+    }
+
+    #[test]
+    fn losses_are_finite_and_positive_for_random_views() {
+        let mut rng = TensorRng::seed_from(5);
+        let g = Graph::new();
+        let z1 = g.leaf(rng.normal(&[64, 8], 0.0, 1.0));
+        let z2 = g.leaf(rng.normal(&[64, 8], 0.0, 1.0));
+        let b = barlow_loss(&z1, &z2, 5e-3).unwrap().tensor().item();
+        let x = xd_loss(&z1, &z2, 5e-3).unwrap().tensor().item();
+        assert!(b.is_finite() && b > 0.0);
+        assert!(x.is_finite() && x > 0.0);
+    }
+}

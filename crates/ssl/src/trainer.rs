@@ -1,0 +1,294 @@
+use t2c_autograd::{Graph, Param, Var};
+use t2c_data::{Augment, AugmentConfig, BatchIter, SynthVision};
+use t2c_nn::layers::Linear;
+use t2c_nn::models::MobileNetV1;
+use t2c_nn::Module;
+use t2c_optim::{clip_grad_norm, Optimizer, Sgd, WarmupCosine};
+use t2c_optim::LrSchedule;
+use t2c_tensor::rng::TensorRng;
+
+use crate::{barlow_loss, xd_loss, Result};
+
+/// A vision backbone that produces pooled feature vectors — the interface
+/// the SSL trainer pre-trains.
+pub trait Encoder: Module {
+    /// Maps an image batch `[N, C, H, W]` to features `[N, F]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    fn features(&self, x: &Var) -> Result<Var>;
+
+    /// Feature width `F`.
+    fn feature_dim(&self) -> usize;
+}
+
+impl Encoder for MobileNetV1 {
+    fn features(&self, x: &Var) -> Result<Var> {
+        MobileNetV1::features(self, x)
+    }
+
+    fn feature_dim(&self) -> usize {
+        MobileNetV1::feature_dim(self)
+    }
+}
+
+/// The 2-layer projection head mapping encoder features to the embedding
+/// space where the correlation losses act.
+pub struct ProjectionHead {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl ProjectionHead {
+    /// Creates a head `F → hidden → out`.
+    pub fn new(rng: &mut TensorRng, in_dim: usize, hidden: usize, out: usize) -> Self {
+        ProjectionHead {
+            fc1: Linear::new(rng, "proj.fc1", in_dim, hidden, true),
+            fc2: Linear::new(rng, "proj.fc2", hidden, out, true),
+        }
+    }
+
+    /// Projects features to embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn project(&self, f: &Var) -> Result<Var> {
+        self.fc2.forward(&self.fc1.forward(f)?.relu())
+    }
+
+    /// The head's parameters.
+    pub fn params(&self) -> Vec<Param> {
+        let mut out = self.fc1.params();
+        out.extend(self.fc2.params());
+        out
+    }
+}
+
+/// Which SSL objective to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SslMethod {
+    /// Barlow Twins only.
+    Barlow,
+    /// Barlow Twins + symmetric cross-distillation (the paper's "XD").
+    BarlowXd,
+}
+
+/// SSL pre-training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SslConfig {
+    /// Pre-training epochs.
+    pub epochs: usize,
+    /// Batch size (correlation statistics need reasonably large batches).
+    pub batch: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Barlow off-diagonal weight λ.
+    pub lambda: f32,
+    /// XD term weight μ.
+    pub mu: f32,
+    /// Projection hidden width.
+    pub proj_hidden: usize,
+    /// Embedding dimensionality.
+    pub proj_dim: usize,
+    /// Seed for augmentation and shuffling.
+    pub seed: u64,
+}
+
+impl SslConfig {
+    /// A quick recipe for the synthetic datasets (tuned so the SSL-then-
+    /// fine-tune pipeline beats supervised-from-scratch on small
+    /// downstream tasks, the paper's Table 4 shape).
+    pub fn quick(epochs: usize) -> Self {
+        SslConfig {
+            epochs,
+            batch: 64,
+            lr: 0.1,
+            weight_decay: 1e-4,
+            lambda: 5e-3,
+            mu: 1.0,
+            proj_hidden: 128,
+            proj_dim: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// The self-supervised trainer (`TRAINER["ssl"]` in the paper's registry).
+pub struct SslTrainer {
+    /// Hyperparameters.
+    pub config: SslConfig,
+    /// Objective.
+    pub method: SslMethod,
+}
+
+impl SslTrainer {
+    /// Creates the trainer.
+    pub fn new(config: SslConfig, method: SslMethod) -> Self {
+        SslTrainer { config, method }
+    }
+
+    /// Pre-trains `encoder` on unlabeled two-view batches; returns the
+    /// per-epoch mean loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch inside the encoder.
+    pub fn fit<E: Encoder + ?Sized>(&self, encoder: &E, data: &SynthVision) -> Result<Vec<f32>> {
+        let cfg = self.config;
+        let mut rng = TensorRng::seed_from(cfg.seed ^ 0x55AA);
+        let head = ProjectionHead::new(&mut rng, encoder.feature_dim(), cfg.proj_hidden, cfg.proj_dim);
+        let mut params = encoder.params();
+        params.extend(head.params());
+        let mut opt = Sgd::new(params.clone(), cfg.lr).momentum(0.9).weight_decay(cfg.weight_decay);
+        let schedule = WarmupCosine {
+            base_lr: cfg.lr,
+            min_lr: cfg.lr * 0.01,
+            warmup: (cfg.epochs / 10).max(1),
+            total: cfg.epochs,
+        };
+        let mut augment = Augment::new(AugmentConfig::ssl(), cfg.seed);
+        encoder.set_training(true);
+        let mut history = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            opt.set_lr(schedule.lr_at(epoch));
+            let mut loss_sum = 0.0;
+            let mut batches = 0;
+            for (images, _labels) in BatchIter::train(data, cfg.batch, cfg.seed + epoch as u64) {
+                // Two independently augmented views of the same batch.
+                let view_a = augment.apply_batch(&images);
+                let view_b = augment.apply_batch(&images);
+                let g = Graph::new();
+                let za = head.project(&encoder.features(&g.leaf(view_a))?)?;
+                let zb = head.project(&encoder.features(&g.leaf(view_b))?)?;
+                let mut loss = barlow_loss(&za, &zb, cfg.lambda)?;
+                if self.method == SslMethod::BarlowXd {
+                    let xd = xd_loss(&za, &zb, cfg.lambda)?.add(&xd_loss(&zb, &za, cfg.lambda)?)?;
+                    loss = loss.add(&xd.mul_scalar(cfg.mu))?;
+                }
+                opt.zero_grad();
+                loss.backward()?;
+                clip_grad_norm(&params, 5.0);
+                opt.step();
+                loss_sum += loss.tensor().item();
+                batches += 1;
+            }
+            history.push(loss_sum / batches.max(1) as f32);
+        }
+        Ok(history)
+    }
+}
+
+/// Supervised fine-tuning of a pre-trained encoder on a downstream task
+/// with a fresh classification head (the transfer step of Table 4).
+pub struct FineTuner {
+    /// Epochs of fine-tuning.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Shuffle/augmentation seed.
+    pub seed: u64,
+}
+
+impl FineTuner {
+    /// A quick fine-tuning recipe.
+    pub fn quick(epochs: usize) -> Self {
+        FineTuner { epochs, batch: 32, lr: 0.02, seed: 17 }
+    }
+
+    /// Fine-tunes encoder + new head; returns `(head, final accuracy)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch inside the encoder.
+    pub fn fit<E: Encoder + ?Sized>(
+        &self,
+        encoder: &E,
+        num_classes: usize,
+        data: &SynthVision,
+    ) -> Result<(Linear, f32)> {
+        let mut rng = TensorRng::seed_from(self.seed);
+        let head = Linear::new(&mut rng, "ft_head", encoder.feature_dim(), num_classes, true);
+        let mut params = encoder.params();
+        params.extend(head.params());
+        let mut opt = Sgd::new(params.clone(), self.lr).momentum(0.9).weight_decay(5e-4);
+        let mut augment = Augment::new(AugmentConfig::standard(), self.seed);
+        encoder.set_training(true);
+        for epoch in 0..self.epochs {
+            for (images, labels) in BatchIter::train(data, self.batch, self.seed + epoch as u64) {
+                let images = augment.apply_batch(&images);
+                let g = Graph::new();
+                let logits = head.forward(&encoder.features(&g.leaf(images))?)?;
+                let loss = logits.cross_entropy_logits(&labels)?;
+                opt.zero_grad();
+                loss.backward()?;
+                clip_grad_norm(&params, 5.0);
+                opt.step();
+            }
+        }
+        // Evaluate.
+        encoder.set_training(false);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (images, labels) in BatchIter::test(data, self.batch) {
+            let g = Graph::new();
+            let preds = head
+                .forward(&encoder.features(&g.leaf(images))?)?
+                .value()
+                .argmax_rows()?;
+            correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+            total += labels.len();
+        }
+        encoder.set_training(true);
+        Ok((head, correct as f32 / total.max(1) as f32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_data::SynthVisionConfig;
+    use t2c_nn::models::MobileNetConfig;
+
+    #[test]
+    fn ssl_loss_decreases_over_training() {
+        let data = SynthVision::generate(&SynthVisionConfig::tiny(4, 24));
+        let mut rng = TensorRng::seed_from(0);
+        let encoder = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(4));
+        let trainer = SslTrainer::new(SslConfig::quick(4), SslMethod::BarlowXd);
+        let history = trainer.fit(&encoder, &data).unwrap();
+        assert!(history.len() == 4);
+        assert!(
+            history.last().unwrap() < history.first().unwrap(),
+            "loss should decrease: {history:?}"
+        );
+        assert!(history.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn finetune_after_ssl_beats_random_encoder() {
+        let up = SynthVision::generate(&SynthVisionConfig::tiny(4, 24));
+        let down = SynthVision::generate(&SynthVisionConfig::tiny(3, 24));
+        // SSL-pretrained encoder.
+        let mut rng = TensorRng::seed_from(1);
+        let encoder = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(4));
+        SslTrainer::new(SslConfig::quick(4), SslMethod::BarlowXd).fit(&encoder, &up).unwrap();
+        let (_, acc_ssl) = FineTuner::quick(3).fit(&encoder, 3, &down).unwrap();
+        assert!(acc_ssl > 0.3, "ssl transfer acc {acc_ssl}");
+    }
+
+    #[test]
+    fn projection_head_shapes() {
+        let mut rng = TensorRng::seed_from(2);
+        let head = ProjectionHead::new(&mut rng, 8, 16, 4);
+        let g = Graph::new();
+        let z = head.project(&g.leaf(t2c_tensor::Tensor::ones(&[5, 8]))).unwrap();
+        assert_eq!(z.dims(), vec![5, 4]);
+        assert_eq!(head.params().len(), 4);
+    }
+}

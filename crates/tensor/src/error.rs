@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements provided.
+        len: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two shapes that were required to match (or broadcast) do not.
+    ShapeMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A tensor did not have the rank an operation requires.
+    RankMismatch {
+        /// Observed rank.
+        got: usize,
+        /// Required rank.
+        expected: usize,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A convolution/pooling geometry was invalid (e.g. kernel larger than
+    /// the padded input).
+    InvalidGeometry(String),
+    /// Any other invalid argument.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch { got, expected, op } => {
+                write!(f, "rank mismatch in `{op}`: got rank {got}, expected {expected}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,443 @@
+//! Grouped 2-D convolution via explicit im2col, in both the float and
+//! integer domains.
+//!
+//! The im2col / col2im pair is public because the autograd engine reuses it
+//! for the convolution backward passes, and because the accelerator
+//! simulator uses the same unrolling when it consumes exported weights.
+
+use crate::ops::matmul::matmul_f32_into;
+use crate::ops::require_rank;
+use crate::{Element, Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution or correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Zero padding along both spatial axes.
+    pub padding: usize,
+    /// Channel groups (1 = dense, `C` = depthwise).
+    pub groups: usize,
+}
+
+impl Conv2dSpec {
+    /// Dense, stride-1 convolution with the given padding.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        Conv2dSpec { stride, padding, groups: 1 }
+    }
+
+    /// Same geometry, but grouped.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Output spatial extent for an input extent `h` and kernel extent `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the kernel does not fit in the padded input or
+    /// stride is zero.
+    pub fn out_extent(&self, h: usize, k: usize) -> Result<usize> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be nonzero".into()));
+        }
+        let padded = h + 2 * self.padding;
+        if k == 0 || k > padded {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {k} does not fit input {h} with padding {}",
+                self.padding
+            )));
+        }
+        Ok((padded - k) / self.stride + 1)
+    }
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec { stride: 1, padding: 0, groups: 1 }
+    }
+}
+
+/// Unrolls `[N, C, H, W]` into `[N, C·KH·KW, OH·OW]` patches.
+///
+/// # Errors
+///
+/// Returns an error if `x` is not rank 4 or the geometry is invalid.
+pub fn im2col<T: Element>(
+    x: &Tensor<T>,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor<T>> {
+    require_rank(x, 4, "im2col")?;
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let cols_per_image = c * kh * kw;
+    let l = oh * ow;
+    let mut out = vec![T::zero(); n * cols_per_image * l];
+    let xs = x.as_slice();
+    for img in 0..n {
+        let x_base = img * c * h * w;
+        let o_base = img * cols_per_image * l;
+        for ch in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ch * kh + ki) * kw + kj;
+                    let o_row = o_base + row * l;
+                    for oi in 0..oh {
+                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        if ii < 0 || ii as usize >= h {
+                            continue;
+                        }
+                        let x_row = x_base + ch * h * w + ii as usize * w;
+                        for oj in 0..ow {
+                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                            if jj < 0 || jj as usize >= w {
+                                continue;
+                            }
+                            out[o_row + oi * ow + oj] = xs[x_row + jj as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, cols_per_image, l])
+}
+
+/// Adjoint of [`im2col`]: folds `[N, C·KH·KW, OH·OW]` patch gradients back
+/// into an `[N, C, H, W]` image, accumulating overlaps.
+///
+/// # Errors
+///
+/// Returns an error if `cols` does not have the expected shape for the
+/// geometry.
+pub fn col2im(
+    cols: &Tensor<f32>,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor<f32>> {
+    require_rank(cols, 3, "col2im")?;
+    let n = cols.dim(0);
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let l = oh * ow;
+    if cols.dim(1) != c * kh * kw || cols.dim(2) != l {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.dims().to_vec(),
+            rhs: vec![n, c * kh * kw, l],
+            op: "col2im",
+        });
+    }
+    let mut out = vec![0f32; n * c * h * w];
+    let cs = cols.as_slice();
+    for img in 0..n {
+        let o_base = img * c * h * w;
+        let c_base = img * c * kh * kw * l;
+        for ch in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ch * kh + ki) * kw + kj;
+                    let c_row = c_base + row * l;
+                    for oi in 0..oh {
+                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        if ii < 0 || ii as usize >= h {
+                            continue;
+                        }
+                        let o_row = o_base + ch * h * w + ii as usize * w;
+                        for oj in 0..ow {
+                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                            if jj < 0 || jj as usize >= w {
+                                continue;
+                            }
+                            out[o_row + jj as usize] += cs[c_row + oi * ow + oj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+fn check_conv_shapes<T: Element, U: Element>(
+    x: &Tensor<T>,
+    weight: &Tensor<U>,
+    spec: Conv2dSpec,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
+    require_rank(x, 4, "conv2d")?;
+    require_rank(weight, 4, "conv2d")?;
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, cg, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    if spec.groups == 0 || c % spec.groups != 0 || oc % spec.groups != 0 {
+        return Err(TensorError::InvalidGeometry(format!(
+            "groups {} must divide in-channels {c} and out-channels {oc}",
+            spec.groups
+        )));
+    }
+    if cg != c / spec.groups {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+            op: "conv2d",
+        });
+    }
+    let _ = n;
+    Ok((n, c, h, w, oc, kh, kw))
+}
+
+/// 2-D convolution (cross-correlation): `[N,C,H,W] ⊛ [OC,C/g,KH,KW] →
+/// [N,OC,OH,OW]`, plus an optional `[OC]` bias.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape/geometry mismatches.
+pub fn conv2d(
+    x: &Tensor<f32>,
+    weight: &Tensor<f32>,
+    bias: Option<&Tensor<f32>>,
+    spec: Conv2dSpec,
+) -> Result<Tensor<f32>> {
+    let (n, c, h, w, oc, kh, kw) = check_conv_shapes(x, weight, spec)?;
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let l = oh * ow;
+    let g = spec.groups;
+    let (cg, ocg) = (c / g, oc / g);
+    let cols = im2col(x, kh, kw, spec)?;
+    let cols_rows = c * kh * kw;
+    let mut out = vec![0f32; n * oc * l];
+    let ws = weight.as_slice();
+    let cslice = cols.as_slice();
+    for img in 0..n {
+        for grp in 0..g {
+            // weight block for this group: [ocg, cg*kh*kw]
+            let w_block = &ws[grp * ocg * cg * kh * kw..(grp + 1) * ocg * cg * kh * kw];
+            // cols block: rows [grp*cg*kh*kw, (grp+1)*cg*kh*kw)
+            let c_start = img * cols_rows * l + grp * cg * kh * kw * l;
+            let c_block = &cslice[c_start..c_start + cg * kh * kw * l];
+            let o_start = img * oc * l + grp * ocg * l;
+            matmul_f32_into(w_block, c_block, &mut out[o_start..o_start + ocg * l], ocg, cg * kh * kw, l);
+        }
+    }
+    if let Some(b) = bias {
+        if b.numel() != oc {
+            return Err(TensorError::ShapeMismatch {
+                lhs: b.dims().to_vec(),
+                rhs: vec![oc],
+                op: "conv2d bias",
+            });
+        }
+        let bs = b.as_slice();
+        for img in 0..n {
+            for ch in 0..oc {
+                let base = img * oc * l + ch * l;
+                for v in &mut out[base..base + l] {
+                    *v += bs[ch];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, oc, oh, ow])
+}
+
+/// Integer 2-D convolution with 64-bit accumulation saturated to `i32` —
+/// the arithmetic a prototype MAC-array accelerator performs.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape/geometry mismatches.
+pub fn conv2d_i32(
+    x: &Tensor<i32>,
+    weight: &Tensor<i32>,
+    bias: Option<&Tensor<i32>>,
+    spec: Conv2dSpec,
+) -> Result<Tensor<i32>> {
+    let (n, c, h, w, oc, kh, kw) = check_conv_shapes(x, weight, spec)?;
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let l = oh * ow;
+    let g = spec.groups;
+    let (cg, ocg) = (c / g, oc / g);
+    let cols = im2col(x, kh, kw, spec)?;
+    let cols_rows = c * kh * kw;
+    let k = cg * kh * kw;
+    let mut out = vec![0i32; n * oc * l];
+    let ws = weight.as_slice();
+    let cslice = cols.as_slice();
+    for img in 0..n {
+        for grp in 0..g {
+            let w_block = &ws[grp * ocg * k..(grp + 1) * ocg * k];
+            let c_start = img * cols_rows * l + grp * k * l;
+            let c_block = &cslice[c_start..c_start + k * l];
+            let o_base = img * oc * l + grp * ocg * l;
+            for oi in 0..ocg {
+                let wrow = &w_block[oi * k..(oi + 1) * k];
+                let orow = &mut out[o_base + oi * l..o_base + (oi + 1) * l];
+                for p in 0..k {
+                    let wv = wrow[p] as i64;
+                    if wv == 0 {
+                        continue;
+                    }
+                    let crow = &c_block[p * l..(p + 1) * l];
+                    for j in 0..l {
+                        let acc = orow[j] as i64 + wv * crow[j] as i64;
+                        orow[j] = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(b) = bias {
+        if b.numel() != oc {
+            return Err(TensorError::ShapeMismatch {
+                lhs: b.dims().to_vec(),
+                rhs: vec![oc],
+                op: "conv2d_i32 bias",
+            });
+        }
+        let bs = b.as_slice();
+        for img in 0..n {
+            for ch in 0..oc {
+                let base = img * oc * l + ch * l;
+                for v in &mut out[base..base + l] {
+                    *v = (*v as i64 + bs[ch] as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, oc, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_conv(
+        x: &Tensor<f32>,
+        w: &Tensor<f32>,
+        b: Option<&Tensor<f32>>,
+        spec: Conv2dSpec,
+    ) -> Tensor<f32> {
+        let (n, _c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (oc, cg, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+        let g = spec.groups;
+        let ocg = oc / g;
+        let oh = spec.out_extent(h, kh).unwrap();
+        let ow = spec.out_extent(wd, kw).unwrap();
+        let mut out = Tensor::<f32>::zeros(&[n, oc, oh, ow]);
+        for img in 0..n {
+            for o in 0..oc {
+                let grp = o / ocg;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = b.map_or(0.0, |bb| bb.as_slice()[o]);
+                        for ci in 0..cg {
+                            let ch = grp * cg + ci;
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                                    let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                    if ii < 0 || jj < 0 || ii as usize >= h || jj as usize >= wd {
+                                        continue;
+                                    }
+                                    acc += x.at(&[img, ch, ii as usize, jj as usize])
+                                        * w.at(&[o, ci, ki, kj]);
+                                }
+                            }
+                        }
+                        out.set(&[img, o, oi, oj], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo(dims: &[usize], seed: u64) -> Tensor<f32> {
+        Tensor::from_fn(dims, |i| {
+            let h = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            ((h >> 33) % 1000) as f32 / 250.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn conv2d_matches_naive_dense() {
+        let x = pseudo(&[2, 3, 7, 7], 1);
+        let w = pseudo(&[4, 3, 3, 3], 2);
+        let b = pseudo(&[4], 3);
+        let spec = Conv2dSpec::new(1, 1);
+        let fast = conv2d(&x, &w, Some(&b), spec).unwrap();
+        let slow = naive_conv(&x, &w, Some(&b), spec);
+        for (a, e) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - e).abs() < 1e-3, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_naive_strided() {
+        let x = pseudo(&[1, 2, 8, 8], 7);
+        let w = pseudo(&[3, 2, 3, 3], 8);
+        let spec = Conv2dSpec::new(2, 1);
+        let fast = conv2d(&x, &w, None, spec).unwrap();
+        let slow = naive_conv(&x, &w, None, spec);
+        assert_eq!(fast.dims(), &[1, 3, 4, 4]);
+        for (a, e) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv2d_depthwise_matches_naive() {
+        let x = pseudo(&[2, 4, 6, 6], 11);
+        let w = pseudo(&[4, 1, 3, 3], 12);
+        let spec = Conv2dSpec::new(1, 1).with_groups(4);
+        let fast = conv2d(&x, &w, None, spec).unwrap();
+        let slow = naive_conv(&x, &w, None, spec);
+        for (a, e) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv2d_i32_matches_float_conv_on_small_ints() {
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |i| (i as i32 % 7) - 3);
+        let w = Tensor::from_fn(&[3, 2, 3, 3], |i| (i as i32 % 5) - 2);
+        let spec = Conv2dSpec::new(1, 1);
+        let ci = conv2d_i32(&x, &w, None, spec).unwrap();
+        let cf = conv2d(&x.to_f32(), &w.to_f32(), None, spec).unwrap();
+        for (a, e) in ci.as_slice().iter().zip(cf.as_slice()) {
+            assert_eq!(*a as f32, *e);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary x, y — the defining
+        // property that makes col2im the correct backward.
+        let spec = Conv2dSpec::new(2, 1);
+        let x = pseudo(&[1, 2, 5, 5], 21);
+        let cols = im2col(&x, 3, 3, spec).unwrap();
+        let y = pseudo(cols.dims(), 22);
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, 2, 5, 5, 3, 3, spec).unwrap();
+        let rhs: f32 = x.as_slice().iter().zip(folded.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn geometry_errors() {
+        let x = Tensor::<f32>::zeros(&[1, 2, 4, 4]);
+        let w = Tensor::<f32>::zeros(&[2, 2, 5, 5]);
+        assert!(conv2d(&x, &w, None, Conv2dSpec::new(1, 0)).is_err());
+        let w_bad_groups = Tensor::<f32>::zeros(&[2, 2, 3, 3]);
+        assert!(conv2d(&x, &w_bad_groups, None, Conv2dSpec::new(1, 1).with_groups(3)).is_err());
+        assert!(Conv2dSpec { stride: 0, padding: 0, groups: 1 }.out_extent(4, 3).is_err());
+    }
+}

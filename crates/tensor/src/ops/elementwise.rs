@@ -1,0 +1,202 @@
+//! Elementwise math on floating-point and integer tensors.
+
+use crate::Tensor;
+
+impl Tensor<f32> {
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor<f32> {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor<f32> {
+        self.map(|x| x * s)
+    }
+
+    /// Divides every element by a scalar.
+    pub fn div_scalar(&self, s: f32) -> Tensor<f32> {
+        self.map(|x| x / s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor<f32> {
+        self.map(|x| -x)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor<f32> {
+        self.map(f32::abs)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor<f32> {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Rounds every element to the nearest integer (ties away from zero,
+    /// matching `f32::round`).
+    pub fn round(&self) -> Tensor<f32> {
+        self.map(f32::round)
+    }
+
+    /// Elementwise floor.
+    pub fn floor(&self) -> Tensor<f32> {
+        self.map(f32::floor)
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Tensor<f32> {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Tensor<f32> {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor<f32> {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor<f32> {
+        self.map(|x| x * x)
+    }
+
+    /// Elementwise rectified linear unit, `max(x, 0)`.
+    pub fn relu(&self) -> Tensor<f32> {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Elementwise GELU (tanh approximation, the variant used by ViT MLPs).
+    pub fn gelu(&self) -> Tensor<f32> {
+        self.map(gelu_scalar)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor<f32> {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor<f32> {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Largest element, or `f32::NEG_INFINITY` for empty tensors.
+    pub fn max_value(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element, or `f32::INFINITY` for empty tensors.
+    pub fn min_value(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Largest absolute value, or 0 for empty tensors.
+    pub fn abs_max(&self) -> f32 {
+        self.as_slice().iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// `true` if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.as_slice().iter().all(|x| x.is_finite())
+    }
+
+    /// Converts to integers by rounding (the boundary between the float and
+    /// integer domains in the quantization pipeline).
+    pub fn round_to_i32(&self) -> Tensor<i32> {
+        self.map(|x| x.round() as i32)
+    }
+}
+
+impl Tensor<i32> {
+    /// Adds a scalar to every element (wrapping is a bug, so plain `+`).
+    pub fn add_scalar_i(&self, s: i32) -> Tensor<i32> {
+        self.map(|x| x + s)
+    }
+
+    /// Clamps every element into `[lo, hi]` — used to model saturating
+    /// hardware datapaths.
+    pub fn clamp_i(&self, lo: i32, hi: i32) -> Tensor<i32> {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Widens into the float domain (dequantization direction).
+    pub fn to_f32(&self) -> Tensor<f32> {
+        self.map(|x| x as f32)
+    }
+
+    /// Largest absolute value, or 0 for empty tensors.
+    pub fn abs_max_i(&self) -> i32 {
+        self.as_slice().iter().fold(0, |m: i32, &x| m.max(x.abs()))
+    }
+
+    /// Counts elements equal to zero (used to audit exported sparsity).
+    pub fn count_zeros(&self) -> usize {
+        self.as_slice().iter().filter(|&&x| x == 0).count()
+    }
+}
+
+/// The tanh-approximated GELU used in the float reference path.
+pub fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(vec![-1.0_f32, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.relu().as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let t = Tensor::from_vec(vec![-5.0_f32, 0.5, 5.0], &[3]).unwrap();
+        assert_eq!(t.clamp(-1.0, 1.0).as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn round_to_i32_nearest() {
+        let t = Tensor::from_vec(vec![-1.6_f32, -0.4, 0.4, 1.6], &[4]).unwrap();
+        assert_eq!(t.round_to_i32().as_slice(), &[-2, 0, 0, 2]);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        // GELU(0) = 0; GELU is odd-ish around zero; GELU(large) ≈ identity.
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        assert!((gelu_scalar(3.0) - 3.0).abs() < 0.02);
+        assert!(gelu_scalar(-3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn minmax_and_absmax() {
+        let t = Tensor::from_vec(vec![-3.0_f32, 1.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.max_value(), 2.0);
+        assert_eq!(t.min_value(), -3.0);
+        assert_eq!(t.abs_max(), 3.0);
+    }
+
+    #[test]
+    fn int_helpers() {
+        let t = Tensor::from_vec(vec![-4_i32, 0, 3, 0], &[4]).unwrap();
+        assert_eq!(t.abs_max_i(), 4);
+        assert_eq!(t.count_zeros(), 2);
+        assert_eq!(t.clamp_i(-2, 2).as_slice(), &[-2, 0, 2, 0]);
+        assert_eq!(t.to_f32().as_slice(), &[-4.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let t = Tensor::from_vec(vec![1.0_f32, f32::NAN], &[2]).unwrap();
+        assert!(!t.all_finite());
+        let u = Tensor::from_vec(vec![1.0_f32, 2.0], &[2]).unwrap();
+        assert!(u.all_finite());
+    }
+}

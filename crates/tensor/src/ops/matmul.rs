@@ -1,0 +1,255 @@
+//! Matrix multiplication for the float (training) and integer (inference)
+//! domains.
+
+use crate::ops::require_rank;
+use crate::{Result, Tensor, TensorError};
+
+/// Tile edge for the blocked f32 kernel; chosen so three tiles fit in L1.
+const BLOCK: usize = 64;
+
+impl Tensor<f32> {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either operand is not rank 2 or the inner
+    /// dimensions disagree.
+    ///
+    /// ```
+    /// use t2c_tensor::Tensor;
+    /// # fn main() -> Result<(), t2c_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let i = Tensor::from_vec(vec![1.0_f32, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&i)?.as_slice(), a.as_slice());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Tensor<f32>) -> Result<Tensor<f32>> {
+        require_rank(self, 2, "matmul")?;
+        require_rank(other, 2, "matmul")?;
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "matmul",
+            });
+        }
+        let mut out = vec![0f32; m * n];
+        matmul_f32_into(self.as_slice(), other.as_slice(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product of two rank-3 tensors:
+    /// `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or dimension mismatch.
+    pub fn bmm(&self, other: &Tensor<f32>) -> Result<Tensor<f32>> {
+        require_rank(self, 3, "bmm")?;
+        require_rank(other, 3, "bmm")?;
+        let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
+        if b != b2 || k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "bmm",
+            });
+        }
+        let mut out = vec![0f32; b * m * n];
+        for i in 0..b {
+            matmul_f32_into(
+                &self.as_slice()[i * m * k..(i + 1) * m * k],
+                &other.as_slice()[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+}
+
+impl Tensor<i32> {
+    /// Integer matrix product with 64-bit accumulation, saturated back to
+    /// `i32` — the behaviour of a wide-accumulator MAC array.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either operand is not rank 2 or the inner
+    /// dimensions disagree.
+    pub fn matmul_i(&self, other: &Tensor<i32>) -> Result<Tensor<i32>> {
+        require_rank(self, 2, "matmul_i")?;
+        require_rank(other, 2, "matmul_i")?;
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "matmul_i",
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p] as i64;
+                if av == 0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    let acc = orow[j] as i64 + av * brow[j] as i64;
+                    orow[j] = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched integer matrix product, `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or dimension mismatch.
+    pub fn bmm_i(&self, other: &Tensor<i32>) -> Result<Tensor<i32>> {
+        require_rank(self, 3, "bmm_i")?;
+        require_rank(other, 3, "bmm_i")?;
+        let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
+        if b != b2 || k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "bmm_i",
+            });
+        }
+        let mut parts = Vec::with_capacity(b);
+        for i in 0..b {
+            let lhs = Tensor::from_vec(self.as_slice()[i * m * k..(i + 1) * m * k].to_vec(), &[m, k])?;
+            let rhs =
+                Tensor::from_vec(other.as_slice()[i * k * n..(i + 1) * k * n].to_vec(), &[k, n])?;
+            parts.push(lhs.matmul_i(&rhs)?);
+        }
+        let refs: Vec<&Tensor<i32>> = parts.iter().collect();
+        Tensor::stack(&refs)
+    }
+}
+
+/// Blocked `[m,k] × [k,n]` f32 kernel writing into a caller-provided buffer.
+pub(crate) fn matmul_f32_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for ib in (0..m).step_by(BLOCK) {
+        let i_end = (ib + BLOCK).min(m);
+        for pb in (0..k).step_by(BLOCK) {
+            let p_end = (pb + BLOCK).min(k);
+            for i in ib..i_end {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for p in pb..p_end {
+                    let av = arow[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for j in 0..n {
+                        orow[j] += av * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0_f32, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::<f32>::zeros(&[2, 3]);
+        let b = Tensor::<f32>::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive_on_odd_sizes() {
+        // Sizes straddling the block edge exercise the tiling logic.
+        let m = 67;
+        let k = 65;
+        let n = 3;
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 2654435761) % 17) as f32 - 8.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 2246822519) % 13) as f32 - 6.0);
+        let c = a.matmul(&b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                assert!((c.at(&[i, j]) - acc).abs() < 1e-3, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_matmul_matches_float_on_small_ints() {
+        let a = Tensor::from_fn(&[5, 7], |i| (i as i32 % 11) - 5);
+        let b = Tensor::from_fn(&[7, 4], |i| (i as i32 % 7) - 3);
+        let ci = a.matmul_i(&b).unwrap();
+        let cf = a.to_f32().matmul(&b.to_f32()).unwrap();
+        for (x, y) in ci.as_slice().iter().zip(cf.as_slice()) {
+            assert_eq!(*x as f32, *y);
+        }
+    }
+
+    #[test]
+    fn integer_matmul_saturates_instead_of_wrapping() {
+        let a = Tensor::from_vec(vec![i32::MAX, i32::MAX], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1, 1], &[2, 1]).unwrap();
+        let c = a.matmul_i(&b).unwrap();
+        assert_eq!(c.as_slice(), &[i32::MAX]);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_fn(&[2, 3, 4], |i| i as f32 * 0.5 - 3.0);
+        let b = Tensor::from_fn(&[2, 4, 2], |i| i as f32 * 0.25 - 1.0);
+        let c = a.bmm(&b).unwrap();
+        for batch in 0..2 {
+            let ab = a.index_axis0(batch).unwrap();
+            let bb = b.index_axis0(batch).unwrap();
+            let cb = ab.matmul(&bb).unwrap();
+            assert_eq!(c.index_axis0(batch).unwrap().as_slice(), cb.as_slice());
+        }
+    }
+
+    #[test]
+    fn bmm_i_matches_per_batch() {
+        let a = Tensor::from_fn(&[2, 2, 3], |i| i as i32 - 5);
+        let b = Tensor::from_fn(&[2, 3, 2], |i| i as i32 - 4);
+        let c = a.bmm_i(&b).unwrap();
+        for batch in 0..2 {
+            let cb = a.index_axis0(batch).unwrap().matmul_i(&b.index_axis0(batch).unwrap()).unwrap();
+            assert_eq!(c.index_axis0(batch).unwrap().as_slice(), cb.as_slice());
+        }
+    }
+}

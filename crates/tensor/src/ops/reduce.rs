@@ -1,0 +1,211 @@
+//! Reductions: sums, means, variances, maxima, argmax and softmax.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor<f32> {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        self.sum() / self.numel() as f32
+    }
+
+    /// Sums along `axis`, keeping that axis with extent 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for a bad axis.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor<f32>> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+        }
+        let dims = self.dims();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims = dims.to_vec();
+        out_dims[axis] = 1;
+        let mut out = vec![0f32; outer * inner];
+        let xs = self.as_slice();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for i in 0..inner {
+                    out[o * inner + i] += xs[base + i];
+                }
+            }
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Means along `axis`, keeping that axis with extent 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for a bad axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor<f32>> {
+        let n = self.dim(axis).max(1) as f32;
+        Ok(self.sum_axis(axis)?.mul_scalar(1.0 / n))
+    }
+
+    /// Per-channel mean and (biased) variance over the `(N, H, W)` axes of an
+    /// `[N, C, H, W]` tensor — the statistics BatchNorm consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-4 input.
+    pub fn channel_stats(&self) -> Result<(Tensor<f32>, Tensor<f32>)> {
+        if self.rank() != 4 {
+            return Err(TensorError::RankMismatch { got: self.rank(), expected: 4, op: "channel_stats" });
+        }
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        let count = (n * h * w) as f32;
+        let mut mean = vec![0f32; c];
+        let mut var = vec![0f32; c];
+        let xs = self.as_slice();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for &v in &xs[base..base + h * w] {
+                    mean[ch] += v;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for &v in &xs[base..base + h * w] {
+                    let d = v - mean[ch];
+                    var[ch] += d * d;
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= count;
+        }
+        Ok((Tensor::from_vec(mean, &[c])?, Tensor::from_vec(var, &[c])?))
+    }
+
+    /// Row-wise softmax over the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors.
+    pub fn softmax_lastdim(&self) -> Result<Tensor<f32>> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch { got: 0, expected: 1, op: "softmax_lastdim" });
+        }
+        let cols = self.dim(self.rank() - 1);
+        let rows = self.numel() / cols.max(1);
+        let mut out = vec![0f32; self.numel()];
+        let xs = self.as_slice();
+        for r in 0..rows {
+            let row = &xs[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - m).exp();
+                out[r * cols + j] = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for v in &mut out[r * cols..(r + 1) * cols] {
+                *v *= inv;
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Index of the largest element in each row of a `[rows, cols]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-2 input.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "argmax_rows" });
+        }
+        let (rows, cols) = (self.dim(0), self.dim(1));
+        let xs = self.as_slice();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &xs[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let t = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let t = Tensor::from_fn(&[2, 3, 2], |i| i as f32);
+        let s = t.sum_axis(1).unwrap();
+        assert_eq!(s.dims(), &[2, 1, 2]);
+        // axis-1 triples: (0,2,4), (1,3,5), (6,8,10), (7,9,11)
+        assert_eq!(s.as_slice(), &[6.0, 9.0, 24.0, 27.0]);
+    }
+
+    #[test]
+    fn channel_stats_match_manual() {
+        let t = Tensor::from_vec(vec![1.0_f32, 3.0, 2.0, 2.0, 0.0, 0.0, 10.0, 10.0], &[1, 2, 2, 2])
+            .unwrap();
+        let (m, v) = t.channel_stats().unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 5.0]);
+        assert_eq!(v.as_slice(), &[0.5, 25.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let t = Tensor::from_vec(vec![1.0_f32, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = t.softmax_lastdim().unwrap();
+        for r in 0..2 {
+            let row = &s.as_slice()[r * 3..(r + 1) * 3];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row[2] > row[1] && row[1] > row[0]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let t = Tensor::from_vec(vec![1000.0_f32, 1001.0, 1002.0], &[1, 3]).unwrap();
+        let s = t.softmax_lastdim().unwrap();
+        assert!(s.all_finite());
+        let u = Tensor::from_vec(vec![0.0_f32, 1.0, 2.0], &[1, 3]).unwrap().softmax_lastdim().unwrap();
+        for (a, b) in s.as_slice().iter().zip(u.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let t = Tensor::from_vec(vec![1.0_f32, 5.0, 5.0, 0.0, -1.0, -2.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Seeded random tensor construction.
+//!
+//! Every stochastic component of the toolkit (weight init, augmentation,
+//! dataset synthesis, QDrop masks) draws from an explicitly seeded
+//! [`TensorRng`], so full pipelines are reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Tensor;
+
+/// A seeded random number generator producing tensors.
+///
+/// ```
+/// use t2c_tensor::rng::TensorRng;
+///
+/// let mut a = TensorRng::seed_from(7);
+/// let mut b = TensorRng::seed_from(7);
+/// assert_eq!(a.uniform(&[4], -1.0, 1.0).as_slice(), b.uniform(&[4], -1.0, 1.0).as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    inner: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        TensorRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// One uniform sample in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        self.inner.random::<f32>()
+    }
+
+    /// One uniform sample in `[lo, hi)`.
+    pub fn next_range(&mut self, lo: f32, hi: f32) -> f32 {
+        if lo >= hi {
+            return lo;
+        }
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// One uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_usize(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// One standard-normal sample (Box–Muller).
+    pub fn next_normal(&mut self) -> f32 {
+        // Avoid ln(0).
+        let u1 = self.next_f32().max(1e-12);
+        let u2 = self.next_f32();
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+
+    /// A tensor of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn uniform(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor<f32> {
+        Tensor::from_fn(dims, |_| self.next_range(lo, hi))
+    }
+
+    /// A tensor of i.i.d. normal samples with the given mean and standard
+    /// deviation.
+    pub fn normal(&mut self, dims: &[usize], mean: f32, std: f32) -> Tensor<f32> {
+        Tensor::from_fn(dims, |_| mean + std * self.next_normal())
+    }
+
+    /// Kaiming/He-normal initialization for a weight tensor whose fan-in is
+    /// the product of all non-leading axes.
+    pub fn kaiming(&mut self, dims: &[usize]) -> Tensor<f32> {
+        let fan_in: usize = dims[1..].iter().product::<usize>().max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.normal(dims, 0.0, std)
+    }
+
+    /// A random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.next_usize(i + 1);
+            p.swap(i, j);
+        }
+        p
+    }
+
+    /// A Bernoulli(p) mask tensor of zeros and ones.
+    pub fn bernoulli(&mut self, dims: &[usize], p: f32) -> Tensor<f32> {
+        Tensor::from_fn(dims, |_| if self.next_f32() < p { 1.0 } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TensorRng::seed_from(42);
+        let mut b = TensorRng::seed_from(42);
+        assert_eq!(a.normal(&[16], 0.0, 1.0).as_slice(), b.normal(&[16], 0.0, 1.0).as_slice());
+        assert_ne!(
+            a.normal(&[16], 0.0, 1.0).as_slice(),
+            TensorRng::seed_from(43).normal(&[16], 0.0, 1.0).as_slice()
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = TensorRng::seed_from(1);
+        let t = rng.uniform(&[1000], -2.0, 3.0);
+        assert!(t.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut rng = TensorRng::seed_from(2);
+        let t = rng.normal(&[20000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.sub(&Tensor::scalar(mean)).unwrap().square().mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut p = rng.permutation(100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_density() {
+        let mut rng = TensorRng::seed_from(4);
+        let m = rng.bernoulli(&[10000], 0.3);
+        let density = m.mean();
+        assert!((density - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = TensorRng::seed_from(5);
+        let wide = rng.kaiming(&[8, 512, 3, 3]);
+        let narrow = rng.kaiming(&[8, 2, 3, 3]);
+        assert!(wide.abs_max() < narrow.abs_max());
+    }
+}

@@ -1,0 +1,275 @@
+use std::fmt;
+
+use crate::{Result, TensorError};
+
+/// The extents of a tensor along each axis, in row-major order.
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` that carries the broadcasting
+/// and stride logic used throughout the crate.
+///
+/// ```
+/// use t2c_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Creates the shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the index rank or any coordinate is out of
+    /// range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.0.len()).rev() {
+            debug_assert!(index[axis] < self.0[axis], "index out of bounds");
+            off += index[axis] * stride;
+            stride *= self.0[axis];
+        }
+        off
+    }
+
+    /// Computes the shape two operands broadcast to under NumPy rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if any axis pair is
+    /// incompatible (neither equal nor 1).
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
+            let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
+            dims[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: self.0.clone(),
+                    rhs: other.0.clone(),
+                    op: "broadcast",
+                });
+            };
+        }
+        Ok(Shape(dims))
+    }
+
+    /// Strides to use when reading a tensor of this shape as if it had been
+    /// broadcast to `target`: broadcast axes get stride 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` does not broadcast to `target`.
+    pub fn broadcast_strides(&self, target: &Shape) -> Result<Vec<usize>> {
+        if target.rank() < self.rank() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.0.clone(),
+                rhs: target.0.clone(),
+                op: "broadcast_strides",
+            });
+        }
+        let own = self.strides();
+        let pad = target.rank() - self.rank();
+        let mut out = vec![0usize; target.rank()];
+        for i in 0..target.rank() {
+            if i < pad {
+                out[i] = 0;
+            } else {
+                let d = self.0[i - pad];
+                if d == target.0[i] {
+                    out[i] = own[i - pad];
+                } else if d == 1 {
+                    out[i] = 0;
+                } else {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: self.0.clone(),
+                        rhs: target.0.clone(),
+                        op: "broadcast_strides",
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterates over all multi-dimensional indices of this shape in
+    /// row-major order.
+    pub fn indices(&self) -> IndexIter {
+        IndexIter { shape: self.0.clone(), current: vec![0; self.0.len()], done: self.numel() == 0 }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Row-major iterator over every multi-index of a [`Shape`], produced by
+/// [`Shape::indices`].
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        // Advance (row-major: last axis fastest).
+        let mut axis = self.shape.len();
+        loop {
+            if axis == 0 {
+                self.done = true;
+                break;
+            }
+            axis -= 1;
+            self.current[axis] += 1;
+            if self.current[axis] < self.shape[axis] {
+                break;
+            }
+            self.current[axis] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::new(&[4, 1, 3]);
+        let b = Shape::new(&[2, 3]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new(&[4, 2, 3]));
+        let bad = Shape::new(&[4, 2]).broadcast(&Shape::new(&[3, 2]));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_expanded_axes() {
+        let a = Shape::new(&[1, 3]);
+        let t = Shape::new(&[2, 2, 3]);
+        assert_eq!(a.broadcast_strides(&t).unwrap(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn index_iter_row_major() {
+        let idx: Vec<_> = Shape::new(&[2, 2]).indices().collect();
+        assert_eq!(idx, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn index_iter_empty_shape() {
+        let idx: Vec<_> = Shape::new(&[0, 2]).indices().collect();
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        let idx: Vec<_> = s.indices().collect();
+        assert_eq!(idx, vec![Vec::<usize>::new()]);
+    }
+}

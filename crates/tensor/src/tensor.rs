@@ -1,0 +1,477 @@
+use std::fmt;
+
+use crate::{Result, Shape, TensorError};
+
+/// Scalar types that can live inside a [`Tensor`].
+///
+/// This trait is sealed in practice: the toolkit only instantiates tensors
+/// over `f32` (training path), `i32`/`i64` (integer inference path) and
+/// `i8`/`u8` (deployment storage).
+pub trait Element:
+    Copy + Clone + fmt::Debug + Default + PartialEq + PartialOrd + Send + Sync + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+}
+
+macro_rules! impl_element {
+    ($($t:ty),*) => {
+        $(impl Element for $t {
+            fn zero() -> Self { 0 as $t }
+            fn one() -> Self { 1 as $t }
+        })*
+    };
+}
+
+impl_element!(f32, f64, i8, i16, i32, i64, u8, u16, u32, usize);
+
+/// A dense, row-major contiguous n-dimensional array.
+///
+/// `Tensor<f32>` carries the floating-point training path; `Tensor<i32>` and
+/// `Tensor<i8>` carry Torch2Chip's integer-only inference and deployment
+/// paths.
+///
+/// ```
+/// use t2c_tensor::Tensor;
+///
+/// let t = Tensor::<i32>::zeros(&[2, 3]);
+/// assert_eq!(t.numel(), 6);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor<T: Element = f32> {
+    data: Vec<T>,
+    shape: Shape,
+}
+
+impl<T: Element> Tensor<T> {
+    /// Creates a tensor from a flat row-major buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the shape's volume.
+    pub fn from_vec(data: Vec<T>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch { len: data.len(), expected: shape.numel() });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: T) -> Self {
+        Tensor { data: vec![value], shape: Shape::scalar() }
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![T::zero(); shape.numel()], shape }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, T::one())
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: T) -> Self {
+        let shape = Shape::new(dims);
+        Tensor { data: vec![value; shape.numel()], shape }
+    }
+
+    /// Creates a tensor with the same shape as `other`, filled with zeros.
+    pub fn zeros_like<U: Element>(other: &Tensor<U>) -> Self {
+        Tensor { data: vec![T::zero(); other.numel()], shape: other.shape.clone() }
+    }
+
+    /// Builds a tensor by calling `f` for every row-major flat offset.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> T) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel()).map(&mut f).collect();
+        Tensor { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The extents as a plain slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Extent along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.shape.dim(axis)
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the index is out of bounds.
+    pub fn at(&self, index: &[usize]) -> T {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the index is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: T) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns the single element of a one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> T {
+        assert_eq!(self.data.len(), 1, "item() requires a one-element tensor");
+        self.data[0]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.numel() != self.numel() {
+            return Err(TensorError::LengthMismatch { len: self.numel(), expected: shape.numel() });
+        }
+        Ok(Tensor { data: self.data.clone(), shape })
+    }
+
+    /// Applies `f` elementwise, producing a new tensor of the same shape.
+    pub fn map<U: Element>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ (no
+    /// broadcasting; see [`crate::ops::broadcast_zip`] for that).
+    pub fn zip_map<U: Element, V: Element>(
+        &self,
+        other: &Tensor<U>,
+        f: impl Fn(T, U) -> V,
+    ) -> Result<Tensor<V>> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "zip_map",
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { data, shape: self.shape.clone() })
+    }
+
+    /// Permutes axes, materializing a new contiguous tensor.
+    ///
+    /// `perm` must be a permutation of `0..rank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `perm` is not a valid
+    /// permutation.
+    pub fn permute(&self, perm: &[usize]) -> Result<Self> {
+        if perm.len() != self.rank() {
+            return Err(TensorError::InvalidArgument(format!(
+                "permutation length {} != rank {}",
+                perm.len(),
+                self.rank()
+            )));
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if p >= perm.len() || seen[p] {
+                return Err(TensorError::InvalidArgument(format!("invalid permutation {perm:?}")));
+            }
+            seen[p] = true;
+        }
+        let src_dims = self.dims();
+        let dst_dims: Vec<usize> = perm.iter().map(|&p| src_dims[p]).collect();
+        let dst_shape = Shape::new(&dst_dims);
+        let src_strides = self.shape.strides();
+        let mut data = vec![T::zero(); self.numel()];
+        // Walk destination in row-major order, computing the source offset.
+        let mut idx = vec![0usize; perm.len()];
+        for dst_off in 0..self.numel() {
+            let mut src_off = 0;
+            for (axis, &i) in idx.iter().enumerate() {
+                src_off += i * src_strides[perm[axis]];
+            }
+            data[dst_off] = self.data[src_off];
+            // increment idx
+            for axis in (0..idx.len()).rev() {
+                idx[axis] += 1;
+                if idx[axis] < dst_dims[axis] {
+                    break;
+                }
+                idx[axis] = 0;
+            }
+        }
+        Ok(Tensor { data, shape: dst_shape })
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Self> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "transpose" });
+        }
+        let (r, c) = (self.dim(0), self.dim(1));
+        let mut data = vec![T::zero(); self.numel()];
+        for i in 0..r {
+            for j in 0..c {
+                data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(Tensor { data, shape: Shape::new(&[c, r]) })
+    }
+
+    /// Extracts the `i`-th sub-tensor along axis 0 (e.g. one image from a
+    /// batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors or out-of-range indices.
+    pub fn index_axis0(&self, i: usize) -> Result<Self> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch { got: 0, expected: 1, op: "index_axis0" });
+        }
+        if i >= self.dim(0) {
+            return Err(TensorError::InvalidArgument(format!(
+                "index {i} out of range for axis 0 with extent {}",
+                self.dim(0)
+            )));
+        }
+        let inner: usize = self.dims()[1..].iter().product();
+        let data = self.data[i * inner..(i + 1) * inner].to_vec();
+        Ok(Tensor { data, shape: Shape::new(&self.dims()[1..]) })
+    }
+
+    /// Concatenates tensors along `axis`. All inputs must agree on every
+    /// other axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tensors` is empty, the axis is out of range, or
+    /// the non-concatenated extents disagree.
+    pub fn concat(tensors: &[&Tensor<T>], axis: usize) -> Result<Self> {
+        let first = *tensors.first().ok_or_else(|| {
+            TensorError::InvalidArgument("concat requires at least one tensor".into())
+        })?;
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let mut out_dims = first.dims().to_vec();
+        let mut axis_total = 0;
+        for t in tensors {
+            if t.rank() != rank {
+                return Err(TensorError::RankMismatch { got: t.rank(), expected: rank, op: "concat" });
+            }
+            for a in 0..rank {
+                if a != axis && t.dim(a) != first.dim(a) {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: first.dims().to_vec(),
+                        rhs: t.dims().to_vec(),
+                        op: "concat",
+                    });
+                }
+            }
+            axis_total += t.dim(axis);
+        }
+        out_dims[axis] = axis_total;
+        let outer: usize = first.dims()[..axis].iter().product();
+        let inner: usize = first.dims()[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_dims.iter().product());
+        for o in 0..outer {
+            for t in tensors {
+                let rows = t.dim(axis);
+                let start = o * rows * inner;
+                data.extend_from_slice(&t.data[start..start + rows * inner]);
+            }
+        }
+        Ok(Tensor { data, shape: Shape::new(&out_dims) })
+    }
+
+    /// Stacks same-shaped tensors along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tensors` is empty or the shapes disagree.
+    pub fn stack(tensors: &[&Tensor<T>]) -> Result<Self> {
+        let first = *tensors.first().ok_or_else(|| {
+            TensorError::InvalidArgument("stack requires at least one tensor".into())
+        })?;
+        let mut data = Vec::with_capacity(first.numel() * tensors.len());
+        for t in tensors {
+            if t.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![tensors.len()];
+        dims.extend_from_slice(first.dims());
+        Ok(Tensor { data, shape: Shape::new(&dims) })
+    }
+}
+
+impl<T: Element> fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{:?} [", self.shape.dims())?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", … {} more", self.data.len() - PREVIEW)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Element> Default for Tensor<T> {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0_f32; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0_f32; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn at_and_set_round_trip() {
+        let mut t = Tensor::<i32>::zeros(&[2, 3]);
+        t.set(&[1, 2], 42);
+        assert_eq!(t.at(&[1, 2]), 42);
+        assert_eq!(t.as_slice()[5], 42);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).collect::<Vec<i32>>(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let t = Tensor::from_vec(vec![1, 2, 3, 4, 5, 6], &[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.as_slice(), &[1, 4, 2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn permute_nchw_to_nhwc() {
+        let t = Tensor::from_vec((0..24).collect::<Vec<i32>>(), &[1, 2, 3, 4]).unwrap();
+        let p = t.permute(&[0, 2, 3, 1]).unwrap();
+        assert_eq!(p.dims(), &[1, 3, 4, 2]);
+        // element (n=0,h=1,w=2,c=1) == source (0,1,1,2)
+        assert_eq!(p.at(&[0, 1, 2, 1]), t.at(&[0, 1, 1, 2]));
+        assert!(t.permute(&[0, 0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let a = Tensor::from_vec(vec![1, 2, 3, 4], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5, 6], &[2, 1]).unwrap();
+        let c = Tensor::concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[1, 2, 5, 3, 4, 6]);
+    }
+
+    #[test]
+    fn stack_new_axis() {
+        let a = Tensor::from_vec(vec![1, 2], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3, 4], &[2]).unwrap();
+        let s = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn index_axis0_extracts_subtensor() {
+        let t = Tensor::from_vec((0..12).collect::<Vec<i32>>(), &[3, 4]).unwrap();
+        let row = t.index_axis0(1).unwrap();
+        assert_eq!(row.dims(), &[4]);
+        assert_eq!(row.as_slice(), &[4, 5, 6, 7]);
+        assert!(t.index_axis0(3).is_err());
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let t = Tensor::<f32>::zeros(&[0]);
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use t2c_tensor::ops::{col2im, conv2d, im2col, Conv2dSpec};
+use t2c_tensor::{ops, Shape, Tensor};
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    // Finite, moderate magnitudes keep float comparisons meaningful.
+    (-100i32..100).prop_map(|v| v as f32 / 10.0)
+}
+
+fn tensor_with_dims(dims: Vec<usize>) -> impl Strategy<Value = Tensor<f32>> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(small_f32(), n)
+        .prop_map(move |data| Tensor::from_vec(data, &dims).expect("shape"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn broadcast_add_commutes(rows in 1usize..4, cols in 1usize..5) {
+        let a = Tensor::from_fn(&[rows, 1], |i| i as f32);
+        let b = Tensor::from_fn(&[1, cols], |i| (i as f32) * 0.5 - 1.0);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+        prop_assert_eq!(ab.dims(), &[rows, cols]);
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(t in tensor_with_dims(vec![3, 4])) {
+        // Summing a gradient down to any broadcastable shape preserves mass.
+        let reduced = ops::reduce_to_shape(&t, &Shape::new(&[1, 4])).unwrap();
+        prop_assert!((reduced.sum() - t.sum()).abs() < 1e-3);
+        let reduced0 = ops::reduce_to_shape(&t, &Shape::new(&[3, 1])).unwrap();
+        prop_assert!((reduced0.sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reshape_permute_round_trip(t in tensor_with_dims(vec![2, 3, 4])) {
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        let back = p.permute(&[1, 2, 0]).unwrap();
+        prop_assert_eq!(back.as_slice(), t.as_slice());
+        let r = t.reshape(&[4, 6]).unwrap().reshape(&[2, 3, 4]).unwrap();
+        prop_assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_with_dims(vec![3, 4]),
+        b in tensor_with_dims(vec![4, 2]),
+        c in tensor_with_dims(vec![4, 2]),
+    ) {
+        // A(B + C) == AB + AC up to float tolerance.
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn integer_matmul_matches_float_on_small_ints(
+        a in proptest::collection::vec(-20i32..20, 12),
+        b in proptest::collection::vec(-20i32..20, 8),
+    ) {
+        let ai = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let bi = Tensor::from_vec(b, &[4, 2]).unwrap();
+        let ci = ai.matmul_i(&bi).unwrap();
+        let cf = ai.to_f32().matmul(&bi.to_f32()).unwrap();
+        for (x, y) in ci.as_slice().iter().zip(cf.as_slice()) {
+            prop_assert_eq!(*x as f32, *y);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        stride in 1usize..3,
+        padding in 0usize..2,
+        x in tensor_with_dims(vec![1, 2, 6, 6]),
+    ) {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let spec = Conv2dSpec { stride, padding, groups: 1 };
+        let cols = im2col(&x, 3, 3, spec).unwrap();
+        let y = Tensor::from_fn(cols.dims(), |i| ((i * 37) % 11) as f32 - 5.0);
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, 2, 6, 6, 3, 3, spec).unwrap();
+        let rhs: f32 = x.as_slice().iter().zip(folded.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1.0, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_linearity_in_input(
+        x in tensor_with_dims(vec![1, 2, 5, 5]),
+        w in tensor_with_dims(vec![3, 2, 3, 3]),
+        k in -3i32..4,
+    ) {
+        // conv(k·x) == k·conv(x).
+        let spec = Conv2dSpec::new(1, 1);
+        let scaled = conv2d(&x.mul_scalar(k as f32), &w, None, spec).unwrap();
+        let reference = conv2d(&x, &w, None, spec).unwrap().mul_scalar(k as f32);
+        for (a, b) in scaled.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_with_dims(vec![4, 7])) {
+        let s = t.softmax_lastdim().unwrap();
+        for r in 0..4 {
+            let row = &s.as_slice()[r * 7..(r + 1) * 7];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn concat_then_split_identity(a in tensor_with_dims(vec![2, 3]), b in tensor_with_dims(vec![2, 2])) {
+        let c = Tensor::concat(&[&a, &b], 1).unwrap();
+        prop_assert_eq!(c.dims(), &[2, 5]);
+        for i in 0..2 {
+            for j in 0..3 {
+                prop_assert_eq!(c.at(&[i, j]), a.at(&[i, j]));
+            }
+            for j in 0..2 {
+                prop_assert_eq!(c.at(&[i, 3 + j]), b.at(&[i, j]));
+            }
+        }
+    }
+}

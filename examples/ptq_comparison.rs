@@ -1,0 +1,52 @@
+//! PTQ method comparison (a miniature of the paper's Table 1).
+//!
+//! Trains one floating-point ResNet, then post-training-quantizes it with
+//! the industry-baseline MinMax observer, AdaRound (AIMET's method) and
+//! QDrop (the paper's headline), at 8/8 and 4/4 — all through the same
+//! Dual-Path pipeline, all ending in *integer-only* models.
+//!
+//! ```sh
+//! cargo run --release --example ptq_comparison
+//! ```
+
+use torch2chip::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthVision::generate(&SynthVisionConfig::imagenet_like(24));
+    let mut rng = TensorRng::seed_from(1);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+
+    // The full-precision starting point every PTQ method shares.
+    let fp = FpTrainer::new(TrainConfig::quick(20)).fit(&model, &data)?;
+    println!("FP32 baseline accuracy: {:.1}%\n", fp.final_acc() * 100.0);
+    println!("{:<22} {:>6} {:>10} {:>9}", "method", "W/A", "int acc", "Δ vs FP");
+
+    let run = |name: &str, factory: QuantFactory, bits: u8, reconstruct: bool| {
+        let qnn = QResNet::from_float(&model, &factory);
+        let pipeline = if reconstruct {
+            PtqPipeline::reconstruct(6, 24, 40)
+        } else {
+            PtqPipeline::calibrate(6, 24)
+        };
+        pipeline.run(&qnn, &data).expect("ptq");
+        let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::auto(bits)).expect("convert");
+        let acc = evaluate_int(&chip, &data, 24).expect("eval");
+        println!(
+            "{:<22} {:>3}/{:<3} {:>9.1}% {:>+8.1}%",
+            name,
+            bits,
+            bits,
+            acc * 100.0,
+            (acc - fp.final_acc()) * 100.0
+        );
+    };
+
+    run("minmax (OpenVINO-ish)", QuantFactory::minmax(QuantConfig::wa(8)), 8, false);
+    run("adaround (AIMET-ish)", QuantFactory::adaround(QuantConfig::wa(8)), 8, true);
+    run("qdrop", QuantFactory::qdrop(QuantConfig::wa(8), 0.5, 7), 8, true);
+    run("minmax (OpenVINO-ish)", QuantFactory::minmax(QuantConfig::wa(4)), 4, false);
+    run("adaround (AIMET-ish)", QuantFactory::adaround(QuantConfig::wa(4)), 4, true);
+    run("qdrop", QuantFactory::qdrop(QuantConfig::wa(4), 0.5, 7), 4, true);
+    println!("\n(shape to look for: all methods ≈FP at 8/8; QDrop/AdaRound > MinMax at 4/4)");
+    Ok(())
+}

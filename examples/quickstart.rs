@@ -1,0 +1,64 @@
+//! Quickstart: the paper's five-line workflow, end to end.
+//!
+//! Trains a small quantized MobileNet with QAT, converts it with `T2C` to
+//! an integer-only model, exports the deployment package (hex / binary /
+//! decimal / `.t2cm`), reloads it on the accelerator simulator and checks
+//! bit-exactness.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use torch2chip::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic stand-in for CIFAR-10 (see DESIGN.md for the substitution).
+    let data = SynthVision::generate(&SynthVisionConfig::cifar10_like(24));
+    let mut rng = TensorRng::seed_from(0);
+    let mut cfg = MobileNetConfig::tiny(data.num_classes());
+    cfg.width_mult = 2.0;
+    let model = MobileNetV1::new(&mut rng, cfg);
+    println!("float model: {} trainable parameters", model.num_trainable());
+
+    // ---- The five lines -------------------------------------------------
+    let qnn = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8))); // custom
+    let trainer = QatTrainer::new(TrainConfig::quick(30)); //     TRAINER[user_select]
+    let history = trainer.fit(&qnn, &data)?; //                  trainer.fit()
+    let t2c = T2C::new(&qnn); //                                 nn2c = T2C(model)
+    let (chip, report) = t2c.nn2chip(FuseScheme::PreFuse)?; //   qnn = nn2c.nn2chip()
+
+    println!("QAT accuracy (fake-quant path): {:.1}%", history.final_acc() * 100.0);
+    println!(
+        "converted: {} integer ops, {:.3} MB packed weights, method `{}`",
+        report.num_nodes,
+        report.size_mb(),
+        report.method
+    );
+
+    // Integer-only accuracy — the number the paper's tables report.
+    let int_acc = evaluate_int(&chip, &data, 32)?;
+    println!("integer-only accuracy: {:.1}%", int_acc * 100.0);
+
+    // ---- Export and replay on the "hardware" ----------------------------
+    let dir = std::env::temp_dir().join("t2c_quickstart_pkg");
+    let manifest = export_package(&chip, &dir)?;
+    println!(
+        "exported {} bytes to {} ({} hex memory images)",
+        manifest.total_bytes,
+        manifest.root.display(),
+        manifest.hex_files.len()
+    );
+    verify_package(&manifest)?;
+
+    let accel = Accelerator::from_package(&dir, AcceleratorConfig::dense16x16())?;
+    let (images, _) = data.test_batch(&[0, 1, 2, 3]);
+    let trace = accel.verify_against(&chip, &images)?;
+    println!(
+        "accelerator replay: bit-exact ✓  ({} MACs, {} cycles, {} bytes moved)",
+        trace.total_macs(),
+        trace.total_cycles(),
+        trace.total_traffic()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

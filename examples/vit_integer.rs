@@ -1,0 +1,60 @@
+//! Integer-only Vision Transformer (paper §3.2.2, Figure 4).
+//!
+//! Trains a compact ViT with RCF QAT, converts it to a fully integer
+//! pipeline — integer LayerNorm, LUT softmax, LUT GELU — and compares the
+//! integer path against the fake-quantized training path.
+//!
+//! ```sh
+//! cargo run --release --example vit_integer
+//! ```
+
+use torch2chip::core::intmodel::IntOp;
+use torch2chip::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SynthVision::generate(&SynthVisionConfig::cifar10_like(16));
+    let mut rng = TensorRng::seed_from(3);
+    let model = ViT::new(&mut rng, ViTConfig::tiny(data.num_classes()));
+    println!("ViT: {} parameters, {} blocks", model.num_trainable(), model.config().depth);
+
+    let qnn = QViT::from_float(&model, &QuantFactory::rcf(QuantConfig::vit(8)));
+    let history = QatTrainer::new(TrainConfig::quick(25)).fit(&qnn, &data)?;
+    println!("QAT accuracy (fake-quant path): {:.1}%", history.final_acc() * 100.0);
+
+    let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse)?;
+    let int_acc = evaluate_int(&chip, &data, 16)?;
+    println!(
+        "integer-only accuracy: {:.1}%  ({} ops, {:.3} MB)",
+        int_acc * 100.0,
+        report.num_nodes,
+        report.size_mb()
+    );
+
+    // Inventory the integer-only non-linearities the conversion produced.
+    let mut softmax_luts = 0;
+    let mut gelu_luts = 0;
+    let mut int_lns = 0;
+    for node in &chip.nodes {
+        match &node.op {
+            IntOp::SoftmaxLut(l) => {
+                softmax_luts += 1;
+                if softmax_luts == 1 {
+                    println!("LUT softmax: {} entries, input scale {:.4}", l.table.len(), l.in_scale);
+                }
+            }
+            IntOp::GeluLut(l) => {
+                gelu_luts += 1;
+                if gelu_luts == 1 {
+                    println!("LUT GELU: {} entries (full input grid)", l.table.len());
+                }
+            }
+            IntOp::LayerNorm(_) => int_lns += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "non-linearities, all integer: {softmax_luts} softmax LUTs, {gelu_luts} GELU LUTs, {int_lns} integer LayerNorms"
+    );
+    assert!(softmax_luts > 0 && gelu_luts > 0 && int_lns > 0);
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! # torch2chip
+//!
+//! A from-scratch Rust reproduction of **Torch2Chip** (Meng et al., MLSys
+//! 2024): an end-to-end customizable DNN compression and deployment
+//! toolkit for prototype hardware accelerator design.
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`tensor`] | n-dim CPU tensors (f32 training / i32 integer paths) |
+//! | [`autograd`] | tape-based reverse-mode AD with STE hooks |
+//! | [`nn`] | layers and the ResNet / MobileNet-V1 / ViT model zoo |
+//! | [`optim`] | SGD / AdamW and LR schedules |
+//! | [`data`] | synthetic vision datasets, augmentation, loaders |
+//! | [`core`] | **the toolkit**: Dual-Path quantizers, fusion, MulQuant, integer models, trainers |
+//! | [`sparse`] | magnitude / GraNet / N:M pruners and the sparse trainer |
+//! | [`ssl`] | Barlow-Twins + cross-distillation pre-training |
+//! | [`export`] | `.t2cm` model files, hex/binary/decimal memory images |
+//! | [`accel`] | behavioural MAC-array accelerator simulator |
+//!
+//! ## The five-line workflow (paper §3.4)
+//!
+//! ```
+//! use torch2chip::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 12));
+//! let mut rng = TensorRng::seed_from(0);
+//! let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+//!
+//! // 1–2) pick a trainer and fit
+//! let qnn = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+//! QatTrainer::new(TrainConfig::quick(1)).fit(&qnn, &data)?;
+//! // 3–5) convert, fuse and extract the integer-only model
+//! let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse)?;
+//! assert!(report.weight_bytes > 0);
+//! assert!(chip.len() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use t2c_accel as accel;
+pub use t2c_autograd as autograd;
+pub use t2c_core as core;
+pub use t2c_data as data;
+pub use t2c_export as export;
+pub use t2c_nn as nn;
+pub use t2c_optim as optim;
+pub use t2c_sparse as sparse;
+pub use t2c_ssl as ssl;
+pub use t2c_tensor as tensor;
+
+/// Everything needed for the common workflows, in one import.
+pub mod prelude {
+    pub use t2c_accel::{Accelerator, AcceleratorConfig};
+    pub use t2c_autograd::{Graph, Param, Var};
+    pub use t2c_core::qmodels::{QMobileNet, QResNet, QViT, QuantFactory, QuantModel};
+    pub use t2c_core::trainer::{
+        evaluate, evaluate_int, FpTrainer, PtqMethod, PtqPipeline, QatTrainer, TrainConfig,
+    };
+    pub use t2c_core::{
+        FixedPointFormat, FuseScheme, IntModel, MulQuant, PathMode, QuantConfig, QuantSpec, T2C,
+    };
+    pub use t2c_data::{Augment, AugmentConfig, BatchIter, SynthVision, SynthVisionConfig};
+    pub use t2c_export::{export_package, verify_package};
+    pub use t2c_nn::models::{MobileNetConfig, MobileNetV1, ResNet, ResNetConfig, ViT, ViTConfig};
+    pub use t2c_nn::Module;
+    pub use t2c_optim::{AdamW, Optimizer, Sgd};
+    pub use t2c_sparse::{
+        prunable_weights, GraNetPruner, NmPruner, Pruner, SparseTrainer, SparseTrainerConfig,
+    };
+    pub use t2c_ssl::{FineTuner, SslConfig, SslMethod, SslTrainer};
+    pub use t2c_tensor::rng::TensorRng;
+    pub use t2c_tensor::Tensor;
+}

@@ -1,0 +1,79 @@
+//! End-to-end integration test: the paper's five-line workflow on a CNN,
+//! from QAT through conversion, export, reload and accelerator replay.
+
+use torch2chip::prelude::*;
+
+#[test]
+fn five_line_workflow_trains_converts_exports_and_replays() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 24));
+    let mut rng = TensorRng::seed_from(900);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+
+    // 1–2) trainer + fit
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    let history = QatTrainer::new(TrainConfig::quick(6)).fit(&qnn, &data).expect("qat");
+    assert!(history.final_acc() > 0.45, "QAT accuracy {:.2}", history.final_acc());
+
+    // 3–5) T2C conversion
+    qnn.set_training(false);
+    let fake_acc = evaluate(&qnn, &data, 16).expect("fake eval");
+    let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+    assert!(report.weight_bytes > 0);
+    assert_eq!(report.method, "minmax");
+
+    // Integer accuracy tracks the fake-quant path.
+    let int_acc = evaluate_int(&chip, &data, 16).expect("int eval");
+    assert!(
+        (int_acc - fake_acc).abs() < 0.15,
+        "integer {int_acc:.2} vs fake-quant {fake_acc:.2} diverged"
+    );
+
+    // Export, verify, reload, replay bit-exact on the accelerator.
+    let dir = std::env::temp_dir().join(format!("t2c_e2e_cnn_{}", std::process::id()));
+    let manifest = export_package(&chip, &dir).expect("export");
+    verify_package(&manifest).expect("package verification");
+    let accel = Accelerator::from_package(&dir, AcceleratorConfig::dense16x16()).expect("load");
+    let (images, _) = data.test_batch(&[0, 1, 2, 3]);
+    let trace = accel.verify_against(&chip, &images).expect("bit-exact replay");
+    assert!(trace.total_macs() > 0);
+    assert!(trace.total_cycles() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn qat_shares_parameter_storage_with_float_model() {
+    // Training the quantized twin must update the float model's tensors
+    // (the paper's vanilla→custom contract).
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 12));
+    let mut rng = TensorRng::seed_from(901);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    let before = model.stem().weight().value();
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    QatTrainer::new(TrainConfig::quick(2)).fit(&qnn, &data).expect("qat");
+    let after = model.stem().weight().value();
+    assert_ne!(before.as_slice(), after.as_slice(), "QAT must update shared storage");
+}
+
+#[test]
+fn sub8bit_channelwise_conversion_works() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+    let mut rng = TensorRng::seed_from(902);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    FpTrainer::new(TrainConfig::quick(6)).fit(&model, &data).expect("fp");
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(4)));
+    PtqPipeline::calibrate(4, 16).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::ChannelWise).expect("convert");
+    // 4-bit weights halve the packed size relative to 8-bit.
+    let qnn8 = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(4, 16).run(&qnn8, &data).expect("ptq8");
+    let (_, report8) = T2C::new(&qnn8).nn2chip(FuseScheme::PreFuse).expect("convert8");
+    assert!(
+        report.weight_bytes < report8.weight_bytes,
+        "4-bit package ({}) should be smaller than 8-bit ({})",
+        report.weight_bytes,
+        report8.weight_bytes
+    );
+    let acc = evaluate_int(&chip, &data, 16).expect("int eval");
+    assert!(acc > 0.34, "4-bit integer accuracy {acc:.2} above chance");
+}

@@ -1,0 +1,59 @@
+//! End-to-end integration tests: sparsity composing with quantization
+//! (paper §4.3) and the SSL pre-training pipeline (paper §4.4).
+
+use torch2chip::prelude::*;
+
+#[test]
+fn sparsity_survives_quantization_and_export() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 24));
+    let mut rng = TensorRng::seed_from(920);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    let mut pruner = NmPruner::new(prunable_weights(&model), 2, 4);
+    SparseTrainer::new(SparseTrainerConfig::quick(5)).fit(&model, &mut pruner, &data).expect("sparse");
+    assert!(pruner.masks_satisfy_constraint());
+
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(4, 16).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+    // 2:4 over the pruned tensors; depthwise-free ResNet prunes most conv
+    // weights, so integer sparsity must be substantial and exactly reflect
+    // zero codes (0 maps to 0 under symmetric quantization).
+    assert!(
+        report.sparsity > 0.30,
+        "integer sparsity {:.2} should reflect the 2:4 pruning",
+        report.sparsity
+    );
+
+    // Zero-skipping accelerates without changing results.
+    let (images, _) = data.test_batch(&[0, 1, 2, 3]);
+    let dense = Accelerator::new(chip.clone(), AcceleratorConfig::dense16x16());
+    let skip = Accelerator::new(chip.clone(), AcceleratorConfig::sparse16x16());
+    let (out_d, trace_d) = dense.run(&images).expect("dense run");
+    let (out_s, trace_s) = skip.run(&images).expect("skip run");
+    assert_eq!(out_d.as_slice(), out_s.as_slice());
+    assert!(trace_s.total_cycles() < trace_d.total_cycles());
+}
+
+#[test]
+fn ssl_pretraining_then_compression_pipeline_runs() {
+    let upstream = SynthVision::generate(&SynthVisionConfig::tiny(4, 32));
+    let downstream = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+    let mut rng = TensorRng::seed_from(921);
+    let encoder = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(downstream.num_classes()));
+    let losses = SslTrainer::new(SslConfig::quick(5), SslMethod::BarlowXd)
+        .fit(&encoder, &upstream)
+        .expect("ssl");
+    assert!(losses.iter().all(|l| l.is_finite()));
+    assert!(losses.last().unwrap() < losses.first().unwrap(), "SSL loss should decrease");
+
+    // Fine-tune the encoder (its own head) on the downstream task, then
+    // compress to integers.
+    FpTrainer::new(TrainConfig::quick(4)).fit(&encoder, &downstream).expect("finetune");
+    let qnn = QMobileNet::from_float(&encoder, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(4, 16).run(&qnn, &downstream).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+    let acc = evaluate_int(&chip, &downstream, 16).expect("eval");
+    assert!(acc > 0.34, "compressed transfer accuracy {acc:.2} above chance");
+}

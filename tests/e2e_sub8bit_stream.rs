@@ -1,0 +1,72 @@
+//! Integration test: the sub-8-bit wide-stream scheme — low-precision conv
+//! inputs over an 8-bit activation stream, with one integer `Requant` op
+//! per conv input in the deployed model.
+
+use torch2chip::core::intmodel::IntOp;
+use torch2chip::prelude::*;
+
+#[test]
+fn sub8bit_models_carry_input_requant_ops() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 24));
+    let mut rng = TensorRng::seed_from(940);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    FpTrainer::new(TrainConfig::quick(8)).fit(&model, &data).expect("fp");
+
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(4)));
+    PtqPipeline::calibrate(4, 16).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::ChannelWise).expect("convert");
+
+    let requants = chip.nodes.iter().filter(|n| matches!(n.op, IntOp::Requant { .. })).count();
+    // Every non-stem conv gets an input requant (tiny ResNet: 2 blocks ×
+    // (cb1 + cb2) + 1 downsample = 5).
+    assert_eq!(requants, 5, "expected one requant per low-precision conv input");
+    // Requant outputs sit on the 4-bit grid.
+    for node in &chip.nodes {
+        if let IntOp::Requant { out_spec, .. } = &node.op {
+            assert_eq!(out_spec.bits, 4);
+        }
+    }
+    // The whole thing still executes and classifies above chance.
+    let acc = evaluate_int(&chip, &data, 16).expect("eval");
+    assert!(acc > 0.34, "4-bit wide-stream accuracy {acc:.2}");
+}
+
+#[test]
+fn w2a2_survives_training_with_the_wide_stream() {
+    // The regression this scheme fixes: 2/2 QAT used to collapse to chance
+    // when the residual stream itself was 2-bit.
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 24));
+    let mut rng = TensorRng::seed_from(941);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    FpTrainer::new(TrainConfig::quick(6)).fit(&model, &data).expect("fp");
+
+    let qnn = QResNet::from_float(&model, &QuantFactory::sawb_pact(QuantConfig::wa(2)));
+    let history = QatTrainer::new(TrainConfig::quick(6)).fit(&qnn, &data).expect("qat");
+    assert!(
+        history.best_acc() > 0.45,
+        "2/2 QAT accuracy {:.2} should be well above chance (0.33)",
+        history.best_acc()
+    );
+    qnn.set_training(false);
+    let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::ChannelWise).expect("convert");
+    // 2-bit weights → packed size well below the equivalent 8-bit model.
+    assert!(report.weight_bytes > 0);
+    let acc = evaluate_int(&chip, &data, 16).expect("eval");
+    assert!(acc > 0.34, "2/2 integer accuracy {acc:.2}");
+}
+
+#[test]
+fn eight_bit_configs_have_no_requant_ops() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(2, 10));
+    let mut rng = TensorRng::seed_from(942);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(3, 10).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+    assert!(
+        !chip.nodes.iter().any(|n| matches!(n.op, IntOp::Requant { .. })),
+        "8-bit pipelines read the stream directly"
+    );
+}

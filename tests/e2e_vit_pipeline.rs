@@ -1,0 +1,52 @@
+//! End-to-end integration test: the integer-only Vision Transformer
+//! pipeline (paper §3.2.2 / Figure 4).
+
+use torch2chip::core::intmodel::IntOp;
+use torch2chip::prelude::*;
+
+#[test]
+fn vit_qat_converts_to_fully_integer_pipeline() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+    let mut rng = TensorRng::seed_from(910);
+    let model = ViT::new(&mut rng, ViTConfig::tiny(data.num_classes()));
+    let qnn = QViT::from_float(&model, &QuantFactory::rcf(QuantConfig::vit(8)));
+    QatTrainer::new(TrainConfig::quick(5)).fit(&qnn, &data).expect("qat");
+    qnn.set_training(false);
+    let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+    assert!(report.num_nodes > 20, "transformer graphs are deep ({})", report.num_nodes);
+
+    // The deployed model must contain the integer non-linearities.
+    let count = |f: fn(&IntOp) -> bool| chip.nodes.iter().filter(|n| f(&n.op)).count();
+    assert_eq!(count(|op| matches!(op, IntOp::SoftmaxLut(_))), model.config().depth);
+    assert_eq!(count(|op| matches!(op, IntOp::GeluLut(_))), model.config().depth);
+    // One LN per block pair + final LN.
+    assert_eq!(count(|op| matches!(op, IntOp::LayerNorm(_))), 2 * model.config().depth + 1);
+    assert_eq!(count(|op| matches!(op, IntOp::ConcatToken { .. })), 1);
+
+    // Integer forward agrees with the fake-quant path within tolerance.
+    let fake_acc = evaluate(&qnn, &data, 8).expect("fake");
+    let int_acc = evaluate_int(&chip, &data, 8).expect("int");
+    assert!(
+        (int_acc - fake_acc).abs() < 0.25,
+        "integer {int_acc:.2} vs fake {fake_acc:.2} diverged"
+    );
+}
+
+#[test]
+fn vit_package_round_trips_through_export() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(2, 10));
+    let mut rng = TensorRng::seed_from(911);
+    let model = ViT::new(&mut rng, ViTConfig::tiny(data.num_classes()));
+    let qnn = QViT::from_float(&model, &QuantFactory::minmax(QuantConfig::vit(8)));
+    PtqPipeline::calibrate(3, 10).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+    let bytes = torch2chip::export::write_intmodel(&chip);
+    let reloaded = torch2chip::export::read_intmodel(&bytes).expect("reload");
+    let (images, _) = data.test_batch(&[0, 1]);
+    assert_eq!(
+        chip.run(&images).expect("run").as_slice(),
+        reloaded.run(&images).expect("run reloaded").as_slice(),
+        "ViT model file must round-trip bit-exact"
+    );
+}

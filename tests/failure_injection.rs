@@ -1,0 +1,72 @@
+//! Failure-injection integration tests: the toolkit must fail loudly, not
+//! silently, on misuse and corrupted artifacts.
+
+use torch2chip::export::ExportError;
+use torch2chip::prelude::*;
+
+#[test]
+fn converting_uncalibrated_model_is_an_error() {
+    let mut rng = TensorRng::seed_from(930);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(3));
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    let err = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).unwrap_err();
+    assert!(err.to_string().contains("uncalibrated"), "got: {err}");
+}
+
+#[test]
+fn corrupted_model_file_is_rejected_with_checksum_error() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(2, 8));
+    let mut rng = TensorRng::seed_from(931);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(2, 8).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+    let mut bytes = torch2chip::export::write_intmodel(&chip);
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5A;
+    match torch2chip::export::read_intmodel(&bytes) {
+        Err(ExportError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected checksum mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_model_file_is_rejected() {
+    assert!(torch2chip::export::read_intmodel(&[]).is_err());
+    assert!(torch2chip::export::read_intmodel(b"T2CM").is_err());
+}
+
+#[test]
+fn accelerator_flags_tampered_weights() {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(2, 8));
+    let mut rng = TensorRng::seed_from(932);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(2, 8).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("convert");
+    let mut tampered = chip.clone();
+    for node in &mut tampered.nodes {
+        if let torch2chip::core::intmodel::IntOp::Conv2d { weight, .. } = &mut node.op {
+            weight.as_mut_slice()[0] = weight.as_slice()[0].wrapping_add(3);
+            break;
+        }
+    }
+    let accel = Accelerator::new(tampered, AcceleratorConfig::dense16x16());
+    let (images, _) = data.test_batch(&[0]);
+    assert!(accel.verify_against(&chip, &images).is_err());
+}
+
+#[test]
+fn bad_labels_and_shapes_error_cleanly() {
+    let mut rng = TensorRng::seed_from(933);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(3));
+    let g = Graph::new();
+    // Wrong channel count must error, not panic.
+    let bad = model.forward(&g.leaf(Tensor::ones(&[1, 5, 16, 16])));
+    assert!(bad.is_err());
+    // Out-of-range label must error, not panic.
+    let logits = model.forward(&g.leaf(Tensor::ones(&[1, 3, 16, 16]))).expect("fw");
+    assert!(logits.cross_entropy_logits(&[7]).is_err());
+}
