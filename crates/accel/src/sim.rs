@@ -154,6 +154,22 @@ impl Accelerator {
         Ok((out, trace))
     }
 
+    /// Like [`Accelerator::run`], but with the host worker count pinned to
+    /// `threads` while the MAC-array replay executes. Logits are
+    /// bit-identical to [`Accelerator::run`] at every setting — the host
+    /// thread count is a simulation-speed knob, never a numerics knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is malformed.
+    pub fn run_with_threads(
+        &self,
+        x: &Tensor<f32>,
+        threads: usize,
+    ) -> Result<(Tensor<i32>, ExecutionTrace)> {
+        t2c_tensor::with_threads(threads, || self.run(x))
+    }
+
     /// Computes the timing trace for a given input shape without executing
     /// the datapath (shapes are propagated symbolically).
     ///
@@ -177,9 +193,7 @@ impl Accelerator {
                     let xin = in_shape(0);
                     let (n, _c, h, w) = (xin[0], xin[1], xin[2], xin[3]);
                     let k = weight.dim(2);
-                    let oh = spec
-                        .out_extent(h, k)
-                        .map_err(AccelError::Tensor)?;
+                    let oh = spec.out_extent(h, k).map_err(AccelError::Tensor)?;
                     let ow = spec.out_extent(w, k).map_err(AccelError::Tensor)?;
                     let oc = weight.dim(0);
                     let cg = weight.dim(1);
@@ -205,8 +219,7 @@ impl Accelerator {
                         macs,
                         cycles: tiles * inner.max(1),
                         weight_bytes: (nz * weight_spec.bits as usize).div_ceil(8) as u64,
-                        activation_bytes: (xin.iter().product::<usize>()
-                            + n * oc * oh * ow) as u64,
+                        activation_bytes: (xin.iter().product::<usize>() + n * oc * oh * ow) as u64,
                     });
                     vec![n, oc, oh, ow]
                 }
@@ -253,7 +266,8 @@ impl Accelerator {
                             * k as u64,
                         weight_bytes: 0,
                         activation_bytes: (a.iter().product::<usize>()
-                            + b.iter().product::<usize>()) as u64,
+                            + b.iter().product::<usize>())
+                            as u64,
                     });
                     vec![bs, m, n2]
                 }
@@ -364,6 +378,18 @@ mod tests {
     }
 
     #[test]
+    fn replay_is_bit_identical_across_thread_counts() {
+        let m = model(Tensor::from_fn(&[4, 2, 3, 3], |i| (i as i32 % 9) - 4));
+        let accel = Accelerator::new(m, AcceleratorConfig::dense16x16());
+        let x = Tensor::from_fn(&[2, 2, 6, 6], |i| (i as f32) * 0.01 - 0.3);
+        let (base, _) = accel.run_with_threads(&x, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let (out, _) = accel.run_with_threads(&x, threads).unwrap();
+            assert_eq!(out.as_slice(), base.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn zero_skipping_reduces_cycles_on_sparse_weights() {
         // 75% zero weights.
         let w = Tensor::from_fn(&[4, 2, 3, 3], |i| if i % 4 == 0 { 3 } else { 0 });
@@ -397,7 +423,9 @@ mod tests {
             AcceleratorConfig { pe_rows: 32, pe_cols: 32, ..AcceleratorConfig::dense16x16() },
         );
         let dims = [1usize, 2, 8, 8];
-        assert!(big.trace(&dims).unwrap().total_cycles() < small.trace(&dims).unwrap().total_cycles());
+        assert!(
+            big.trace(&dims).unwrap().total_cycles() < small.trace(&dims).unwrap().total_cycles()
+        );
     }
 
     #[test]

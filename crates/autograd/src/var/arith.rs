@@ -61,8 +61,16 @@ impl Var {
         let x = self.value();
         let v = x.abs();
         self.unary(v, move |g| {
-            g.zip_map(&x, |gi, xi| gi * if xi > 0.0 { 1.0 } else if xi < 0.0 { -1.0 } else { 0.0 })
-                .expect("abs backward shape")
+            g.zip_map(&x, |gi, xi| {
+                gi * if xi > 0.0 {
+                    1.0
+                } else if xi < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            })
+            .expect("abs backward shape")
         })
     }
 

@@ -153,7 +153,11 @@ impl Var {
     ) -> Result<(Var, Tensor<f32>, Tensor<f32>)> {
         let x = self.value();
         if x.rank() != 4 {
-            return Err(TensorError::RankMismatch { got: x.rank(), expected: 4, op: "batch_norm2d" });
+            return Err(TensorError::RankMismatch {
+                got: x.rank(),
+                expected: 4,
+                op: "batch_norm2d",
+            });
         }
         let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
         let gv = gamma.value();
@@ -176,10 +180,9 @@ impl Var {
             let xh = xhat.as_mut_slice();
             let ys = y.as_mut_slice();
             for img in 0..n {
-                for ch in 0..c {
+                for (ch, &is) in inv_std.iter().enumerate() {
                     let base = (img * c + ch) * h * w;
                     let mu = mean.as_slice()[ch];
-                    let is = inv_std[ch];
                     let (ga, be) = (gv.as_slice()[ch], bv.as_slice()[ch]);
                     for i in base..base + h * w {
                         let xx = (xs[i] - mu) * is;
@@ -268,13 +271,13 @@ impl Var {
             let xs = x.as_slice();
             let xh = xhat.as_mut_slice();
             let ys = y.as_mut_slice();
-            for r in 0..rows {
+            for (r, slot) in inv_std.iter_mut().enumerate() {
                 let base = r * d;
                 let row = &xs[base..base + d];
                 let mu: f32 = row.iter().sum::<f32>() / d as f32;
                 let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
                 let is = 1.0 / (var + eps).sqrt();
-                inv_std[r] = is;
+                *slot = is;
                 for j in 0..d {
                     let xx = (row[j] - mu) * is;
                     xh[base + j] = xx;
@@ -294,7 +297,7 @@ impl Var {
                 let mut ggamma = vec![0f32; d];
                 let mut gbeta = vec![0f32; d];
                 let mut gx = vec![0f32; rows * d];
-                for r in 0..rows {
+                for (r, &is) in inv_std.iter().enumerate() {
                     let base = r * d;
                     // gh = g·γ (per element); then the LN row Jacobian.
                     let mut sum_gh = 0.0f32;
@@ -309,8 +312,8 @@ impl Var {
                     let inv_d = 1.0 / d as f32;
                     for j in 0..d {
                         let gh = gs[base + j] * gv.as_slice()[j];
-                        gx[base + j] = inv_std[r]
-                            * (gh - sum_gh * inv_d - xh[base + j] * sum_gh_xh * inv_d);
+                        gx[base + j] =
+                            is * (gh - sum_gh * inv_d - xh[base + j] * sum_gh_xh * inv_d);
                     }
                 }
                 vec![

@@ -68,8 +68,7 @@ impl Var {
             let (gs, ys) = (g.as_slice(), yc.as_slice());
             for r in 0..rows {
                 let base = r * cols;
-                let dot: f32 =
-                    (0..cols).map(|j| gs[base + j] * ys[base + j]).sum();
+                let dot: f32 = (0..cols).map(|j| gs[base + j] * ys[base + j]).sum();
                 for j in 0..cols {
                     out[base + j] = (gs[base + j] - dot) * ys[base + j];
                 }
@@ -148,9 +147,7 @@ impl Var {
         let n = x.numel().max(1) as f32;
         let loss = diff.square().sum() / n;
         let diff_c = diff.clone();
-        Ok(self.unary(Tensor::scalar(loss), move |g| {
-            diff_c.mul_scalar(2.0 * g.item() / n)
-        }))
+        Ok(self.unary(Tensor::scalar(loss), move |g| diff_c.mul_scalar(2.0 * g.item() / n)))
     }
 }
 

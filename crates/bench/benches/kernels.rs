@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use t2c_tensor::ops::{conv2d, conv2d_i32, Conv2dSpec};
 use t2c_tensor::rng::TensorRng;
-use t2c_tensor::Tensor;
+use t2c_tensor::{with_threads, Tensor};
 
 fn bench_conv(c: &mut Criterion) {
     let mut rng = TensorRng::seed_from(1);
@@ -45,5 +45,39 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv, bench_matmul);
+/// Thread-count sweep over the parallel hot path. Results are bit-identical
+/// at every setting (see `crates/tensor/tests/parallel_identity.rs`); this
+/// measures the wall-clock effect alone.
+fn bench_thread_sweep(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(3);
+    let a_f = rng.normal(&[256, 256], 0.0, 1.0);
+    let b_f = rng.normal(&[256, 256], 0.0, 1.0);
+    let x_f = rng.normal(&[8, 16, 16, 16], 0.0, 1.0);
+    let w_f = rng.normal(&[32, 16, 3, 3], 0.0, 0.1);
+    let x_i = x_f.map(|v| (v * 50.0) as i32);
+    let w_i = w_f.map(|v| (v * 500.0) as i32);
+    let spec = Conv2dSpec::new(1, 1);
+    let mut group = c.benchmark_group("thread_sweep");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("matmul_256 f32 t={threads}"), |b| {
+            b.iter(|| with_threads(threads, || a_f.matmul(black_box(&b_f)).unwrap()))
+        });
+        group.bench_function(&format!("conv2d f32 t={threads}"), |b| {
+            b.iter(|| {
+                with_threads(threads, || conv2d(black_box(&x_f), black_box(&w_f), None, spec))
+                    .unwrap()
+            })
+        });
+        group.bench_function(&format!("conv2d i32 t={threads}"), |b| {
+            b.iter(|| {
+                with_threads(threads, || conv2d_i32(black_box(&x_i), black_box(&w_i), None, spec))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_matmul, bench_thread_sweep);
 criterion_main!(benches);

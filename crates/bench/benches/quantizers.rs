@@ -27,7 +27,7 @@ fn bench_weight_train_paths(c: &mut Criterion) {
     group.sample_size(20);
     for (name, q) in &quantizers {
         q.calibrate(&w0);
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let g = Graph::new();
                 let w = g.leaf(w0.clone());
@@ -50,7 +50,7 @@ fn bench_act_paths(c: &mut Criterion) {
     group.sample_size(20);
     for (name, q) in &quantizers {
         q.observe(&x0);
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let g = Graph::new();
                 let x = g.leaf(x0.clone());

@@ -35,7 +35,10 @@ fn main() {
     let model = MobileNetV1::new(&mut rng, cfg);
     let fp = FpTrainer::new(TrainConfig::quick(30)).fit(&model, &data).expect("fp");
     println!("# Figure 3 — Dual-Path consistency and fusion-scheme stability\n");
-    println!("FP32 baseline: {:.2}%  (weights use unified per-tensor scales below)", fp.best_acc() * 100.0);
+    println!(
+        "FP32 baseline: {:.2}%  (weights use unified per-tensor scales below)",
+        fp.best_acc() * 100.0
+    );
     // Report the BN γ* spread driving the effect.
     let mut worst_spread = 0.0f32;
     for b in model.blocks() {

@@ -74,27 +74,15 @@ fn main() {
             }
         }
         let acc = evaluate_int(&variant, &data, 32).expect("int eval");
-        row(&[
-            format!("{entries}"),
-            format!("{worst:.4}"),
-            format!("{:.2}%", acc * 100.0),
-        ]);
+        row(&[format!("{entries}"), format!("{worst:.4}"), format!("{:.2}%", acc * 100.0)]);
     }
     println!("\nShape check: accuracy saturates once the LUT covers the score range;");
     println!("tiny LUTs flatten the attention distribution and cost accuracy.");
 
     // ---- Verify a LUT GELU exists and integer path ≈ fake path -------------
     let int_acc = evaluate_int(&chip, &data, 32).expect("int eval");
-    let geli = chip
-        .nodes
-        .iter()
-        .filter(|n| matches!(n.op, IntOp::GeluLut(_)))
-        .count();
-    let lns = chip
-        .nodes
-        .iter()
-        .filter(|n| matches!(n.op, IntOp::LayerNorm(_)))
-        .count();
+    let geli = chip.nodes.iter().filter(|n| matches!(n.op, IntOp::GeluLut(_))).count();
+    let lns = chip.nodes.iter().filter(|n| matches!(n.op, IntOp::LayerNorm(_))).count();
     println!(
         "\nfull-size LUTs: integer {:.2}% vs fake-quant {:.2}% ({} GELU LUTs, {} integer LayerNorms)",
         int_acc * 100.0,

@@ -10,12 +10,12 @@
 use t2c_accel::{Accelerator, AcceleratorConfig};
 use t2c_bench::row;
 use t2c_core::qmodels::{QResNet, QuantFactory};
-use t2c_nn::Module;
 use t2c_core::trainer::{FpTrainer, PtqPipeline, TrainConfig};
 use t2c_core::{FuseScheme, QuantConfig, T2C};
 use t2c_data::{SynthVision, SynthVisionConfig};
-use t2c_nn::models::{ResNet, ResNetConfig};
 use t2c_export::{export_package, verify_package};
+use t2c_nn::models::{ResNet, ResNetConfig};
+use t2c_nn::Module;
 use t2c_tensor::rng::TensorRng;
 
 fn main() {

@@ -42,8 +42,13 @@ fn main() {
     let batch = 32;
     // --- AIMET-like: AdaRound, float-precision scales -------------------
     let qnn = QResNet::from_float(&model, &QuantFactory::adaround(float_like(QuantConfig::wa(8))));
-    let (acc, _) =
-        ptq_int_accuracy(&qnn, &data, PtqPipeline::reconstruct(8, batch, 60), FuseScheme::PreFuse, batch);
+    let (acc, _) = ptq_int_accuracy(
+        &qnn,
+        &data,
+        PtqPipeline::reconstruct(8, batch, 60),
+        FuseScheme::PreFuse,
+        batch,
+    );
     row(&[
         "AIMET-like".into(),
         "AdaRound".into(),
@@ -66,8 +71,7 @@ fn main() {
 
     // --- Torch2Chip: QDrop at 4/4 and 8/8, INT16 fixed-point -------------
     for bits in [4u8, 8] {
-        let qnn =
-            QResNet::from_float(&model, &QuantFactory::qdrop(QuantConfig::wa(bits), 0.5, 17));
+        let qnn = QResNet::from_float(&model, &QuantFactory::qdrop(QuantConfig::wa(bits), 0.5, 17));
         let (acc, report) = ptq_int_accuracy(
             &qnn,
             &data,

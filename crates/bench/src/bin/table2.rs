@@ -89,7 +89,9 @@ fn qat_row<M: QuantModel>(qnn: &M, data: &SynthVision, bits: u8, profit: bool) -
 
 fn main() {
     let data = SynthVision::generate(&SynthVisionConfig::cifar10_like(48));
-    println!("# Table 2 — integer-only DNNs on SynthCIFAR (all QAT from scratch, {EPOCHS} epochs)\n");
+    println!(
+        "# Table 2 — integer-only DNNs on SynthCIFAR (all QAT from scratch, {EPOCHS} epochs)\n"
+    );
     row(&[
         "Method".into(),
         "Model".into(),
@@ -207,8 +209,13 @@ fn main() {
         cfg.per_channel = false;
         cfg.fixed = FixedPointFormat { int_bits: 1, frac_bits: 30 };
         let qnn = QMobileNet::from_float(&mob_fp_model, &QuantFactory::minmax(cfg));
-        let (acc, report) =
-            ptq_int_accuracy(&qnn, &data, PtqPipeline::calibrate(8, BATCH), FuseScheme::PreFuse, BATCH);
+        let (acc, report) = ptq_int_accuracy(
+            &qnn,
+            &data,
+            PtqPipeline::calibrate(8, BATCH),
+            FuseScheme::PreFuse,
+            BATCH,
+        );
         print_row(&Row {
             method: "PyTorch-style",
             model: "MobileNet-V1(×2)",
@@ -220,5 +227,7 @@ fn main() {
             size_mb: report.size_mb(),
         });
     }
-    println!("\nShape check: 8-bit rows ≈ FP; sub-8-bit QAT degrades gracefully; size scales with bits.");
+    println!(
+        "\nShape check: 8-bit rows ≈ FP; sub-8-bit QAT degrades gracefully; size scales with bits."
+    );
 }

@@ -14,11 +14,11 @@
 use t2c_accel::{Accelerator, AcceleratorConfig};
 use t2c_bench::{fmt_acc, row};
 use t2c_core::qmodels::{QResNet, QuantFactory};
-use t2c_nn::Module;
 use t2c_core::trainer::{evaluate_int, FpTrainer, PtqPipeline, TrainConfig};
 use t2c_core::{FuseScheme, QuantConfig, T2C};
 use t2c_data::{SynthVision, SynthVisionConfig};
 use t2c_nn::models::{ResNet, ResNetConfig};
+use t2c_nn::Module;
 use t2c_sparse::{prunable_weights, GraNetPruner, NmPruner, SparseTrainer, SparseTrainerConfig};
 use t2c_tensor::rng::TensorRng;
 
@@ -33,7 +33,8 @@ fn sparse_then_ptq(model: &ResNet, data: &SynthVision, bits: u8) -> (f32, f32, f
     let dense = Accelerator::new(chip.clone(), AcceleratorConfig::dense16x16())
         .trace(&dims)
         .expect("trace");
-    let skip = Accelerator::new(chip, AcceleratorConfig::sparse16x16()).trace(&dims).expect("trace");
+    let skip =
+        Accelerator::new(chip, AcceleratorConfig::sparse16x16()).trace(&dims).expect("trace");
     let speedup = dense.total_cycles() as f64 / skip.total_cycles().max(1) as f64;
     (acc, report.sparsity, speedup)
 }

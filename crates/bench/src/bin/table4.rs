@@ -11,11 +11,11 @@
 
 use t2c_bench::row;
 use t2c_core::qmodels::{QMobileNet, QuantFactory};
-use t2c_nn::Module;
 use t2c_core::trainer::{evaluate_int, FpTrainer, PtqPipeline, TrainConfig};
 use t2c_core::{FuseScheme, QuantConfig, T2C};
 use t2c_data::{SynthVision, SynthVisionConfig};
 use t2c_nn::models::{MobileNetConfig, MobileNetV1};
+use t2c_nn::Module;
 use t2c_ssl::{SslConfig, SslMethod, SslTrainer};
 use t2c_tensor::rng::TensorRng;
 

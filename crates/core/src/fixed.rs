@@ -171,7 +171,10 @@ mod tests {
         for acc in [-5000i64, -17, 0, 3, 999, 123456] {
             let exact = acc as f32 * 0.1234;
             let fixed = m.mul_shift(acc) as f32;
-            assert!((exact - fixed).abs() <= exact.abs() * 1e-3 + 1.0, "acc {acc}: {exact} vs {fixed}");
+            assert!(
+                (exact - fixed).abs() <= exact.abs() * 1e-3 + 1.0,
+                "acc {acc}: {exact} vs {fixed}"
+            );
         }
     }
 

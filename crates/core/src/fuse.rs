@@ -81,11 +81,7 @@ impl BnParams {
 
     /// γ\*_c = γ_c / √(σ²_c + ε) (Eq. 13).
     pub fn gamma_star(&self) -> Vec<f32> {
-        self.gamma
-            .iter()
-            .zip(&self.var)
-            .map(|(&g, &v)| g / (v + self.eps).sqrt())
-            .collect()
+        self.gamma.iter().zip(&self.var).map(|(&g, &v)| g / (v + self.eps).sqrt()).collect()
     }
 
     /// β\*_c = β_c − γ\*_c·μ_c (Eq. 11).
@@ -150,17 +146,14 @@ pub fn fuse_layer(
         (FuseScheme::PreFuse, Some(bn)) => {
             let gs = bn.gamma_star();
             let bstar = bn.beta_star();
-            let fused = Tensor::from_fn(weight.dims(), |i| {
-                weight.as_slice()[i] * gs[i / inner.max(1)]
-            });
+            let fused =
+                Tensor::from_fn(weight.dims(), |i| weight.as_slice()[i] * gs[i / inner.max(1)]);
             wq.calibrate(&fused);
             let weight_q = wq.quantize(&fused);
             let w_scales = wq.scale().to_per_channel(oc);
             // bias after fusion: β* + γ*·b_conv, requantized by 1/S_y.
             let scales: Vec<f32> = w_scales.iter().map(|&sw| sw * s_x / s_y).collect();
-            let biases: Vec<f32> = (0..oc)
-                .map(|c| (bstar[c] + gs[c] * bias_fp[c]) / s_y)
-                .collect();
+            let biases: Vec<f32> = (0..oc).map(|c| (bstar[c] + gs[c] * bias_fp[c]) / s_y).collect();
             Ok(FusedLayer {
                 weight_q,
                 requant: MulQuant::from_float_auto(&scales, &biases, format.total_bits(), out_spec),
@@ -174,11 +167,8 @@ pub fn fuse_layer(
             wq.calibrate(weight);
             let weight_q = wq.quantize(weight);
             let w_scales = wq.scale().to_per_channel(oc);
-            let scales: Vec<f32> =
-                (0..oc).map(|c| gs[c] * w_scales[c] * s_x / s_y).collect();
-            let biases: Vec<f32> = (0..oc)
-                .map(|c| (bstar[c] + gs[c] * bias_fp[c]) / s_y)
-                .collect();
+            let scales: Vec<f32> = (0..oc).map(|c| gs[c] * w_scales[c] * s_x / s_y).collect();
+            let biases: Vec<f32> = (0..oc).map(|c| (bstar[c] + gs[c] * bias_fp[c]) / s_y).collect();
             Ok(FusedLayer {
                 weight_q,
                 requant: MulQuant::from_float_auto(&scales, &biases, format.total_bits(), out_spec),
@@ -256,7 +246,11 @@ mod tests {
     }
 
     fn end_to_end_error(scheme: FuseScheme, bits: u8) -> f32 {
-        let mut rng = TensorRng::seed_from(42);
+        end_to_end_error_seeded(scheme, bits, 42)
+    }
+
+    fn end_to_end_error_seeded(scheme: FuseScheme, bits: u8, seed: u64) -> f32 {
+        let mut rng = TensorRng::seed_from(seed);
         let w = rng.normal(&[4, 3, 3, 3], 0.0, 0.4);
         let bn = bn_params(4, &mut rng);
         let spec = Conv2dSpec::new(1, 1);
@@ -305,9 +299,16 @@ mod tests {
     #[test]
     fn channelwise_beats_prefuse_at_low_precision() {
         // The paper's §3.2 claim: pre-fusing degrades below 8 bits while
-        // channel-wise scaling holds up.
-        let pre = end_to_end_error(FuseScheme::PreFuse, 3);
-        let cw = end_to_end_error(FuseScheme::ChannelWise, 3);
+        // channel-wise scaling holds up. The claim is statistical, so
+        // compare mean error over several random layers rather than one
+        // draw (a single seed can land on either side of the margin).
+        let seeds = [42u64, 43, 44, 45, 46, 47, 48, 49];
+        let mean = |scheme| {
+            seeds.iter().map(|&s| end_to_end_error_seeded(scheme, 3, s)).sum::<f32>()
+                / seeds.len() as f32
+        };
+        let pre = mean(FuseScheme::PreFuse);
+        let cw = mean(FuseScheme::ChannelWise);
         assert!(cw < pre, "channel-wise {cw} should beat pre-fuse {pre} at 3 bits");
     }
 

@@ -293,7 +293,9 @@ impl IntModel {
     ///
     /// Returns an error if the graph is malformed or shapes mismatch.
     pub fn run_quantized(&self, input: &Tensor<i32>) -> Result<Tensor<i32>> {
-        self.execute(input)?.pop().ok_or_else(|| TensorError::InvalidArgument("empty IntModel".into()))
+        self.execute(input)?
+            .pop()
+            .ok_or_else(|| TensorError::InvalidArgument("empty IntModel".into()))
     }
 
     fn execute(&self, input: &Tensor<i32>) -> Result<Vec<Tensor<i32>>> {
@@ -370,17 +372,21 @@ impl IntModel {
                 IntOp::SplitHeads { heads } => {
                     let a = fetch(&node.inputs[0])?;
                     let (n, l, d) = (a.dim(0), a.dim(1), a.dim(2));
-                    a.reshape(&[n, l, *heads, d / heads])?
-                        .permute(&[0, 2, 1, 3])?
-                        .reshape(&[n * heads, l, d / heads])?
+                    a.reshape(&[n, l, *heads, d / heads])?.permute(&[0, 2, 1, 3])?.reshape(&[
+                        n * heads,
+                        l,
+                        d / heads,
+                    ])?
                 }
                 IntOp::MergeHeads { heads } => {
                     let a = fetch(&node.inputs[0])?;
                     let (nh, l, dh) = (a.dim(0), a.dim(1), a.dim(2));
                     let n = nh / heads;
-                    a.reshape(&[n, *heads, l, dh])?
-                        .permute(&[0, 2, 1, 3])?
-                        .reshape(&[n, l, heads * dh])?
+                    a.reshape(&[n, *heads, l, dh])?.permute(&[0, 2, 1, 3])?.reshape(&[
+                        n,
+                        l,
+                        heads * dh,
+                    ])?
                 }
                 IntOp::BmmRequant { transpose_rhs, m, out_spec } => {
                     let a = fetch(&node.inputs[0])?;
@@ -514,7 +520,12 @@ fn linear_i32(x: &Tensor<i32>, w: &Tensor<i32>) -> Result<Tensor<i32>> {
     }
 }
 
-fn requant_per_tensor(acc: &Tensor<i32>, m: FixedScalar, spec: QuantSpec, relu: bool) -> Tensor<i32> {
+fn requant_per_tensor(
+    acc: &Tensor<i32>,
+    m: FixedScalar,
+    spec: QuantSpec,
+    relu: bool,
+) -> Tensor<i32> {
     acc.map(|v| {
         let mut s = m.mul_shift(v as i64);
         if relu {
@@ -549,7 +560,7 @@ fn add_const_requant(
 ) -> Result<Tensor<i32>> {
     // c broadcasts over the batch axis: c is [1, …] matching a[1..].
     let inner = c.numel();
-    if a.numel() % inner != 0 {
+    if !a.numel().is_multiple_of(inner) {
         return Err(TensorError::ShapeMismatch {
             lhs: a.dims().to_vec(),
             rhs: c.dims().to_vec(),
@@ -606,7 +617,11 @@ fn max_pool_i32(x: &Tensor<i32>, spec: PoolSpec) -> Result<Tensor<i32>> {
 
 fn global_avg_pool_i32(x: &Tensor<i32>, frac_bits: u8) -> Result<Tensor<i32>> {
     if x.rank() != 4 {
-        return Err(TensorError::RankMismatch { got: x.rank(), expected: 4, op: "global_avg_pool_i32" });
+        return Err(TensorError::RankMismatch {
+            got: x.rank(),
+            expected: 4,
+            op: "global_avg_pool_i32",
+        });
     }
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     // Fixed-point 2^frac/(H·W) with 16 fractional bits of intermediate

@@ -61,6 +61,9 @@ pub use mulquant::MulQuant;
 pub use observer::{Observer, ObserverKind};
 pub use qconfig::{QuantConfig, QuantSpec};
 pub use qlayers::{PathMode, QAdd, QConvUnit, QLinearUnit};
+// Host-parallelism control for the kernels beneath QConvUnit / QLinearUnit
+// and IntModel execution: results are bit-identical at any worker count.
+pub use t2c_tensor::{num_threads, set_num_threads, with_threads};
 
 /// Convenience alias for this crate's `Result`.
 pub type Result<T> = std::result::Result<T, t2c_tensor::TensorError>;

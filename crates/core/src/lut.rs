@@ -169,13 +169,11 @@ mod tests {
         let codes = vec![40, 10, -30, 0, 25];
         let scores = Tensor::from_vec(codes.clone(), &[1, 5]).unwrap();
         let p = lut.apply(&scores);
-        let float: Tensor<f32> = Tensor::from_vec(
-            codes.iter().map(|&c| c as f32 * in_scale).collect(),
-            &[1, 5],
-        )
-        .unwrap()
-        .softmax_lastdim()
-        .unwrap();
+        let float: Tensor<f32> =
+            Tensor::from_vec(codes.iter().map(|&c| c as f32 * in_scale).collect(), &[1, 5])
+                .unwrap()
+                .softmax_lastdim()
+                .unwrap();
         for (q, f) in p.as_slice().iter().zip(float.as_slice()) {
             assert!((*q as f32 / 255.0 - f).abs() < 0.01, "{q} vs {f}");
         }

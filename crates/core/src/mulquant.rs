@@ -65,9 +65,8 @@ impl MulQuant {
             biases.len()
         );
         let n = scales.len().max(biases.len());
-        let scale_raw = (0..n)
-            .map(|i| format.quantize(scales[i.min(scales.len() - 1)]).raw)
-            .collect();
+        let scale_raw =
+            (0..n).map(|i| format.quantize(scales[i.min(scales.len() - 1)]).raw).collect();
         let bias_raw = (0..n)
             .map(|i| {
                 // Biases live pre-shift: B = round(b·2^f).
@@ -87,7 +86,8 @@ impl MulQuant {
     /// Requantizes one accumulator value for channel `ch`.
     pub fn apply_scalar(&self, acc: i32, ch: usize) -> i32 {
         let i = ch.min(self.scale_raw.len() - 1);
-        let v = acc as i64 * self.scale_raw[i] as i64 + self.bias_raw[i.min(self.bias_raw.len() - 1)];
+        let v =
+            acc as i64 * self.scale_raw[i] as i64 + self.bias_raw[i.min(self.bias_raw.len() - 1)];
         let shifted = round_shift(v, self.format.frac_bits);
         shifted.clamp(self.out_spec.qmin() as i64, self.out_spec.qmax() as i64) as i32
     }
@@ -190,8 +190,7 @@ mod tests {
     #[test]
     fn size_accounts_for_channels() {
         let per_tensor = MulQuant::from_float(&[1.0], &[0.0], fmt(), QuantSpec::signed(8));
-        let per_channel =
-            MulQuant::from_float(&[1.0; 64], &[0.0; 64], fmt(), QuantSpec::signed(8));
+        let per_channel = MulQuant::from_float(&[1.0; 64], &[0.0; 64], fmt(), QuantSpec::signed(8));
         assert_eq!(per_tensor.size_bytes(), 4);
         assert_eq!(per_channel.size_bytes(), 64 * 4);
     }

@@ -45,11 +45,8 @@ impl QMobileNet {
     /// `X_Q`); see [`QuantFactory::narrow_acts`].
     pub fn from_float(model: &MobileNetV1, factory: &QuantFactory) -> Self {
         let narrow = factory.narrow_acts();
-        let stem_out: Box<dyn crate::quantizer::ActQuantizer> = if narrow {
-            factory.stream_act("stem.out")
-        } else {
-            factory.stem_act("stem.out")
-        };
+        let stem_out: Box<dyn crate::quantizer::ActQuantizer> =
+            if narrow { factory.stream_act("stem.out") } else { factory.stem_act("stem.out") };
         let mut units = vec![QConvUnit::new(
             "stem",
             share_conv(model.stem()),
@@ -99,10 +96,7 @@ impl QMobileNet {
             // for first/last layers): its logits are raw accumulators with
             // no requantizer, and argmax over them is only scale-invariant
             // if every class shares one scale.
-            Box::new(crate::quantizer::MinMaxWeight::new(
-                crate::QuantSpec::signed(8),
-                false,
-            )),
+            Box::new(crate::quantizer::MinMaxWeight::new(crate::QuantSpec::signed(8), false)),
             None,
         );
         QMobileNet {
@@ -248,11 +242,8 @@ impl QuantModel for QMobileNet {
         self.head.weight_quantizer().calibrate(&head_w);
         let weight_q = self.head.weight_quantizer().quantize(&head_w);
         let w_scales = self.head.weight_quantizer().scale().to_per_channel(head_w.dim(0));
-        let bias = self
-            .head
-            .linear()
-            .bias()
-            .map(|b| bias_to_accumulator(&b.value(), &w_scales, s_cur));
+        let bias =
+            self.head.linear().bias().map(|b| bias_to_accumulator(&b.value(), &w_scales, s_cur));
         m.push(
             "head",
             IntOp::Linear {

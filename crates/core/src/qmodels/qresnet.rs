@@ -56,11 +56,8 @@ impl QResNet {
     /// `X_Q`); see [`QuantFactory::narrow_acts`].
     pub fn from_float(model: &ResNet, factory: &QuantFactory) -> Self {
         let narrow = factory.narrow_acts();
-        let stem_out: Box<dyn crate::quantizer::ActQuantizer> = if narrow {
-            factory.stream_act("stem.out")
-        } else {
-            factory.stem_act("stem.out")
-        };
+        let stem_out: Box<dyn crate::quantizer::ActQuantizer> =
+            if narrow { factory.stream_act("stem.out") } else { factory.stem_act("stem.out") };
         let stem = QConvUnit::new(
             "stem",
             share_conv(model.stem()),
@@ -141,10 +138,7 @@ impl QResNet {
             // for first/last layers): its logits are raw accumulators with
             // no requantizer, and argmax over them is only scale-invariant
             // if every class shares one scale.
-            Box::new(crate::quantizer::MinMaxWeight::new(
-                crate::QuantSpec::signed(8),
-                false,
-            )),
+            Box::new(crate::quantizer::MinMaxWeight::new(crate::QuantSpec::signed(8), false)),
             None,
         );
         QResNet {
@@ -361,11 +355,8 @@ impl QuantModel for QResNet {
         self.head.weight_quantizer().calibrate(&head_w);
         let weight_q = self.head.weight_quantizer().quantize(&head_w);
         let w_scales = self.head.weight_quantizer().scale().to_per_channel(head_w.dim(0));
-        let bias = self
-            .head
-            .linear()
-            .bias()
-            .map(|b| bias_to_accumulator(&b.value(), &w_scales, s_cur));
+        let bias =
+            self.head.linear().bias().map(|b| bias_to_accumulator(&b.value(), &w_scales, s_cur));
         m.push(
             "head",
             IntOp::Linear {

@@ -30,9 +30,11 @@ struct QAttn {
 
 impl QAttn {
     fn split_heads(&self, x: &Var, n: usize, l: usize) -> Result<Var> {
-        x.reshape(&[n, l, self.heads, self.head_dim])?
-            .permute(&[0, 2, 1, 3])?
-            .reshape(&[n * self.heads, l, self.head_dim])
+        x.reshape(&[n, l, self.heads, self.head_dim])?.permute(&[0, 2, 1, 3])?.reshape(&[
+            n * self.heads,
+            l,
+            self.head_dim,
+        ])
     }
 
     fn apply_q(&self, q: &dyn ActQuantizer, x: &Var) -> Result<Var> {
@@ -198,10 +200,7 @@ impl QViT {
             // for first/last layers): its logits are raw accumulators with
             // no requantizer, and argmax over them is only scale-invariant
             // if every class shares one scale.
-            Box::new(crate::quantizer::MinMaxWeight::new(
-                crate::QuantSpec::signed(8),
-                false,
-            )),
+            Box::new(crate::quantizer::MinMaxWeight::new(crate::QuantSpec::signed(8), false)),
             None,
         );
         QViT {
@@ -393,12 +392,12 @@ impl QuantModel for QViT {
         let cls_val = self.cls.value();
         let d = cls_val.numel();
         let cls_q = cls_val.map(|v| (v / s_patch).round() as i32).reshape(&[d])?;
-        let with_cls = m.push("concat_cls", IntOp::ConcatToken { token: cls_q }, vec![Src::Node(tokens)]);
+        let with_cls =
+            m.push("concat_cls", IntOp::ConcatToken { token: cls_q }, vec![Src::Node(tokens)]);
         let pos_val = self.pos.value();
         let pos_dims = pos_val.dims().to_vec();
-        let pos_q = pos_val
-            .map(|v| (v / s_patch).round() as i32)
-            .reshape(&[pos_dims[1], pos_dims[2]])?;
+        let pos_q =
+            pos_val.map(|v| (v / s_patch).round() as i32).reshape(&[pos_dims[1], pos_dims[2]])?;
         let s_embed = self.embed_q.scale();
         let mut cur = m.push(
             "add_pos_embed",
@@ -475,12 +474,18 @@ impl QuantModel for QViT {
                 a.k.out_quantizer().expect("k out_q").scale(),
                 a.v.out_quantizer().expect("v out_q").scale(),
             );
-            let q_id = push_linear(&mut m, &a.q, s_ln1, sq, a.q.out_quantizer().unwrap().spec(), ln1)?;
-            let k_id = push_linear(&mut m, &a.k, s_ln1, sk, a.k.out_quantizer().unwrap().spec(), ln1)?;
-            let v_id = push_linear(&mut m, &a.v, s_ln1, sv, a.v.out_quantizer().unwrap().spec(), ln1)?;
-            let qh = m.push("split_q", IntOp::SplitHeads { heads: self.heads }, vec![Src::Node(q_id)]);
-            let kh = m.push("split_k", IntOp::SplitHeads { heads: self.heads }, vec![Src::Node(k_id)]);
-            let vh = m.push("split_v", IntOp::SplitHeads { heads: self.heads }, vec![Src::Node(v_id)]);
+            let q_id =
+                push_linear(&mut m, &a.q, s_ln1, sq, a.q.out_quantizer().unwrap().spec(), ln1)?;
+            let k_id =
+                push_linear(&mut m, &a.k, s_ln1, sk, a.k.out_quantizer().unwrap().spec(), ln1)?;
+            let v_id =
+                push_linear(&mut m, &a.v, s_ln1, sv, a.v.out_quantizer().unwrap().spec(), ln1)?;
+            let qh =
+                m.push("split_q", IntOp::SplitHeads { heads: self.heads }, vec![Src::Node(q_id)]);
+            let kh =
+                m.push("split_k", IntOp::SplitHeads { heads: self.heads }, vec![Src::Node(k_id)]);
+            let vh =
+                m.push("split_v", IntOp::SplitHeads { heads: self.heads }, vec![Src::Node(v_id)]);
             let s_scores = a.scores_q.scale();
             let inv_sqrt = 1.0 / (a.head_dim as f32).sqrt();
             let scores = m.push(
@@ -509,10 +514,20 @@ impl QuantModel for QViT {
                 },
                 vec![Src::Node(probs), Src::Node(vh)],
             );
-            let merged = m.push("merge_heads", IntOp::MergeHeads { heads: self.heads }, vec![Src::Node(ctx)]);
+            let merged = m.push(
+                "merge_heads",
+                IntOp::MergeHeads { heads: self.heads },
+                vec![Src::Node(ctx)],
+            );
             let s_proj = a.proj.out_quantizer().unwrap().scale();
-            let proj =
-                push_linear(&mut m, &a.proj, s_ctx, s_proj, a.proj.out_quantizer().unwrap().spec(), merged)?;
+            let proj = push_linear(
+                &mut m,
+                &a.proj,
+                s_ctx,
+                s_proj,
+                a.proj.out_quantizer().unwrap().spec(),
+                merged,
+            )?;
             let s_add1 = b.add1.out_quantizer().scale();
             let add1 = m.push(
                 "residual_add1",
@@ -540,8 +555,14 @@ impl QuantModel for QViT {
                 vec![Src::Node(fc1)],
             );
             let s_fc2 = b.fc2.out_quantizer().unwrap().scale();
-            let fc2 =
-                push_linear(&mut m, &b.fc2, s_gelu_out, s_fc2, b.fc2.out_quantizer().unwrap().spec(), gelu)?;
+            let fc2 = push_linear(
+                &mut m,
+                &b.fc2,
+                s_gelu_out,
+                s_fc2,
+                b.fc2.out_quantizer().unwrap().spec(),
+                gelu,
+            )?;
             let s_add2 = b.add2.out_quantizer().scale();
             cur = m.push(
                 "residual_add2",
@@ -562,11 +583,8 @@ impl QuantModel for QViT {
         self.head.weight_quantizer().calibrate(&head_w);
         let weight_q = self.head.weight_quantizer().quantize(&head_w);
         let w_scales = self.head.weight_quantizer().scale().to_per_channel(head_w.dim(0));
-        let bias = self
-            .head
-            .linear()
-            .bias()
-            .map(|b| bias_to_accumulator(&b.value(), &w_scales, s_lnf));
+        let bias =
+            self.head.linear().bias().map(|b| bias_to_accumulator(&b.value(), &w_scales, s_lnf));
         m.push(
             "head",
             IntOp::Linear {

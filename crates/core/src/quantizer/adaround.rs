@@ -189,12 +189,8 @@ mod tests {
             &q.scale().to_per_channel(4),
             QuantSpec::signed(8),
         );
-        let diff: usize = ada
-            .as_slice()
-            .iter()
-            .zip(nearest.as_slice())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diff: usize =
+            ada.as_slice().iter().zip(nearest.as_slice()).filter(|(a, b)| a != b).count();
         // h(α) sits on the nearest side initially; ties may differ.
         assert!(diff <= w.numel() / 10, "{diff} of {} codes differ", w.numel());
     }

@@ -66,7 +66,10 @@ impl LsqWeight {
     pub fn new(name: &str, spec: QuantSpec) -> Self {
         LsqWeight {
             spec,
-            step: Param::new(format!("{name}.lsq_step"), Tensor::from_vec(vec![0.1], &[1]).expect("step")),
+            step: Param::new(
+                format!("{name}.lsq_step"),
+                Tensor::from_vec(vec![0.1], &[1]).expect("step"),
+            ),
             initialized: Cell::new(false),
         }
     }
@@ -135,7 +138,10 @@ impl LsqAct {
     pub fn new(name: &str, spec: QuantSpec) -> Self {
         LsqAct {
             spec,
-            step: Param::new(format!("{name}.lsq_step"), Tensor::from_vec(vec![0.1], &[1]).expect("step")),
+            step: Param::new(
+                format!("{name}.lsq_step"),
+                Tensor::from_vec(vec![0.1], &[1]).expect("step"),
+            ),
             initialized: Cell::new(false),
         }
     }

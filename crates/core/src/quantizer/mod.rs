@@ -186,8 +186,8 @@ pub(crate) fn quantize_per_channel(
     let mut out = Tensor::<i32>::zeros(w.dims());
     let ws = w.as_slice();
     let os = out.as_mut_slice();
-    for ch in 0..oc {
-        let s = scales[ch].max(f32::MIN_POSITIVE);
+    for (ch, &sc) in scales.iter().enumerate() {
+        let s = sc.max(f32::MIN_POSITIVE);
         for i in ch * inner..(ch + 1) * inner {
             os[i] = ((ws[i] / s).round() as i32).clamp(spec.qmin(), spec.qmax());
         }
@@ -218,14 +218,10 @@ pub(crate) fn fake_quant_per_channel(w: &Var, scales: &[f32], spec: QuantSpec) -
     shape[0] = oc;
     let g = w.graph_handle();
     let s = g.leaf(Tensor::from_vec(scales.to_vec(), &shape)?);
-    let lo = g.leaf(Tensor::from_vec(
-        scales.iter().map(|s| spec.qmin() as f32 * s).collect(),
-        &shape,
-    )?);
-    let hi = g.leaf(Tensor::from_vec(
-        scales.iter().map(|s| spec.qmax() as f32 * s).collect(),
-        &shape,
-    )?);
+    let lo =
+        g.leaf(Tensor::from_vec(scales.iter().map(|s| spec.qmin() as f32 * s).collect(), &shape)?);
+    let hi =
+        g.leaf(Tensor::from_vec(scales.iter().map(|s| spec.qmax() as f32 * s).collect(), &shape)?);
     // clamp(w, lo, hi) with broadcast bounds: min(max(w, lo), hi) built from
     // differentiable primitives. max(a,b) = a + relu(b−a) keeps the gradient
     // on the active side only when composed with relu's mask.
@@ -296,9 +292,9 @@ mod tests {
         let wv = g.leaf(w0.clone());
         let dq = fake_quant_per_channel(&wv, &scales, spec).unwrap().tensor();
         let q = quantize_per_channel(&w0, &scales, spec);
-        for ch in 0..2 {
+        for (ch, &sc) in scales.iter().enumerate() {
             for i in 0..2 {
-                let expected = q.at(&[ch, i]) as f32 * scales[ch];
+                let expected = q.at(&[ch, i]) as f32 * sc;
                 assert!((dq.at(&[ch, i]) - expected).abs() < 1e-5);
             }
         }

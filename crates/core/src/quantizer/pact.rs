@@ -35,7 +35,10 @@ impl PactAct {
         assert!(!spec.signed, "PACT quantizes post-ReLU (unsigned) activations");
         PactAct {
             spec,
-            alpha: Param::new(format!("{name}.pact_alpha"), Tensor::from_vec(vec![6.0], &[1]).expect("alpha")),
+            alpha: Param::new(
+                format!("{name}.pact_alpha"),
+                Tensor::from_vec(vec![6.0], &[1]).expect("alpha"),
+            ),
             initialized: Cell::new(false),
             last_scale: RefCell::new(1.0),
         }

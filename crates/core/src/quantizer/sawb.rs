@@ -11,9 +11,7 @@ use std::cell::RefCell;
 use t2c_autograd::Var;
 use t2c_tensor::Tensor;
 
-use crate::quantizer::{
-    fake_quant_per_tensor, quantize_per_tensor, Scale, WeightQuantizer,
-};
+use crate::quantizer::{fake_quant_per_tensor, quantize_per_tensor, Scale, WeightQuantizer};
 use crate::{QuantSpec, Result};
 
 /// SAWB coefficients `(c₁, c₂)` per bit width, from the original paper.

@@ -157,7 +157,11 @@ mod tests {
         let fake_acc = evaluate(&qmodel, &data, 16).unwrap();
         let (int, report) = T2C::new(&qmodel).nn2chip(FuseScheme::PreFuse).unwrap();
         let int_acc = evaluate_int(&int, &data, 16).unwrap();
-        assert!(fake_acc >= fp.final_acc() - 0.25, "fake-quant acc {fake_acc} vs fp {}", fp.final_acc());
+        assert!(
+            fake_acc >= fp.final_acc() - 0.25,
+            "fake-quant acc {fake_acc} vs fp {}",
+            fp.final_acc()
+        );
         assert!(int_acc >= fake_acc - 0.2, "integer acc {int_acc} vs fake {fake_acc}");
         assert!(report.weight_bytes > 0);
     }

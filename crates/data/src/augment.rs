@@ -74,7 +74,8 @@ impl Augment {
         }
         if cfg.noise > 0.0 {
             let sigma = cfg.noise;
-            out = Tensor::from_fn(out.dims(), |i| out.as_slice()[i] + sigma * self.rng.next_normal());
+            out =
+                Tensor::from_fn(out.dims(), |i| out.as_slice()[i] + sigma * self.rng.next_normal());
         }
         if cfg.cutout > 0 {
             out = cutout(&out, cfg.cutout, &mut self.rng);

@@ -20,12 +20,24 @@ impl<'d> BatchIter<'d> {
     /// epoch for a fresh order.
     pub fn train(data: &'d SynthVision, batch: usize, seed: u64) -> Self {
         let mut rng = TensorRng::seed_from(seed);
-        BatchIter { data, order: rng.permutation(data.train_len()), batch, cursor: 0, test_split: false }
+        BatchIter {
+            data,
+            order: rng.permutation(data.train_len()),
+            batch,
+            cursor: 0,
+            test_split: false,
+        }
     }
 
     /// Sequential test batches.
     pub fn test(data: &'d SynthVision, batch: usize) -> Self {
-        BatchIter { data, order: (0..data.test_len()).collect(), batch, cursor: 0, test_split: true }
+        BatchIter {
+            data,
+            order: (0..data.test_len()).collect(),
+            batch,
+            cursor: 0,
+            test_split: true,
+        }
     }
 
     /// Number of batches this iterator will yield.
@@ -81,7 +93,8 @@ impl ParallelLoader {
                 scope.spawn(move |_| {
                     for (bi, indices) in plan.iter().skip(wid).step_by(workers) {
                         let (imgs, labels) = data.train_batch(indices);
-                        let mut aug = Augment::new(augment, seed ^ (*bi as u64).wrapping_mul(0x9E37_79B9));
+                        let mut aug =
+                            Augment::new(augment, seed ^ (*bi as u64).wrapping_mul(0x9E37_79B9));
                         let imgs = aug.apply_batch(&imgs);
                         tx.send((*bi, (imgs, labels))).expect("loader channel");
                     }
@@ -90,11 +103,14 @@ impl ParallelLoader {
             drop(tx);
         })
         .expect("loader scope");
-        let mut collected: Vec<Option<(Tensor<f32>, Vec<usize>)>> = (0..plan.len()).map(|_| None).collect();
+        let mut collected: Vec<Option<(Tensor<f32>, Vec<usize>)>> =
+            (0..plan.len()).map(|_| None).collect();
         for (bi, b) in rx.iter() {
             collected[bi] = Some(b);
         }
-        ParallelLoader { batches: collected.into_iter().map(|b| b.expect("all batches produced")).collect() }
+        ParallelLoader {
+            batches: collected.into_iter().map(|b| b.expect("all batches produced")).collect(),
+        }
     }
 
     /// Number of prepared batches.

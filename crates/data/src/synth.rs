@@ -249,10 +249,10 @@ fn class_prototype(rng: &mut TensorRng, cfg: &SynthVisionConfig) -> Tensor<f32> 
         let comps: Vec<(f32, f32, f32, f32)> = (0..cfg.texture_components)
             .map(|_| {
                 (
-                    rng.next_range(0.5, 3.5),           // fx (cycles per image)
-                    rng.next_range(0.5, 3.5),           // fy
+                    rng.next_range(0.5, 3.5),                   // fx (cycles per image)
+                    rng.next_range(0.5, 3.5),                   // fy
                     rng.next_range(0.0, std::f32::consts::TAU), // phase
-                    rng.next_range(0.4, 1.0),           // amplitude
+                    rng.next_range(0.4, 1.0),                   // amplitude
                 )
             })
             .collect();
@@ -265,7 +265,8 @@ fn class_prototype(rng: &mut TensorRng, cfg: &SynthVisionConfig) -> Tensor<f32> 
                 let mut v = 0.0f32;
                 for &(fx, fy, phase, amp) in &comps {
                     v += amp
-                        * (std::f32::consts::TAU * (fx * x as f32 / w as f32 + fy * y as f32 / h as f32)
+                        * (std::f32::consts::TAU
+                            * (fx * x as f32 / w as f32 + fy * y as f32 / h as f32)
                             + phase)
                             .sin();
                 }
@@ -322,7 +323,7 @@ mod tests {
     fn all_classes_present_in_both_splits() {
         let d = SynthVision::generate(&SynthVisionConfig::tiny(5, 4));
         for split_len in [d.train_len(), d.test_len()] {
-            let mut seen = vec![false; 5];
+            let mut seen = [false; 5];
             for i in 0..split_len {
                 let label = if split_len == d.train_len() {
                     d.train_sample(i).1

@@ -54,7 +54,9 @@ pub fn read_intmodel(bytes: &[u8]) -> Result<IntModel> {
         return Err(ExportError::Malformed("file too short".into()));
     }
     let (payload, trailer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let stored = u64::from_le_bytes(
+        trailer.try_into().map_err(|_| ExportError::Malformed("missing 8-byte trailer".into()))?,
+    );
     let computed = fnv1a64(payload);
     if stored != computed {
         return Err(ExportError::ChecksumMismatch { stored, computed });
@@ -76,13 +78,24 @@ pub fn read_intmodel(bytes: &[u8]) -> Result<IntModel> {
         )));
     }
     let mut model = IntModel::new();
-    for _ in 0..count {
+    for node_idx in 0..count {
         let name = get_str(&mut buf)?;
         let n_inputs = take(&mut buf, 1)?.get_u8() as usize;
         let mut inputs = Vec::with_capacity(n_inputs);
         for _ in 0..n_inputs {
             let raw = take(&mut buf, 4)?.get_u32_le();
-            inputs.push(if raw == SRC_INPUT { Src::Input } else { Src::Node(raw as usize) });
+            inputs.push(if raw == SRC_INPUT {
+                Src::Input
+            } else {
+                // Nodes may only reference earlier nodes; a forward or
+                // out-of-range reference would panic during execution.
+                if raw as usize >= node_idx {
+                    return Err(ExportError::Malformed(format!(
+                        "node {node_idx} references node {raw}, which is not an earlier node"
+                    )));
+                }
+                Src::Node(raw as usize)
+            });
         }
         let op = get_op(&mut buf)?;
         model.nodes.push(IntNode { op, inputs, name });
@@ -105,7 +118,9 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
     Ok(head)
 }
 
-fn fnv1a64(data: &[u8]) -> u64 {
+/// The FNV-1a 64-bit hash used as the `.t2cm` trailer checksum — public so
+/// external tooling (and tests) can verify or re-stamp a file's trailer.
+pub fn fnv1a64(data: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in data {
         hash ^= b as u64;
@@ -173,9 +188,10 @@ fn get_tensor_i32(buf: &mut &[u8]) -> Result<Tensor<i32>> {
     for _ in 0..rank {
         dims.push(take(buf, 4)?.get_u32_le() as usize);
     }
-    let numel: usize = dims.iter().try_fold(1usize, |a, &d| a.checked_mul(d)).ok_or_else(|| {
-        ExportError::Malformed("tensor volume overflows".into())
-    })?;
+    let numel: usize = dims
+        .iter()
+        .try_fold(1usize, |a, &d| a.checked_mul(d))
+        .ok_or_else(|| ExportError::Malformed("tensor volume overflows".into()))?;
     // Guard the allocation against corrupt headers: the payload must
     // actually contain this many words.
     if buf.len() < numel.saturating_mul(4) {

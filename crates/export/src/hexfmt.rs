@@ -3,6 +3,16 @@
 
 use crate::{ExportError, Result};
 
+/// Codes are `i32`, so only widths in `1..=32` are meaningful. Anything
+/// else (e.g. from a corrupt memory-image header) is rejected up front —
+/// the shift arithmetic below would otherwise overflow.
+fn check_bits(bits: u8) -> Result<()> {
+    if bits == 0 || bits > 32 {
+        return Err(ExportError::Malformed(format!("unsupported word width: {bits} bits")));
+    }
+    Ok(())
+}
+
 fn check_range(value: i64, bits: u8) -> Result<()> {
     let min = -(1i64 << (bits - 1));
     let max = (1i64 << (bits - 1)) - 1;
@@ -22,8 +32,9 @@ fn check_range(value: i64, bits: u8) -> Result<()> {
 ///
 /// Returns [`ExportError::ValueOutOfRange`] if any value does not fit.
 pub fn to_hex_lines(codes: &[i32], bits: u8) -> Result<Vec<String>> {
+    check_bits(bits)?;
     let nibbles = bits.div_ceil(4) as usize;
-    let mask: u64 = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask: u64 = (1u64 << bits) - 1;
     codes
         .iter()
         .map(|&c| {
@@ -40,7 +51,8 @@ pub fn to_hex_lines(codes: &[i32], bits: u8) -> Result<Vec<String>> {
 ///
 /// Returns [`ExportError::ValueOutOfRange`] if any value does not fit.
 pub fn to_binary_lines(codes: &[i32], bits: u8) -> Result<Vec<String>> {
-    let mask: u64 = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    check_bits(bits)?;
+    let mask: u64 = (1u64 << bits) - 1;
     codes
         .iter()
         .map(|&c| {
@@ -61,6 +73,8 @@ pub fn from_hex_lines<'a>(
     bits: u8,
     signed: bool,
 ) -> Result<Vec<i32>> {
+    check_bits(bits)?;
+    let mask: u64 = (1u64 << bits) - 1;
     let mut out = Vec::new();
     for (i, line) in lines.into_iter().enumerate() {
         let trimmed = line.trim();
@@ -69,20 +83,18 @@ pub fn from_hex_lines<'a>(
         }
         let raw = u64::from_str_radix(trimmed, 16)
             .map_err(|_| ExportError::BadLine { line: i + 1, content: trimmed.to_string() })?;
-        let value = if signed {
-            sign_extend(raw, bits)
-        } else {
-            raw as i64
-        };
+        // A word wider than the declared width would otherwise truncate
+        // silently on the cast to i32 below.
+        if raw > mask {
+            return Err(ExportError::ValueOutOfRange { value: raw as i64, bits });
+        }
+        let value = if signed { sign_extend(raw, bits) } else { raw as i64 };
         out.push(value as i32);
     }
     Ok(out)
 }
 
 fn sign_extend(raw: u64, bits: u8) -> i64 {
-    if bits >= 64 {
-        return raw as i64;
-    }
     let sign_bit = 1u64 << (bits - 1);
     if raw & sign_bit != 0 {
         (raw | !((1u64 << bits) - 1)) as i64

@@ -29,7 +29,7 @@ mod error;
 mod hexfmt;
 mod package;
 
-pub use binary::{read_intmodel, write_intmodel};
+pub use binary::{fnv1a64, read_intmodel, write_intmodel};
 pub use error::ExportError;
 pub use hexfmt::{from_hex_lines, to_binary_lines, to_hex_lines};
 pub use package::{export_package, verify_package, ExportManifest};

@@ -73,8 +73,7 @@ pub fn export_package(model: &IntModel, dir: &Path) -> Result<ExportManifest> {
         let bin_payload = bin_lines.join("\n") + "\n";
         total += bin_payload.len();
         fs::write(dir.join("bin").join(format!("{base}.mem")), bin_payload)?;
-        let dec_payload =
-            codes.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n") + "\n";
+        let dec_payload = codes.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n") + "\n";
         total += dec_payload.len();
         fs::write(dir.join("dec").join(format!("{base}.txt")), dec_payload)?;
         manifest.push_str(&format!("  weights: {} × int{bits} → hex/{base}.hex\n", codes.len()));

@@ -71,9 +71,11 @@ impl MultiHeadAttention {
 
     /// Splits `[N, L, D]` into `[N·H, L, Dh]`.
     fn split_heads(&self, x: &Var, n: usize, l: usize) -> Result<Var> {
-        x.reshape(&[n, l, self.heads, self.head_dim])?
-            .permute(&[0, 2, 1, 3])?
-            .reshape(&[n * self.heads, l, self.head_dim])
+        x.reshape(&[n, l, self.heads, self.head_dim])?.permute(&[0, 2, 1, 3])?.reshape(&[
+            n * self.heads,
+            l,
+            self.head_dim,
+        ])
     }
 }
 

@@ -126,13 +126,7 @@ mod tests {
         assert_eq!(y.dims(), vec![2, 8, 8, 8]);
         y.sum_all().backward().unwrap();
         // dL/db_c = N·OH·OW = 2·8·8
-        assert!(layer
-            .bias()
-            .unwrap()
-            .grad()
-            .as_slice()
-            .iter()
-            .all(|&v| (v - 128.0).abs() < 1e-3));
+        assert!(layer.bias().unwrap().grad().as_slice().iter().all(|&v| (v - 128.0).abs() < 1e-3));
     }
 
     #[test]

@@ -22,7 +22,8 @@ impl Linear {
         out_features: usize,
         bias: bool,
     ) -> Self {
-        let weight = Param::new(format!("{name}.weight"), rng.kaiming(&[out_features, in_features]));
+        let weight =
+            Param::new(format!("{name}.weight"), rng.kaiming(&[out_features, in_features]));
         let bias = bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_features])));
         Linear { weight, bias, in_features, out_features }
     }

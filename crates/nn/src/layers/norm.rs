@@ -43,7 +43,13 @@ impl BatchNorm2d {
     /// Creates a BatchNorm sharing existing parameter handles — the hook
     /// the quantized twin uses so QAT updates the same storage as the
     /// float model.
-    pub fn from_params(gamma: Param, beta: Param, running_mean: Param, running_var: Param, eps: f32) -> Self {
+    pub fn from_params(
+        gamma: Param,
+        beta: Param,
+        running_mean: Param,
+        running_var: Param,
+        eps: f32,
+    ) -> Self {
         let channels = gamma.numel();
         BatchNorm2d {
             gamma,
@@ -103,12 +109,10 @@ impl Module for BatchNorm2d {
             let (y, mean, var) = x.batch_norm2d(&gamma, &beta, self.eps)?;
             // running ← (1−m)·running + m·batch
             let m = self.momentum;
-            self.running_mean.set_value(
-                self.running_mean.value().mul_scalar(1.0 - m).add(&mean.mul_scalar(m))?,
-            );
-            self.running_var.set_value(
-                self.running_var.value().mul_scalar(1.0 - m).add(&var.mul_scalar(m))?,
-            );
+            self.running_mean
+                .set_value(self.running_mean.value().mul_scalar(1.0 - m).add(&mean.mul_scalar(m))?);
+            self.running_var
+                .set_value(self.running_var.value().mul_scalar(1.0 - m).add(&var.mul_scalar(m))?);
             Ok(y)
         } else {
             // y = γ·(x − μ)/σ + β, as a per-channel affine with constants

@@ -87,7 +87,15 @@ impl DwSeparable {
                 false,
             ),
             bn1: BatchNorm2d::new(&format!("{name}.bn1"), in_c),
-            pw: Conv2d::new(rng, &format!("{name}.pw"), in_c, out_c, 1, Conv2dSpec::new(1, 0), false),
+            pw: Conv2d::new(
+                rng,
+                &format!("{name}.pw"),
+                in_c,
+                out_c,
+                1,
+                Conv2dSpec::new(1, 0),
+                false,
+            ),
             bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_c),
         }
     }

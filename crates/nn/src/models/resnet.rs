@@ -109,8 +109,15 @@ impl BasicBlock {
             false,
         );
         let bn1 = BatchNorm2d::new(&format!("{name}.bn1"), out_c);
-        let conv2 =
-            Conv2d::new(rng, &format!("{name}.conv2"), out_c, out_c, 3, Conv2dSpec::new(1, 1), false);
+        let conv2 = Conv2d::new(
+            rng,
+            &format!("{name}.conv2"),
+            out_c,
+            out_c,
+            3,
+            Conv2dSpec::new(1, 1),
+            false,
+        );
         let bn2 = BatchNorm2d::new(&format!("{name}.bn2"), out_c);
         let downsample = (stride != 1 || in_c != out_c).then(|| {
             (

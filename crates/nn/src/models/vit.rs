@@ -162,7 +162,15 @@ impl ViT {
         let cls = Param::new("cls", rng.normal(&[1, 1, config.dim], 0.0, 0.02));
         let pos = Param::new("pos", rng.normal(&[1, tokens, config.dim], 0.0, 0.02));
         let blocks = (0..config.depth)
-            .map(|i| ViTBlock::new(rng, &format!("block{i}"), config.dim, config.heads, config.mlp_hidden))
+            .map(|i| {
+                ViTBlock::new(
+                    rng,
+                    &format!("block{i}"),
+                    config.dim,
+                    config.heads,
+                    config.mlp_hidden,
+                )
+            })
             .collect();
         let ln = LayerNorm::new("ln", config.dim);
         let head = Linear::new(rng, "head", config.dim, config.num_classes, true);
@@ -216,7 +224,7 @@ impl ViT {
         let dims = p.dims();
         let (n, d, l) = (dims[0], dims[1], dims[2] * dims[3]);
         let tokens = p.reshape(&[n, d, l])?.permute(&[0, 2, 1])?; // [N, L, D]
-        // Broadcast the class token to the batch: ones[N,1,1] ⊙ cls[1,1,D].
+                                                                  // Broadcast the class token to the batch: ones[N,1,1] ⊙ cls[1,1,D].
         let cls = g.param(&self.cls);
         let ones = g.leaf(Tensor::ones(&[n, 1, 1]));
         let cls_batch = ones.mul(&cls)?;

@@ -33,10 +33,7 @@ pub trait Pruner {
 }
 
 fn masked_counts(masks: &[Tensor<f32>]) -> (usize, usize) {
-    let zeros = masks
-        .iter()
-        .map(|m| m.as_slice().iter().filter(|&&v| v == 0.0).count())
-        .sum();
+    let zeros = masks.iter().map(|m| m.as_slice().iter().filter(|&&v| v == 0.0).count()).sum();
     let total = masks.iter().map(Tensor::numel).sum();
     (zeros, total)
 }
@@ -81,12 +78,8 @@ impl MagnitudePruner {
     /// Recomputes masks at `sparsity` using the global magnitude
     /// threshold.
     pub fn prune_to(&mut self, sparsity: f32) {
-        let mut mags: Vec<f32> = self
-            .params
-            .iter()
-            .flat_map(|p| p.value().into_vec())
-            .map(f32::abs)
-            .collect();
+        let mut mags: Vec<f32> =
+            self.params.iter().flat_map(|p| p.value().into_vec()).map(f32::abs).collect();
         if mags.is_empty() {
             return;
         }
@@ -195,8 +188,7 @@ impl GraNetPruner {
                 }
             }
         }
-        candidates
-            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         for &(_, pi, j) in candidates.iter().take(budget) {
             self.masks[pi].as_mut_slice()[j] = 1.0;
         }
@@ -280,9 +272,7 @@ impl NmPruner {
     /// Verifies the N:M constraint on every mask (test/audit helper).
     pub fn masks_satisfy_constraint(&self) -> bool {
         self.masks.iter().all(|m| {
-            m.as_slice().chunks(self.m).all(|g| {
-                g.iter().filter(|&&v| v != 0.0).count() <= self.n
-            })
+            m.as_slice().chunks(self.m).all(|g| g.iter().filter(|&&v| v != 0.0).count() <= self.n)
         })
     }
 }

@@ -146,8 +146,9 @@ mod tests {
         let mut rng = TensorRng::seed_from(0);
         let model = ResNet::new(&mut rng, ResNetConfig::tiny(3));
         let mut pruner = GraNetPruner::new(prunable_weights(&model), 0.7);
-        let history =
-            SparseTrainer::new(SparseTrainerConfig::quick(6)).fit(&model, &mut pruner, &data).unwrap();
+        let history = SparseTrainer::new(SparseTrainerConfig::quick(10))
+            .fit(&model, &mut pruner, &data)
+            .unwrap();
         let (_, acc, sparsity) = *history.last().unwrap();
         assert!(sparsity > 0.55, "sparsity {sparsity}");
         assert!(acc > 0.5, "accuracy {acc}");

@@ -3,8 +3,8 @@ use t2c_data::{Augment, AugmentConfig, BatchIter, SynthVision};
 use t2c_nn::layers::Linear;
 use t2c_nn::models::MobileNetV1;
 use t2c_nn::Module;
-use t2c_optim::{clip_grad_norm, Optimizer, Sgd, WarmupCosine};
 use t2c_optim::LrSchedule;
+use t2c_optim::{clip_grad_norm, Optimizer, Sgd, WarmupCosine};
 use t2c_tensor::rng::TensorRng;
 
 use crate::{barlow_loss, xd_loss, Result};
@@ -140,7 +140,8 @@ impl SslTrainer {
     pub fn fit<E: Encoder + ?Sized>(&self, encoder: &E, data: &SynthVision) -> Result<Vec<f32>> {
         let cfg = self.config;
         let mut rng = TensorRng::seed_from(cfg.seed ^ 0x55AA);
-        let head = ProjectionHead::new(&mut rng, encoder.feature_dim(), cfg.proj_hidden, cfg.proj_dim);
+        let head =
+            ProjectionHead::new(&mut rng, encoder.feature_dim(), cfg.proj_hidden, cfg.proj_dim);
         let mut params = encoder.params();
         params.extend(head.params());
         let mut opt = Sgd::new(params.clone(), cfg.lr).momentum(0.9).weight_decay(cfg.weight_decay);
@@ -237,10 +238,7 @@ impl FineTuner {
         let mut total = 0usize;
         for (images, labels) in BatchIter::test(data, self.batch) {
             let g = Graph::new();
-            let preds = head
-                .forward(&encoder.features(&g.leaf(images))?)?
-                .value()
-                .argmax_rows()?;
+            let preds = head.forward(&encoder.features(&g.leaf(images))?)?.value().argmax_rows()?;
             correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
             total += labels.len();
         }

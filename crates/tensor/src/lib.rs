@@ -37,9 +37,11 @@ mod shape;
 mod tensor;
 
 pub mod ops;
+pub mod parallel;
 pub mod rng;
 
 pub use error::TensorError;
+pub use parallel::{num_threads, set_num_threads, with_threads};
 pub use shape::Shape;
 pub use tensor::{Element, Tensor};
 

@@ -5,8 +5,9 @@
 //! for the convolution backward passes, and because the accelerator
 //! simulator uses the same unrolling when it consumes exported weights.
 
-use crate::ops::matmul::matmul_f32_into;
+use crate::ops::matmul::{matmul_f32_into, matmul_i32_sat_into};
 use crate::ops::require_rank;
+use crate::parallel::par_units;
 use crate::{Element, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution or correlation.
@@ -78,32 +79,34 @@ pub fn im2col<T: Element>(
     let l = oh * ow;
     let mut out = vec![T::zero(); n * cols_per_image * l];
     let xs = x.as_slice();
-    for img in 0..n {
-        let x_base = img * c * h * w;
-        let o_base = img * cols_per_image * l;
-        for ch in 0..c {
-            for ki in 0..kh {
-                for kj in 0..kw {
-                    let row = (ch * kh + ki) * kw + kj;
-                    let o_row = o_base + row * l;
-                    for oi in 0..oh {
-                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
-                        if ii < 0 || ii as usize >= h {
-                            continue;
-                        }
-                        let x_row = x_base + ch * h * w + ii as usize * w;
-                        for oj in 0..ow {
-                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
-                            if jj < 0 || jj as usize >= w {
+    // One unit per image: each image's patch block is a disjoint output run.
+    par_units(&mut out, cols_per_image * l, |img0, run| {
+        for (i, oimg) in run.chunks_mut(cols_per_image * l).enumerate() {
+            let x_base = (img0 + i) * c * h * w;
+            for ch in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let row = (ch * kh + ki) * kw + kj;
+                        let o_row = row * l;
+                        for oi in 0..oh {
+                            let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                            if ii < 0 || ii as usize >= h {
                                 continue;
                             }
-                            out[o_row + oi * ow + oj] = xs[x_row + jj as usize];
+                            let x_row = x_base + ch * h * w + ii as usize * w;
+                            for oj in 0..ow {
+                                let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                if jj < 0 || jj as usize >= w {
+                                    continue;
+                                }
+                                oimg[o_row + oi * ow + oj] = xs[x_row + jj as usize];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, cols_per_image, l])
 }
 
@@ -137,32 +140,36 @@ pub fn col2im(
     }
     let mut out = vec![0f32; n * c * h * w];
     let cs = cols.as_slice();
-    for img in 0..n {
-        let o_base = img * c * h * w;
-        let c_base = img * c * kh * kw * l;
-        for ch in 0..c {
-            for ki in 0..kh {
-                for kj in 0..kw {
-                    let row = (ch * kh + ki) * kw + kj;
-                    let c_row = c_base + row * l;
-                    for oi in 0..oh {
-                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
-                        if ii < 0 || ii as usize >= h {
-                            continue;
-                        }
-                        let o_row = o_base + ch * h * w + ii as usize * w;
-                        for oj in 0..ow {
-                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
-                            if jj < 0 || jj as usize >= w {
+    // Window overlaps only accumulate within one image, so per-image units
+    // stay disjoint.
+    par_units(&mut out, c * h * w, |img0, run| {
+        for (i, oimg) in run.chunks_mut(c * h * w).enumerate() {
+            let img = img0 + i;
+            let c_base = img * c * kh * kw * l;
+            for ch in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let row = (ch * kh + ki) * kw + kj;
+                        let c_row = c_base + row * l;
+                        for oi in 0..oh {
+                            let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                            if ii < 0 || ii as usize >= h {
                                 continue;
                             }
-                            out[o_row + jj as usize] += cs[c_row + oi * ow + oj];
+                            let o_row = ch * h * w + ii as usize * w;
+                            for oj in 0..ow {
+                                let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                if jj < 0 || jj as usize >= w {
+                                    continue;
+                                }
+                                oimg[o_row + jj as usize] += cs[c_row + oi * ow + oj];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, c, h, w])
 }
 
@@ -210,22 +217,6 @@ pub fn conv2d(
     let l = oh * ow;
     let g = spec.groups;
     let (cg, ocg) = (c / g, oc / g);
-    let cols = im2col(x, kh, kw, spec)?;
-    let cols_rows = c * kh * kw;
-    let mut out = vec![0f32; n * oc * l];
-    let ws = weight.as_slice();
-    let cslice = cols.as_slice();
-    for img in 0..n {
-        for grp in 0..g {
-            // weight block for this group: [ocg, cg*kh*kw]
-            let w_block = &ws[grp * ocg * cg * kh * kw..(grp + 1) * ocg * cg * kh * kw];
-            // cols block: rows [grp*cg*kh*kw, (grp+1)*cg*kh*kw)
-            let c_start = img * cols_rows * l + grp * cg * kh * kw * l;
-            let c_block = &cslice[c_start..c_start + cg * kh * kw * l];
-            let o_start = img * oc * l + grp * ocg * l;
-            matmul_f32_into(w_block, c_block, &mut out[o_start..o_start + ocg * l], ocg, cg * kh * kw, l);
-        }
-    }
     if let Some(b) = bias {
         if b.numel() != oc {
             return Err(TensorError::ShapeMismatch {
@@ -234,16 +225,35 @@ pub fn conv2d(
                 op: "conv2d bias",
             });
         }
-        let bs = b.as_slice();
-        for img in 0..n {
-            for ch in 0..oc {
-                let base = img * oc * l + ch * l;
-                for v in &mut out[base..base + l] {
-                    *v += bs[ch];
+    }
+    let cols = im2col(x, kh, kw, spec)?;
+    let cols_rows = c * kh * kw;
+    let k = cg * kh * kw;
+    let mut out = vec![0f32; n * oc * l];
+    let ws = weight.as_slice();
+    let cslice = cols.as_slice();
+    let bs = bias.map(Tensor::as_slice);
+    // One unit per (image, group) pair: out[img*oc*l + grp*ocg*l ..][..ocg*l]
+    // is contiguous because the layout is image-major, then group.
+    par_units(&mut out, ocg * l, |u0, run| {
+        for (i, ounit) in run.chunks_mut(ocg * l).enumerate() {
+            let (img, grp) = ((u0 + i) / g, (u0 + i) % g);
+            // weight block for this group: [ocg, cg*kh*kw]
+            let w_block = &ws[grp * ocg * k..(grp + 1) * ocg * k];
+            // cols block: rows [grp*cg*kh*kw, (grp+1)*cg*kh*kw)
+            let c_start = img * cols_rows * l + grp * k * l;
+            let c_block = &cslice[c_start..c_start + k * l];
+            matmul_f32_into(w_block, c_block, ounit, ocg, k, l);
+            if let Some(bs) = bs {
+                for oi in 0..ocg {
+                    let bv = bs[grp * ocg + oi];
+                    for v in &mut ounit[oi * l..(oi + 1) * l] {
+                        *v += bv;
+                    }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, oc, oh, ow])
 }
 
@@ -265,35 +275,6 @@ pub fn conv2d_i32(
     let l = oh * ow;
     let g = spec.groups;
     let (cg, ocg) = (c / g, oc / g);
-    let cols = im2col(x, kh, kw, spec)?;
-    let cols_rows = c * kh * kw;
-    let k = cg * kh * kw;
-    let mut out = vec![0i32; n * oc * l];
-    let ws = weight.as_slice();
-    let cslice = cols.as_slice();
-    for img in 0..n {
-        for grp in 0..g {
-            let w_block = &ws[grp * ocg * k..(grp + 1) * ocg * k];
-            let c_start = img * cols_rows * l + grp * k * l;
-            let c_block = &cslice[c_start..c_start + k * l];
-            let o_base = img * oc * l + grp * ocg * l;
-            for oi in 0..ocg {
-                let wrow = &w_block[oi * k..(oi + 1) * k];
-                let orow = &mut out[o_base + oi * l..o_base + (oi + 1) * l];
-                for p in 0..k {
-                    let wv = wrow[p] as i64;
-                    if wv == 0 {
-                        continue;
-                    }
-                    let crow = &c_block[p * l..(p + 1) * l];
-                    for j in 0..l {
-                        let acc = orow[j] as i64 + wv * crow[j] as i64;
-                        orow[j] = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
-                    }
-                }
-            }
-        }
-    }
     if let Some(b) = bias {
         if b.numel() != oc {
             return Err(TensorError::ShapeMismatch {
@@ -302,16 +283,31 @@ pub fn conv2d_i32(
                 op: "conv2d_i32 bias",
             });
         }
-        let bs = b.as_slice();
-        for img in 0..n {
-            for ch in 0..oc {
-                let base = img * oc * l + ch * l;
-                for v in &mut out[base..base + l] {
-                    *v = (*v as i64 + bs[ch] as i64).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+    }
+    let cols = im2col(x, kh, kw, spec)?;
+    let cols_rows = c * kh * kw;
+    let k = cg * kh * kw;
+    let mut out = vec![0i32; n * oc * l];
+    let ws = weight.as_slice();
+    let cslice = cols.as_slice();
+    let bs = bias.map(Tensor::as_slice);
+    par_units(&mut out, ocg * l, |u0, run| {
+        for (i, ounit) in run.chunks_mut(ocg * l).enumerate() {
+            let (img, grp) = ((u0 + i) / g, (u0 + i) % g);
+            let w_block = &ws[grp * ocg * k..(grp + 1) * ocg * k];
+            let c_start = img * cols_rows * l + grp * k * l;
+            let c_block = &cslice[c_start..c_start + k * l];
+            matmul_i32_sat_into(w_block, c_block, ounit, ocg, k, l);
+            if let Some(bs) = bs {
+                for oi in 0..ocg {
+                    let bv = bs[grp * ocg + oi] as i64;
+                    for v in &mut ounit[oi * l..(oi + 1) * l] {
+                        *v = (*v as i64 + bv).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                    }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, oc, oh, ow])
 }
 
@@ -342,8 +338,10 @@ mod tests {
                             let ch = grp * cg + ci;
                             for ki in 0..kh {
                                 for kj in 0..kw {
-                                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
-                                    let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                    let ii =
+                                        (oi * spec.stride + ki) as isize - spec.padding as isize;
+                                    let jj =
+                                        (oj * spec.stride + kj) as isize - spec.padding as isize;
                                     if ii < 0 || jj < 0 || ii as usize >= h || jj as usize >= wd {
                                         continue;
                                     }

@@ -1,7 +1,13 @@
 //! Matrix multiplication for the float (training) and integer (inference)
 //! domains.
+//!
+//! Both kernels parallelize over contiguous blocks of output rows (see
+//! [`crate::parallel`]); each worker owns a disjoint row range and the
+//! per-element accumulation order never changes, so results are
+//! bit-identical to the sequential kernels at any thread count.
 
 use crate::ops::require_rank;
+use crate::parallel::par_units;
 use crate::{Result, Tensor, TensorError};
 
 /// Tile edge for the blocked f32 kernel; chosen so three tiles fit in L1.
@@ -37,7 +43,12 @@ impl Tensor<f32> {
             });
         }
         let mut out = vec![0f32; m * n];
-        matmul_f32_into(self.as_slice(), other.as_slice(), &mut out, m, k, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        par_units(&mut out, n, |row0, run| {
+            let rows = run.len() / n;
+            matmul_f32_into(&a[row0 * k..(row0 + rows) * k], b, run, rows, k, n);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -60,16 +71,21 @@ impl Tensor<f32> {
             });
         }
         let mut out = vec![0f32; b * m * n];
-        for i in 0..b {
-            matmul_f32_into(
-                &self.as_slice()[i * m * k..(i + 1) * m * k],
-                &other.as_slice()[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        let lhs = self.as_slice();
+        let rhs = other.as_slice();
+        par_units(&mut out, m * n, |b0, run| {
+            for (bi, obatch) in run.chunks_mut(m * n).enumerate() {
+                let i = b0 + bi;
+                matmul_f32_into(
+                    &lhs[i * m * k..(i + 1) * m * k],
+                    &rhs[i * k * n..(i + 1) * k * n],
+                    obatch,
+                    m,
+                    k,
+                    n,
+                );
+            }
+        });
         Tensor::from_vec(out, &[b, m, n])
     }
 }
@@ -97,20 +113,10 @@ impl Tensor<i32> {
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0i32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let av = a[i * k + p] as i64;
-                if av == 0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    let acc = orow[j] as i64 + av * brow[j] as i64;
-                    orow[j] = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
-                }
-            }
-        }
+        par_units(&mut out, n, |row0, run| {
+            let rows = run.len() / n;
+            matmul_i32_sat_into(&a[row0 * k..(row0 + rows) * k], b, run, rows, k, n);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -131,15 +137,23 @@ impl Tensor<i32> {
                 op: "bmm_i",
             });
         }
-        let mut parts = Vec::with_capacity(b);
-        for i in 0..b {
-            let lhs = Tensor::from_vec(self.as_slice()[i * m * k..(i + 1) * m * k].to_vec(), &[m, k])?;
-            let rhs =
-                Tensor::from_vec(other.as_slice()[i * k * n..(i + 1) * k * n].to_vec(), &[k, n])?;
-            parts.push(lhs.matmul_i(&rhs)?);
-        }
-        let refs: Vec<&Tensor<i32>> = parts.iter().collect();
-        Tensor::stack(&refs)
+        let mut out = vec![0i32; b * m * n];
+        let lhs = self.as_slice();
+        let rhs = other.as_slice();
+        par_units(&mut out, m * n, |b0, run| {
+            for (bi, obatch) in run.chunks_mut(m * n).enumerate() {
+                let i = b0 + bi;
+                matmul_i32_sat_into(
+                    &lhs[i * m * k..(i + 1) * m * k],
+                    &rhs[i * k * n..(i + 1) * k * n],
+                    obatch,
+                    m,
+                    k,
+                    n,
+                );
+            }
+        });
+        Tensor::from_vec(out, &[b, m, n])
     }
 }
 
@@ -165,6 +179,39 @@ pub(crate) fn matmul_f32_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k
                         orow[j] += av * brow[j];
                     }
                 }
+            }
+        }
+    }
+}
+
+/// `[m,k] × [k,n]` integer kernel with 64-bit accumulation saturated to
+/// `i32` after every MAC — the behaviour of a wide-accumulator MAC array.
+/// Shared by [`Tensor::matmul_i`], [`Tensor::bmm_i`] and
+/// [`crate::ops::conv2d_i32`]; zero weights are skipped, which models (and
+/// benchmarks) sparsity-aware PE gating.
+pub(crate) fn matmul_i32_sat_into(
+    a: &[i32],
+    b: &[i32],
+    out: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = arow[p] as i64;
+            if av == 0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                let acc = orow[j] as i64 + av * brow[j] as i64;
+                orow[j] = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
             }
         }
     }
@@ -248,7 +295,8 @@ mod tests {
         let b = Tensor::from_fn(&[2, 3, 2], |i| i as i32 - 4);
         let c = a.bmm_i(&b).unwrap();
         for batch in 0..2 {
-            let cb = a.index_axis0(batch).unwrap().matmul_i(&b.index_axis0(batch).unwrap()).unwrap();
+            let cb =
+                a.index_axis0(batch).unwrap().matmul_i(&b.index_axis0(batch).unwrap()).unwrap();
             assert_eq!(c.index_axis0(batch).unwrap().as_slice(), cb.as_slice());
         }
     }

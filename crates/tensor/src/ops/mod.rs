@@ -11,7 +11,9 @@ mod pool;
 mod reduce;
 
 pub use conv::{col2im, conv2d, conv2d_i32, im2col, Conv2dSpec};
-pub use pool::{avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward, PoolSpec};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward, PoolSpec,
+};
 
 use crate::{Element, Result, Shape, Tensor, TensorError};
 

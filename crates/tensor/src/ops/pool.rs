@@ -1,6 +1,7 @@
 //! 2-D pooling with the index bookkeeping the autograd backward passes need.
 
 use crate::ops::require_rank;
+use crate::parallel::{par_units, par_units2};
 use crate::{Result, Tensor, TensorError};
 
 /// Geometry of a 2-D pooling window.
@@ -50,10 +51,12 @@ pub fn max_pool2d(x: &Tensor<f32>, spec: PoolSpec) -> Result<(Tensor<f32>, Tenso
     let mut out = Tensor::<f32>::zeros(&[n, c, oh, ow]);
     let mut arg = Tensor::<usize>::zeros(&[n, c, oh, ow]);
     let xs = x.as_slice();
-    let mut o = 0usize;
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
+    let l = oh * ow;
+    // One unit per (image, channel) plane; values and argmax stay paired.
+    par_units2(out.as_mut_slice(), arg.as_mut_slice(), l, l, |p0, orun, arun| {
+        for (i, (oplane, aplane)) in orun.chunks_mut(l).zip(arun.chunks_mut(l)).enumerate() {
+            let base = (p0 + i) * h * w;
+            let mut o = 0usize;
             for oi in 0..oh {
                 for oj in 0..ow {
                     let mut best = f32::NEG_INFINITY;
@@ -75,13 +78,13 @@ pub fn max_pool2d(x: &Tensor<f32>, spec: PoolSpec) -> Result<(Tensor<f32>, Tenso
                             }
                         }
                     }
-                    out.as_mut_slice()[o] = best;
-                    arg.as_mut_slice()[o] = best_idx;
+                    oplane[o] = best;
+                    aplane[o] = best_idx;
                     o += 1;
                 }
             }
         }
-    }
+    });
     Ok((out, arg))
 }
 
@@ -125,10 +128,11 @@ pub fn avg_pool2d(x: &Tensor<f32>, spec: PoolSpec) -> Result<Tensor<f32>> {
     let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
     let mut out = Tensor::<f32>::zeros(&[n, c, oh, ow]);
     let xs = x.as_slice();
-    let mut o = 0usize;
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
+    let l = oh * ow;
+    par_units(out.as_mut_slice(), l, |p0, run| {
+        for (i, oplane) in run.chunks_mut(l).enumerate() {
+            let base = (p0 + i) * h * w;
+            let mut o = 0usize;
             for oi in 0..oh {
                 for oj in 0..ow {
                     let mut acc = 0.0;
@@ -145,12 +149,12 @@ pub fn avg_pool2d(x: &Tensor<f32>, spec: PoolSpec) -> Result<Tensor<f32>> {
                             acc += xs[base + ii as usize * w + jj as usize];
                         }
                     }
-                    out.as_mut_slice()[o] = acc * inv;
+                    oplane[o] = acc * inv;
                     o += 1;
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -229,7 +233,10 @@ mod tests {
     #[test]
     fn max_pool_2x2() {
         let x = Tensor::from_vec(
-            vec![1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0_f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0,
+                15.0, 16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

@@ -62,7 +62,11 @@ impl Tensor<f32> {
     /// Returns an error for non-rank-4 input.
     pub fn channel_stats(&self) -> Result<(Tensor<f32>, Tensor<f32>)> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { got: self.rank(), expected: 4, op: "channel_stats" });
+            return Err(TensorError::RankMismatch {
+                got: self.rank(),
+                expected: 4,
+                op: "channel_stats",
+            });
         }
         let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
         let count = (n * h * w) as f32;
@@ -70,10 +74,10 @@ impl Tensor<f32> {
         let mut var = vec![0f32; c];
         let xs = self.as_slice();
         for img in 0..n {
-            for ch in 0..c {
+            for (ch, m) in mean.iter_mut().enumerate() {
                 let base = (img * c + ch) * h * w;
                 for &v in &xs[base..base + h * w] {
-                    mean[ch] += v;
+                    *m += v;
                 }
             }
         }
@@ -132,7 +136,11 @@ impl Tensor<f32> {
     /// Returns an error for non-rank-2 input.
     pub fn argmax_rows(&self) -> Result<Vec<usize>> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "argmax_rows" });
+            return Err(TensorError::RankMismatch {
+                got: self.rank(),
+                expected: 2,
+                op: "argmax_rows",
+            });
         }
         let (rows, cols) = (self.dim(0), self.dim(1));
         let xs = self.as_slice();
@@ -197,7 +205,8 @@ mod tests {
         let t = Tensor::from_vec(vec![1000.0_f32, 1001.0, 1002.0], &[1, 3]).unwrap();
         let s = t.softmax_lastdim().unwrap();
         assert!(s.all_finite());
-        let u = Tensor::from_vec(vec![0.0_f32, 1.0, 2.0], &[1, 3]).unwrap().softmax_lastdim().unwrap();
+        let u =
+            Tensor::from_vec(vec![0.0_f32, 1.0, 2.0], &[1, 3]).unwrap().softmax_lastdim().unwrap();
         for (a, b) in s.as_slice().iter().zip(u.as_slice()) {
             assert!((a - b).abs() < 1e-5);
         }

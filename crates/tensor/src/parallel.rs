@@ -1,0 +1,222 @@
+//! Deterministic worker-pool parallelism for the tensor kernels.
+//!
+//! The hot kernels ([`crate::Tensor::matmul`], [`crate::ops::conv2d`],
+//! [`crate::ops::im2col`], pooling) partition their **output** buffer into
+//! disjoint contiguous runs of fixed-size units — rows for matmul,
+//! `(image × group)` blocks for convolution, `(image × channel)` planes for
+//! im2col and pooling — and hand each run to one scoped worker thread.
+//!
+//! Because every output element is written by exactly one worker and the
+//! per-element accumulation order inside a unit is identical to the
+//! sequential kernel, results are **bit-identical at any thread count**.
+//! Parallelism only changes which thread computes a unit, never the order
+//! of floating-point or saturating-integer operations within it.
+//!
+//! Thread-count resolution, first match wins:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by tests),
+//! 2. the process-wide count set by [`set_num_threads`],
+//! 3. the `T2C_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread count; 0 means "not resolved yet".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override; 0 means "no override".
+    static TLS_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Sets the process-wide worker count used by the parallel kernels.
+///
+/// Overrides the `T2C_THREADS` environment variable. Values are clamped to
+/// at least 1. Results are bit-identical for every setting.
+pub fn set_num_threads(n: usize) {
+    GLOBAL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The worker count the parallel kernels will use on this thread.
+///
+/// Resolution order: [`with_threads`] override → [`set_num_threads`] →
+/// `T2C_THREADS` environment variable → available parallelism.
+pub fn num_threads() -> usize {
+    let tls = TLS_THREADS.with(Cell::get);
+    if tls != 0 {
+        return tls;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    let resolved = std::env::var("T2C_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    GLOBAL_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Runs `f` with the worker count pinned to `n` on the current thread only.
+///
+/// This is the race-free way for tests (which may themselves run in
+/// parallel) to compare kernel output across thread counts. The previous
+/// override is restored when `f` returns or panics.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TLS_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(TLS_THREADS.with(|c| c.replace(n.max(1))));
+    f()
+}
+
+/// Splits `out` into runs of whole `unit`-element chunks and processes each
+/// run on its own worker.
+///
+/// `f(first_unit, run)` receives the index of the run's first unit and a
+/// mutable slice covering `run.len() / unit` consecutive units. Runs are
+/// disjoint, so workers never contend; with one worker (or one unit) `f` is
+/// called once inline, making the sequential path the degenerate case of
+/// the parallel one.
+pub(crate) fn par_units<T, F>(out: &mut [T], unit: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert!(unit > 0, "unit size must be nonzero");
+    debug_assert_eq!(out.len() % unit, 0, "output must be whole units");
+    let units = out.len() / unit;
+    let workers = num_threads().min(units).max(1);
+    if workers == 1 {
+        f(0, out);
+        return;
+    }
+    let base = units / workers;
+    let extra = units % workers;
+    crossbeam::scope(|s| {
+        let mut rest = out;
+        let mut start = 0usize;
+        for w in 0..workers {
+            let count = base + usize::from(w < extra);
+            let (run, tail) = std::mem::take(&mut rest).split_at_mut(count * unit);
+            rest = tail;
+            let f = &f;
+            let first = start;
+            s.spawn(move |_| f(first, run));
+            start += count;
+        }
+    })
+    .expect("tensor worker pool panicked");
+}
+
+/// Two-buffer variant of [`par_units`] for kernels with paired outputs
+/// (e.g. max-pooling's values and argmax indices). Both buffers must hold
+/// the same number of units; `f` receives matching runs of each.
+pub(crate) fn par_units2<A, B, F>(a: &mut [A], b: &mut [B], unit_a: usize, unit_b: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    debug_assert!(unit_a > 0 && unit_b > 0, "unit sizes must be nonzero");
+    debug_assert_eq!(a.len() % unit_a, 0, "first output must be whole units");
+    debug_assert_eq!(b.len() % unit_b, 0, "second output must be whole units");
+    debug_assert_eq!(a.len() / unit_a, b.len() / unit_b, "unit counts must match");
+    let units = a.len() / unit_a;
+    let workers = num_threads().min(units).max(1);
+    if workers == 1 {
+        f(0, a, b);
+        return;
+    }
+    let base = units / workers;
+    let extra = units % workers;
+    crossbeam::scope(|s| {
+        let mut rest_a = a;
+        let mut rest_b = b;
+        let mut start = 0usize;
+        for w in 0..workers {
+            let count = base + usize::from(w < extra);
+            let (run_a, tail_a) = std::mem::take(&mut rest_a).split_at_mut(count * unit_a);
+            let (run_b, tail_b) = std::mem::take(&mut rest_b).split_at_mut(count * unit_b);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            let f = &f;
+            let first = start;
+            s.spawn(move |_| f(first, run_a, run_b));
+            start += count;
+        }
+    })
+    .expect("tensor worker pool panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        with_threads(3, || assert_eq!(num_threads(), 3));
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+
+    #[test]
+    fn par_units_covers_every_unit_once() {
+        for threads in [1, 2, 3, 8] {
+            with_threads(threads, || {
+                let mut out = vec![0u32; 7 * 4];
+                par_units(&mut out, 4, |first, run| {
+                    for (u, chunk) in run.chunks_mut(4).enumerate() {
+                        for v in chunk.iter_mut() {
+                            *v += (first + u) as u32 + 1;
+                        }
+                    }
+                });
+                let expect: Vec<u32> = (0..7).flat_map(|u| std::iter::repeat_n(u + 1, 4)).collect();
+                assert_eq!(out, expect, "threads={threads}");
+            });
+        }
+    }
+
+    #[test]
+    fn par_units2_keeps_buffers_in_lockstep() {
+        for threads in [1, 2, 5] {
+            with_threads(threads, || {
+                let mut a = vec![0f32; 6 * 2];
+                let mut b = vec![0usize; 6 * 3];
+                par_units2(&mut a, &mut b, 2, 3, |first, ra, rb| {
+                    for (u, chunk) in ra.chunks_mut(2).enumerate() {
+                        chunk.fill((first + u) as f32);
+                    }
+                    for (u, chunk) in rb.chunks_mut(3).enumerate() {
+                        chunk.fill(first + u);
+                    }
+                });
+                for u in 0..6 {
+                    assert!(a[u * 2..(u + 1) * 2].iter().all(|&v| v == u as f32));
+                    assert!(b[u * 3..(u + 1) * 3].iter().all(|&v| v == u));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn more_workers_than_units_is_fine() {
+        with_threads(16, || {
+            let mut out = vec![0u8; 2];
+            par_units(&mut out, 1, |first, run| run.fill(first as u8 + 1));
+            assert_eq!(out, [1, 2]);
+        });
+    }
+}

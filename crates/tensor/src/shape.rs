@@ -88,10 +88,10 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0; rank];
-        for i in 0..rank {
+        for (i, d) in dims.iter_mut().enumerate() {
             let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
             let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
-            dims[i] = if a == b {
+            *d = if a == b {
                 a
             } else if a == 1 {
                 b

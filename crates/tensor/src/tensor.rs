@@ -245,12 +245,12 @@ impl<T: Element> Tensor<T> {
         let mut data = vec![T::zero(); self.numel()];
         // Walk destination in row-major order, computing the source offset.
         let mut idx = vec![0usize; perm.len()];
-        for dst_off in 0..self.numel() {
+        for dst in data.iter_mut() {
             let mut src_off = 0;
             for (axis, &i) in idx.iter().enumerate() {
                 src_off += i * src_strides[perm[axis]];
             }
-            data[dst_off] = self.data[src_off];
+            *dst = self.data[src_off];
             // increment idx
             for axis in (0..idx.len()).rev() {
                 idx[axis] += 1;
@@ -270,7 +270,11 @@ impl<T: Element> Tensor<T> {
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
     pub fn transpose(&self) -> Result<Self> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "transpose" });
+            return Err(TensorError::RankMismatch {
+                got: self.rank(),
+                expected: 2,
+                op: "transpose",
+            });
         }
         let (r, c) = (self.dim(0), self.dim(1));
         let mut data = vec![T::zero(); self.numel()];
@@ -322,7 +326,11 @@ impl<T: Element> Tensor<T> {
         let mut axis_total = 0;
         for t in tensors {
             if t.rank() != rank {
-                return Err(TensorError::RankMismatch { got: t.rank(), expected: rank, op: "concat" });
+                return Err(TensorError::RankMismatch {
+                    got: t.rank(),
+                    expected: rank,
+                    op: "concat",
+                });
             }
             for a in 0..rank {
                 if a != axis && t.dim(a) != first.dim(a) {

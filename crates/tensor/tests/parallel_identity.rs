@@ -1,0 +1,130 @@
+//! Property tests for the determinism contract of the parallel kernels:
+//! for every shape, group count and thread count (including 1), the
+//! parallel output is **bit-identical** to the sequential output.
+//!
+//! `f32` results are compared via their raw bit patterns — a plain `==`
+//! would also accept reassociated sums that happen to round the same way,
+//! which is a weaker claim than the one the kernels make.
+
+use proptest::prelude::*;
+use t2c_tensor::ops::{conv2d, conv2d_i32, im2col, max_pool2d, Conv2dSpec, PoolSpec};
+use t2c_tensor::{with_threads, Tensor};
+
+/// Deterministic pseudo-random fill so shapes, not data, drive the cases.
+fn fill_f32(dims: &[usize], seed: u64) -> Tensor<f32> {
+    Tensor::from_fn(dims, |i| {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+        ((h >> 40) as f32) / (1u32 << 24) as f32 * 4.0 - 2.0
+    })
+}
+
+fn fill_i32(dims: &[usize], seed: u64) -> Tensor<i32> {
+    Tensor::from_fn(dims, |i| {
+        let h = (i as u64).wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(seed);
+        ((h >> 48) as i32 % 256) - 128
+    })
+}
+
+fn bits_of(t: &Tensor<f32>) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn matmul_parallel_is_bit_identical(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        threads in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let a = fill_f32(&[m, k], seed);
+        let b = fill_f32(&[k, n], seed ^ 0xABCD);
+        let sequential = with_threads(1, || a.matmul(&b)).unwrap();
+        let parallel = with_threads(threads, || a.matmul(&b)).unwrap();
+        prop_assert_eq!(bits_of(&sequential), bits_of(&parallel));
+    }
+
+    #[test]
+    fn matmul_i_parallel_is_bit_identical(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        threads in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let a = fill_i32(&[m, k], seed);
+        let b = fill_i32(&[k, n], seed ^ 0xABCD);
+        let sequential = with_threads(1, || a.matmul_i(&b)).unwrap();
+        let parallel = with_threads(threads, || a.matmul_i(&b)).unwrap();
+        prop_assert_eq!(sequential.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn conv2d_parallel_is_bit_identical(
+        imgs in 1usize..4,
+        g in 1usize..4,
+        cg in 1usize..4,
+        ocg in 1usize..4,
+        hw in 4usize..9,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        threads in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let (c, oc) = (g * cg, g * ocg);
+        let spec = Conv2dSpec { stride, padding, groups: g };
+        let x = fill_f32(&[imgs, c, hw, hw], seed);
+        let w = fill_f32(&[oc, cg, kernel, kernel], seed ^ 0x5A5A);
+        let bias = fill_f32(&[oc], seed ^ 0x1111);
+        let sequential = with_threads(1, || conv2d(&x, &w, Some(&bias), spec)).unwrap();
+        let parallel = with_threads(threads, || conv2d(&x, &w, Some(&bias), spec)).unwrap();
+        prop_assert_eq!(bits_of(&sequential), bits_of(&parallel));
+    }
+
+    #[test]
+    fn conv2d_i32_parallel_is_bit_identical(
+        imgs in 1usize..4,
+        g in 1usize..4,
+        cg in 1usize..4,
+        ocg in 1usize..4,
+        hw in 4usize..9,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        threads in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let (c, oc) = (g * cg, g * ocg);
+        let spec = Conv2dSpec { stride, padding, groups: g };
+        let x = fill_i32(&[imgs, c, hw, hw], seed);
+        let w = fill_i32(&[oc, cg, kernel, kernel], seed ^ 0x5A5A);
+        let bias = fill_i32(&[oc], seed ^ 0x1111);
+        let sequential = with_threads(1, || conv2d_i32(&x, &w, Some(&bias), spec)).unwrap();
+        let parallel = with_threads(threads, || conv2d_i32(&x, &w, Some(&bias), spec)).unwrap();
+        prop_assert_eq!(sequential.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn im2col_and_max_pool_parallel_are_bit_identical(
+        imgs in 1usize..4,
+        c in 1usize..5,
+        hw in 4usize..9,
+        kernel in 1usize..4,
+        threads in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let x = fill_f32(&[imgs, c, hw, hw], seed);
+        let spec = Conv2dSpec::new(1, 1);
+        let seq_cols = with_threads(1, || im2col(&x, kernel, kernel, spec)).unwrap();
+        let par_cols = with_threads(threads, || im2col(&x, kernel, kernel, spec)).unwrap();
+        prop_assert_eq!(bits_of(&seq_cols), bits_of(&par_cols));
+
+        let pool = PoolSpec { kernel, stride: 1, padding: 0 };
+        let (seq_y, seq_arg) = with_threads(1, || max_pool2d(&x, pool)).unwrap();
+        let (par_y, par_arg) = with_threads(threads, || max_pool2d(&x, pool)).unwrap();
+        prop_assert_eq!(bits_of(&seq_y), bits_of(&par_y));
+        prop_assert_eq!(seq_arg.as_slice(), par_arg.as_slice());
+    }
+}

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let history =
         SparseTrainer::new(SparseTrainerConfig::quick(20)).fit(&model, &mut pruner, &data)?;
     let (_, acc, sparsity) = *history.last().expect("non-empty history");
-    println!("sparse training: accuracy {:.1}%, weight sparsity {:.0}%", acc * 100.0, sparsity * 100.0);
+    println!(
+        "sparse training: accuracy {:.1}%, weight sparsity {:.0}%",
+        acc * 100.0,
+        sparsity * 100.0
+    );
     assert!(pruner.masks_satisfy_constraint(), "2:4 constraint must hold");
 
     // PTQ on the sparse model and conversion to integers.

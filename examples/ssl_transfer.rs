@@ -29,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- SSL pre-train (XD) + fine-tune -----------------------------------
     let mut rng = TensorRng::seed_from(4);
     let encoder = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(classes));
-    let losses = SslTrainer::new(SslConfig::quick(60), SslMethod::BarlowXd).fit(&encoder, &upstream)?;
+    let losses =
+        SslTrainer::new(SslConfig::quick(60), SslMethod::BarlowXd).fit(&encoder, &upstream)?;
     println!(
         "SSL pre-training: loss {:.2} → {:.2} over {} epochs",
         losses.first().copied().unwrap_or(0.0),
@@ -47,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // benches rebuild the full fine-tuned model; this example shows the
     // pipeline mechanics.
     let (chip, report) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse)?;
-    println!(
-        "integer model extracted: {} ops, {:.3} MB",
-        report.num_nodes,
-        report.size_mb()
-    );
+    println!("integer model extracted: {} ops, {:.3} MB", report.num_nodes, report.size_mb());
     println!(
         "shape to look for: SSL + fine-tune ≥ supervised from scratch ({:.1}% vs {:.1}%)",
         ft_acc * 100.0,

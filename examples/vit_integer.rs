@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             IntOp::SoftmaxLut(l) => {
                 softmax_luts += 1;
                 if softmax_luts == 1 {
-                    println!("LUT softmax: {} entries, input scale {:.4}", l.table.len(), l.in_scale);
+                    println!(
+                        "LUT softmax: {} entries, input scale {:.4}",
+                        l.table.len(),
+                        l.in_scale
+                    );
                 }
             }
             IntOp::GeluLut(l) => {

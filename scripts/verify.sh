@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything that must be green before a merge.
+#
+# Usage: scripts/verify.sh
+# Runs, in order:
+#   1. release build of the whole workspace
+#   2. the full test suite (root package = tier-1 gate, plus all members)
+#   3. clippy with warnings promoted to errors
+#   4. rustfmt in check mode
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (tier-1 gate)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "verify: all green"

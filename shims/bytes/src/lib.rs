@@ -1,0 +1,210 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the little-endian read/write API surface the export crate consumes,
+//! backed by a plain `Vec<u8>` (writing) and `&[u8]` (reading). No
+//! reference counting or zero-copy machinery — the workspace never splits
+//! buffers.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// A growable byte buffer (stand-in for `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.data
+    }
+}
+
+macro_rules! put_le {
+    ($($name:ident: $t:ty),* $(,)?) => {$(
+        /// Appends the value in little-endian byte order.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+/// Write access to a growable byte buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le! {
+        put_u16_le: u16,
+        put_u32_le: u32,
+        put_u64_le: u64,
+        put_i16_le: i16,
+        put_i32_le: i32,
+        put_i64_le: i64,
+        put_f32_le: f32,
+        put_f64_le: f64,
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+macro_rules! get_le {
+    ($($name:ident: $t:ty = $n:expr),* $(,)?) => {$(
+        /// Reads the value in little-endian byte order, advancing the
+        /// cursor.
+        ///
+        /// # Panics
+        ///
+        /// Panics if fewer than the required bytes remain — callers must
+        /// bounds-check first (the export crate's `take` helper does).
+        fn $name(&mut self) -> $t {
+            let mut raw = [0u8; $n];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_le_bytes(raw)
+        }
+    )*};
+}
+
+/// Read access to a byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Number of bytes left.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is empty.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    get_le! {
+        get_u16_le: u16 = 2,
+        get_u32_le: u32 = 4,
+        get_u64_le: u64 = 8,
+        get_i16_le: i16 = 2,
+        get_i32_le: i32 = 4,
+        get_i64_le: i64 = 8,
+        get_f32_le: f32 = 4,
+        get_f64_le: f64 = 8,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_i32_le(-42);
+        buf.put_i64_le(-1_000_000_007);
+        buf.put_f32_le(1.5);
+        buf.put_slice(b"xyz");
+        let v = buf.to_vec();
+        let mut cur: &[u8] = &v;
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16_le(), 0xBEEF);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cur.get_i32_le(), -42);
+        assert_eq!(cur.get_i64_le(), -1_000_000_007);
+        assert_eq!(cur.get_f32_le(), 1.5);
+        let mut tail = [0u8; 3];
+        cur.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        cur.get_u32_le();
+    }
+}

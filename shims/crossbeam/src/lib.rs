@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this shim maps the
+//! API surface the workspace consumes — `crossbeam::scope` and
+//! `crossbeam::channel::unbounded` — onto `std::thread::scope` and
+//! `std::sync::mpsc`, which provide the same semantics on modern Rust.
+//!
+//! One behavioural difference: upstream `crossbeam::scope` catches child
+//! panics and returns them as `Err`, while `std::thread::scope` re-raises
+//! them on join. Every consumer in this workspace immediately `expect`s the
+//! result, so both behaviours end in the same panic.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+pub mod channel {
+    //! MPMC-ish channels (std mpsc re-exported under crossbeam's names).
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// A scope handle for spawning borrowing threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle again
+    /// (crossbeam's signature) so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which threads may borrow from the enclosing stack
+/// frame; all spawned threads are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Never returns `Err` in this shim (child panics propagate as panics).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let (tx, rx) = channel::unbounded();
+        scope(|s| {
+            for (i, chunk) in data.chunks(2).enumerate() {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send((i, chunk.iter().sum::<u64>())).unwrap());
+            }
+            drop(tx);
+        })
+        .unwrap();
+        let mut sums: Vec<(usize, u64)> = rx.iter().collect();
+        sums.sort_unstable();
+        assert_eq!(sums, vec![(0, 3), (1, 7)]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let out =
+            scope(|s| s.spawn(|s2| s2.spawn(|_| 41).join().unwrap() + 1).join().unwrap()).unwrap();
+        assert_eq!(out, 42);
+    }
+}

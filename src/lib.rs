@@ -75,5 +75,5 @@ pub mod prelude {
     };
     pub use t2c_ssl::{FineTuner, SslConfig, SslMethod, SslTrainer};
     pub use t2c_tensor::rng::TensorRng;
-    pub use t2c_tensor::Tensor;
+    pub use t2c_tensor::{num_threads, set_num_threads, with_threads, Tensor};
 }

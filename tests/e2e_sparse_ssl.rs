@@ -9,7 +9,9 @@ fn sparsity_survives_quantization_and_export() {
     let mut rng = TensorRng::seed_from(920);
     let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
     let mut pruner = NmPruner::new(prunable_weights(&model), 2, 4);
-    SparseTrainer::new(SparseTrainerConfig::quick(5)).fit(&model, &mut pruner, &data).expect("sparse");
+    SparseTrainer::new(SparseTrainerConfig::quick(5))
+        .fit(&model, &mut pruner, &data)
+        .expect("sparse");
     assert!(pruner.masks_satisfy_constraint());
 
     let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));

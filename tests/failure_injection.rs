@@ -38,6 +38,47 @@ fn truncated_model_file_is_rejected() {
 }
 
 #[test]
+fn forward_node_reference_is_rejected() {
+    // A .t2cm file whose node 0 references node 7 (which does not exist
+    // yet) must be rejected at load time, not panic during execution.
+    use torch2chip::core::intmodel::{IntOp, Src};
+    use torch2chip::core::{IntModel, QuantSpec};
+    let mut m = IntModel::new();
+    m.push("input", IntOp::Quantize { scale: 0.1, spec: QuantSpec::signed(8) }, vec![]);
+    m.push("flat", IntOp::Flatten, vec![Src::Node(0)]);
+    let mut bytes = torch2chip::export::write_intmodel(&m);
+    // The flatten node's single input id sits 4 bytes before its op tag,
+    // which is the last byte of the payload. Point it at node 7.
+    let payload_end = bytes.len() - 8;
+    bytes[payload_end - 5..payload_end - 1].copy_from_slice(&7u32.to_le_bytes());
+    // Re-stamp the checksum so the reference check is what fires.
+    let sum = torch2chip::export::fnv1a64(&bytes[..payload_end]);
+    bytes[payload_end..].copy_from_slice(&sum.to_le_bytes());
+    match torch2chip::export::read_intmodel(&bytes) {
+        Err(ExportError::Malformed(msg)) => assert!(msg.contains("references"), "got: {msg}"),
+        other => panic!("expected malformed-reference error, got {other:?}"),
+    }
+}
+
+#[test]
+fn hex_codec_rejects_corrupt_widths_and_wide_words() {
+    use torch2chip::export::{from_hex_lines, to_binary_lines, to_hex_lines};
+    // Widths outside 1..=32 (e.g. from a corrupt header) must error, not
+    // panic in the shift arithmetic.
+    assert!(to_hex_lines(&[1], 0).is_err());
+    assert!(to_hex_lines(&[1], 64).is_err());
+    assert!(to_binary_lines(&[1], 0).is_err());
+    assert!(from_hex_lines(["0a"], 0, true).is_err());
+    // A word wider than the declared width must error, not truncate.
+    match from_hex_lines(["1ff"], 8, true) {
+        Err(ExportError::ValueOutOfRange { value, bits }) => {
+            assert_eq!((value, bits), (0x1ff, 8));
+        }
+        other => panic!("expected out-of-range error, got {other:?}"),
+    }
+}
+
+#[test]
 fn accelerator_flags_tampered_weights() {
     let data = SynthVision::generate(&SynthVisionConfig::tiny(2, 8));
     let mut rng = TensorRng::seed_from(932);
