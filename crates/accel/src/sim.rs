@@ -151,6 +151,12 @@ impl Accelerator {
     pub fn run(&self, x: &Tensor<f32>) -> Result<(Tensor<i32>, ExecutionTrace)> {
         let out = self.model.run(x)?;
         let trace = self.trace(x.dims())?;
+        if t2c_obs::enabled() {
+            t2c_obs::gauge_set("accel.mac_utilization", trace.utilization(&self.config));
+            t2c_obs::counter_add("accel.macs", trace.total_macs());
+            t2c_obs::counter_add("accel.cycles", trace.total_cycles());
+            t2c_obs::counter_add("accel.traffic_bytes", trace.total_traffic());
+        }
         Ok((out, trace))
     }
 

@@ -1,7 +1,7 @@
 //! **Ablation** — the fixed-point budget of the MulQuant scale words
 //! (DESIGN.md §6.5): integer accuracy as a function of the total scale-word
 //! width, with automatic fractional placement, against the naive fixed
-//! INT(12,4) placement the paper's table header suggests.
+//! INT(4,12) placement the paper's table header suggests.
 //!
 //! ```sh
 //! cargo run --release -p t2c-bench --bin ablation_fixedpoint

@@ -11,10 +11,12 @@
 //! cargo run --release -p t2c-bench --bin fig3_dualpath
 //! ```
 
-use t2c_bench::row;
+use t2c_bench::{dump_profile, row};
 use t2c_core::fuse::BnParams;
 use t2c_core::qmodels::{QMobileNet, QuantFactory};
-use t2c_core::trainer::{evaluate, evaluate_int, FpTrainer, PtqPipeline, TrainConfig};
+use t2c_core::trainer::{
+    dual_path_divergence, evaluate, evaluate_int, FpTrainer, PtqPipeline, TrainConfig,
+};
 use t2c_core::{FuseScheme, QuantConfig, T2C};
 use t2c_data::{BatchIter, SynthVision, SynthVisionConfig};
 use t2c_nn::models::{MobileNetConfig, MobileNetV1};
@@ -71,25 +73,11 @@ fn main() {
         for scheme in [FuseScheme::PreFuse, FuseScheme::ChannelWise] {
             let (chip, _) = T2C::new(&qnn).nn2chip(scheme).expect("convert");
             let int = evaluate_int(&chip, &data, 32).expect("int eval");
-            // Divergence between the two paths on one test batch: compare
-            // normalized logit gaps.
+            // Divergence between the two paths on one test batch: the
+            // max-abs-normalized logit gap (see `dual_path_divergence`).
             let (images, _) = BatchIter::test(&data, 32).next().expect("batch");
-            let g = t2c_autograd::Graph::new();
-            let fake_logits = qnn.forward(&g.leaf(images.clone())).expect("fake fw").tensor();
-            let int_logits = chip.run(&images).expect("int fw").to_f32();
-            // Scale-align: normalize both per row by their max-abs.
-            let rows = fake_logits.dims()[0];
-            let cols = fake_logits.dims()[1];
-            let mut max_div = 0.0f32;
-            for r in 0..rows {
-                let f = &fake_logits.as_slice()[r * cols..(r + 1) * cols];
-                let q = &int_logits.as_slice()[r * cols..(r + 1) * cols];
-                let fm = f.iter().fold(1e-6f32, |m, v| m.max(v.abs()));
-                let qm = q.iter().fold(1e-6f32, |m, v| m.max(v.abs()));
-                for (a, b) in f.iter().zip(q) {
-                    max_div = max_div.max((a / fm - b / qm).abs());
-                }
-            }
+            let (max_div, _mean_div) =
+                dual_path_divergence(&qnn, &chip, &images).expect("divergence");
             row(&[
                 format!("{bits}/{bits}"),
                 format!("{scheme:?}"),
@@ -101,4 +89,5 @@ fn main() {
     }
     println!("\nShape check: both schemes match at 8 bits; below 8 bits PreFuse (unified scaling)");
     println!("degrades while ChannelWise tracks the fake-quant path (paper §3.2, Eq. 14 vs 15).");
+    dump_profile("fig3_dualpath");
 }

@@ -1,0 +1,57 @@
+//! Profiling smoke test — exercises every instrumented subsystem on a tiny
+//! model and validates the emitted report against the required schema.
+//!
+//! Unlike the table/figure harnesses this binary force-enables profiling,
+//! so it works without `T2C_PROFILE=1` (setting it is still fine). Exits
+//! non-zero if the report is missing any required key — `scripts/verify.sh`
+//! runs it as the observability gate.
+//!
+//! ```sh
+//! cargo run --release -p t2c-bench --bin profile_smoke
+//! ```
+
+use t2c_accel::{Accelerator, AcceleratorConfig};
+use t2c_core::qmodels::{QMobileNet, QuantFactory};
+use t2c_core::trainer::{dual_path_divergence, evaluate_int, FpTrainer, PtqPipeline, TrainConfig};
+use t2c_core::{FuseScheme, QuantConfig, T2C};
+use t2c_data::{BatchIter, SynthVision, SynthVisionConfig};
+use t2c_nn::models::{MobileNetConfig, MobileNetV1};
+use t2c_nn::Module;
+use t2c_tensor::rng::TensorRng;
+
+fn main() {
+    t2c_obs::set_enabled(true);
+
+    // Tiny end-to-end pipeline: FP train → PTQ → convert → integer eval →
+    // dual-path check → accelerator replay. Each stage feeds the registry.
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+    let mut rng = TensorRng::seed_from(9);
+    let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+    let fp = FpTrainer::new(TrainConfig::quick(2)).fit(&model, &data).expect("fp training");
+    println!("fp acc: {:.2}%", fp.final_acc() * 100.0);
+
+    let qnn = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(4, 16).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
+    let int_acc = evaluate_int(&chip, &data, 16).expect("integer evaluation");
+    let (images, _) = BatchIter::test(&data, 16).next().expect("test batch");
+    let (max_err, mean_err) = dual_path_divergence(&qnn, &chip, &images).expect("divergence");
+    println!("int acc: {:.2}%  dual-path err max {max_err:.4} mean {mean_err:.4}", int_acc * 100.0);
+
+    let accel = Accelerator::new(chip, AcceleratorConfig::dense16x16());
+    let (_, trace) = accel.run(&images).expect("accelerator replay");
+    println!("accel utilization: {:.3}", trace.utilization(&accel.config()));
+
+    let report = t2c_obs::report::Report::capture("profile_smoke");
+    println!("\n{}", report.to_text());
+    let path = t2c_obs::report::dump("bench_results", "smoke")
+        .expect("profile dump")
+        .expect("profiling is force-enabled");
+    let json = std::fs::read_to_string(&path).expect("read report back");
+    if let Err(missing) = t2c_obs::report::validate_schema(&json) {
+        eprintln!("profile schema check FAILED; missing keys: {missing:?}");
+        std::process::exit(1);
+    }
+    println!("profile report ok: {}", path.display());
+}

@@ -10,7 +10,7 @@
 //! cargo run --release -p t2c-bench --bin table1
 //! ```
 
-use t2c_bench::{fmt_acc, ptq_int_accuracy, row};
+use t2c_bench::{dump_profile, fmt_acc, ptq_int_accuracy, row};
 use t2c_core::qmodels::{QResNet, QuantFactory};
 use t2c_core::trainer::{FpTrainer, PtqPipeline, TrainConfig};
 use t2c_core::{FixedPointFormat, FuseScheme, QuantConfig};
@@ -89,4 +89,5 @@ fn main() {
         let _ = report;
     }
     println!("\nShape check: all 8/8 ≈ FP; T2C 4/4 within a few points with integer-only scales.");
+    dump_profile("table1");
 }

@@ -6,9 +6,9 @@
 //! paper reports. `EXPERIMENTS.md` records paper-vs-measured for each.
 
 use t2c_core::qmodels::QuantModel;
-use t2c_core::trainer::{evaluate_int, PtqPipeline};
+use t2c_core::trainer::{dual_path_divergence, evaluate_int, PtqPipeline};
 use t2c_core::{FuseScheme, T2C};
-use t2c_data::SynthVision;
+use t2c_data::{BatchIter, SynthVision};
 
 /// Formats an accuracy and its delta against a baseline the way the
 /// paper's tables do: `74.40 (-1.60)`.
@@ -34,7 +34,25 @@ pub fn ptq_int_accuracy<M: QuantModel>(
     qnn.set_training(false);
     let (chip, report) = T2C::new(qnn).nn2chip(scheme).expect("conversion");
     let acc = evaluate_int(&chip, data, batch).expect("integer evaluation");
+    if t2c_obs::enabled() {
+        // One test batch through both paths so the profile report carries
+        // the dual-path divergence gauges.
+        if let Some((images, _)) = BatchIter::test(data, batch).next() {
+            let _ = dual_path_divergence(qnn, &chip, &images);
+        }
+    }
     (acc, report)
+}
+
+/// Writes the current profile registry to
+/// `bench_results/profile_<tag>.json` when `T2C_PROFILE` is on; silent
+/// no-op otherwise. Harness binaries call this once before exiting.
+pub fn dump_profile(tag: &str) {
+    match t2c_obs::report::dump("bench_results", tag) {
+        Ok(Some(path)) => println!("\nprofile report: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("profile dump failed: {e}"),
+    }
 }
 
 /// Prints a Markdown-style table row.

@@ -18,8 +18,8 @@ pub struct FixedPointFormat {
 }
 
 impl FixedPointFormat {
-    /// The paper's default: 16-bit total with 12 fractional and 4 integer
-    /// bits (Table 1, "INT (12, 4)" with the text's reading).
+    /// The paper's default: 16-bit total with 4 integer and 12 fractional
+    /// bits — rendered `INT(4, 12)` in `(INT, Frac)` order.
     pub fn int16_frac12() -> Self {
         FixedPointFormat { int_bits: 4, frac_bits: 12 }
     }
@@ -79,8 +79,11 @@ impl Default for FixedPointFormat {
 }
 
 impl fmt::Display for FixedPointFormat {
+    /// Renders as `INT(int_bits, frac_bits)` — the field order of the
+    /// struct, the constructors' docs, and the paper's "Scale and Bias
+    /// (INT, Frac)" table column.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "INT({}, {})", self.frac_bits, self.int_bits)
+        write!(f, "INT({}, {})", self.int_bits, self.frac_bits)
     }
 }
 
@@ -179,7 +182,12 @@ mod tests {
     }
 
     #[test]
-    fn display_format() {
-        assert_eq!(FixedPointFormat::int16_frac12().to_string(), "INT(12, 4)");
+    fn display_matches_field_order() {
+        // (INT, Frac) order: integer bits first, matching the struct
+        // fields and constructor docs.
+        assert_eq!(FixedPointFormat::int16_frac12().to_string(), "INT(4, 12)");
+        assert_eq!(FixedPointFormat::int16_frac3().to_string(), "INT(13, 3)");
+        let f = FixedPointFormat { int_bits: 7, frac_bits: 2 };
+        assert_eq!(f.to_string(), format!("INT({}, {})", f.int_bits, f.frac_bits));
     }
 }

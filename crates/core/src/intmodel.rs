@@ -301,6 +301,7 @@ impl IntModel {
     fn execute(&self, input: &Tensor<i32>) -> Result<Vec<Tensor<i32>>> {
         let mut values: Vec<Tensor<i32>> = Vec::with_capacity(self.nodes.len());
         for (i, node) in self.nodes.iter().enumerate() {
+            let _t = t2c_obs::Timer::scoped_with(|| format!("layer.{}.forward_ns", node.name));
             let fetch = |src: &Src| -> Result<&Tensor<i32>> {
                 match src {
                     Src::Input => Ok(input),
@@ -308,6 +309,17 @@ impl IntModel {
                     Src::Node(id) => Err(TensorError::InvalidArgument(format!(
                         "node {i} reads not-yet-computed node {id}"
                     ))),
+                }
+            };
+            // Routes a requantizer through the saturation-counting path when
+            // profiling so each node reports `layer.<name>.saturated`.
+            let requant_counted = |r: &MulQuant, acc: &Tensor<i32>, axis: usize, relu: bool| {
+                if t2c_obs::enabled() {
+                    let (y, sat) = r.apply_with_saturation(acc, axis, relu);
+                    t2c_obs::counter_add(&format!("layer.{}.saturated", node.name), sat);
+                    y
+                } else {
+                    r.apply(acc, axis, relu)
                 }
             };
             let out = match &node.op {
@@ -319,7 +331,7 @@ impl IntModel {
                         Some(b) => add_channel_bias(&acc, b, 1),
                         None => acc,
                     };
-                    requant.apply(&acc, 1, *relu)
+                    requant_counted(requant, &acc, 1, *relu)
                 }
                 IntOp::Linear { weight, bias, requant, relu, .. } => {
                     let xin = fetch(&node.inputs[0])?;
@@ -329,7 +341,7 @@ impl IntModel {
                         None => acc,
                     };
                     match requant {
-                        Some(r) => r.apply(&acc, acc.rank() - 1, *relu),
+                        Some(r) => requant_counted(r, &acc, acc.rank() - 1, *relu),
                         None => acc,
                     }
                 }
@@ -412,6 +424,39 @@ impl IntModel {
                     lut.apply(a)
                 }
             };
+            if t2c_obs::enabled() {
+                let name = &node.name;
+                let elements = out.numel() as u64;
+                let macs: u64 = match &node.op {
+                    IntOp::Conv2d { weight, .. } => {
+                        elements * (weight.dim(1) * weight.dim(2) * weight.dim(3)) as u64
+                    }
+                    IntOp::Linear { weight, .. } => elements * weight.dim(1) as u64,
+                    IntOp::BmmRequant { .. } => {
+                        let k = fetch(&node.inputs[0]).map_or(0, |t| t.dim(t.rank() - 1));
+                        elements * k as u64
+                    }
+                    _ => 0,
+                };
+                let in_elems: u64 = node
+                    .inputs
+                    .iter()
+                    .filter_map(|s| fetch(s).ok())
+                    .map(|t| t.numel() as u64)
+                    .sum();
+                let w_elems: u64 = match &node.op {
+                    IntOp::Conv2d { weight, .. } | IntOp::Linear { weight, .. } => {
+                        weight.numel() as u64
+                    }
+                    _ => 0,
+                };
+                t2c_obs::counter_add(&format!("layer.{name}.macs"), macs);
+                t2c_obs::counter_add(&format!("layer.{name}.elements"), elements);
+                t2c_obs::counter_add(
+                    &format!("layer.{name}.bytes"),
+                    (in_elems + w_elems + elements) * 4,
+                );
+            }
             values.push(out);
         }
         Ok(values)

@@ -130,17 +130,22 @@ fn gelu(x: f32) -> f32 {
 }
 
 /// Integer square root (floor), used by the integer LayerNorm.
+///
+/// Exact for the full `i64` range: the fix-up comparisons use `checked_mul`
+/// so candidates near `⌊√i64::MAX⌋` never overflow (the old `(x+1)·(x+1)`
+/// probe wrapped in release / panicked in debug for `v` near `i64::MAX`).
 pub fn isqrt(v: i64) -> i64 {
     if v <= 0 {
         return 0;
     }
     let mut x = (v as f64).sqrt() as i64;
-    // Fix up float error to exact floor.
-    while (x + 1) * (x + 1) <= v {
-        x += 1;
-    }
-    while x * x > v {
+    // The f64 seed can overshoot (sqrt rounds up near 2^63); walk down
+    // while x² overflows or exceeds v, then walk up while (x+1)² still fits.
+    while x.checked_mul(x).is_none_or(|sq| sq > v) {
         x -= 1;
+    }
+    while (x + 1).checked_mul(x + 1).is_some_and(|sq| sq <= v) {
+        x += 1;
     }
     x
 }
@@ -208,6 +213,26 @@ mod tests {
         for v in [0i64, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1_000_000, 999_999_999_999] {
             let r = isqrt(v);
             assert!(r * r <= v && (r + 1) * (r + 1) > v, "isqrt({v}) = {r}");
+        }
+    }
+
+    #[test]
+    fn isqrt_survives_the_top_of_the_i64_range() {
+        // ⌊√(2^63 − 1)⌋ = 3037000499. The pre-fix probe computed
+        // (x+1)·(x+1) without overflow checks and wrapped/panicked here.
+        const ROOT_MAX: i64 = 3_037_000_499;
+        assert_eq!(isqrt(i64::MAX), ROOT_MAX);
+        assert_eq!(isqrt(i64::MAX - 1), ROOT_MAX);
+        // Perfect squares at the boundary, and one below each.
+        assert_eq!(isqrt(ROOT_MAX * ROOT_MAX), ROOT_MAX);
+        assert_eq!(isqrt(ROOT_MAX * ROOT_MAX - 1), ROOT_MAX - 1);
+        let near = ROOT_MAX - 7;
+        assert_eq!(isqrt(near * near), near);
+        // Floor property checked with overflow-safe math.
+        for v in [i64::MAX, i64::MAX - 1, ROOT_MAX * ROOT_MAX] {
+            let r = isqrt(v);
+            assert!(r.checked_mul(r).is_some_and(|sq| sq <= v));
+            assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > v));
         }
     }
 }

@@ -98,10 +98,49 @@ impl MulQuant {
     /// `relu` applies the integer ReLU (`max(0, ·)`) before the clamp —
     /// valid because the zero point is 0 throughout the pipeline.
     ///
+    /// When profiling is enabled the global `mulquant.total` /
+    /// `mulquant.saturated` counters are updated; disabled, the only
+    /// overhead is one branch.
+    ///
     /// # Panics
     ///
     /// Panics if `ch_axis` is out of range for `acc`.
     pub fn apply(&self, acc: &Tensor<i32>, ch_axis: usize, relu: bool) -> Tensor<i32> {
+        if t2c_obs::enabled() {
+            self.apply_with_saturation(acc, ch_axis, relu).0
+        } else {
+            self.apply_core(acc, ch_axis, relu, false).0
+        }
+    }
+
+    /// Like [`MulQuant::apply`], additionally returning how many outputs
+    /// landed outside the quantization grid and were clipped to its edge.
+    /// Also feeds the global `mulquant.*` profile counters when enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch_axis` is out of range for `acc`.
+    pub fn apply_with_saturation(
+        &self,
+        acc: &Tensor<i32>,
+        ch_axis: usize,
+        relu: bool,
+    ) -> (Tensor<i32>, u64) {
+        let (out, saturated) = self.apply_core(acc, ch_axis, relu, true);
+        if t2c_obs::enabled() {
+            t2c_obs::counter_add("mulquant.total", acc.numel() as u64);
+            t2c_obs::counter_add("mulquant.saturated", saturated);
+        }
+        (out, saturated)
+    }
+
+    fn apply_core(
+        &self,
+        acc: &Tensor<i32>,
+        ch_axis: usize,
+        relu: bool,
+        count_saturation: bool,
+    ) -> (Tensor<i32>, u64) {
         let dims = acc.dims();
         assert!(ch_axis < dims.len(), "channel axis {ch_axis} out of range");
         let ch_extent = dims[ch_axis];
@@ -110,6 +149,7 @@ impl MulQuant {
         let xs = acc.as_slice();
         let os = out.as_mut_slice();
         let (qmin, qmax) = (self.out_spec.qmin() as i64, self.out_spec.qmax() as i64);
+        let mut saturated = 0u64;
         for (i, &x) in xs.iter().enumerate() {
             let ch = (i / inner.max(1)) % ch_extent.max(1);
             let ci = ch.min(self.scale_raw.len() - 1);
@@ -119,9 +159,12 @@ impl MulQuant {
             if relu {
                 shifted = shifted.max(0);
             }
+            if count_saturation && (shifted < qmin || shifted > qmax) {
+                saturated += 1;
+            }
             os[i] = shifted.clamp(qmin, qmax) as i32;
         }
-        out
+        (out, saturated)
     }
 
     /// The effective float multiplier for channel `ch` (for reports).
@@ -179,6 +222,50 @@ mod tests {
         let acc = Tensor::from_vec(vec![100, -7], &[2]).unwrap();
         let y = mq.apply(&acc, 0, false);
         assert_eq!(y.as_slice(), &[15, 0]);
+    }
+
+    #[test]
+    fn per_tensor_scale_broadcasts_against_per_channel_bias() {
+        // scales.len() == 1 with biases.len() == C: the single scale must
+        // broadcast across the channel-indexed biases.
+        let mq = MulQuant::from_float(&[0.5], &[0.0, 1.0, 2.0], fmt(), QuantSpec::signed(8));
+        assert_eq!(mq.scale_raw.len(), 3);
+        assert_eq!(mq.bias_raw.len(), 3);
+        assert!(mq.is_per_channel());
+        let acc = Tensor::from_vec(vec![2, 2, 2, 4, 4, 4], &[2, 3]).unwrap();
+        let y = mq.apply(&acc, 1, false);
+        assert_eq!(y.as_slice(), &[1, 2, 3, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bias_clamps_at_accumulator_headroom() {
+        // Biases saturate at ±2^(total_bits + 14): for INT(4, 12) that is
+        // ±2^30 raw.
+        let big = 1.0e12f32;
+        let mq = MulQuant::from_float(&[1.0], &[big, -big], fmt(), QuantSpec::signed(8));
+        let cap = 1i64 << (fmt().total_bits() + 14);
+        assert_eq!(mq.bias_raw, vec![cap, -cap]);
+        // An in-range bias is not clamped.
+        let small = MulQuant::from_float(&[1.0], &[2.0], fmt(), QuantSpec::signed(8));
+        assert_eq!(small.bias_raw, vec![2 << 12]);
+    }
+
+    #[test]
+    fn rank2_per_channel_apply_on_axis1() {
+        // [N, C] with ch_axis = 1: channel factors select by column.
+        let mq = MulQuant::from_float(&[1.0, 2.0, 3.0], &[0.0], fmt(), QuantSpec::signed(8));
+        let acc = Tensor::from_vec(vec![1, 1, 1, 2, 2, 2], &[2, 3]).unwrap();
+        let y = mq.apply(&acc, 1, false);
+        assert_eq!(y.as_slice(), &[1, 2, 3, 2, 4, 6]);
+    }
+
+    #[test]
+    fn saturation_count_matches_clipped_outputs() {
+        let mq = MulQuant::from_float(&[4.0], &[0.0], fmt(), QuantSpec::unsigned(4));
+        let acc = Tensor::from_vec(vec![100, -7, 1], &[3]).unwrap();
+        let (y, saturated) = mq.apply_with_saturation(&acc, 0, false);
+        assert_eq!(y.as_slice(), &[15, 0, 4]);
+        assert_eq!(saturated, 2, "400 clips to qmax, -28 clips to qmin");
     }
 
     #[test]

@@ -109,14 +109,23 @@ impl Observer {
     }
 }
 
-/// The `(−p, p)` range keeping `fraction` of |x| mass.
+/// The range keeping `fraction` of |x| mass, clamped to the observed sign
+/// structure: an all-positive tensor reports `(0, p)`, an all-negative one
+/// `(−p, 0)`, and a mixed one `(−p, p)`. Reporting a sign the data never
+/// takes would waste that half of the quantization grid.
 fn percentile_range(x: &Tensor<f32>, fraction: f32) -> (f32, f32) {
     let mut mags: Vec<f32> = x.as_slice().iter().map(|v| v.abs()).collect();
     mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let idx = ((mags.len() as f32 * fraction) as usize).min(mags.len() - 1);
+    // Ceil-based rank: the smallest magnitude m such that at least
+    // `fraction` of the mass is ≤ m. Truncation picked the (rank+1)-th
+    // order statistic for exact-multiple lengths.
+    let len = mags.len();
+    let rank = (len as f64 * fraction as f64).ceil() as usize;
+    let idx = rank.saturating_sub(1).min(len - 1);
     let p = mags[idx];
     let has_neg = x.min_value() < 0.0;
-    (if has_neg { -p } else { 0.0 }, p)
+    let has_pos = x.max_value() > 0.0;
+    (if has_neg { -p } else { 0.0 }, if has_pos { p } else { 0.0 })
 }
 
 #[cfg(test)]
@@ -150,6 +159,38 @@ mod tests {
         let mut obs = Observer::new(ObserverKind::Percentile { fraction: 0.99 });
         obs.observe(&Tensor::from_vec(data, &[1000]).unwrap());
         assert!(obs.max() < 10.0, "max {}", obs.max());
+    }
+
+    #[test]
+    fn percentile_all_negative_reports_no_positive_range() {
+        // Pre-fix, the range was forced symmetric to (−p, p), so an
+        // all-negative activation reported a max no value ever reaches.
+        let data: Vec<f32> = (1..=100).map(|i| -(i as f32)).collect();
+        let mut obs = Observer::new(ObserverKind::Percentile { fraction: 0.95 });
+        obs.observe(&Tensor::from_vec(data, &[100]).unwrap());
+        assert_eq!(obs.max(), 0.0, "no positive values were observed");
+        assert!((obs.min() - -95.0).abs() < 1e-6, "min {}", obs.min());
+    }
+
+    #[test]
+    fn percentile_all_positive_keeps_zero_min() {
+        let data: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let mut obs = Observer::new(ObserverKind::Percentile { fraction: 0.95 });
+        obs.observe(&Tensor::from_vec(data, &[100]).unwrap());
+        assert_eq!(obs.min(), 0.0);
+        // Ceil-based rank: 95% of 100 values → the 95th order statistic,
+        // not the 96th the truncating index selected.
+        assert!((obs.max() - 95.0).abs() < 1e-6, "max {}", obs.max());
+    }
+
+    #[test]
+    fn percentile_mixed_signs_stays_symmetric() {
+        let mut data: Vec<f32> = (1..=50).map(|i| i as f32).collect();
+        data.extend((1..=50).map(|i| -(i as f32)));
+        let mut obs = Observer::new(ObserverKind::Percentile { fraction: 1.0 });
+        obs.observe(&Tensor::from_vec(data, &[100]).unwrap());
+        assert!((obs.min() - -50.0).abs() < 1e-6);
+        assert!((obs.max() - 50.0).abs() < 1e-6);
     }
 
     #[test]

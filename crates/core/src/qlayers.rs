@@ -215,12 +215,14 @@ impl QConvUnit {
 
 impl Module for QConvUnit {
     fn forward(&self, x: &Var) -> Result<Var> {
+        let _t = t2c_obs::Timer::scoped_with(|| format!("layer.{}.fq_forward_ns", self.name));
         match self.mode.get() {
             PathMode::Float => self.forward_core(x, false),
             PathMode::Calibrate => {
                 self.wq.calibrate(&self.conv.weight().value());
                 let y = self.forward_core(x, false)?;
                 self.out_q.observe(&y.value());
+                record_observer_range(&self.name, self.out_q.as_ref());
                 if self.capture.get() {
                     self.captured.borrow_mut().push((x.tensor(), y.tensor()));
                 }
@@ -362,6 +364,7 @@ impl QLinearUnit {
 
 impl Module for QLinearUnit {
     fn forward(&self, x: &Var) -> Result<Var> {
+        let _t = t2c_obs::Timer::scoped_with(|| format!("layer.{}.fq_forward_ns", self.name));
         let g = x.graph_handle();
         let quantized = self.mode.get() == PathMode::Quant;
         if self.mode.get() == PathMode::Calibrate {
@@ -385,6 +388,7 @@ impl Module for QLinearUnit {
             (Some(q), PathMode::Quant) => q.train_path(&y),
             (Some(q), PathMode::Calibrate) => {
                 q.observe(&y.value());
+                record_observer_range(&self.name, q.as_ref());
                 Ok(y)
             }
             _ => Ok(y),
@@ -408,6 +412,18 @@ impl Module for QLinearUnit {
 impl std::fmt::Debug for QLinearUnit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "QLinearUnit({}, wq: {})", self.name, self.wq.name())
+    }
+}
+
+/// Publishes the calibrated range a unit's output quantizer will use as
+/// `observer.<unit>.{lo,hi,scale}` gauges. One branch when disabled.
+fn record_observer_range(unit: &str, q: &dyn ActQuantizer) {
+    if t2c_obs::enabled() && q.is_calibrated() {
+        let scale = q.scale() as f64;
+        let spec = q.spec();
+        t2c_obs::gauge_set(&format!("observer.{unit}.scale"), scale);
+        t2c_obs::gauge_set(&format!("observer.{unit}.lo"), scale * spec.qmin() as f64);
+        t2c_obs::gauge_set(&format!("observer.{unit}.hi"), scale * spec.qmax() as f64);
     }
 }
 

@@ -60,3 +60,52 @@ pub fn evaluate_int(model: &IntModel, data: &SynthVision, batch: usize) -> Resul
     }
     Ok(correct as f32 / total.max(1) as f32)
 }
+
+/// Divergence between the fake-quant training path and the deployed
+/// integer path on one batch: `(max, mean)` absolute gap between the two
+/// logit sets after normalizing each row by its max-abs (the scale-free
+/// comparison Figure 3 reports).
+///
+/// When profiling is enabled the result is also published as the
+/// `dualpath.max_err` / `dualpath.mean_err` gauges.
+///
+/// # Errors
+///
+/// Returns an error if either path fails or the two logit shapes differ.
+pub fn dual_path_divergence(
+    model: &dyn Module,
+    chip: &IntModel,
+    images: &t2c_tensor::Tensor<f32>,
+) -> Result<(f32, f32)> {
+    let g = Graph::new();
+    let fake_logits = model.forward(&g.leaf(images.clone()))?.tensor();
+    let int_logits = chip.run(images)?.to_f32();
+    if fake_logits.dims() != int_logits.dims() || fake_logits.rank() != 2 {
+        return Err(t2c_tensor::TensorError::ShapeMismatch {
+            lhs: fake_logits.dims().to_vec(),
+            rhs: int_logits.dims().to_vec(),
+            op: "dual_path_divergence",
+        });
+    }
+    let rows = fake_logits.dim(0);
+    let cols = fake_logits.dim(1);
+    let mut max_err = 0.0f32;
+    let mut err_sum = 0.0f64;
+    for r in 0..rows {
+        let f = &fake_logits.as_slice()[r * cols..(r + 1) * cols];
+        let q = &int_logits.as_slice()[r * cols..(r + 1) * cols];
+        let fm = f.iter().fold(1e-6f32, |m, v| m.max(v.abs()));
+        let qm = q.iter().fold(1e-6f32, |m, v| m.max(v.abs()));
+        for (a, b) in f.iter().zip(q) {
+            let e = (a / fm - b / qm).abs();
+            max_err = max_err.max(e);
+            err_sum += e as f64;
+        }
+    }
+    let mean_err = (err_sum / (rows * cols).max(1) as f64) as f32;
+    if t2c_obs::enabled() {
+        t2c_obs::gauge_set("dualpath.max_err", max_err as f64);
+        t2c_obs::gauge_set("dualpath.mean_err", mean_err as f64);
+    }
+    Ok((max_err, mean_err))
+}

@@ -97,11 +97,13 @@ impl PtqPipeline {
                     continue;
                 }
                 let mut opt = AdamW::new(trainables.clone(), lr);
+                let mut recon_sum = 0.0f64;
                 for it in 0..iters {
                     let (x, y_fp) = &captured[it % captured.len()];
                     let g = Graph::new();
                     let y_q = unit.forward(&g.leaf(x.clone()))?;
                     let mut loss = y_q.mse_loss(y_fp)?;
+                    recon_sum += loss.tensor().item() as f64;
                     // AdaRound's rounding regularizer (β = 2), built on the
                     // graph so its gradient reaches α.
                     if lambda > 0.0 {
@@ -127,6 +129,11 @@ impl PtqPipeline {
                     opt.zero_grad();
                     loss.backward()?;
                     opt.step();
+                }
+                if t2c_obs::enabled() && iters > 0 {
+                    // One point per reconstructed unit: its mean MSE against
+                    // the captured float outputs.
+                    t2c_obs::series_push("ptq.recon_loss", recon_sum / iters as f64);
                 }
                 unit.set_mode(PathMode::Calibrate);
             }

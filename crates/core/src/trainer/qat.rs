@@ -74,6 +74,35 @@ impl TrainHistory {
     }
 }
 
+/// Clips gradients when `max_norm > 0` and returns the pre-clip global norm.
+///
+/// With clipping disabled the norm is still measured when profiling is on
+/// (one extra pass over the gradients); the unprofiled path stays unchanged.
+fn measured_clip(params: &[t2c_autograd::Param], max_norm: f32) -> f32 {
+    if max_norm > 0.0 {
+        clip_grad_norm(params, max_norm)
+    } else if t2c_obs::enabled() {
+        clip_grad_norm(params, f32::INFINITY)
+    } else {
+        0.0
+    }
+}
+
+/// Publishes the per-epoch profile series (`train.*`) when profiling is on.
+fn record_epoch(history: &TrainHistory, mean_grad_norm: f32, epoch_start: std::time::Instant) {
+    if !t2c_obs::enabled() {
+        return;
+    }
+    if let Some(&loss) = history.losses.last() {
+        t2c_obs::series_push("train.loss", loss as f64);
+    }
+    if let Some(&acc) = history.accs.last() {
+        t2c_obs::series_push("train.acc", acc as f64);
+    }
+    t2c_obs::series_push("train.grad_norm", mean_grad_norm as f64);
+    t2c_obs::series_push("train.epoch_ms", epoch_start.elapsed().as_secs_f64() * 1e3);
+}
+
 /// Plain supervised training of a float model — the FP baseline.
 #[derive(Debug, Clone, Copy)]
 pub struct FpTrainer {
@@ -102,18 +131,18 @@ impl FpTrainer {
         let mut augment = Augment::new(AugmentConfig::standard(), cfg.seed);
         model.set_training(true);
         for epoch in 0..cfg.epochs {
+            let epoch_start = std::time::Instant::now();
             opt.set_lr(schedule.lr_at(epoch));
             let mut loss_sum = 0.0;
             let mut batches = 0;
+            let mut grad_norm_sum = 0.0f32;
             let mut step = |images: t2c_tensor::Tensor<f32>, labels: &[usize]| -> Result<f32> {
                 let g = Graph::new();
                 let logits = model.forward(&g.leaf(images))?;
                 let loss = logits.cross_entropy_logits(labels)?;
                 opt.zero_grad();
                 loss.backward()?;
-                if cfg.grad_clip > 0.0 {
-                    clip_grad_norm(&params, cfg.grad_clip);
-                }
+                grad_norm_sum += measured_clip(&params, cfg.grad_clip);
                 opt.step();
                 Ok(loss.tensor().item())
             };
@@ -139,6 +168,7 @@ impl FpTrainer {
             }
             history.losses.push(loss_sum / batches.max(1) as f32);
             history.accs.push(evaluate(model, data, cfg.batch)?);
+            record_epoch(&history, grad_norm_sum / batches.max(1) as f32, epoch_start);
         }
         Ok(history)
     }
@@ -208,8 +238,10 @@ impl QatTrainer {
                 self.profit_freeze(model)?;
             }
             opt.set_lr(schedule.lr_at(epoch));
+            let epoch_start = std::time::Instant::now();
             let mut loss_sum = 0.0;
             let mut batches = 0;
+            let mut grad_norm_sum = 0.0f32;
             for (images, labels) in BatchIter::train(data, cfg.batch, cfg.seed + 1 + epoch as u64) {
                 let images = augment.apply_batch(&images);
                 let g = Graph::new();
@@ -217,15 +249,14 @@ impl QatTrainer {
                 let loss = logits.cross_entropy_logits(&labels)?;
                 opt.zero_grad();
                 loss.backward()?;
-                if cfg.grad_clip > 0.0 {
-                    clip_grad_norm(&params, cfg.grad_clip);
-                }
+                grad_norm_sum += measured_clip(&params, cfg.grad_clip);
                 opt.step();
                 loss_sum += loss.tensor().item();
                 batches += 1;
             }
             history.losses.push(loss_sum / batches.max(1) as f32);
             history.accs.push(evaluate(model, data, cfg.batch)?);
+            record_epoch(&history, grad_norm_sum / batches.max(1) as f32, epoch_start);
         }
         Ok(history)
     }

@@ -1,0 +1,424 @@
+//! Structured snapshots of the metrics registry: text and JSON rendering,
+//! per-layer aggregation, and file dumps for bench bins.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::Hist;
+
+/// Report schema version embedded in every JSON dump.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Top-level keys every JSON report must contain; `scripts/verify.sh` and
+/// the schema unit test both check against this list.
+pub const REQUIRED_KEYS: [&str; 8] =
+    ["version", "tag", "counters", "gauges", "histograms", "series", "layers", "dual_path"];
+
+/// Immutable snapshot of the registry at capture time.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub version: u32,
+    /// Caller-chosen label (bench bin name, experiment id, ...).
+    pub tag: String,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, Hist>,
+    /// Series points by name.
+    pub series: BTreeMap<String, Vec<f64>>,
+}
+
+/// Per-layer aggregate synthesized from the `layer.<name>.<field>` metric
+/// naming convention (`forward_ns` histogram; `macs`, `bytes`, `elements`,
+/// `saturated` counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStats {
+    /// Layer name as reported by the model graph.
+    pub name: String,
+    /// Number of recorded forward passes.
+    pub calls: u64,
+    /// Total forward wall time in nanoseconds.
+    pub forward_ns: f64,
+    /// Multiply-accumulate operations executed.
+    pub macs: u64,
+    /// Bytes moved (inputs read + outputs written).
+    pub bytes: u64,
+    /// Output elements produced.
+    pub elements: u64,
+    /// Output elements clipped to the quantization grid edge.
+    pub saturated: u64,
+    /// `saturated / elements`, or 0 when no elements were recorded.
+    pub saturation_rate: f64,
+}
+
+impl Report {
+    /// Snapshots the current registry contents under the given tag.
+    pub fn capture(tag: impl Into<String>) -> Report {
+        let mut report = Report {
+            version: SCHEMA_VERSION,
+            tag: tag.into(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            series: BTreeMap::new(),
+        };
+        crate::with_registry(|r| {
+            report.counters = r.counters.clone();
+            report.gauges = r.gauges.clone();
+            report.histograms = r.histograms.clone();
+            report.series = r.series.clone();
+        });
+        report
+    }
+
+    /// Per-layer aggregates, in name order.
+    pub fn layers(&self) -> Vec<LayerStats> {
+        let mut map: BTreeMap<String, LayerStats> = BTreeMap::new();
+        fn entry<'m>(map: &'m mut BTreeMap<String, LayerStats>, name: &str) -> &'m mut LayerStats {
+            map.entry(name.to_owned()).or_insert_with(|| LayerStats {
+                name: name.to_owned(),
+                calls: 0,
+                forward_ns: 0.0,
+                macs: 0,
+                bytes: 0,
+                elements: 0,
+                saturated: 0,
+                saturation_rate: 0.0,
+            })
+        }
+        for (key, hist) in &self.histograms {
+            if let Some(name) = layer_field(key, "forward_ns") {
+                let row = entry(&mut map, name);
+                row.calls = hist.count;
+                row.forward_ns = hist.sum;
+            }
+        }
+        for (key, &value) in &self.counters {
+            for field in ["macs", "bytes", "elements", "saturated"] {
+                if let Some(name) = layer_field(key, field) {
+                    let row = entry(&mut map, name);
+                    match field {
+                        "macs" => row.macs = value,
+                        "bytes" => row.bytes = value,
+                        "elements" => row.elements = value,
+                        _ => row.saturated = value,
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<LayerStats> = map.into_values().collect();
+        for row in &mut rows {
+            if row.elements > 0 {
+                row.saturation_rate = row.saturated as f64 / row.elements as f64;
+            }
+        }
+        rows
+    }
+
+    /// Dual-path divergence gauges `(max_err, mean_err)`, if recorded.
+    pub fn dual_path(&self) -> Option<(f64, f64)> {
+        match (self.gauges.get("dualpath.max_err"), self.gauges.get("dualpath.mean_err")) {
+            (Some(&mx), Some(&mean)) => Some((mx, mean)),
+            _ => None,
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "profile report [{}]", self.tag);
+        let layers = self.layers();
+        if !layers.is_empty() {
+            let _ = writeln!(
+                s,
+                "  {:<28} {:>6} {:>12} {:>14} {:>12} {:>8}",
+                "layer", "calls", "time_ms", "macs", "bytes", "sat%"
+            );
+            for l in &layers {
+                let _ = writeln!(
+                    s,
+                    "  {:<28} {:>6} {:>12.3} {:>14} {:>12} {:>8.3}",
+                    l.name,
+                    l.calls,
+                    l.forward_ns / 1e6,
+                    l.macs,
+                    l.bytes,
+                    l.saturation_rate * 100.0
+                );
+            }
+        }
+        if let Some((mx, mean)) = self.dual_path() {
+            let _ = writeln!(s, "  dual-path divergence: max {mx:.3e} mean {mean:.3e}");
+        }
+        for (name, hist) in &self.histograms {
+            if layer_field(name, "forward_ns").is_some() {
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "  hist {:<26} n={} mean={:.1} p50={:.1} p99={:.1} max={:.1}",
+                name,
+                hist.count,
+                hist.mean(),
+                hist.quantile(0.5),
+                hist.quantile(0.99),
+                hist.max
+            );
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(s, "  gauge {name} = {value:.6}");
+        }
+        for (name, points) in &self.series {
+            let tail: Vec<String> =
+                points.iter().rev().take(4).rev().map(|v| format!("{v:.4}")).collect();
+            let _ = writeln!(s, "  series {} ({} pts) ... {}", name, points.len(), tail.join(" "));
+        }
+        s
+    }
+
+    /// Renders the report as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push('{');
+        let _ = write!(s, "\"version\":{},\"tag\":{}", self.version, json_str(&self.tag));
+        s.push_str(",\"counters\":{");
+        push_entries(&mut s, self.counters.iter(), |s, v| {
+            let _ = write!(s, "{v}");
+        });
+        s.push_str("},\"gauges\":{");
+        push_entries(&mut s, self.gauges.iter(), |s, v| s.push_str(&json_num(*v)));
+        s.push_str("},\"histograms\":{");
+        push_entries(&mut s, self.histograms.iter(), |s, h| {
+            let _ = write!(
+                s,
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count,
+                json_num(h.sum),
+                json_num(h.min),
+                json_num(h.max),
+                json_num(h.mean()),
+                json_num(h.quantile(0.5)),
+                json_num(h.quantile(0.9)),
+                json_num(h.quantile(0.99)),
+            );
+        });
+        s.push_str("},\"series\":{");
+        push_entries(&mut s, self.series.iter(), |s, pts| {
+            s.push('[');
+            for (i, v) in pts.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_num(*v));
+            }
+            s.push(']');
+        });
+        s.push_str("},\"layers\":[");
+        for (i, l) in self.layers().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":{},\"calls\":{},\"forward_ns\":{},\"macs\":{},\"bytes\":{},\"elements\":{},\"saturated\":{},\"saturation_rate\":{}}}",
+                json_str(&l.name),
+                l.calls,
+                json_num(l.forward_ns),
+                l.macs,
+                l.bytes,
+                l.elements,
+                l.saturated,
+                json_num(l.saturation_rate),
+            );
+        }
+        s.push_str("],\"dual_path\":");
+        match self.dual_path() {
+            Some((mx, mean)) => {
+                let _ =
+                    write!(s, "{{\"max_err\":{},\"mean_err\":{}}}", json_num(mx), json_num(mean));
+            }
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+
+    /// Writes the JSON rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// If `key` is `layer.<name>.<field>` for the given field, returns `<name>`
+/// (which may itself contain dots).
+fn layer_field<'k>(key: &'k str, field: &str) -> Option<&'k str> {
+    let rest = key.strip_prefix("layer.")?;
+    let name = rest.strip_suffix(field)?.strip_suffix('.')?;
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn push_entries<'a, V: 'a>(
+    s: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut value: impl FnMut(&mut String, &V),
+) {
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json_str(k));
+        s.push(':');
+        value(s, v);
+    }
+}
+
+/// JSON string literal with escaping for quotes, backslashes and controls.
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number literal; non-finite values become `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Captures the current registry and writes `profile_<tag>.json` under
+/// `dir`, returning the written path — or `Ok(None)` when profiling is
+/// disabled, so callers can dump unconditionally at the end of a run.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn dump(dir: impl AsRef<Path>, tag: &str) -> std::io::Result<Option<PathBuf>> {
+    if !crate::enabled() {
+        return Ok(None);
+    }
+    let path = dir.as_ref().join(format!("profile_{tag}.json"));
+    Report::capture(tag).write_json(&path)?;
+    Ok(Some(path))
+}
+
+/// Checks a JSON report for the [`REQUIRED_KEYS`]; returns the missing
+/// ones. A naive substring scan is sufficient because every required key is
+/// a top-level field the serializer always emits.
+pub fn validate_schema(json: &str) -> Result<(), Vec<String>> {
+    let missing: Vec<String> = REQUIRED_KEYS
+        .iter()
+        .filter(|k| !json.contains(&format!("\"{k}\":")))
+        .map(|k| (*k).to_owned())
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let _g = crate::tests::lock();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::counter_add("layer.conv1.macs", 1000);
+        crate::counter_add("layer.conv1.bytes", 256);
+        crate::counter_add("layer.conv1.elements", 64);
+        crate::counter_add("layer.conv1.saturated", 16);
+        crate::record("layer.conv1.forward_ns", 5000.0);
+        crate::record("layer.conv1.forward_ns", 7000.0);
+        crate::counter_add("layer.stage1.0.conv2.macs", 42);
+        crate::gauge_set("dualpath.max_err", 0.01);
+        crate::gauge_set("dualpath.mean_err", 0.002);
+        crate::series_push("train.loss", 2.5);
+        let report = Report::capture("unit");
+        crate::set_enabled(false);
+        report
+    }
+
+    #[test]
+    fn layer_rows_aggregate_by_name_including_dotted_names() {
+        let report = sample_report();
+        let layers = report.layers();
+        assert_eq!(layers.len(), 2);
+        let conv1 = layers.iter().find(|l| l.name == "conv1").unwrap();
+        assert_eq!(conv1.calls, 2);
+        assert!((conv1.forward_ns - 12_000.0).abs() < 1e-9);
+        assert_eq!((conv1.macs, conv1.bytes, conv1.elements, conv1.saturated), (1000, 256, 64, 16));
+        assert!((conv1.saturation_rate - 0.25).abs() < 1e-12);
+        assert!(layers.iter().any(|l| l.name == "stage1.0.conv2" && l.macs == 42));
+    }
+
+    #[test]
+    fn json_report_passes_schema_check() {
+        let report = sample_report();
+        let json = report.to_json();
+        validate_schema(&json).expect("all required keys present");
+        for needle in ["\"saturation_rate\":0.25", "\"macs\":1000", "\"forward_ns\":12000"] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(json.contains("\"dual_path\":{\"max_err\":0.01,\"mean_err\":0.002}"));
+    }
+
+    #[test]
+    fn schema_check_reports_missing_keys() {
+        let err = validate_schema("{\"version\":1}").unwrap_err();
+        assert!(err.contains(&"layers".to_owned()));
+        assert!(err.contains(&"dual_path".to_owned()));
+        assert!(!err.contains(&"version".to_owned()));
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite_values() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(1.5), "1.5");
+    }
+
+    #[test]
+    fn dump_is_none_when_disabled() {
+        let _g = crate::tests::lock();
+        crate::set_enabled(false);
+        let out = dump(std::env::temp_dir(), "never_written").unwrap();
+        assert!(out.is_none());
+    }
+}

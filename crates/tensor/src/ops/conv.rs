@@ -77,6 +77,15 @@ pub fn im2col<T: Element>(
     let ow = spec.out_extent(w, kw)?;
     let cols_per_image = c * kh * kw;
     let l = oh * ow;
+    let _t = t2c_obs::Timer::scoped("kernel.im2col.time_ns");
+    if t2c_obs::enabled() {
+        t2c_obs::counter_add("kernel.im2col.calls", 1);
+        t2c_obs::counter_add("kernel.im2col.elements", (n * cols_per_image * l) as u64);
+        t2c_obs::counter_add(
+            "kernel.im2col.bytes",
+            ((x.numel() + n * cols_per_image * l) * std::mem::size_of::<T>()) as u64,
+        );
+    }
     let mut out = vec![T::zero(); n * cols_per_image * l];
     let xs = x.as_slice();
     // One unit per image: each image's patch block is a disjoint output run.
@@ -173,6 +182,20 @@ pub fn col2im(
     Tensor::from_vec(out, &[n, c, h, w])
 }
 
+/// Records call/MAC/byte counters for one convolution launch (`out_elems`
+/// output values, each a length-`k` dot product). One branch when disabled.
+fn record_conv(op: &str, in_elems: usize, w_elems: usize, out_elems: usize, k: usize, eb: usize) {
+    if t2c_obs::enabled() {
+        t2c_obs::counter_add(&format!("{op}.calls"), 1);
+        t2c_obs::counter_add(&format!("{op}.macs"), (out_elems * k) as u64);
+        t2c_obs::counter_add(&format!("{op}.elements"), out_elems as u64);
+        t2c_obs::counter_add(
+            &format!("{op}.bytes"),
+            ((in_elems + w_elems + out_elems) * eb) as u64,
+        );
+    }
+}
+
 fn check_conv_shapes<T: Element, U: Element>(
     x: &Tensor<T>,
     weight: &Tensor<U>,
@@ -226,6 +249,8 @@ pub fn conv2d(
             });
         }
     }
+    let _t = t2c_obs::Timer::scoped("kernel.conv2d_f32.time_ns");
+    record_conv("kernel.conv2d_f32", x.numel(), weight.numel(), n * oc * l, cg * kh * kw, 4);
     let cols = im2col(x, kh, kw, spec)?;
     let cols_rows = c * kh * kw;
     let k = cg * kh * kw;
@@ -284,6 +309,8 @@ pub fn conv2d_i32(
             });
         }
     }
+    let _t = t2c_obs::Timer::scoped("kernel.conv2d_i32.time_ns");
+    record_conv("kernel.conv2d_i32", x.numel(), weight.numel(), n * oc * l, cg * kh * kw, 4);
     let cols = im2col(x, kh, kw, spec)?;
     let cols_rows = c * kh * kw;
     let k = cg * kh * kw;

@@ -42,6 +42,8 @@ impl Tensor<f32> {
                 op: "matmul",
             });
         }
+        let _t = t2c_obs::Timer::scoped("kernel.matmul_f32.time_ns");
+        record_matmul("kernel.matmul_f32", 1, m, k, n, 4);
         let mut out = vec![0f32; m * n];
         let a = self.as_slice();
         let b = other.as_slice();
@@ -70,6 +72,8 @@ impl Tensor<f32> {
                 op: "bmm",
             });
         }
+        let _t = t2c_obs::Timer::scoped("kernel.bmm_f32.time_ns");
+        record_matmul("kernel.bmm_f32", b, m, k, n, 4);
         let mut out = vec![0f32; b * m * n];
         let lhs = self.as_slice();
         let rhs = other.as_slice();
@@ -110,6 +114,8 @@ impl Tensor<i32> {
                 op: "matmul_i",
             });
         }
+        let _t = t2c_obs::Timer::scoped("kernel.matmul_i32.time_ns");
+        record_matmul("kernel.matmul_i32", 1, m, k, n, 4);
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0i32; m * n];
@@ -137,6 +143,8 @@ impl Tensor<i32> {
                 op: "bmm_i",
             });
         }
+        let _t = t2c_obs::Timer::scoped("kernel.bmm_i32.time_ns");
+        record_matmul("kernel.bmm_i32", b, m, k, n, 4);
         let mut out = vec![0i32; b * m * n];
         let lhs = self.as_slice();
         let rhs = other.as_slice();
@@ -154,6 +162,22 @@ impl Tensor<i32> {
             }
         });
         Tensor::from_vec(out, &[b, m, n])
+    }
+}
+
+/// Records call/MAC/byte counters for a (batched) `[m,k]×[k,n]` product.
+/// One branch when profiling is disabled.
+fn record_matmul(op: &str, batches: usize, m: usize, k: usize, n: usize, elem_bytes: usize) {
+    if t2c_obs::enabled() {
+        let b = batches as u64;
+        let (m, k, n) = (m as u64, k as u64, n as u64);
+        t2c_obs::counter_add(&format!("{op}.calls"), 1);
+        t2c_obs::counter_add(&format!("{op}.macs"), b * m * k * n);
+        t2c_obs::counter_add(&format!("{op}.elements"), b * m * n);
+        t2c_obs::counter_add(
+            &format!("{op}.bytes"),
+            b * (m * k + k * n + m * n) * elem_bytes as u64,
+        );
     }
 }
 

@@ -48,6 +48,12 @@ pub fn max_pool2d(x: &Tensor<f32>, spec: PoolSpec) -> Result<(Tensor<f32>, Tenso
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let oh = spec.out_extent(h)?;
     let ow = spec.out_extent(w)?;
+    let _t = t2c_obs::Timer::scoped("kernel.max_pool2d.time_ns");
+    if t2c_obs::enabled() {
+        t2c_obs::counter_add("kernel.max_pool2d.calls", 1);
+        t2c_obs::counter_add("kernel.max_pool2d.elements", (n * c * oh * ow) as u64);
+        t2c_obs::counter_add("kernel.max_pool2d.bytes", ((x.numel() + n * c * oh * ow) * 4) as u64);
+    }
     let mut out = Tensor::<f32>::zeros(&[n, c, oh, ow]);
     let mut arg = Tensor::<usize>::zeros(&[n, c, oh, ow]);
     let xs = x.as_slice();
@@ -126,6 +132,12 @@ pub fn avg_pool2d(x: &Tensor<f32>, spec: PoolSpec) -> Result<Tensor<f32>> {
     let oh = spec.out_extent(h)?;
     let ow = spec.out_extent(w)?;
     let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let _t = t2c_obs::Timer::scoped("kernel.avg_pool2d.time_ns");
+    if t2c_obs::enabled() {
+        t2c_obs::counter_add("kernel.avg_pool2d.calls", 1);
+        t2c_obs::counter_add("kernel.avg_pool2d.elements", (n * c * oh * ow) as u64);
+        t2c_obs::counter_add("kernel.avg_pool2d.bytes", ((x.numel() + n * c * oh * ow) * 4) as u64);
+    }
     let mut out = Tensor::<f32>::zeros(&[n, c, oh, ow]);
     let xs = x.as_slice();
     let l = oh * ow;

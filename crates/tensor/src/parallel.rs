@@ -16,14 +16,21 @@
 //!
 //! 1. a thread-local override installed by [`with_threads`] (used by tests),
 //! 2. the process-wide count set by [`set_num_threads`],
-//! 3. the `T2C_THREADS` environment variable,
-//! 4. [`std::thread::available_parallelism`].
+//! 3. the `T2C_THREADS` environment variable, **re-read on every call** so
+//!    env-driven harnesses can change it at runtime,
+//! 4. [`std::thread::available_parallelism`] (this last fallback is cached —
+//!    the machine's core count never changes mid-process).
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Process-wide thread count; 0 means "not resolved yet".
+/// Count set by [`set_num_threads`]; 0 means "not set".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached [`std::thread::available_parallelism`] fallback; 0 means "not
+/// resolved yet". Only the hardware default lives here — the `T2C_THREADS`
+/// environment variable is deliberately never cached.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// Per-thread override; 0 means "no override".
@@ -42,6 +49,11 @@ pub fn set_num_threads(n: usize) {
 ///
 /// Resolution order: [`with_threads`] override → [`set_num_threads`] →
 /// `T2C_THREADS` environment variable → available parallelism.
+///
+/// The environment variable is consulted **live on every call** — changing
+/// `T2C_THREADS` at runtime takes effect on the next kernel launch, unless
+/// an explicit [`set_num_threads`] call has pinned the count. Only the
+/// hardware-default fallback is cached.
 pub fn num_threads() -> usize {
     let tls = TLS_THREADS.with(Cell::get);
     if tls != 0 {
@@ -51,12 +63,19 @@ pub fn num_threads() -> usize {
     if global != 0 {
         return global;
     }
-    let resolved = std::env::var("T2C_THREADS")
+    if let Some(n) = std::env::var("T2C_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    GLOBAL_THREADS.store(resolved, Ordering::Relaxed);
+    {
+        return n;
+    }
+    let cached = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let resolved = std::thread::available_parallelism().map_or(1, |n| n.get());
+    DEFAULT_THREADS.store(resolved, Ordering::Relaxed);
     resolved
 }
 

@@ -1,0 +1,33 @@
+//! Pins the live-resolution semantics of `T2C_THREADS`.
+//!
+//! This lives in its own integration-test binary so the env mutations
+//! cannot race the library's unit tests: cargo runs test *binaries*
+//! sequentially by default, and within this binary there is exactly one
+//! test.
+
+use t2c_tensor::{num_threads, set_num_threads};
+
+#[test]
+fn t2c_threads_env_is_re_resolved_on_every_call() {
+    // Env value is picked up...
+    std::env::set_var("T2C_THREADS", "3");
+    assert_eq!(num_threads(), 3);
+
+    // ...and re-read live, not cached from the first call. (The pre-fix
+    // implementation stored the first resolution into the process-wide
+    // count, so this assertion failed with 3.)
+    std::env::set_var("T2C_THREADS", "5");
+    assert_eq!(num_threads(), 5);
+
+    // Junk and removal fall back to the hardware default.
+    std::env::set_var("T2C_THREADS", "not-a-number");
+    assert!(num_threads() >= 1);
+    std::env::remove_var("T2C_THREADS");
+    assert!(num_threads() >= 1);
+
+    // An explicit set_num_threads pins the count above the env var.
+    std::env::set_var("T2C_THREADS", "2");
+    set_num_threads(7);
+    assert_eq!(num_threads(), 7);
+    std::env::remove_var("T2C_THREADS");
+}

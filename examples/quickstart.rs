@@ -60,5 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.total_traffic()
     );
     std::fs::remove_dir_all(&dir).ok();
+
+    // With T2C_PROFILE=1 the whole run above was metered — dump the report.
+    if let Some(path) = torch2chip::obs::report::dump("bench_results", "quickstart")? {
+        println!("profile report: {}", path.display());
+    }
     Ok(())
 }

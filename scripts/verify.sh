@@ -7,6 +7,8 @@
 #   2. the full test suite (root package = tier-1 gate, plus all members)
 #   3. clippy with warnings promoted to errors
 #   4. rustfmt in check mode
+#   5. the T2C_PROFILE observability smoke: profile_smoke must emit a
+#      schema-valid report with the keys downstream tooling depends on
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +26,13 @@ cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
+
+echo "==> profile smoke (T2C_PROFILE=1)"
+T2C_PROFILE=1 cargo run --release -q -p t2c-bench --bin profile_smoke
+report=bench_results/profile_smoke.json
+for key in version tag counters gauges histograms series layers dual_path \
+    saturation_rate macs forward_ns; do
+    grep -q "\"$key\"" "$report" || { echo "missing key '$key' in $report"; exit 1; }
+done
 
 echo "verify: all green"

@@ -18,6 +18,7 @@
 //! | [`ssl`] | Barlow-Twins + cross-distillation pre-training |
 //! | [`export`] | `.t2cm` model files, hex/binary/decimal memory images |
 //! | [`accel`] | behavioural MAC-array accelerator simulator |
+//! | [`obs`] | opt-in profiling: counters, histograms, JSON reports (`T2C_PROFILE=1`) |
 //!
 //! ## The five-line workflow (paper §3.4)
 //!
@@ -49,6 +50,7 @@ pub use t2c_core as core;
 pub use t2c_data as data;
 pub use t2c_export as export;
 pub use t2c_nn as nn;
+pub use t2c_obs as obs;
 pub use t2c_optim as optim;
 pub use t2c_sparse as sparse;
 pub use t2c_ssl as ssl;
@@ -60,7 +62,8 @@ pub mod prelude {
     pub use t2c_autograd::{Graph, Param, Var};
     pub use t2c_core::qmodels::{QMobileNet, QResNet, QViT, QuantFactory, QuantModel};
     pub use t2c_core::trainer::{
-        evaluate, evaluate_int, FpTrainer, PtqMethod, PtqPipeline, QatTrainer, TrainConfig,
+        dual_path_divergence, evaluate, evaluate_int, FpTrainer, PtqMethod, PtqPipeline,
+        QatTrainer, TrainConfig,
     };
     pub use t2c_core::{
         FixedPointFormat, FuseScheme, IntModel, MulQuant, PathMode, QuantConfig, QuantSpec, T2C,
