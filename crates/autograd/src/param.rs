@@ -109,7 +109,7 @@ impl Param {
 
     /// Mutates the value in place through a closure (used by pruning masks).
     pub fn modify_value(&self, f: impl FnOnce(&mut Tensor<f32>)) {
-        f(&mut self.inner.borrow_mut().value)
+        f(&mut self.inner.borrow_mut().value);
     }
 
     /// `true` if both handles point at the same underlying parameter.

@@ -42,7 +42,7 @@ impl Var {
     /// Adds a scalar constant.
     pub fn add_scalar(&self, s: f32) -> Var {
         let v = self.value().add_scalar(s);
-        self.unary(v, |g| g.clone())
+        self.unary(v, std::clone::Clone::clone)
     }
 
     /// Multiplies by a scalar constant.

@@ -12,20 +12,20 @@ impl Var {
     /// backpropagates like the identity.
     pub fn round_ste(&self) -> Var {
         let v = self.value().round();
-        self.unary(v, |g| g.clone())
+        self.unary(v, std::clone::Clone::clone)
     }
 
     /// Floors in the forward pass; identity gradient.
     pub fn floor_ste(&self) -> Var {
         let v = self.value().floor();
-        self.unary(v, |g| g.clone())
+        self.unary(v, std::clone::Clone::clone)
     }
 
     /// Clamps into `[lo, hi]` in the forward pass; identity gradient
     /// (contrast with [`Var::clamp`], whose gradient is masked).
     pub fn clamp_ste(&self, lo: f32, hi: f32) -> Var {
         let v = self.value().clamp(lo, hi);
-        self.unary(v, |g| g.clone())
+        self.unary(v, std::clone::Clone::clone)
     }
 
     /// Stops gradient flow: the value continues forward, nothing flows back.
@@ -44,7 +44,7 @@ impl Var {
     /// identity w.r.t. `self`. `quantized` must be a tensor computed from
     /// `self`'s value (its own graph history, if any, is ignored).
     pub fn ste_from(&self, quantized: t2c_tensor::Tensor<f32>) -> Var {
-        self.unary(quantized, |g| g.clone())
+        self.unary(quantized, std::clone::Clone::clone)
     }
 }
 

@@ -12,7 +12,7 @@ fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
 /// Runs a finite-difference check of `loss_fn` (which must do its own
 /// backward pass) against the analytic gradient of `p`.
 fn check(p: &Param, probes: &[usize], loss_fn: impl FnMut() -> t2c_autograd::Result<f32>) -> bool {
-    gradcheck::check_param_grad(p, probes, 1e-3, loss_fn).map(|r| r.passes(0.03)).unwrap_or(false)
+    gradcheck::check_param_grad(p, probes, 1e-3, loss_fn).is_ok_and(|r| r.passes(0.03))
 }
 
 proptest! {

@@ -20,7 +20,7 @@ fn bench_softmax(c: &mut Criterion) {
     let mut group = c.benchmark_group("softmax_64x65");
     group.sample_size(50);
     group.bench_function("float reference", |b| {
-        b.iter(|| black_box(&scores_f).softmax_lastdim().unwrap())
+        b.iter(|| black_box(&scores_f).softmax_lastdim().unwrap());
     });
     group.bench_function("integer LUT", |b| b.iter(|| lut.apply(black_box(&scores_q))));
     group.finish();

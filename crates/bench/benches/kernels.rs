@@ -18,16 +18,16 @@ fn bench_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2d");
     group.sample_size(20);
     group.bench_function("f32 (training path)", |b| {
-        b.iter(|| conv2d(black_box(&x_f), black_box(&w_f), None, spec).unwrap())
+        b.iter(|| conv2d(black_box(&x_f), black_box(&w_f), None, spec).unwrap());
     });
     group.bench_function("i32 (inference path)", |b| {
-        b.iter(|| conv2d_i32(black_box(&x_i), black_box(&w_i), None, spec).unwrap())
+        b.iter(|| conv2d_i32(black_box(&x_i), black_box(&w_i), None, spec).unwrap());
     });
     // A 75%-sparse weight tensor exercises the zero-skip fast path in the
     // integer kernel.
     let w_sparse = Tensor::from_fn(w_i.dims(), |i| if i % 4 == 0 { w_i.as_slice()[i] } else { 0 });
     group.bench_function("i32 sparse 75% (zero-skip)", |b| {
-        b.iter(|| conv2d_i32(black_box(&x_i), black_box(&w_sparse), None, spec).unwrap())
+        b.iter(|| conv2d_i32(black_box(&x_i), black_box(&w_sparse), None, spec).unwrap());
     });
     group.finish();
 }
@@ -61,19 +61,19 @@ fn bench_thread_sweep(c: &mut Criterion) {
     group.sample_size(20);
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(&format!("matmul_256 f32 t={threads}"), |b| {
-            b.iter(|| with_threads(threads, || a_f.matmul(black_box(&b_f)).unwrap()))
+            b.iter(|| with_threads(threads, || a_f.matmul(black_box(&b_f)).unwrap()));
         });
         group.bench_function(&format!("conv2d f32 t={threads}"), |b| {
             b.iter(|| {
                 with_threads(threads, || conv2d(black_box(&x_f), black_box(&w_f), None, spec))
                     .unwrap()
-            })
+            });
         });
         group.bench_function(&format!("conv2d i32 t={threads}"), |b| {
             b.iter(|| {
                 with_threads(threads, || conv2d_i32(black_box(&x_i), black_box(&w_i), None, spec))
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();

@@ -32,7 +32,7 @@ fn bench_weight_train_paths(c: &mut Criterion) {
                 let g = Graph::new();
                 let w = g.leaf(w0.clone());
                 black_box(q.train_path(&w).unwrap().tensor())
-            })
+            });
         });
     }
     group.finish();
@@ -55,7 +55,7 @@ fn bench_act_paths(c: &mut Criterion) {
                 let g = Graph::new();
                 let x = g.leaf(x0.clone());
                 black_box(q.train_path(&x).unwrap().tensor())
-            })
+            });
         });
     }
     group.finish();

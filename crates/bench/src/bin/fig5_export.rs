@@ -41,7 +41,7 @@ fn main() {
     row(&(0..3).map(|_| "---".to_string()).collect::<Vec<_>>());
     row(&[
         "model.t2cm (binary, checksummed)".into(),
-        format!("{} bytes", std::fs::metadata(&manifest.model_file).map(|m| m.len()).unwrap_or(0)),
+        format!("{} bytes", std::fs::metadata(&manifest.model_file).map_or(0, |m| m.len())),
         "accelerator simulator / integer runtime".into(),
     ]);
     row(&[

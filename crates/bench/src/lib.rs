@@ -5,6 +5,8 @@
 //! models on the synthetic substrate and prints the same rows/series the
 //! paper reports. `EXPERIMENTS.md` records paper-vs-measured for each.
 
+#![forbid(unsafe_code)]
+
 use t2c_core::qmodels::QuantModel;
 use t2c_core::trainer::{dual_path_divergence, evaluate_int, PtqPipeline};
 use t2c_core::{FuseScheme, T2C};

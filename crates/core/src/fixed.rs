@@ -58,6 +58,13 @@ impl FixedPointFormat {
         raw_max as f32 / (1i64 << self.frac_bits) as f32
     }
 
+    /// Raw integer bounds `(min, max)` of this format's representable
+    /// range — range metadata for static verification.
+    pub fn raw_bounds(&self) -> (i64, i64) {
+        let width = self.total_bits().clamp(2, 31);
+        (-(1i64 << (width - 1)), (1i64 << (width - 1)) - 1)
+    }
+
     /// Quantizes a float to this format, saturating at the representable
     /// range (for shift-normalized formats with `int_bits == 0`, the raw
     /// magnitude bound is the fractional word itself; values are expected
@@ -113,6 +120,18 @@ impl FixedScalar {
     /// expressible in hardware as one multiply and one arithmetic shift.
     pub fn mul_shift(self, acc: i64) -> i64 {
         round_shift(acc * self.raw as i64, self.format.frac_bits)
+    }
+
+    /// Image of the closed interval `[lo, hi]` under [`FixedScalar::
+    /// mul_shift`], exactly as the hardware datapath computes it.
+    /// `mul_shift` is monotone in `acc` for non-negative multipliers and
+    /// antitone for negative ones, so the endpoint images bound the image
+    /// of every interior point — the soundness argument `t2c-lint`'s
+    /// interval dataflow rests on.
+    pub fn map_range(self, lo: i64, hi: i64) -> (i64, i64) {
+        let a = self.mul_shift(lo);
+        let b = self.mul_shift(hi);
+        (a.min(b), a.max(b))
     }
 }
 

@@ -205,6 +205,62 @@ pub enum IntOp {
     GeluLut(GeluLut),
 }
 
+impl IntOp {
+    /// Canonical short label of the op kind — shared by export manifests,
+    /// lint diagnostics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IntOp::Quantize { .. } => "quantize",
+            IntOp::Conv2d { .. } => "conv2d_int",
+            IntOp::Linear { .. } => "linear_int",
+            IntOp::AddRequant { .. } => "add_requant",
+            IntOp::AddConstRequant { .. } => "add_const_requant",
+            IntOp::MaxPool2d { .. } => "max_pool",
+            IntOp::GlobalAvgPool { .. } => "global_avg_pool",
+            IntOp::Flatten => "flatten",
+            IntOp::PatchToTokens => "patch_to_tokens",
+            IntOp::ConcatToken { .. } => "concat_token",
+            IntOp::TakeToken { .. } => "take_token",
+            IntOp::SplitHeads { .. } => "split_heads",
+            IntOp::MergeHeads { .. } => "merge_heads",
+            IntOp::BmmRequant { .. } => "bmm_requant",
+            IntOp::Requant { .. } => "requant",
+            IntOp::LayerNorm(_) => "layer_norm_int",
+            IntOp::SoftmaxLut(_) => "softmax_lut",
+            IntOp::GeluLut(_) => "gelu_lut",
+        }
+    }
+
+    /// The integer grid this op's output is clamped onto, when the op
+    /// declares one. Shape-only ops (`Flatten`, pooling, token plumbing)
+    /// and `Linear` heads without a requantizer return `None`: their
+    /// output inherits the producer's grid or is a raw accumulator.
+    pub fn out_spec(&self) -> Option<QuantSpec> {
+        match self {
+            IntOp::Quantize { spec, .. } => Some(*spec),
+            IntOp::Conv2d { requant, .. } => Some(requant.out_spec),
+            IntOp::Linear { requant, .. } => requant.as_ref().map(|r| r.out_spec),
+            IntOp::AddRequant { out_spec, .. }
+            | IntOp::AddConstRequant { out_spec, .. }
+            | IntOp::BmmRequant { out_spec, .. }
+            | IntOp::Requant { out_spec, .. } => Some(*out_spec),
+            IntOp::LayerNorm(ln) => Some(ln.out_spec),
+            IntOp::SoftmaxLut(lut) => Some(lut.out_spec),
+            IntOp::GeluLut(lut) => Some(lut.out_spec),
+            _ => None,
+        }
+    }
+
+    /// Number of graph operands the op consumes at execution time.
+    pub fn arity(&self) -> usize {
+        match self {
+            IntOp::Quantize { .. } => 0,
+            IntOp::AddRequant { .. } | IntOp::BmmRequant { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
 /// One node: an op plus where its operands come from.
 #[derive(Debug, Clone)]
 pub struct IntNode {
@@ -311,6 +367,18 @@ impl IntModel {
                     ))),
                 }
             };
+            // Operand access must be fallible: a malformed graph (too few
+            // inputs for the op) is a user error, not a panic.
+            let operand = |idx: usize| -> Result<&Tensor<i32>> {
+                let src = node.inputs.get(idx).ok_or_else(|| {
+                    TensorError::InvalidArgument(format!(
+                        "node {i} ({}) expects operand {idx} but lists {} input(s)",
+                        node.name,
+                        node.inputs.len()
+                    ))
+                })?;
+                fetch(src)
+            };
             // Routes a requantizer through the saturation-counting path when
             // profiling so each node reports `layer.<name>.saturated`.
             let requant_counted = |r: &MulQuant, acc: &Tensor<i32>, axis: usize, relu: bool| {
@@ -325,7 +393,7 @@ impl IntModel {
             let out = match &node.op {
                 IntOp::Quantize { .. } => input.clone(),
                 IntOp::Conv2d { weight, bias, spec, requant, relu, .. } => {
-                    let xin = fetch(&node.inputs[0])?;
+                    let xin = operand(0)?;
                     let acc = conv2d_i32(xin, weight, None, *spec)?;
                     let acc = match bias {
                         Some(b) => add_channel_bias(&acc, b, 1),
@@ -334,7 +402,7 @@ impl IntModel {
                     requant_counted(requant, &acc, 1, *relu)
                 }
                 IntOp::Linear { weight, bias, requant, relu, .. } => {
-                    let xin = fetch(&node.inputs[0])?;
+                    let xin = operand(0)?;
                     let acc = linear_i32(xin, weight)?;
                     let acc = match bias {
                         Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
@@ -346,43 +414,43 @@ impl IntModel {
                     }
                 }
                 IntOp::AddRequant { m_a, m_b, out_spec, relu } => {
-                    let a = fetch(&node.inputs[0])?;
-                    let b = fetch(&node.inputs[1])?;
+                    let a = operand(0)?;
+                    let b = operand(1)?;
                     add_requant(a, b, *m_a, *m_b, *out_spec, *relu)?
                 }
                 IntOp::AddConstRequant { value, m, out_spec } => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     add_const_requant(a, value, *m, *out_spec)?
                 }
                 IntOp::MaxPool2d { spec } => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     max_pool_i32(a, *spec)?
                 }
                 IntOp::GlobalAvgPool { frac_bits } => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     global_avg_pool_i32(a, *frac_bits)?
                 }
                 IntOp::Flatten => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     let n = a.dim(0);
                     let rest = a.numel() / n.max(1);
                     a.reshape(&[n, rest])?
                 }
                 IntOp::PatchToTokens => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     let (n, d, h, w) = (a.dim(0), a.dim(1), a.dim(2), a.dim(3));
                     a.reshape(&[n, d, h * w])?.permute(&[0, 2, 1])?
                 }
                 IntOp::ConcatToken { token } => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     concat_token(a, token)?
                 }
                 IntOp::TakeToken { index } => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     take_token(a, *index)?
                 }
                 IntOp::SplitHeads { heads } => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     let (n, l, d) = (a.dim(0), a.dim(1), a.dim(2));
                     a.reshape(&[n, l, *heads, d / heads])?.permute(&[0, 2, 1, 3])?.reshape(&[
                         n * heads,
@@ -391,7 +459,7 @@ impl IntModel {
                     ])?
                 }
                 IntOp::MergeHeads { heads } => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     let (nh, l, dh) = (a.dim(0), a.dim(1), a.dim(2));
                     let n = nh / heads;
                     a.reshape(&[n, *heads, l, dh])?.permute(&[0, 2, 1, 3])?.reshape(&[
@@ -401,26 +469,26 @@ impl IntModel {
                     ])?
                 }
                 IntOp::BmmRequant { transpose_rhs, m, out_spec } => {
-                    let a = fetch(&node.inputs[0])?;
-                    let b = fetch(&node.inputs[1])?;
+                    let a = operand(0)?;
+                    let b = operand(1)?;
                     let b = if *transpose_rhs { b.permute(&[0, 2, 1])? } else { b.clone() };
                     let acc = a.bmm_i(&b)?;
                     Ok::<Tensor<i32>, TensorError>(requant_per_tensor(&acc, *m, *out_spec, false))?
                 }
                 IntOp::Requant { m, out_spec } => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     requant_per_tensor(a, *m, *out_spec, false)
                 }
                 IntOp::LayerNorm(ln) => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     ln.apply(a)
                 }
                 IntOp::SoftmaxLut(lut) => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     lut.apply(a)
                 }
                 IntOp::GeluLut(lut) => {
-                    let a = fetch(&node.inputs[0])?;
+                    let a = operand(0)?;
                     lut.apply(a)
                 }
             };
@@ -486,7 +554,7 @@ impl IntModel {
                 IntOp::Linear { weight, weight_spec, bias, requant, .. } => {
                     bits += weight.numel() * weight_spec.bits as usize;
                     bits += bias.as_ref().map_or(0, |b| b.len() * 32);
-                    bits += requant.as_ref().map_or(0, |r| r.size_bytes()) * 8;
+                    bits += requant.as_ref().map_or(0, super::mulquant::MulQuant::size_bytes) * 8;
                 }
                 IntOp::SoftmaxLut(l) => bits += l.size_bytes() * 8,
                 IntOp::GeluLut(l) => bits += l.size_bytes() * 8,
@@ -751,6 +819,71 @@ mod tests {
         // codes: [10, −5]; logits = codes + bias
         assert_eq!(y.as_slice(), &[20, -15]);
         assert_eq!(m.predict(&x).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn malformed_graphs_error_instead_of_panicking() {
+        // A node listing fewer operands than its op consumes used to panic
+        // on `node.inputs[0]` / `[1]`; it must surface as Err.
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        m.push(
+            "fc",
+            IntOp::Linear {
+                weight: Tensor::from_vec(vec![1, 0, 0, 1], &[2, 2]).unwrap(),
+                bias: None,
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(8),
+            },
+            vec![], // missing operand
+        );
+        let x = Tensor::from_vec(vec![1.0_f32, 2.0], &[1, 2]).unwrap();
+        let err = m.run(&x).unwrap_err();
+        assert!(format!("{err}").contains("operand"), "unexpected error: {err}");
+
+        // A binary op with only one listed input.
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        m.push(
+            "add",
+            IntOp::AddRequant {
+                m_a: fixed(1.0),
+                m_b: fixed(1.0),
+                out_spec: QuantSpec::signed(8),
+                relu: false,
+            },
+            vec![Src::Node(0)],
+        );
+        assert!(m.run(&x).is_err());
+
+        // Dangling / forward references already error; they must keep doing
+        // so through run_quantized as well.
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        m.push("flat", IntOp::Flatten, vec![Src::Node(7)]);
+        let xq = Tensor::from_vec(vec![1, 2], &[1, 1, 1, 2]).unwrap();
+        let err = m.run_quantized(&xq).unwrap_err();
+        assert!(format!("{err}").contains("not-yet-computed"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn op_metadata_accessors() {
+        let q = IntOp::Quantize { scale: 0.1, spec: QuantSpec::unsigned(8) };
+        assert_eq!(q.label(), "quantize");
+        assert_eq!(q.out_spec(), Some(QuantSpec::unsigned(8)));
+        assert_eq!(q.arity(), 0);
+        assert_eq!(IntOp::Flatten.label(), "flatten");
+        assert_eq!(IntOp::Flatten.out_spec(), None);
+        assert_eq!(IntOp::Flatten.arity(), 1);
+        let add = IntOp::AddRequant {
+            m_a: fixed(1.0),
+            m_b: fixed(0.5),
+            out_spec: QuantSpec::signed(4),
+            relu: false,
+        };
+        assert_eq!(add.arity(), 2);
+        assert_eq!(add.out_spec(), Some(QuantSpec::signed(4)));
     }
 
     #[test]

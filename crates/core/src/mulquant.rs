@@ -167,6 +167,35 @@ impl MulQuant {
         (out, saturated)
     }
 
+    /// Number of requantization channels (1 = per-tensor).
+    pub fn channels(&self) -> usize {
+        self.scale_raw.len().max(self.bias_raw.len())
+    }
+
+    /// The raw-bias magnitude cap this requantizer's biases must respect:
+    /// `2^(total_bits + 14)`, the accumulator headroom [`MulQuant::
+    /// from_float`] clamps to. Biases beyond it indicate a corrupted or
+    /// hand-built requantizer the hardware epilogue cannot represent.
+    pub fn bias_headroom(&self) -> i64 {
+        1i64 << (self.format.total_bits().min(48) + 14)
+    }
+
+    /// Image of the accumulator interval `[lo, hi]` under channel `ch`'s
+    /// requantization — multiply, bias add and rounding shift, **before**
+    /// the ReLU and the output clamp. The map is monotone (antitone for a
+    /// negative multiplier), so endpoint images bound the image of the
+    /// whole interval; `t2c-lint` uses this to prove an entire layer's
+    /// output range lands inside the output grid.
+    pub fn map_range(&self, lo: i64, hi: i64, ch: usize) -> (i64, i64) {
+        let ci = ch.min(self.scale_raw.len() - 1);
+        let bias = self.bias_raw[ci.min(self.bias_raw.len() - 1)];
+        let f =
+            |acc: i64| round_shift(acc * self.scale_raw[ci] as i64 + bias, self.format.frac_bits);
+        let a = f(lo);
+        let b = f(hi);
+        (a.min(b), a.max(b))
+    }
+
     /// The effective float multiplier for channel `ch` (for reports).
     pub fn scale_f32(&self, ch: usize) -> f32 {
         self.scale_raw[ch.min(self.scale_raw.len() - 1)] as f32

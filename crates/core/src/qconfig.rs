@@ -56,6 +56,23 @@ impl QuantSpec {
     pub fn positive_levels(&self) -> f32 {
         self.qmax() as f32
     }
+
+    /// The representable code interval as `(qmin, qmax)` in `i64` — the
+    /// range-metadata form the static analyzer (`t2c-lint`) propagates.
+    pub fn range(&self) -> (i64, i64) {
+        (self.qmin() as i64, self.qmax() as i64)
+    }
+
+    /// Number of representable codes minus one (`qmax − qmin`): the grid
+    /// width used to calibrate saturation-overshoot severities.
+    pub fn width(&self) -> i64 {
+        self.qmax() as i64 - self.qmin() as i64
+    }
+
+    /// `true` when `code` lies on this grid.
+    pub fn contains(&self, code: i64) -> bool {
+        code >= self.qmin() as i64 && code <= self.qmax() as i64
+    }
 }
 
 impl fmt::Display for QuantSpec {

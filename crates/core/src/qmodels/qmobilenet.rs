@@ -141,7 +141,7 @@ impl Module for QMobileNet {
     }
 
     fn params(&self) -> Vec<Param> {
-        let mut out: Vec<Param> = self.units.iter().flat_map(|u| u.params()).collect();
+        let mut out: Vec<Param> = self.units.iter().flat_map(t2c_nn::Module::params).collect();
         out.extend(self.head.params());
         out
     }
@@ -208,7 +208,7 @@ impl QuantModel for QMobileNet {
             let s_y = unit.out_quantizer().scale();
             let fused = fuse_layer(
                 &unit.conv().weight().value(),
-                unit.conv().bias().map(|b| b.value()).as_ref(),
+                unit.conv().bias().map(t2c_autograd::Param::value).as_ref(),
                 unit.bn_params().as_ref(),
                 unit.weight_quantizer(),
                 s_cur,

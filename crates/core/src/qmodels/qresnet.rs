@@ -297,7 +297,7 @@ impl QuantModel for QResNet {
             let s_y = unit.out_quantizer().scale();
             let fused = fuse_layer(
                 &unit.conv().weight().value(),
-                unit.conv().bias().map(|b| b.value()).as_ref(),
+                unit.conv().bias().map(t2c_autograd::Param::value).as_ref(),
                 unit.bn_params().as_ref(),
                 unit.weight_quantizer(),
                 s_x,

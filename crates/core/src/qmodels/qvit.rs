@@ -366,7 +366,7 @@ impl QuantModel for QViT {
         let s_patch = self.patch.out_quantizer().scale();
         let fused = fuse_layer(
             &self.patch.conv().weight().value(),
-            self.patch.conv().bias().map(|b| b.value()).as_ref(),
+            self.patch.conv().bias().map(t2c_autograd::Param::value).as_ref(),
             None,
             self.patch.weight_quantizer(),
             self.input_q.scale(),
@@ -445,7 +445,7 @@ impl QuantModel for QViT {
          -> Result<usize> {
             let fused = fuse_layer(
                 &unit.linear().weight().value(),
-                unit.linear().bias().map(|b| b.value()).as_ref(),
+                unit.linear().bias().map(t2c_autograd::Param::value).as_ref(),
                 None,
                 unit.weight_quantizer(),
                 s_x,

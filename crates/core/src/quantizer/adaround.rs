@@ -218,10 +218,7 @@ mod tests {
         let alpha = q.alpha().unwrap();
         // Force: first rounds up, second rounds down.
         alpha.set_value(Tensor::from_vec(vec![5.0, -5.0], &[1, 2]).unwrap());
-        let s = match q.scale() {
-            Scale::PerTensor(s) => s,
-            _ => unreachable!(),
-        };
+        let Scale::PerTensor(s) = q.scale() else { unreachable!() };
         let codes = q.quantize(&w);
         assert_eq!(codes.as_slice()[0], (0.24 / s).floor() as i32 + 1);
         assert_eq!(codes.as_slice()[1], (0.26 / s).floor() as i32);

@@ -141,10 +141,7 @@ mod tests {
         let q = MinMaxWeight::new(QuantSpec::signed(8), false);
         q.calibrate(&w);
         let codes = q.quantize(&w);
-        let s = match q.scale() {
-            Scale::PerTensor(s) => s,
-            _ => unreachable!(),
-        };
+        let Scale::PerTensor(s) = q.scale() else { unreachable!() };
         for (c, orig) in codes.as_slice().iter().zip(w.as_slice()) {
             assert!((*c as f32 * s - orig).abs() <= s / 2.0 + 1e-6);
         }

@@ -160,10 +160,7 @@ mod tests {
         let g = Graph::new();
         let dq = q.train_path(&g.leaf(w0.clone())).unwrap().tensor();
         let codes = q.quantize(&w0);
-        let s = match q.scale() {
-            Scale::PerTensor(s) => s,
-            _ => unreachable!(),
-        };
+        let Scale::PerTensor(s) = q.scale() else { unreachable!() };
         for (d, &c) in dq.as_slice().iter().zip(codes.as_slice()) {
             assert!((d - c as f32 * s).abs() < 1e-5, "{d} vs {}", c as f32 * s);
         }
@@ -188,10 +185,7 @@ mod tests {
         let q = PotWeight::new(5);
         q.calibrate(&w);
         let codes = q.quantize(&w);
-        let s = match q.scale() {
-            Scale::PerTensor(s) => s,
-            _ => unreachable!(),
-        };
+        let Scale::PerTensor(s) = q.scale() else { unreachable!() };
         let min_level = *self_min(&q) * w.abs_max();
         for (&c, &orig) in codes.as_slice().iter().zip(w.as_slice()) {
             if c != 0 && orig.abs() > min_level {

@@ -240,10 +240,7 @@ mod tests {
         let g = Graph::new();
         let dq = q.train_path(&g.leaf(w0.clone())).unwrap().tensor();
         let codes = q.quantize(&w0);
-        let s = match q.scale() {
-            Scale::PerTensor(s) => s,
-            _ => unreachable!(),
-        };
+        let Scale::PerTensor(s) = q.scale() else { unreachable!() };
         for (d, c) in dq.as_slice().iter().zip(codes.as_slice()) {
             assert!((d - *c as f32 * s).abs() < 1e-4, "{d} vs {}", *c as f32 * s);
         }

@@ -24,7 +24,7 @@ proptest! {
         let q = MinMaxWeight::new(QuantSpec::signed(bits), false);
         q.calibrate(&w);
         let codes = q.quantize(&w);
-        let s = match q.scale() { Scale::PerTensor(s) => s, _ => unreachable!() };
+        let Scale::PerTensor(s) = q.scale() else { unreachable!() };
         for (&c, &orig) in codes.as_slice().iter().zip(w.as_slice()) {
             prop_assert!((c as f32 * s - orig).abs() <= s / 2.0 + 1e-5,
                 "code {c} scale {s} orig {orig}");
@@ -39,7 +39,7 @@ proptest! {
         let g = Graph::new();
         let dq = q.train_path(&g.leaf(w.clone())).unwrap().tensor();
         let codes = q.quantize(&w);
-        let s = match q.scale() { Scale::PerTensor(s) => s, _ => unreachable!() };
+        let Scale::PerTensor(s) = q.scale() else { unreachable!() };
         for (d, &c) in dq.as_slice().iter().zip(codes.as_slice()) {
             prop_assert!((d - c as f32 * s).abs() < 1e-4);
         }

@@ -82,7 +82,7 @@ impl ParallelLoader {
         let plan: Vec<(usize, Vec<usize>)> = {
             let mut rng = TensorRng::seed_from(seed);
             let order = rng.permutation(data.train_len());
-            order.chunks(batch).map(|c| c.to_vec()).enumerate().collect()
+            order.chunks(batch).map(<[usize]>::to_vec).enumerate().collect()
         };
         let (tx, rx) = channel::unbounded::<(usize, (Tensor<f32>, Vec<usize>))>();
         let workers = workers.max(1);
@@ -105,7 +105,7 @@ impl ParallelLoader {
         .expect("loader scope");
         let mut collected: Vec<Option<(Tensor<f32>, Vec<usize>)>> =
             (0..plan.len()).map(|_| None).collect();
-        for (bi, b) in rx.iter() {
+        for (bi, b) in &rx {
             collected[bi] = Some(b);
         }
         ParallelLoader {

@@ -55,7 +55,7 @@ pub fn export_package(model: &IntModel, dir: &Path) -> Result<ExportManifest> {
     let mut hex_files = Vec::new();
     let mut manifest = String::from("# Torch2Chip deployment package\n");
     for (i, node) in model.nodes.iter().enumerate() {
-        manifest.push_str(&format!("node {i}: {} ({})\n", node.name, op_label(&node.op)));
+        manifest.push_str(&format!("node {i}: {} ({})\n", node.name, node.op.label()));
         let (codes, bits) = match &node.op {
             IntOp::Conv2d { weight, weight_spec, .. }
             | IntOp::Linear { weight, weight_spec, .. } => {
@@ -73,7 +73,9 @@ pub fn export_package(model: &IntModel, dir: &Path) -> Result<ExportManifest> {
         let bin_payload = bin_lines.join("\n") + "\n";
         total += bin_payload.len();
         fs::write(dir.join("bin").join(format!("{base}.mem")), bin_payload)?;
-        let dec_payload = codes.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n") + "\n";
+        let dec_payload =
+            codes.iter().map(std::string::ToString::to_string).collect::<Vec<_>>().join("\n")
+                + "\n";
         total += dec_payload.len();
         fs::write(dir.join("dec").join(format!("{base}.txt")), dec_payload)?;
         manifest.push_str(&format!("  weights: {} × int{bits} → hex/{base}.hex\n", codes.len()));
@@ -117,29 +119,6 @@ pub fn verify_package(manifest: &ExportManifest) -> Result<IntModel> {
         }
     }
     Ok(model)
-}
-
-fn op_label(op: &IntOp) -> &'static str {
-    match op {
-        IntOp::Quantize { .. } => "quantize",
-        IntOp::Conv2d { .. } => "conv2d_int",
-        IntOp::Linear { .. } => "linear_int",
-        IntOp::AddRequant { .. } => "add_requant",
-        IntOp::AddConstRequant { .. } => "add_const_requant",
-        IntOp::MaxPool2d { .. } => "max_pool",
-        IntOp::GlobalAvgPool { .. } => "global_avg_pool",
-        IntOp::Flatten => "flatten",
-        IntOp::PatchToTokens => "patch_to_tokens",
-        IntOp::ConcatToken { .. } => "concat_token",
-        IntOp::TakeToken { .. } => "take_token",
-        IntOp::SplitHeads { .. } => "split_heads",
-        IntOp::MergeHeads { .. } => "merge_heads",
-        IntOp::BmmRequant { .. } => "bmm_requant",
-        IntOp::Requant { .. } => "requant",
-        IntOp::LayerNorm(_) => "layer_norm_int",
-        IntOp::SoftmaxLut(_) => "softmax_lut",
-        IntOp::GeluLut(_) => "gelu_lut",
-    }
 }
 
 #[cfg(test)]

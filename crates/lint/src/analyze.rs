@@ -1,0 +1,1268 @@
+//! Interval dataflow over [`IntModel`] graphs.
+//!
+//! The analysis walks the topologically ordered op list once, carrying a
+//! per-node [`State`]: the inferred output shape, the exact value interval
+//! of the output codes, and the declared grid when the op clamps onto one.
+//! All interval arithmetic is done in `i128`, mirrors the hardware
+//! datapath op for op (`round_shift`, per-MAC `i32` saturation envelopes,
+//! bias broadcast), and is **sound**: if a rule does not fire, the proven
+//! property holds for *every* input on the declared input grid.
+
+use std::collections::BTreeSet;
+
+use t2c_core::intmodel::{IntNode, IntOp, LayerNormInt, Src};
+use t2c_core::lut::{GeluLut, SoftmaxLut};
+use t2c_core::{FixedScalar, IntModel, MulQuant, QuantSpec};
+use t2c_tensor::Tensor;
+
+use crate::interval::Interval;
+use crate::{Diagnostic, LintReport, Rule, Severity};
+
+/// Overshoot beyond this many grid widths escalates a scale-chain finding
+/// from "worst-case saturation risk" (Warn) to "multiplier/shift mismatch"
+/// (Error). Calibrated models legitimately carry worst-case overshoot of a
+/// few grid widths; a shift that is off by even a few bits lands orders of
+/// magnitude outside.
+pub const SCALE_CHAIN_ERROR_FACTOR: i128 = 64;
+
+/// Per-node analysis result surfaced in reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// Node index in execution order.
+    pub id: usize,
+    /// Layer name.
+    pub name: String,
+    /// Op label ([`IntOp::label`]).
+    pub op: &'static str,
+    /// Inferred output shape (empty when inference failed upstream).
+    pub shape: Vec<usize>,
+    /// Proven lower bound of the output codes (saturated to `i64`).
+    pub lo: i64,
+    /// Proven upper bound of the output codes (saturated to `i64`).
+    pub hi: i64,
+}
+
+/// Dataflow state of one tensor edge.
+#[derive(Debug, Clone)]
+struct State {
+    shape: Vec<usize>,
+    range: Interval,
+    spec: Option<QuantSpec>,
+}
+
+fn sat_i64(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+fn round_shift_i128(v: i128, bits: u8) -> i128 {
+    if bits == 0 {
+        return v;
+    }
+    (v + (1i128 << (bits - 1))) >> bits
+}
+
+/// Runs the full static verification pass over `model`, assuming the
+/// model input has shape `input_shape` (batch included) and spans the
+/// entire grid declared by the leading `Quantize` node.
+pub fn lint_model(model: &IntModel, input_shape: &[usize], tag: &str) -> LintReport {
+    let mut ctx = Ctx { diags: Vec::new() };
+    let mut states: Vec<Option<State>> = Vec::with_capacity(model.len());
+
+    if model.is_empty() {
+        ctx.push(Diagnostic::global(
+            Rule::MissingQuantize,
+            Severity::Error,
+            "model",
+            "model has no nodes",
+            "push at least a Quantize node",
+        ));
+        return ctx.into_report(tag, model, &states);
+    }
+
+    let input_state = match model.nodes.first().map(|n| &n.op) {
+        Some(IntOp::Quantize { spec, .. }) => Some(State {
+            shape: input_shape.to_vec(),
+            range: Interval::of_spec(*spec),
+            spec: Some(*spec),
+        }),
+        _ => {
+            ctx.push(Diagnostic::node(
+                Rule::MissingQuantize,
+                Severity::Error,
+                0,
+                model.nodes[0].name.clone(),
+                format!("first node is `{}`, not `quantize`", model.nodes[0].op.label()),
+                "IntModel::run requires a leading Quantize node declaring the input grid",
+            ));
+            None
+        }
+    };
+
+    for (i, node) in model.nodes.iter().enumerate() {
+        // -- source well-formedness -----------------------------------
+        let mut sources_ok = true;
+        for src in &node.inputs {
+            if let Src::Node(id) = src {
+                if *id >= model.len() {
+                    sources_ok = false;
+                    ctx.push(Diagnostic::node(
+                        Rule::DanglingSrc,
+                        Severity::Error,
+                        i,
+                        node.name.clone(),
+                        format!("reads Src::Node({id}) but the graph has {} nodes", model.len()),
+                        "point the input at an existing, earlier node",
+                    ));
+                } else if *id >= i {
+                    sources_ok = false;
+                    ctx.push(Diagnostic::node(
+                        Rule::ForwardSrc,
+                        Severity::Error,
+                        i,
+                        node.name.clone(),
+                        format!("reads Src::Node({id}), which executes at or after position {i}"),
+                        "IntModel graphs are topologically ordered; reference earlier nodes only",
+                    ));
+                }
+            }
+        }
+        let arity = node.op.arity();
+        if node.inputs.len() < arity {
+            sources_ok = false;
+            ctx.push(Diagnostic::node(
+                Rule::MissingOperand,
+                Severity::Error,
+                i,
+                node.name.clone(),
+                format!(
+                    "op `{}` needs {arity} operand(s), {} listed",
+                    node.op.label(),
+                    node.inputs.len()
+                ),
+                "list every operand in IntNode::inputs",
+            ));
+        }
+
+        // Resolve operand states (cloned; shapes are tiny).
+        let operand = |idx: usize| -> Option<State> {
+            match node.inputs.get(idx)? {
+                Src::Input => input_state.clone(),
+                Src::Node(id) if *id < i => states.get(*id).and_then(Clone::clone),
+                Src::Node(_) => None,
+            }
+        };
+
+        let state = if sources_ok {
+            ctx.analyze_op(i, node, operand(0), operand(1), input_state.as_ref())
+        } else {
+            None
+        };
+        states.push(state);
+    }
+
+    // -- reachability --------------------------------------------------
+    let consumed: BTreeSet<usize> = model
+        .nodes
+        .iter()
+        .flat_map(|n| n.inputs.iter())
+        .filter_map(|s| match s {
+            Src::Node(id) => Some(*id),
+            Src::Input => None,
+        })
+        .collect();
+    // Node 0 is the Quantize entry whose output downstream nodes read as
+    // `Src::Input`, so it is reachable by construction.
+    for (i, node) in model.nodes.iter().enumerate() {
+        if i > 0 && i + 1 < model.len() && !consumed.contains(&i) {
+            ctx.push(Diagnostic::node(
+                Rule::UnreachableNode,
+                Severity::Warn,
+                i,
+                node.name.clone(),
+                "output is never consumed and this is not the model output".to_owned(),
+                "remove the node or wire its output into the graph",
+            ));
+        }
+    }
+
+    ctx.into_report(tag, model, &states)
+}
+
+struct Ctx {
+    diags: Vec<Diagnostic>,
+}
+
+impl Ctx {
+    fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    fn into_report(self, tag: &str, model: &IntModel, states: &[Option<State>]) -> LintReport {
+        let nodes = model
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let st = states.get(i).and_then(Option::as_ref);
+                NodeSummary {
+                    id: i,
+                    name: n.name.clone(),
+                    op: n.op.label(),
+                    shape: st.map(|s| s.shape.clone()).unwrap_or_default(),
+                    lo: st.map_or(0, |s| sat_i64(s.range.lo)),
+                    hi: st.map_or(0, |s| sat_i64(s.range.hi)),
+                }
+            })
+            .collect();
+        LintReport { tag: tag.to_owned(), diagnostics: self.diags, nodes }
+    }
+
+    fn shape_err(&mut self, i: usize, name: &str, msg: String, hint: &str) {
+        self.push(Diagnostic::node(Rule::ShapeMismatch, Severity::Error, i, name, msg, hint));
+    }
+
+    /// Per-`FixedScalar` representability checks (T2C202 / T2C203).
+    fn fixed_scalar_check(&mut self, i: usize, name: &str, m: FixedScalar, what: &str) {
+        if m.raw == 0 {
+            self.push(Diagnostic::node(
+                Rule::ZeroMultiplier,
+                Severity::Warn,
+                i,
+                name,
+                format!("{what} multiplier quantized to zero in {}", m.format),
+                "increase frac_bits (the scale underflows the fractional width)",
+            ));
+        } else if m.raw.unsigned_abs() < 8 {
+            self.push(Diagnostic::node(
+                Rule::LowPrecisionScale,
+                Severity::Warn,
+                i,
+                name,
+                format!(
+                    "{what} multiplier raw value {} keeps fewer than 3 significant bits in {}",
+                    m.raw, m.format
+                ),
+                "widen frac_bits so the scale retains usable precision",
+            ));
+        }
+    }
+
+    /// Scale-chain consistency for one mapped interval (T2C201). Returns
+    /// the grid-clamped output interval.
+    fn scale_chain(
+        &mut self,
+        i: usize,
+        name: &str,
+        mapped: Interval,
+        spec: QuantSpec,
+        what: &str,
+    ) -> Interval {
+        let (glo, ghi) = spec.range();
+        let (glo, ghi) = (glo as i128, ghi as i128);
+        if mapped.lo < glo || mapped.hi > ghi {
+            let overshoot = (glo - mapped.lo).max(mapped.hi - ghi).max(0);
+            let disjoint = mapped.hi < glo || mapped.lo > ghi;
+            let gross = disjoint || overshoot > SCALE_CHAIN_ERROR_FACTOR * spec.width() as i128;
+            let severity = if gross { Severity::Error } else { Severity::Warn };
+            let message = if disjoint {
+                format!("{what} maps the producer range to {mapped}, entirely outside {spec} [{glo}, {ghi}]")
+            } else {
+                format!(
+                    "{what} maps the worst-case producer range to {mapped}, overshooting {spec} [{glo}, {ghi}] by {overshoot} code(s)"
+                )
+            };
+            self.push(Diagnostic::node(
+                Rule::ScaleChain,
+                severity,
+                i,
+                name,
+                message,
+                if gross {
+                    "the fixed-point multiplier/shift does not match the scale chain; re-derive it from S_in/S_out"
+                } else {
+                    "worst-case inputs saturate; recalibrate the producer range or widen the output grid"
+                },
+            ));
+        }
+        mapped.clamp_to(spec)
+    }
+
+    /// Requantizer checks over per-channel accumulator intervals
+    /// (T2C102/T2C103/T2C201/T2C202/T2C203). Returns the union of the
+    /// per-channel clamped outputs.
+    fn requant(
+        &mut self,
+        i: usize,
+        name: &str,
+        mq: &MulQuant,
+        acc: &[Interval],
+        relu: bool,
+    ) -> Interval {
+        let headroom = mq.bias_headroom();
+        for (ci, &b) in mq.bias_raw.iter().enumerate() {
+            if b.abs() > headroom {
+                self.push(Diagnostic::node(
+                    Rule::BiasHeadroom,
+                    Severity::Error,
+                    i,
+                    name,
+                    format!(
+                        "MulQuant bias_raw[{ci}] = {b} exceeds the accumulator headroom ±{headroom} for {}",
+                        mq.format
+                    ),
+                    "rebuild the requantizer with MulQuant::from_float (it clamps biases to headroom)",
+                ));
+            }
+        }
+        for (ci, &sr) in mq.scale_raw.iter().enumerate() {
+            let m = FixedScalar { raw: sr, format: mq.format };
+            self.fixed_scalar_check(i, name, m, &format!("MulQuant channel {ci}"));
+        }
+        // Worst mapped interval across channels, pre-clamp; checked once
+        // so a 512-channel layer produces one finding, not 512.
+        let mut worst: Option<Interval> = None;
+        let mut out: Option<Interval> = None;
+        for (ch, &a) in acc.iter().enumerate() {
+            let ci = ch.min(mq.scale_raw.len() - 1);
+            let bias = mq.bias_raw[ci.min(mq.bias_raw.len() - 1)] as i128;
+            let full = Interval::new(
+                (a.lo * mq.scale_raw[ci] as i128).min(a.hi * mq.scale_raw[ci] as i128) + bias,
+                (a.lo * mq.scale_raw[ci] as i128).max(a.hi * mq.scale_raw[ci] as i128) + bias,
+            );
+            if !full.fits_i64() {
+                self.push(Diagnostic::node(
+                    Rule::WideProductOverflow,
+                    Severity::Error,
+                    i,
+                    name,
+                    format!("requant product acc·M + B spans {full}, outside i64 (channel {ch})"),
+                    "shrink the accumulator range or the multiplier magnitude",
+                ));
+                continue;
+            }
+            let mut mapped = Interval::new(
+                round_shift_i128(full.lo, mq.format.frac_bits),
+                round_shift_i128(full.hi, mq.format.frac_bits),
+            );
+            if relu {
+                mapped = mapped.relu();
+            }
+            worst = Some(match worst {
+                Some(w) => w.union(mapped),
+                None => mapped,
+            });
+            out = Some(match out {
+                Some(o) => o.union(mapped.clamp_to(mq.out_spec)),
+                None => mapped.clamp_to(mq.out_spec),
+            });
+        }
+        if let Some(w) = worst {
+            self.scale_chain(i, name, w, mq.out_spec, "MulQuant");
+        }
+        out.unwrap_or_else(|| Interval::of_spec(mq.out_spec))
+    }
+
+    /// Per-output-channel accumulator intervals for a conv/linear weight
+    /// tensor against a per-tensor input interval. Returns
+    /// `(final, envelope)` pairs: `final` is the exact end-of-sum
+    /// interval (bias included), `envelope` additionally bounds every
+    /// partial sum, which is what the per-MAC saturating kernel clips on.
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn mac_channels(
+        &mut self,
+        i: usize,
+        name: &str,
+        weight: &Tensor<i32>,
+        oc: usize,
+        x: Interval,
+        bias: Option<&[i64]>,
+        weight_spec: QuantSpec,
+    ) -> Vec<(Interval, Interval)> {
+        let ws = weight.as_slice();
+        let per = ws.len() / oc.max(1);
+        if let Some((min, max)) = ws.iter().fold(None, |mm: Option<(i32, i32)>, &w| {
+            Some(mm.map_or((w, w), |(lo, hi)| (lo.min(w), hi.max(w))))
+        }) {
+            if !weight_spec.contains(min as i64) || !weight_spec.contains(max as i64) {
+                self.push(Diagnostic::node(
+                    Rule::WeightOffGrid,
+                    Severity::Error,
+                    i,
+                    name,
+                    format!(
+                        "weight codes span [{min}, {max}], outside the declared {weight_spec} grid"
+                    ),
+                    "fix weight_spec or re-quantize the weights onto the declared grid",
+                ));
+            }
+        }
+        if let Some(b) = bias {
+            if b.len() != oc && b.len() != 1 {
+                self.push(Diagnostic::node(
+                    Rule::ShapeMismatch,
+                    Severity::Warn,
+                    i,
+                    name,
+                    format!("bias has {} entries for {oc} output channels", b.len()),
+                    "match the bias length to the output channel count (the runtime broadcasts the last entry)",
+                ));
+            }
+        }
+        let mut per_ch = Vec::with_capacity(oc);
+        for c in 0..oc {
+            let (mut lo, mut hi) = (0i128, 0i128);
+            let (mut env_lo, mut env_hi) = (0i128, 0i128);
+            for &w in &ws[c * per..(c + 1) * per] {
+                let a = w as i128 * x.lo;
+                let b = w as i128 * x.hi;
+                let (cl, ch) = (a.min(b), a.max(b));
+                lo += cl;
+                hi += ch;
+                env_lo += cl.min(0);
+                env_hi += ch.max(0);
+            }
+            let bv = bias.map_or(0i128, |b| b[c.min(b.len() - 1)] as i128);
+            per_ch.push((
+                Interval::new(lo + bv, hi + bv),
+                Interval::new(env_lo + bv.min(0), env_hi + bv.max(0)),
+            ));
+        }
+        per_ch
+    }
+
+    /// Emits T2C101 if any channel's saturation envelope (partial sums
+    /// plus bias) can leave `i32`. Reports the single worst channel.
+    fn acc_overflow(&mut self, i: usize, name: &str, per_ch: &[(Interval, Interval)]) -> bool {
+        let worst = per_ch
+            .iter()
+            .enumerate()
+            .filter(|(_, (f, e))| !f.fits_i32() || !e.fits_i32())
+            .max_by_key(|(_, (f, e))| f.union(*e).width());
+        if let Some((ch, (f, e))) = worst {
+            self.push(Diagnostic::node(
+                Rule::AccOverflow,
+                Severity::Error,
+                i,
+                name,
+                format!(
+                    "channel {ch} accumulator can reach {} (partial-sum envelope {}), outside i32 — the saturating MAC array silently clips",
+                    f.union(*e),
+                    e
+                ),
+                "reduce MAC count per output, weight magnitude or input bit width so the proof closes",
+            ));
+            return true;
+        }
+        false
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn analyze_op(
+        &mut self,
+        i: usize,
+        node: &IntNode,
+        in0: Option<State>,
+        in1: Option<State>,
+        input_state: Option<&State>,
+    ) -> Option<State> {
+        let name = node.name.clone();
+        match &node.op {
+            IntOp::Quantize { spec, .. } => {
+                if i > 0 {
+                    self.push(Diagnostic::node(
+                        Rule::MissingQuantize,
+                        Severity::Warn,
+                        i,
+                        &name,
+                        "Quantize after position 0 acts as a passthrough of the model input"
+                            .to_owned(),
+                        "quantize exactly once, at the graph entry",
+                    ));
+                    return input_state.cloned();
+                }
+                input_state.cloned().map(|s| State { spec: Some(*spec), ..s })
+            }
+            IntOp::Conv2d { weight, bias, spec, requant, relu, weight_spec } => {
+                let x = in0?;
+                if x.shape.len() != 4 {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("conv2d input must be rank 4, got {:?}", x.shape),
+                        "feed an [N, C, H, W] tensor",
+                    );
+                    return None;
+                }
+                let (c, h, w) = (x.shape[1], x.shape[2], x.shape[3]);
+                let (oc, cg, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+                let g = spec.groups.max(1);
+                if cg * g != c || oc % g != 0 {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!(
+                            "weight [{oc}, {cg}, {kh}, {kw}] with {g} group(s) does not match {c} input channels"
+                        ),
+                        "weight dim 1 must be C/groups and OC divisible by groups",
+                    );
+                    return None;
+                }
+                let (Some(oh), Some(ow)) = (
+                    conv_extent(h, kh, spec.stride, spec.padding),
+                    conv_extent(w, kw, spec.stride, spec.padding),
+                ) else {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!(
+                            "kernel {kh}x{kw} stride {} padding {} does not fit input {h}x{w}",
+                            spec.stride, spec.padding
+                        ),
+                        "shrink the kernel or add padding",
+                    );
+                    return None;
+                };
+                let xr = if spec.padding > 0 { x.range.include_zero() } else { x.range };
+                let per_ch =
+                    self.mac_channels(i, &name, weight, oc, xr, bias.as_deref(), *weight_spec);
+                self.acc_overflow(i, &name, &per_ch);
+                if mq_channel_mismatch(requant, oc) {
+                    self.push(Diagnostic::node(
+                        Rule::ShapeMismatch,
+                        Severity::Warn,
+                        i,
+                        &name,
+                        format!(
+                            "requantizer carries {} channel(s) for {oc} output channels",
+                            requant.channels()
+                        ),
+                        "use 1 (per-tensor) or OC requantizer channels",
+                    ));
+                }
+                let finals: Vec<Interval> = per_ch.iter().map(|(f, _)| *f).collect();
+                let out = self.requant(i, &name, requant, &finals, *relu);
+                Some(State {
+                    shape: vec![x.shape[0], oc, oh, ow],
+                    range: out,
+                    spec: Some(requant.out_spec),
+                })
+            }
+            IntOp::Linear { weight, bias, requant, relu, weight_spec } => {
+                let x = in0?;
+                let (out_f, in_f) = (weight.dim(0), weight.dim(1));
+                let Some(&last) = x.shape.last() else {
+                    self.shape_err(i, &name, "linear input has rank 0".into(), "feed [N, IN]");
+                    return None;
+                };
+                if x.shape.len() < 2 || x.shape.len() > 3 || last != in_f {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("weight [{out_f}, {in_f}] does not match input {:?}", x.shape),
+                        "linear expects [N, IN] or [N, L, IN] with IN matching the weight",
+                    );
+                    return None;
+                }
+                let per_ch = self.mac_channels(
+                    i,
+                    &name,
+                    weight,
+                    out_f,
+                    x.range,
+                    bias.as_deref(),
+                    *weight_spec,
+                );
+                self.acc_overflow(i, &name, &per_ch);
+                let finals: Vec<Interval> = per_ch.iter().map(|(f, _)| *f).collect();
+                let mut shape = x.shape.clone();
+                *shape.last_mut().expect("non-empty") = out_f;
+                match requant {
+                    Some(mq) => {
+                        if mq_channel_mismatch(mq, out_f) {
+                            self.push(Diagnostic::node(
+                                Rule::ShapeMismatch,
+                                Severity::Warn,
+                                i,
+                                &name,
+                                format!(
+                                    "requantizer carries {} channel(s) for {out_f} output features",
+                                    mq.channels()
+                                ),
+                                "use 1 (per-tensor) or OUT requantizer channels",
+                            ));
+                        }
+                        let out = self.requant(i, &name, mq, &finals, *relu);
+                        Some(State { shape, range: out, spec: Some(mq.out_spec) })
+                    }
+                    None => {
+                        let range = finals
+                            .iter()
+                            .copied()
+                            .reduce(Interval::union)
+                            .unwrap_or(Interval::point(0));
+                        Some(State { shape, range, spec: None })
+                    }
+                }
+            }
+            IntOp::AddRequant { m_a, m_b, out_spec, relu } => {
+                let (a, b) = (in0?, in1?);
+                if a.shape != b.shape {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("branch shapes {:?} vs {:?} differ", a.shape, b.shape),
+                        "residual adds need identical operand shapes",
+                    );
+                    return None;
+                }
+                self.fixed_scalar_check(i, &name, *m_a, "branch-a");
+                self.fixed_scalar_check(i, &name, *m_b, "branch-b");
+                let mut mapped = a.range.map_fixed(*m_a) + b.range.map_fixed(*m_b);
+                if *relu {
+                    mapped = mapped.relu();
+                }
+                let out = self.scale_chain(i, &name, mapped, *out_spec, "add_requant");
+                Some(State { shape: a.shape, range: out, spec: Some(*out_spec) })
+            }
+            IntOp::AddConstRequant { value, m, out_spec } => {
+                let a = in0?;
+                let n: usize = a.shape.iter().skip(1).product();
+                if value.numel() == 0 || !n.is_multiple_of(value.numel()) {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!(
+                            "constant with {} element(s) does not broadcast over input {:?}",
+                            value.numel(),
+                            a.shape
+                        ),
+                        "the constant must tile the non-batch extent exactly",
+                    );
+                    return None;
+                }
+                self.fixed_scalar_check(i, &name, *m, "const-add");
+                let (cmin, cmax) = slice_min_max(value.as_slice());
+                let sum = a.range + Interval::new(cmin as i128, cmax as i128);
+                let mapped = sum.map_fixed(*m);
+                let out = self.scale_chain(i, &name, mapped, *out_spec, "add_const_requant");
+                Some(State { shape: a.shape, range: out, spec: Some(*out_spec) })
+            }
+            IntOp::MaxPool2d { spec } => {
+                let x = in0?;
+                if x.shape.len() != 4 {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("max_pool input must be rank 4, got {:?}", x.shape),
+                        "feed an [N, C, H, W] tensor",
+                    );
+                    return None;
+                }
+                let (Some(oh), Some(ow)) = (
+                    conv_extent(x.shape[2], spec.kernel, spec.stride, spec.padding),
+                    conv_extent(x.shape[3], spec.kernel, spec.stride, spec.padding),
+                ) else {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!(
+                            "pool kernel {} stride {} padding {} does not fit {}x{}",
+                            spec.kernel, spec.stride, spec.padding, x.shape[2], x.shape[3]
+                        ),
+                        "shrink the window",
+                    );
+                    return None;
+                };
+                Some(State { shape: vec![x.shape[0], x.shape[1], oh, ow], ..x })
+            }
+            IntOp::GlobalAvgPool { frac_bits } => {
+                let x = in0?;
+                if x.shape.len() != 4 {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("global_avg_pool input must be rank 4, got {:?}", x.shape),
+                        "feed an [N, C, H, W] tensor",
+                    );
+                    return None;
+                }
+                let hw = (x.shape[2] * x.shape[3]).max(1);
+                // The runtime's fixed-point 2^(16+frac)/(H·W) multiplier.
+                let m = (((1i64 << (16 + *frac_bits as i64)) as f64) / hw as f64).round() as i128;
+                let sum = x.range.scale(hw as i128);
+                let product =
+                    Interval::new((sum.lo * m).min(sum.hi * m), (sum.lo * m).max(sum.hi * m));
+                if !product.fits_i64() {
+                    self.push(Diagnostic::node(
+                        Rule::WideProductOverflow,
+                        Severity::Error,
+                        i,
+                        &name,
+                        format!("pooling product sum·m spans {product}, outside i64"),
+                        "reduce the pooled extent or the retained fractional bits",
+                    ));
+                    return None;
+                }
+                let out = Interval::new(
+                    round_shift_i128(product.lo, 16),
+                    round_shift_i128(product.hi, 16),
+                );
+                if !out.fits_i32() {
+                    self.push(Diagnostic::node(
+                        Rule::AccOverflow,
+                        Severity::Error,
+                        i,
+                        &name,
+                        format!("pooled output range {out} does not fit i32"),
+                        "lower frac_bits",
+                    ));
+                }
+                Some(State {
+                    shape: vec![x.shape[0], x.shape[1]],
+                    range: out,
+                    spec: if *frac_bits == 0 { x.spec } else { None },
+                })
+            }
+            IntOp::Flatten => {
+                let x = in0?;
+                if x.shape.is_empty() {
+                    self.shape_err(i, &name, "flatten input has rank 0".into(), "feed a batch");
+                    return None;
+                }
+                let n = x.shape[0];
+                let rest: usize = x.shape.iter().skip(1).product();
+                Some(State { shape: vec![n, rest], ..x })
+            }
+            IntOp::PatchToTokens => {
+                let x = in0?;
+                if x.shape.len() != 4 {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("patch_to_tokens input must be rank 4, got {:?}", x.shape),
+                        "feed the [N, D, h, w] patch grid",
+                    );
+                    return None;
+                }
+                Some(State { shape: vec![x.shape[0], x.shape[2] * x.shape[3], x.shape[1]], ..x })
+            }
+            IntOp::ConcatToken { token } => {
+                let x = in0?;
+                if x.shape.len() != 3 || token.numel() != x.shape[2] {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!(
+                            "token with {} element(s) does not match sequence {:?}",
+                            token.numel(),
+                            x.shape
+                        ),
+                        "the class token must match the embedding dim of an [N, L, D] sequence",
+                    );
+                    return None;
+                }
+                let (tmin, tmax) = slice_min_max(token.as_slice());
+                if let Some(spec) = x.spec {
+                    if !spec.contains(tmin as i64) || !spec.contains(tmax as i64) {
+                        self.push(Diagnostic::node(
+                            Rule::WeightOffGrid,
+                            Severity::Warn,
+                            i,
+                            &name,
+                            format!("class token codes span [{tmin}, {tmax}], outside the stream's {spec} grid"),
+                            "quantize the token at the sequence's scale and grid",
+                        ));
+                    }
+                }
+                Some(State {
+                    shape: vec![x.shape[0], x.shape[1] + 1, x.shape[2]],
+                    range: x.range.union(Interval::new(tmin as i128, tmax as i128)),
+                    spec: x.spec,
+                })
+            }
+            IntOp::TakeToken { index } => {
+                let x = in0?;
+                if x.shape.len() != 3 || *index >= x.shape[1] {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("token index {index} out of range for {:?}", x.shape),
+                        "take_token needs an [N, L, D] input with index < L",
+                    );
+                    return None;
+                }
+                Some(State { shape: vec![x.shape[0], x.shape[2]], ..x })
+            }
+            IntOp::SplitHeads { heads } => {
+                let x = in0?;
+                if x.shape.len() != 3 || *heads == 0 || x.shape[2] % heads != 0 {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("cannot split {:?} into {heads} head(s)", x.shape),
+                        "the embedding dim must divide evenly by the head count",
+                    );
+                    return None;
+                }
+                Some(State { shape: vec![x.shape[0] * heads, x.shape[1], x.shape[2] / heads], ..x })
+            }
+            IntOp::MergeHeads { heads } => {
+                let x = in0?;
+                if x.shape.len() != 3 || *heads == 0 || x.shape[0] % heads != 0 {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!("cannot merge {:?} from {heads} head(s)", x.shape),
+                        "the batch·head extent must divide evenly by the head count",
+                    );
+                    return None;
+                }
+                Some(State { shape: vec![x.shape[0] / heads, x.shape[1], x.shape[2] * heads], ..x })
+            }
+            IntOp::BmmRequant { transpose_rhs, m, out_spec } => {
+                let (a, b) = (in0?, in1?);
+                if a.shape.len() != 3 || b.shape.len() != 3 || a.shape[0] != b.shape[0] {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!(
+                            "bmm operands {:?} and {:?} are not batched matrices",
+                            a.shape, b.shape
+                        ),
+                        "both operands must be rank 3 with matching batch",
+                    );
+                    return None;
+                }
+                let (k, n_out, k_rhs) = if *transpose_rhs {
+                    (a.shape[2], b.shape[1], b.shape[2])
+                } else {
+                    (a.shape[2], b.shape[2], b.shape[1])
+                };
+                if k != k_rhs {
+                    self.shape_err(
+                        i,
+                        &name,
+                        format!(
+                            "inner dims differ: lhs {:?} vs rhs {:?} (transpose_rhs={transpose_rhs})",
+                            a.shape, b.shape
+                        ),
+                        "match the contraction extents",
+                    );
+                    return None;
+                }
+                let product = a.range * b.range;
+                let envelope =
+                    Interval::new(product.lo.min(0) * k as i128, product.hi.max(0) * k as i128);
+                if !envelope.fits_i32() {
+                    self.push(Diagnostic::node(
+                        Rule::AccOverflow,
+                        Severity::Error,
+                        i,
+                        &name,
+                        format!(
+                            "bmm accumulator envelope {envelope} over {k} MACs leaves i32 — the saturating MAC array silently clips"
+                        ),
+                        "reduce the contraction length or operand bit widths",
+                    ));
+                }
+                self.fixed_scalar_check(i, &name, *m, "bmm");
+                let acc = product.scale(k as i128);
+                let mapped = acc.map_fixed(*m);
+                let out = self.scale_chain(i, &name, mapped, *out_spec, "bmm_requant");
+                Some(State {
+                    shape: vec![a.shape[0], a.shape[1], n_out],
+                    range: out,
+                    spec: Some(*out_spec),
+                })
+            }
+            IntOp::Requant { m, out_spec } => {
+                let x = in0?;
+                self.fixed_scalar_check(i, &name, *m, "requant");
+                let mapped = x.range.map_fixed(*m);
+                let out = self.scale_chain(i, &name, mapped, *out_spec, "requant");
+                Some(State { shape: x.shape, range: out, spec: Some(*out_spec) })
+            }
+            IntOp::LayerNorm(ln) => self.layer_norm(i, &name, ln, in0),
+            IntOp::SoftmaxLut(lut) => self.softmax_lut(i, &name, lut, in0),
+            IntOp::GeluLut(lut) => self.gelu_lut(i, &name, lut, in0),
+        }
+    }
+
+    fn layer_norm(
+        &mut self,
+        i: usize,
+        name: &str,
+        ln: &LayerNormInt,
+        in0: Option<State>,
+    ) -> Option<State> {
+        let x = in0?;
+        let Some(&d) = x.shape.last() else {
+            self.shape_err(i, name, "layer_norm input has rank 0".into(), "feed a feature axis");
+            return None;
+        };
+        if ln.gamma_m.len() != d || ln.beta_b.len() != d {
+            self.shape_err(
+                i,
+                name,
+                format!(
+                    "gamma/beta lengths {}/{} do not match the {d}-wide feature axis",
+                    ln.gamma_m.len(),
+                    ln.beta_b.len()
+                ),
+                "provide one gamma multiplier and beta bias per feature",
+            );
+            return None;
+        }
+        Some(State {
+            shape: x.shape,
+            range: Interval::of_spec(ln.out_spec),
+            spec: Some(ln.out_spec),
+        })
+    }
+
+    fn softmax_lut(
+        &mut self,
+        i: usize,
+        name: &str,
+        lut: &SoftmaxLut,
+        in0: Option<State>,
+    ) -> Option<State> {
+        let x = in0?;
+        if lut.table.is_empty() {
+            self.push(Diagnostic::node(
+                Rule::LutDomainGap,
+                Severity::Error,
+                i,
+                name,
+                "softmax exp table is empty".to_owned(),
+                "build the table with at least one entry",
+            ));
+            return None;
+        }
+        let spread = x.range.width();
+        if spread > (lut.table.len() - 1) as i128 {
+            self.push(Diagnostic::node(
+                Rule::LutRangeTruncated,
+                Severity::Warn,
+                i,
+                name,
+                format!(
+                    "scores can sit {spread} codes below the row max but the exp table covers {}; the tail flattens to ≈0",
+                    lut.table.len() - 1
+                ),
+                "grow table_size to cover the producer's score spread",
+            ));
+        }
+        Some(State {
+            shape: x.shape,
+            range: Interval::new(0, lut.out_spec.qmax() as i128),
+            spec: Some(lut.out_spec),
+        })
+    }
+
+    fn gelu_lut(
+        &mut self,
+        i: usize,
+        name: &str,
+        lut: &GeluLut,
+        in0: Option<State>,
+    ) -> Option<State> {
+        let x = in0?;
+        let expected = lut.in_spec.width() as usize + 1;
+        if lut.table.len() < expected {
+            self.push(Diagnostic::node(
+                Rule::LutDomainGap,
+                Severity::Error,
+                i,
+                name,
+                format!(
+                    "GELU table has {} entries but the {} input grid needs {expected}; codes above {} index out of bounds",
+                    lut.table.len(),
+                    lut.in_spec,
+                    lut.in_spec.qmin() as i128 + lut.table.len() as i128 - 1
+                ),
+                "rebuild the table with GeluLut::build over the full input grid",
+            ));
+            return None;
+        }
+        if !x.range.within(lut.in_spec) {
+            self.push(Diagnostic::node(
+                Rule::LutRangeTruncated,
+                Severity::Warn,
+                i,
+                name,
+                format!(
+                    "producer range {} exceeds the table's {} domain; out-of-domain codes clamp to the edge entries",
+                    x.range, lut.in_spec
+                ),
+                "requantize the producer onto the table's input grid",
+            ));
+        }
+        let (tmin, tmax) = slice_min_max(&lut.table);
+        Some(State {
+            shape: x.shape,
+            range: Interval::new(tmin as i128, tmax as i128),
+            spec: Some(lut.out_spec),
+        })
+    }
+}
+
+fn mq_channel_mismatch(mq: &MulQuant, oc: usize) -> bool {
+    let ch = mq.channels();
+    ch != 1 && ch != oc
+}
+
+fn conv_extent(h: usize, k: usize, stride: usize, padding: usize) -> Option<usize> {
+    if stride == 0 || k == 0 {
+        return None;
+    }
+    let padded = h + 2 * padding;
+    if k > padded {
+        return None;
+    }
+    Some((padded - k) / stride + 1)
+}
+
+fn slice_min_max(s: &[i32]) -> (i32, i32) {
+    let mut it = s.iter();
+    let Some(&first) = it.next() else { return (0, 0) };
+    it.fold((first, first), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_core::FixedPointFormat;
+    use t2c_tensor::ops::Conv2dSpec;
+
+    fn quantize(spec: QuantSpec) -> IntOp {
+        IntOp::Quantize { scale: 1.0, spec }
+    }
+
+    fn unit_requant(out_spec: QuantSpec) -> MulQuant {
+        MulQuant::from_float(&[1.0], &[0.0], FixedPointFormat::int16_frac12(), out_spec)
+    }
+
+    /// 4-bit input, one 1x1 weight of +1, identity requant: every range is
+    /// exact and every check closes.
+    fn clean_conv_model() -> IntModel {
+        let mut m = IntModel::new();
+        m.push("input", quantize(QuantSpec::unsigned(4)), vec![]);
+        m.push(
+            "conv1",
+            IntOp::Conv2d {
+                weight: Tensor::from_vec(vec![1i32], &[1, 1, 1, 1]).unwrap(),
+                bias: None,
+                spec: Conv2dSpec::new(1, 0),
+                requant: unit_requant(QuantSpec::unsigned(4)),
+                relu: false,
+                weight_spec: QuantSpec::signed(4),
+            },
+            vec![Src::Input],
+        );
+        m
+    }
+
+    fn ids(report: &LintReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.rule.id()).collect()
+    }
+
+    #[test]
+    fn clean_model_has_no_findings() {
+        let report = lint_model(&clean_conv_model(), &[1, 1, 4, 4], "clean");
+        assert!(report.is_clean(), "unexpected findings:\n{}", report.to_text());
+        assert_eq!(report.verdict(), "pass");
+        // Range metadata: conv output is exactly the 4-bit grid image.
+        assert_eq!(report.nodes[1].shape, vec![1, 1, 4, 4]);
+        assert_eq!((report.nodes[1].lo, report.nodes[1].hi), (0, 15));
+    }
+
+    #[test]
+    fn injected_accumulator_overflow_fires_t2c101() {
+        let mut m = IntModel::new();
+        m.push("input", quantize(QuantSpec::unsigned(8)), vec![]);
+        // One 1x1 weight of 2^24: acc can reach 255·2^24 ≈ 4.3e9 > i32::MAX.
+        m.push(
+            "conv_hot",
+            IntOp::Conv2d {
+                weight: Tensor::from_vec(vec![1i32 << 24], &[1, 1, 1, 1]).unwrap(),
+                bias: None,
+                spec: Conv2dSpec::new(1, 0),
+                requant: unit_requant(QuantSpec::unsigned(8)),
+                relu: false,
+                weight_spec: QuantSpec::signed(31),
+            },
+            vec![Src::Input],
+        );
+        let report = lint_model(&m, &[1, 1, 2, 2], "overflow");
+        assert!(ids(&report).contains(&"T2C101"), "got {:?}", ids(&report));
+        assert_eq!(report.verdict(), "fail");
+    }
+
+    #[test]
+    fn injected_shift_mismatch_fires_t2c201_error() {
+        let mut m = clean_conv_model();
+        // Corrupt the requantizer: same format label, but the raw multiplier
+        // is 128x what the scale chain needs (a frac_bits bookkeeping slip).
+        if let IntOp::Conv2d { requant, .. } = &mut m.nodes[1].op {
+            requant.scale_raw = vec![4096 * 128];
+        } else {
+            unreachable!();
+        }
+        let report = lint_model(&m, &[1, 1, 4, 4], "shift");
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::ScaleChain)
+            .expect("scale-chain finding");
+        assert_eq!(hit.rule.id(), "T2C201");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(report.verdict(), "fail");
+    }
+
+    #[test]
+    fn residual_saturation_risk_is_a_warning_not_an_error() {
+        let mut m = clean_conv_model();
+        // 2x the exact multiplier: overshoots the grid by one width —
+        // plausible for a calibrated model, so Warn, and the verdict stays
+        // "pass" while is_clean() goes false.
+        if let IntOp::Conv2d { requant, .. } = &mut m.nodes[1].op {
+            requant.scale_raw = vec![4096 * 2];
+        } else {
+            unreachable!();
+        }
+        let report = lint_model(&m, &[1, 1, 4, 4], "warn");
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::ScaleChain)
+            .expect("scale-chain finding");
+        assert_eq!(hit.severity, Severity::Warn);
+        assert_eq!(report.verdict(), "pass");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn injected_dangling_src_fires_t2c002() {
+        let mut m = clean_conv_model();
+        m.nodes[1].inputs = vec![Src::Node(7)];
+        let report = lint_model(&m, &[1, 1, 4, 4], "dangling");
+        assert!(ids(&report).contains(&"T2C002"), "got {:?}", ids(&report));
+        assert_eq!(report.verdict(), "fail");
+    }
+
+    #[test]
+    fn forward_reference_fires_t2c003() {
+        let mut m = clean_conv_model();
+        m.nodes[1].inputs = vec![Src::Node(1)];
+        let report = lint_model(&m, &[1, 1, 4, 4], "forward");
+        assert!(ids(&report).contains(&"T2C003"), "got {:?}", ids(&report));
+    }
+
+    #[test]
+    fn missing_operand_fires_t2c004() {
+        let mut m = clean_conv_model();
+        m.nodes[1].inputs = vec![];
+        let report = lint_model(&m, &[1, 1, 4, 4], "arity");
+        assert!(ids(&report).contains(&"T2C004"), "got {:?}", ids(&report));
+    }
+
+    #[test]
+    fn injected_gelu_lut_gap_fires_t2c301() {
+        let mut m = IntModel::new();
+        m.push("input", quantize(QuantSpec::signed(8)), vec![]);
+        // The signed-8 grid has 256 codes; a 100-entry table leaves the top
+        // 156 codes indexing out of bounds at runtime.
+        m.push(
+            "gelu",
+            IntOp::GeluLut(GeluLut {
+                table: vec![0i32; 100],
+                in_spec: QuantSpec::signed(8),
+                in_scale: 0.05,
+                out_spec: QuantSpec::signed(8),
+                out_scale: 0.05,
+            }),
+            vec![Src::Input],
+        );
+        let report = lint_model(&m, &[1, 8], "lut-gap");
+        let hit =
+            report.diagnostics.iter().find(|d| d.rule == Rule::LutDomainGap).expect("LUT finding");
+        assert_eq!(hit.rule.id(), "T2C301");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(report.verdict(), "fail");
+    }
+
+    #[test]
+    fn full_gelu_table_is_accepted() {
+        let mut m = IntModel::new();
+        m.push("input", quantize(QuantSpec::signed(8)), vec![]);
+        m.push(
+            "gelu",
+            IntOp::GeluLut(GeluLut::build(QuantSpec::signed(8), 0.05, QuantSpec::signed(8), 0.05)),
+            vec![Src::Input],
+        );
+        let report = lint_model(&m, &[1, 8], "lut-ok");
+        assert!(report.is_clean(), "unexpected findings:\n{}", report.to_text());
+    }
+
+    #[test]
+    fn unreachable_node_fires_t2c006() {
+        let mut m = clean_conv_model();
+        // A second conv reading the input whose output nobody consumes;
+        // push the real output last so conv1 stays reachable.
+        let orphan = m.nodes[1].clone();
+        m.nodes.insert(1, orphan);
+        m.nodes[1].name = "orphan".into();
+        m.nodes[2].inputs = vec![Src::Input];
+        let report = lint_model(&m, &[1, 1, 4, 4], "orphan");
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::UnreachableNode)
+            .expect("unreachable finding");
+        assert_eq!(hit.rule.id(), "T2C006");
+        assert_eq!(hit.layer, "orphan");
+        assert_eq!(hit.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn not_starting_with_quantize_fires_t2c001() {
+        let mut m = IntModel::new();
+        m.push("flat", IntOp::Flatten, vec![Src::Input]);
+        let report = lint_model(&m, &[1, 3, 4, 4], "no-quant");
+        assert!(ids(&report).contains(&"T2C001"), "got {:?}", ids(&report));
+        assert_eq!(report.verdict(), "fail");
+    }
+
+    #[test]
+    fn oversized_bias_fires_t2c102() {
+        let mut m = clean_conv_model();
+        if let IntOp::Conv2d { requant, .. } = &mut m.nodes[1].op {
+            requant.bias_raw = vec![i64::MAX / 2];
+        } else {
+            unreachable!();
+        }
+        let report = lint_model(&m, &[1, 1, 4, 4], "bias");
+        assert!(ids(&report).contains(&"T2C102"), "got {:?}", ids(&report));
+    }
+
+    #[test]
+    fn softmax_truncated_tail_is_a_warning() {
+        let mut m = IntModel::new();
+        m.push("input", quantize(QuantSpec::signed(8)), vec![]);
+        m.push(
+            "softmax",
+            IntOp::SoftmaxLut(SoftmaxLut::build(0.1, QuantSpec::unsigned(8), 32, 15)),
+            vec![Src::Input],
+        );
+        let report = lint_model(&m, &[1, 4, 8], "softmax");
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::LutRangeTruncated)
+            .expect("truncation finding");
+        assert_eq!(hit.rule.id(), "T2C302");
+        assert_eq!(hit.severity, Severity::Warn);
+        assert_eq!(report.verdict(), "pass");
+    }
+}

@@ -1,0 +1,146 @@
+//! `t2c-check` — runs the static integer-pipeline verifier over the
+//! quickstart/e2e model zoo and each model's exported deployment package.
+//!
+//! For every model it: trains/calibrates a tiny instance, converts it with
+//! `nn2chip`, lints the integer graph (overflow, scale chain,
+//! well-formedness, LUT coverage), exports a package and cross-checks the
+//! manifest against the graph. Prints a text report per model; with
+//! `--json PATH` additionally dumps the combined findings as a JSON report
+//! (schema-checked by `scripts/verify.sh`). Exits non-zero when any
+//! error-level finding fires.
+//!
+//! ```sh
+//! cargo run --release -p t2c-lint --bin t2c-check -- --json bench_results/t2c_check.json
+//! ```
+
+use std::path::PathBuf;
+
+use t2c_core::qmodels::{QMobileNet, QResNet, QViT, QuantFactory};
+use t2c_core::trainer::{FpTrainer, PtqPipeline, QatTrainer, TrainConfig};
+use t2c_core::{FuseScheme, IntModel, QuantConfig, T2C};
+use t2c_data::{SynthVision, SynthVisionConfig};
+use t2c_export::export_package;
+use t2c_lint::{lint_model, lint_package, validate_schema, LintReport};
+use t2c_nn::models::{MobileNetConfig, MobileNetV1, ResNet, ResNetConfig, ViT, ViTConfig};
+use t2c_nn::Module;
+use t2c_tensor::rng::TensorRng;
+
+/// Builds the quickstart MobileNet: FP train → PTQ → convert.
+fn mobilenet_ptq() -> (IntModel, Vec<usize>) {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+    let mut rng = TensorRng::seed_from(9);
+    let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+    FpTrainer::new(TrainConfig::quick(2)).fit(&model, &data).expect("fp training");
+    let qnn = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(4, 16).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
+    let (images, _) = data.test_batch(&[0]);
+    (chip, images.dims().to_vec())
+}
+
+/// Builds the e2e ResNet: QAT → convert.
+fn resnet_qat() -> (IntModel, Vec<usize>) {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+    let mut rng = TensorRng::seed_from(900);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    QatTrainer::new(TrainConfig::quick(2)).fit(&qnn, &data).expect("qat");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
+    let (images, _) = data.test_batch(&[0]);
+    (chip, images.dims().to_vec())
+}
+
+/// Builds the e2e ViT: PTQ → convert (exercises LN/softmax/GELU LUT paths).
+fn vit_ptq() -> (IntModel, Vec<usize>) {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(2, 10));
+    let mut rng = TensorRng::seed_from(911);
+    let model = ViT::new(&mut rng, ViTConfig::tiny(data.num_classes()));
+    let qnn = QViT::from_float(&model, &QuantFactory::minmax(QuantConfig::vit(8)));
+    PtqPipeline::calibrate(3, 10).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
+    let (images, _) = data.test_batch(&[0]);
+    (chip, images.dims().to_vec())
+}
+
+fn check_model(tag: &str, chip: &IntModel, input_shape: &[usize]) -> LintReport {
+    let mut report = lint_model(chip, input_shape, tag);
+    // Export the deployment package and cross-check the manifest.
+    let dir = std::env::temp_dir().join(format!("t2c_check_{}_{tag}", std::process::id()));
+    match export_package(chip, &dir) {
+        Ok(manifest) => report.merge(lint_package(chip, &manifest, tag)),
+        Err(e) => eprintln!("warning: could not export {tag} package for manifest checks: {e}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+fn main() {
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(2);
+                });
+                json_path = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!("usage: t2c-check [--json PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (usage: t2c-check [--json PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    type ModelBuilder = fn() -> (IntModel, Vec<usize>);
+    let zoo: [(&str, ModelBuilder); 3] =
+        [("mobilenet-ptq", mobilenet_ptq), ("resnet-qat", resnet_qat), ("vit-ptq", vit_ptq)];
+
+    let mut combined = LintReport { tag: "t2c-check".into(), ..Default::default() };
+    for (tag, build) in zoo {
+        let (chip, input_shape) = build();
+        let report = check_model(tag, &chip, &input_shape);
+        print!("{}", report.to_text());
+        combined.diagnostics.extend(report.diagnostics);
+        // Combined node table: the quickstart model's ranges (the one the
+        // docs show); later models contribute findings only.
+        if combined.nodes.is_empty() {
+            combined.nodes = report.nodes;
+        }
+    }
+
+    println!(
+        "t2c-check total: {} error(s), {} warning(s) across {} model(s) — {}",
+        combined.error_count(),
+        combined.count(t2c_lint::Severity::Warn),
+        zoo.len(),
+        combined.verdict(),
+    );
+
+    if let Some(path) = json_path {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create report directory");
+            }
+        }
+        let json = combined.to_json();
+        if let Err(missing) = validate_schema(&json) {
+            eprintln!("lint report schema check FAILED; missing keys: {missing:?}");
+            std::process::exit(1);
+        }
+        std::fs::write(&path, &json).expect("write JSON report");
+        println!("lint report ok: {}", path.display());
+    }
+
+    if combined.error_count() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Closed integer intervals in `i128` — wide enough that the analysis
+//! arithmetic itself can never overflow while reasoning about `i32`
+//! accumulators and `i64` requantization products.
+
+use t2c_core::{FixedScalar, QuantSpec};
+
+/// A closed interval `[lo, hi]` of integer codes or accumulator values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest contained value.
+    pub lo: i128,
+    /// Largest contained value.
+    pub hi: i128,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`; panics in debug builds if `lo > hi`.
+    pub fn new(lo: i128, hi: i128) -> Self {
+        debug_assert!(lo <= hi, "interval [{lo}, {hi}] is empty");
+        Interval { lo, hi }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: i128) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The representable range of a quantization grid.
+    pub fn of_spec(spec: QuantSpec) -> Self {
+        let (lo, hi) = spec.range();
+        Interval { lo: lo as i128, hi: hi as i128 }
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn union(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Shifts both endpoints by a constant.
+    pub fn offset(self, v: i128) -> Interval {
+        Interval { lo: self.lo + v, hi: self.hi + v }
+    }
+
+    /// Scales both endpoints by `k ≥ 0` (e.g. a MAC count).
+    pub fn scale(self, k: i128) -> Interval {
+        debug_assert!(k >= 0);
+        Interval { lo: self.lo * k, hi: self.hi * k }
+    }
+
+    /// Extends the interval to contain zero (zero-padding contributes
+    /// zeros to convolution windows).
+    pub fn include_zero(self) -> Interval {
+        Interval { lo: self.lo.min(0), hi: self.hi.max(0) }
+    }
+
+    /// Intersection with a grid, mirroring the runtime output clamp.
+    pub fn clamp_to(self, spec: QuantSpec) -> Interval {
+        let (lo, hi) = spec.range();
+        Interval {
+            lo: self.lo.clamp(lo as i128, hi as i128),
+            hi: self.hi.clamp(lo as i128, hi as i128),
+        }
+    }
+
+    /// Applies the integer ReLU (`max(0, ·)`) to both endpoints.
+    pub fn relu(self) -> Interval {
+        Interval { lo: self.lo.max(0), hi: self.hi.max(0) }
+    }
+
+    /// `hi − lo`.
+    pub fn width(self) -> i128 {
+        self.hi - self.lo
+    }
+
+    /// `true` when every contained value fits an `i32`.
+    pub fn fits_i32(self) -> bool {
+        self.lo >= i32::MIN as i128 && self.hi <= i32::MAX as i128
+    }
+
+    /// `true` when every contained value fits an `i64`.
+    pub fn fits_i64(self) -> bool {
+        self.lo >= i64::MIN as i128 && self.hi <= i64::MAX as i128
+    }
+
+    /// `true` when the interval lies inside the grid.
+    pub fn within(self, spec: QuantSpec) -> bool {
+        let (lo, hi) = spec.range();
+        self.lo >= lo as i128 && self.hi <= hi as i128
+    }
+
+    /// Image under a fixed-point multiply/shift, exactly as the hardware
+    /// computes it. Caller must have proven the interval fits `i64`
+    /// (in practice: fits `i32`, the accumulator width).
+    pub fn map_fixed(self, m: FixedScalar) -> Interval {
+        debug_assert!(self.fits_i64());
+        let (lo, hi) = m.map_range(self.lo as i64, self.hi as i64);
+        Interval { lo: lo as i128, hi: hi as i128 }
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    /// Exact interval sum.
+    fn add(self, other: Interval) -> Interval {
+        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+
+    /// Exact interval product (min/max over the four endpoint products).
+    fn mul(self, other: Interval) -> Interval {
+        let products =
+            [self.lo * other.lo, self.lo * other.hi, self.hi * other.lo, self.hi * other.hi];
+        Interval {
+            lo: *products.iter().min().expect("non-empty"),
+            hi: *products.iter().max().expect("non-empty"),
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_core::FixedPointFormat;
+
+    #[test]
+    fn spec_ranges_and_clamp() {
+        let i = Interval::of_spec(QuantSpec::signed(8));
+        assert_eq!((i.lo, i.hi), (-128, 127));
+        let big = Interval::new(-1000, 1000);
+        let c = big.clamp_to(QuantSpec::unsigned(4));
+        assert_eq!((c.lo, c.hi), (0, 15));
+        assert!(c.within(QuantSpec::unsigned(4)));
+        assert!(!big.within(QuantSpec::unsigned(4)));
+    }
+
+    #[test]
+    fn products_cover_sign_combinations() {
+        let a = Interval::new(-3, 5);
+        let b = Interval::new(-7, 2);
+        let p = a * b;
+        // extremes: 5·−7 = −35 and −3·−7 = 21
+        assert_eq!((p.lo, p.hi), (-35, 21));
+    }
+
+    #[test]
+    fn map_fixed_matches_scalar_mul_shift() {
+        let m = FixedPointFormat::int16_frac12().quantize(0.37);
+        let i = Interval::new(-5000, 9000);
+        let mapped = i.map_fixed(m);
+        assert_eq!(mapped.lo, m.mul_shift(-5000) as i128);
+        assert_eq!(mapped.hi, m.mul_shift(9000) as i128);
+        // A negative multiplier flips the endpoints.
+        let neg = FixedPointFormat::int16_frac12().quantize(-0.5);
+        let flipped = i.map_fixed(neg);
+        assert_eq!(flipped.lo, neg.mul_shift(9000) as i128);
+        assert_eq!(flipped.hi, neg.mul_shift(-5000) as i128);
+    }
+
+    #[test]
+    fn relu_and_zero_extension() {
+        assert_eq!(Interval::new(-4, 9).relu(), Interval::new(0, 9));
+        assert_eq!(Interval::new(3, 9).include_zero(), Interval::new(0, 9));
+        assert_eq!(Interval::new(-4, -1).include_zero(), Interval::new(-4, 0));
+    }
+
+    #[test]
+    fn width_fit_checks() {
+        assert!(Interval::new(i32::MIN as i128, i32::MAX as i128).fits_i32());
+        assert!(!Interval::new(0, i32::MAX as i128 + 1).fits_i32());
+        assert!(!Interval::new(0, i64::MAX as i128 + 1).fits_i64());
+        assert_eq!(Interval::new(-2, 6).width(), 8);
+    }
+}

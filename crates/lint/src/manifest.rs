@@ -1,0 +1,166 @@
+//! Export cross-checks: an [`ExportManifest`] must agree with the
+//! analyzed graph on which nodes carry weights, how many codes each
+//! weight memory holds, and the bit width the hex images were packed at.
+
+use std::collections::BTreeMap;
+
+use t2c_core::intmodel::IntOp;
+use t2c_core::IntModel;
+use t2c_export::ExportManifest;
+
+use crate::{Diagnostic, LintReport, Rule, Severity};
+
+/// Cross-checks `manifest` against `model` and returns the findings as a
+/// [`LintReport`] (no node summaries — merge into an [`crate::lint_model`]
+/// report for those).
+///
+/// Rules: `T2C401` node-list disagreement, `T2C402` element-count
+/// disagreement, `T2C403` bit-width disagreement.
+pub fn lint_package(model: &IntModel, manifest: &ExportManifest, tag: &str) -> LintReport {
+    let mut diags = Vec::new();
+
+    // What the graph says should be in the package: every weighted node.
+    let mut expected: BTreeMap<&str, (usize, u8)> = BTreeMap::new();
+    for node in &model.nodes {
+        if let IntOp::Conv2d { weight, weight_spec, .. }
+        | IntOp::Linear { weight, weight_spec, .. } = &node.op
+        {
+            expected.insert(node.name.as_str(), (weight.numel(), weight_spec.bits));
+        }
+    }
+
+    for (name, path, count, bits) in &manifest.hex_files {
+        match expected.remove(name.as_str()) {
+            None => diags.push(Diagnostic::global(
+                Rule::ManifestNodeMismatch,
+                Severity::Error,
+                name.clone(),
+                format!(
+                    "manifest lists weight memory {} for a node the graph does not declare weights for",
+                    path.display()
+                ),
+                "regenerate the package from the current model",
+            )),
+            Some((numel, wbits)) => {
+                if *count != numel {
+                    diags.push(Diagnostic::global(
+                        Rule::ManifestCountMismatch,
+                        Severity::Error,
+                        name.clone(),
+                        format!(
+                            "manifest records {count} weight code(s) but the graph tensor holds {numel}"
+                        ),
+                        "regenerate the package; the weight tensor changed after export",
+                    ));
+                }
+                if *bits != wbits {
+                    diags.push(Diagnostic::global(
+                        Rule::ManifestWidthMismatch,
+                        Severity::Error,
+                        name.clone(),
+                        format!(
+                            "hex images were packed at int{bits} but the graph declares an int{wbits} weight grid"
+                        ),
+                        "re-export so the memory images match the declared weight_spec",
+                    ));
+                }
+            }
+        }
+    }
+
+    for (name, (numel, bits)) in expected {
+        diags.push(Diagnostic::global(
+            Rule::ManifestNodeMismatch,
+            Severity::Error,
+            name,
+            format!(
+                "graph node carries {numel} int{bits} weight code(s) but the manifest has no memory image for it"
+            ),
+            "regenerate the package from the current model",
+        ));
+    }
+
+    LintReport { tag: tag.to_owned(), diagnostics: diags, nodes: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use t2c_core::intmodel::Src;
+    use t2c_core::{FixedPointFormat, IntModel, MulQuant, QuantSpec};
+    use t2c_tensor::ops::Conv2dSpec;
+    use t2c_tensor::Tensor;
+
+    fn tiny_model() -> IntModel {
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::unsigned(8) }, vec![]);
+        m.push(
+            "conv1",
+            IntOp::Conv2d {
+                weight: Tensor::from_vec(vec![1i32; 8 * 3 * 3 * 3], &[8, 3, 3, 3]).unwrap(),
+                bias: None,
+                spec: Conv2dSpec::new(1, 1),
+                requant: MulQuant::from_float(
+                    &[0.01],
+                    &[0.0],
+                    FixedPointFormat::int16_frac12(),
+                    QuantSpec::unsigned(8),
+                ),
+                relu: true,
+                weight_spec: QuantSpec::signed(4),
+            },
+            vec![Src::Input],
+        );
+        m
+    }
+
+    fn manifest_for(entries: Vec<(String, PathBuf, usize, u8)>) -> ExportManifest {
+        ExportManifest {
+            root: PathBuf::from("pkg"),
+            model_file: PathBuf::from("pkg/model.t2cm"),
+            hex_files: entries,
+            total_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn agreeing_manifest_is_clean() {
+        let model = tiny_model();
+        let mf = manifest_for(vec![(
+            "conv1".into(),
+            PathBuf::from("pkg/hex/001_conv1.hex"),
+            8 * 3 * 3 * 3,
+            4,
+        )]);
+        let report = lint_package(&model, &mf, "unit");
+        assert!(report.is_clean(), "unexpected findings: {}", report.to_text());
+    }
+
+    #[test]
+    fn missing_and_unknown_entries_fire_t2c401() {
+        let model = tiny_model();
+        // Unknown node in the manifest, and conv1 absent.
+        let mf =
+            manifest_for(vec![("ghost".into(), PathBuf::from("pkg/hex/009_ghost.hex"), 10, 4)]);
+        let report = lint_package(&model, &mf, "unit");
+        let ids: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.id()).collect();
+        assert_eq!(ids, vec!["T2C401", "T2C401"]);
+        assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn count_and_width_mismatches_fire_t2c402_t2c403() {
+        let model = tiny_model();
+        let mf = manifest_for(vec![(
+            "conv1".into(),
+            PathBuf::from("pkg/hex/001_conv1.hex"),
+            7, // wrong count
+            8, // wrong width
+        )]);
+        let report = lint_package(&model, &mf, "unit");
+        let ids: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.id()).collect();
+        assert!(ids.contains(&"T2C402"), "got {ids:?}");
+        assert!(ids.contains(&"T2C403"), "got {ids:?}");
+    }
+}

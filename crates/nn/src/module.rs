@@ -38,7 +38,7 @@ impl<M: Module + ?Sized> Module for Box<M> {
     }
 
     fn set_training(&self, training: bool) {
-        (**self).set_training(training)
+        (**self).set_training(training);
     }
 }
 
@@ -126,7 +126,7 @@ impl Module for Sequential {
     }
 
     fn params(&self) -> Vec<Param> {
-        self.layers.iter().flat_map(|l| l.params()).collect()
+        self.layers.iter().flat_map(Module::params).collect()
     }
 
     fn set_training(&self, training: bool) {

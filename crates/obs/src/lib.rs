@@ -71,12 +71,10 @@ pub fn enabled() -> bool {
 
 #[cold]
 fn resolve_from_env() -> bool {
-    let on = std::env::var("T2C_PROFILE")
-        .map(|v| {
-            let v = v.trim().to_ascii_lowercase();
-            !(v.is_empty() || v == "0" || v == "false" || v == "off")
-        })
-        .unwrap_or(false);
+    let on = std::env::var("T2C_PROFILE").is_ok_and(|v| {
+        let v = v.trim().to_ascii_lowercase();
+        !(v.is_empty() || v == "0" || v == "false" || v == "off")
+    });
     ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
     on
 }

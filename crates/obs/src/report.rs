@@ -290,7 +290,9 @@ fn push_entries<'a, V: 'a>(
 }
 
 /// JSON string literal with escaping for quotes, backslashes and controls.
-fn json_str(v: &str) -> String {
+/// Public so downstream report emitters (e.g. `t2c-lint`) share one
+/// escaping implementation.
+pub fn json_str(v: &str) -> String {
     let mut out = String::with_capacity(v.len() + 2);
     out.push('"');
     for c in v.chars() {
@@ -311,7 +313,7 @@ fn json_str(v: &str) -> String {
 }
 
 /// JSON number literal; non-finite values become `null`.
-fn json_num(v: f64) -> String {
+pub fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -99,7 +99,7 @@ pub fn reduce_to_shape(grad: &Tensor<f32>, shape: &Shape) -> Result<Tensor<f32>>
     let mut idx = vec![0usize; dims.len()];
     let mut off = 0usize;
     let g = grad.as_slice();
-    for &gv in g.iter() {
+    for &gv in g {
         out[off] += gv;
         for axis in (0..dims.len()).rev() {
             idx[axis] += 1;

@@ -74,7 +74,7 @@ pub fn num_threads() -> usize {
     if cached != 0 {
         return cached;
     }
-    let resolved = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let resolved = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     DEFAULT_THREADS.store(resolved, Ordering::Relaxed);
     resolved
 }

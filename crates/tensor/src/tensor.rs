@@ -245,7 +245,7 @@ impl<T: Element> Tensor<T> {
         let mut data = vec![T::zero(); self.numel()];
         // Walk destination in row-major order, computing the source offset.
         let mut idx = vec![0usize; perm.len()];
-        for dst in data.iter_mut() {
+        for dst in &mut data {
             let mut src_off = 0;
             for (axis, &i) in idx.iter().enumerate() {
                 src_off += i * src_strides[perm[axis]];

@@ -5,10 +5,14 @@
 # Runs, in order:
 #   1. release build of the whole workspace
 #   2. the full test suite (root package = tier-1 gate, plus all members)
-#   3. clippy with warnings promoted to errors
+#   3. clippy (workspace-wide, pedantic subset) with warnings promoted
+#      to errors
 #   4. rustfmt in check mode
 #   5. the T2C_PROFILE observability smoke: profile_smoke must emit a
 #      schema-valid report with the keys downstream tooling depends on
+#   6. lint-models: t2c-check runs the static integer-pipeline verifier
+#      over the e2e model zoo + exported packages; any error-level
+#      finding fails the gate, and the JSON report must be schema-valid
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,8 +25,8 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -33,6 +37,13 @@ report=bench_results/profile_smoke.json
 for key in version tag counters gauges histograms series layers dual_path \
     saturation_rate macs forward_ns; do
     grep -q "\"$key\"" "$report" || { echo "missing key '$key' in $report"; exit 1; }
+done
+
+echo "==> lint-models (t2c-check)"
+lint_report=bench_results/t2c_check.json
+cargo run --release -q -p t2c-lint --bin t2c-check -- --json "$lint_report"
+for key in version tag summary findings nodes verdict; do
+    grep -q "\"$key\"" "$lint_report" || { echo "missing key '$key' in $lint_report"; exit 1; }
 done
 
 echo "verify: all green"

@@ -19,6 +19,7 @@
 //! | [`export`] | `.t2cm` model files, hex/binary/decimal memory images |
 //! | [`accel`] | behavioural MAC-array accelerator simulator |
 //! | [`obs`] | opt-in profiling: counters, histograms, JSON reports (`T2C_PROFILE=1`) |
+//! | [`lint`] | static integer-pipeline verifier (`t2c-check` CLI) |
 //!
 //! ## The five-line workflow (paper §3.4)
 //!
@@ -49,6 +50,7 @@ pub use t2c_autograd as autograd;
 pub use t2c_core as core;
 pub use t2c_data as data;
 pub use t2c_export as export;
+pub use t2c_lint as lint;
 pub use t2c_nn as nn;
 pub use t2c_obs as obs;
 pub use t2c_optim as optim;
@@ -70,6 +72,7 @@ pub mod prelude {
     };
     pub use t2c_data::{Augment, AugmentConfig, BatchIter, SynthVision, SynthVisionConfig};
     pub use t2c_export::{export_package, verify_package};
+    pub use t2c_lint::{lint_model, lint_package, LintReport};
     pub use t2c_nn::models::{MobileNetConfig, MobileNetV1, ResNet, ResNetConfig, ViT, ViTConfig};
     pub use t2c_nn::Module;
     pub use t2c_optim::{AdamW, Optimizer, Sgd};
