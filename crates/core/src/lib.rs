@@ -46,6 +46,7 @@ pub mod lut;
 pub mod qmodels;
 pub mod quantizer;
 pub mod trainer;
+pub mod zoo;
 
 mod fixed;
 mod mulquant;

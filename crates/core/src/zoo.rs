@@ -1,0 +1,169 @@
+//! The deployable model zoo shared by the toolkit's end-to-end binaries.
+//!
+//! `t2c-check` (static verification), `t2c-serve` (the serving runtime)
+//! and the `loadgen` bench all need the same thing: a small set of
+//! trained, converted, integer-only models with known input shapes. This
+//! module is the single source of truth for building them, so the three
+//! consumers stay in lockstep — a model admitted by the lint gate is the
+//! same model the server hosts and the load generator hammers.
+//!
+//! Each builder trains/calibrates a tiny instance on the synthetic
+//! substrate, converts it with `nn2chip` and returns the integer graph
+//! plus the canonical single-sample input shape (batch axis = 1).
+
+use t2c_nn::models::{MobileNetConfig, MobileNetV1, ResNet, ResNetConfig, ViT, ViTConfig};
+use t2c_nn::Module;
+use t2c_tensor::rng::TensorRng;
+use t2c_tensor::Tensor;
+
+use crate::intmodel::{IntOp, Src};
+use crate::qmodels::{QMobileNet, QResNet, QViT, QuantFactory};
+use crate::trainer::{FpTrainer, PtqPipeline, QatTrainer, TrainConfig};
+use crate::{FixedPointFormat, FuseScheme, IntModel, MulQuant, QuantConfig, QuantSpec, T2C};
+use t2c_data::{SynthVision, SynthVisionConfig};
+
+/// A builder producing `(integer model, single-sample input dims)`.
+pub type ZooBuilder = fn() -> (IntModel, Vec<usize>);
+
+/// The e2e zoo: `(tag, builder)` for every model the end-to-end binaries
+/// verify and serve.
+pub fn zoo() -> [(&'static str, ZooBuilder); 3] {
+    [("mobilenet-ptq", mobilenet_ptq), ("resnet-qat", resnet_qat), ("vit-ptq", vit_ptq)]
+}
+
+/// The quickstart MobileNet: FP train → PTQ → convert.
+///
+/// # Panics
+///
+/// Panics if training or conversion fails — zoo consumers are end-to-end
+/// binaries that want loud failures.
+pub fn mobilenet_ptq() -> (IntModel, Vec<usize>) {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+    let mut rng = TensorRng::seed_from(9);
+    let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
+    FpTrainer::new(TrainConfig::quick(2)).fit(&model, &data).expect("fp training");
+    let qnn = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    PtqPipeline::calibrate(4, 16).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
+    let (images, _) = data.test_batch(&[0]);
+    (chip, images.dims().to_vec())
+}
+
+/// The e2e ResNet: QAT → convert.
+///
+/// # Panics
+///
+/// Panics if training or conversion fails.
+pub fn resnet_qat() -> (IntModel, Vec<usize>) {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
+    let mut rng = TensorRng::seed_from(900);
+    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
+    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
+    QatTrainer::new(TrainConfig::quick(2)).fit(&qnn, &data).expect("qat");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
+    let (images, _) = data.test_batch(&[0]);
+    (chip, images.dims().to_vec())
+}
+
+/// The e2e ViT: PTQ → convert (exercises LN/softmax/GELU LUT paths).
+///
+/// # Panics
+///
+/// Panics if training or conversion fails.
+pub fn vit_ptq() -> (IntModel, Vec<usize>) {
+    let data = SynthVision::generate(&SynthVisionConfig::tiny(2, 10));
+    let mut rng = TensorRng::seed_from(911);
+    let model = ViT::new(&mut rng, ViTConfig::tiny(data.num_classes()));
+    let qnn = QViT::from_float(&model, &QuantFactory::minmax(QuantConfig::vit(8)));
+    PtqPipeline::calibrate(3, 10).run(&qnn, &data).expect("ptq");
+    qnn.set_training(false);
+    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
+    let (images, _) = data.test_batch(&[0]);
+    (chip, images.dims().to_vec())
+}
+
+/// A hand-built two-layer integer MLP — no training, constructed in
+/// microseconds. This is the serving benchmark's workhorse: its per-batch
+/// fixed costs (weight transpose, dispatch) dominate the per-sample MACs,
+/// so it exposes the micro-batcher's amortization win cleanly.
+///
+/// Layout: quantize(s8) → linear 256→128 + ReLU requant(u8) → linear 128→10
+/// head (raw accumulators). Weights cycle over a small signed range; the
+/// requant scale maps the worst-case accumulator into the u8 grid, so the
+/// lint gate admits it (zero error-level findings).
+pub fn tiny_mlp() -> (IntModel, Vec<usize>) {
+    const D: usize = 256;
+    const H: usize = 128;
+    const OUT: usize = 10;
+    let mut m = IntModel::new();
+    m.push("input", IntOp::Quantize { scale: 0.05, spec: QuantSpec::signed(8) }, vec![]);
+    // Weights in [-3, 3]; worst-case |acc| = D · 127 · 3.
+    let w1 = Tensor::from_fn(&[H, D], |i| (i as i32 % 7) - 3);
+    let worst = (D as f64) * 127.0 * 3.0;
+    let scale = 255.0 / worst;
+    m.push(
+        "fc1",
+        IntOp::Linear {
+            weight: w1,
+            bias: Some(vec![0; H]),
+            requant: Some(MulQuant::from_float(
+                &[scale as f32],
+                &[0.0],
+                FixedPointFormat::int16_frac12(),
+                QuantSpec::unsigned(8),
+            )),
+            relu: true,
+            weight_spec: QuantSpec::signed(3),
+        },
+        vec![Src::Node(0)],
+    );
+    let w2 = Tensor::from_fn(&[OUT, H], |i| (i as i32 % 5) - 2);
+    m.push(
+        "head",
+        IntOp::Linear {
+            weight: w2,
+            bias: None,
+            requant: None,
+            relu: false,
+            weight_spec: QuantSpec::signed(3),
+        },
+        vec![Src::Node(1)],
+    );
+    (m, vec![1, D])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_mlp_runs_and_is_deterministic() {
+        let (m, dims) = tiny_mlp();
+        assert_eq!(dims, vec![1, 256]);
+        let x = Tensor::from_fn(&dims, |i| (i as f32) * 0.01 - 0.3);
+        let a = m.run(&x).unwrap();
+        let b = m.run(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn tiny_mlp_batches_consistently() {
+        // Batched execution must equal per-sample execution row by row —
+        // the invariant the serving micro-batcher relies on.
+        let (m, _) = tiny_mlp();
+        let batch = Tensor::from_fn(&[4, 256], |i| ((i * 37) % 100) as f32 * 0.01 - 0.5);
+        let batched = m.run(&batch).unwrap();
+        for r in 0..4 {
+            let one = batch.index_axis0(r).unwrap().reshape(&[1, 256]).unwrap();
+            let single = m.run(&one).unwrap();
+            assert_eq!(
+                &batched.as_slice()[r * 10..(r + 1) * 10],
+                single.as_slice(),
+                "row {r} diverged between batched and single execution"
+            );
+        }
+    }
+}

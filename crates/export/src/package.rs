@@ -121,6 +121,54 @@ pub fn verify_package(manifest: &ExportManifest) -> Result<IntModel> {
     Ok(model)
 }
 
+/// Loads a package directory written by [`export_package`] **without** a
+/// pre-existing manifest: the manifest is reconstructed from the binary
+/// model (node order, weight counts, declared bit widths) and then the
+/// whole package is re-verified with [`verify_package`], so a tampered or
+/// incomplete directory is rejected exactly like a tampered manifest.
+///
+/// This is the entry point for consumers that receive a package as opaque
+/// files — the serving runtime's model registry feeds every deployment
+/// through it before admission.
+///
+/// `total_bytes` in the reconstructed manifest counts the artifacts that
+/// were actually re-read (binary model + hex images), not the decimal and
+/// binary-text mirrors.
+///
+/// # Errors
+///
+/// Returns an error if the binary model is unreadable or corrupt, a weight
+/// image named by the graph is missing, or any artifact fails the
+/// bit-exactness check.
+pub fn read_package(dir: &Path) -> Result<(IntModel, ExportManifest)> {
+    let model_file = dir.join("model.t2cm");
+    let bytes = fs::read(&model_file)?;
+    let model = read_intmodel(&bytes)?;
+    let mut total = bytes.len();
+    let mut hex_files = Vec::new();
+    for (i, node) in model.nodes.iter().enumerate() {
+        let (count, bits) = match &node.op {
+            IntOp::Conv2d { weight, weight_spec, .. }
+            | IntOp::Linear { weight, weight_spec, .. } => (weight.numel(), weight_spec.bits),
+            _ => continue,
+        };
+        let base = format!("{i:03}_{}", sanitized(&node.name));
+        let hex_path = dir.join("hex").join(format!("{base}.hex"));
+        if !hex_path.is_file() {
+            return Err(crate::ExportError::Malformed(format!(
+                "package is missing weight image hex/{base}.hex for node {}",
+                node.name
+            )));
+        }
+        total += fs::metadata(&hex_path).map_or(0, |m| m.len() as usize);
+        hex_files.push((node.name.clone(), hex_path, count, bits));
+    }
+    let manifest =
+        ExportManifest { root: dir.to_path_buf(), model_file, hex_files, total_bytes: total };
+    let model = verify_package(&manifest)?;
+    Ok((model, manifest))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +211,26 @@ mod tests {
         let reloaded = verify_package(&manifest).unwrap();
         let x = Tensor::from_fn(&[1, 1, 5, 5], |i| i as f32 * 0.05);
         assert_eq!(model.run(&x).unwrap().as_slice(), reloaded.run(&x).unwrap().as_slice());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_package_reconstructs_manifest_from_disk() {
+        let dir = std::env::temp_dir().join(format!("t2c_pkg_read_{}", std::process::id()));
+        let model = sample();
+        let written = export_package(&model, &dir).unwrap();
+        let (reloaded, manifest) = read_package(&dir).unwrap();
+        assert_eq!(manifest.hex_files.len(), written.hex_files.len());
+        assert_eq!(manifest.hex_files[0].0, written.hex_files[0].0);
+        assert_eq!(manifest.hex_files[0].2, written.hex_files[0].2);
+        assert_eq!(manifest.hex_files[0].3, written.hex_files[0].3);
+        let x = Tensor::from_fn(&[1, 1, 5, 5], |i| i as f32 * 0.05);
+        assert_eq!(model.run(&x).unwrap().as_slice(), reloaded.run(&x).unwrap().as_slice());
+        // A package with a deleted weight image is rejected with a message
+        // naming the missing artifact.
+        fs::remove_file(&manifest.hex_files[0].1).unwrap();
+        let err = read_package(&dir).unwrap_err();
+        assert!(format!("{err}").contains("hex"), "unexpected error: {err}");
         fs::remove_dir_all(&dir).ok();
     }
 

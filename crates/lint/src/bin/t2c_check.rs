@@ -15,55 +15,9 @@
 
 use std::path::PathBuf;
 
-use t2c_core::qmodels::{QMobileNet, QResNet, QViT, QuantFactory};
-use t2c_core::trainer::{FpTrainer, PtqPipeline, QatTrainer, TrainConfig};
-use t2c_core::{FuseScheme, IntModel, QuantConfig, T2C};
-use t2c_data::{SynthVision, SynthVisionConfig};
+use t2c_core::IntModel;
 use t2c_export::export_package;
 use t2c_lint::{lint_model, lint_package, validate_schema, LintReport};
-use t2c_nn::models::{MobileNetConfig, MobileNetV1, ResNet, ResNetConfig, ViT, ViTConfig};
-use t2c_nn::Module;
-use t2c_tensor::rng::TensorRng;
-
-/// Builds the quickstart MobileNet: FP train → PTQ → convert.
-fn mobilenet_ptq() -> (IntModel, Vec<usize>) {
-    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
-    let mut rng = TensorRng::seed_from(9);
-    let model = MobileNetV1::new(&mut rng, MobileNetConfig::tiny(3));
-    FpTrainer::new(TrainConfig::quick(2)).fit(&model, &data).expect("fp training");
-    let qnn = QMobileNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
-    PtqPipeline::calibrate(4, 16).run(&qnn, &data).expect("ptq");
-    qnn.set_training(false);
-    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
-    let (images, _) = data.test_batch(&[0]);
-    (chip, images.dims().to_vec())
-}
-
-/// Builds the e2e ResNet: QAT → convert.
-fn resnet_qat() -> (IntModel, Vec<usize>) {
-    let data = SynthVision::generate(&SynthVisionConfig::tiny(3, 16));
-    let mut rng = TensorRng::seed_from(900);
-    let model = ResNet::new(&mut rng, ResNetConfig::tiny(data.num_classes()));
-    let qnn = QResNet::from_float(&model, &QuantFactory::minmax(QuantConfig::wa(8)));
-    QatTrainer::new(TrainConfig::quick(2)).fit(&qnn, &data).expect("qat");
-    qnn.set_training(false);
-    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
-    let (images, _) = data.test_batch(&[0]);
-    (chip, images.dims().to_vec())
-}
-
-/// Builds the e2e ViT: PTQ → convert (exercises LN/softmax/GELU LUT paths).
-fn vit_ptq() -> (IntModel, Vec<usize>) {
-    let data = SynthVision::generate(&SynthVisionConfig::tiny(2, 10));
-    let mut rng = TensorRng::seed_from(911);
-    let model = ViT::new(&mut rng, ViTConfig::tiny(data.num_classes()));
-    let qnn = QViT::from_float(&model, &QuantFactory::minmax(QuantConfig::vit(8)));
-    PtqPipeline::calibrate(3, 10).run(&qnn, &data).expect("ptq");
-    qnn.set_training(false);
-    let (chip, _) = T2C::new(&qnn).nn2chip(FuseScheme::PreFuse).expect("conversion");
-    let (images, _) = data.test_batch(&[0]);
-    (chip, images.dims().to_vec())
-}
 
 fn check_model(tag: &str, chip: &IntModel, input_shape: &[usize]) -> LintReport {
     let mut report = lint_model(chip, input_shape, tag);
@@ -100,9 +54,7 @@ fn main() {
         }
     }
 
-    type ModelBuilder = fn() -> (IntModel, Vec<usize>);
-    let zoo: [(&str, ModelBuilder); 3] =
-        [("mobilenet-ptq", mobilenet_ptq), ("resnet-qat", resnet_qat), ("vit-ptq", vit_ptq)];
+    let zoo = t2c_core::zoo::zoo();
 
     let mut combined = LintReport { tag: "t2c-check".into(), ..Default::default() };
     for (tag, build) in zoo {

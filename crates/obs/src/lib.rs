@@ -252,6 +252,58 @@ impl Drop for Timer {
     }
 }
 
+/// A 1-in-N sampler for expensive audit paths on hot request flows.
+///
+/// Production systems cannot afford to re-verify every request, but a
+/// *sampled* re-verification turns steady traffic into a continuous
+/// silent-corruption canary. `SampledAudit` is the counting half of that
+/// pattern: every call to [`SampledAudit::should_sample`] increments an
+/// atomic counter, and every `N`-th call returns `true` — the caller then
+/// runs its expensive check (e.g. a dual-path divergence re-run) and
+/// records the result as a gauge.
+///
+/// Unlike the metric primitives this is **not** gated on the profile flag:
+/// sampling decisions must stay deterministic whether or not a report is
+/// being captured. The gauge writes the caller makes remain gated as usual.
+///
+/// ```
+/// let audit = t2c_obs::SampledAudit::new(3);
+/// let fired: Vec<bool> = (0..6).map(|_| audit.should_sample()).collect();
+/// assert_eq!(fired, [true, false, false, true, false, false]);
+/// ```
+#[derive(Debug)]
+pub struct SampledAudit {
+    every: u64,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl SampledAudit {
+    /// Creates a sampler firing on the 1st, `N+1`-th, `2N+1`-th … call.
+    /// `every = 0` is treated as "never sample".
+    pub fn new(every: u64) -> Self {
+        SampledAudit { every, calls: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Counts one event; `true` when this event is in the 1-in-N sample.
+    /// Thread-safe: concurrent callers each observe a distinct ticket.
+    pub fn should_sample(&self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        self.calls.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.every)
+    }
+
+    /// Total events counted so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// The configured sampling period.
+    pub fn period(&self) -> u64 {
+        self.every
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +359,38 @@ mod tests {
         assert!((h.mean() - 10_101.0 / 3.0).abs() < 1e-9);
         assert_eq!(rep.series["loss"], vec![2.0, 1.0]);
         assert_eq!(rep.histograms["timed"].count, 1);
+    }
+
+    #[test]
+    fn sampled_audit_fires_one_in_n() {
+        let audit = SampledAudit::new(4);
+        let fired: Vec<bool> = (0..9).map(|_| audit.should_sample()).collect();
+        assert_eq!(fired, [true, false, false, false, true, false, false, false, true]);
+        assert_eq!(audit.calls(), 9);
+        assert_eq!(audit.period(), 4);
+        // every = 0 → never; every = 1 → always.
+        let never = SampledAudit::new(0);
+        assert!((0..5).all(|_| !never.should_sample()));
+        let always = SampledAudit::new(1);
+        assert!((0..5).all(|_| always.should_sample()));
+    }
+
+    #[test]
+    fn sampled_audit_counts_across_threads() {
+        let audit = std::sync::Arc::new(SampledAudit::new(10));
+        let hits: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let a = audit.clone();
+                    s.spawn(move || (0..25).filter(|_| a.should_sample()).count() as u64)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // 100 tickets at 1-in-10 → exactly 10 sampled, however the
+        // tickets interleave.
+        assert_eq!(audit.calls(), 100);
+        assert_eq!(hits, 10);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Error vocabulary of the serving runtime.
+//!
+//! Two families: [`AdmissionError`] covers registry-time failures (a model
+//! that never becomes servable), [`ServeError`] covers request-time
+//! rejections and failures. `ServeError` doubles as the wire status set —
+//! every variant has a stable one-byte code so TCP clients see the same
+//! taxonomy as in-process callers.
+
+use std::fmt;
+
+/// Why the registry refused to admit a model.
+#[derive(Debug)]
+pub enum AdmissionError {
+    /// The deployment package could not be read or failed verification
+    /// (checksum, truncation, missing hex artifacts).
+    Package(String),
+    /// The static verifier found error-level findings; the model is not
+    /// deployable. Carries the rule ids so the operator knows exactly
+    /// which invariant broke.
+    LintGate {
+        /// Model tag the gate ran under.
+        model: String,
+        /// Number of error-level findings.
+        errors: usize,
+        /// Distinct `T2Cxxx` rule ids that fired at error level, in
+        /// first-occurrence order.
+        rules: Vec<&'static str>,
+        /// The first error-level message, verbatim.
+        first: String,
+    },
+    /// A model with this name is already admitted.
+    Duplicate(String),
+    /// The model or its declared input shape is structurally unusable
+    /// (no leading `Quantize` node, empty dims, batch axis missing).
+    BadModel(String),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Package(msg) => write!(f, "package rejected: {msg}"),
+            AdmissionError::LintGate { model, errors, rules, first } => write!(
+                f,
+                "model '{model}' refused by lint gate: {errors} error-level finding(s) \
+                 [{}] — first: {first}",
+                rules.join(", ")
+            ),
+            AdmissionError::Duplicate(name) => {
+                write!(f, "model '{name}' is already admitted")
+            }
+            AdmissionError::BadModel(msg) => write!(f, "model rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Why a request was rejected or failed. Every variant maps to a stable
+/// wire status code (see [`ServeError::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded admission queue is full — explicit backpressure; the
+    /// client should retry later or shed load.
+    Busy,
+    /// The request's deadline elapsed before a worker produced a result.
+    DeadlineExceeded,
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// No admitted model under that name.
+    ModelNotFound(String),
+    /// The model tripped the panic circuit breaker and is quarantined.
+    ModelPoisoned(String),
+    /// The request itself is malformed (shape mismatch, bad frame).
+    BadRequest(String),
+    /// The worker failed (model error or isolated panic).
+    Internal(String),
+    /// Transport-level failure (client-side only; never a wire status).
+    Io(String),
+}
+
+impl ServeError {
+    /// The one-byte wire status for this rejection (`0` means OK and is
+    /// never an error status).
+    pub fn status(&self) -> u8 {
+        match self {
+            ServeError::Busy => 1,
+            ServeError::DeadlineExceeded => 2,
+            ServeError::ShuttingDown => 3,
+            ServeError::ModelNotFound(_) => 4,
+            ServeError::ModelPoisoned(_) => 5,
+            ServeError::BadRequest(_) => 6,
+            ServeError::Internal(_) => 7,
+            ServeError::Io(_) => 8,
+        }
+    }
+
+    /// Rebuilds the error from a wire status and detail message.
+    pub fn from_status(status: u8, msg: String) -> Self {
+        match status {
+            1 => ServeError::Busy,
+            2 => ServeError::DeadlineExceeded,
+            3 => ServeError::ShuttingDown,
+            4 => ServeError::ModelNotFound(msg),
+            5 => ServeError::ModelPoisoned(msg),
+            6 => ServeError::BadRequest(msg),
+            8 => ServeError::Io(msg),
+            _ => ServeError::Internal(msg),
+        }
+    }
+
+    /// The detail string carried over the wire (empty for bare statuses).
+    pub fn detail(&self) -> &str {
+        match self {
+            ServeError::Busy | ServeError::DeadlineExceeded | ServeError::ShuttingDown => "",
+            ServeError::ModelNotFound(m)
+            | ServeError::ModelPoisoned(m)
+            | ServeError::BadRequest(m)
+            | ServeError::Internal(m)
+            | ServeError::Io(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy => f.write_str("busy: admission queue full"),
+            ServeError::DeadlineExceeded => f.write_str("deadline exceeded"),
+            ServeError::ShuttingDown => f.write_str("server shutting down"),
+            ServeError::ModelNotFound(m) => write!(f, "model not found: {m}"),
+            ServeError::ModelPoisoned(m) => write!(f, "model poisoned: {m}"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Internal(m) => write!(f, "internal error: {m}"),
+            ServeError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_round_trip() {
+        let cases = [
+            ServeError::Busy,
+            ServeError::DeadlineExceeded,
+            ServeError::ShuttingDown,
+            ServeError::ModelNotFound("m".into()),
+            ServeError::ModelPoisoned("m".into()),
+            ServeError::BadRequest("m".into()),
+            ServeError::Internal("m".into()),
+            ServeError::Io("m".into()),
+        ];
+        for e in cases {
+            let back = ServeError::from_status(e.status(), e.detail().to_string());
+            assert_eq!(back, e, "status {} did not round-trip", e.status());
+        }
+    }
+
+    #[test]
+    fn lint_gate_display_names_rule_ids() {
+        let e = AdmissionError::LintGate {
+            model: "bad".into(),
+            errors: 2,
+            rules: vec!["T2C002", "T2C101"],
+            first: "node 1 reads node 5".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("T2C002") && s.contains("T2C101"), "{s}");
+    }
+}

@@ -1,0 +1,354 @@
+//! The lint-gated model registry.
+//!
+//! A model becomes servable only by passing the same static verifier the
+//! deploy pipeline runs (`t2c-lint`): admission re-lints the integer graph
+//! against its declared input shape (and, for on-disk packages, the
+//! export manifest) and refuses the model if *any* error-level finding
+//! fires — the rejection diagnostic names the `T2Cxxx` rule ids. This
+//! makes the registry the runtime enforcement point of the toolkit's
+//! deployment contract: what the server hosts is exactly what `t2c-check`
+//! would sign off on.
+//!
+//! Each admitted model also carries its runtime health: a panic counter
+//! fed by worker isolation and a poisoned flag (circuit breaker) that
+//! quarantines the model once the counter crosses the configured budget.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, RwLock};
+
+use t2c_core::intmodel::IntOp;
+use t2c_core::{IntModel, QuantSpec};
+use t2c_lint::{lint_model, lint_package, LintReport, Severity};
+use t2c_tensor::Tensor;
+
+use crate::error::AdmissionError;
+
+/// A model that passed the admission gate, plus its serving metadata.
+#[derive(Debug)]
+pub struct AdmittedModel {
+    name: String,
+    model: IntModel,
+    input_dims: Vec<usize>,
+    lint: LintReport,
+    slot: usize,
+    input_scale: f32,
+    input_spec: QuantSpec,
+    poisoned: AtomicBool,
+    panics: AtomicU32,
+}
+
+impl AdmittedModel {
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The integer graph.
+    pub fn model(&self) -> &IntModel {
+        &self.model
+    }
+
+    /// Canonical input dims with batch axis 1 (e.g. `[1, 3, 8, 8]`).
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// The lint report the model was admitted under.
+    pub fn lint(&self) -> &LintReport {
+        &self.lint
+    }
+
+    /// The batching group id (stable per registry).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The grid the leading `Quantize` node clamps input codes to.
+    pub fn input_spec(&self) -> QuantSpec {
+        self.input_spec
+    }
+
+    /// The leading `Quantize` node's scale.
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// Quantizes a float input onto the model's input grid — what the
+    /// leading `Quantize` node would do. Clients use this to build the
+    /// integer codes the serving protocol carries.
+    pub fn quantize(&self, x: &Tensor<f32>) -> Tensor<i32> {
+        let (scale, spec) = (self.input_scale, self.input_spec);
+        x.map(|v| ((v / scale).round() as i32).clamp(spec.qmin(), spec.qmax()))
+    }
+
+    /// Maps integer input codes back to floats (`codes · scale`) — the
+    /// dual-path audit uses this to re-enter the float path.
+    pub fn dequantize(&self, codes: &Tensor<i32>) -> Tensor<f32> {
+        let scale = self.input_scale;
+        codes.map(|c| c as f32 * scale)
+    }
+
+    /// True once the panic circuit breaker tripped.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Worker panics observed so far.
+    pub fn panic_count(&self) -> u32 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Records one isolated worker panic; trips the breaker at
+    /// `max_panics`. Returns the new count.
+    pub(crate) fn record_panic(&self, max_panics: u32) -> u32 {
+        let n = self.panics.fetch_add(1, Ordering::AcqRel) + 1;
+        if n >= max_panics {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        n
+    }
+}
+
+/// Thread-safe registry of admitted models. See the module docs for the
+/// admission contract.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<Vec<Arc<AdmittedModel>>>,
+}
+
+/// Error-level rule ids in first-occurrence order, deduplicated.
+fn error_rules(report: &LintReport) -> Vec<&'static str> {
+    let mut rules = Vec::new();
+    for d in &report.diagnostics {
+        if d.severity == Severity::Error && !rules.contains(&d.rule.id()) {
+            rules.push(d.rule.id());
+        }
+    }
+    rules
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits an in-memory model through the lint gate.
+    ///
+    /// `input_dims` is the single-sample input shape (batch axis must
+    /// be 1); the lint pass runs against exactly this shape.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::LintGate`] when the verifier reports any
+    /// error-level finding (the error names the rule ids);
+    /// [`AdmissionError::Duplicate`] / [`AdmissionError::BadModel`] for
+    /// structural problems.
+    pub fn admit(
+        &self,
+        name: &str,
+        model: IntModel,
+        input_dims: &[usize],
+    ) -> Result<Arc<AdmittedModel>, AdmissionError> {
+        let report = lint_model(&model, input_dims, name);
+        self.insert_gated(name, model, input_dims, report)
+    }
+
+    /// Admits a deployment package directory (as written by
+    /// `t2c_export::export_package`): reads + checksum-verifies the
+    /// binary model, re-derives and re-verifies the hex manifest, then
+    /// runs both the graph lint *and* the manifest lint through the gate.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Package`] when the package fails to read or
+    /// verify; otherwise as [`Self::admit`].
+    pub fn admit_package(
+        &self,
+        name: &str,
+        dir: &Path,
+        input_dims: &[usize],
+    ) -> Result<Arc<AdmittedModel>, AdmissionError> {
+        let (model, manifest) =
+            t2c_export::read_package(dir).map_err(|e| AdmissionError::Package(e.to_string()))?;
+        let mut report = lint_model(&model, input_dims, name);
+        report.merge(lint_package(&model, &manifest, name));
+        self.insert_gated(name, model, input_dims, report)
+    }
+
+    /// Admits a model **without** running the lint gate. Escape hatch for
+    /// benchmarks and fault-injection tests; production callers should
+    /// always go through [`Self::admit`] / [`Self::admit_package`].
+    ///
+    /// # Errors
+    ///
+    /// Structural checks ([`AdmissionError::Duplicate`] /
+    /// [`AdmissionError::BadModel`]) still apply.
+    pub fn admit_unchecked(
+        &self,
+        name: &str,
+        model: IntModel,
+        input_dims: &[usize],
+    ) -> Result<Arc<AdmittedModel>, AdmissionError> {
+        let report = LintReport { tag: name.to_string(), ..Default::default() };
+        self.insert_gated(name, model, input_dims, report)
+    }
+
+    fn insert_gated(
+        &self,
+        name: &str,
+        model: IntModel,
+        input_dims: &[usize],
+        report: LintReport,
+    ) -> Result<Arc<AdmittedModel>, AdmissionError> {
+        if report.error_count() > 0 {
+            let first = report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .map(|d| format!("{}: {}", d.rule.id(), d.message))
+                .unwrap_or_default();
+            return Err(AdmissionError::LintGate {
+                model: name.to_string(),
+                errors: report.error_count(),
+                rules: error_rules(&report),
+                first,
+            });
+        }
+        if input_dims.is_empty() || input_dims[0] != 1 {
+            return Err(AdmissionError::BadModel(format!(
+                "input dims {input_dims:?} must lead with a batch axis of 1"
+            )));
+        }
+        let Some(IntOp::Quantize { scale, spec }) = model.nodes.first().map(|n| &n.op) else {
+            return Err(AdmissionError::BadModel("model must start with a Quantize node".into()));
+        };
+        let (input_scale, input_spec) = (*scale, *spec);
+        let mut models = self.models.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if models.iter().any(|m| m.name == name) {
+            return Err(AdmissionError::Duplicate(name.to_string()));
+        }
+        let admitted = Arc::new(AdmittedModel {
+            name: name.to_string(),
+            model,
+            input_dims: input_dims.to_vec(),
+            lint: report,
+            slot: models.len(),
+            input_scale,
+            input_spec,
+            poisoned: AtomicBool::new(false),
+            panics: AtomicU32::new(0),
+        });
+        models.push(Arc::clone(&admitted));
+        Ok(admitted)
+    }
+
+    /// Looks a model up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<AdmittedModel>> {
+        let models = self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        models.iter().find(|m| m.name == name).cloned()
+    }
+
+    /// Looks a model up by batching slot.
+    pub fn by_slot(&self, slot: usize) -> Option<Arc<AdmittedModel>> {
+        let models = self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        models.get(slot).cloned()
+    }
+
+    /// Admitted model names, in admission order.
+    pub fn names(&self) -> Vec<String> {
+        let models = self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        models.iter().map(|m| m.name.clone()).collect()
+    }
+
+    /// Number of admitted models.
+    pub fn len(&self) -> usize {
+        self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// True when no model is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-model health snapshot: `(name, poisoned, panic_count)`.
+    pub fn health(&self) -> BTreeMap<String, (bool, u32)> {
+        let models = self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        models.iter().map(|m| (m.name.clone(), (m.is_poisoned(), m.panic_count()))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_core::intmodel::Src;
+    use t2c_core::zoo;
+
+    #[test]
+    fn clean_model_is_admitted_with_its_lint_report() {
+        let reg = ModelRegistry::new();
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).expect("tiny_mlp must pass the gate");
+        assert_eq!(admitted.name(), "mlp");
+        assert_eq!(admitted.lint().error_count(), 0);
+        assert_eq!(reg.names(), vec!["mlp".to_string()]);
+        assert!(reg.get("mlp").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn error_level_finding_is_refused_naming_the_rule_id() {
+        // Inject a T2C002 (dangling source): fc1 reads node 5 which does
+        // not exist.
+        let (mut m, dims) = zoo::tiny_mlp();
+        m.nodes[1].inputs = vec![Src::Node(5)];
+        let reg = ModelRegistry::new();
+        let err = reg.admit("bad", m, &dims).unwrap_err();
+        let AdmissionError::LintGate { model, errors, rules, first } = err else {
+            panic!("expected LintGate rejection");
+        };
+        assert_eq!(model, "bad");
+        assert!(errors >= 1);
+        assert!(rules.contains(&"T2C002"), "rules {rules:?} should name T2C002");
+        assert!(first.contains("T2C002"), "first finding should carry the rule id: {first}");
+        assert!(reg.is_empty(), "rejected model must not be registered");
+    }
+
+    #[test]
+    fn duplicate_names_are_refused() {
+        let reg = ModelRegistry::new();
+        let (m, dims) = zoo::tiny_mlp();
+        reg.admit("mlp", m.clone(), &dims).unwrap();
+        assert!(matches!(reg.admit("mlp", m, &dims), Err(AdmissionError::Duplicate(_))));
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip_on_grid() {
+        let reg = ModelRegistry::new();
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).unwrap();
+        let x = Tensor::from_fn(&dims, |i| (i as f32) * 0.013 - 0.4);
+        let codes = admitted.quantize(&x);
+        let spec = admitted.input_spec();
+        assert!(codes.as_slice().iter().all(|&c| c >= spec.qmin() && c <= spec.qmax()));
+        // quantize(dequantize(codes)) is the identity on the grid.
+        let again = admitted.quantize(&admitted.dequantize(&codes));
+        assert_eq!(again.as_slice(), codes.as_slice());
+    }
+
+    #[test]
+    fn circuit_breaker_poisons_after_the_panic_budget() {
+        let reg = ModelRegistry::new();
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).unwrap();
+        assert!(!admitted.is_poisoned());
+        assert_eq!(admitted.record_panic(3), 1);
+        assert_eq!(admitted.record_panic(3), 2);
+        assert!(!admitted.is_poisoned());
+        assert_eq!(admitted.record_panic(3), 3);
+        assert!(admitted.is_poisoned());
+        assert_eq!(reg.health()["mlp"], (true, 3));
+    }
+}

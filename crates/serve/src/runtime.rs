@@ -1,0 +1,864 @@
+//! The threaded serving runtime.
+//!
+//! Wraps the pure [`MicroBatcher`] behind a mutex/condvar and drives it
+//! with real threads:
+//!
+//! ```text
+//! Handle::submit ──admit──▶ MicroBatcher (bounded queue)
+//!                                │ batcher thread
+//!                                ▼ coalesce (max_batch / max_delay)
+//!                        bounded dispatch channel
+//!                                │ worker pool
+//!                                ▼ concat_axis0 → run_quantized → split_axis0
+//!                        completion slots (per request)
+//! ```
+//!
+//! Robustness policy:
+//! * **Backpressure** — the admission queue and the dispatch channel are
+//!   both bounded; a full queue rejects with [`ServeError::Busy`] instead
+//!   of buffering unboundedly.
+//! * **Deadlines** — requests carry an absolute expiry; the batcher expires
+//!   overdue tickets before scheduling and workers re-check before running.
+//! * **Panic isolation** — worker inference runs under `catch_unwind`; a
+//!   panic fails only the affected batch, and a per-model circuit breaker
+//!   quarantines a model after `max_panics` panics
+//!   ([`ServeError::ModelPoisoned`]).
+//! * **Graceful drain** — shutdown stops admission, flushes the queue in
+//!   FIFO order, and joins every thread; all in-flight requests resolve.
+//!
+//! Observability (active under `T2C_PROFILE=1`): `serve.queue_depth`
+//! gauge, `serve.batch_rows` and `serve.latency_ns` histograms,
+//! `serve.rejected_busy` / `serve.deadline_exceeded` /
+//! `serve.worker_panics` / `serve.audit_runs` counters and the per-model
+//! `serve.<name>.dualpath_max_err` audit gauge. A small always-on
+//! [`StatsSnapshot`] backs the load generator.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, SyncSender};
+use t2c_obs::SampledAudit;
+use t2c_tensor::Tensor;
+
+use crate::batcher::{Decision, MicroBatcher, Ticket, NO_DEADLINE};
+use crate::clock::{Clock, SystemClock};
+use crate::error::ServeError;
+use crate::registry::{AdmittedModel, ModelRegistry};
+
+/// Runtime policy knobs on top of the batcher's [`crate::BatchConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Micro-batching policy (batch size, flush window, queue bound).
+    pub batch: crate::batcher::BatchConfig,
+    /// Worker threads executing batches (min 1).
+    pub workers: usize,
+    /// Deadline applied to requests that don't bring their own
+    /// (0 = no default deadline).
+    pub default_deadline_ns: u64,
+    /// Worker panics a model survives before the circuit breaker
+    /// quarantines it.
+    pub max_panics: u32,
+    /// Dual-path audit sampling period: every Nth completed request is
+    /// re-run through the float path and compared (0 = audit off).
+    pub audit_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch: crate::batcher::BatchConfig::default(),
+            workers: 2,
+            default_deadline_ns: 0,
+            max_panics: 3,
+            audit_every: 0,
+        }
+    }
+}
+
+/// One request's completion slot: fulfilled exactly once by the batcher
+/// (expiry) or a worker (result), awaited by the requester.
+#[derive(Debug, Default)]
+struct Pending {
+    cell: Mutex<Option<Result<Tensor<i32>, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Pending {
+    fn fulfill(&self, result: Result<Tensor<i32>, ServeError>) {
+        let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        if cell.is_none() {
+            *cell = Some(result);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<Tensor<i32>, ServeError> {
+        let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = self.cv.wait(cell).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Handle to an in-flight request returned by [`Handle::submit`].
+#[derive(Debug)]
+pub struct PendingResponse {
+    inner: Arc<Pending>,
+}
+
+impl PendingResponse {
+    /// Blocks until the request resolves (result, rejection or expiry).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the server resolved the request to — see [`ServeError`].
+    pub fn wait(self) -> Result<Tensor<i32>, ServeError> {
+        self.inner.wait()
+    }
+}
+
+/// A queued unit of work (the batcher ticket payload).
+struct Job {
+    model: Arc<AdmittedModel>,
+    input: Tensor<i32>,
+    pending: Arc<Pending>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Job({}, rows={})", self.model.name(), self.input.dims()[0])
+    }
+}
+
+/// Always-on runtime counters (independent of `T2C_PROFILE`).
+#[derive(Debug, Default)]
+struct ServeStats {
+    completed: AtomicU64,
+    rejected_busy: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    panics: AtomicU64,
+    batches: AtomicU64,
+    batched_rows: AtomicU64,
+    audits: AtomicU64,
+    max_audit_divergence_bits: AtomicU64,
+}
+
+impl ServeStats {
+    fn note_audit(&self, divergence: f64) {
+        self.audits.fetch_add(1, Ordering::Relaxed);
+        // Non-negative f64 bit patterns order like the floats themselves.
+        let bits = divergence.max(0.0).to_bits();
+        self.max_audit_divergence_bits.fetch_max(bits, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the runtime counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSnapshot {
+    /// Requests resolved with a result.
+    pub completed: u64,
+    /// Admissions rejected with [`ServeError::Busy`].
+    pub rejected_busy: u64,
+    /// Requests expired before execution.
+    pub deadline_exceeded: u64,
+    /// Isolated worker panics.
+    pub panics: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Total rows across dispatched batches.
+    pub batched_rows: u64,
+    /// Dual-path audits performed.
+    pub audits: u64,
+    /// Worst normalized integer-vs-float divergence seen by the audit.
+    pub max_audit_divergence: f64,
+}
+
+impl StatsSnapshot {
+    /// Average rows per dispatched batch (0 when nothing ran).
+    pub fn mean_batch_rows(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_rows as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    cfg: ServerConfig,
+    clock: Arc<dyn Clock>,
+    queue: Mutex<MicroBatcher<Job>>,
+    wakeup: Condvar,
+    stop: AtomicBool,
+    stats: ServeStats,
+    audit: SampledAudit,
+}
+
+/// Cloneable submission handle — the in-process client.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Names of the admitted models.
+    pub fn models(&self) -> Vec<String> {
+        self.shared.registry.names()
+    }
+
+    /// Submits a request with the server's default deadline policy;
+    /// returns immediately with a completion handle.
+    ///
+    /// # Errors
+    ///
+    /// Synchronous rejections: [`ServeError::ModelNotFound`],
+    /// [`ServeError::ModelPoisoned`], [`ServeError::BadRequest`] (shape),
+    /// [`ServeError::Busy`] (backpressure), [`ServeError::ShuttingDown`].
+    pub fn submit(&self, model: &str, input: Tensor<i32>) -> Result<PendingResponse, ServeError> {
+        let deadline = match self.shared.cfg.default_deadline_ns {
+            0 => NO_DEADLINE,
+            d => self.shared.clock.now_ns().saturating_add(d),
+        };
+        self.submit_inner(model, input, deadline)
+    }
+
+    /// Submits with an explicit deadline budget from now.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::submit`].
+    pub fn submit_within(
+        &self,
+        model: &str,
+        input: Tensor<i32>,
+        budget_ns: u64,
+    ) -> Result<PendingResponse, ServeError> {
+        let deadline = self.shared.clock.now_ns().saturating_add(budget_ns);
+        self.submit_inner(model, input, deadline)
+    }
+
+    /// Blocking convenience: submit + wait.
+    ///
+    /// # Errors
+    ///
+    /// Synchronous rejections plus anything the request resolved to
+    /// ([`ServeError::DeadlineExceeded`], [`ServeError::Internal`], …).
+    pub fn infer(&self, model: &str, input: Tensor<i32>) -> Result<Tensor<i32>, ServeError> {
+        self.submit(model, input)?.wait()
+    }
+
+    /// Blocking convenience with a deadline budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::infer`].
+    pub fn infer_within(
+        &self,
+        model: &str,
+        input: Tensor<i32>,
+        budget_ns: u64,
+    ) -> Result<Tensor<i32>, ServeError> {
+        self.submit_within(model, input, budget_ns)?.wait()
+    }
+
+    fn submit_inner(
+        &self,
+        model: &str,
+        input: Tensor<i32>,
+        deadline_ns: u64,
+    ) -> Result<PendingResponse, ServeError> {
+        let shared = &self.shared;
+        let admitted = shared
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::ModelNotFound(model.to_string()))?;
+        if admitted.is_poisoned() {
+            return Err(ServeError::ModelPoisoned(admitted.name().to_string()));
+        }
+        let want = admitted.input_dims();
+        let got = input.dims();
+        if got.len() != want.len() || got[1..] != want[1..] || got[0] == 0 {
+            return Err(ServeError::BadRequest(format!(
+                "input dims {got:?} incompatible with model '{model}' sample dims {want:?} \
+                 (batch axis 0 may vary, must be ≥ 1)"
+            )));
+        }
+        let rows = got[0];
+        let pending = Arc::new(Pending::default());
+        let job = Job { model: Arc::clone(&admitted), input, pending: Arc::clone(&pending) };
+        let now = shared.clock.now_ns();
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let was_empty = queue.is_empty();
+        match queue.admit(job, admitted.slot(), rows, now, deadline_ns) {
+            Ok(_) => {
+                t2c_obs::gauge_set("serve.queue_depth", queue.len() as f64);
+                // Wakeup coalescing: the batcher only needs a nudge when a
+                // new flush window starts (queue was empty) or this group
+                // just reached a full batch — intermediate admissions ride
+                // the window timeout the batcher is already sleeping on.
+                // On a loaded single core this trims one scheduler context
+                // switch per request down to ~2 per batch.
+                let batch_full = queue.group_rows(admitted.slot()) >= shared.cfg.batch.max_batch;
+                drop(queue);
+                if was_empty || batch_full {
+                    shared.wakeup.notify_all();
+                }
+                Ok(PendingResponse { inner: pending })
+            }
+            Err(e) => {
+                drop(queue);
+                if e == ServeError::Busy {
+                    shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    t2c_obs::counter_add("serve.rejected_busy", 1);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The serving runtime: owns the batcher thread and the worker pool.
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the runtime over an admitted-model registry with the
+    /// production clock.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
+        Self::start_with_clock(registry, cfg, Arc::new(SystemClock::new()))
+    }
+
+    /// Starts the runtime with an injected clock (tests use
+    /// [`crate::FakeClock`] for deterministic deadline behavior).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn the scheduler/worker threads.
+    pub fn start_with_clock(
+        registry: Arc<ModelRegistry>,
+        cfg: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            cfg,
+            clock,
+            queue: Mutex::new(MicroBatcher::new(cfg.batch)),
+            wakeup: Condvar::new(),
+            stop: AtomicBool::new(false),
+            stats: ServeStats::default(),
+            audit: SampledAudit::new(cfg.audit_every),
+        });
+        let (tx, rx) = bounded::<Vec<Ticket<Job>>>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("t2c-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .expect("spawn worker thread");
+            pool.push(handle);
+        }
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("t2c-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared, &tx))
+                .expect("spawn batcher thread")
+        };
+        Server { shared, batcher: Some(batcher), workers: pool }
+    }
+
+    /// An in-process submission handle (cloneable, thread-safe).
+    pub fn handle(&self) -> Handle {
+        Handle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// The registry the server hosts.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Current runtime counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            completed: s.completed.load(Ordering::Relaxed),
+            rejected_busy: s.rejected_busy.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+            panics: s.panics.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            batched_rows: s.batched_rows.load(Ordering::Relaxed),
+            audits: s.audits.load(Ordering::Relaxed),
+            max_audit_divergence: f64::from_bits(
+                s.max_audit_divergence_bits.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    /// Graceful drain: stops admission, flushes every queued request in
+    /// FIFO order, joins the scheduler and worker threads, and returns
+    /// the final counters. All in-flight requests resolve before this
+    /// returns.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            queue.start_drain();
+        }
+        self.shared.wakeup.notify_all();
+        if let Some(b) = self.batcher.take() {
+            b.join().ok();
+        }
+        // The batcher dropped the dispatch sender on exit; workers finish
+        // the channel backlog and observe the disconnect.
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.batcher.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("models", &self.shared.registry.names())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn batcher_loop(shared: &Arc<Shared>, tx: &SyncSender<Vec<Ticket<Job>>>) {
+    loop {
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let now = shared.clock.now_ns();
+        for ticket in queue.take_expired(now) {
+            shared.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            t2c_obs::counter_add("serve.deadline_exceeded", 1);
+            ticket.payload.pending.fulfill(Err(ServeError::DeadlineExceeded));
+        }
+        match queue.next_batch(now) {
+            Decision::Dispatch(batch) => {
+                t2c_obs::gauge_set("serve.queue_depth", queue.len() as f64);
+                drop(queue);
+                // A full channel blocks here — that is the second tier of
+                // backpressure (the admission queue keeps filling and
+                // starts rejecting Busy).
+                if let Err(rejected) = tx.send(batch) {
+                    for ticket in rejected.0 {
+                        ticket.payload.pending.fulfill(Err(ServeError::ShuttingDown));
+                    }
+                }
+            }
+            Decision::WaitUntil(at) => {
+                // Cap the real wait so fake-clock tests stay responsive;
+                // admissions notify the condvar anyway.
+                let dur = Duration::from_nanos(at.saturating_sub(now).clamp(1, 5_000_000));
+                drop(shared.wakeup.wait_timeout(queue, dur));
+            }
+            Decision::Idle => {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                drop(shared.wakeup.wait_timeout(queue, Duration::from_millis(5)));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Vec<Ticket<Job>>>>>) {
+    loop {
+        // Holding the lock only while *waiting* is fine: processing
+        // happens after the guard drops, so workers overlap on compute.
+        let msg = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match msg {
+            Ok(batch) => process_batch(shared, batch),
+            Err(_) => break,
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn process_batch(shared: &Arc<Shared>, tickets: Vec<Ticket<Job>>) {
+    let now = shared.clock.now_ns();
+    // Last-chance expiry: a ticket may have timed out while the batch sat
+    // in the dispatch channel.
+    let mut live = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        if ticket.deadline_ns <= now {
+            shared.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            t2c_obs::counter_add("serve.deadline_exceeded", 1);
+            ticket.payload.pending.fulfill(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(ticket);
+        }
+    }
+    let Some(first) = live.first() else {
+        return;
+    };
+    let model = Arc::clone(&first.payload.model);
+    let rows: usize = live.iter().map(|t| t.rows).sum();
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared.stats.batched_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    t2c_obs::record("serve.batch_rows", rows as f64);
+
+    let fail_all = |live: Vec<Ticket<Job>>, err: ServeError| {
+        for ticket in live {
+            ticket.payload.pending.fulfill(Err(err.clone()));
+        }
+    };
+    if model.is_poisoned() {
+        fail_all(live, ServeError::ModelPoisoned(model.name().to_string()));
+        return;
+    }
+    let inputs: Vec<&Tensor<i32>> = live.iter().map(|t| &t.payload.input).collect();
+    let joined = if inputs.len() == 1 {
+        inputs[0].clone()
+    } else {
+        match Tensor::concat_axis0(&inputs) {
+            Ok(j) => j,
+            Err(e) => {
+                fail_all(live, ServeError::Internal(format!("batch concat failed: {e}")));
+                return;
+            }
+        }
+    };
+    let outcome =
+        std::panic::catch_unwind(AssertUnwindSafe(|| model.model().run_quantized(&joined)));
+    match outcome {
+        Err(payload) => {
+            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            t2c_obs::counter_add("serve.worker_panics", 1);
+            let count = model.record_panic(shared.cfg.max_panics);
+            if model.is_poisoned() {
+                t2c_obs::counter_add("serve.models_poisoned", 1);
+            }
+            let what = panic_message(payload.as_ref());
+            fail_all(
+                live,
+                ServeError::Internal(format!(
+                    "inference panicked ({what}); model '{}' panic {count}/{}",
+                    model.name(),
+                    shared.cfg.max_panics
+                )),
+            );
+        }
+        Ok(Err(e)) => {
+            fail_all(live, ServeError::Internal(format!("model error: {e}")));
+        }
+        Ok(Ok(output)) => {
+            let sizes: Vec<usize> = live.iter().map(|t| t.rows).collect();
+            match output.split_axis0(&sizes) {
+                Err(e) => {
+                    fail_all(live, ServeError::Internal(format!("batch output split failed: {e}")));
+                }
+                Ok(parts) => {
+                    let done = shared.clock.now_ns();
+                    for (ticket, part) in live.into_iter().zip(parts) {
+                        let latency = done.saturating_sub(ticket.enqueued_ns);
+                        t2c_obs::record("serve.latency_ns", latency as f64);
+                        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        if shared.cfg.audit_every > 0 && shared.audit.should_sample() {
+                            audit_request(shared, &model, &ticket.payload.input, &part);
+                        }
+                        ticket.payload.pending.fulfill(Ok(part));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dual-path divergence audit: de-quantizes the sampled request's integer
+/// codes, re-runs them through the model's *float-entry* path
+/// (`IntModel::run`, i.e. requantize → same graph, unbatched) and compares
+/// against the rows the batched integer path produced. Any divergence is a
+/// batching-invariance or quantize-path fault; the worst normalized error
+/// lands in the `serve.<model>.dualpath_max_err` gauge and the stats
+/// snapshot.
+fn audit_request(
+    shared: &Arc<Shared>,
+    model: &Arc<AdmittedModel>,
+    codes: &Tensor<i32>,
+    served: &Tensor<i32>,
+) {
+    t2c_obs::counter_add("serve.audit_runs", 1);
+    let float_input = model.dequantize(codes);
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| model.model().run(&float_input)));
+    let Ok(Ok(reference)) = outcome else {
+        // The float path failing where the integer path succeeded is
+        // itself maximal divergence.
+        shared.stats.note_audit(1.0);
+        t2c_obs::counter_add("serve.audit_divergences", 1);
+        t2c_obs::gauge_set(&format!("serve.{}.dualpath_max_err", model.name()), 1.0);
+        return;
+    };
+    let divergence = if reference.dims() == served.dims() {
+        let denom = reference.as_slice().iter().fold(1.0f64, |m, &v| m.max(f64::from(v).abs()));
+        reference
+            .as_slice()
+            .iter()
+            .zip(served.as_slice())
+            .fold(0.0f64, |m, (&a, &b)| m.max((f64::from(a) - f64::from(b)).abs()))
+            / denom
+    } else {
+        1.0
+    };
+    shared.stats.note_audit(divergence);
+    if divergence > 0.0 {
+        t2c_obs::counter_add("serve.audit_divergences", 1);
+    }
+    t2c_obs::gauge_set(&format!("serve.{}.dualpath_max_err", model.name()), divergence);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchConfig;
+    use crate::clock::FakeClock;
+    use t2c_core::intmodel::{IntOp, Src};
+    use t2c_core::lut::GeluLut;
+    use t2c_core::zoo;
+    use t2c_core::QuantSpec;
+
+    fn mlp_registry() -> (Arc<ModelRegistry>, Arc<crate::registry::AdmittedModel>) {
+        let reg = Arc::new(ModelRegistry::new());
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).expect("tiny_mlp passes the gate");
+        (reg, admitted)
+    }
+
+    fn codes_for(
+        admitted: &crate::registry::AdmittedModel,
+        rows: usize,
+        salt: usize,
+    ) -> Tensor<i32> {
+        let mut dims = admitted.input_dims().to_vec();
+        dims[0] = rows;
+        let x = Tensor::from_fn(&dims, |i| ((i * 31 + salt * 17) % 100) as f32 * 0.01 - 0.5);
+        admitted.quantize(&x)
+    }
+
+    #[test]
+    fn served_results_match_direct_execution_under_concurrency() {
+        let (reg, admitted) = mlp_registry();
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 8, max_delay_ns: 500_000, queue_cap: 256 },
+            workers: 3,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(Arc::clone(&reg), cfg);
+        let handle = server.handle();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let handle = handle.clone();
+                let admitted = &admitted;
+                scope.spawn(move || {
+                    for r in 0..4 {
+                        let codes = codes_for(admitted, 1 + (t + r) % 3, t * 100 + r);
+                        let want = admitted.model().run_quantized(&codes).unwrap();
+                        let got = handle.infer("mlp", codes).unwrap();
+                        assert_eq!(got.as_slice(), want.as_slice(), "thread {t} req {r}");
+                    }
+                });
+            }
+        });
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 32);
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.deadline_exceeded, 0);
+    }
+
+    #[test]
+    fn saturation_rejects_busy_and_drain_still_resolves_queued_work() {
+        let (reg, admitted) = mlp_registry();
+        // Batches never flush on their own: the window is huge and the
+        // batch bound unreachable, so the queue fills deterministically.
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 1_000, max_delay_ns: u64::MAX / 2, queue_cap: 4 },
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(Arc::clone(&reg), cfg);
+        let handle = server.handle();
+        let mut pending = Vec::new();
+        for i in 0..4 {
+            pending.push(handle.submit("mlp", codes_for(&admitted, 1, i)).unwrap());
+        }
+        let rejected = handle.submit("mlp", codes_for(&admitted, 1, 99));
+        assert_eq!(rejected.err(), Some(ServeError::Busy), "5th request must hit backpressure");
+        // Graceful drain flushes the four queued requests.
+        let handle2 = handle.clone();
+        let stats = server.shutdown();
+        for p in pending {
+            p.wait().expect("drained request must resolve with a result");
+        }
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.rejected_busy, 1);
+        // After shutdown the batcher is draining: no new admissions.
+        let late = handle2.submit("mlp", codes_for(&admitted, 1, 7));
+        assert_eq!(late.err(), Some(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn deadlines_expire_deterministically_with_a_fake_clock() {
+        let (reg, admitted) = mlp_registry();
+        let clock = Arc::new(FakeClock::new(1_000));
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 1_000, max_delay_ns: u64::MAX / 2, queue_cap: 16 },
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let server =
+            Server::start_with_clock(Arc::clone(&reg), cfg, Arc::<FakeClock>::clone(&clock));
+        let handle = server.handle();
+        let doomed = handle.submit_within("mlp", codes_for(&admitted, 1, 0), 5_000).unwrap();
+        // Nothing sleeps: advance fake time past the deadline and let the
+        // batcher's next poll expire the ticket; wait() blocks until then.
+        clock.advance(10_000);
+        assert_eq!(doomed.wait().err(), Some(ServeError::DeadlineExceeded));
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn worker_panics_are_isolated_and_poison_the_model() {
+        // A GeluLut whose table covers one code out of 256: any larger
+        // input code indexes out of bounds and panics inside the worker.
+        // The lint gate would refuse this (T2C301), which is exactly why
+        // the test goes through admit_unchecked.
+        let reg = Arc::new(ModelRegistry::new());
+        let mut m = t2c_core::IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 0.01, spec: QuantSpec::signed(8) }, vec![]);
+        let spec = QuantSpec::signed(8);
+        m.push(
+            "boom",
+            IntOp::GeluLut(GeluLut {
+                table: vec![0],
+                in_spec: spec,
+                in_scale: 0.01,
+                out_spec: spec,
+                out_scale: 0.01,
+            }),
+            vec![Src::Node(0)],
+        );
+        let admitted = reg.admit_unchecked("faulty", m, &[1, 8]).unwrap();
+        let (healthy, hdims) = zoo::tiny_mlp();
+        let good = reg.admit("mlp", healthy, &hdims).unwrap();
+
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 4, max_delay_ns: 100_000, queue_cap: 64 },
+            workers: 2,
+            max_panics: 2,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(Arc::clone(&reg), cfg);
+        let handle = server.handle();
+        let bad_input = Tensor::from_fn(&[1, 8], |_| 100); // code 100 → index OOB
+
+        let first = handle.infer("faulty", bad_input.clone());
+        match first {
+            Err(ServeError::Internal(msg)) => {
+                assert!(msg.contains("panicked"), "expected isolated panic, got: {msg}");
+            }
+            other => panic!("expected Internal(panic), got {other:?}"),
+        }
+        assert!(!admitted.is_poisoned(), "one panic is under the budget of 2");
+        let second = handle.infer("faulty", bad_input.clone());
+        assert!(matches!(second, Err(ServeError::Internal(_))));
+        assert!(admitted.is_poisoned(), "second panic must trip the breaker");
+        // Quarantined at admission now.
+        let third = handle.infer("faulty", bad_input);
+        assert_eq!(third.err(), Some(ServeError::ModelPoisoned("faulty".into())));
+        // The healthy model keeps serving on the same pool.
+        let codes = codes_for(&good, 2, 5);
+        let want = good.model().run_quantized(&codes).unwrap();
+        assert_eq!(handle.infer("mlp", codes).unwrap().as_slice(), want.as_slice());
+        let stats = server.shutdown();
+        assert_eq!(stats.panics, 2);
+        assert!(stats.completed >= 1);
+    }
+
+    #[test]
+    fn sampled_dual_path_audit_sees_zero_divergence_on_a_sound_model() {
+        let (reg, admitted) = mlp_registry();
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 4, max_delay_ns: 200_000, queue_cap: 64 },
+            workers: 2,
+            audit_every: 2,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(Arc::clone(&reg), cfg);
+        let handle = server.handle();
+        for i in 0..10 {
+            let codes = codes_for(&admitted, 1, i);
+            handle.infer("mlp", codes).unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 10);
+        assert!(stats.audits >= 5, "1-in-2 sampling over 10 requests, got {}", stats.audits);
+        assert_eq!(
+            stats.max_audit_divergence, 0.0,
+            "integer and float paths must agree on tiny_mlp"
+        );
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shape_reject_synchronously() {
+        let (reg, admitted) = mlp_registry();
+        let d = admitted.input_dims()[1];
+        let server = Server::start(Arc::clone(&reg), ServerConfig::default());
+        let handle = server.handle();
+        assert!(matches!(
+            handle.infer("ghost", Tensor::zeros(&[1, d])),
+            Err(ServeError::ModelNotFound(_))
+        ));
+        assert!(matches!(
+            handle.infer("mlp", Tensor::zeros(&[1, d - 1])),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            handle.infer("mlp", Tensor::zeros(&[0, d])),
+            Err(ServeError::BadRequest(_))
+        ));
+        drop(server); // Drop also drains cleanly.
+    }
+}

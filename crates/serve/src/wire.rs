@@ -1,0 +1,455 @@
+//! The length-prefixed TCP protocol and its client.
+//!
+//! Framing (all integers little-endian): every message is
+//! `u32 payload_len` followed by `payload_len` bytes, capped at
+//! [`MAX_FRAME_BYTES`].
+//!
+//! Request payload:
+//!
+//! ```text
+//! u16  name_len      model name length
+//! ..   name          UTF-8 model name
+//! u32  deadline_ms   per-request budget (0 = server default)
+//! u8   rank          tensor rank (≤ MAX_RANK)
+//! u32×rank dims      tensor dims, axis 0 = batch rows
+//! i32×numel data     quantized input codes, row-major
+//! ```
+//!
+//! Response payload: `u8 status` (0 = OK, else [`ServeError::status`]),
+//! then on OK `u8 rank, u32×rank dims, i32×numel data`, on error
+//! `u16 msg_len, msg` (UTF-8 detail).
+//!
+//! A connection carries any number of request/response pairs in order;
+//! the server closes on EOF or framing violations.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use t2c_tensor::Tensor;
+
+use crate::error::ServeError;
+use crate::runtime::Handle;
+
+/// Maximum frame payload (64 MiB) — oversized frames are a protocol
+/// violation, not an allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Maximum tensor rank on the wire.
+pub const MAX_RANK: usize = 8;
+
+/// A decoded inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Registry name of the target model.
+    pub model: String,
+    /// Deadline budget in milliseconds (0 = server default).
+    pub deadline_ms: u32,
+    /// Quantized input codes, batch on axis 0.
+    pub input: Tensor<i32>,
+}
+
+/// Encodes a request payload (without the frame length prefix).
+pub fn encode_request(req: &WireRequest) -> Vec<u8> {
+    let name = req.model.as_bytes();
+    let dims = req.input.dims();
+    let mut out =
+        Vec::with_capacity(2 + name.len() + 4 + 1 + dims.len() * 4 + req.input.numel() * 4);
+    out.extend_from_slice(&u16::try_from(name.len()).unwrap_or(u16::MAX).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&req.deadline_ms.to_le_bytes());
+    out.push(u8::try_from(dims.len()).unwrap_or(u8::MAX));
+    for &d in dims {
+        out.extend_from_slice(&u32::try_from(d).unwrap_or(u32::MAX).to_le_bytes());
+    }
+    for &v in req.input.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// A cursor over a payload with bounds-checked little-endian reads.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            ServeError::BadRequest(format!(
+                "truncated frame: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            ))
+        })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i32(&mut self) -> Result<i32, ServeError> {
+        let b = self.bytes(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_tensor(c: &mut Cursor<'_>) -> Result<Tensor<i32>, ServeError> {
+    let rank = c.u8()? as usize;
+    if rank == 0 || rank > MAX_RANK {
+        return Err(ServeError::BadRequest(format!("rank {rank} outside 1..={MAX_RANK}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut numel = 1usize;
+    for _ in 0..rank {
+        let d = c.u32()? as usize;
+        numel = numel
+            .checked_mul(d)
+            .ok_or_else(|| ServeError::BadRequest("tensor element count overflows".to_string()))?;
+        dims.push(d);
+    }
+    if numel.checked_mul(4).is_none_or(|b| b > MAX_FRAME_BYTES) {
+        return Err(ServeError::BadRequest(format!("tensor of {numel} elements too large")));
+    }
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(c.i32()?);
+    }
+    Tensor::from_vec(data, &dims).map_err(|e| ServeError::BadRequest(e.to_string()))
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on any framing violation (truncation,
+/// trailing bytes, invalid UTF-8, oversized tensors).
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, ServeError> {
+    let mut c = Cursor::new(payload);
+    let name_len = c.u16()? as usize;
+    let name = std::str::from_utf8(c.bytes(name_len)?)
+        .map_err(|_| ServeError::BadRequest("model name is not UTF-8".to_string()))?
+        .to_string();
+    let deadline_ms = c.u32()?;
+    let input = decode_tensor(&mut c)?;
+    if !c.done() {
+        return Err(ServeError::BadRequest("trailing bytes after request".to_string()));
+    }
+    Ok(WireRequest { model: name, deadline_ms, input })
+}
+
+/// Encodes a response payload (without the frame length prefix).
+pub fn encode_response(result: &Result<Tensor<i32>, ServeError>) -> Vec<u8> {
+    match result {
+        Ok(tensor) => {
+            let dims = tensor.dims();
+            let mut out = Vec::with_capacity(2 + dims.len() * 4 + tensor.numel() * 4);
+            out.push(0u8);
+            out.push(u8::try_from(dims.len()).unwrap_or(u8::MAX));
+            for &d in dims {
+                out.extend_from_slice(&u32::try_from(d).unwrap_or(u32::MAX).to_le_bytes());
+            }
+            for &v in tensor.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        Err(e) => {
+            let msg = e.detail().as_bytes();
+            let mut out = Vec::with_capacity(3 + msg.len());
+            out.push(e.status());
+            out.extend_from_slice(&u16::try_from(msg.len()).unwrap_or(u16::MAX).to_le_bytes());
+            out.extend_from_slice(&msg[..msg.len().min(u16::MAX as usize)]);
+            out
+        }
+    }
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// The server-reported [`ServeError`] for error statuses, or
+/// [`ServeError::Io`] on framing violations.
+pub fn decode_response(payload: &[u8]) -> Result<Tensor<i32>, ServeError> {
+    let mut c = Cursor::new(payload);
+    let status = c.u8().map_err(|_| ServeError::Io("empty response frame".to_string()))?;
+    if status == 0 {
+        return decode_tensor(&mut c).map_err(|e| ServeError::Io(e.to_string()));
+    }
+    let msg_len = c.u16().map_err(|_| ServeError::Io("truncated error response".into()))? as usize;
+    let msg =
+        c.bytes(msg_len).ok().and_then(|b| std::str::from_utf8(b).ok()).unwrap_or("").to_string();
+    Err(ServeError::from_status(status, msg))
+}
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads until `buf` is full, riding out read timeouts. Returns
+/// `Ok(false)` on clean EOF (or a stop request) *before the first byte*;
+/// mid-buffer EOF is an error.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if stop.load(Ordering::Acquire) && filled == 0 {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-frame"))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    if !read_full(stream, &mut header, stop)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_full(stream, &mut payload, stop)? {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof before payload"));
+    }
+    Ok(Some(payload))
+}
+
+fn handle_connection(mut stream: TcpStream, handle: &Handle, stop: &AtomicBool) {
+    stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
+    stream.set_nodelay(true).ok();
+    while let Ok(Some(payload)) = read_frame(&mut stream, stop) {
+        let result = match decode_request(&payload) {
+            Ok(req) => match req.deadline_ms {
+                0 => handle.infer(&req.model, req.input),
+                ms => handle.infer_within(&req.model, req.input, u64::from(ms) * 1_000_000),
+            },
+            Err(e) => Err(e),
+        };
+        if write_frame(&mut stream, &encode_response(&result)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Runs the accept loop on its own thread: each connection gets a thread
+/// reading request frames and answering through `handle`. Clears down when
+/// `stop` flips — in-flight requests still resolve through the runtime's
+/// drain.
+///
+/// # Errors
+///
+/// Returns the listener's local-address error, if any (the bind already
+/// happened at the call site).
+pub fn serve_tcp(
+    handle: Handle,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+) -> io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    let thread = std::thread::Builder::new().name("t2c-serve-accept".into()).spawn(move || {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let handle = handle.clone();
+                    let stop = Arc::clone(&stop);
+                    let conn = std::thread::Builder::new()
+                        .name("t2c-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &handle, &stop))
+                        .expect("spawn connection thread");
+                    connections.push(conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+            connections.retain(|c| !c.is_finished());
+        }
+        for conn in connections {
+            conn.join().ok();
+        }
+    })?;
+    Ok(thread)
+}
+
+/// Blocking TCP client for the serving protocol.
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a running `t2c-serve` endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(TcpClient { stream })
+    }
+
+    /// One request/response round trip. `deadline_ms = 0` uses the
+    /// server's default deadline policy.
+    ///
+    /// # Errors
+    ///
+    /// The server's rejection, or [`ServeError::Io`] on transport
+    /// failures.
+    pub fn infer(
+        &mut self,
+        model: &str,
+        input: &Tensor<i32>,
+        deadline_ms: u32,
+    ) -> Result<Tensor<i32>, ServeError> {
+        let req = WireRequest { model: model.to_string(), deadline_ms, input: input.clone() };
+        write_frame(&mut self.stream, &encode_request(&req))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let never = AtomicBool::new(false);
+        let payload = read_frame(&mut self.stream, &never)
+            .map_err(|e| ServeError::Io(e.to_string()))?
+            .ok_or_else(|| ServeError::Io("server closed the connection".to_string()))?;
+        decode_response(&payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use crate::runtime::{Server, ServerConfig};
+    use t2c_core::zoo;
+
+    #[test]
+    fn request_and_response_payloads_round_trip() {
+        let input = Tensor::from_fn(&[2, 3], |i| i as i32 - 3);
+        let req = WireRequest { model: "mlp".into(), deadline_ms: 250, input };
+        let decoded = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(decoded, req);
+
+        let ok: Result<Tensor<i32>, ServeError> =
+            Ok(Tensor::from_fn(&[1, 4], |i| (i as i32) * 7 - 5));
+        let back = decode_response(&encode_response(&ok)).unwrap();
+        assert_eq!(back.as_slice(), ok.as_ref().unwrap().as_slice());
+        assert_eq!(back.dims(), &[1, 4]);
+
+        for err in [
+            ServeError::Busy,
+            ServeError::DeadlineExceeded,
+            ServeError::ModelNotFound("ghost".into()),
+            ServeError::Internal("boom".into()),
+        ] {
+            let e: Result<Tensor<i32>, ServeError> = Err(err.clone());
+            assert_eq!(decode_response(&encode_response(&e)).unwrap_err(), err);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_reject_without_panicking() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[5, 0, b'a']).is_err()); // name truncated
+        let good = encode_request(&WireRequest {
+            model: "m".into(),
+            deadline_ms: 0,
+            input: Tensor::from_fn(&[2, 2], |i| i as i32),
+        });
+        for cut in 0..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "truncation at {cut} must err");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_request(&trailing).is_err());
+        // Huge dims must be rejected by the size cap, not attempted.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&1u16.to_le_bytes());
+        huge.push(b'm');
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        huge.push(2);
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&huge).is_err());
+    }
+
+    #[test]
+    fn tcp_round_trip_against_a_live_server() {
+        let reg = std::sync::Arc::new(ModelRegistry::new());
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).unwrap();
+        let server = Server::start(std::sync::Arc::clone(&reg), ServerConfig::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = serve_tcp(server.handle(), listener, Arc::clone(&stop)).unwrap();
+
+        let x = Tensor::from_fn(&dims, |i| (i as f32) * 0.011 - 0.35);
+        let codes = admitted.quantize(&x);
+        let want = admitted.model().run_quantized(&codes).unwrap();
+        let mut client = TcpClient::connect(addr).unwrap();
+        let got = client.infer("mlp", &codes, 0).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        // Same connection, second round trip + structured rejection.
+        let got2 = client.infer("mlp", &codes, 1_000).unwrap();
+        assert_eq!(got2.as_slice(), want.as_slice());
+        assert!(matches!(client.infer("ghost", &codes, 0), Err(ServeError::ModelNotFound(_))));
+
+        drop(client);
+        stop.store(true, Ordering::Release);
+        accept.join().unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 2);
+    }
+}

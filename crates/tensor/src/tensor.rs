@@ -357,6 +357,68 @@ impl<T: Element> Tensor<T> {
         Ok(Tensor { data, shape: Shape::new(&out_dims) })
     }
 
+    /// Splits the tensor along axis 0 into consecutive chunks of the given
+    /// sizes. The sizes must sum to `dim(0)`; each chunk keeps the trailing
+    /// axes. This is the micro-batcher's scatter primitive: a batched
+    /// output `[B, …]` is split back into the per-request tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors, an empty `sizes` list, a
+    /// zero-sized chunk, or sizes that do not sum to the axis-0 extent.
+    pub fn split_axis0(&self, sizes: &[usize]) -> Result<Vec<Self>> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch { got: 0, expected: 1, op: "split_axis0" });
+        }
+        if sizes.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "split_axis0 requires at least one chunk size".into(),
+            ));
+        }
+        if sizes.contains(&0) {
+            return Err(TensorError::InvalidArgument(
+                "split_axis0 chunk sizes must be non-zero".into(),
+            ));
+        }
+        let total: usize = sizes.iter().sum();
+        if total != self.dim(0) {
+            return Err(TensorError::InvalidArgument(format!(
+                "split_axis0 sizes sum to {total} but axis 0 has extent {}",
+                self.dim(0)
+            )));
+        }
+        let inner: usize = self.dims()[1..].iter().product();
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut offset = 0usize;
+        for &rows in sizes {
+            let data = self.data[offset * inner..(offset + rows) * inner].to_vec();
+            let mut dims = vec![rows];
+            dims.extend_from_slice(&self.dims()[1..]);
+            out.push(Tensor { data, shape: Shape::new(&dims) });
+            offset += rows;
+        }
+        Ok(out)
+    }
+
+    /// Concatenates tensors along axis 0 — the micro-batcher's gather
+    /// primitive (per-request inputs → one batched input). All inputs must
+    /// agree on every trailing axis; `split_axis0` with the original axis-0
+    /// extents is its exact inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tensors` is empty, any input is rank-0, or the
+    /// trailing extents disagree.
+    pub fn concat_axis0(tensors: &[&Tensor<T>]) -> Result<Self> {
+        let first = *tensors.first().ok_or_else(|| {
+            TensorError::InvalidArgument("concat_axis0 requires at least one tensor".into())
+        })?;
+        if first.rank() == 0 {
+            return Err(TensorError::RankMismatch { got: 0, expected: 1, op: "concat_axis0" });
+        }
+        Tensor::concat(tensors, 0)
+    }
+
     /// Stacks same-shaped tensors along a new leading axis.
     ///
     /// # Errors
@@ -475,6 +537,36 @@ mod tests {
         assert_eq!(row.dims(), &[4]);
         assert_eq!(row.as_slice(), &[4, 5, 6, 7]);
         assert!(t.index_axis0(3).is_err());
+    }
+
+    #[test]
+    fn split_axis0_chunks_and_errors() {
+        let t = Tensor::from_vec((0..12).collect::<Vec<i32>>(), &[4, 3]).unwrap();
+        let parts = t.split_axis0(&[1, 2, 1]).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].dims(), &[1, 3]);
+        assert_eq!(parts[1].dims(), &[2, 3]);
+        assert_eq!(parts[1].as_slice(), &[3, 4, 5, 6, 7, 8]);
+        assert_eq!(parts[2].as_slice(), &[9, 10, 11]);
+        // Error cases: wrong sum, empty sizes, zero chunk, rank 0.
+        assert!(t.split_axis0(&[1, 2]).is_err());
+        assert!(t.split_axis0(&[]).is_err());
+        assert!(t.split_axis0(&[4, 0]).is_err());
+        assert!(Tensor::scalar(1i32).split_axis0(&[1]).is_err());
+    }
+
+    #[test]
+    fn concat_axis0_batches_requests() {
+        let a = Tensor::from_vec(vec![1, 2, 3], &[1, 3]).unwrap();
+        let b = Tensor::from_vec(vec![4, 5, 6, 7, 8, 9], &[2, 3]).unwrap();
+        let c = Tensor::concat_axis0(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 3]);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        // Trailing-extent mismatch and empty input are errors.
+        let bad = Tensor::from_vec(vec![1, 2], &[1, 2]).unwrap();
+        assert!(Tensor::concat_axis0(&[&a, &bad]).is_err());
+        assert!(Tensor::<i32>::concat_axis0(&[]).is_err());
+        assert!(Tensor::concat_axis0(&[&Tensor::scalar(1i32)]).is_err());
     }
 
     #[test]

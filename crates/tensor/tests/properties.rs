@@ -129,4 +129,45 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn split_axis0_concat_axis0_round_trip(
+        sizes in proptest::collection::vec(1usize..5, 1..6),
+        inner in 1usize..7,
+    ) {
+        // split ∘ concat = identity: the batcher's gather/scatter pair must
+        // reconstruct every request tensor bit for bit.
+        let total: usize = sizes.iter().sum();
+        let batched = Tensor::from_fn(&[total, inner], |i| i as f32 * 0.25 - 3.0);
+        let parts = batched.split_axis0(&sizes).unwrap();
+        prop_assert_eq!(parts.len(), sizes.len());
+        for (part, &rows) in parts.iter().zip(&sizes) {
+            prop_assert_eq!(part.dims(), &[rows, inner]);
+        }
+        let refs: Vec<&Tensor<f32>> = parts.iter().collect();
+        let rejoined = Tensor::concat_axis0(&refs).unwrap();
+        prop_assert_eq!(rejoined.dims(), batched.dims());
+        prop_assert_eq!(rejoined.as_slice(), batched.as_slice());
+    }
+
+    #[test]
+    fn concat_axis0_split_axis0_round_trip(
+        sizes in proptest::collection::vec(1usize..4, 2..5),
+        inner in 1usize..5,
+    ) {
+        // The other direction: per-request tensors → batch → back out.
+        let parts: Vec<Tensor<i32>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &rows)| Tensor::from_fn(&[rows, inner], |i| (k * 1000 + i) as i32))
+            .collect();
+        let refs: Vec<&Tensor<i32>> = parts.iter().collect();
+        let batched = Tensor::concat_axis0(&refs).unwrap();
+        let back = batched.split_axis0(&sizes).unwrap();
+        prop_assert_eq!(back.len(), parts.len());
+        for (orig, got) in parts.iter().zip(&back) {
+            prop_assert_eq!(orig.dims(), got.dims());
+            prop_assert_eq!(orig.as_slice(), got.as_slice());
+        }
+    }
 }

@@ -13,6 +13,11 @@
 #   6. lint-models: t2c-check runs the static integer-pipeline verifier
 #      over the e2e model zoo + exported packages; any error-level
 #      finding fails the gate, and the JSON report must be schema-valid
+#   7. serve_smoke: t2c-serve --smoke binds an ephemeral port and
+#      round-trips one request per zoo model over TCP against direct
+#      execution, then the loadgen sweep must demonstrate the batching
+#      win (max_batch=16 ≥ 2× max_batch=1 on the zoo MLP at 32-way
+#      concurrency) and emit a schema-valid serve_loadgen.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,5 +50,18 @@ cargo run --release -q -p t2c-lint --bin t2c-check -- --json "$lint_report"
 for key in version tag summary findings nodes verdict; do
     grep -q "\"$key\"" "$lint_report" || { echo "missing key '$key' in $lint_report"; exit 1; }
 done
+
+echo "==> serve smoke (t2c-serve --smoke, ephemeral port)"
+cargo run --release -q -p t2c-serve --bin t2c-serve -- --smoke
+
+echo "==> serve loadgen (batching throughput gate)"
+serve_report=bench_results/serve_loadgen.json
+cargo run --release -q -p t2c-bench --bin loadgen
+for key in version bench created_unix configs model max_batch concurrency \
+    completed throughput_rps p50_ns p99_ns mean_batch_rows \
+    mlp_speedup_b16_vs_b1 pass; do
+    grep -q "\"$key\"" "$serve_report" || { echo "missing key '$key' in $serve_report"; exit 1; }
+done
+grep -q '"pass": true' "$serve_report" || { echo "$serve_report did not pass"; exit 1; }
 
 echo "verify: all green"

@@ -17,11 +17,23 @@ use std::thread;
 pub mod channel {
     //! MPMC-ish channels (std mpsc re-exported under crossbeam's names).
 
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, SyncSender, TryRecvError,
+        TrySendError,
+    };
 
     /// An unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// A bounded FIFO channel holding at most `cap` in-flight messages.
+    ///
+    /// `SyncSender::try_send` returns [`TrySendError::Full`] when the
+    /// queue is at capacity — the primitive the serving runtime's
+    /// admission control (explicit `Busy` rejection) is built on.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }
 
@@ -75,6 +87,21 @@ mod tests {
         let mut sums: Vec<(usize, u64)> = rx.iter().collect();
         sums.sort_unstable();
         assert_eq!(sums, vec![(0, 3), (1, 7)]);
+    }
+
+    #[test]
+    fn bounded_channel_rejects_when_full() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(channel::TrySendError::Full(3)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
     }
 
     #[test]

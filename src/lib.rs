@@ -20,6 +20,7 @@
 //! | [`accel`] | behavioural MAC-array accelerator simulator |
 //! | [`obs`] | opt-in profiling: counters, histograms, JSON reports (`T2C_PROFILE=1`) |
 //! | [`lint`] | static integer-pipeline verifier (`t2c-check` CLI) |
+//! | [`serve`] | batched integer-inference serving runtime (`t2c-serve` binary) |
 //!
 //! ## The five-line workflow (paper §3.4)
 //!
@@ -54,6 +55,7 @@ pub use t2c_lint as lint;
 pub use t2c_nn as nn;
 pub use t2c_obs as obs;
 pub use t2c_optim as optim;
+pub use t2c_serve as serve;
 pub use t2c_sparse as sparse;
 pub use t2c_ssl as ssl;
 pub use t2c_tensor as tensor;
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use t2c_nn::models::{MobileNetConfig, MobileNetV1, ResNet, ResNetConfig, ViT, ViTConfig};
     pub use t2c_nn::Module;
     pub use t2c_optim::{AdamW, Optimizer, Sgd};
+    pub use t2c_serve::{BatchConfig, ModelRegistry, ServeError, Server, ServerConfig};
     pub use t2c_sparse::{
         prunable_weights, GraNetPruner, NmPruner, Pruner, SparseTrainer, SparseTrainerConfig,
     };
