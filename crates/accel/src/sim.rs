@@ -258,6 +258,29 @@ impl Accelerator {
                     *out.last_mut().expect("non-empty shape") = dout;
                     out
                 }
+                IntOp::LinearSparse { weight, weight_spec, .. } => {
+                    // A compressed layer skips zeros by construction: only
+                    // the stored slots are fetched and multiplied, whether
+                    // or not the array's zero-skipping gate is on.
+                    let xin = in_shape(0);
+                    let rows: usize = xin[..xin.len() - 1].iter().product();
+                    let din = xin[xin.len() - 1];
+                    let dout = weight.rows;
+                    let stored = weight.stored();
+                    let total = (weight.rows * weight.cols).max(1);
+                    let tiles = (dout.div_ceil(cfg.pe_rows) * rows.div_ceil(cfg.pe_cols)) as u64;
+                    let inner = ((din as f64) * stored as f64 / total as f64).ceil() as u64;
+                    trace.layers.push(LayerTrace {
+                        name: node.name.clone(),
+                        macs: (rows * stored) as u64,
+                        cycles: tiles * inner.max(1),
+                        weight_bytes: (stored * weight_spec.bits as usize).div_ceil(8) as u64,
+                        activation_bytes: (rows * (din + dout)) as u64,
+                    });
+                    let mut out = xin.clone();
+                    *out.last_mut().expect("non-empty shape") = dout;
+                    out
+                }
                 IntOp::BmmRequant { transpose_rhs, .. } => {
                     let a = in_shape(0);
                     let b = in_shape(1);

@@ -1,0 +1,174 @@
+//! `sparse-speedup` — the skip-zero deployment gate.
+//!
+//! Benchmarks the compressed sparse integer kernel against the dense
+//! saturating matmul on the zoo MLP's fc1 layer (128×256) at the two
+//! deployment sparsity points the paper's pruning recipes produce:
+//! 80% unstructured (bitmask layout) and 2:4 structured (dedicated N:M
+//! layout). Both kernels are bit-identical by construction (the per-MAC
+//! saturating accumulator makes zero products no-ops); this binary
+//! re-checks that on every measured run and additionally at the full-model
+//! level, then gates on the skip-zero kernel delivering at least 1.5× the
+//! dense throughput at both points (the 2:4 ceiling is 2.0×, so 1.5×
+//! requires the batch-blocked kernel's per-MAC cost to stay within ~33%
+//! of dense). Results land in
+//! `bench_results/sparse_speedup.json`; exits non-zero when the gate
+//! fails — `scripts/verify.sh` runs it as the sparse-deployment gate.
+//!
+//! ```sh
+//! cargo run --release -p t2c-bench --bin sparse_speedup
+//! ```
+
+use std::time::Instant;
+
+use t2c_core::intmodel::IntOp;
+use t2c_core::IntModel;
+use t2c_tensor::{matmul_sparse_i, SparseMat, Tensor};
+
+/// Timed batch height for the kernel measurements.
+const BATCH: usize = 256;
+/// Timing repetitions (median-of); two extra warmup runs precede them.
+const REPS: usize = 9;
+
+struct ConfigResult {
+    model: &'static str,
+    layout: String,
+    sparsity: f64,
+    dense_ns: u64,
+    sparse_ns: u64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+fn median_ns<F: FnMut()>(mut f: F) -> u64 {
+    for _ in 0..2 {
+        f();
+    }
+    let mut times: Vec<u64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Rebuilds the dense twin of a sparsified model: every `LinearSparse`
+/// node expanded back to a masked-dense `Linear` with identical codes.
+fn densified(m: &IntModel) -> IntModel {
+    let mut d = m.clone();
+    for node in &mut d.nodes {
+        if let IntOp::LinearSparse { weight, bias, requant, relu, weight_spec, .. } = &node.op {
+            node.op = IntOp::Linear {
+                weight: weight.to_dense(),
+                bias: bias.clone(),
+                requant: requant.clone(),
+                relu: *relu,
+                weight_spec: *weight_spec,
+            };
+        }
+    }
+    d
+}
+
+fn fc1_weight(m: &IntModel) -> &SparseMat {
+    let IntOp::LinearSparse { weight, .. } = &m.nodes[1].op else {
+        panic!("zoo sparse MLP must carry a compressed fc1");
+    };
+    weight
+}
+
+fn measure(model: &'static str, m: &IntModel, floor: f64) -> ConfigResult {
+    let sp = fc1_weight(m);
+    let dense = sp.to_dense();
+    // Pre-transpose outside the timed region: the deployed dense path pays
+    // this per call, so excluding it is conservative for the sparse side.
+    let wt = dense.transpose().expect("rank-2 weight");
+    let xc = Tensor::from_fn(&[BATCH, sp.cols], |i| ((i * 37) % 255) as i32 - 127);
+
+    let dense_out = xc.matmul_i(&wt).expect("conforming shapes");
+    let sparse_out = matmul_sparse_i(&xc, sp).expect("valid packed layout");
+    let kernel_identical = dense_out.as_slice() == sparse_out.as_slice();
+
+    // Full-model check: the compressed graph and its masked-dense twin
+    // must agree on every output bit.
+    let dense_model = densified(m);
+    let xf = Tensor::from_fn(&[16, sp.cols], |i| ((i * 53) % 200) as f32 * 0.01 - 1.0);
+    let model_identical =
+        m.run(&xf).unwrap().as_slice() == dense_model.run(&xf).unwrap().as_slice();
+
+    let dense_ns = median_ns(|| {
+        std::hint::black_box(xc.matmul_i(&wt).expect("conforming shapes"));
+    });
+    let sparse_ns = median_ns(|| {
+        std::hint::black_box(matmul_sparse_i(&xc, sp).expect("valid packed layout"));
+    });
+    let speedup = dense_ns as f64 / sparse_ns.max(1) as f64;
+    let r = ConfigResult {
+        model,
+        layout: sp.layout_label(),
+        sparsity: f64::from(sp.sparsity()),
+        dense_ns,
+        sparse_ns,
+        speedup,
+        bit_identical: kernel_identical && model_identical,
+    };
+    println!(
+        "| {} | {} | {:.3} | {:.2} | {:.2} | {:.2}x (floor {floor:.2}x) | {} |",
+        r.model,
+        r.layout,
+        r.sparsity,
+        r.dense_ns as f64 / 1e6,
+        r.sparse_ns as f64 / 1e6,
+        r.speedup,
+        if r.bit_identical { "bit-identical" } else { "MISMATCH" }
+    );
+    r
+}
+
+fn json_row(r: &ConfigResult) -> String {
+    format!(
+        "    {{\"model\": \"{}\", \"layout\": \"{}\", \"sparsity\": {:.4}, \
+         \"dense_ns\": {}, \"sparse_ns\": {}, \"speedup\": {:.3}, \"bit_identical\": {}}}",
+        r.model, r.layout, r.sparsity, r.dense_ns, r.sparse_ns, r.speedup, r.bit_identical
+    )
+}
+
+fn main() {
+    println!("| model | layout | sparsity | dense ms | sparse ms | speedup | identity |");
+    println!("|---|---|---|---|---|---|---|");
+    let (pruned, _) = t2c_core::zoo::tiny_mlp_pruned(0.8);
+    let (nm, _) = t2c_core::zoo::tiny_mlp_nm(2, 4);
+    let unstructured = measure("tiny-mlp-pruned80", &pruned, 1.5);
+    let structured = measure("tiny-mlp-2of4", &nm, 1.5);
+
+    let pass = unstructured.speedup >= 1.5
+        && structured.speedup >= 1.5
+        && unstructured.bit_identical
+        && structured.bit_identical;
+    println!(
+        "\nskip-zero speedup: {:.2}x @ 80% unstructured, {:.2}x @ 2:4 — {}",
+        unstructured.speedup,
+        structured.speedup,
+        if pass { "pass" } else { "FAIL" }
+    );
+
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let rows = [json_row(&unstructured), json_row(&structured)];
+    let json = format!(
+        "{{\n  \"version\": 1,\n  \"bench\": \"sparse_speedup\",\n  \"created_unix\": {created},\n  \"configs\": [\n{}\n  ],\n  \"unstructured_speedup\": {:.3},\n  \"nm_speedup\": {:.3},\n  \"pass\": {pass}\n}}\n",
+        rows.join(",\n"),
+        unstructured.speedup,
+        structured.speedup,
+    );
+    std::fs::create_dir_all("bench_results").expect("create bench_results");
+    let path = "bench_results/sparse_speedup.json";
+    std::fs::write(path, json).expect("write sparse speedup report");
+    println!("sparse speedup report: {path}");
+    if !pass {
+        std::process::exit(1);
+    }
+}

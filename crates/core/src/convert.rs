@@ -26,6 +26,9 @@ pub struct ConversionReport {
     pub weight_bytes: usize,
     /// Fraction of zero weights — survives pruning into deployment.
     pub sparsity: f32,
+    /// Linear nodes compressed to the sparse layout (0 for `nn2chip`;
+    /// populated by [`T2C::nn2chip_sparse`]).
+    pub sparse_nodes: usize,
 }
 
 impl ConversionReport {
@@ -61,7 +64,29 @@ impl<'m, M: QuantModel + ?Sized> T2C<'m, M> {
             num_nodes: int.len(),
             weight_bytes: int.weight_bytes(),
             sparsity: int.weight_sparsity(),
+            sparse_nodes: 0,
         };
+        Ok((int, report))
+    }
+
+    /// [`T2C::nn2chip`] followed by [`IntModel::sparsify`]: pruner masks
+    /// survive symmetric quantization as zero codes, and linear nodes
+    /// whose zero fraction reaches `threshold` are compressed to the
+    /// sparse layout. The report's `weight_bytes` reflects the compressed
+    /// storage and `sparse_nodes` counts the converted layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model's quantizers are uncalibrated.
+    pub fn nn2chip_sparse(
+        &self,
+        scheme: FuseScheme,
+        threshold: f32,
+    ) -> Result<(IntModel, ConversionReport)> {
+        let (mut int, mut report) = self.nn2chip(scheme)?;
+        report.sparse_nodes = int.sparsify(threshold);
+        report.weight_bytes = int.weight_bytes();
+        report.sparsity = int.weight_sparsity();
         Ok((int, report))
     }
 }

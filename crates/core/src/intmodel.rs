@@ -8,7 +8,7 @@
 //! needs, and the export crate serializes exactly this structure.
 
 use t2c_tensor::ops::{conv2d_i32, Conv2dSpec, PoolSpec};
-use t2c_tensor::{Tensor, TensorError};
+use t2c_tensor::{matmul_sparse_i, SparseEncoding, SparseMat, Tensor, TensorError};
 
 use crate::fixed::{round_shift, FixedScalar};
 use crate::lut::{isqrt, GeluLut, SoftmaxLut};
@@ -121,6 +121,25 @@ pub enum IntOp {
         /// Grid the weights live on.
         weight_spec: QuantSpec,
     },
+    /// Integer linear layer over a compressed sparse weight matrix —
+    /// produced by [`IntModel::sparsify`] from a pruned [`IntOp::Linear`].
+    /// Bit-identical to the dense op on the densified weights; only the
+    /// storage and the kernel's skip-zero dispatch differ.
+    LinearSparse {
+        /// Compressed `[OUT, IN]` weights (bitmask or N:M layout).
+        weight: SparseMat,
+        /// Accumulator-domain bias (length OUT).
+        bias: Option<Vec<i64>>,
+        /// Optional requantizer.
+        requant: Option<MulQuant>,
+        /// Integer ReLU before the clamp (requires `requant`).
+        relu: bool,
+        /// Grid the weight payloads live on.
+        weight_spec: QuantSpec,
+        /// Structural sparsity the producer claims for this node; the lint
+        /// layer cross-checks it against the stored structure (T2C503).
+        declared_sparsity: f32,
+    },
     /// Residual add: each branch is rescaled into the output grid by a
     /// fixed-point factor, then summed (+ optional ReLU).
     AddRequant {
@@ -213,6 +232,7 @@ impl IntOp {
             IntOp::Quantize { .. } => "quantize",
             IntOp::Conv2d { .. } => "conv2d_int",
             IntOp::Linear { .. } => "linear_int",
+            IntOp::LinearSparse { .. } => "linear_sparse",
             IntOp::AddRequant { .. } => "add_requant",
             IntOp::AddConstRequant { .. } => "add_const_requant",
             IntOp::MaxPool2d { .. } => "max_pool",
@@ -239,7 +259,9 @@ impl IntOp {
         match self {
             IntOp::Quantize { spec, .. } => Some(*spec),
             IntOp::Conv2d { requant, .. } => Some(requant.out_spec),
-            IntOp::Linear { requant, .. } => requant.as_ref().map(|r| r.out_spec),
+            IntOp::Linear { requant, .. } | IntOp::LinearSparse { requant, .. } => {
+                requant.as_ref().map(|r| r.out_spec)
+            }
             IntOp::AddRequant { out_spec, .. }
             | IntOp::AddConstRequant { out_spec, .. }
             | IntOp::BmmRequant { out_spec, .. }
@@ -413,6 +435,18 @@ impl IntModel {
                         None => acc,
                     }
                 }
+                IntOp::LinearSparse { weight, bias, requant, relu, .. } => {
+                    let xin = operand(0)?;
+                    let acc = linear_sparse_i32(xin, weight)?;
+                    let acc = match bias {
+                        Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
+                        None => acc,
+                    };
+                    match requant {
+                        Some(r) => requant_counted(r, &acc, acc.rank() - 1, *relu),
+                        None => acc,
+                    }
+                }
                 IntOp::AddRequant { m_a, m_b, out_spec, relu } => {
                     let a = operand(0)?;
                     let b = operand(1)?;
@@ -500,6 +534,10 @@ impl IntModel {
                         elements * (weight.dim(1) * weight.dim(2) * weight.dim(3)) as u64
                     }
                     IntOp::Linear { weight, .. } => elements * weight.dim(1) as u64,
+                    // Skip-zero kernel: only stored slots are multiplied.
+                    IntOp::LinearSparse { weight, .. } => {
+                        (elements / weight.rows.max(1) as u64) * weight.stored() as u64
+                    }
                     IntOp::BmmRequant { .. } => {
                         let k = fetch(&node.inputs[0]).map_or(0, |t| t.dim(t.rank() - 1));
                         elements * k as u64
@@ -516,6 +554,7 @@ impl IntModel {
                     IntOp::Conv2d { weight, .. } | IntOp::Linear { weight, .. } => {
                         weight.numel() as u64
                     }
+                    IntOp::LinearSparse { weight, .. } => weight.stored() as u64,
                     _ => 0,
                 };
                 t2c_obs::counter_add(&format!("layer.{name}.macs"), macs);
@@ -553,6 +592,12 @@ impl IntModel {
                 }
                 IntOp::Linear { weight, weight_spec, bias, requant, .. } => {
                     bits += weight.numel() * weight_spec.bits as usize;
+                    bits += bias.as_ref().map_or(0, |b| b.len() * 32);
+                    bits += requant.as_ref().map_or(0, super::mulquant::MulQuant::size_bytes) * 8;
+                }
+                IntOp::LinearSparse { weight, weight_spec, bias, requant, .. } => {
+                    bits += weight.stored() * weight_spec.bits as usize;
+                    bits += sparse_index_bits(weight);
                     bits += bias.as_ref().map_or(0, |b| b.len() * 32);
                     bits += requant.as_ref().map_or(0, super::mulquant::MulQuant::size_bytes) * 8;
                 }
@@ -594,6 +639,10 @@ impl IntModel {
                     zeros += weight.count_zeros();
                     total += weight.numel();
                 }
+                IntOp::LinearSparse { weight, .. } => {
+                    zeros += weight.rows * weight.cols - weight.nnz();
+                    total += weight.rows * weight.cols;
+                }
                 _ => {}
             }
         }
@@ -601,6 +650,84 @@ impl IntModel {
             0.0
         } else {
             zeros as f32 / total as f32
+        }
+    }
+
+    /// Converts dense [`IntOp::Linear`] nodes whose zero-code fraction is
+    /// at least `threshold` into [`IntOp::LinearSparse`], returning the
+    /// number of nodes converted.
+    ///
+    /// This is the deployment half of pruning: the pruners zero float
+    /// weights, symmetric quantization maps those zeros to code 0, and
+    /// this pass compresses the zero codes away. Encoding choice per node:
+    /// a 1:4 or 2:4 N:M layout when the weights satisfy the pattern and
+    /// its structural sparsity is close to the value sparsity (padding
+    /// would otherwise store more than a bitmask), else the per-row
+    /// bitmask. Nodes below the threshold — where skip-zero bookkeeping
+    /// would cost more than it saves — and `Conv2d` nodes (no sparse conv
+    /// kernel) stay dense; the dense kernels are the fallback dispatch.
+    pub fn sparsify(&mut self, threshold: f32) -> usize {
+        let mut converted = 0usize;
+        for node in &mut self.nodes {
+            let replacement = match &node.op {
+                IntOp::Linear { weight, bias, requant, relu, weight_spec } => {
+                    let numel = weight.numel();
+                    if numel == 0 {
+                        None
+                    } else {
+                        let value_sparsity = weight.count_zeros() as f32 / numel as f32;
+                        if value_sparsity < threshold {
+                            None
+                        } else {
+                            let sparse = pick_encoding(weight, value_sparsity);
+                            let declared_sparsity = sparse.sparsity();
+                            Some(IntOp::LinearSparse {
+                                weight: sparse,
+                                bias: bias.clone(),
+                                requant: requant.clone(),
+                                relu: *relu,
+                                weight_spec: *weight_spec,
+                                declared_sparsity,
+                            })
+                        }
+                    }
+                }
+                _ => None,
+            };
+            if let Some(op) = replacement {
+                node.op = op;
+                converted += 1;
+            }
+        }
+        converted
+    }
+}
+
+/// Chooses the tightest supported sparse encoding for a linear weight:
+/// an N:M layout (1:4, then 2:4) when the weights satisfy the pattern and
+/// its structural sparsity `1 − n/m` is within 0.125 of the value
+/// sparsity, else the general bitmask.
+fn pick_encoding(weight: &Tensor<i32>, value_sparsity: f32) -> SparseMat {
+    for (n, m) in [(1u8, 4u8), (2, 4)] {
+        let structural = 1.0 - f32::from(n) / f32::from(m);
+        if (value_sparsity - structural).abs() <= 0.125 {
+            if let Ok(sp) = SparseMat::from_dense_nm(weight, n, m) {
+                return sp;
+            }
+        }
+    }
+    SparseMat::from_dense(weight).expect("linear weight is rank 2")
+}
+
+/// Structural-index storage of a sparse weight: one mask bit per dense
+/// element for the bitmask layout, `ceil(log2 m)` offset bits per stored
+/// slot for N:M.
+fn sparse_index_bits(w: &SparseMat) -> usize {
+    match &w.encoding {
+        SparseEncoding::Bitmask { .. } => w.rows * w.cols,
+        SparseEncoding::Nm { m, .. } => {
+            let off_bits = (usize::BITS - (*m as usize).saturating_sub(1).leading_zeros()) as usize;
+            w.stored() * off_bits
         }
     }
 }
@@ -630,6 +757,19 @@ fn linear_i32(x: &Tensor<i32>, w: &Tensor<i32>) -> Result<Tensor<i32>> {
             flat.matmul_i(&wt)?.reshape(&[n, l, w.dim(0)])
         }
         r => Err(TensorError::RankMismatch { got: r, expected: 2, op: "linear_i32" }),
+    }
+}
+
+fn linear_sparse_i32(x: &Tensor<i32>, w: &SparseMat) -> Result<Tensor<i32>> {
+    // Accepts [N, IN] or [N, L, IN]; weight rows are the OUT channels.
+    match x.rank() {
+        2 => matmul_sparse_i(x, w),
+        3 => {
+            let (n, l, din) = (x.dim(0), x.dim(1), x.dim(2));
+            let flat = x.reshape(&[n * l, din])?;
+            matmul_sparse_i(&flat, w)?.reshape(&[n, l, w.rows])
+        }
+        r => Err(TensorError::RankMismatch { got: r, expected: 2, op: "linear_sparse_i32" }),
     }
 }
 
@@ -982,6 +1122,79 @@ mod tests {
         assert!(mean.abs() < 0.1, "mean {mean}");
         let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
         assert!((var - 1.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn sparsify_converts_pruned_linears_and_stays_bit_identical() {
+        // fc: 2:4-patterned weights (50% zeros); head: dense. With
+        // threshold 0.3 only fc converts, and it picks the N:M layout.
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 0.1, spec: QuantSpec::signed(8) }, vec![]);
+        let wfc = Tensor::from_fn(&[6, 8], |i| if i % 4 < 2 { (i as i32 % 5) - 2 } else { 0 });
+        m.push(
+            "fc",
+            IntOp::Linear {
+                weight: wfc,
+                bias: Some((0..6).map(|i| i as i64 - 3).collect()),
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(4),
+            },
+            vec![Src::Node(0)],
+        );
+        let whead = Tensor::from_fn(&[3, 6], |i| (i as i32 % 5) - 2);
+        m.push(
+            "head",
+            IntOp::Linear {
+                weight: whead,
+                bias: None,
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(4),
+            },
+            vec![Src::Node(1)],
+        );
+        let dense = m.clone();
+        assert_eq!(m.sparsify(0.3), 1);
+        assert_eq!(m.nodes[1].op.label(), "linear_sparse");
+        assert_eq!(m.nodes[2].op.label(), "linear_int", "low-sparsity node stays dense");
+        let IntOp::LinearSparse { weight, declared_sparsity, .. } = &m.nodes[1].op else {
+            panic!("fc did not convert");
+        };
+        assert_eq!(weight.layout_label(), "2:4");
+        assert!((declared_sparsity - weight.sparsity()).abs() < 1e-6);
+
+        let x = Tensor::from_fn(&[4, 8], |i| (i as f32) * 0.07 - 1.1);
+        let yd = dense.run(&x).unwrap();
+        let ys = m.run(&x).unwrap();
+        assert_eq!(yd.as_slice(), ys.as_slice());
+        // Sparsity audit sees through the compressed storage.
+        assert!((m.weight_sparsity() - dense.weight_sparsity()).abs() < 1e-6);
+        // Compressed storage is smaller than dense at the same widths.
+        assert!(m.weight_bytes() < dense.weight_bytes());
+    }
+
+    #[test]
+    fn sparsify_prefers_bitmask_for_unstructured_masks() {
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 0.1, spec: QuantSpec::signed(8) }, vec![]);
+        // ~90% unstructured zeros: no N:M pattern fits tightly.
+        let w = Tensor::from_fn(&[8, 10], |i| if i % 10 == 3 { 7 } else { 0 });
+        m.push(
+            "fc",
+            IntOp::Linear {
+                weight: w,
+                bias: None,
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(8),
+            },
+            vec![Src::Node(0)],
+        );
+        assert_eq!(m.sparsify(0.5), 1);
+        let IntOp::LinearSparse { weight, .. } = &m.nodes[1].op else { panic!("not converted") };
+        assert_eq!(weight.layout_label(), "bitmask");
+        assert!((weight.sparsity() - 0.9).abs() < 1e-6);
     }
 
     #[test]

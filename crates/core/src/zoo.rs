@@ -134,6 +134,71 @@ pub fn tiny_mlp() -> (IntModel, Vec<usize>) {
     (m, vec![1, D])
 }
 
+/// The sparse-serving variant of [`tiny_mlp`]: fc1's weight codes are
+/// magnitude-pruned to `sparsity` (budget-based, ties broken by index —
+/// deterministic) and the model is compressed with [`IntModel::sparsify`].
+/// The head stays dense, demonstrating mixed dense/sparse graphs.
+///
+/// Pruning only removes accumulator terms, so [`tiny_mlp`]'s worst-case
+/// requant scale stays valid and the lint gate keeps admitting the model.
+///
+/// # Panics
+///
+/// Panics if fc1 fails to compress — zoo consumers want loud failures.
+pub fn tiny_mlp_pruned(sparsity: f32) -> (IntModel, Vec<usize>) {
+    let (mut m, dims) = tiny_mlp();
+    if let IntOp::Linear { weight, .. } = &mut m.nodes[1].op {
+        prune_codes_by_magnitude(weight, sparsity);
+    }
+    assert_eq!(m.sparsify(0.45), 1, "fc1 must compress to the sparse layout");
+    (m, dims)
+}
+
+/// The N:M-structured variant of [`tiny_mlp`]: within every in-row group
+/// of `m` consecutive fc1 codes only the `n` largest magnitudes survive,
+/// then the model is compressed (picking the dedicated N:M layout).
+///
+/// # Panics
+///
+/// Panics if fc1 fails to compress.
+pub fn tiny_mlp_nm(n: usize, m_group: usize) -> (IntModel, Vec<usize>) {
+    let (mut m, dims) = tiny_mlp();
+    if let IntOp::Linear { weight, .. } = &mut m.nodes[1].op {
+        prune_codes_nm(weight, n, m_group);
+    }
+    assert_eq!(m.sparsify(0.45), 1, "fc1 must compress to the sparse layout");
+    (m, dims)
+}
+
+/// Zeroes the `round(numel · sparsity)` smallest-|code| weights. Stable
+/// sort ⇒ ties break by index, so the budget is exact (see the pruner
+/// crate's tie-overshoot fix).
+fn prune_codes_by_magnitude(w: &mut Tensor<i32>, sparsity: f32) {
+    let k = (w.numel() as f32 * sparsity).round() as usize;
+    let codes = w.as_slice().to_vec();
+    let mut order: Vec<usize> = (0..codes.len()).collect();
+    order.sort_by_key(|&i| codes[i].unsigned_abs());
+    let s = w.as_mut_slice();
+    for &i in order.iter().take(k) {
+        s[i] = 0;
+    }
+}
+
+/// Applies per-row N:M pruning to integer codes: each in-row group of
+/// `m_group` keeps its `n` largest magnitudes (ties by index).
+fn prune_codes_nm(w: &mut Tensor<i32>, n: usize, m_group: usize) {
+    let cols = w.dim(1);
+    for row in w.as_mut_slice().chunks_mut(cols) {
+        for group in row.chunks_mut(m_group) {
+            let mut idx: Vec<usize> = (0..group.len()).collect();
+            idx.sort_by_key(|&i| std::cmp::Reverse(group[i].unsigned_abs()));
+            for &i in idx.iter().skip(n) {
+                group[i] = 0;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +212,46 @@ mod tests {
         let b = m.run(&x).unwrap();
         assert_eq!(a.as_slice(), b.as_slice());
         assert_eq!(a.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn pruned_mlp_matches_masked_dense_bit_for_bit() {
+        // Compressing the pruned codes must not change a single output
+        // bit versus running the same zeroed codes through the dense
+        // kernels.
+        let x = Tensor::from_fn(&[8, 256], |i| ((i * 53) % 200) as f32 * 0.01 - 1.0);
+        for (sparse, masked) in [
+            (tiny_mlp_pruned(0.8).0, {
+                let (mut d, _) = tiny_mlp();
+                if let IntOp::Linear { weight, .. } = &mut d.nodes[1].op {
+                    prune_codes_by_magnitude(weight, 0.8);
+                }
+                d
+            }),
+            (tiny_mlp_nm(2, 4).0, {
+                let (mut d, _) = tiny_mlp();
+                if let IntOp::Linear { weight, .. } = &mut d.nodes[1].op {
+                    prune_codes_nm(weight, 2, 4);
+                }
+                d
+            }),
+        ] {
+            assert_eq!(sparse.nodes[1].op.label(), "linear_sparse");
+            let ys = sparse.run(&x).unwrap();
+            let yd = masked.run(&x).unwrap();
+            assert_eq!(ys.as_slice(), yd.as_slice());
+        }
+    }
+
+    #[test]
+    fn nm_mlp_uses_the_dedicated_layout() {
+        let (m, _) = tiny_mlp_nm(2, 4);
+        let IntOp::LinearSparse { weight, declared_sparsity, .. } = &m.nodes[1].op else {
+            panic!("fc1 not sparse");
+        };
+        assert_eq!(weight.layout_label(), "2:4");
+        assert!((declared_sparsity - 0.5).abs() < 1e-6);
+        weight.validate().unwrap();
     }
 
     #[test]

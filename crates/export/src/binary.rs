@@ -13,7 +13,7 @@ use t2c_core::intmodel::{IntNode, IntOp, LayerNormInt, Src};
 use t2c_core::lut::{GeluLut, SoftmaxLut};
 use t2c_core::{FixedPointFormat, FixedScalar, IntModel, MulQuant, QuantSpec};
 use t2c_tensor::ops::{Conv2dSpec, PoolSpec};
-use t2c_tensor::Tensor;
+use t2c_tensor::{SparseEncoding, SparseMat, Tensor};
 
 use crate::{ExportError, Result};
 
@@ -406,7 +406,97 @@ fn put_op(buf: &mut BytesMut, op: &IntOp) {
             put_spec(buf, l.out_spec);
             buf.put_f32_le(l.out_scale);
         }
+        IntOp::LinearSparse { weight, bias, requant, relu, weight_spec, declared_sparsity } => {
+            buf.put_u8(18);
+            put_sparse_mat(buf, weight);
+            buf.put_f32_le(*declared_sparsity);
+            put_opt_bias(buf, bias);
+            match requant {
+                Some(r) => {
+                    buf.put_u8(1);
+                    put_mulquant(buf, r);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u8(u8::from(*relu));
+            put_spec(buf, *weight_spec);
+        }
     }
+}
+
+fn put_sparse_mat(buf: &mut BytesMut, w: &SparseMat) {
+    buf.put_u32_le(w.rows as u32);
+    buf.put_u32_le(w.cols as u32);
+    match &w.encoding {
+        SparseEncoding::Bitmask { words } => {
+            buf.put_u8(0);
+            buf.put_u32_le(words.len() as u32);
+            for &word in words {
+                buf.put_u64_le(word);
+            }
+        }
+        SparseEncoding::Nm { n, m, idx } => {
+            buf.put_u8(1);
+            buf.put_u8(*n);
+            buf.put_u8(*m);
+            buf.put_u32_le(idx.len() as u32);
+            buf.put_slice(idx);
+        }
+    }
+    buf.put_u32_le(w.row_ptr.len() as u32);
+    for &p in &w.row_ptr {
+        buf.put_u32_le(p);
+    }
+    put_i32s(buf, &w.vals);
+}
+
+/// Reads a compressed sparse matrix and structurally validates it, so a
+/// corrupt-but-checksummed payload (e.g. written by buggy tooling) cannot
+/// reach the kernels.
+fn get_sparse_mat(buf: &mut &[u8]) -> Result<SparseMat> {
+    let rows = take(buf, 4)?.get_u32_le() as usize;
+    let cols = take(buf, 4)?.get_u32_le() as usize;
+    let encoding = match take(buf, 1)?.get_u8() {
+        0 => {
+            let n = take(buf, 4)?.get_u32_le() as usize;
+            if buf.len() < n.saturating_mul(8) {
+                return Err(ExportError::Malformed(format!(
+                    "bitmask claims {n} words but only {} bytes remain",
+                    buf.len()
+                )));
+            }
+            let mut words = Vec::with_capacity(n);
+            for _ in 0..n {
+                words.push(take(buf, 8)?.get_u64_le());
+            }
+            SparseEncoding::Bitmask { words }
+        }
+        1 => {
+            let n = take(buf, 1)?.get_u8();
+            let m = take(buf, 1)?.get_u8();
+            let len = take(buf, 4)?.get_u32_le() as usize;
+            SparseEncoding::Nm { n, m, idx: take(buf, len)?.to_vec() }
+        }
+        other => {
+            return Err(ExportError::Malformed(format!("unknown sparse encoding tag {other}")))
+        }
+    };
+    let n_ptr = take(buf, 4)?.get_u32_le() as usize;
+    if buf.len() < n_ptr.saturating_mul(4) {
+        return Err(ExportError::Malformed(format!(
+            "row_ptr claims {n_ptr} entries but only {} bytes remain",
+            buf.len()
+        )));
+    }
+    let mut row_ptr = Vec::with_capacity(n_ptr);
+    for _ in 0..n_ptr {
+        row_ptr.push(take(buf, 4)?.get_u32_le());
+    }
+    let vals = get_i32s(buf)?;
+    let mat = SparseMat { rows, cols, row_ptr, vals, encoding };
+    mat.validate()
+        .map_err(|e| ExportError::Malformed(format!("invalid sparse weight payload: {e}")))?;
+    Ok(mat)
 }
 
 fn get_op(buf: &mut &[u8]) -> Result<IntOp> {
@@ -484,6 +574,18 @@ fn get_op(buf: &mut &[u8]) -> Result<IntOp> {
             IntOp::GeluLut(GeluLut { table, in_spec, in_scale, out_spec, out_scale })
         }
         17 => IntOp::Requant { m: get_fixed(buf)?, out_spec: get_spec(buf)? },
+        18 => {
+            let weight = get_sparse_mat(buf)?;
+            let declared_sparsity = take(buf, 4)?.get_f32_le();
+            let bias = get_opt_bias(buf)?;
+            let requant = match take(buf, 1)?.get_u8() {
+                0 => None,
+                _ => Some(get_mulquant(buf)?),
+            };
+            let relu = take(buf, 1)?.get_u8() != 0;
+            let weight_spec = get_spec(buf)?;
+            IntOp::LinearSparse { weight, bias, requant, relu, weight_spec, declared_sparsity }
+        }
         other => return Err(ExportError::Malformed(format!("unknown op tag {other}"))),
     })
 }
@@ -584,6 +686,80 @@ mod tests {
         let loaded = read_intmodel(&bytes).unwrap();
         let x = Tensor::from_fn(&[1, 4], |i| i as f32 * 0.4);
         assert_eq!(m.run(&x).unwrap().as_slice(), loaded.run(&x).unwrap().as_slice());
+    }
+
+    fn sparse_model(nm: bool) -> IntModel {
+        let dense = Tensor::from_fn(&[6, 8], |i| if i % 4 < 2 { (i as i32 % 9) - 4 } else { 0 });
+        let weight = if nm {
+            SparseMat::from_dense_nm(&dense, 2, 4).unwrap()
+        } else {
+            SparseMat::from_dense(&dense).unwrap()
+        };
+        let declared = weight.sparsity();
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 0.05, spec: QuantSpec::signed(8) }, vec![]);
+        m.push(
+            "fc_sparse",
+            IntOp::LinearSparse {
+                weight,
+                bias: Some(vec![3; 6]),
+                requant: Some(MulQuant::from_float(
+                    &[0.01],
+                    &[0.0],
+                    FixedPointFormat::int16_frac12(),
+                    QuantSpec::unsigned(8),
+                )),
+                relu: true,
+                weight_spec: QuantSpec::signed(4),
+                declared_sparsity: declared,
+            },
+            vec![Src::Node(0)],
+        );
+        m
+    }
+
+    #[test]
+    fn sparse_linear_round_trips_in_both_encodings() {
+        for nm in [false, true] {
+            let m = sparse_model(nm);
+            let bytes = write_intmodel(&m);
+            let loaded = read_intmodel(&bytes).unwrap();
+            let (
+                IntOp::LinearSparse { weight: wa, declared_sparsity: sa, .. },
+                IntOp::LinearSparse { weight: wb, declared_sparsity: sb, .. },
+            ) = (&m.nodes[1].op, &loaded.nodes[1].op)
+            else {
+                panic!("sparse node lost its op");
+            };
+            assert_eq!(wa, wb, "sparse weight must round-trip exactly");
+            assert!((sa - sb).abs() < f32::EPSILON);
+            let x = Tensor::from_fn(&[2, 8], |i| i as f32 * 0.07 - 0.4);
+            assert_eq!(m.run(&x).unwrap().as_slice(), loaded.run(&x).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn structurally_invalid_sparse_payload_rejected_even_with_good_checksum() {
+        let m = sparse_model(false);
+        let mut bytes = write_intmodel(&m);
+        // The bitmask words sit right after rows/cols/enc_tag/word_count of
+        // node 1's payload. Flip a mask bit so popcount no longer matches
+        // the row extents, then re-stamp the checksum so only the
+        // structural validator can catch it.
+        let needle = b"fc_sparse";
+        let pos = bytes.windows(needle.len()).position(|w| w == needle).unwrap();
+        // name + inputs(1×u32 + count u8) + op tag u8 + rows/cols u32s + enc tag u8 + count u32
+        let word0 = pos + needle.len() + 5 + 1 + 8 + 1 + 4;
+        bytes[word0] ^= 0x04;
+        let n = bytes.len();
+        let sum = fnv1a64(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        match read_intmodel(&bytes) {
+            Err(ExportError::Malformed(msg)) => {
+                assert!(msg.contains("sparse"), "unexpected message: {msg}");
+            }
+            other => panic!("expected malformed sparse payload, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,9 +19,30 @@ pub struct ExportManifest {
     /// Path of the binary model file.
     pub model_file: PathBuf,
     /// `(node name, hex weight file, element count, bit width)` entries.
+    /// For sparse layers the element count is the *stored* (packed)
+    /// non-zero count — the hex image holds only the payload values.
     pub hex_files: Vec<(String, PathBuf, usize, u8)>,
+    /// Per-sparse-layer metadata (empty for dense-only models).
+    pub sparse: Vec<SparseEntry>,
     /// Total bytes written across all artifacts.
     pub total_bytes: usize,
+}
+
+/// Manifest record for one compressed sparse layer.
+///
+/// Integer-only on purpose: the manifest derives `Eq`, and the lint gate
+/// cross-checks these counts against the graph (declared float sparsity
+/// lives in the op payload itself, checked by rule T2C503).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseEntry {
+    /// Node name.
+    pub node: String,
+    /// Layout label: `"bitmask"` or `"n:m"`.
+    pub layout: String,
+    /// Packed (stored) slot count — the hex image's element count.
+    pub stored: usize,
+    /// Dense element count (`rows · cols`).
+    pub total: usize,
 }
 
 fn sanitized(name: &str) -> String {
@@ -53,6 +74,7 @@ pub fn export_package(model: &IntModel, dir: &Path) -> Result<ExportManifest> {
     fs::write(&model_file, &model_bytes)?;
     // Per-layer weight memories.
     let mut hex_files = Vec::new();
+    let mut sparse = Vec::new();
     let mut manifest = String::from("# Torch2Chip deployment package\n");
     for (i, node) in model.nodes.iter().enumerate() {
         manifest.push_str(&format!("node {i}: {} ({})\n", node.name, node.op.label()));
@@ -60,6 +82,20 @@ pub fn export_package(model: &IntModel, dir: &Path) -> Result<ExportManifest> {
             IntOp::Conv2d { weight, weight_spec, .. }
             | IntOp::Linear { weight, weight_spec, .. } => {
                 (weight.as_slice().to_vec(), weight_spec.bits)
+            }
+            IntOp::LinearSparse { weight, weight_spec, .. } => {
+                let entry = SparseEntry {
+                    node: node.name.clone(),
+                    layout: weight.layout_label(),
+                    stored: weight.stored(),
+                    total: weight.rows * weight.cols,
+                };
+                manifest.push_str(&format!(
+                    "  sparse: {} layout, {}/{} slots stored\n",
+                    entry.layout, entry.stored, entry.total
+                ));
+                sparse.push(entry);
+                (weight.vals.clone(), weight_spec.bits)
             }
             _ => continue,
         };
@@ -83,7 +119,13 @@ pub fn export_package(model: &IntModel, dir: &Path) -> Result<ExportManifest> {
     }
     total += manifest.len();
     fs::write(dir.join("manifest.txt"), manifest)?;
-    Ok(ExportManifest { root: dir.to_path_buf(), model_file, hex_files, total_bytes: total })
+    Ok(ExportManifest {
+        root: dir.to_path_buf(),
+        model_file,
+        hex_files,
+        sparse,
+        total_bytes: total,
+    })
 }
 
 /// Reloads every artifact in a package and verifies bit-exactness:
@@ -105,13 +147,14 @@ pub fn verify_package(manifest: &ExportManifest) -> Result<IntModel> {
             .iter()
             .find(|n| &n.name == name)
             .ok_or_else(|| crate::ExportError::Malformed(format!("node {name} missing")))?;
-        let (weights, signed) = match &node.op {
+        let (weights, signed): (&[i32], bool) = match &node.op {
             IntOp::Conv2d { weight, weight_spec, .. }
-            | IntOp::Linear { weight, weight_spec, .. } => (weight, weight_spec.signed),
+            | IntOp::Linear { weight, weight_spec, .. } => (weight.as_slice(), weight_spec.signed),
+            IntOp::LinearSparse { weight, weight_spec, .. } => (&weight.vals, weight_spec.signed),
             _ => return Err(crate::ExportError::Malformed(format!("node {name} has no weights"))),
         };
         let decoded = from_hex_lines(content.lines(), *bits, signed)?;
-        if decoded.len() != *count || decoded != weights.as_slice() {
+        if decoded.len() != *count || decoded != weights {
             return Err(crate::ExportError::Malformed(format!(
                 "hex image {} does not match model weights",
                 hex_path.display()
@@ -146,10 +189,20 @@ pub fn read_package(dir: &Path) -> Result<(IntModel, ExportManifest)> {
     let model = read_intmodel(&bytes)?;
     let mut total = bytes.len();
     let mut hex_files = Vec::new();
+    let mut sparse = Vec::new();
     for (i, node) in model.nodes.iter().enumerate() {
         let (count, bits) = match &node.op {
             IntOp::Conv2d { weight, weight_spec, .. }
             | IntOp::Linear { weight, weight_spec, .. } => (weight.numel(), weight_spec.bits),
+            IntOp::LinearSparse { weight, weight_spec, .. } => {
+                sparse.push(SparseEntry {
+                    node: node.name.clone(),
+                    layout: weight.layout_label(),
+                    stored: weight.stored(),
+                    total: weight.rows * weight.cols,
+                });
+                (weight.stored(), weight_spec.bits)
+            }
             _ => continue,
         };
         let base = format!("{i:03}_{}", sanitized(&node.name));
@@ -163,8 +216,13 @@ pub fn read_package(dir: &Path) -> Result<(IntModel, ExportManifest)> {
         total += fs::metadata(&hex_path).map_or(0, |m| m.len() as usize);
         hex_files.push((node.name.clone(), hex_path, count, bits));
     }
-    let manifest =
-        ExportManifest { root: dir.to_path_buf(), model_file, hex_files, total_bytes: total };
+    let manifest = ExportManifest {
+        root: dir.to_path_buf(),
+        model_file,
+        hex_files,
+        sparse,
+        total_bytes: total,
+    };
     let model = verify_package(&manifest)?;
     Ok((model, manifest))
 }
@@ -231,6 +289,27 @@ mod tests {
         fs::remove_file(&manifest.hex_files[0].1).unwrap();
         let err = read_package(&dir).unwrap_err();
         assert!(format!("{err}").contains("hex"), "unexpected error: {err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sparse_package_round_trips_with_manifest_entries() {
+        let dir = std::env::temp_dir().join(format!("t2c_pkg_sparse_{}", std::process::id()));
+        let (model, _) = t2c_core::zoo::tiny_mlp_pruned(0.8);
+        let written = export_package(&model, &dir).unwrap();
+        assert_eq!(written.sparse.len(), 1, "fc1 must appear as a sparse entry");
+        assert_eq!(written.sparse[0].node, "fc1");
+        assert!(written.sparse[0].stored < written.sparse[0].total);
+        // The sparse hex image holds only the packed non-zeros.
+        let fc1 = written.hex_files.iter().find(|h| h.0 == "fc1").unwrap();
+        assert_eq!(fc1.2, written.sparse[0].stored);
+        let reloaded = verify_package(&written).unwrap();
+        let (read_model, read_manifest) = read_package(&dir).unwrap();
+        assert_eq!(read_manifest.sparse, written.sparse);
+        let x = Tensor::from_fn(&[2, 256], |i| ((i * 31) % 97) as f32 * 0.01 - 0.5);
+        let want = model.run(&x).unwrap();
+        assert_eq!(want.as_slice(), reloaded.run(&x).unwrap().as_slice());
+        assert_eq!(want.as_slice(), read_model.run(&x).unwrap().as_slice());
         fs::remove_dir_all(&dir).ok();
     }
 

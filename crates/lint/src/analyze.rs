@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 use t2c_core::intmodel::{IntNode, IntOp, LayerNormInt, Src};
 use t2c_core::lut::{GeluLut, SoftmaxLut};
 use t2c_core::{FixedScalar, IntModel, MulQuant, QuantSpec};
-use t2c_tensor::Tensor;
+use t2c_tensor::{SparseError, Tensor};
 
 use crate::interval::Interval;
 use crate::{Diagnostic, LintReport, Rule, Severity};
@@ -549,60 +549,73 @@ impl Ctx {
             }
             IntOp::Linear { weight, bias, requant, relu, weight_spec } => {
                 let x = in0?;
-                let (out_f, in_f) = (weight.dim(0), weight.dim(1));
-                let Some(&last) = x.shape.last() else {
-                    self.shape_err(i, &name, "linear input has rank 0".into(), "feed [N, IN]");
-                    return None;
-                };
-                if x.shape.len() < 2 || x.shape.len() > 3 || last != in_f {
-                    self.shape_err(
-                        i,
-                        &name,
-                        format!("weight [{out_f}, {in_f}] does not match input {:?}", x.shape),
-                        "linear expects [N, IN] or [N, L, IN] with IN matching the weight",
-                    );
-                    return None;
-                }
-                let per_ch = self.mac_channels(
+                self.linear_body(
                     i,
                     &name,
                     weight,
-                    out_f,
-                    x.range,
                     bias.as_deref(),
+                    requant.as_ref(),
+                    *relu,
                     *weight_spec,
-                );
-                self.acc_overflow(i, &name, &per_ch);
-                let finals: Vec<Interval> = per_ch.iter().map(|(f, _)| *f).collect();
-                let mut shape = x.shape.clone();
-                *shape.last_mut().expect("non-empty") = out_f;
-                match requant {
-                    Some(mq) => {
-                        if mq_channel_mismatch(mq, out_f) {
-                            self.push(Diagnostic::node(
-                                Rule::ShapeMismatch,
-                                Severity::Warn,
-                                i,
-                                &name,
-                                format!(
-                                    "requantizer carries {} channel(s) for {out_f} output features",
-                                    mq.channels()
-                                ),
-                                "use 1 (per-tensor) or OUT requantizer channels",
-                            ));
-                        }
-                        let out = self.requant(i, &name, mq, &finals, *relu);
-                        Some(State { shape, range: out, spec: Some(mq.out_spec) })
-                    }
-                    None => {
-                        let range = finals
-                            .iter()
-                            .copied()
-                            .reduce(Interval::union)
-                            .unwrap_or(Interval::point(0));
-                        Some(State { shape, range, spec: None })
-                    }
+                    x,
+                )
+            }
+            IntOp::LinearSparse { weight, bias, requant, relu, weight_spec, declared_sparsity } => {
+                let x = in0?;
+                // Structural integrity first: a mask that disagrees with
+                // the payload means the skip-zero kernel computes garbage,
+                // so nothing downstream is worth analyzing.
+                if let Err(e) = weight.validate() {
+                    let (rule, hint) = match &e {
+                        SparseError::Mask(_) => (
+                            Rule::SparseMaskMismatch,
+                            "re-pack the layer with SparseMat::from_dense — mask and row \
+                             pointers must describe the stored payload exactly",
+                        ),
+                        SparseError::NmConstraint(_) => (
+                            Rule::NmConstraintViolation,
+                            "re-prune so every group of m keeps at most n survivors, then \
+                             re-pack with SparseMat::from_dense_nm",
+                        ),
+                    };
+                    self.push(Diagnostic::node(
+                        rule,
+                        Severity::Error,
+                        i,
+                        &name,
+                        format!("{e}"),
+                        hint,
+                    ));
+                    return None;
                 }
+                let actual = weight.sparsity();
+                if (actual - declared_sparsity).abs() > 0.01 {
+                    self.push(Diagnostic::node(
+                        Rule::SparsityMismatch,
+                        Severity::Error,
+                        i,
+                        &name,
+                        format!(
+                            "declares {declared_sparsity:.4} sparsity but stores {} of {} slots (actual {actual:.4})",
+                            weight.stored(),
+                            weight.rows * weight.cols
+                        ),
+                        "recompute declared_sparsity from the packed layout (IntModel::sparsify keeps them in sync)",
+                    ));
+                }
+                // The skip-zero kernel is bit-identical to the masked-dense
+                // path, so the dense expansion carries the exact intervals.
+                let dense = weight.to_dense();
+                self.linear_body(
+                    i,
+                    &name,
+                    &dense,
+                    bias.as_deref(),
+                    requant.as_ref(),
+                    *relu,
+                    *weight_spec,
+                    x,
+                )
             }
             IntOp::AddRequant { m_a, m_b, out_spec, relu } => {
                 let (a, b) = (in0?, in1?);
@@ -885,6 +898,66 @@ impl Ctx {
             IntOp::LayerNorm(ln) => self.layer_norm(i, &name, ln, in0),
             IntOp::SoftmaxLut(lut) => self.softmax_lut(i, &name, lut, in0),
             IntOp::GeluLut(lut) => self.gelu_lut(i, &name, lut, in0),
+        }
+    }
+
+    /// The shared dense analysis for `Linear` and (after densifying)
+    /// `LinearSparse`: shape inference, per-channel accumulator intervals,
+    /// overflow proof and requantizer checks.
+    #[allow(clippy::too_many_arguments)]
+    fn linear_body(
+        &mut self,
+        i: usize,
+        name: &str,
+        weight: &Tensor<i32>,
+        bias: Option<&[i64]>,
+        requant: Option<&MulQuant>,
+        relu: bool,
+        weight_spec: QuantSpec,
+        x: State,
+    ) -> Option<State> {
+        let (out_f, in_f) = (weight.dim(0), weight.dim(1));
+        let Some(&last) = x.shape.last() else {
+            self.shape_err(i, name, "linear input has rank 0".into(), "feed [N, IN]");
+            return None;
+        };
+        if x.shape.len() < 2 || x.shape.len() > 3 || last != in_f {
+            self.shape_err(
+                i,
+                name,
+                format!("weight [{out_f}, {in_f}] does not match input {:?}", x.shape),
+                "linear expects [N, IN] or [N, L, IN] with IN matching the weight",
+            );
+            return None;
+        }
+        let per_ch = self.mac_channels(i, name, weight, out_f, x.range, bias, weight_spec);
+        self.acc_overflow(i, name, &per_ch);
+        let finals: Vec<Interval> = per_ch.iter().map(|(f, _)| *f).collect();
+        let mut shape = x.shape.clone();
+        *shape.last_mut().expect("non-empty") = out_f;
+        match requant {
+            Some(mq) => {
+                if mq_channel_mismatch(mq, out_f) {
+                    self.push(Diagnostic::node(
+                        Rule::ShapeMismatch,
+                        Severity::Warn,
+                        i,
+                        name,
+                        format!(
+                            "requantizer carries {} channel(s) for {out_f} output features",
+                            mq.channels()
+                        ),
+                        "use 1 (per-tensor) or OUT requantizer channels",
+                    ));
+                }
+                let out = self.requant(i, name, mq, &finals, relu);
+                Some(State { shape, range: out, spec: Some(mq.out_spec) })
+            }
+            None => {
+                let range =
+                    finals.iter().copied().reduce(Interval::union).unwrap_or(Interval::point(0));
+                Some(State { shape, range, spec: None })
+            }
         }
     }
 
@@ -1244,6 +1317,92 @@ mod tests {
         }
         let report = lint_model(&m, &[1, 1, 4, 4], "bias");
         assert!(ids(&report).contains(&"T2C102"), "got {:?}", ids(&report));
+    }
+
+    fn sparse_linear_model(weight: t2c_tensor::SparseMat, declared: f32) -> IntModel {
+        let mut m = IntModel::new();
+        m.push("input", quantize(QuantSpec::signed(4)), vec![]);
+        m.push(
+            "fc_sparse",
+            IntOp::LinearSparse {
+                weight,
+                bias: None,
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(2),
+                declared_sparsity: declared,
+            },
+            vec![Src::Input],
+        );
+        m
+    }
+
+    fn sparse_weight() -> t2c_tensor::SparseMat {
+        let dense = Tensor::from_fn(&[2, 8], |i| i32::from(i % 2 == 0));
+        t2c_tensor::SparseMat::from_dense(&dense).unwrap()
+    }
+
+    #[test]
+    fn clean_sparse_linear_has_no_findings() {
+        let w = sparse_weight();
+        let declared = w.sparsity();
+        let report = lint_model(&sparse_linear_model(w, declared), &[1, 8], "sparse-ok");
+        assert!(report.is_clean(), "unexpected findings:\n{}", report.to_text());
+        assert_eq!(report.nodes[1].shape, vec![1, 2]);
+        // 4 surviving weights of +1 against the signed-4 grid [-8, 7].
+        assert_eq!((report.nodes[1].lo, report.nodes[1].hi), (-32, 28));
+    }
+
+    #[test]
+    fn corrupted_sparse_payload_fires_t2c501() {
+        let mut w = sparse_weight();
+        w.vals.pop();
+        let declared = 0.5;
+        let report = lint_model(&sparse_linear_model(w, declared), &[1, 8], "sparse-mask");
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::SparseMaskMismatch)
+            .expect("mask finding");
+        assert_eq!(hit.rule.id(), "T2C501");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(report.verdict(), "fail");
+    }
+
+    #[test]
+    fn broken_nm_constraint_fires_t2c502() {
+        let dense = Tensor::from_vec(vec![1, 0, 2, 0, 0, 3, 0, 4], &[2, 4]).unwrap();
+        let mut w = t2c_tensor::SparseMat::from_dense_nm(&dense, 2, 4).unwrap();
+        if let t2c_tensor::SparseEncoding::Nm { n, .. } = &mut w.encoding {
+            *n = 0;
+        }
+        let report = lint_model(&sparse_linear_model(w, 0.5), &[1, 4], "sparse-nm");
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::NmConstraintViolation)
+            .expect("nm finding");
+        assert_eq!(hit.rule.id(), "T2C502");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(report.verdict(), "fail");
+    }
+
+    #[test]
+    fn declared_sparsity_drift_fires_t2c503() {
+        let w = sparse_weight();
+        let declared = w.sparsity() + 0.2;
+        let report = lint_model(&sparse_linear_model(w, declared), &[1, 8], "sparse-drift");
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::SparsityMismatch)
+            .expect("sparsity finding");
+        assert_eq!(hit.rule.id(), "T2C503");
+        assert_eq!(hit.severity, Severity::Error);
+        // The structural analysis still runs: shape and ranges are derived
+        // from the (valid) layout even though the declaration drifted.
+        assert_eq!(report.nodes[1].shape, vec![1, 2]);
+        assert_eq!(report.verdict(), "fail");
     }
 
     #[test]

@@ -55,9 +55,16 @@ fn main() {
     }
 
     let zoo = t2c_core::zoo::zoo();
+    // Sparse deployment variants: the pruned zoo MLPs exercise the T2C5xx
+    // rules end-to-end (graph validation + the manifest's sparse section).
+    let sparse_zoo: [(&str, t2c_core::zoo::ZooBuilder); 2] = [
+        ("tiny-mlp-sparse", || t2c_core::zoo::tiny_mlp_pruned(0.8)),
+        ("tiny-mlp-nm", || t2c_core::zoo::tiny_mlp_nm(2, 4)),
+    ];
+    let total_models = zoo.len() + sparse_zoo.len();
 
     let mut combined = LintReport { tag: "t2c-check".into(), ..Default::default() };
-    for (tag, build) in zoo {
+    for (tag, build) in zoo.into_iter().chain(sparse_zoo) {
         let (chip, input_shape) = build();
         let report = check_model(tag, &chip, &input_shape);
         print!("{}", report.to_text());
@@ -73,7 +80,7 @@ fn main() {
         "t2c-check total: {} error(s), {} warning(s) across {} model(s) — {}",
         combined.error_count(),
         combined.count(t2c_lint::Severity::Warn),
-        zoo.len(),
+        total_models,
         combined.verdict(),
     );
 

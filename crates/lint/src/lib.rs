@@ -80,8 +80,9 @@ impl fmt::Display for Severity {
 ///
 /// Numbering groups: `T2C0xx` graph well-formedness, `T2C1xx` integer
 /// overflow proofs, `T2C2xx` scale-chain consistency, `T2C3xx` LUT domain
-/// coverage, `T2C4xx` export cross-checks. DESIGN.md §6.7 documents what
-/// each rule proves and its severity policy.
+/// coverage, `T2C4xx` export cross-checks, `T2C5xx` sparse-layout
+/// integrity. DESIGN.md §6.7 documents what each rule proves and its
+/// severity policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// T2C001 — the graph must start with a `Quantize` node.
@@ -135,6 +136,18 @@ pub enum Rule {
     /// T2C403 — a manifest bit width disagrees with the declared weight
     /// grid.
     ManifestWidthMismatch,
+    /// T2C501 — a sparse weight's mask/row-pointer structure disagrees
+    /// with its packed payload (or the manifest's sparse section disagrees
+    /// with the graph's layout), so the skip-zero kernel would read the
+    /// wrong values.
+    SparseMaskMismatch,
+    /// T2C502 — an N:M-encoded weight violates its declared structural
+    /// constraint (bad pattern, per-group slot count, or group offsets).
+    NmConstraintViolation,
+    /// T2C503 — a sparse layer's declared sparsity disagrees with the
+    /// actual stored-slot fraction, so size/speedup accounting derived
+    /// from the declaration is wrong.
+    SparsityMismatch,
 }
 
 impl Rule {
@@ -159,6 +172,9 @@ impl Rule {
             Rule::ManifestNodeMismatch => "T2C401",
             Rule::ManifestCountMismatch => "T2C402",
             Rule::ManifestWidthMismatch => "T2C403",
+            Rule::SparseMaskMismatch => "T2C501",
+            Rule::NmConstraintViolation => "T2C502",
+            Rule::SparsityMismatch => "T2C503",
         }
     }
 }
@@ -482,6 +498,9 @@ mod tests {
             Rule::ManifestNodeMismatch,
             Rule::ManifestCountMismatch,
             Rule::ManifestWidthMismatch,
+            Rule::SparseMaskMismatch,
+            Rule::NmConstraintViolation,
+            Rule::SparsityMismatch,
         ];
         let mut ids: Vec<&str> = all.iter().map(|r| r.id()).collect();
         ids.sort_unstable();

@@ -15,17 +15,31 @@ use crate::{Diagnostic, LintReport, Rule, Severity};
 /// report for those).
 ///
 /// Rules: `T2C401` node-list disagreement, `T2C402` element-count
-/// disagreement, `T2C403` bit-width disagreement.
+/// disagreement, `T2C403` bit-width disagreement, `T2C501` sparse layout
+/// disagreement (the manifest's sparse section must mirror the graph's
+/// compressed layers exactly).
 pub fn lint_package(model: &IntModel, manifest: &ExportManifest, tag: &str) -> LintReport {
     let mut diags = Vec::new();
 
     // What the graph says should be in the package: every weighted node.
+    // Sparse layers contribute their *stored* slot count — the hex image
+    // holds only the packed payload.
     let mut expected: BTreeMap<&str, (usize, u8)> = BTreeMap::new();
+    let mut expected_sparse: BTreeMap<&str, (String, usize, usize)> = BTreeMap::new();
     for node in &model.nodes {
-        if let IntOp::Conv2d { weight, weight_spec, .. }
-        | IntOp::Linear { weight, weight_spec, .. } = &node.op
-        {
-            expected.insert(node.name.as_str(), (weight.numel(), weight_spec.bits));
+        match &node.op {
+            IntOp::Conv2d { weight, weight_spec, .. }
+            | IntOp::Linear { weight, weight_spec, .. } => {
+                expected.insert(node.name.as_str(), (weight.numel(), weight_spec.bits));
+            }
+            IntOp::LinearSparse { weight, weight_spec, .. } => {
+                expected.insert(node.name.as_str(), (weight.stored(), weight_spec.bits));
+                expected_sparse.insert(
+                    node.name.as_str(),
+                    (weight.layout_label(), weight.stored(), weight.rows * weight.cols),
+                );
+            }
+            _ => {}
         }
     }
 
@@ -80,6 +94,58 @@ pub fn lint_package(model: &IntModel, manifest: &ExportManifest, tag: &str) -> L
         ));
     }
 
+    // Sparse section: every compressed layer in the graph must appear with
+    // the same layout and slot accounting, and vice versa.
+    for entry in &manifest.sparse {
+        match expected_sparse.remove(entry.node.as_str()) {
+            None => diags.push(Diagnostic::global(
+                Rule::ManifestNodeMismatch,
+                Severity::Error,
+                entry.node.clone(),
+                "manifest sparse section lists a node the graph does not hold a sparse layer for"
+                    .to_owned(),
+                "regenerate the package from the current model",
+            )),
+            Some((layout, stored, total)) => {
+                if entry.stored != stored || entry.total != total {
+                    diags.push(Diagnostic::global(
+                        Rule::ManifestCountMismatch,
+                        Severity::Error,
+                        entry.node.clone(),
+                        format!(
+                            "manifest records {}/{} stored slots but the graph layout packs {stored}/{total}",
+                            entry.stored, entry.total
+                        ),
+                        "regenerate the package; the sparse layout changed after export",
+                    ));
+                }
+                if entry.layout != layout {
+                    diags.push(Diagnostic::global(
+                        Rule::SparseMaskMismatch,
+                        Severity::Error,
+                        entry.node.clone(),
+                        format!(
+                            "manifest declares layout `{}` but the graph weight is `{layout}`",
+                            entry.layout
+                        ),
+                        "regenerate the package so the manifest mirrors the packed encoding",
+                    ));
+                }
+            }
+        }
+    }
+    for (name, (layout, stored, total)) in expected_sparse {
+        diags.push(Diagnostic::global(
+            Rule::ManifestNodeMismatch,
+            Severity::Error,
+            name,
+            format!(
+                "graph holds a `{layout}` sparse layer ({stored}/{total} slots) absent from the manifest sparse section"
+            ),
+            "regenerate the package from the current model",
+        ));
+    }
+
     LintReport { tag: tag.to_owned(), diagnostics: diags, nodes: Vec::new() }
 }
 
@@ -120,8 +186,30 @@ mod tests {
             root: PathBuf::from("pkg"),
             model_file: PathBuf::from("pkg/model.t2cm"),
             hex_files: entries,
+            sparse: Vec::new(),
             total_bytes: 0,
         }
+    }
+
+    fn sparse_model() -> IntModel {
+        let dense = t2c_tensor::Tensor::from_fn(&[2, 8], |i| i32::from(i % 4 == 0));
+        let weight = t2c_tensor::SparseMat::from_dense(&dense).unwrap();
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(4) }, vec![]);
+        let declared = weight.sparsity();
+        m.push(
+            "fc_sparse",
+            IntOp::LinearSparse {
+                weight,
+                bias: None,
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(2),
+                declared_sparsity: declared,
+            },
+            vec![Src::Input],
+        );
+        m
     }
 
     #[test]
@@ -147,6 +235,61 @@ mod tests {
         let ids: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.id()).collect();
         assert_eq!(ids, vec!["T2C401", "T2C401"]);
         assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn agreeing_sparse_manifest_is_clean() {
+        let model = sparse_model();
+        let mut mf = manifest_for(vec![(
+            "fc_sparse".into(),
+            PathBuf::from("pkg/hex/001_fc_sparse.hex"),
+            4, // 4 stored non-zeros out of 16
+            2,
+        )]);
+        mf.sparse.push(t2c_export::SparseEntry {
+            node: "fc_sparse".into(),
+            layout: "bitmask".into(),
+            stored: 4,
+            total: 16,
+        });
+        let report = lint_package(&model, &mf, "unit");
+        assert!(report.is_clean(), "unexpected findings: {}", report.to_text());
+    }
+
+    #[test]
+    fn sparse_section_disagreements_fire_t2c402_and_t2c501() {
+        let model = sparse_model();
+        let mut mf = manifest_for(vec![(
+            "fc_sparse".into(),
+            PathBuf::from("pkg/hex/001_fc_sparse.hex"),
+            4,
+            2,
+        )]);
+        mf.sparse.push(t2c_export::SparseEntry {
+            node: "fc_sparse".into(),
+            layout: "2:4".into(), // graph packs a bitmask
+            stored: 7,            // wrong slot count
+            total: 16,
+        });
+        let report = lint_package(&model, &mf, "unit");
+        let ids: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.id()).collect();
+        assert!(ids.contains(&"T2C402"), "got {ids:?}");
+        assert!(ids.contains(&"T2C501"), "got {ids:?}");
+    }
+
+    #[test]
+    fn missing_sparse_section_fires_t2c401() {
+        let model = sparse_model();
+        // Hex image present but no sparse entry at all.
+        let mf = manifest_for(vec![(
+            "fc_sparse".into(),
+            PathBuf::from("pkg/hex/001_fc_sparse.hex"),
+            4,
+            2,
+        )]);
+        let report = lint_package(&model, &mf, "unit");
+        let ids: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.id()).collect();
+        assert_eq!(ids, vec!["T2C401"]);
     }
 
     #[test]

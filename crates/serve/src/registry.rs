@@ -317,6 +317,48 @@ mod tests {
     }
 
     #[test]
+    fn sparse_model_is_admitted_through_the_same_gate() {
+        let reg = ModelRegistry::new();
+        for (name, (m, dims)) in
+            [("mlp-sparse", zoo::tiny_mlp_pruned(0.8)), ("mlp-nm", zoo::tiny_mlp_nm(2, 4))]
+        {
+            let admitted = reg.admit(name, m, &dims).expect("sparse zoo model must pass the gate");
+            assert_eq!(admitted.lint().error_count(), 0);
+            assert_eq!(admitted.model().nodes[1].op.label(), "linear_sparse");
+        }
+    }
+
+    #[test]
+    fn sparse_package_is_admitted_from_disk() {
+        let dir = std::env::temp_dir().join(format!("t2c_serve_sparse_{}", std::process::id()));
+        let (m, dims) = zoo::tiny_mlp_pruned(0.8);
+        t2c_export::export_package(&m, &dir).unwrap();
+        let reg = ModelRegistry::new();
+        let admitted = reg.admit_package("mlp-sparse-pkg", &dir, &dims).expect("package admission");
+        // The served graph is the round-tripped one — same outputs.
+        let x = Tensor::from_fn(&dims, |i| (i as f32) * 0.011 - 0.2);
+        assert_eq!(m.run(&x).unwrap().as_slice(), admitted.model().run(&x).unwrap().as_slice());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drifted_sparsity_declaration_is_refused_with_t2c503() {
+        let (mut m, dims) = zoo::tiny_mlp_pruned(0.8);
+        if let IntOp::LinearSparse { declared_sparsity, .. } = &mut m.nodes[1].op {
+            *declared_sparsity -= 0.3;
+        } else {
+            panic!("fc1 should be sparse");
+        }
+        let reg = ModelRegistry::new();
+        let err = reg.admit("drift", m, &dims).unwrap_err();
+        let AdmissionError::LintGate { rules, .. } = err else {
+            panic!("expected LintGate rejection");
+        };
+        assert!(rules.contains(&"T2C503"), "rules {rules:?} should name T2C503");
+        assert!(reg.is_empty());
+    }
+
+    #[test]
     fn duplicate_names_are_refused() {
         let reg = ModelRegistry::new();
         let (m, dims) = zoo::tiny_mlp();

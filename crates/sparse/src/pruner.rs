@@ -38,14 +38,32 @@ fn masked_counts(masks: &[Tensor<f32>]) -> (usize, usize) {
     (zeros, total)
 }
 
-/// Magnitude below-or-equal which `sparsity` of the sorted `mags` fall.
-/// Returns negative infinity for zero sparsity (keep everything).
-fn threshold_for(sorted_mags: &[f32], sparsity: f32) -> f32 {
-    let k = (sorted_mags.len() as f32 * sparsity).round() as usize;
-    if k == 0 {
-        f32::NEG_INFINITY
+/// Indices of the `k` smallest magnitudes in `mags`.
+///
+/// Selection is by sorted position (an index budget), not by comparing
+/// against a threshold magnitude: with duplicated magnitudes at the cut —
+/// ubiquitous after quantization — a threshold compare keeps or drops
+/// *every* tied element and can overshoot arbitrarily (all-equal weights
+/// collapse to sparsity 1.0 regardless of target). The sort is stable, so
+/// ties are broken by element index and exactly `k` elements are chosen.
+fn smallest_k(mags: &[f32], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..mags.len()).collect();
+    order.sort_by(|&a, &b| mags[a].partial_cmp(&mags[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.truncate(k.min(mags.len()));
+    order
+}
+
+/// Elements per reduction row — everything one output channel multiplies
+/// against (the flattened trailing axes: `in` for a `[out, in]` linear,
+/// `ic·kh·kw` for a conv). N:M groups are formed within these rows,
+/// matching how the im2col/linear kernels consume the weights; a group
+/// must never straddle two output channels. Rank-0/1 tensors are a single
+/// row.
+fn nm_row_len(dims: &[usize], numel: usize) -> usize {
+    if dims.len() < 2 || dims[0] == 0 {
+        numel.max(1)
     } else {
-        sorted_mags[(k - 1).min(sorted_mags.len() - 1)]
+        (numel / dims[0]).max(1)
     }
 }
 
@@ -65,6 +83,10 @@ pub struct MagnitudePruner {
     params: Vec<Param>,
     masks: Vec<Tensor<f32>>,
     target: f32,
+    /// One-shot latch for [`Pruner::step`]. An explicit flag rather than
+    /// `sparsity() == 0.0`: on tiny params the target can round to zero
+    /// pruned elements, and a sparsity check would re-fire every step.
+    pruned: bool,
 }
 
 impl MagnitudePruner {
@@ -72,22 +94,33 @@ impl MagnitudePruner {
     /// in `[0, 1)`.
     pub fn new(params: Vec<Param>, target: f32) -> Self {
         let masks = params.iter().map(|p| Tensor::ones(p.value().dims())).collect();
-        MagnitudePruner { params, masks, target }
+        MagnitudePruner { params, masks, target, pruned: false }
     }
 
-    /// Recomputes masks at `sparsity` using the global magnitude
-    /// threshold.
+    /// Whether the one-shot prune in [`Pruner::step`] has fired.
+    pub fn has_pruned(&self) -> bool {
+        self.pruned
+    }
+
+    /// Recomputes masks so that exactly `round(total · sparsity)` of the
+    /// globally smallest-magnitude weights are zeroed (ties broken by
+    /// element index, so the budget is never overshot).
     pub fn prune_to(&mut self, sparsity: f32) {
-        let mut mags: Vec<f32> =
+        let mags: Vec<f32> =
             self.params.iter().flat_map(|p| p.value().into_vec()).map(f32::abs).collect();
         if mags.is_empty() {
             return;
         }
-        mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let threshold = threshold_for(&mags, sparsity);
+        let k = (mags.len() as f32 * sparsity).round() as usize;
+        let mut dead = vec![false; mags.len()];
+        for i in smallest_k(&mags, k) {
+            dead[i] = true;
+        }
+        let mut offset = 0usize;
         for (p, m) in self.params.iter().zip(&mut self.masks) {
-            let w = p.value();
-            *m = w.map(|v| if v.abs() > threshold { 1.0 } else { 0.0 });
+            let dims = p.value().dims().to_vec();
+            *m = Tensor::from_fn(&dims, |j| if dead[offset + j] { 0.0 } else { 1.0 });
+            offset += m.numel();
         }
     }
 }
@@ -99,7 +132,8 @@ impl Pruner for MagnitudePruner {
 
     fn step(&mut self, progress: f32) {
         // One-shot: prune at the end of a warm-up third, then keep masks.
-        if progress >= 0.3 && self.sparsity() == 0.0 {
+        if progress >= 0.3 && !self.pruned {
+            self.pruned = true;
             self.prune_to(self.target);
         }
     }
@@ -159,20 +193,23 @@ impl GraNetPruner {
 
     fn update_masks(&mut self, sparsity: f32) {
         // 1) Magnitude-prune each layer to slightly beyond the target
-        //    (per-layer thresholds: a global threshold can dead-end whole
+        //    (per-layer budgets: a global budget can dead-end whole
         //    layers in narrow networks)…
         let over = (sparsity + self.regrow_fraction * sparsity).min(0.99);
         let mut total_elems = 0usize;
         for (p, m) in self.params.iter().zip(&mut self.masks) {
             let w = p.value();
-            let mut mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+            let mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
             if mags.is_empty() {
                 continue;
             }
             total_elems += mags.len();
-            mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            let threshold = threshold_for(&mags, over);
-            *m = w.map(|v| if v.abs() > threshold { 1.0 } else { 0.0 });
+            let k = (mags.len() as f32 * over).round() as usize;
+            let mut mask = Tensor::<f32>::ones(w.dims());
+            for i in smallest_k(&mags, k) {
+                mask.as_mut_slice()[i] = 0.0;
+            }
+            *m = mask;
         }
         // 2) …then regrow the highest-|gradient| pruned weights back.
         let budget = ((over - sparsity).max(0.0) * total_elems as f32) as usize;
@@ -222,8 +259,8 @@ impl Pruner for GraNetPruner {
 }
 
 /// N:M structured fine-grained sparsity: within every group of `m`
-/// consecutive weights along the fastest axis, only the `n` largest
-/// magnitudes survive.
+/// consecutive weights along each row of the fastest axis, only the `n`
+/// largest magnitudes survive.
 pub struct NmPruner {
     params: Vec<Param>,
     masks: Vec<Tensor<f32>>,
@@ -249,30 +286,44 @@ impl NmPruner {
     }
 
     /// Recomputes every mask from the current weights.
+    ///
+    /// Groups are formed **within each row** of the fastest axis: the
+    /// hardware contract is per-row N:M, so a group must never straddle a
+    /// row boundary even when the row length is not a multiple of `m`.
+    /// The trailing partial group of a row (length `len < m`) keeps its
+    /// `min(n, len)` largest magnitudes.
     pub fn update_masks(&mut self) {
         for (p, mask) in self.params.iter().zip(&mut self.masks) {
             let w = p.value();
             let mut m = Tensor::<f32>::ones(w.dims());
             let ws = w.as_slice();
             let ms = m.as_mut_slice();
-            for group in (0..ws.len()).step_by(self.m) {
-                let end = (group + self.m).min(ws.len());
-                let mut idx: Vec<usize> = (group..end).collect();
-                idx.sort_by(|&a, &b| {
-                    ws[b].abs().partial_cmp(&ws[a].abs()).unwrap_or(std::cmp::Ordering::Equal)
-                });
-                for &i in idx.iter().skip(self.n) {
-                    ms[i] = 0.0;
+            let row_len = nm_row_len(w.dims(), ws.len());
+            for row_start in (0..ws.len()).step_by(row_len) {
+                let row_end = (row_start + row_len).min(ws.len());
+                for group in (row_start..row_end).step_by(self.m) {
+                    let end = (group + self.m).min(row_end);
+                    let mut idx: Vec<usize> = (group..end).collect();
+                    idx.sort_by(|&a, &b| {
+                        ws[b].abs().partial_cmp(&ws[a].abs()).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    for &i in idx.iter().skip(self.n) {
+                        ms[i] = 0.0;
+                    }
                 }
             }
             *mask = m;
         }
     }
 
-    /// Verifies the N:M constraint on every mask (test/audit helper).
+    /// Verifies the per-row N:M constraint on every mask (test/audit
+    /// helper).
     pub fn masks_satisfy_constraint(&self) -> bool {
         self.masks.iter().all(|m| {
-            m.as_slice().chunks(self.m).all(|g| g.iter().filter(|&&v| v != 0.0).count() <= self.n)
+            let row_len = nm_row_len(m.dims(), m.numel());
+            m.as_slice().chunks(row_len).all(|row| {
+                row.chunks(self.m).all(|g| g.iter().filter(|&&v| v != 0.0).count() <= self.n)
+            })
         })
     }
 }
@@ -374,6 +425,68 @@ mod tests {
     #[should_panic(expected = "invalid N:M")]
     fn nm_rejects_bad_config() {
         let _ = NmPruner::new(vec![], 5, 4);
+    }
+
+    #[test]
+    fn tied_weights_prune_to_exact_budget() {
+        // Every magnitude equal: a threshold compare would zero all or
+        // none; the index budget zeroes exactly half.
+        let p = Param::new("w", Tensor::from_vec(vec![1.0; 10], &[10]).unwrap());
+        let mut pruner = MagnitudePruner::new(vec![p.clone()], 0.5);
+        pruner.prune_to(0.5);
+        pruner.apply();
+        assert!((pruner.sparsity() - 0.5).abs() < 1e-6, "sparsity {}", pruner.sparsity());
+        let zeros = p.value().as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 5);
+    }
+
+    #[test]
+    fn granet_tied_weights_do_not_collapse() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0; 100], &[100]).unwrap());
+        p.accumulate_grad(&Tensor::zeros(&[100]));
+        let mut pruner = GraNetPruner::new(vec![p.clone()], 0.5);
+        pruner.step(1.0);
+        pruner.apply();
+        let s = pruner.sparsity();
+        assert!((s - 0.5).abs() < 0.05, "tied weights collapsed to sparsity {s}");
+    }
+
+    #[test]
+    fn magnitude_step_latches_once_even_when_budget_rounds_to_zero() {
+        // 4 elements at target 0.05: the budget rounds to zero pruned
+        // elements, so a `sparsity() == 0.0` latch would re-fire forever.
+        let p = Param::new("w", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap());
+        let mut pruner = MagnitudePruner::new(vec![p], 0.05);
+        assert!(!pruner.has_pruned());
+        pruner.step(0.1);
+        assert!(!pruner.has_pruned(), "must not fire during warm-up");
+        pruner.step(0.5);
+        assert!(pruner.has_pruned());
+        assert_eq!(pruner.sparsity(), 0.0);
+        pruner.step(0.9);
+        assert!(pruner.has_pruned(), "latch must stay set");
+    }
+
+    #[test]
+    fn nm_groups_do_not_straddle_rows() {
+        // [3, 6] with m = 4: each row is one full group plus a 2-wide
+        // trailing partial group. Flat grouping would straddle rows.
+        let p = Param::new("w", Tensor::from_fn(&[3, 6], |i| (i + 1) as f32));
+        let mut pruner = NmPruner::new(vec![p.clone()], 2, 4);
+        pruner.update_masks();
+        pruner.apply();
+        assert!(pruner.masks_satisfy_constraint());
+        // Magnitudes increase along each row: the full group keeps its
+        // last two elements, the 2-wide tail keeps both.
+        let expect: Vec<f32> =
+            (0..18).map(|i| if i % 6 < 2 { 0.0 } else { (i + 1) as f32 }).collect();
+        assert_eq!(p.value().as_slice(), expect.as_slice());
+        // Per-row check: every in-row group of 4 has at most 2 survivors.
+        for row in p.value().as_slice().chunks(6) {
+            for g in row.chunks(4) {
+                assert!(g.iter().filter(|&&v| v != 0.0).count() <= 2);
+            }
+        }
     }
 
     #[test]

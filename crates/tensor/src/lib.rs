@@ -39,10 +39,12 @@ mod tensor;
 pub mod ops;
 pub mod parallel;
 pub mod rng;
+pub mod sparse;
 
 pub use error::TensorError;
 pub use parallel::{num_threads, set_num_threads, with_threads};
 pub use shape::Shape;
+pub use sparse::{matmul_sparse_i, SparseEncoding, SparseError, SparseMat};
 pub use tensor::{Element, Tensor};
 
 /// Convenience alias for the crate's `Result`.

@@ -18,6 +18,10 @@
 #      execution, then the loadgen sweep must demonstrate the batching
 #      win (max_batch=16 ≥ 2× max_batch=1 on the zoo MLP at 32-way
 #      concurrency) and emit a schema-valid serve_loadgen.json
+#   8. sparse_speedup: the skip-zero kernel must be bit-identical to the
+#      dense path and at least 1.5× faster on the zoo MLP at both 80%
+#      unstructured and 2:4 structured sparsity, with a schema-valid
+#      sparse_speedup.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,5 +67,15 @@ for key in version bench created_unix configs model max_batch concurrency \
     grep -q "\"$key\"" "$serve_report" || { echo "missing key '$key' in $serve_report"; exit 1; }
 done
 grep -q '"pass": true' "$serve_report" || { echo "$serve_report did not pass"; exit 1; }
+
+echo "==> sparse speedup (skip-zero deployment gate)"
+sparse_report=bench_results/sparse_speedup.json
+cargo run --release -q -p t2c-bench --bin sparse_speedup
+for key in version bench created_unix configs model layout sparsity \
+    dense_ns sparse_ns speedup bit_identical unstructured_speedup \
+    nm_speedup pass; do
+    grep -q "\"$key\"" "$sparse_report" || { echo "missing key '$key' in $sparse_report"; exit 1; }
+done
+grep -q '"pass": true' "$sparse_report" || { echo "$sparse_report did not pass"; exit 1; }
 
 echo "verify: all green"
