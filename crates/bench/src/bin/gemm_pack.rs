@@ -1,0 +1,144 @@
+//! `gemm-pack` — the prepacked serving-path gate.
+//!
+//! Benchmarks the cache-blocked packed integer GEMM against the dense
+//! serving path across the GEMM shapes the zoo's serving traffic covers,
+//! from a single-sample MLP call (1×256×128) up to a batched transformer
+//! block (64×1024×1024). The dense side measures what `IntOp::Linear`
+//! actually pays per call — the `[out, in]` weight transpose *plus* the
+//! naive saturating matmul — because eliminating that per-call weight
+//! transformation is precisely what prepacking buys the serving runtime.
+//! The packed side pays its panel repacking once, outside the timed
+//! region, exactly like `ModelRegistry` does at admission.
+//!
+//! Both kernels are bit-identical by construction (per-MAC saturating
+//! accumulation in ascending k order); every measured shape re-checks
+//! that. Gates on the packed path delivering at least 1.5× the dense
+//! serving path at the largest shape. Results land in
+//! `bench_results/gemm_pack.json`; exits non-zero when the gate fails —
+//! `scripts/verify.sh` runs it with `T2C_THREADS=4`.
+//!
+//! ```sh
+//! T2C_THREADS=4 cargo run --release -p t2c-bench --bin gemm_pack
+//! ```
+
+use std::time::Instant;
+
+use t2c_tensor::{matmul_i32_sat_packed, PackedMat, Tensor};
+
+/// Timing repetitions (median-of); two extra warmup runs precede them.
+const REPS: usize = 9;
+/// The gated shape: the largest serving GEMM in the sweep.
+const GATE_SHAPE: (usize, usize, usize) = (64, 1024, 1024);
+/// Speedup floor at the gated shape.
+const FLOOR: f64 = 1.5;
+
+struct ShapeResult {
+    m: usize,
+    k: usize,
+    n: usize,
+    dense_ns: u64,
+    packed_ns: u64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+fn median_ns<F: FnMut()>(mut f: F) -> u64 {
+    for _ in 0..2 {
+        f();
+    }
+    let mut times: Vec<u64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn measure(m: usize, k: usize, n: usize) -> ShapeResult {
+    // Activation codes on the int8 grid, weights [n, k] in the Linear
+    // layer's [OUT, IN] orientation.
+    let x = Tensor::from_fn(&[m, k], |i| ((i * 37) % 255) as i32 - 127);
+    let w = Tensor::from_fn(&[n, k], |i| ((i * 53) % 15) as i32 - 7);
+    let packed = PackedMat::from_weight(&w).expect("rank-2 weight packs");
+
+    let dense_out = x.matmul_i(&w.transpose().expect("rank-2")).expect("conforming shapes");
+    let packed_out = matmul_i32_sat_packed(&x, &packed).expect("valid panels");
+    let bit_identical = dense_out.as_slice() == packed_out.as_slice();
+
+    // Dense serving path: per-call transpose + naive saturating matmul —
+    // the exact sequence `IntOp::Linear::execute` runs per request.
+    let dense_ns = median_ns(|| {
+        let wt = w.transpose().expect("rank-2");
+        std::hint::black_box(x.matmul_i(&wt).expect("conforming shapes"));
+    });
+    // Packed serving path: the panels were built at admission.
+    let packed_ns = median_ns(|| {
+        std::hint::black_box(matmul_i32_sat_packed(&x, &packed).expect("valid panels"));
+    });
+    let speedup = dense_ns as f64 / packed_ns.max(1) as f64;
+    let r = ShapeResult { m, k, n, dense_ns, packed_ns, speedup, bit_identical };
+    println!(
+        "| {}x{}x{} | {:.2} | {:.2} | {:.2}x | {} |",
+        r.m,
+        r.k,
+        r.n,
+        r.dense_ns as f64 / 1e6,
+        r.packed_ns as f64 / 1e6,
+        r.speedup,
+        if r.bit_identical { "bit-identical" } else { "MISMATCH" }
+    );
+    r
+}
+
+fn json_row(r: &ShapeResult) -> String {
+    format!(
+        "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"dense_ns\": {}, \"packed_ns\": {}, \
+         \"speedup\": {:.3}, \"bit_identical\": {}}}",
+        r.m, r.k, r.n, r.dense_ns, r.packed_ns, r.speedup, r.bit_identical
+    )
+}
+
+fn main() {
+    println!(
+        "gemm-pack: packed panels vs dense serving path ({} host thread(s))",
+        t2c_tensor::num_threads()
+    );
+    println!("| m x k x n | dense ms | packed ms | speedup | identity |");
+    println!("|---|---|---|---|---|");
+    let shapes = [(1usize, 256usize, 128usize), (16, 256, 128), (64, 512, 512), GATE_SHAPE];
+    let results: Vec<ShapeResult> = shapes.iter().map(|&(m, k, n)| measure(m, k, n)).collect();
+
+    let gate =
+        results.iter().find(|r| (r.m, r.k, r.n) == GATE_SHAPE).expect("gate shape is in the sweep");
+    let all_identical = results.iter().all(|r| r.bit_identical);
+    let pass = gate.speedup >= FLOOR && all_identical;
+    println!(
+        "\npacked speedup at {}x{}x{}: {:.2}x (floor {FLOOR:.2}x) — {}",
+        GATE_SHAPE.0,
+        GATE_SHAPE.1,
+        GATE_SHAPE.2,
+        gate.speedup,
+        if pass { "pass" } else { "FAIL" }
+    );
+
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let rows: Vec<String> = results.iter().map(json_row).collect();
+    let json = format!(
+        "{{\n  \"version\": 1,\n  \"bench\": \"gemm_pack\",\n  \"created_unix\": {created},\n  \"threads\": {},\n  \"shapes\": [\n{}\n  ],\n  \"gate_speedup\": {:.3},\n  \"pass\": {pass}\n}}\n",
+        t2c_tensor::num_threads(),
+        rows.join(",\n"),
+        gate.speedup,
+    );
+    std::fs::create_dir_all("bench_results").expect("create bench_results");
+    let path = "bench_results/gemm_pack.json";
+    std::fs::write(path, json).expect("write gemm pack report");
+    println!("gemm pack report: {path}");
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -484,68 +484,49 @@ impl Ctx {
             }
             IntOp::Conv2d { weight, bias, spec, requant, relu, weight_spec } => {
                 let x = in0?;
-                if x.shape.len() != 4 {
-                    self.shape_err(
-                        i,
-                        &name,
-                        format!("conv2d input must be rank 4, got {:?}", x.shape),
-                        "feed an [N, C, H, W] tensor",
-                    );
-                    return None;
-                }
-                let (c, h, w) = (x.shape[1], x.shape[2], x.shape[3]);
-                let (oc, cg, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
-                let g = spec.groups.max(1);
-                if cg * g != c || oc % g != 0 {
-                    self.shape_err(
-                        i,
-                        &name,
-                        format!(
-                            "weight [{oc}, {cg}, {kh}, {kw}] with {g} group(s) does not match {c} input channels"
-                        ),
-                        "weight dim 1 must be C/groups and OC divisible by groups",
-                    );
-                    return None;
-                }
-                let (Some(oh), Some(ow)) = (
-                    conv_extent(h, kh, spec.stride, spec.padding),
-                    conv_extent(w, kw, spec.stride, spec.padding),
-                ) else {
-                    self.shape_err(
-                        i,
-                        &name,
-                        format!(
-                            "kernel {kh}x{kw} stride {} padding {} does not fit input {h}x{w}",
-                            spec.stride, spec.padding
-                        ),
-                        "shrink the kernel or add padding",
-                    );
-                    return None;
-                };
-                let xr = if spec.padding > 0 { x.range.include_zero() } else { x.range };
-                let per_ch =
-                    self.mac_channels(i, &name, weight, oc, xr, bias.as_deref(), *weight_spec);
-                self.acc_overflow(i, &name, &per_ch);
-                if mq_channel_mismatch(requant, oc) {
+                self.conv_body(
+                    i,
+                    &name,
+                    weight,
+                    bias.as_deref(),
+                    spec,
+                    requant,
+                    *relu,
+                    *weight_spec,
+                    x,
+                )
+            }
+            IntOp::Conv2dPacked { weight, bias, spec, requant, relu, weight_spec } => {
+                let x = in0?;
+                // Structural integrity first: a panel layout that disagrees
+                // with its own geometry (or carries non-zero padding) would
+                // make the packed kernel compute garbage.
+                if let Err(e) = weight.validate() {
                     self.push(Diagnostic::node(
                         Rule::ShapeMismatch,
-                        Severity::Warn,
+                        Severity::Error,
                         i,
                         &name,
-                        format!(
-                            "requantizer carries {} channel(s) for {oc} output channels",
-                            requant.channels()
-                        ),
-                        "use 1 (per-tensor) or OC requantizer channels",
+                        format!("packed conv weight fails validation: {e}"),
+                        "re-pack the layer with IntModel::prepack — the panel layout must \
+                         describe the dense weight exactly",
                     ));
+                    return None;
                 }
-                let finals: Vec<Interval> = per_ch.iter().map(|(f, _)| *f).collect();
-                let out = self.requant(i, &name, requant, &finals, *relu);
-                Some(State {
-                    shape: vec![x.shape[0], oc, oh, ow],
-                    range: out,
-                    spec: Some(requant.out_spec),
-                })
+                // The packed kernel is bit-identical to the dense path, so
+                // the dense expansion carries the exact intervals.
+                let dense = weight.unpack().ok()?;
+                self.conv_body(
+                    i,
+                    &name,
+                    &dense,
+                    bias.as_deref(),
+                    spec,
+                    requant,
+                    *relu,
+                    *weight_spec,
+                    x,
+                )
             }
             IntOp::Linear { weight, bias, requant, relu, weight_spec } => {
                 let x = in0?;
@@ -606,6 +587,33 @@ impl Ctx {
                 // The skip-zero kernel is bit-identical to the masked-dense
                 // path, so the dense expansion carries the exact intervals.
                 let dense = weight.to_dense();
+                self.linear_body(
+                    i,
+                    &name,
+                    &dense,
+                    bias.as_deref(),
+                    requant.as_ref(),
+                    *relu,
+                    *weight_spec,
+                    x,
+                )
+            }
+            IntOp::LinearPacked { weight, bias, requant, relu, weight_spec } => {
+                let x = in0?;
+                if let Err(e) = weight.validate() {
+                    self.push(Diagnostic::node(
+                        Rule::ShapeMismatch,
+                        Severity::Error,
+                        i,
+                        &name,
+                        format!("packed linear weight fails validation: {e}"),
+                        "re-pack the layer with IntModel::prepack — the panel layout must \
+                         describe the dense weight exactly",
+                    ));
+                    return None;
+                }
+                // Bit-identical to dense, so analyze the dense expansion.
+                let dense = weight.unpack().ok()?;
                 self.linear_body(
                     i,
                     &name,
@@ -899,6 +907,85 @@ impl Ctx {
             IntOp::SoftmaxLut(lut) => self.softmax_lut(i, &name, lut, in0),
             IntOp::GeluLut(lut) => self.gelu_lut(i, &name, lut, in0),
         }
+    }
+
+    /// The shared dense analysis for `Conv2d` and (after unpacking)
+    /// `Conv2dPacked`: shape inference, per-channel accumulator intervals,
+    /// overflow proof and requantizer checks.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_body(
+        &mut self,
+        i: usize,
+        name: &str,
+        weight: &Tensor<i32>,
+        bias: Option<&[i64]>,
+        spec: &t2c_tensor::ops::Conv2dSpec,
+        requant: &MulQuant,
+        relu: bool,
+        weight_spec: QuantSpec,
+        x: State,
+    ) -> Option<State> {
+        if x.shape.len() != 4 {
+            self.shape_err(
+                i,
+                name,
+                format!("conv2d input must be rank 4, got {:?}", x.shape),
+                "feed an [N, C, H, W] tensor",
+            );
+            return None;
+        }
+        let (c, h, w) = (x.shape[1], x.shape[2], x.shape[3]);
+        let (oc, cg, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+        let g = spec.groups.max(1);
+        if cg * g != c || oc % g != 0 {
+            self.shape_err(
+                i,
+                name,
+                format!(
+                    "weight [{oc}, {cg}, {kh}, {kw}] with {g} group(s) does not match {c} input channels"
+                ),
+                "weight dim 1 must be C/groups and OC divisible by groups",
+            );
+            return None;
+        }
+        let (Some(oh), Some(ow)) = (
+            conv_extent(h, kh, spec.stride, spec.padding),
+            conv_extent(w, kw, spec.stride, spec.padding),
+        ) else {
+            self.shape_err(
+                i,
+                name,
+                format!(
+                    "kernel {kh}x{kw} stride {} padding {} does not fit input {h}x{w}",
+                    spec.stride, spec.padding
+                ),
+                "shrink the kernel or add padding",
+            );
+            return None;
+        };
+        let xr = if spec.padding > 0 { x.range.include_zero() } else { x.range };
+        let per_ch = self.mac_channels(i, name, weight, oc, xr, bias, weight_spec);
+        self.acc_overflow(i, name, &per_ch);
+        if mq_channel_mismatch(requant, oc) {
+            self.push(Diagnostic::node(
+                Rule::ShapeMismatch,
+                Severity::Warn,
+                i,
+                name,
+                format!(
+                    "requantizer carries {} channel(s) for {oc} output channels",
+                    requant.channels()
+                ),
+                "use 1 (per-tensor) or OC requantizer channels",
+            ));
+        }
+        let finals: Vec<Interval> = per_ch.iter().map(|(f, _)| *f).collect();
+        let out = self.requant(i, name, requant, &finals, relu);
+        Some(State {
+            shape: vec![x.shape[0], oc, oh, ow],
+            range: out,
+            spec: Some(requant.out_spec),
+        })
     }
 
     /// The shared dense analysis for `Linear` and (after densifying)

@@ -150,13 +150,18 @@ impl<T> MicroBatcher<T> {
     }
 
     /// Admits a request, or rejects it with [`ServeError::ShuttingDown`]
-    /// (draining) / [`ServeError::Busy`] (queue full). Returns the
-    /// admission sequence number.
+    /// (draining) / [`ServeError::DeadlineExceeded`] (already expired) /
+    /// [`ServeError::Busy`] (queue full). Returns the admission sequence
+    /// number.
     ///
     /// # Errors
     ///
-    /// `ShuttingDown` after [`Self::start_drain`]; `Busy` when the queue
-    /// holds `queue_cap` requests.
+    /// `ShuttingDown` after [`Self::start_drain`]; `DeadlineExceeded` when
+    /// `deadline_ns <= now_ns` — a request that is dead on arrival must
+    /// not consume a queue slot only for [`Self::take_expired`] to evict
+    /// it later; `Busy` when the queue holds `queue_cap` requests. The
+    /// expiry check runs *before* the capacity check so a saturated queue
+    /// reports the caller's real problem (the deadline), not `Busy`.
     pub fn admit(
         &mut self,
         payload: T,
@@ -167,6 +172,9 @@ impl<T> MicroBatcher<T> {
     ) -> Result<u64, ServeError> {
         if self.draining {
             return Err(ServeError::ShuttingDown);
+        }
+        if deadline_ns <= now_ns {
+            return Err(ServeError::DeadlineExceeded);
         }
         if self.queue.len() >= self.cfg.queue_cap {
             return Err(ServeError::Busy);

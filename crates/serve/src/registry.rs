@@ -199,7 +199,7 @@ impl ModelRegistry {
     fn insert_gated(
         &self,
         name: &str,
-        model: IntModel,
+        mut model: IntModel,
         input_dims: &[usize],
         report: LintReport,
     ) -> Result<Arc<AdmittedModel>, AdmissionError> {
@@ -226,6 +226,15 @@ impl ModelRegistry {
             return Err(AdmissionError::BadModel("model must start with a Quantize node".into()));
         };
         let (input_scale, input_spec) = (*scale, *spec);
+        // Admission is the serving boundary: every dense conv/linear is
+        // repacked once into the cache-blocked panel layout here, so the
+        // hot path never pays a per-call weight transform. The lint gate
+        // above ran on the dense graph; prepacking is bit-identical, so
+        // the verdict carries over. Sparse layers keep their own encoding.
+        let packed = model.prepack();
+        if packed > 0 && t2c_obs::enabled() {
+            t2c_obs::counter_add("serve.prepacked_layers", packed as u64);
+        }
         let mut models = self.models.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         if models.iter().any(|m| m.name == name) {
             return Err(AdmissionError::Duplicate(name.to_string()));

@@ -314,9 +314,19 @@ impl Handle {
             }
             Err(e) => {
                 drop(queue);
-                if e == ServeError::Busy {
-                    shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
-                    t2c_obs::counter_add("serve.rejected_busy", 1);
+                match e {
+                    ServeError::Busy => {
+                        shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        t2c_obs::counter_add("serve.rejected_busy", 1);
+                    }
+                    // Expired on arrival: counted with the queue-side
+                    // expiries so the deadline stat covers every path a
+                    // request can miss its budget on.
+                    ServeError::DeadlineExceeded => {
+                        shared.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        t2c_obs::counter_add("serve.deadline_exceeded", 1);
+                    }
+                    _ => {}
                 }
                 Err(e)
             }
@@ -757,6 +767,39 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.deadline_exceeded, 1);
         assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn expired_on_arrival_is_rejected_synchronously_not_queued() {
+        let (reg, admitted) = mlp_registry();
+        let clock = Arc::new(FakeClock::new(1_000));
+        // Tiny queue so the test can also prove the rejection happens
+        // before the capacity check.
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 1_000, max_delay_ns: u64::MAX / 2, queue_cap: 2 },
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let server =
+            Server::start_with_clock(Arc::clone(&reg), cfg, Arc::<FakeClock>::clone(&clock));
+        let handle = server.handle();
+        // A zero budget makes deadline == now: dead on arrival. The
+        // rejection is synchronous — no ticket is queued, no worker runs.
+        let dead = handle.submit_within("mlp", codes_for(&admitted, 1, 0), 0);
+        assert_eq!(dead.err(), Some(ServeError::DeadlineExceeded));
+        // The queue is untouched: both capacity slots are still free.
+        let p0 = handle.submit("mlp", codes_for(&admitted, 1, 1)).unwrap();
+        let p1 = handle.submit("mlp", codes_for(&admitted, 1, 2)).unwrap();
+        // With the queue full, an expired request still reports the
+        // deadline — the caller's real problem — rather than Busy.
+        let dead_on_full = handle.submit_within("mlp", codes_for(&admitted, 1, 3), 0);
+        assert_eq!(dead_on_full.err(), Some(ServeError::DeadlineExceeded));
+        let stats = server.shutdown();
+        p0.wait().expect("queued request must drain");
+        p1.wait().expect("queued request must drain");
+        assert_eq!(stats.deadline_exceeded, 2);
+        assert_eq!(stats.rejected_busy, 0);
+        assert_eq!(stats.completed, 2);
     }
 
     #[test]

@@ -37,11 +37,13 @@ mod shape;
 mod tensor;
 
 pub mod ops;
+pub mod packed;
 pub mod parallel;
 pub mod rng;
 pub mod sparse;
 
 pub use error::TensorError;
+pub use packed::{conv2d_i32_packed, matmul_i32_sat_packed, PackedConv, PackedMat};
 pub use parallel::{num_threads, set_num_threads, with_threads};
 pub use shape::Shape;
 pub use sparse::{matmul_sparse_i, SparseEncoding, SparseError, SparseMat};

@@ -11,7 +11,8 @@ use crate::parallel::par_units;
 use crate::{Result, Tensor, TensorError};
 
 /// Tile edge for the blocked f32 kernel; chosen so three tiles fit in L1.
-const BLOCK: usize = 64;
+/// Also the panel width of the prepacked integer layout ([`crate::packed`]).
+pub(crate) const BLOCK: usize = 64;
 
 impl Tensor<f32> {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
@@ -182,6 +183,11 @@ fn record_matmul(op: &str, batches: usize, m: usize, k: usize, n: usize, elem_by
 }
 
 /// Blocked `[m,k] × [k,n]` f32 kernel writing into a caller-provided buffer.
+///
+/// No zero-skip here: `0.0 × inf` and `0.0 × NaN` must propagate `NaN` so
+/// the float reference stays IEEE-faithful for the dual-path divergence
+/// audit. Only the integer kernel (where zero products are exact no-ops
+/// under per-MAC saturation) models PE gating by skipping.
 pub(crate) fn matmul_f32_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -195,9 +201,6 @@ pub(crate) fn matmul_f32_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k
                 let orow = &mut out[i * n..(i + 1) * n];
                 for p in pb..p_end {
                     let av = arow[p];
-                    if av == 0.0 {
-                        continue;
-                    }
                     let brow = &b[p * n..(p + 1) * n];
                     for j in 0..n {
                         orow[j] += av * brow[j];
@@ -279,6 +282,17 @@ mod tests {
                 assert!((c.at(&[i, j]) - acc).abs() < 1e-3, "mismatch at ({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn float_matmul_propagates_nan_from_zero_times_inf() {
+        // Regression: the old kernel skipped av == 0.0, silently turning
+        // 0.0 × inf into a 0 contribution instead of NaN.
+        let a = Tensor::from_vec(vec![0.0_f32, 1.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::INFINITY, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.as_slice()[0].is_nan(), "0·inf must contribute NaN, got {}", c.as_slice()[0]);
+        assert_eq!(c.as_slice()[1], 4.0);
     }
 
     #[test]

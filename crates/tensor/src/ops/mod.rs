@@ -11,6 +11,7 @@ mod pool;
 mod reduce;
 
 pub use conv::{col2im, conv2d, conv2d_i32, im2col, Conv2dSpec};
+pub(crate) use matmul::BLOCK;
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool2d, max_pool2d, max_pool2d_backward, PoolSpec,
 };

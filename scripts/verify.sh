@@ -22,6 +22,10 @@
 #      dense path and at least 1.5× faster on the zoo MLP at both 80%
 #      unstructured and 2:4 structured sparsity, with a schema-valid
 #      sparse_speedup.json
+#   9. gemm_pack: the prepacked panel GEMM must be bit-identical to the
+#      dense serving path (per-call transpose + naive saturating matmul)
+#      at every swept shape and at least 1.5× faster at 64×1024×1024
+#      with 4 host threads, with a schema-valid gemm_pack.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -77,5 +81,14 @@ for key in version bench created_unix configs model layout sparsity \
     grep -q "\"$key\"" "$sparse_report" || { echo "missing key '$key' in $sparse_report"; exit 1; }
 done
 grep -q '"pass": true' "$sparse_report" || { echo "$sparse_report did not pass"; exit 1; }
+
+echo "==> gemm pack (prepacked serving-path gate, T2C_THREADS=4)"
+pack_report=bench_results/gemm_pack.json
+T2C_THREADS=4 cargo run --release -q -p t2c-bench --bin gemm_pack
+for key in version bench created_unix threads shapes dense_ns packed_ns \
+    speedup bit_identical gate_speedup pass; do
+    grep -q "\"$key\"" "$pack_report" || { echo "missing key '$key' in $pack_report"; exit 1; }
+done
+grep -q '"pass": true' "$pack_report" || { echo "$pack_report did not pass"; exit 1; }
 
 echo "verify: all green"
