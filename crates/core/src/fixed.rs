@@ -65,6 +65,13 @@ impl FixedPointFormat {
         (-(1i64 << (width - 1)), (1i64 << (width - 1)) - 1)
     }
 
+    /// The resolution of this format as a real number: one raw ulp,
+    /// `2^-frac_bits`. Quantizing any in-range real to this format is off
+    /// by at most half of this.
+    pub fn step(&self) -> f64 {
+        1.0 / (1i64 << self.frac_bits) as f64
+    }
+
     /// Quantizes a float to this format, saturating at the representable
     /// range (for shift-normalized formats with `int_bits == 0`, the raw
     /// magnitude bound is the fractional word itself; values are expected
@@ -133,6 +140,26 @@ impl FixedScalar {
         let b = self.mul_shift(hi);
         (a.min(b), a.max(b))
     }
+
+    /// `|represented value|` as a real number.
+    pub fn magnitude(self) -> f64 {
+        (self.raw as f64 / (1i64 << self.format.frac_bits) as f64).abs()
+    }
+
+    /// Sound bound on `|mul_shift(acc) − acc*·m*|`: the divergence between
+    /// the integer multiply/shift applied to an accumulator `acc` and the
+    /// exact real product of a reference accumulator `acc*` with a
+    /// reference multiplier `m*`, where `|acc − acc*| ≤ acc_err`,
+    /// `|acc| ≤ acc_abs`, and `m*` is any real within half a raw ulp of
+    /// the stored value (the family every fixed-point word stands for).
+    ///
+    /// Terms: round-half-up shift rounding (½), the input error amplified
+    /// by the stored magnitude, and the multiplier's own half-ulp
+    /// amplified by the reference magnitude. Used by `t2c-lint`'s
+    /// quantization-error certifier.
+    pub fn mul_shift_error_bound(self, acc_abs: f64, acc_err: f64) -> f64 {
+        0.5 + self.magnitude() * acc_err + 0.5 * self.format.step() * (acc_abs + acc_err)
+    }
 }
 
 /// Arithmetic right shift by `bits` with round-half-up
@@ -197,6 +224,20 @@ mod tests {
                 (exact - fixed).abs() <= exact.abs() * 1e-3 + 1.0,
                 "acc {acc}: {exact} vs {fixed}"
             );
+        }
+    }
+
+    #[test]
+    fn mul_shift_error_bound_dominates_observed_divergence() {
+        // The bound must cover |mul_shift(acc) − acc·m| for the stored
+        // multiplier itself (acc_err = 0, the center of the half-ulp
+        // family) at every probed accumulator.
+        let m = FixedPointFormat::int16_frac12().quantize(0.3217);
+        for acc in [-40000i64, -3, 0, 7, 12345, 99999] {
+            let exact = acc as f64 * m.raw as f64 / 4096.0;
+            let observed = (m.mul_shift(acc) as f64 - exact).abs();
+            let bound = m.mul_shift_error_bound(acc.unsigned_abs() as f64, 0.0);
+            assert!(observed <= bound, "acc {acc}: observed {observed} > bound {bound}");
         }
     }
 

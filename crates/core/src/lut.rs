@@ -81,7 +81,25 @@ impl SoftmaxLut {
     pub fn size_bytes(&self) -> usize {
         self.table.len() * 4
     }
+
+    /// Exact worst-case table error: the max over all entries of
+    /// `|table[i]·2^-frac − exp(−i·in_scale)|`, in real (pre-normalization)
+    /// units. Each entry is checked individually, so custom or truncated
+    /// tables are measured as stored, not as ideally built.
+    pub fn max_table_error(&self) -> f64 {
+        let step = 1.0 / (1i64 << self.frac_bits) as f64;
+        self.table
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t as f64 * step - (-(i as f64) * self.in_scale as f64).exp()).abs())
+            .fold(0.0, f64::max)
+    }
 }
+
+/// A global Lipschitz bound for the tanh-approximated GELU: `|gelu'(x)|`
+/// peaks at ≈1.084 near x ≈ 1.5, so 1.2 soundly dominates it. Used to
+/// amplify input error through [`GeluLut`] in the error certifier.
+pub const GELU_LIPSCHITZ: f64 = 1.2;
 
 /// Integer GELU as a direct code→code table over the input grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +139,27 @@ impl GeluLut {
     /// Bytes needed to store the table.
     pub fn size_bytes(&self) -> usize {
         self.table.len() * 4
+    }
+
+    /// Exact worst-case table error: the max over every in-grid code `c`
+    /// of `|table[c − qmin]·out_scale − gelu(c·in_scale)|`, in absolute
+    /// units. Covers build rounding *and* the output-grid clamp baked into
+    /// the stored entries; an empty or truncated table yields infinity so
+    /// the certifier reports it as uncertifiable rather than silently
+    /// sound.
+    pub fn max_table_error(&self) -> f64 {
+        let codes = (self.in_spec.qmax() - self.in_spec.qmin() + 1) as usize;
+        if self.table.len() < codes {
+            return f64::INFINITY;
+        }
+        (self.in_spec.qmin()..=self.in_spec.qmax())
+            .map(|c| {
+                let ideal = gelu(c as f32 * self.in_scale) as f64;
+                let got =
+                    self.table[(c - self.in_spec.qmin()) as usize] as f64 * self.out_scale as f64;
+                (got - ideal).abs()
+            })
+            .fold(0.0, f64::max)
     }
 }
 
@@ -206,6 +245,45 @@ mod tests {
         // Grid is [−8, 7]: the last entry is code 7, the first is code −8.
         assert_eq!(y.as_slice()[0], lut.table[(7 + 8) as usize]);
         assert_eq!(y.as_slice()[1], lut.table[0]);
+    }
+
+    #[test]
+    fn softmax_table_error_is_small_for_a_well_built_table() {
+        let lut = SoftmaxLut::build(0.1, QuantSpec::unsigned(8), 256, 15);
+        let err = lut.max_table_error();
+        // Build rounding is at most half a table ulp.
+        assert!(err <= 0.5 / (1 << 15) as f64 + 1e-12, "err {err}");
+        // Corrupting one entry is measured exactly.
+        let mut bad = lut.clone();
+        bad.table[3] += 1 << 14;
+        assert!(bad.max_table_error() >= 0.49, "err {}", bad.max_table_error());
+    }
+
+    #[test]
+    fn gelu_table_error_covers_build_rounding_and_truncation() {
+        let lut = GeluLut::build(QuantSpec::signed(8), 0.05, QuantSpec::signed(8), 0.05);
+        let err = lut.max_table_error();
+        assert!(err.is_finite());
+        // Build rounding is at most half an output step (clamp only binds
+        // off-grid, where it can add more; this table fits its grid).
+        assert!(err <= 0.5 * 0.05 + 1e-6, "err {err}");
+        let mut truncated = lut;
+        truncated.table.truncate(10);
+        assert!(truncated.max_table_error().is_infinite());
+    }
+
+    #[test]
+    fn gelu_lipschitz_constant_dominates_the_sampled_derivative() {
+        // Finite-difference |gelu'| over a dense sweep must stay under the
+        // published constant the error certifier amplifies with.
+        let h = 1e-3f32;
+        let mut worst = 0.0f64;
+        for i in -8000..8000 {
+            let x = i as f32 * 1e-3;
+            let d = ((gelu(x + h) - gelu(x - h)) / (2.0 * h)).abs() as f64;
+            worst = worst.max(d);
+        }
+        assert!(worst < GELU_LIPSCHITZ, "sampled max |gelu'| = {worst}");
     }
 
     #[test]

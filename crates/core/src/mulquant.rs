@@ -196,6 +196,31 @@ impl MulQuant {
         (a.min(b), a.max(b))
     }
 
+    /// One pre-shift raw unit expressed in output-grid steps: `2^-frac`.
+    pub fn step(&self) -> f64 {
+        self.format.step()
+    }
+
+    /// `|multiplier|` for channel `ch` as a real number.
+    pub fn scale_abs(&self, ch: usize) -> f64 {
+        (self.scale_raw[ch.min(self.scale_raw.len() - 1)] as f64
+            / (1i64 << self.format.frac_bits) as f64)
+            .abs()
+    }
+
+    /// Sound per-channel bound, in output quantization steps, on the
+    /// divergence between this requantizer's integer epilogue and an exact
+    /// real epilogue `acc*·m* + b*` — where `|acc − acc*| ≤ acc_err`,
+    /// `|acc| ≤ acc_abs`, and `m*`/`b*` are any reals within half a raw
+    /// ulp of the stored fixed-point words. Covers the rounding shift (½),
+    /// the accumulator error amplified by the multiplier, and the
+    /// multiplier/bias half-ulps amplified by the accumulator envelope.
+    /// The trailing ReLU and output clamp are 1-Lipschitz, so the bound
+    /// survives them unchanged.
+    pub fn error_bound_steps(&self, ch: usize, acc_abs: f64, acc_err: f64) -> f64 {
+        0.5 + self.scale_abs(ch) * acc_err + 0.5 * self.step() * (acc_abs + acc_err + 1.0)
+    }
+
     /// The effective float multiplier for channel `ch` (for reports).
     pub fn scale_f32(&self, ch: usize) -> f32 {
         self.scale_raw[ch.min(self.scale_raw.len() - 1)] as f32
@@ -295,6 +320,24 @@ mod tests {
         let (y, saturated) = mq.apply_with_saturation(&acc, 0, false);
         assert_eq!(y.as_slice(), &[15, 0, 4]);
         assert_eq!(saturated, 2, "400 clips to qmax, -28 clips to qmin");
+    }
+
+    #[test]
+    fn error_bound_steps_dominates_scalar_requant_divergence() {
+        // Against the exact real epilogue with the stored words themselves
+        // (the center of the half-ulp family), the certified bound must
+        // cover every probed accumulator — including clamped outputs,
+        // since the clamp is 1-Lipschitz and applied to both paths.
+        let mq = MulQuant::from_float(&[0.043], &[1.3], fmt(), QuantSpec::unsigned(8));
+        let m = mq.scale_raw[0] as f64 / 4096.0;
+        let b = mq.bias_raw[0] as f64 / 4096.0;
+        for acc in [-900i32, -1, 0, 13, 777, 6000] {
+            let exact = (acc as f64 * m + b).clamp(0.0, 255.0);
+            let fixed = f64::from(mq.apply_scalar(acc, 0).clamp(0, 255));
+            let bound = mq.error_bound_steps(0, acc.unsigned_abs() as f64, 0.0);
+            let observed = (fixed - exact).abs();
+            assert!(observed <= bound, "acc {acc}: observed {observed} > bound {bound}");
+        }
     }
 
     #[test]

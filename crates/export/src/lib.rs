@@ -32,7 +32,10 @@ mod package;
 pub use binary::{fnv1a64, read_intmodel, write_intmodel};
 pub use error::ExportError;
 pub use hexfmt::{from_hex_lines, to_binary_lines, to_hex_lines};
-pub use package::{export_package, read_package, verify_package, ExportManifest, SparseEntry};
+pub use package::{
+    export_package, read_package, verify_package, write_certified, CertifiedError, ExportManifest,
+    SparseEntry,
+};
 
 /// Convenience alias for this crate's `Result`.
 pub type Result<T> = std::result::Result<T, ExportError>;

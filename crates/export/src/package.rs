@@ -24,8 +24,30 @@ pub struct ExportManifest {
     pub hex_files: Vec<(String, PathBuf, usize, u8)>,
     /// Per-sparse-layer metadata (empty for dense-only models).
     pub sparse: Vec<SparseEntry>,
+    /// The package's quantization-error certificate, when one was attached
+    /// with [`write_certified`].
+    pub certified: Option<CertifiedError>,
     /// Total bytes written across all artifacts.
     pub total_bytes: usize,
+}
+
+/// A sound float↔int divergence certificate shipped with a package.
+///
+/// Integer-only on purpose (the manifest derives `Eq`): bounds are stored
+/// in **milli-steps** of the model's final output quantization unit,
+/// rounded up so the stored claim never under-reports the proven bound.
+/// `u64::MAX` means "no finite bound" — for `end_to_end_millisteps` an
+/// uncertifiable model, for `tolerance_millisteps` an unset tolerance.
+/// `t2c-lint`'s rule T2C605 cross-checks this section against a fresh
+/// certification of the shipped model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifiedError {
+    /// Certified end-to-end error bound, in milli-steps (rounded up).
+    pub end_to_end_millisteps: u64,
+    /// The tolerance the certification was gated against, in milli-steps.
+    pub tolerance_millisteps: u64,
+    /// Number of layers the certificate covers.
+    pub layers: u32,
 }
 
 /// Manifest record for one compressed sparse layer.
@@ -136,8 +158,65 @@ pub fn export_package(model: &IntModel, dir: &Path) -> Result<ExportManifest> {
         model_file,
         hex_files,
         sparse,
+        certified: None,
         total_bytes: total,
     })
+}
+
+/// Attaches a quantization-error certificate to an exported package:
+/// writes `certified.txt` into the package root and records the section in
+/// the manifest. [`read_package`] picks the file up again, so the
+/// certificate travels with the artifacts.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn write_certified(manifest: &mut ExportManifest, cert: CertifiedError) -> Result<()> {
+    let body = format!(
+        "end_to_end_millisteps {}\ntolerance_millisteps {}\nlayers {}\n",
+        cert.end_to_end_millisteps, cert.tolerance_millisteps, cert.layers
+    );
+    fs::write(manifest.root.join("certified.txt"), body)?;
+    manifest.certified = Some(cert);
+    Ok(())
+}
+
+/// Parses a package's `certified.txt`, if present. A malformed file is an
+/// error — a half-readable certificate must not silently downgrade to
+/// "uncertified".
+fn read_certified(dir: &Path) -> Result<Option<CertifiedError>> {
+    let path = dir.join("certified.txt");
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let content = fs::read_to_string(&path)?;
+    let mut end = None;
+    let mut tol = None;
+    let mut layers = None;
+    for line in content.lines() {
+        let mut it = line.split_whitespace();
+        let (Some(key), Some(val)) = (it.next(), it.next()) else { continue };
+        let slot = match key {
+            "end_to_end_millisteps" => &mut end,
+            "tolerance_millisteps" => &mut tol,
+            "layers" => &mut layers,
+            _ => continue,
+        };
+        *slot = Some(val.parse::<u64>().map_err(|_| {
+            crate::ExportError::Malformed(format!("certified.txt: bad value for {key}: {val}"))
+        })?);
+    }
+    match (end, tol, layers) {
+        (Some(e), Some(t), Some(l)) => Ok(Some(CertifiedError {
+            end_to_end_millisteps: e,
+            tolerance_millisteps: t,
+            layers: u32::try_from(l).unwrap_or(u32::MAX),
+        })),
+        _ => Err(crate::ExportError::Malformed(
+            "certified.txt is missing one of end_to_end_millisteps/tolerance_millisteps/layers"
+                .to_owned(),
+        )),
+    }
 }
 
 /// Reloads every artifact in a package and verifies bit-exactness:
@@ -233,6 +312,7 @@ pub fn read_package(dir: &Path) -> Result<(IntModel, ExportManifest)> {
         model_file,
         hex_files,
         sparse,
+        certified: read_certified(dir)?,
         total_bytes: total,
     };
     let model = verify_package(&manifest)?;
@@ -322,6 +402,27 @@ mod tests {
         let want = model.run(&x).unwrap();
         assert_eq!(want.as_slice(), reloaded.run(&x).unwrap().as_slice());
         assert_eq!(want.as_slice(), read_model.run(&x).unwrap().as_slice());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn certified_section_round_trips_through_read_package() {
+        let dir = std::env::temp_dir().join(format!("t2c_pkg_cert_{}", std::process::id()));
+        let model = sample();
+        let mut manifest = export_package(&model, &dir).unwrap();
+        assert_eq!(manifest.certified, None);
+        let cert = CertifiedError {
+            end_to_end_millisteps: 12_345,
+            tolerance_millisteps: 50_000,
+            layers: 2,
+        };
+        write_certified(&mut manifest, cert).unwrap();
+        assert_eq!(manifest.certified, Some(cert));
+        let (_, reread) = read_package(&dir).unwrap();
+        assert_eq!(reread.certified, Some(cert));
+        // A corrupt certificate is an error, not a silent downgrade.
+        fs::write(dir.join("certified.txt"), "end_to_end_millisteps banana\n").unwrap();
+        assert!(read_package(&dir).is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

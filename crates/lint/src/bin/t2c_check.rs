@@ -9,15 +9,27 @@
 //! (schema-checked by `scripts/verify.sh`). Exits non-zero when any
 //! error-level finding fires.
 //!
+//! With `--error-bound PATH` it additionally runs the quantization-error
+//! certifier (DESIGN.md §6.11) over every model: each gets a sound
+//! per-layer + end-to-end `|float_reference − dequant(int)|` bound, the
+//! certificate is round-tripped through the package manifest's
+//! `certified_error` section and cross-checked (T2C605), and the combined
+//! certificates land at PATH as JSON. `--tolerance STEPS` turns the
+//! certifier into a gate (T2C602) instead of a report.
+//!
 //! ```sh
 //! cargo run --release -p t2c-lint --bin t2c-check -- --json bench_results/t2c_check.json
+//! cargo run --release -p t2c-lint --bin t2c-check -- --error-bound bench_results/error_bound.json
 //! ```
 
 use std::path::PathBuf;
 
 use t2c_core::IntModel;
-use t2c_export::export_package;
-use t2c_lint::{lint_model, lint_package, validate_schema, LintReport};
+use t2c_export::{export_package, read_package, write_certified};
+use t2c_lint::{
+    certify_model, lint_certified, lint_model, lint_package, validate_schema, ErrorBoundConfig,
+    LintReport,
+};
 
 fn check_model(tag: &str, chip: &IntModel, input_shape: &[usize]) -> LintReport {
     let mut report = lint_model(chip, input_shape, tag);
@@ -31,8 +43,42 @@ fn check_model(tag: &str, chip: &IntModel, input_shape: &[usize]) -> LintReport 
     report
 }
 
+/// Certifies one model, round-trips the certificate through the package
+/// manifest and cross-checks the stored claim (T2C605). Returns the
+/// report JSON and whether any error-level finding fired.
+fn certify_one(
+    tag: &str,
+    chip: &IntModel,
+    input_shape: &[usize],
+    cfg: ErrorBoundConfig,
+) -> (String, bool) {
+    let (report, mut lint) = certify_model(chip, input_shape, cfg, tag);
+    print!("{}", report.to_text());
+    let dir = std::env::temp_dir().join(format!("t2c_cert_{}_{tag}", std::process::id()));
+    match export_package(chip, &dir) {
+        Ok(mut manifest) => {
+            if let Err(e) = write_certified(&mut manifest, report.to_certified()) {
+                eprintln!("warning: could not store {tag} certificate: {e}");
+            }
+            match read_package(&dir) {
+                Ok((_, reread)) => lint.merge(lint_certified(&report, &reread, tag)),
+                Err(e) => eprintln!("warning: could not re-read {tag} package: {e}"),
+            }
+        }
+        Err(e) => eprintln!("warning: could not export {tag} package for certification: {e}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    if !lint.diagnostics.is_empty() {
+        print!("{}", lint.to_text());
+    }
+    let failed = lint.error_count() > 0 || !report.pass();
+    (report.to_json(), failed)
+}
+
 fn main() {
     let mut json_path: Option<PathBuf> = None;
+    let mut error_bound_path: Option<PathBuf> = None;
+    let mut tolerance_steps = f64::INFINITY;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,12 +89,31 @@ fn main() {
                 });
                 json_path = Some(PathBuf::from(path));
             }
+            "--error-bound" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--error-bound needs a file path");
+                    std::process::exit(2);
+                });
+                error_bound_path = Some(PathBuf::from(path));
+            }
+            "--tolerance" => {
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a step count");
+                    std::process::exit(2);
+                });
+                tolerance_steps = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance: `{raw}` is not a number");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                println!("usage: t2c-check [--json PATH]");
+                println!("usage: t2c-check [--json PATH] [--error-bound PATH] [--tolerance STEPS]");
                 return;
             }
             other => {
-                eprintln!("unknown argument `{other}` (usage: t2c-check [--json PATH])");
+                eprintln!(
+                    "unknown argument `{other}` (usage: t2c-check [--json PATH] [--error-bound PATH] [--tolerance STEPS])"
+                );
                 std::process::exit(2);
             }
         }
@@ -62,9 +127,11 @@ fn main() {
         ("tiny-mlp-nm", || t2c_core::zoo::tiny_mlp_nm(2, 4)),
     ];
     let total_models = zoo.len() + sparse_zoo.len();
+    let models: Vec<(&str, t2c_core::zoo::ZooBuilder)> =
+        zoo.into_iter().chain(sparse_zoo).collect();
 
     let mut combined = LintReport { tag: "t2c-check".into(), ..Default::default() };
-    for (tag, build) in zoo.into_iter().chain(sparse_zoo) {
+    for (tag, build) in &models {
         let (chip, input_shape) = build();
         let report = check_model(tag, &chip, &input_shape);
         print!("{}", report.to_text());
@@ -99,7 +166,37 @@ fn main() {
         println!("lint report ok: {}", path.display());
     }
 
-    if combined.error_count() > 0 {
+    let mut cert_failed = false;
+    if let Some(path) = error_bound_path {
+        let cfg = ErrorBoundConfig { tolerance_steps };
+        let mut model_docs = Vec::with_capacity(models.len());
+        for (tag, build) in &models {
+            let (chip, input_shape) = build();
+            let (doc, failed) = certify_one(tag, &chip, &input_shape, cfg);
+            cert_failed |= failed;
+            model_docs.push(doc);
+        }
+        let doc = format!(
+            "{{\"version\":1,\"tolerance\":{},\"models\":[{}],\"pass\": {}}}",
+            if tolerance_steps.is_finite() { tolerance_steps.to_string() } else { "null".into() },
+            model_docs.join(","),
+            !cert_failed,
+        );
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create report directory");
+            }
+        }
+        std::fs::write(&path, &doc).expect("write error-bound report");
+        println!(
+            "t2c-errorbound total: {} model(s) certified — {}",
+            total_models,
+            if cert_failed { "fail" } else { "pass" },
+        );
+        println!("error-bound report ok: {}", path.display());
+    }
+
+    if combined.error_count() > 0 || cert_failed {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,1196 @@
+//! Static quantization-error certification: sound float↔int divergence
+//! bounds over [`IntModel`] graphs.
+//!
+//! A second abstract interpretation next to [`crate::analyze`]: where the
+//! interval pass bounds *values*, this pass bounds, per tensor edge, the
+//! worst-case divergence `|float_reference − dequant(int_value)|` in that
+//! edge's own code units ("steps").
+//!
+//! **Reference semantics.** The float reference is the family of
+//! real-arithmetic evaluations of the *same* graph in which every stored
+//! parameter stands for any real within half a unit of its code: weights
+//! and biases within ½ of their stored integers, each fixed-point
+//! multiplier/bias within half a raw ulp, LUT entries replaced by the
+//! exact function values, `round_shift` replaced by exact division, and
+//! the input quantizer replaced by exact real division (clamped, not
+//! rounded). The certified bound dominates the divergence against *every*
+//! member of that family — in particular against the center member the
+//! serving runtime's dual-path audit evaluates, which is how the audit
+//! doubles as a soundness canary.
+//!
+//! **Composition.** Per MAC layer and output channel `c` with `K` MACs,
+//! incoming error `e_in`, per-tensor input magnitude envelope `|x|` (from
+//! the i128 interval analysis) and requantizer `(M_c, B_c, f)`:
+//!
+//! ```text
+//! E_acc  = Σ|w_i|·e_in + ½·K·(|x| + e_in) + ½·[bias]
+//! e_out  = ½ + |M_c|·2^-f·E_acc + ½·2^-f·(|acc|_max + E_acc + 1)
+//!          + overshoot_c
+//! ```
+//!
+//! `overshoot_c` is the mul/shift↔clamp interaction: how far the mapped
+//! worst-case pre-clamp interval leaves the output grid. The int path
+//! clamps it away; the unclamped reference keeps it, so it is genuine
+//! divergence — and the term that makes a mis-scaled requantizer fail its
+//! error budget (rule T2C602) even when the scale-chain heuristic (T2C201)
+//! only warns. ReLU and the output clamp are 1-Lipschitz, so they never
+//! grow the bound. LUT ops contribute their exact per-entry table error;
+//! normalization ops (LayerNorm, softmax) use coarse grid-width bounds
+//! that are input-independent and keep every certificate finite.
+//!
+//! DESIGN.md §6.11 derives each rule and its soundness argument.
+
+use t2c_core::intmodel::{IntNode, IntOp, Src};
+use t2c_core::lut::GELU_LIPSCHITZ;
+use t2c_core::{FixedScalar, IntModel, MulQuant, QuantSpec};
+use t2c_export::{CertifiedError, ExportManifest};
+use t2c_obs::report::{json_num, json_str};
+use t2c_tensor::Tensor;
+
+use crate::interval::Interval;
+use crate::{Diagnostic, LintReport, Rule, Severity};
+
+/// Schema version of `ErrorReport::to_json` documents.
+pub const ERROR_SCHEMA_VERSION: u32 = 1;
+
+/// Configuration of a certification run.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorBoundConfig {
+    /// Maximum admissible certified end-to-end bound, in final-output
+    /// quantization steps. `f64::INFINITY` (the default) certifies without
+    /// gating: T2C602 never fires and `ErrorReport::pass` only requires a
+    /// finite bound.
+    pub tolerance_steps: f64,
+}
+
+impl Default for ErrorBoundConfig {
+    fn default() -> Self {
+        ErrorBoundConfig { tolerance_steps: f64::INFINITY }
+    }
+}
+
+/// The certified bound at one node's output.
+#[derive(Debug, Clone)]
+pub struct LayerErrorBound {
+    /// Node index in execution order.
+    pub id: usize,
+    /// Layer name.
+    pub name: String,
+    /// Op label.
+    pub op: &'static str,
+    /// Cumulative sound bound on `|reference − int|` at this node's
+    /// output, in this node's code units. Infinite = uncertifiable.
+    pub steps: f64,
+    /// The part introduced locally (rounding, parameter half-ulps, table
+    /// error, clamp overshoot) rather than propagated from upstream.
+    pub local_steps: f64,
+    /// `steps` in absolute units, when the graph declares this edge's
+    /// scale (Quantize / LUT outputs and their shape-preserving
+    /// descendants).
+    pub abs: Option<f64>,
+    /// Width of the proven output range, used to rank offending layers
+    /// (one step means more on a narrow grid).
+    pub grid_width: f64,
+}
+
+/// A per-layer + end-to-end quantization-error certificate.
+#[derive(Debug, Clone)]
+pub struct ErrorReport {
+    /// Caller-chosen model label.
+    pub tag: String,
+    /// The tolerance the run was gated against (infinite = report-only).
+    pub tolerance_steps: f64,
+    /// Per-node bounds, in execution order.
+    pub per_layer: Vec<LayerErrorBound>,
+    /// Certified bound at the model output, in output quantization steps.
+    /// Infinite when any node on the output path is uncertifiable.
+    pub end_to_end_steps: f64,
+    /// The end-to-end bound in absolute units, when the output scale is
+    /// known.
+    pub end_to_end_abs: Option<f64>,
+}
+
+impl ErrorReport {
+    /// `true` when a finite end-to-end bound exists.
+    pub fn certified(&self) -> bool {
+        self.end_to_end_steps.is_finite()
+    }
+
+    /// `true` when the model is certified *and* within tolerance.
+    pub fn pass(&self) -> bool {
+        self.certified() && self.end_to_end_steps <= self.tolerance_steps
+    }
+
+    /// The layer contributing the most local error relative to its grid
+    /// width — the one a T2C602 refusal names.
+    pub fn worst_layer(&self) -> Option<&LayerErrorBound> {
+        self.per_layer.iter().max_by(|a, b| {
+            let ra = a.local_steps / a.grid_width.max(1.0);
+            let rb = b.local_steps / b.grid_width.max(1.0);
+            ra.total_cmp(&rb)
+        })
+    }
+
+    /// The end-to-end bound in milli-steps, rounded **up** so the stored
+    /// claim never under-reports the proven bound; saturates at
+    /// `u64::MAX − 1`, with `u64::MAX` reserved for "no finite bound".
+    pub fn end_to_end_millisteps(&self) -> u64 {
+        millisteps(self.end_to_end_steps)
+    }
+
+    /// The manifest section equivalent of this report.
+    pub fn to_certified(&self) -> CertifiedError {
+        CertifiedError {
+            end_to_end_millisteps: self.end_to_end_millisteps(),
+            tolerance_millisteps: millisteps(self.tolerance_steps),
+            layers: u32::try_from(self.per_layer.len()).unwrap_or(u32::MAX),
+        }
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let verdict = if self.pass() { "pass" } else { "fail" };
+        let _ = writeln!(
+            s,
+            "t2c-errorbound [{}]: end-to-end ≤ {} step(s){} (tolerance {}) — {verdict}",
+            self.tag,
+            fmt_steps(self.end_to_end_steps),
+            self.end_to_end_abs.map_or(String::new(), |a| format!(" = {a:.3e} abs")),
+            fmt_steps(self.tolerance_steps),
+        );
+        for l in &self.per_layer {
+            let _ = writeln!(
+                s,
+                "  #{:<3} {:<12} {:<16} ≤ {:>10} step(s)  (local {})",
+                l.id,
+                l.name,
+                l.op,
+                fmt_steps(l.steps),
+                fmt_steps(l.local_steps),
+            );
+        }
+        s
+    }
+
+    /// JSON rendering with the keys the `verify.sh` schema gate checks:
+    /// `version`, `model`, `per_layer`, `end_to_end_steps`, `tolerance`,
+    /// `pass`. Non-finite numbers render as `null`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"version\":{ERROR_SCHEMA_VERSION},\"model\":{},\"tolerance\":{},\"end_to_end_steps\":{},\"end_to_end_abs\":{}",
+            json_str(&self.tag),
+            json_num(self.tolerance_steps),
+            json_num(self.end_to_end_steps),
+            self.end_to_end_abs.map_or("null".to_owned(), json_num),
+        );
+        s.push_str(",\"per_layer\":[");
+        for (i, l) in self.per_layer.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"id\":{},\"layer\":{},\"op\":{},\"steps\":{},\"local_steps\":{},\"abs\":{}}}",
+                l.id,
+                json_str(&l.name),
+                json_str(l.op),
+                json_num(l.steps),
+                json_num(l.local_steps),
+                l.abs.map_or("null".to_owned(), json_num),
+            );
+        }
+        let _ = write!(s, "],\"pass\": {}}}", self.pass());
+        s
+    }
+}
+
+fn millisteps(steps: f64) -> u64 {
+    if !steps.is_finite() {
+        return u64::MAX;
+    }
+    let v = (steps * 1000.0).ceil();
+    if v >= (u64::MAX - 1) as f64 {
+        u64::MAX - 1
+    } else {
+        v.max(0.0) as u64
+    }
+}
+
+fn fmt_steps(v: f64) -> String {
+    if !v.is_finite() {
+        "∞".to_owned()
+    } else if v >= 1e6 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn maxabs(r: Interval) -> f64 {
+    let m = r.lo.unsigned_abs().max(r.hi.unsigned_abs());
+    m as f64
+}
+
+/// Dataflow state of one tensor edge: value interval (mirroring
+/// `analyze`), cumulative error bound, and declared absolute scale when
+/// the graph carries one.
+#[derive(Debug, Clone)]
+struct EState {
+    shape: Vec<usize>,
+    range: Interval,
+    err: f64,
+    scale: Option<f64>,
+}
+
+/// Runs the quantization-error certifier over `model` and returns the
+/// certificate plus the `T2C6xx` findings as a [`LintReport`] (no node
+/// summaries — those belong to [`crate::lint_model`]).
+pub fn certify_model(
+    model: &IntModel,
+    input_shape: &[usize],
+    cfg: ErrorBoundConfig,
+    tag: &str,
+) -> (ErrorReport, LintReport) {
+    let mut c = Certifier { diags: Vec::new(), layers: Vec::new(), local: 0.0 };
+
+    let input_state = match model.nodes.first().map(|n| &n.op) {
+        Some(IntOp::Quantize { scale, spec }) => Some(EState {
+            shape: input_shape.to_vec(),
+            range: Interval::of_spec(*spec),
+            err: 0.5,
+            scale: Some(*scale as f64),
+        }),
+        _ => None,
+    };
+    if input_state.is_none() {
+        c.uncertifiable(
+            0,
+            "model",
+            "the graph does not start with a Quantize node declaring the input grid",
+        );
+    }
+
+    let mut states: Vec<Option<EState>> = Vec::with_capacity(model.len());
+    for (i, node) in model.nodes.iter().enumerate() {
+        let operand = |idx: usize| -> Option<EState> {
+            match node.inputs.get(idx)? {
+                Src::Input => input_state.clone(),
+                Src::Node(id) if *id < i => states.get(*id).and_then(Clone::clone),
+                Src::Node(_) => None,
+            }
+        };
+        let state = c.certify_op(i, node, operand(0), operand(1), input_state.as_ref());
+        let (steps, local, abs, width) = match &state {
+            Some(s) => (
+                s.err,
+                c.take_local(),
+                s.scale.map(|sc| s.err * sc),
+                (s.range.width().min(i64::MAX as i128)) as f64,
+            ),
+            None => (f64::INFINITY, f64::INFINITY, None, 1.0),
+        };
+        c.layers.push(LayerErrorBound {
+            id: i,
+            name: node.name.clone(),
+            op: node.op.label(),
+            steps,
+            local_steps: local,
+            abs,
+            grid_width: width,
+        });
+        states.push(state);
+    }
+
+    let end = states.last().and_then(Option::as_ref);
+    let end_steps = end.map_or(f64::INFINITY, |s| s.err);
+    let end_abs = end.and_then(|s| s.scale.map(|sc| s.err * sc));
+    let mut report = ErrorReport {
+        tag: tag.to_owned(),
+        tolerance_steps: cfg.tolerance_steps,
+        per_layer: c.layers,
+        end_to_end_steps: end_steps,
+        end_to_end_abs: end_abs,
+    };
+    if model.is_empty() {
+        report.end_to_end_steps = f64::INFINITY;
+        c.diags.push(Diagnostic::global(
+            Rule::Uncertifiable,
+            Severity::Error,
+            "model",
+            "model has no nodes, so there is nothing to certify",
+            "push at least a Quantize node",
+        ));
+    }
+    if cfg.tolerance_steps.is_finite() && report.certified() && !report.pass() {
+        let worst = report.worst_layer();
+        let (wname, wid) = worst.map_or(("model", 0), |l| (l.name.as_str(), l.id));
+        let wlocal = worst.map_or(0.0, |l| l.local_steps);
+        c.diags.push(Diagnostic::node(
+            Rule::ErrorBudgetExceeded,
+            Severity::Error,
+            wid,
+            wname,
+            format!(
+                "certified end-to-end error bound {} step(s) exceeds the configured tolerance {} — worst contributor is `{wname}` with {} local step(s)",
+                fmt_steps(report.end_to_end_steps),
+                fmt_steps(cfg.tolerance_steps),
+                fmt_steps(wlocal),
+            ),
+            "re-derive the layer's requantizer from the calibrated scale chain, or raise the tolerance if the budget was optimistic",
+        ));
+    }
+    let lint = LintReport { tag: tag.to_owned(), diagnostics: c.diags, nodes: Vec::new() };
+    (report, lint)
+}
+
+/// Cross-checks a package manifest's `certified_error` section against a
+/// freshly computed certificate of the shipped model (rule T2C605).
+pub fn lint_certified(report: &ErrorReport, manifest: &ExportManifest, tag: &str) -> LintReport {
+    let mut diags = Vec::new();
+    if let Some(cert) = &manifest.certified {
+        let fresh = report.end_to_end_millisteps();
+        if cert.end_to_end_millisteps < fresh {
+            diags.push(Diagnostic::global(
+                Rule::ManifestCertifiedMismatch,
+                Severity::Error,
+                "certified.txt",
+                format!(
+                    "manifest claims an end-to-end bound of {} millistep(s) but fresh certification proves only {}",
+                    cert.end_to_end_millisteps, fresh
+                ),
+                "re-export the package so the certificate matches the shipped model",
+            ));
+        }
+        if cert.tolerance_millisteps < cert.end_to_end_millisteps {
+            diags.push(Diagnostic::global(
+                Rule::ManifestCertifiedMismatch,
+                Severity::Error,
+                "certified.txt",
+                format!(
+                    "manifest declares tolerance {} millistep(s), below its own certified bound {}",
+                    cert.tolerance_millisteps, cert.end_to_end_millisteps
+                ),
+                "a package must not declare a tolerance its own certificate violates",
+            ));
+        }
+    }
+    LintReport { tag: tag.to_owned(), diagnostics: diags, nodes: Vec::new() }
+}
+
+struct Certifier {
+    diags: Vec<Diagnostic>,
+    layers: Vec<LayerErrorBound>,
+    // Local error of the node just certified (taken by the driver loop).
+    local: f64,
+}
+
+impl Certifier {
+    fn take_local(&mut self) -> f64 {
+        std::mem::replace(&mut self.local, 0.0)
+    }
+
+    fn uncertifiable(&mut self, i: usize, name: &str, why: &str) {
+        self.diags.push(Diagnostic::node(
+            Rule::Uncertifiable,
+            Severity::Error,
+            i,
+            name,
+            format!("cannot certify a float↔int divergence bound: {why}"),
+            "fix the structural finding lint_model reports for this node, or shrink the accumulator so the overflow proof closes",
+        ));
+    }
+
+    /// Overshoot of the worst-case pre-clamp interval beyond the output
+    /// grid — divergence the int path clamps away but the unclamped
+    /// reference keeps.
+    fn overshoot(mapped: Interval, spec: QuantSpec) -> f64 {
+        let (glo, ghi) = spec.range();
+        let under = (glo as i128).saturating_sub(mapped.lo).max(0);
+        let over = mapped.hi.saturating_sub(ghi as i128).max(0);
+        under.max(over) as f64
+    }
+
+    /// T2C604: fires when the multiplier half-ulp term dominates a layer's
+    /// local error — the scale chain amplifies quantization error faster
+    /// than rounding does.
+    fn check_scale_amplification(&mut self, i: usize, name: &str, half_ulp: f64, local: f64) {
+        if half_ulp > 1.0 && half_ulp > 0.5 * local {
+            self.diags.push(Diagnostic::node(
+                Rule::ScaleErrorAmplification,
+                Severity::Warn,
+                i,
+                name,
+                format!(
+                    "the fixed-point multiplier's half-ulp contributes {} of the layer's {} local error step(s)",
+                    fmt_steps(half_ulp),
+                    fmt_steps(local)
+                ),
+                "widen frac_bits so the multiplier resolves finer than the accumulator envelope",
+            ));
+        }
+    }
+
+    /// T2C603: a LUT whose own table/domain error dominates the budget at
+    /// its node.
+    fn check_lut_domination(&mut self, i: usize, name: &str, lut_local: f64, total: f64) {
+        if lut_local > 1.0 && lut_local >= 0.5 * total {
+            self.diags.push(Diagnostic::node(
+                Rule::LutErrorDominates,
+                Severity::Warn,
+                i,
+                name,
+                format!(
+                    "LUT error of {} step(s) dominates the {}-step budget at this node",
+                    fmt_steps(lut_local),
+                    fmt_steps(total)
+                ),
+                "grow the table or its fractional precision; the rest of the pipeline is already tighter than the table",
+            ));
+        }
+    }
+
+    /// Shared MAC-layer composition for conv/linear (dense or densified):
+    /// returns the output range and error, or `None` (with T2C601) when
+    /// the accumulator may saturate.
+    #[allow(clippy::too_many_arguments)]
+    fn mac_error(
+        &mut self,
+        i: usize,
+        name: &str,
+        weight: &Tensor<i32>,
+        oc: usize,
+        x_range: Interval,
+        e_in: f64,
+        bias: Option<&[i64]>,
+        requant: Option<&MulQuant>,
+        relu: bool,
+    ) -> Option<(Interval, f64)> {
+        let ws = weight.as_slice();
+        let per = ws.len() / oc.max(1);
+        let x_abs = maxabs(x_range);
+        let mut out: Option<Interval> = None;
+        let mut worst_err = 0.0f64;
+        let mut worst_local = 0.0f64;
+        let mut worst_half_ulp = 0.0f64;
+        for ch in 0..oc {
+            // Exact per-channel accumulator interval and partial-sum
+            // envelope, mirroring analyze::mac_channels.
+            let (mut lo, mut hi) = (0i128, 0i128);
+            let (mut env_lo, mut env_hi) = (0i128, 0i128);
+            let mut abs_w_sum = 0.0f64;
+            for &w in &ws[ch * per..(ch + 1) * per] {
+                let a = w as i128 * x_range.lo;
+                let b = w as i128 * x_range.hi;
+                let (cl, chi) = (a.min(b), a.max(b));
+                lo += cl;
+                hi += chi;
+                env_lo += cl.min(0);
+                env_hi += chi.max(0);
+                abs_w_sum += w.unsigned_abs() as f64;
+            }
+            let bv = bias.map_or(0i128, |b| b[ch.min(b.len() - 1)] as i128);
+            let fin = Interval::new(lo + bv, hi + bv);
+            let env = Interval::new(env_lo + bv.min(0), env_hi + bv.max(0));
+            if !fin.fits_i32() || !env.fits_i32() {
+                self.uncertifiable(
+                    i,
+                    name,
+                    &format!(
+                        "channel {ch} accumulator can reach {} (envelope {}), outside i32 — the saturating MAC array clips by an unbounded amount",
+                        fin.union(env),
+                        env
+                    ),
+                );
+                return None;
+            }
+            // Weight half-ulp error amplified by the per-MAC input
+            // magnitude envelope, plus the incoming error through |w|.
+            let e_acc =
+                abs_w_sum * e_in + 0.5 * per as f64 * (x_abs + e_in) + f64::from(bias.is_some());
+            let acc_abs = maxabs(fin);
+            let (range_ch, err_ch, local_ch, half_ulp) = match requant {
+                Some(mq) => {
+                    let ci = ch.min(mq.scale_raw.len() - 1);
+                    let (mlo, mhi) = mq.map_range(fin.lo as i64, fin.hi as i64, ci);
+                    let mut mapped = Interval::new(mlo as i128, mhi as i128);
+                    if relu {
+                        mapped = mapped.relu();
+                    }
+                    let ov = Self::overshoot(mapped, mq.out_spec);
+                    let e = mq.error_bound_steps(ci, acc_abs, e_acc) + ov;
+                    let propagated = mq.scale_abs(ci) * abs_w_sum * e_in;
+                    let half_ulp = 0.5 * mq.step() * acc_abs;
+                    (mapped.clamp_to(mq.out_spec), e, e - propagated, half_ulp)
+                }
+                None => (fin, e_acc, e_acc - abs_w_sum * e_in, 0.0),
+            };
+            out = Some(match out {
+                Some(o) => o.union(range_ch),
+                None => range_ch,
+            });
+            if err_ch > worst_err {
+                worst_err = err_ch;
+                worst_local = local_ch;
+                worst_half_ulp = half_ulp;
+            }
+        }
+        self.local = worst_local;
+        self.check_scale_amplification(i, name, worst_half_ulp, worst_local);
+        Some((out.unwrap_or(Interval::point(0)), worst_err))
+    }
+
+    /// One `FixedScalar` requant edge (AddRequant branches, BmmRequant,
+    /// Requant): mul/shift error against the half-ulp family plus clamp
+    /// overshoot, with the mapped interval computed exactly.
+    fn fixed_edge(m: FixedScalar, r: Interval, e_in: f64) -> (Interval, f64) {
+        let (lo, hi) = m.map_range(r.lo as i64, r.hi as i64);
+        (Interval::new(lo as i128, hi as i128), m.mul_shift_error_bound(maxabs(r), e_in))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn certify_op(
+        &mut self,
+        i: usize,
+        node: &IntNode,
+        in0: Option<EState>,
+        in1: Option<EState>,
+        input_state: Option<&EState>,
+    ) -> Option<EState> {
+        let name = node.name.clone();
+        // Structural problems (dangling/forward sources, arity) are
+        // lint_model's to report; here they simply end the certificate.
+        for src in &node.inputs {
+            if let Src::Node(id) = src {
+                if *id >= i {
+                    self.uncertifiable(i, &name, "the node reads a dangling or forward source");
+                    return None;
+                }
+            }
+        }
+        match &node.op {
+            IntOp::Quantize { .. } => {
+                if i > 0 {
+                    // Passthrough of the model input (analyze warns).
+                    return input_state.cloned();
+                }
+                let s = input_state?;
+                self.local = s.err;
+                Some(s.clone())
+            }
+            IntOp::Conv2d { weight, bias, spec, requant, relu, weight_spec: _ } => {
+                let x = in0?;
+                if x.shape.len() != 4 {
+                    self.uncertifiable(i, &name, "conv input is not rank 4");
+                    return None;
+                }
+                let (c, h, w) = (x.shape[1], x.shape[2], x.shape[3]);
+                let (oc, cg, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+                let g = spec.groups.max(1);
+                if cg * g != c || oc % g.max(1) != 0 {
+                    self.uncertifiable(i, &name, "weight geometry does not match input channels");
+                    return None;
+                }
+                let (Some(oh), Some(ow)) = (
+                    conv_extent(h, kh, spec.stride, spec.padding),
+                    conv_extent(w, kw, spec.stride, spec.padding),
+                ) else {
+                    self.uncertifiable(i, &name, "kernel does not fit the spatial extent");
+                    return None;
+                };
+                let xr = if spec.padding > 0 { x.range.include_zero() } else { x.range };
+                let (range, err) = self.mac_error(
+                    i,
+                    &name,
+                    weight,
+                    oc,
+                    xr,
+                    x.err,
+                    bias.as_deref(),
+                    Some(requant),
+                    *relu,
+                )?;
+                Some(EState { shape: vec![x.shape[0], oc, oh, ow], range, err, scale: None })
+            }
+            IntOp::Conv2dPacked { weight, bias, spec, requant, relu, weight_spec: _ } => {
+                let x = in0?;
+                let Ok(dense) = weight.unpack() else {
+                    self.uncertifiable(i, &name, "the packed conv weight fails validation");
+                    return None;
+                };
+                if x.shape.len() != 4 {
+                    self.uncertifiable(i, &name, "conv input is not rank 4");
+                    return None;
+                }
+                let (h, w) = (x.shape[2], x.shape[3]);
+                let (oc, kh, kw) = (dense.dim(0), dense.dim(2), dense.dim(3));
+                let (Some(oh), Some(ow)) = (
+                    conv_extent(h, kh, spec.stride, spec.padding),
+                    conv_extent(w, kw, spec.stride, spec.padding),
+                ) else {
+                    self.uncertifiable(i, &name, "kernel does not fit the spatial extent");
+                    return None;
+                };
+                let xr = if spec.padding > 0 { x.range.include_zero() } else { x.range };
+                let (range, err) = self.mac_error(
+                    i,
+                    &name,
+                    &dense,
+                    oc,
+                    xr,
+                    x.err,
+                    bias.as_deref(),
+                    Some(requant),
+                    *relu,
+                )?;
+                Some(EState { shape: vec![x.shape[0], oc, oh, ow], range, err, scale: None })
+            }
+            IntOp::Linear { weight, bias, requant, relu, weight_spec: _ } => {
+                let x = in0?;
+                self.linear_error(i, &name, weight, bias.as_deref(), requant.as_ref(), *relu, x)
+            }
+            IntOp::LinearPacked { weight, bias, requant, relu, weight_spec: _ } => {
+                let x = in0?;
+                let Ok(dense) = weight.unpack() else {
+                    self.uncertifiable(i, &name, "the packed linear weight fails validation");
+                    return None;
+                };
+                self.linear_error(i, &name, &dense, bias.as_deref(), requant.as_ref(), *relu, x)
+            }
+            IntOp::LinearSparse { weight, bias, requant, relu, .. } => {
+                let x = in0?;
+                if weight.validate().is_err() {
+                    self.uncertifiable(i, &name, "the sparse weight fails validation");
+                    return None;
+                }
+                let dense = weight.to_dense();
+                self.linear_error(i, &name, &dense, bias.as_deref(), requant.as_ref(), *relu, x)
+            }
+            IntOp::AddRequant { m_a, m_b, out_spec, relu } => {
+                let (a, b) = (in0?, in1?);
+                if a.shape != b.shape {
+                    self.uncertifiable(i, &name, "branch shapes differ");
+                    return None;
+                }
+                let (ra, ea) = Self::fixed_edge(*m_a, a.range, a.err);
+                let (rb, eb) = Self::fixed_edge(*m_b, b.range, b.err);
+                let mut mapped = ra + rb;
+                if *relu {
+                    mapped = mapped.relu();
+                }
+                let ov = Self::overshoot(mapped, *out_spec);
+                let err = ea + eb + ov;
+                self.local = err - m_a.magnitude() * a.err - m_b.magnitude() * b.err;
+                self.check_scale_amplification(
+                    i,
+                    &name,
+                    0.5 * m_a.format.step() * maxabs(a.range)
+                        + 0.5 * m_b.format.step() * maxabs(b.range),
+                    self.local,
+                );
+                Some(EState { shape: a.shape, range: mapped.clamp_to(*out_spec), err, scale: None })
+            }
+            IntOp::AddConstRequant { value, m, out_spec } => {
+                let a = in0?;
+                let n: usize = a.shape.iter().skip(1).product();
+                if value.numel() == 0 || !n.is_multiple_of(value.numel()) {
+                    self.uncertifiable(i, &name, "the constant does not broadcast over the input");
+                    return None;
+                }
+                let (cmin, cmax) = slice_min_max(value.as_slice());
+                let sum = a.range + Interval::new(cmin as i128, cmax as i128);
+                // The stored constant stands for a real within ½ code.
+                let (mapped, e) = Self::fixed_edge(*m, sum, a.err + 0.5);
+                let ov = Self::overshoot(mapped, *out_spec);
+                let err = e + ov;
+                self.local = err - m.magnitude() * a.err;
+                Some(EState { shape: a.shape, range: mapped.clamp_to(*out_spec), err, scale: None })
+            }
+            IntOp::MaxPool2d { spec } => {
+                let x = in0?;
+                if x.shape.len() != 4 {
+                    self.uncertifiable(i, &name, "max_pool input is not rank 4");
+                    return None;
+                }
+                let (Some(oh), Some(ow)) = (
+                    conv_extent(x.shape[2], spec.kernel, spec.stride, spec.padding),
+                    conv_extent(x.shape[3], spec.kernel, spec.stride, spec.padding),
+                ) else {
+                    self.uncertifiable(i, &name, "the pooling window does not fit");
+                    return None;
+                };
+                // max over a window is 1-Lipschitz in the ∞-norm.
+                Some(EState { shape: vec![x.shape[0], x.shape[1], oh, ow], ..x })
+            }
+            IntOp::GlobalAvgPool { frac_bits } => {
+                let x = in0?;
+                if x.shape.len() != 4 {
+                    self.uncertifiable(i, &name, "global_avg_pool input is not rank 4");
+                    return None;
+                }
+                let hw = (x.shape[2] * x.shape[3]).max(1);
+                let m = (((1i64 << (16 + *frac_bits as i64)) as f64) / hw as f64).round();
+                let sum = x.range.scale(hw as i128);
+                let product = sum.scale(m as i128);
+                if !product.fits_i64() {
+                    self.uncertifiable(i, &name, "the pooling product leaves i64");
+                    return None;
+                }
+                let out = Interval::new(
+                    round_shift_i128(product.lo, 16),
+                    round_shift_i128(product.hi, 16),
+                );
+                if !out.fits_i32() {
+                    self.uncertifiable(i, &name, "the pooled output leaves i32");
+                    return None;
+                }
+                // Sum error ≤ hw·e_in through the multiplier, the
+                // reciprocal's rounding (≤ ½ raw) amplified by the sum, and
+                // the final rounding shift.
+                let err = 0.5 + (m / 65536.0) * hw as f64 * x.err + maxabs(sum) * 0.5 / 65536.0;
+                self.local = err - (m / 65536.0) * hw as f64 * x.err;
+                Some(EState {
+                    shape: vec![x.shape[0], x.shape[1]],
+                    range: out,
+                    err,
+                    scale: x.scale.map(|s| s / f64::from(1u32 << *frac_bits)),
+                })
+            }
+            IntOp::Flatten => {
+                let x = in0?;
+                if x.shape.is_empty() {
+                    self.uncertifiable(i, &name, "flatten input has rank 0");
+                    return None;
+                }
+                let rest: usize = x.shape.iter().skip(1).product();
+                Some(EState { shape: vec![x.shape[0], rest], ..x })
+            }
+            IntOp::PatchToTokens => {
+                let x = in0?;
+                if x.shape.len() != 4 {
+                    self.uncertifiable(i, &name, "patch_to_tokens input is not rank 4");
+                    return None;
+                }
+                Some(EState { shape: vec![x.shape[0], x.shape[2] * x.shape[3], x.shape[1]], ..x })
+            }
+            IntOp::ConcatToken { token } => {
+                let x = in0?;
+                if x.shape.len() != 3 || token.numel() != x.shape[2] {
+                    self.uncertifiable(i, &name, "the class token does not match the sequence");
+                    return None;
+                }
+                let (tmin, tmax) = slice_min_max(token.as_slice());
+                // The stored token stands for a real within ½ code.
+                let err = x.err.max(0.5);
+                self.local = 0.5;
+                Some(EState {
+                    shape: vec![x.shape[0], x.shape[1] + 1, x.shape[2]],
+                    range: x.range.union(Interval::new(tmin as i128, tmax as i128)),
+                    err,
+                    scale: x.scale,
+                })
+            }
+            IntOp::TakeToken { index } => {
+                let x = in0?;
+                if x.shape.len() != 3 || *index >= x.shape[1] {
+                    self.uncertifiable(i, &name, "token index out of range");
+                    return None;
+                }
+                Some(EState { shape: vec![x.shape[0], x.shape[2]], ..x })
+            }
+            IntOp::SplitHeads { heads } => {
+                let x = in0?;
+                if x.shape.len() != 3 || *heads == 0 || x.shape[2] % heads != 0 {
+                    self.uncertifiable(i, &name, "embedding dim does not split by head count");
+                    return None;
+                }
+                Some(EState {
+                    shape: vec![x.shape[0] * heads, x.shape[1], x.shape[2] / heads],
+                    ..x
+                })
+            }
+            IntOp::MergeHeads { heads } => {
+                let x = in0?;
+                if x.shape.len() != 3 || *heads == 0 || x.shape[0] % heads != 0 {
+                    self.uncertifiable(i, &name, "batch·head extent does not merge by head count");
+                    return None;
+                }
+                Some(EState {
+                    shape: vec![x.shape[0] / heads, x.shape[1], x.shape[2] * heads],
+                    ..x
+                })
+            }
+            IntOp::BmmRequant { transpose_rhs, m, out_spec } => {
+                let (a, b) = (in0?, in1?);
+                if a.shape.len() != 3 || b.shape.len() != 3 || a.shape[0] != b.shape[0] {
+                    self.uncertifiable(i, &name, "operands are not batched matrices");
+                    return None;
+                }
+                let (k, n_out, k_rhs) = if *transpose_rhs {
+                    (a.shape[2], b.shape[1], b.shape[2])
+                } else {
+                    (a.shape[2], b.shape[2], b.shape[1])
+                };
+                if k != k_rhs {
+                    self.uncertifiable(i, &name, "contraction extents differ");
+                    return None;
+                }
+                let product = a.range * b.range;
+                let envelope =
+                    Interval::new(product.lo.min(0) * k as i128, product.hi.max(0) * k as i128);
+                if !envelope.fits_i32() {
+                    self.uncertifiable(
+                        i,
+                        &name,
+                        "the bmm accumulator envelope leaves i32 — the saturating MAC array clips by an unbounded amount",
+                    );
+                    return None;
+                }
+                // Both operands are data tensors: error of a product of
+                // perturbed factors, summed over the contraction.
+                let e_acc =
+                    k as f64 * (maxabs(a.range) * b.err + maxabs(b.range) * a.err + a.err * b.err);
+                let acc = product.scale(k as i128);
+                let (mapped, e) = Self::fixed_edge(*m, acc, e_acc);
+                let ov = Self::overshoot(mapped, *out_spec);
+                let err = e + ov;
+                self.local = err - m.magnitude() * e_acc;
+                self.check_scale_amplification(
+                    i,
+                    &name,
+                    0.5 * m.format.step() * maxabs(acc),
+                    self.local,
+                );
+                Some(EState {
+                    shape: vec![a.shape[0], a.shape[1], n_out],
+                    range: mapped.clamp_to(*out_spec),
+                    err,
+                    scale: None,
+                })
+            }
+            IntOp::Requant { m, out_spec } => {
+                let x = in0?;
+                let (mapped, e) = Self::fixed_edge(*m, x.range, x.err);
+                let ov = Self::overshoot(mapped, *out_spec);
+                let err = e + ov;
+                self.local = err - m.magnitude() * x.err;
+                self.check_scale_amplification(
+                    i,
+                    &name,
+                    0.5 * m.format.step() * maxabs(x.range),
+                    self.local,
+                );
+                Some(EState { shape: x.shape, range: mapped.clamp_to(*out_spec), err, scale: None })
+            }
+            IntOp::LayerNorm(ln) => {
+                let x = in0?;
+                let Some(&d) = x.shape.last() else {
+                    self.uncertifiable(i, &name, "layer_norm input has rank 0");
+                    return None;
+                };
+                if ln.gamma_m.len() != d || ln.beta_b.len() != d {
+                    self.uncertifiable(
+                        i,
+                        &name,
+                        "gamma/beta lengths do not match the feature axis",
+                    );
+                    return None;
+                }
+                // Coarse, input-independent: both the int path and the
+                // grid-clamped reference land on the declared output grid,
+                // so their divergence is at most the grid width. This also
+                // *resets* the incoming error — normalization re-anchors
+                // the scale chain.
+                let err = ln.out_spec.width() as f64;
+                self.local = err;
+                Some(EState {
+                    shape: x.shape,
+                    range: Interval::of_spec(ln.out_spec),
+                    err,
+                    scale: None,
+                })
+            }
+            IntOp::SoftmaxLut(lut) => {
+                let x = in0?;
+                if lut.table.is_empty() {
+                    self.uncertifiable(i, &name, "the softmax exp table is empty");
+                    return None;
+                }
+                // Probabilities: both the int path and the reference live
+                // in [0, qmax] by construction, so the grid width is a
+                // sound, input-independent bound (and an error reset).
+                let err = lut.out_spec.qmax() as f64;
+                self.local = err;
+                self.check_lut_domination(i, &name, err, err);
+                Some(EState {
+                    shape: x.shape,
+                    range: Interval::new(0, lut.out_spec.qmax() as i128),
+                    err,
+                    scale: Some(f64::from(lut.out_scale())),
+                })
+            }
+            IntOp::GeluLut(lut) => {
+                let x = in0?;
+                let expected = lut.in_spec.width() as usize + 1;
+                if lut.table.len() < expected {
+                    self.uncertifiable(i, &name, "the GELU table does not cover the input grid");
+                    return None;
+                }
+                let out_scale = f64::from(lut.out_scale.max(f32::MIN_POSITIVE));
+                let in_scale = f64::from(lut.in_scale);
+                // Exact table error (entries vs the real gelu, clamp
+                // included) plus the incoming error and any out-of-domain
+                // overhang amplified by the GELU Lipschitz constant.
+                let overhang = Self::overshoot(x.range, lut.in_spec);
+                let table_steps = lut.max_table_error() / out_scale;
+                let amplified = GELU_LIPSCHITZ * (x.err + overhang) * in_scale.abs() / out_scale;
+                let err = table_steps + amplified;
+                self.local = table_steps + GELU_LIPSCHITZ * overhang * in_scale.abs() / out_scale;
+                self.check_lut_domination(i, &name, self.local, err);
+                let (tmin, tmax) = slice_min_max(&lut.table);
+                Some(EState {
+                    shape: x.shape,
+                    range: Interval::new(tmin as i128, tmax as i128),
+                    err,
+                    scale: Some(f64::from(lut.out_scale)),
+                })
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn linear_error(
+        &mut self,
+        i: usize,
+        name: &str,
+        weight: &Tensor<i32>,
+        bias: Option<&[i64]>,
+        requant: Option<&MulQuant>,
+        relu: bool,
+        x: EState,
+    ) -> Option<EState> {
+        let (out_f, in_f) = (weight.dim(0), weight.dim(1));
+        let Some(&last) = x.shape.last() else {
+            self.uncertifiable(i, name, "linear input has rank 0");
+            return None;
+        };
+        if x.shape.len() < 2 || x.shape.len() > 3 || last != in_f {
+            self.uncertifiable(i, name, "the weight does not match the input shape");
+            return None;
+        }
+        let (range, err) =
+            self.mac_error(i, name, weight, out_f, x.range, x.err, bias, requant, relu)?;
+        let mut shape = x.shape.clone();
+        *shape.last_mut().expect("non-empty") = out_f;
+        Some(EState { shape, range, err, scale: None })
+    }
+}
+
+fn conv_extent(h: usize, k: usize, stride: usize, padding: usize) -> Option<usize> {
+    if stride == 0 || k == 0 {
+        return None;
+    }
+    let padded = h + 2 * padding;
+    if k > padded {
+        return None;
+    }
+    Some((padded - k) / stride + 1)
+}
+
+fn round_shift_i128(v: i128, bits: u8) -> i128 {
+    if bits == 0 {
+        return v;
+    }
+    (v + (1i128 << (bits - 1))) >> bits
+}
+
+fn slice_min_max(s: &[i32]) -> (i32, i32) {
+    let mut it = s.iter();
+    let Some(&first) = it.next() else { return (0, 0) };
+    it.fold((first, first), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2c_core::zoo;
+    use t2c_core::FixedPointFormat;
+
+    fn ids(report: &LintReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.rule.id()).collect()
+    }
+
+    #[test]
+    fn tiny_mlp_gets_a_finite_certificate() {
+        let (m, dims) = zoo::tiny_mlp();
+        let (report, lint) = certify_model(&m, &dims, ErrorBoundConfig::default(), "mlp");
+        assert!(report.certified(), "bound must be finite:\n{}", report.to_text());
+        assert!(report.pass());
+        assert_eq!(lint.error_count(), 0, "{}", lint.to_text());
+        assert_eq!(report.per_layer.len(), m.len());
+        // Every layer bound is finite and the input quantizer contributes
+        // exactly its rounding half-step.
+        assert!(report.per_layer.iter().all(|l| l.steps.is_finite()));
+        assert!((report.per_layer[0].steps - 0.5).abs() < 1e-9);
+        // The input layer has a declared scale, so abs units exist there.
+        assert!(report.per_layer[0].abs.is_some());
+    }
+
+    #[test]
+    fn sparse_and_packed_variants_certify_close_to_dense() {
+        let (dense, dims) = zoo::tiny_mlp();
+        let (dr, _) = certify_model(&dense, &dims, ErrorBoundConfig::default(), "dense");
+        let (pruned, _) = zoo::tiny_mlp_pruned(0.8);
+        let (pr, pl) = certify_model(&pruned, &dims, ErrorBoundConfig::default(), "pruned");
+        assert!(pr.certified());
+        assert_eq!(pl.error_count(), 0);
+        // Pruning removes weights, so the pruned bound cannot exceed dense.
+        assert!(pr.end_to_end_steps <= dr.end_to_end_steps);
+        let (mut packed, _) = zoo::tiny_mlp();
+        assert!(packed.prepack() > 0);
+        let (kr, kl) = certify_model(&packed, &dims, ErrorBoundConfig::default(), "packed");
+        assert_eq!(kl.error_count(), 0);
+        // Packing is a layout change: identical certificate.
+        assert!((kr.end_to_end_steps - dr.end_to_end_steps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mis_scaled_requantizer_blows_the_budget_with_t2c602() {
+        let (clean, dims) = zoo::tiny_mlp();
+        let (clean_report, _) = certify_model(&clean, &dims, ErrorBoundConfig::default(), "clean");
+        let tolerance = clean_report.end_to_end_steps * 1.5;
+
+        let (mut bad, _) = zoo::tiny_mlp();
+        if let IntOp::Linear { requant: Some(mq), .. } = &mut bad.nodes[1].op {
+            for s in &mut mq.scale_raw {
+                *s *= 4;
+            }
+        } else {
+            unreachable!();
+        }
+        let cfg = ErrorBoundConfig { tolerance_steps: tolerance };
+        let (bad_report, bad_lint) = certify_model(&bad, &dims, cfg, "bad");
+        assert!(bad_report.certified());
+        assert!(bad_report.end_to_end_steps > tolerance, "{}", bad_report.to_text());
+        assert!(ids(&bad_lint).contains(&"T2C602"), "got {:?}", ids(&bad_lint));
+        let d = bad_lint.diagnostics.iter().find(|d| d.rule == Rule::ErrorBudgetExceeded).unwrap();
+        assert!(d.message.contains("fc1"), "must name the offending layer: {}", d.message);
+        // The clean model passes the same gate.
+        let (ok_report, ok_lint) = certify_model(&clean, &dims, cfg, "clean");
+        assert!(ok_report.pass());
+        assert_eq!(ok_lint.error_count(), 0);
+    }
+
+    #[test]
+    fn saturating_accumulator_is_uncertifiable_with_t2c601() {
+        use t2c_core::intmodel::Src;
+        use t2c_tensor::Tensor;
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::unsigned(8) }, vec![]);
+        m.push(
+            "hot",
+            IntOp::Linear {
+                weight: Tensor::from_vec(vec![1i32 << 24; 2], &[1, 2]).unwrap(),
+                bias: None,
+                requant: None,
+                relu: false,
+                weight_spec: QuantSpec::signed(31),
+            },
+            vec![Src::Input],
+        );
+        let (report, lint) = certify_model(&m, &[1, 2], ErrorBoundConfig::default(), "hot");
+        assert!(!report.certified());
+        assert!(ids(&lint).contains(&"T2C601"), "got {:?}", ids(&lint));
+        assert!(!report.pass());
+    }
+
+    #[test]
+    fn coarse_multiplier_on_wide_accumulator_warns_t2c604() {
+        use t2c_core::intmodel::Src;
+        use t2c_tensor::Tensor;
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        // INT(13, 3): step = 1/8, so the half-ulp term over a wide
+        // accumulator dwarfs the rounding terms.
+        m.push(
+            "coarse",
+            IntOp::Linear {
+                weight: Tensor::from_vec(vec![3i32; 256], &[1, 256]).unwrap(),
+                bias: None,
+                requant: Some(MulQuant::from_float(
+                    &[0.25],
+                    &[0.0],
+                    FixedPointFormat::int16_frac3(),
+                    QuantSpec::signed(16),
+                )),
+                relu: false,
+                weight_spec: QuantSpec::signed(3),
+            },
+            vec![Src::Input],
+        );
+        let (report, lint) = certify_model(&m, &[1, 256], ErrorBoundConfig::default(), "coarse");
+        assert!(report.certified());
+        assert!(ids(&lint).contains(&"T2C604"), "got {:?}", ids(&lint));
+    }
+
+    #[test]
+    fn manifest_cross_check_fires_t2c605_on_underclaimed_bound() {
+        let (m, dims) = zoo::tiny_mlp();
+        let (report, _) = certify_model(&m, &dims, ErrorBoundConfig::default(), "mlp");
+        let dir = std::env::temp_dir().join(format!("t2c_eb_605_{}", std::process::id()));
+        let mut manifest = t2c_export::export_package(&m, &dir).unwrap();
+        // An honest certificate passes the cross-check.
+        t2c_export::write_certified(&mut manifest, report.to_certified()).unwrap();
+        assert_eq!(lint_certified(&report, &manifest, "ok").error_count(), 0);
+        // A manifest claiming a tighter bound than certifiable fails.
+        let mut lying = manifest.clone();
+        lying.certified = Some(CertifiedError {
+            end_to_end_millisteps: report.end_to_end_millisteps() / 2,
+            tolerance_millisteps: u64::MAX,
+            layers: 3,
+        });
+        let r = lint_certified(&report, &lying, "lie");
+        assert!(ids(&r).contains(&"T2C605"), "got {:?}", ids(&r));
+        // A tolerance below the manifest's own bound is inconsistent too.
+        let mut tight = manifest.clone();
+        tight.certified = Some(CertifiedError {
+            end_to_end_millisteps: report.end_to_end_millisteps(),
+            tolerance_millisteps: report.end_to_end_millisteps().saturating_sub(1),
+            layers: 3,
+        });
+        assert_eq!(lint_certified(&report, &tight, "tight").error_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_zoo_certifies_finitely() {
+        for (tag, build) in t2c_core::zoo::zoo() {
+            let (model, dims) = build();
+            let (report, lint) = certify_model(&model, &dims, ErrorBoundConfig::default(), tag);
+            assert!(
+                report.certified(),
+                "{tag} must receive a finite bound:\n{}\n{}",
+                report.to_text(),
+                lint.to_text()
+            );
+            assert_eq!(lint.error_count(), 0, "{tag}: {}", lint.to_text());
+        }
+    }
+
+    #[test]
+    fn json_has_the_gate_keys_and_null_for_infinite() {
+        let (m, dims) = zoo::tiny_mlp();
+        let (report, _) = certify_model(&m, &dims, ErrorBoundConfig::default(), "mlp");
+        let json = report.to_json();
+        for key in ["version", "model", "per_layer", "end_to_end_steps", "tolerance", "pass"] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"pass\": true"));
+        // Infinite tolerance renders as null, keeping the JSON valid.
+        assert!(json.contains("\"tolerance\":null"));
+    }
+}

@@ -14,10 +14,12 @@ pub struct Interval {
 }
 
 impl Interval {
-    /// The interval `[lo, hi]`; panics in debug builds if `lo > hi`.
+    /// The interval containing both arguments. Endpoints are ordered, so
+    /// a swapped call site yields `[hi, lo]` reinterpreted as `[lo, hi]`
+    /// instead of an inverted interval that poisons every downstream
+    /// min/max.
     pub fn new(lo: i128, hi: i128) -> Self {
-        debug_assert!(lo <= hi, "interval [{lo}, {hi}] is empty");
-        Interval { lo, hi }
+        Interval { lo: lo.min(hi), hi: lo.max(hi) }
     }
 
     /// The single-point interval `[v, v]`.
@@ -41,10 +43,11 @@ impl Interval {
         Interval { lo: self.lo + v, hi: self.hi + v }
     }
 
-    /// Scales both endpoints by `k ≥ 0` (e.g. a MAC count).
+    /// Exact image under multiplication by `k` (e.g. a MAC count). A
+    /// negative `k` reflects the interval, so the endpoints swap.
     pub fn scale(self, k: i128) -> Interval {
-        debug_assert!(k >= 0);
-        Interval { lo: self.lo * k, hi: self.hi * k }
+        let (a, b) = (self.lo * k, self.hi * k);
+        Interval { lo: a.min(b), hi: a.max(b) }
     }
 
     /// Extends the interval to contain zero (zero-padding contributes
@@ -171,6 +174,29 @@ mod tests {
         assert_eq!(Interval::new(-4, 9).relu(), Interval::new(0, 9));
         assert_eq!(Interval::new(3, 9).include_zero(), Interval::new(0, 9));
         assert_eq!(Interval::new(-4, -1).include_zero(), Interval::new(-4, 0));
+    }
+
+    #[test]
+    fn new_orders_swapped_endpoints() {
+        assert_eq!(Interval::new(9, -4), Interval::new(-4, 9));
+        assert_eq!(Interval::new(5, 5), Interval::point(5));
+        // A swapped construction must still behave under every query.
+        let i = Interval::new(100, -100);
+        assert_eq!((i.lo, i.hi), (-100, 100));
+        assert_eq!(i.width(), 200);
+        assert!(i.include_zero() == i);
+    }
+
+    #[test]
+    fn scale_is_exact_for_negative_factors() {
+        let i = Interval::new(-2, 7);
+        assert_eq!(i.scale(3), Interval::new(-6, 21));
+        // Negative factor reflects: [-2, 7]·−3 = [-21, 6], not [6, -21].
+        let r = i.scale(-3);
+        assert_eq!((r.lo, r.hi), (-21, 6));
+        assert_eq!(i.scale(0), Interval::point(0));
+        // Agrees with exact interval multiplication by a point.
+        assert_eq!(i.scale(-3), i * Interval::point(-3));
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! 4. **Export cross-checks** ([`manifest`]) — an
 //!    [`t2c_export::ExportManifest`] must agree with the analyzed graph on
 //!    node names, element counts and bit widths.
+//! 5. **Quantization-error certification** ([`errorbound`]) — a second
+//!    abstract interpretation propagates a *sound* bound on
+//!    `|float_reference − dequant(int_value)|` per tensor, yielding a
+//!    per-layer and end-to-end [`ErrorReport`] plus the `T2C6xx` rule
+//!    family; `t2c-serve` gates admission on it and the runtime dual-path
+//!    audit doubles as its soundness canary.
 //!
 //! Every finding is a [`Diagnostic`] carrying a stable [`Rule`] id, a
 //! [`Severity`], the layer name and a fix hint. The `t2c-check` binary
@@ -34,12 +40,16 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod errorbound;
 pub mod interval;
 pub mod manifest;
 
 use std::fmt;
 
 pub use analyze::{lint_model, NodeSummary};
+pub use errorbound::{
+    certify_model, lint_certified, ErrorBoundConfig, ErrorReport, LayerErrorBound,
+};
 pub use interval::Interval;
 pub use manifest::lint_package;
 
@@ -81,8 +91,9 @@ impl fmt::Display for Severity {
 /// Numbering groups: `T2C0xx` graph well-formedness, `T2C1xx` integer
 /// overflow proofs, `T2C2xx` scale-chain consistency, `T2C3xx` LUT domain
 /// coverage, `T2C4xx` export cross-checks, `T2C5xx` sparse-layout
-/// integrity. DESIGN.md §6.7 documents what each rule proves and its
-/// severity policy.
+/// integrity, `T2C6xx` quantization-error certification. DESIGN.md §6.7
+/// documents what each rule proves and its severity policy (§6.11 for the
+/// error-certification family).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// T2C001 — the graph must start with a `Quantize` node.
@@ -148,6 +159,26 @@ pub enum Rule {
     /// actual stored-slot fraction, so size/speedup accounting derived
     /// from the declaration is wrong.
     SparsityMismatch,
+    /// T2C601 — the error certifier cannot bound a node's float↔int
+    /// divergence (analysis failed upstream, or a saturating accumulator
+    /// makes the divergence unbounded), so no end-to-end certificate
+    /// exists.
+    Uncertifiable,
+    /// T2C602 — the certified end-to-end error bound exceeds the
+    /// configured tolerance; the message names the worst-contributing
+    /// layer.
+    ErrorBudgetExceeded,
+    /// T2C603 — a LUT's local error (table entries plus domain clamping)
+    /// dominates the error budget at its node.
+    LutErrorDominates,
+    /// T2C604 — the half-ulp of a fixed-point multiplier, amplified by the
+    /// accumulator envelope, dominates a layer's local error: the scale
+    /// chain amplifies quantization error faster than rounding does.
+    ScaleErrorAmplification,
+    /// T2C605 — a package manifest's `certified_error` section is
+    /// inconsistent with the bound freshly certified from the model it
+    /// ships.
+    ManifestCertifiedMismatch,
 }
 
 impl Rule {
@@ -175,6 +206,11 @@ impl Rule {
             Rule::SparseMaskMismatch => "T2C501",
             Rule::NmConstraintViolation => "T2C502",
             Rule::SparsityMismatch => "T2C503",
+            Rule::Uncertifiable => "T2C601",
+            Rule::ErrorBudgetExceeded => "T2C602",
+            Rule::LutErrorDominates => "T2C603",
+            Rule::ScaleErrorAmplification => "T2C604",
+            Rule::ManifestCertifiedMismatch => "T2C605",
         }
     }
 }
@@ -501,6 +537,11 @@ mod tests {
             Rule::SparseMaskMismatch,
             Rule::NmConstraintViolation,
             Rule::SparsityMismatch,
+            Rule::Uncertifiable,
+            Rule::ErrorBudgetExceeded,
+            Rule::LutErrorDominates,
+            Rule::ScaleErrorAmplification,
+            Rule::ManifestCertifiedMismatch,
         ];
         let mut ids: Vec<&str> = all.iter().map(|r| r.id()).collect();
         ids.sort_unstable();

@@ -196,6 +196,7 @@ mod tests {
             model_file: PathBuf::from("pkg/model.t2cm"),
             hex_files: entries,
             sparse: Vec::new(),
+            certified: None,
             total_bytes: 0,
         }
     }

@@ -266,6 +266,12 @@ impl Drop for Timer {
 /// sampling decisions must stay deterministic whether or not a report is
 /// being captured. The gauge writes the caller makes remain gated as usual.
 ///
+/// The serving runtime layers a second use on top: when the audited model
+/// carries a static quantization-error certificate (DESIGN.md §6.11), the
+/// sampled dual-path check also compares observed absolute divergence
+/// against the certified bound, turning steady traffic into a soundness
+/// canary for the certifier itself (`serve.audit_certificate_violations`).
+///
 /// ```
 /// let audit = t2c_obs::SampledAudit::new(3);
 /// let fired: Vec<bool> = (0..6).map(|_| audit.should_sample()).collect();

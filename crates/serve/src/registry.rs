@@ -12,6 +12,15 @@
 //! Each admitted model also carries its runtime health: a panic counter
 //! fed by worker isolation and a poisoned flag (circuit breaker) that
 //! quarantines the model once the counter crosses the configured budget.
+//!
+//! Admission additionally runs the quantization-error certifier
+//! (`t2c_lint::certify_model`, DESIGN.md §6.11) and stores the certified
+//! end-to-end float↔int divergence bound on the [`AdmittedModel`] — the
+//! sampled dual-path audit uses it as a soundness canary. A registry
+//! built with [`ModelRegistry::with_error_tolerance`] turns the
+//! certificate into a gate: models whose certified bound exceeds the
+//! tolerance (or that are uncertifiable) are refused with the `T2C60x`
+//! rule naming the offending layer.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -20,7 +29,7 @@ use std::sync::{Arc, RwLock};
 
 use t2c_core::intmodel::IntOp;
 use t2c_core::{IntModel, QuantSpec};
-use t2c_lint::{lint_model, lint_package, LintReport, Severity};
+use t2c_lint::{certify_model, lint_model, lint_package, ErrorBoundConfig, LintReport, Severity};
 use t2c_tensor::Tensor;
 
 use crate::error::AdmissionError;
@@ -35,6 +44,7 @@ pub struct AdmittedModel {
     slot: usize,
     input_scale: f32,
     input_spec: QuantSpec,
+    certified_steps: Option<f64>,
     poisoned: AtomicBool,
     panics: AtomicU32,
 }
@@ -90,6 +100,15 @@ impl AdmittedModel {
         codes.map(|c| c as f32 * scale)
     }
 
+    /// The certified end-to-end error bound (final-output code units) the
+    /// model was admitted under, when admission could prove a finite one.
+    /// `None` for `admit_unchecked` models and uncertifiable graphs. The
+    /// sampled dual-path audit treats observed divergence beyond this
+    /// bound as a soundness violation (`serve.audit_certificate_violations`).
+    pub fn certified_error_steps(&self) -> Option<f64> {
+        self.certified_steps
+    }
+
     /// True once the panic circuit breaker tripped.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
@@ -116,6 +135,7 @@ impl AdmittedModel {
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: RwLock<Vec<Arc<AdmittedModel>>>,
+    error_tolerance: Option<f64>,
 }
 
 /// Error-level rule ids in first-occurrence order, deduplicated.
@@ -133,6 +153,15 @@ impl ModelRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry whose admission gate additionally enforces a
+    /// certified quantization-error budget: models whose certified
+    /// end-to-end bound exceeds `tolerance_steps` (in final-output code
+    /// units), or that are uncertifiable, are refused with the `T2C60x`
+    /// finding (T2C602 names the worst-contributing layer).
+    pub fn with_error_tolerance(tolerance_steps: f64) -> Self {
+        ModelRegistry { models: RwLock::new(Vec::new()), error_tolerance: Some(tolerance_steps) }
     }
 
     /// Admits an in-memory model through the lint gate.
@@ -153,7 +182,7 @@ impl ModelRegistry {
         input_dims: &[usize],
     ) -> Result<Arc<AdmittedModel>, AdmissionError> {
         let report = lint_model(&model, input_dims, name);
-        self.insert_gated(name, model, input_dims, report)
+        self.insert_gated(name, model, input_dims, report, true)
     }
 
     /// Admits a deployment package directory (as written by
@@ -175,7 +204,7 @@ impl ModelRegistry {
             t2c_export::read_package(dir).map_err(|e| AdmissionError::Package(e.to_string()))?;
         let mut report = lint_model(&model, input_dims, name);
         report.merge(lint_package(&model, &manifest, name));
-        self.insert_gated(name, model, input_dims, report)
+        self.insert_gated(name, model, input_dims, report, true)
     }
 
     /// Admits a model **without** running the lint gate. Escape hatch for
@@ -193,7 +222,7 @@ impl ModelRegistry {
         input_dims: &[usize],
     ) -> Result<Arc<AdmittedModel>, AdmissionError> {
         let report = LintReport { tag: name.to_string(), ..Default::default() };
-        self.insert_gated(name, model, input_dims, report)
+        self.insert_gated(name, model, input_dims, report, false)
     }
 
     fn insert_gated(
@@ -201,8 +230,25 @@ impl ModelRegistry {
         name: &str,
         mut model: IntModel,
         input_dims: &[usize],
-        report: LintReport,
+        mut report: LintReport,
+        certify: bool,
     ) -> Result<Arc<AdmittedModel>, AdmissionError> {
+        // Certify the float↔int divergence bound at admission: the walk is
+        // cheap (one interval pass) and the resulting bound feeds the
+        // dual-path audit's soundness canary even when no tolerance is
+        // configured. Its findings join the gate only when the registry
+        // was built with an error budget — a report-only default keeps
+        // existing admissions byte-identical.
+        let mut certified_steps = None;
+        if certify {
+            let cfg =
+                ErrorBoundConfig { tolerance_steps: self.error_tolerance.unwrap_or(f64::INFINITY) };
+            let (cert, cert_lint) = certify_model(&model, input_dims, cfg, name);
+            certified_steps = cert.certified().then_some(cert.end_to_end_steps);
+            if self.error_tolerance.is_some() {
+                report.merge(cert_lint);
+            }
+        }
         if report.error_count() > 0 {
             let first = report
                 .diagnostics
@@ -247,6 +293,7 @@ impl ModelRegistry {
             slot: models.len(),
             input_scale,
             input_spec,
+            certified_steps,
             poisoned: AtomicBool::new(false),
             panics: AtomicU32::new(0),
         });
@@ -365,6 +412,48 @@ mod tests {
         };
         assert!(rules.contains(&"T2C503"), "rules {rules:?} should name T2C503");
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn admission_stores_the_certified_error_bound() {
+        let reg = ModelRegistry::new();
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).unwrap();
+        let steps = admitted.certified_error_steps().expect("tiny_mlp certifies finitely");
+        assert!(steps.is_finite() && steps > 0.0);
+        // The escape hatch skips certification entirely.
+        let (m2, dims2) = zoo::tiny_mlp();
+        let raw = reg.admit_unchecked("mlp-raw", m2, &dims2).unwrap();
+        assert_eq!(raw.certified_error_steps(), None);
+    }
+
+    #[test]
+    fn error_tolerance_gate_refuses_a_mis_scaled_model_with_t2c602() {
+        // Derive the budget from the clean model's own certificate so the
+        // test tracks the zoo rather than a magic number.
+        let (clean, dims) = zoo::tiny_mlp();
+        let (clean_cert, _) =
+            t2c_lint::certify_model(&clean, &dims, t2c_lint::ErrorBoundConfig::default(), "clean");
+        let tolerance = clean_cert.end_to_end_steps * 1.5;
+        let reg = ModelRegistry::with_error_tolerance(tolerance);
+        reg.admit("mlp", clean, &dims).expect("clean model fits its own budget");
+
+        // A 4× mis-scaled fc1 requantizer passes the structural lint
+        // (T2C201 only warns) but blows the certified error budget.
+        let (mut bad, dims) = zoo::tiny_mlp();
+        let IntOp::Linear { requant: Some(mq), .. } = &mut bad.nodes[1].op else {
+            panic!("fc1 should be a requantized linear");
+        };
+        for s in &mut mq.scale_raw {
+            *s *= 4;
+        }
+        let err = reg.admit("mlp-bad", bad, &dims).unwrap_err();
+        let AdmissionError::LintGate { rules, first, .. } = err else {
+            panic!("expected LintGate rejection");
+        };
+        assert!(rules.contains(&"T2C602"), "rules {rules:?} should name T2C602");
+        assert!(first.contains("fc1"), "rejection should name the offending layer: {first}");
+        assert_eq!(reg.names(), vec!["mlp".to_string()]);
     }
 
     #[test]

@@ -29,8 +29,10 @@
 //! Observability (active under `T2C_PROFILE=1`): `serve.queue_depth`
 //! gauge, `serve.batch_rows` and `serve.latency_ns` histograms,
 //! `serve.rejected_busy` / `serve.deadline_exceeded` /
-//! `serve.worker_panics` / `serve.audit_runs` counters and the per-model
-//! `serve.<name>.dualpath_max_err` audit gauge. A small always-on
+//! `serve.worker_panics` / `serve.audit_runs` /
+//! `serve.audit_certificate_violations` counters and the per-model
+//! `serve.<name>.dualpath_max_err` audit and
+//! `serve.<name>.cert_violation_steps` canary gauges. A small always-on
 //! [`StatsSnapshot`] backs the load generator.
 
 use std::panic::AssertUnwindSafe;
@@ -146,11 +148,21 @@ struct ServeStats {
     batches: AtomicU64,
     batched_rows: AtomicU64,
     audits: AtomicU64,
+    audits_invalid: AtomicU64,
     max_audit_divergence_bits: AtomicU64,
 }
 
 impl ServeStats {
     fn note_audit(&self, divergence: f64) {
+        // A NaN or infinite divergence is an audit-path fault, not a
+        // measurement: folding it into the running maximum would either
+        // vanish (NaN bit patterns compare arbitrarily) or permanently
+        // poison the gauge. Count it separately and keep the maximum
+        // meaningful.
+        if !divergence.is_finite() {
+            self.audits_invalid.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.audits.fetch_add(1, Ordering::Relaxed);
         // Non-negative f64 bit patterns order like the floats themselves.
         let bits = divergence.max(0.0).to_bits();
@@ -175,6 +187,9 @@ pub struct StatsSnapshot {
     pub batched_rows: u64,
     /// Dual-path audits performed.
     pub audits: u64,
+    /// Audit measurements rejected for being non-finite (NaN/∞) — an
+    /// audit-path fault rather than a divergence observation.
+    pub audits_invalid: u64,
     /// Worst normalized integer-vs-float divergence seen by the audit.
     pub max_audit_divergence: f64,
 }
@@ -413,6 +428,7 @@ impl Server {
             batches: s.batches.load(Ordering::Relaxed),
             batched_rows: s.batched_rows.load(Ordering::Relaxed),
             audits: s.audits.load(Ordering::Relaxed),
+            audits_invalid: s.audits_invalid.load(Ordering::Relaxed),
             max_audit_divergence: f64::from_bits(
                 s.max_audit_divergence_bits.load(Ordering::Relaxed),
             ),
@@ -623,6 +639,14 @@ fn process_batch(shared: &Arc<Shared>, tickets: Vec<Ticket<Job>>) {
 /// batching-invariance or quantize-path fault; the worst normalized error
 /// lands in the `serve.<model>.dualpath_max_err` gauge and the stats
 /// snapshot.
+///
+/// The audit doubles as a soundness canary for the static error
+/// certificate the model was admitted under (DESIGN.md §6.11): the float
+/// path is one member of the reference family the certificate dominates,
+/// so observed absolute divergence (in final code units) beyond the
+/// certified bound means either the certifier or the kernels are wrong —
+/// it fires `serve.audit_certificate_violations` and the
+/// `serve.<model>.cert_violation_steps` gauge.
 fn audit_request(
     shared: &Arc<Shared>,
     model: &Arc<AdmittedModel>,
@@ -642,12 +666,21 @@ fn audit_request(
     };
     let divergence = if reference.dims() == served.dims() {
         let denom = reference.as_slice().iter().fold(1.0f64, |m, &v| m.max(f64::from(v).abs()));
-        reference
+        let abs_div = reference
             .as_slice()
             .iter()
             .zip(served.as_slice())
-            .fold(0.0f64, |m, (&a, &b)| m.max((f64::from(a) - f64::from(b)).abs()))
-            / denom
+            .fold(0.0f64, |m, (&a, &b)| m.max((f64::from(a) - f64::from(b)).abs()));
+        if let Some(bound) = model.certified_error_steps() {
+            if abs_div > bound {
+                t2c_obs::counter_add("serve.audit_certificate_violations", 1);
+                t2c_obs::gauge_set(
+                    &format!("serve.{}.cert_violation_steps", model.name()),
+                    abs_div - bound,
+                );
+            }
+        }
+        abs_div / denom
     } else {
         1.0
     };
@@ -882,6 +915,46 @@ mod tests {
             stats.max_audit_divergence, 0.0,
             "integer and float paths must agree on tiny_mlp"
         );
+    }
+
+    #[test]
+    fn note_audit_rejects_non_finite_divergence() {
+        let stats = ServeStats::default();
+        stats.note_audit(f64::NAN);
+        stats.note_audit(f64::INFINITY);
+        stats.note_audit(f64::NEG_INFINITY);
+        stats.note_audit(0.25);
+        assert_eq!(stats.audits.load(Ordering::Relaxed), 1, "only the finite sample counts");
+        assert_eq!(stats.audits_invalid.load(Ordering::Relaxed), 3);
+        let max = f64::from_bits(stats.max_audit_divergence_bits.load(Ordering::Relaxed));
+        assert_eq!(max, 0.25, "non-finite samples must not poison the maximum");
+    }
+
+    #[test]
+    fn audited_serving_stays_within_the_certified_error_bound() {
+        // The dual-path float reference is one member of the family the
+        // static certificate dominates: an audited run must never trip
+        // the certificate canary on a sound model.
+        let (reg, admitted) = mlp_registry();
+        let bound = admitted.certified_error_steps().expect("tiny_mlp certifies");
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 4, max_delay_ns: 200_000, queue_cap: 64 },
+            workers: 2,
+            audit_every: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(Arc::clone(&reg), cfg);
+        let handle = server.handle();
+        for i in 0..6 {
+            let codes = codes_for(&admitted, 1, i);
+            handle.infer("mlp", codes).unwrap();
+        }
+        let stats = server.shutdown();
+        assert!(stats.audits >= 6);
+        assert_eq!(stats.audits_invalid, 0);
+        // Zero observed divergence trivially sits under any finite bound,
+        // which is exactly what the canary asserts at runtime.
+        assert!(stats.max_audit_divergence <= bound);
     }
 
     #[test]

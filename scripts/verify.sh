@@ -13,6 +13,11 @@
 #   6. lint-models: t2c-check runs the static integer-pipeline verifier
 #      over the e2e model zoo + exported packages; any error-level
 #      finding fails the gate, and the JSON report must be schema-valid
+#   6b. error-bound: t2c-check --error-bound certifies a sound static
+#      float↔int divergence bound for every zoo model (all must be
+#      finite), round-trips each certificate through the package
+#      manifest (T2C605 cross-check) and emits a schema-valid
+#      error_bound.json
 #   7. serve_smoke: t2c-serve --smoke binds an ephemeral port and
 #      round-trips one request per zoo model over TCP against direct
 #      execution, then the loadgen sweep must demonstrate the batching
@@ -58,6 +63,14 @@ cargo run --release -q -p t2c-lint --bin t2c-check -- --json "$lint_report"
 for key in version tag summary findings nodes verdict; do
     grep -q "\"$key\"" "$lint_report" || { echo "missing key '$key' in $lint_report"; exit 1; }
 done
+
+echo "==> error-bound certification (t2c-check --error-bound)"
+eb_report=bench_results/error_bound.json
+cargo run --release -q -p t2c-lint --bin t2c-check -- --error-bound "$eb_report"
+for key in version model per_layer end_to_end_steps tolerance pass; do
+    grep -q "\"$key\"" "$eb_report" || { echo "missing key '$key' in $eb_report"; exit 1; }
+done
+grep -q '"pass": true' "$eb_report" || { echo "$eb_report did not pass"; exit 1; }
 
 echo "==> serve smoke (t2c-serve --smoke, ephemeral port)"
 cargo run --release -q -p t2c-serve --bin t2c-serve -- --smoke

@@ -19,7 +19,7 @@
 //! | [`export`] | `.t2cm` model files, hex/binary/decimal memory images |
 //! | [`accel`] | behavioural MAC-array accelerator simulator |
 //! | [`obs`] | opt-in profiling: counters, histograms, JSON reports (`T2C_PROFILE=1`) |
-//! | [`lint`] | static integer-pipeline verifier (`t2c-check` CLI) |
+//! | [`lint`] | static integer-pipeline verifier + quantization-error certifier (`t2c-check` CLI) |
 //! | [`serve`] | batched integer-inference serving runtime (`t2c-serve` binary) |
 //!
 //! ## The five-line workflow (paper §3.4)
@@ -73,8 +73,10 @@ pub mod prelude {
         FixedPointFormat, FuseScheme, IntModel, MulQuant, PathMode, QuantConfig, QuantSpec, T2C,
     };
     pub use t2c_data::{Augment, AugmentConfig, BatchIter, SynthVision, SynthVisionConfig};
-    pub use t2c_export::{export_package, verify_package};
-    pub use t2c_lint::{lint_model, lint_package, LintReport};
+    pub use t2c_export::{export_package, verify_package, CertifiedError};
+    pub use t2c_lint::{
+        certify_model, lint_model, lint_package, ErrorBoundConfig, ErrorReport, LintReport,
+    };
     pub use t2c_nn::models::{MobileNetConfig, MobileNetV1, ResNet, ResNetConfig, ViT, ViTConfig};
     pub use t2c_nn::Module;
     pub use t2c_optim::{AdamW, Optimizer, Sgd};
