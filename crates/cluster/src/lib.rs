@@ -1,0 +1,56 @@
+//! # t2c-cluster — the replicated, sharded serving tier
+//!
+//! `t2c-serve` hosts one lint-gated integer model runtime; this crate
+//! scales that out. A [`Cluster`] runs N independent serve replicas —
+//! each with its own admission-gated registry, micro-batcher and worker
+//! pool — behind a deterministic router:
+//!
+//! * **Placement** — a consistent-hash ring ([`HashRing`]) maps each
+//!   model name to R distinct holder replicas, as a pure function of
+//!   name + membership, so membership changes reshuffle placements
+//!   boundedly (proptest-verified in `tests/placement.rs`).
+//! * **Routing** — per-request the [`Router`] picks the healthy holder
+//!   with the fewest outstanding requests; health is fed from each
+//!   replica's [`t2c_serve::StatsSnapshot`] (queue depth, circuit-breaker
+//!   poisonings, deadline-miss/panic rate over a sliding window).
+//! * **Hedging** — once a model's latency sketch has warmed up, a slow
+//!   primary attempt gets a duplicate on another holder after a
+//!   p99-derived delay; first response wins and the loser is reaped.
+//! * **Rolling updates** — [`Cluster::update`] admits the new version
+//!   under a versioned internal name on fresh placements, flips the
+//!   route atomically, then evicts the old version; in-flight requests
+//!   complete on the version they were admitted against and no request
+//!   is refused during the flip.
+//! * **Transport** — the `t2c-cluster` binary speaks the same
+//!   length-prefixed TCP protocol as `t2c-serve`, so
+//!   [`t2c_serve::TcpClient`] works against a cluster unchanged.
+//!
+//! All placement/routing/health/hedge-delay logic lives in pure state
+//! machines driven by explicit `now_ns` values — tests advance a
+//! [`t2c_serve::FakeClock`] and assert without sleeping, in the same
+//! style as the serve crate's `MicroBatcher`.
+//!
+//! ```no_run
+//! use t2c_cluster::{Cluster, ClusterConfig};
+//!
+//! let cluster = Cluster::start(ClusterConfig { replicas: 4, ..ClusterConfig::default() });
+//! let (model, dims) = t2c_core::zoo::tiny_mlp();
+//! cluster.deploy("mlp", model, &dims).expect("lint gate");
+//! let codes: t2c_tensor::Tensor<i32> = t2c_tensor::Tensor::zeros(&dims);
+//! let logits = cluster.infer("mlp", codes).expect("routed");
+//! assert_eq!(logits.dims(), &[1, 10]);
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod ring;
+pub mod router;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterStats};
+pub use ring::HashRing;
+pub use router::{
+    HealthConfig, HedgeConfig, Pick, ReplicaObservation, RouteFlip, Router, RouterConfig,
+};

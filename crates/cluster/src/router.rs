@@ -1,0 +1,648 @@
+//! The cluster's routing brain: a pure state machine.
+//!
+//! Every decision — placement, health classification, load balancing,
+//! hedge timing, route flips — is a deterministic function of the
+//! router's state and an explicit `now_ns`, mirroring the serve
+//! `MicroBatcher` discipline: tests drive it with hand-picked
+//! timestamps and assert outcomes without sleeping. The cluster runtime
+//! (`crate::Cluster`) owns a `Mutex<Router>` and is the only place
+//! threads and clocks appear.
+//!
+//! Responsibilities:
+//!
+//! * **Placement** — each model maps to `replication` holders via the
+//!   consistent-hash [`HashRing`]; versioned routes re-place on the
+//!   *versioned* internal name, which is what gives rolling updates
+//!   fresh placements.
+//! * **Health** — per-replica health derives from the serve
+//!   [`StatsSnapshot`](t2c_serve::StatsSnapshot) deltas the runtime
+//!   feeds in: queue depth, circuit-breaker poisonings, and the
+//!   deadline-miss/panic rate over a sliding [`RateWindow`].
+//! * **Load balancing** — picks the least-outstanding healthy holder;
+//!   falls back to degraded (but not draining) holders rather than
+//!   refusing.
+//! * **Hedging** — after enough latency samples, the hedge delay is a
+//!   multiple of the route's observed p99; before that, a configured
+//!   default. The runtime fires the duplicate attempt; the router just
+//!   answers "when" and "where".
+
+use std::collections::BTreeMap;
+
+use t2c_obs::RateWindow;
+use t2c_serve::ServeError;
+
+use crate::ring::HashRing;
+
+/// Health thresholds for classifying a replica.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Queue depth above which a replica counts as degraded.
+    pub max_queue_depth: u64,
+    /// Bad-outcome rate (deadline misses + panics over completions)
+    /// above which a replica counts as degraded.
+    pub max_bad_rate: f64,
+    /// Sliding window the bad-outcome rate is measured over.
+    pub window_ns: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig { max_queue_depth: 64, max_bad_rate: 0.2, window_ns: 1_000_000_000 }
+    }
+}
+
+/// Hedged-request timing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgeConfig {
+    /// Latency samples a route needs before p99-based hedging kicks in.
+    pub min_samples: u64,
+    /// Hedge delay as a multiple of the route's p99 latency.
+    pub delay_factor: f64,
+    /// Floor on the computed hedge delay.
+    pub min_delay_ns: u64,
+    /// Delay used before `min_samples` observations (0 = don't hedge
+    /// until the p99 estimate exists).
+    pub default_delay_ns: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            min_samples: 64,
+            delay_factor: 1.0,
+            min_delay_ns: 200_000,
+            default_delay_ns: 0,
+        }
+    }
+}
+
+/// Router construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Holders per model (replication factor R).
+    pub replication: usize,
+    /// Virtual nodes per replica on the placement ring.
+    pub vnodes: usize,
+    /// Health thresholds.
+    pub health: HealthConfig,
+    /// Hedge timing.
+    pub hedge: HedgeConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replication: 2,
+            vnodes: 64,
+            health: HealthConfig::default(),
+            hedge: HedgeConfig::default(),
+        }
+    }
+}
+
+/// One replica's routing state.
+#[derive(Debug)]
+struct ReplicaState {
+    /// Draining replicas accept no new picks (kill / rolling restart).
+    draining: bool,
+    /// Requests routed here and not yet resolved.
+    outstanding: u64,
+    /// Last observed admission-queue depth.
+    queue_depth: u64,
+    /// Models currently quarantined by the replica's circuit breakers.
+    poisoned_models: u64,
+    /// Deadline misses + panics over completions, sliding.
+    bad: RateWindow,
+}
+
+impl ReplicaState {
+    fn new(window_ns: u64) -> Self {
+        ReplicaState {
+            draining: false,
+            outstanding: 0,
+            queue_depth: 0,
+            poisoned_models: 0,
+            bad: RateWindow::new(window_ns, 16),
+        }
+    }
+
+    fn healthy(&self, now_ns: u64, cfg: &HealthConfig) -> bool {
+        !self.draining
+            && self.poisoned_models == 0
+            && self.queue_depth <= cfg.max_queue_depth
+            && self.bad.rate(now_ns) <= cfg.max_bad_rate
+    }
+}
+
+/// Log2-bucketed latency sketch; p99 reads the bucket upper bound, which
+/// is the right bias for a hedge trigger (late rather than trigger-happy).
+#[derive(Debug, Clone)]
+struct LatencySketch {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        LatencySketch { buckets: [0; 64], count: 0 }
+    }
+}
+
+impl LatencySketch {
+    fn record(&mut self, latency_ns: u64) {
+        let b = (64 - latency_ns.leading_zeros() as usize).min(63);
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    fn p99_ns(&self) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (self.count as f64 * 0.99).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(1u64 << b.min(62));
+            }
+        }
+        None
+    }
+}
+
+/// A model's active route.
+#[derive(Debug)]
+struct Route {
+    /// Monotonic version, bumped by every flip.
+    version: u64,
+    /// The registry name holders actually admitted (`name@v{N}`).
+    internal: String,
+    /// Holder replicas in placement-preference order.
+    holders: Vec<usize>,
+    /// End-to-end latency observed for this route (all versions).
+    latency: LatencySketch,
+}
+
+/// What [`Router::pick`] hands the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pick {
+    /// Replica to submit to (its outstanding count is already bumped).
+    pub replica: usize,
+    /// Registry name to submit under on that replica.
+    pub internal: String,
+    /// Fire a duplicate attempt if the primary hasn't answered within
+    /// this budget; `None` disables hedging for this request.
+    pub hedge_delay_ns: Option<u64>,
+}
+
+/// Outcome summary of a route flip (rolling update).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteFlip {
+    /// The version now live.
+    pub version: u64,
+    /// Internal name the flip retired (to evict from old holders), if
+    /// the route existed before.
+    pub retired: Option<String>,
+    /// Holder set of the retired version.
+    pub retired_holders: Vec<usize>,
+}
+
+/// One observation of a replica's serve stats, as *deltas* since the
+/// previous observation (the runtime keeps the previous snapshot).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicaObservation {
+    /// Current admission-queue depth (a gauge, not a delta).
+    pub queue_depth: u64,
+    /// Requests completed since last observation.
+    pub completed: u64,
+    /// Deadlines missed since last observation.
+    pub deadline_missed: u64,
+    /// Worker panics since last observation.
+    pub panics: u64,
+    /// Models currently quarantined by circuit breakers (a gauge).
+    pub poisoned_models: u64,
+}
+
+/// The pure routing state machine. See the module docs.
+#[derive(Debug)]
+pub struct Router {
+    cfg: RouterConfig,
+    ring: HashRing,
+    replicas: BTreeMap<usize, ReplicaState>,
+    routes: BTreeMap<String, Route>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new(cfg: RouterConfig) -> Self {
+        Router {
+            ring: HashRing::new(cfg.vnodes),
+            cfg,
+            replicas: BTreeMap::new(),
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration the router runs under.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Adds a replica to the ring and recomputes every route's holders.
+    /// Returns `(model, internal, replica)` triples for placements the
+    /// runtime must now admit on replicas that don't hold them yet.
+    pub fn add_replica(&mut self, id: usize) -> Vec<(String, String, usize)> {
+        self.ring.add_replica(id);
+        self.replicas.entry(id).or_insert_with(|| ReplicaState::new(self.cfg.health.window_ns));
+        self.reseat_routes()
+    }
+
+    /// Removes a replica (kill or drain-complete): off the ring, out of
+    /// every holder set. Same return contract as [`Self::add_replica`] —
+    /// displaced placements the runtime must admit elsewhere.
+    pub fn remove_replica(&mut self, id: usize) -> Vec<(String, String, usize)> {
+        self.ring.remove_replica(id);
+        self.replicas.remove(&id);
+        self.reseat_routes()
+    }
+
+    /// The placements that would need admission if `id` were removed —
+    /// computed without mutating any route, so the runtime can admit
+    /// models onto their future holders *before* the routes flip over.
+    /// (Admission runs the lint gate, which is far too slow to hold a
+    /// route pointed at a holder that cannot serve yet.)
+    pub fn preview_remove(&self, id: usize) -> Vec<(String, String, usize)> {
+        let mut ring = self.ring.clone();
+        ring.remove_replica(id);
+        let mut needed = Vec::new();
+        for (model, route) in &self.routes {
+            let fresh = ring.place(&route.internal, self.cfg.replication);
+            for &r in &fresh {
+                if !route.holders.contains(&r) {
+                    needed.push((model.clone(), route.internal.clone(), r));
+                }
+            }
+        }
+        needed
+    }
+
+    /// Marks a replica as draining: it keeps its in-flight work but
+    /// receives no new picks. The ring is untouched until
+    /// [`Self::remove_replica`].
+    pub fn set_draining(&mut self, id: usize, draining: bool) {
+        if let Some(r) = self.replicas.get_mut(&id) {
+            r.draining = draining;
+        }
+    }
+
+    /// Replica ids currently registered.
+    pub fn replica_ids(&self) -> Vec<usize> {
+        self.replicas.keys().copied().collect()
+    }
+
+    /// Re-derives each route's holders from the ring; collects
+    /// placements that need admission (holder doesn't match old set).
+    fn reseat_routes(&mut self) -> Vec<(String, String, usize)> {
+        let mut needed = Vec::new();
+        for (model, route) in &mut self.routes {
+            let fresh = self.ring.place(&route.internal, self.cfg.replication);
+            for &r in &fresh {
+                if !route.holders.contains(&r) {
+                    needed.push((model.clone(), route.internal.clone(), r));
+                }
+            }
+            route.holders = fresh;
+        }
+        needed
+    }
+
+    /// Where a (versioned) internal name would be placed right now —
+    /// the runtime admits the model there *before* flipping the route.
+    pub fn plan_placement(&self, internal: &str) -> Vec<usize> {
+        self.ring.place(internal, self.cfg.replication)
+    }
+
+    /// Atomically points `model` at `internal` (freshly placed): picks
+    /// issued after this call route to the new version, picks already
+    /// issued complete against the old one. Returns what was retired so
+    /// the runtime can evict it from the old holders.
+    pub fn flip_route(&mut self, model: &str, internal: String) -> RouteFlip {
+        let holders = self.ring.place(&internal, self.cfg.replication);
+        match self.routes.get_mut(model) {
+            Some(route) => {
+                let retired = std::mem::replace(&mut route.internal, internal);
+                let retired_holders = std::mem::replace(&mut route.holders, holders);
+                route.version += 1;
+                RouteFlip { version: route.version, retired: Some(retired), retired_holders }
+            }
+            None => {
+                self.routes.insert(
+                    model.to_string(),
+                    Route { version: 1, internal, holders, latency: LatencySketch::default() },
+                );
+                RouteFlip { version: 1, retired: None, retired_holders: Vec::new() }
+            }
+        }
+    }
+
+    /// The model's current holder set (placement-preference order).
+    pub fn holders(&self, model: &str) -> Option<&[usize]> {
+        self.routes.get(model).map(|r| r.holders.as_slice())
+    }
+
+    /// The model's current internal (versioned) registry name.
+    pub fn internal_name(&self, model: &str) -> Option<&str> {
+        self.routes.get(model).map(|r| r.internal.as_str())
+    }
+
+    /// The model's current route version.
+    pub fn route_version(&self, model: &str) -> Option<u64> {
+        self.routes.get(model).map(|r| r.version)
+    }
+
+    /// Routed model names.
+    pub fn models(&self) -> Vec<String> {
+        self.routes.keys().cloned().collect()
+    }
+
+    /// Folds one stats observation into a replica's health state.
+    pub fn observe(&mut self, id: usize, obs: ReplicaObservation, now_ns: u64) {
+        if let Some(r) = self.replicas.get_mut(&id) {
+            r.queue_depth = obs.queue_depth;
+            r.poisoned_models = obs.poisoned_models;
+            let bad = obs.deadline_missed + obs.panics;
+            r.bad.record_many(now_ns, obs.completed + bad, bad);
+        }
+    }
+
+    /// True when the replica currently classifies as healthy.
+    pub fn is_healthy(&self, id: usize, now_ns: u64) -> bool {
+        self.replicas.get(&id).is_some_and(|r| r.healthy(now_ns, &self.cfg.health))
+    }
+
+    /// Least-outstanding holder among `candidates` that passes `admit`.
+    fn least_outstanding(
+        &self,
+        candidates: &[usize],
+        admit: impl Fn(&ReplicaState) -> bool,
+    ) -> Option<usize> {
+        candidates
+            .iter()
+            .filter_map(|&id| self.replicas.get(&id).filter(|r| admit(r)).map(|r| (id, r)))
+            .min_by_key(|&(id, r)| (r.outstanding, id))
+            .map(|(id, _)| id)
+    }
+
+    /// Routes one request: least-outstanding among *healthy* holders,
+    /// degraded-but-not-draining holders as the fallback. Bumps the
+    /// chosen replica's outstanding count — every `Ok` pick must be
+    /// paired with exactly one [`Self::note_result`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelNotFound`] for unrouted models;
+    /// [`ServeError::ShuttingDown`] when no live (non-draining) holder
+    /// remains.
+    pub fn pick(&mut self, model: &str, now_ns: u64) -> Result<Pick, ServeError> {
+        let route =
+            self.routes.get(model).ok_or_else(|| ServeError::ModelNotFound(model.to_string()))?;
+        let holders = route.holders.clone();
+        let internal = route.internal.clone();
+        let hedge_delay_ns = self.hedge_delay(model);
+        let health = self.cfg.health;
+        let chosen = self
+            .least_outstanding(&holders, |r| r.healthy(now_ns, &health))
+            .or_else(|| self.least_outstanding(&holders, |r| !r.draining))
+            .ok_or(ServeError::ShuttingDown)?;
+        if let Some(r) = self.replicas.get_mut(&chosen) {
+            r.outstanding += 1;
+        }
+        Ok(Pick { replica: chosen, internal, hedge_delay_ns })
+    }
+
+    /// Routes the duplicate (hedge) attempt: best holder excluding the
+    /// primary, healthy first, degraded fallback. Bumps outstanding like
+    /// [`Self::pick`]; `None` when no second holder is live.
+    pub fn pick_hedge(&mut self, model: &str, exclude: usize, now_ns: u64) -> Option<Pick> {
+        let route = self.routes.get(model)?;
+        let holders: Vec<usize> = route.holders.iter().copied().filter(|&h| h != exclude).collect();
+        let internal = route.internal.clone();
+        let health = self.cfg.health;
+        let chosen = self
+            .least_outstanding(&holders, |r| r.healthy(now_ns, &health))
+            .or_else(|| self.least_outstanding(&holders, |r| !r.draining))?;
+        if let Some(r) = self.replicas.get_mut(&chosen) {
+            r.outstanding += 1;
+        }
+        Some(Pick { replica: chosen, internal, hedge_delay_ns: None })
+    }
+
+    /// Resolves a pick: drops the replica's outstanding count and, when
+    /// the attempt produced a latency sample, feeds the route's sketch.
+    pub fn note_result(&mut self, model: &str, replica: usize, latency_ns: Option<u64>) {
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.outstanding = r.outstanding.saturating_sub(1);
+        }
+        if let (Some(route), Some(lat)) = (self.routes.get_mut(model), latency_ns) {
+            route.latency.record(lat);
+        }
+    }
+
+    /// The hedge delay currently in force for a route: `delay_factor ×
+    /// p99` (floored at `min_delay_ns`) once `min_samples` latencies are
+    /// in, the configured default before that, `None` when hedging is
+    /// effectively off.
+    pub fn hedge_delay(&self, model: &str) -> Option<u64> {
+        let route = self.routes.get(model)?;
+        let h = &self.cfg.hedge;
+        if route.latency.count >= h.min_samples.max(1) {
+            let p99 = route.latency.p99_ns()?;
+            let scaled = (p99 as f64 * h.delay_factor) as u64;
+            Some(scaled.max(h.min_delay_ns))
+        } else if h.default_delay_ns > 0 {
+            Some(h.default_delay_ns)
+        } else {
+            None
+        }
+    }
+
+    /// A replica's current outstanding-request count (0 for unknown ids).
+    pub fn outstanding(&self, id: usize) -> u64 {
+        self.replicas.get(&id).map_or(0, |r| r.outstanding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(n: usize, replication: usize) -> Router {
+        let mut r = Router::new(RouterConfig {
+            replication,
+            vnodes: 64,
+            health: HealthConfig::default(),
+            hedge: HedgeConfig::default(),
+        });
+        for id in 0..n {
+            r.add_replica(id);
+        }
+        r
+    }
+
+    #[test]
+    fn pick_balances_by_outstanding_among_holders() {
+        let mut r = router(4, 3);
+        r.flip_route("mlp", "mlp@v1".into());
+        let holders = r.holders("mlp").unwrap().to_vec();
+        assert_eq!(holders.len(), 3);
+        // Three picks with no completions spread over all three holders.
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            seen.push(r.pick("mlp", 0).unwrap().replica);
+        }
+        seen.sort_unstable();
+        let mut want = holders.clone();
+        want.sort_unstable();
+        assert_eq!(seen, want, "least-outstanding must rotate across idle holders");
+        // Resolving one frees that replica to be picked again first.
+        r.note_result("mlp", holders[1], Some(1_000));
+        assert_eq!(r.pick("mlp", 0).unwrap().replica, holders[1]);
+        assert!(matches!(r.pick("ghost", 0), Err(ServeError::ModelNotFound(_))));
+    }
+
+    #[test]
+    fn unhealthy_holders_are_skipped_and_degraded_is_last_resort() {
+        let mut r = router(4, 2);
+        r.flip_route("mlp", "mlp@v1".into());
+        let holders = r.holders("mlp").unwrap().to_vec();
+        // Poisoned breaker on the first holder: picks avoid it.
+        r.observe(
+            holders[0],
+            ReplicaObservation { poisoned_models: 1, ..ReplicaObservation::default() },
+            0,
+        );
+        for _ in 0..3 {
+            assert_eq!(r.pick("mlp", 0).unwrap().replica, holders[1]);
+        }
+        // Second holder degrades too (deep queue): degraded beats refusing.
+        r.observe(
+            holders[1],
+            ReplicaObservation { queue_depth: 1_000, ..ReplicaObservation::default() },
+            0,
+        );
+        assert!(holders.contains(&r.pick("mlp", 0).unwrap().replica));
+        // Draining both: now the router refuses.
+        r.set_draining(holders[0], true);
+        r.set_draining(holders[1], true);
+        assert!(matches!(r.pick("mlp", 0), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn bad_rate_degrades_health_and_recovers_as_the_window_slides() {
+        let mut r = router(2, 2);
+        r.flip_route("mlp", "mlp@v1".into());
+        let id = r.holders("mlp").unwrap()[0];
+        let w = r.config().health.window_ns;
+        // 50% deadline misses — way over the 20% threshold.
+        r.observe(
+            id,
+            ReplicaObservation { completed: 5, deadline_missed: 5, ..Default::default() },
+            0,
+        );
+        assert!(!r.is_healthy(id, 0));
+        // A window later the misses have aged out.
+        assert!(r.is_healthy(id, w * 2));
+    }
+
+    #[test]
+    fn hedge_delay_tracks_p99_after_warmup() {
+        let mut r = router(2, 2);
+        r.flip_route("mlp", "mlp@v1".into());
+        assert_eq!(r.hedge_delay("mlp"), None, "no default, no samples → no hedging");
+        let replica = r.holders("mlp").unwrap()[0];
+        // 100 samples around ~1µs, one 4ms straggler: p99 sits in the
+        // straggler-free region, and the delay floors at min_delay_ns.
+        for _ in 0..100 {
+            let p = r.pick("mlp", 0).unwrap();
+            r.note_result("mlp", p.replica, Some(1_000));
+        }
+        r.note_result("mlp", replica, Some(4_000_000));
+        let d = r.hedge_delay("mlp").unwrap();
+        assert!(d >= r.config().hedge.min_delay_ns, "delay {d} must respect the floor");
+        assert!(d <= 4_000_000, "p99 must not be dominated by the single straggler");
+        // Picks now carry the hedge budget.
+        let p = r.pick("mlp", 0).unwrap();
+        assert_eq!(p.hedge_delay_ns, Some(d));
+    }
+
+    #[test]
+    fn pick_hedge_excludes_the_primary_and_may_fail() {
+        let mut r = router(2, 2);
+        r.flip_route("mlp", "mlp@v1".into());
+        let p = r.pick("mlp", 0).unwrap();
+        let h = r.pick_hedge("mlp", p.replica, 0).expect("second holder exists");
+        assert_ne!(h.replica, p.replica);
+        // With the only other holder draining, no hedge target remains.
+        r.set_draining(h.replica, true);
+        r.note_result("mlp", h.replica, None);
+        assert!(r.pick_hedge("mlp", p.replica, 0).is_none());
+    }
+
+    #[test]
+    fn rolling_flip_is_atomic_with_zero_refused_picks() {
+        // The FakeClock-style zero-refusal property: at every instant
+        // around the flip, pick() succeeds — v1 before, v2 after, nothing
+        // in between.
+        let mut r = router(4, 2);
+        let f1 = r.flip_route("mlp", "mlp@v1".into());
+        assert_eq!((f1.version, f1.retired), (1, None));
+        let mut now = 0u64;
+        for _ in 0..10 {
+            let p = r.pick("mlp", now).unwrap();
+            assert_eq!(p.internal, "mlp@v1");
+            r.note_result("mlp", p.replica, Some(1_000));
+            now += 1_000;
+        }
+        // Leave one v1 request in flight across the flip.
+        let inflight = r.pick("mlp", now).unwrap();
+        assert_eq!(inflight.internal, "mlp@v1");
+        let f2 = r.flip_route("mlp", "mlp@v2".into());
+        assert_eq!(f2.version, 2);
+        assert_eq!(f2.retired.as_deref(), Some("mlp@v1"));
+        assert_eq!(r.plan_placement("mlp@v2"), r.holders("mlp").unwrap());
+        // Every post-flip pick is v2 and succeeds.
+        for _ in 0..10 {
+            let p = r.pick("mlp", now).unwrap();
+            assert_eq!(p.internal, "mlp@v2");
+            r.note_result("mlp", p.replica, Some(1_000));
+            now += 1_000;
+        }
+        // The in-flight v1 pick resolves normally after the flip.
+        r.note_result("mlp", inflight.replica, Some(5_000));
+        for id in r.replica_ids() {
+            assert_eq!(r.outstanding(id), 0, "all picks were paired with results");
+        }
+    }
+
+    #[test]
+    fn membership_changes_report_placements_needing_admission() {
+        let mut r = router(3, 2);
+        r.flip_route("mlp", "mlp@v1".into());
+        let before = r.holders("mlp").unwrap().to_vec();
+        // Removing a holder displaces its placement onto a survivor.
+        let needed = r.remove_replica(before[0]);
+        let after = r.holders("mlp").unwrap().to_vec();
+        assert!(!after.contains(&before[0]));
+        assert_eq!(after.len(), 2);
+        for (model, internal, replica) in &needed {
+            assert_eq!((model.as_str(), internal.as_str()), ("mlp", "mlp@v1"));
+            assert!(after.contains(replica) && !before.contains(replica));
+        }
+        // Adding it back may reclaim placements; reported the same way.
+        let reseated = r.add_replica(before[0]);
+        for (_, _, replica) in &reseated {
+            assert!(r.holders("mlp").unwrap().contains(replica));
+        }
+    }
+}

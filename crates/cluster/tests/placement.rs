@@ -1,0 +1,134 @@
+//! Property-based tests: consistent-hash placement invariants.
+//!
+//! Placement must be a pure function of model name + ring membership,
+//! and membership changes must reshuffle placements *boundedly* — these
+//! are the properties that make rolling membership changes cheap (at
+//! most one model copy moves per placement per membership event).
+
+use proptest::prelude::*;
+use t2c_cluster::HashRing;
+
+/// Builds a ring over the given replica ids (deduplicated by the ring).
+fn ring_of(ids: &[usize], vnodes: usize) -> HashRing {
+    let mut ring = HashRing::new(vnodes);
+    for &id in ids {
+        ring.add_replica(id);
+    }
+    ring
+}
+
+/// True when `survivors` appear in `after` in the same relative order.
+fn order_preserved(survivors: &[usize], after: &[usize]) -> bool {
+    let positions: Vec<usize> =
+        survivors.iter().filter_map(|s| after.iter().position(|a| a == s)).collect();
+    positions.len() == survivors.len() && positions.windows(2).all(|w| w[0] < w[1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn placement_is_deterministic_and_distinct(
+        ids in proptest::collection::vec(0usize..32, 1..10),
+        model_seed in 0u32..1000,
+        r in 1usize..5,
+    ) {
+        let ring = ring_of(&ids, 48);
+        let model = format!("model-{model_seed}");
+        let a = ring.place(&model, r);
+        let b = ring.place(&model, r);
+        prop_assert_eq!(&a, &b, "placement must be pure");
+        prop_assert_eq!(a.len(), r.min(ring.len()), "holder count is min(r, members)");
+        for (i, x) in a.iter().enumerate() {
+            prop_assert!(!a[..i].contains(x), "holders must be distinct");
+            prop_assert!(ring.members().contains(x), "holders must be members");
+        }
+    }
+
+    #[test]
+    fn adding_a_replica_reshuffles_boundedly(
+        ids in proptest::collection::vec(0usize..32, 1..10),
+        new_id in 32usize..40,
+        model_seed in 0u32..1000,
+        r in 1usize..5,
+    ) {
+        let ring = ring_of(&ids, 48);
+        let model = format!("model-{model_seed}");
+        let before = ring.place(&model, r);
+        let mut grown = ring.clone();
+        grown.add_replica(new_id);
+        let after = grown.place(&model, r);
+
+        // Every new holder was an old holder or IS the new replica —
+        // an add never shuffles placement onto unrelated replicas.
+        for h in &after {
+            prop_assert!(
+                before.contains(h) || *h == new_id,
+                "add introduced unrelated holder {h}: {before:?} -> {after:?}"
+            );
+        }
+        // Old holders that survive keep their relative preference order.
+        let survivors: Vec<usize> =
+            before.iter().copied().filter(|h| after.contains(h)).collect();
+        prop_assert!(
+            order_preserved(&survivors, &after),
+            "survivor order changed: {before:?} -> {after:?}"
+        );
+        // At most one old holder is displaced (the new replica can claim
+        // at most its own slot in the preference list).
+        let displaced = before.iter().filter(|h| !after.contains(h)).count();
+        prop_assert!(displaced <= 1, "add displaced {displaced} holders: {before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn removing_a_replica_reshuffles_boundedly(
+        ids in proptest::collection::vec(0usize..32, 2..10),
+        victim_idx in 0usize..10,
+        model_seed in 0u32..1000,
+        r in 1usize..5,
+    ) {
+        let ring = ring_of(&ids, 48);
+        let members = ring.members();
+        let victim = members[victim_idx % members.len()];
+        let model = format!("model-{model_seed}");
+        let before = ring.place(&model, r);
+        let mut shrunk = ring.clone();
+        shrunk.remove_replica(victim);
+        let after = shrunk.place(&model, r);
+
+        // Surviving old holders stay, in order, as a prefix subsequence;
+        // at most one fresh replica is appended to restore R.
+        let survivors: Vec<usize> =
+            before.iter().copied().filter(|&h| h != victim).collect();
+        prop_assert!(
+            order_preserved(&survivors, &after),
+            "survivor order changed: {before:?} -> {after:?} (removed {victim})"
+        );
+        let fresh = after.iter().filter(|h| !before.contains(h)).count();
+        prop_assert!(
+            fresh <= 1,
+            "remove introduced {fresh} fresh holders: {before:?} -> {after:?} (removed {victim})"
+        );
+        // If the victim held the model and capacity remains, the holder
+        // count is restored.
+        prop_assert_eq!(after.len(), r.min(shrunk.len()));
+    }
+
+    #[test]
+    fn membership_round_trip_restores_placement(
+        ids in proptest::collection::vec(0usize..32, 1..10),
+        extra in 32usize..40,
+        model_seed in 0u32..1000,
+        r in 1usize..5,
+    ) {
+        // add(x) then remove(x) is placement-neutral: the ring is a pure
+        // function of its membership set, not of membership history.
+        let ring = ring_of(&ids, 48);
+        let model = format!("model-{model_seed}");
+        let before = ring.place(&model, r);
+        let mut churned = ring.clone();
+        churned.add_replica(extra);
+        churned.remove_replica(extra);
+        prop_assert_eq!(before, churned.place(&model, r));
+    }
+}

@@ -37,7 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rate;
 pub mod report;
+
+pub use rate::RateWindow;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -1,0 +1,133 @@
+//! Sliding-window event-rate estimation.
+//!
+//! [`RateWindow`] answers "what fraction of recent events were hits?" —
+//! e.g. the deadline-miss rate a cluster router feeds into replica
+//! health. It is a pure state machine over an explicit `now_ns` (the
+//! same discipline as the serve `MicroBatcher`): no clocks, no threads,
+//! no sleeps in tests. Callers needing sharing wrap it in their own
+//! mutex; the router keeps one per replica under its state lock.
+
+/// A bucketed sliding window counting events and hits over the trailing
+/// `window_ns`. Granularity is `window_ns / buckets`; expired buckets are
+/// lazily recycled on the next touch, so memory is fixed at construction.
+#[derive(Debug, Clone)]
+pub struct RateWindow {
+    bucket_ns: u64,
+    /// Per-bucket `(epoch, events, hits)`; a bucket is live only while
+    /// its stored epoch matches the epoch `now_ns` maps it to.
+    buckets: Vec<(u64, u64, u64)>,
+}
+
+impl RateWindow {
+    /// A window covering the trailing `window_ns`, split into `buckets`
+    /// slices (both forced to at least 1).
+    pub fn new(window_ns: u64, buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        RateWindow {
+            bucket_ns: (window_ns / buckets as u64).max(1),
+            buckets: vec![(u64::MAX, 0, 0); buckets],
+        }
+    }
+
+    fn slot(&self, now_ns: u64) -> (usize, u64) {
+        let epoch = now_ns / self.bucket_ns;
+        ((epoch % self.buckets.len() as u64) as usize, epoch)
+    }
+
+    /// Records one event at `now_ns`; `hit` marks it as counting toward
+    /// the rate's numerator (a miss, a failure — whatever is tracked).
+    pub fn record(&mut self, now_ns: u64, hit: bool) {
+        let (i, epoch) = self.slot(now_ns);
+        let b = &mut self.buckets[i];
+        if b.0 != epoch {
+            *b = (epoch, 0, 0);
+        }
+        b.1 += 1;
+        b.2 += u64::from(hit);
+    }
+
+    /// Records `events` events at once, `hits` of them counting toward
+    /// the numerator — the delta-feeding form for callers that observe
+    /// counters rather than individual events.
+    pub fn record_many(&mut self, now_ns: u64, events: u64, hits: u64) {
+        if events == 0 {
+            return;
+        }
+        let (i, epoch) = self.slot(now_ns);
+        let b = &mut self.buckets[i];
+        if b.0 != epoch {
+            *b = (epoch, 0, 0);
+        }
+        b.1 += events;
+        b.2 += hits.min(events);
+    }
+
+    /// Events and hits inside the window ending at `now_ns`.
+    pub fn totals(&self, now_ns: u64) -> (u64, u64) {
+        let live_from = (now_ns / self.bucket_ns).saturating_sub(self.buckets.len() as u64 - 1);
+        self.buckets
+            .iter()
+            .filter(|b| b.0 != u64::MAX && b.0 >= live_from && b.0 <= now_ns / self.bucket_ns)
+            .fold((0, 0), |(e, h), b| (e + b.1, h + b.2))
+    }
+
+    /// Hit fraction over the window ending at `now_ns`; `0.0` when no
+    /// events are in the window (an idle replica is presumed healthy).
+    pub fn rate(&self, now_ns: u64) -> f64 {
+        let (events, hits) = self.totals(now_ns);
+        if events == 0 {
+            0.0
+        } else {
+            hits as f64 / events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_tracks_hits_inside_the_window() {
+        let mut w = RateWindow::new(1_000, 10);
+        assert_eq!(w.rate(0), 0.0, "empty window reads healthy");
+        for t in 0..10 {
+            w.record(t * 100, t % 2 == 0);
+        }
+        assert_eq!(w.totals(950), (10, 5));
+        assert!((w.rate(950) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn old_events_age_out_as_time_advances() {
+        let mut w = RateWindow::new(1_000, 10);
+        for t in 0..5 {
+            w.record(t * 100, true); // 5 misses early in the window
+        }
+        assert_eq!(w.rate(450), 1.0);
+        // 2 windows later the misses are gone without any new writes.
+        assert_eq!(w.totals(2_500), (0, 0));
+        assert_eq!(w.rate(2_500), 0.0);
+        // New clean traffic after the gap reads clean, and the recycled
+        // buckets don't resurrect the old counts.
+        for t in 0..5 {
+            w.record(3_000 + t * 100, false);
+        }
+        assert_eq!(w.totals(3_450), (5, 0));
+        assert_eq!(w.rate(3_450), 0.0);
+    }
+
+    #[test]
+    fn partial_expiry_keeps_only_the_trailing_window() {
+        let mut w = RateWindow::new(1_000, 10);
+        w.record(50, true); // bucket 0
+        w.record(950, false); // bucket 9
+                              // At t=1_600 the window is (600, 1_600]: bucket 0's epoch-0 entry
+                              // is out, bucket 9 is still in.
+        assert_eq!(w.totals(1_600), (1, 0));
+        // Degenerate configs stay sane.
+        let mut tiny = RateWindow::new(0, 0);
+        tiny.record(5, true);
+        assert_eq!(tiny.rate(5), 1.0);
+    }
+}

@@ -30,6 +30,8 @@ pub enum AdmissionError {
     },
     /// A model with this name is already admitted.
     Duplicate(String),
+    /// No admitted model under this name (swap target missing).
+    NotFound(String),
     /// The model or its declared input shape is structurally unusable
     /// (no leading `Quantize` node, empty dims, batch axis missing).
     BadModel(String),
@@ -47,6 +49,9 @@ impl fmt::Display for AdmissionError {
             ),
             AdmissionError::Duplicate(name) => {
                 write!(f, "model '{name}' is already admitted")
+            }
+            AdmissionError::NotFound(name) => {
+                write!(f, "no admitted model named '{name}'")
             }
             AdmissionError::BadModel(msg) => write!(f, "model rejected: {msg}"),
         }

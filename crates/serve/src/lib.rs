@@ -51,4 +51,4 @@ pub use clock::{Clock, FakeClock, SystemClock};
 pub use error::{AdmissionError, ServeError};
 pub use registry::{AdmittedModel, ModelRegistry};
 pub use runtime::{Handle, PendingResponse, Server, ServerConfig, StatsSnapshot};
-pub use wire::{serve_tcp, TcpClient, WireRequest};
+pub use wire::{serve_tcp, serve_tcp_backend, InferBackend, TcpClient, WireRequest};

@@ -10,8 +10,25 @@
 //! would sign off on.
 //!
 //! Each admitted model also carries its runtime health: a panic counter
-//! fed by worker isolation and a poisoned flag (circuit breaker) that
-//! quarantines the model once the counter crosses the configured budget.
+//! fed by worker isolation and a circuit breaker that quarantines the
+//! model once the counter crosses the configured budget. The breaker is
+//! a three-state machine (closed → open → half-open): with a nonzero
+//! cooldown configured, an open breaker admits a *single probe* request
+//! once the cooldown elapses — a successful probe closes the breaker and
+//! resets the panic budget, a failed probe re-opens it for another
+//! cooldown. With cooldown 0 (the default) an open breaker stays open,
+//! matching the pre-cooldown behavior.
+//!
+//! The registry supports live mutation for rolling updates:
+//! [`ModelRegistry::remove`] evicts a model (freeing its storage slot for
+//! reuse) and [`ModelRegistry::swap`] replaces a model's graph in place
+//! through the same lint gate. Both are `Arc`-safe with respect to
+//! in-flight work: requests queued against the old [`AdmittedModel`] hold
+//! their own `Arc` and complete against the graph they were admitted
+//! under. Every admitted instance gets a *fresh* batching-group id
+//! ([`AdmittedModel::group`]) even when it reuses a storage slot, so the
+//! micro-batcher can never coalesce tickets of an evicted model with
+//! tickets of its slot successor.
 //!
 //! Admission additionally runs the quantization-error certifier
 //! (`t2c_lint::certify_model`, DESIGN.md §6.11) and stores the certified
@@ -24,8 +41,8 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use t2c_core::intmodel::IntOp;
 use t2c_core::{IntModel, QuantSpec};
@@ -33,6 +50,32 @@ use t2c_lint::{certify_model, lint_model, lint_package, ErrorBoundConfig, LintRe
 use t2c_tensor::Tensor;
 
 use crate::error::AdmissionError;
+
+/// Circuit-breaker state (see the module docs). The `quarantined` mirror
+/// on [`AdmittedModel`] keeps the hot-path check a single atomic load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped at `since_ns`: requests are rejected until the cooldown
+    /// elapses (never, when the cooldown is 0).
+    Open { since_ns: u64 },
+    /// Cooldown elapsed at `since_ns`: exactly one probe request is in
+    /// flight; everything else is still rejected.
+    HalfOpen { since_ns: u64 },
+}
+
+/// What the breaker decided for one incoming request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BreakerDecision {
+    /// Breaker closed — serve normally.
+    Admit,
+    /// Breaker half-open — this request is the single recovery probe.
+    Probe,
+    /// Breaker open (or a probe is already in flight) — reject with
+    /// [`crate::ServeError::ModelPoisoned`].
+    Reject,
+}
 
 /// A model that passed the admission gate, plus its serving metadata.
 #[derive(Debug)]
@@ -42,10 +85,12 @@ pub struct AdmittedModel {
     input_dims: Vec<usize>,
     lint: LintReport,
     slot: usize,
+    group: usize,
     input_scale: f32,
     input_spec: QuantSpec,
     certified_steps: Option<f64>,
-    poisoned: AtomicBool,
+    quarantined: AtomicBool,
+    breaker: Mutex<BreakerState>,
     panics: AtomicU32,
 }
 
@@ -70,9 +115,17 @@ impl AdmittedModel {
         &self.lint
     }
 
-    /// The batching group id (stable per registry).
+    /// The storage slot (reused after [`ModelRegistry::remove`]).
     pub fn slot(&self) -> usize {
         self.slot
+    }
+
+    /// The batching group id: unique per admitted *instance*, never
+    /// reused — even when a removal/swap recycles the storage slot. The
+    /// runtime batches by this id, so tickets of two models (or two
+    /// versions of one model) can never share a batch.
+    pub fn group(&self) -> usize {
+        self.group
     }
 
     /// The grid the leading `Quantize` node clamps input codes to.
@@ -109,24 +162,87 @@ impl AdmittedModel {
         self.certified_steps
     }
 
-    /// True once the panic circuit breaker tripped.
+    /// True while the circuit breaker quarantines the model (open *or*
+    /// half-open — a probing model is still closed to normal traffic).
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::Acquire)
+        self.quarantined.load(Ordering::Acquire)
     }
 
-    /// Worker panics observed so far.
+    /// Worker panics observed so far (reset when a half-open probe
+    /// closes the breaker).
     pub fn panic_count(&self) -> u32 {
         self.panics.load(Ordering::Relaxed)
     }
 
+    fn breaker_lock(&self) -> std::sync::MutexGuard<'_, BreakerState> {
+        self.breaker.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Records one isolated worker panic; trips the breaker at
-    /// `max_panics`. Returns the new count.
-    pub(crate) fn record_panic(&self, max_panics: u32) -> u32 {
+    /// `max_panics` (and re-opens a half-open breaker unconditionally —
+    /// a failed probe proves the model is still broken). Returns the new
+    /// panic count.
+    pub(crate) fn record_panic(&self, max_panics: u32, now_ns: u64) -> u32 {
         let n = self.panics.fetch_add(1, Ordering::AcqRel) + 1;
-        if n >= max_panics {
-            self.poisoned.store(true, Ordering::Release);
+        let mut state = self.breaker_lock();
+        match *state {
+            BreakerState::Closed if n >= max_panics => {
+                *state = BreakerState::Open { since_ns: now_ns };
+                self.quarantined.store(true, Ordering::Release);
+            }
+            BreakerState::HalfOpen { .. } => {
+                *state = BreakerState::Open { since_ns: now_ns };
+            }
+            BreakerState::Closed | BreakerState::Open { .. } => {}
         }
         n
+    }
+
+    /// The breaker's verdict for one incoming request. `cooldown_ns = 0`
+    /// never recovers (an open breaker stays open). A half-open breaker
+    /// whose probe went missing (expired in queue, lost batch) re-arms
+    /// after another cooldown so the model cannot stay wedged.
+    pub(crate) fn breaker_admit(&self, now_ns: u64, cooldown_ns: u64) -> BreakerDecision {
+        if !self.quarantined.load(Ordering::Acquire) {
+            return BreakerDecision::Admit;
+        }
+        let mut state = self.breaker_lock();
+        match *state {
+            BreakerState::Closed => BreakerDecision::Admit,
+            BreakerState::Open { since_ns } | BreakerState::HalfOpen { since_ns } => {
+                if cooldown_ns > 0 && now_ns.saturating_sub(since_ns) >= cooldown_ns {
+                    *state = BreakerState::HalfOpen { since_ns: now_ns };
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Reject
+                }
+            }
+        }
+    }
+
+    /// True while the breaker is fully open — queued batches for the
+    /// model fail without running. Half-open is *not* open: the probe
+    /// batch must be allowed to execute.
+    pub(crate) fn breaker_is_open(&self) -> bool {
+        if !self.quarantined.load(Ordering::Acquire) {
+            return false;
+        }
+        matches!(*self.breaker_lock(), BreakerState::Open { .. })
+    }
+
+    /// Notes a successful batch: a half-open breaker closes and the
+    /// panic budget resets. One atomic load on the (common) closed path.
+    pub(crate) fn breaker_on_success(&self) {
+        if !self.quarantined.load(Ordering::Acquire) {
+            return;
+        }
+        let mut state = self.breaker_lock();
+        if matches!(*state, BreakerState::HalfOpen { .. }) {
+            *state = BreakerState::Closed;
+            self.panics.store(0, Ordering::Release);
+            self.quarantined.store(false, Ordering::Release);
+            t2c_obs::counter_add("serve.breaker_recovered", 1);
+        }
     }
 }
 
@@ -134,7 +250,11 @@ impl AdmittedModel {
 /// admission contract.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    models: RwLock<Vec<Arc<AdmittedModel>>>,
+    /// Storage slots; `None` marks an evicted slot available for reuse.
+    models: RwLock<Vec<Option<Arc<AdmittedModel>>>>,
+    /// Monotonic batching-group allocator — never reused (see
+    /// [`AdmittedModel::group`]).
+    next_group: AtomicUsize,
     error_tolerance: Option<f64>,
 }
 
@@ -149,6 +269,15 @@ fn error_rules(report: &LintReport) -> Vec<&'static str> {
     rules
 }
 
+/// Everything the gate derives from a model that survived it.
+struct Gated {
+    model: IntModel,
+    lint: LintReport,
+    input_scale: f32,
+    input_spec: QuantSpec,
+    certified_steps: Option<f64>,
+}
+
 impl ModelRegistry {
     /// An empty registry.
     pub fn new() -> Self {
@@ -161,7 +290,11 @@ impl ModelRegistry {
     /// units), or that are uncertifiable, are refused with the `T2C60x`
     /// finding (T2C602 names the worst-contributing layer).
     pub fn with_error_tolerance(tolerance_steps: f64) -> Self {
-        ModelRegistry { models: RwLock::new(Vec::new()), error_tolerance: Some(tolerance_steps) }
+        ModelRegistry {
+            models: RwLock::new(Vec::new()),
+            next_group: AtomicUsize::new(0),
+            error_tolerance: Some(tolerance_steps),
+        }
     }
 
     /// Admits an in-memory model through the lint gate.
@@ -182,7 +315,8 @@ impl ModelRegistry {
         input_dims: &[usize],
     ) -> Result<Arc<AdmittedModel>, AdmissionError> {
         let report = lint_model(&model, input_dims, name);
-        self.insert_gated(name, model, input_dims, report, true)
+        let gated = self.gate(name, model, input_dims, report, true)?;
+        self.insert(name, input_dims, gated)
     }
 
     /// Admits a deployment package directory (as written by
@@ -204,7 +338,8 @@ impl ModelRegistry {
             t2c_export::read_package(dir).map_err(|e| AdmissionError::Package(e.to_string()))?;
         let mut report = lint_model(&model, input_dims, name);
         report.merge(lint_package(&model, &manifest, name));
-        self.insert_gated(name, model, input_dims, report, true)
+        let gated = self.gate(name, model, input_dims, report, true)?;
+        self.insert(name, input_dims, gated)
     }
 
     /// Admits a model **without** running the lint gate. Escape hatch for
@@ -222,17 +357,59 @@ impl ModelRegistry {
         input_dims: &[usize],
     ) -> Result<Arc<AdmittedModel>, AdmissionError> {
         let report = LintReport { tag: name.to_string(), ..Default::default() };
-        self.insert_gated(name, model, input_dims, report, false)
+        let gated = self.gate(name, model, input_dims, report, false)?;
+        self.insert(name, input_dims, gated)
     }
 
-    fn insert_gated(
+    /// Evicts a model, freeing its storage slot for reuse. Requests
+    /// already queued against the evicted [`AdmittedModel`] hold their
+    /// own `Arc` and still complete; new submissions see
+    /// [`crate::ServeError::ModelNotFound`]. Returns the evicted handle,
+    /// or `None` when no model has that name.
+    pub fn remove(&self, name: &str) -> Option<Arc<AdmittedModel>> {
+        let mut models = self.models.write().unwrap_or_else(PoisonError::into_inner);
+        let slot = models.iter().position(|m| m.as_ref().is_some_and(|m| m.name == name))?;
+        models[slot].take()
+    }
+
+    /// Replaces the named model's graph in place, re-running the full
+    /// lint gate against the *existing* declared input shape. The new
+    /// instance keeps the storage slot but gets a fresh batching group,
+    /// so in-flight batches of the old version can never mix with the
+    /// new one; old-`Arc` holders complete against the old graph.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::NotFound`] when no model has that name;
+    /// otherwise the same gate errors as [`Self::admit`]. A refused swap
+    /// leaves the old model serving, untouched.
+    pub fn swap(&self, name: &str, model: IntModel) -> Result<Arc<AdmittedModel>, AdmissionError> {
+        let old = self.get(name).ok_or_else(|| AdmissionError::NotFound(name.to_string()))?;
+        let input_dims = old.input_dims().to_vec();
+        let report = lint_model(&model, &input_dims, name);
+        let gated = self.gate(name, model, &input_dims, report, true)?;
+        let admitted = self.build(name, &input_dims, gated, old.slot());
+        let mut models = self.models.write().unwrap_or_else(PoisonError::into_inner);
+        // Re-locate by name under the write lock: a concurrent remove may
+        // have raced us, in which case the swap target is gone.
+        let Some(slot) = models.iter().position(|m| m.as_ref().is_some_and(|m| m.name == name))
+        else {
+            return Err(AdmissionError::NotFound(name.to_string()));
+        };
+        models[slot] = Some(Arc::clone(&admitted));
+        Ok(admitted)
+    }
+
+    /// Runs the lint + certification gate and the structural checks; on
+    /// success returns the (prepacked) model and its serving metadata.
+    fn gate(
         &self,
         name: &str,
         mut model: IntModel,
         input_dims: &[usize],
         mut report: LintReport,
         certify: bool,
-    ) -> Result<Arc<AdmittedModel>, AdmissionError> {
+    ) -> Result<Gated, AdmissionError> {
         // Certify the float↔int divergence bound at admission: the walk is
         // cheap (one interval pass) and the resulting bound feeds the
         // dual-path audit's soundness canary even when no tolerance is
@@ -281,47 +458,75 @@ impl ModelRegistry {
         if packed > 0 && t2c_obs::enabled() {
             t2c_obs::counter_add("serve.prepacked_layers", packed as u64);
         }
-        let mut models = self.models.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if models.iter().any(|m| m.name == name) {
+        Ok(Gated { model, lint: report, input_scale, input_spec, certified_steps })
+    }
+
+    fn build(
+        &self,
+        name: &str,
+        input_dims: &[usize],
+        gated: Gated,
+        slot: usize,
+    ) -> Arc<AdmittedModel> {
+        Arc::new(AdmittedModel {
+            name: name.to_string(),
+            model: gated.model,
+            input_dims: input_dims.to_vec(),
+            lint: gated.lint,
+            slot,
+            group: self.next_group.fetch_add(1, Ordering::Relaxed),
+            input_scale: gated.input_scale,
+            input_spec: gated.input_spec,
+            certified_steps: gated.certified_steps,
+            quarantined: AtomicBool::new(false),
+            breaker: Mutex::new(BreakerState::Closed),
+            panics: AtomicU32::new(0),
+        })
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        input_dims: &[usize],
+        gated: Gated,
+    ) -> Result<Arc<AdmittedModel>, AdmissionError> {
+        let mut models = self.models.write().unwrap_or_else(PoisonError::into_inner);
+        if models.iter().any(|m| m.as_ref().is_some_and(|m| m.name == name)) {
             return Err(AdmissionError::Duplicate(name.to_string()));
         }
-        let admitted = Arc::new(AdmittedModel {
-            name: name.to_string(),
-            model,
-            input_dims: input_dims.to_vec(),
-            lint: report,
-            slot: models.len(),
-            input_scale,
-            input_spec,
-            certified_steps,
-            poisoned: AtomicBool::new(false),
-            panics: AtomicU32::new(0),
-        });
-        models.push(Arc::clone(&admitted));
+        // Reuse the first evicted slot; extend the storage only when full.
+        let slot = models.iter().position(Option::is_none).unwrap_or(models.len());
+        let admitted = self.build(name, input_dims, gated, slot);
+        if slot == models.len() {
+            models.push(Some(Arc::clone(&admitted)));
+        } else {
+            models[slot] = Some(Arc::clone(&admitted));
+        }
         Ok(admitted)
     }
 
     /// Looks a model up by name.
     pub fn get(&self, name: &str) -> Option<Arc<AdmittedModel>> {
-        let models = self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner);
-        models.iter().find(|m| m.name == name).cloned()
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
+        models.iter().flatten().find(|m| m.name == name).cloned()
     }
 
-    /// Looks a model up by batching slot.
+    /// Looks a model up by storage slot.
     pub fn by_slot(&self, slot: usize) -> Option<Arc<AdmittedModel>> {
-        let models = self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner);
-        models.get(slot).cloned()
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
+        models.get(slot).and_then(Option::clone)
     }
 
-    /// Admitted model names, in admission order.
+    /// Admitted model names, in slot order.
     pub fn names(&self) -> Vec<String> {
-        let models = self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner);
-        models.iter().map(|m| m.name.clone()).collect()
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
+        models.iter().flatten().map(|m| m.name.clone()).collect()
     }
 
     /// Number of admitted models.
     pub fn len(&self) -> usize {
-        self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
+        models.iter().flatten().count()
     }
 
     /// True when no model is admitted.
@@ -331,8 +536,12 @@ impl ModelRegistry {
 
     /// Per-model health snapshot: `(name, poisoned, panic_count)`.
     pub fn health(&self) -> BTreeMap<String, (bool, u32)> {
-        let models = self.models.read().unwrap_or_else(std::sync::PoisonError::into_inner);
-        models.iter().map(|m| (m.name.clone(), (m.is_poisoned(), m.panic_count()))).collect()
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
+        models
+            .iter()
+            .flatten()
+            .map(|m| (m.name.clone(), (m.is_poisoned(), m.panic_count())))
+            .collect()
     }
 }
 
@@ -479,16 +688,119 @@ mod tests {
     }
 
     #[test]
+    fn remove_frees_the_slot_and_a_new_admission_reuses_it() {
+        let reg = ModelRegistry::new();
+        let (a, dims) = zoo::tiny_mlp();
+        let (b, _) = zoo::tiny_mlp();
+        let (c, _) = zoo::tiny_mlp();
+        let first = reg.admit("a", a, &dims).unwrap();
+        let second = reg.admit("b", b, &dims).unwrap();
+        assert_eq!((first.slot(), second.slot()), (0, 1));
+        let evicted = reg.remove("a").expect("a was admitted");
+        assert_eq!(evicted.name(), "a");
+        assert!(reg.get("a").is_none());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.remove("a").is_none(), "double-remove is a no-op");
+        // The freed slot is reused, but the batching group is fresh: the
+        // batcher can never coalesce the evicted model's queued tickets
+        // with the slot successor's.
+        let third = reg.admit("c", c, &dims).unwrap();
+        assert_eq!(third.slot(), 0, "slot 0 must be reused");
+        assert_ne!(third.group(), evicted.group(), "groups must never be reused");
+        // The evicted Arc still runs — in-flight work completes.
+        let x = Tensor::from_fn(&dims, |i| (i as f32) * 0.01 - 0.3);
+        assert!(evicted.model().run(&x).is_ok());
+    }
+
+    #[test]
+    fn swap_replaces_in_place_through_the_gate_with_a_fresh_group() {
+        let reg = ModelRegistry::new();
+        let (v1, dims) = zoo::tiny_mlp();
+        let old = reg.admit("mlp", v1, &dims).unwrap();
+        // v2 is an actually-different graph (pruned fc1) with the same
+        // input shape: outputs diverge, which is how the test tells the
+        // versions apart.
+        let (v2, _) = zoo::tiny_mlp_pruned(0.5);
+        let new = reg.swap("mlp", v2).expect("pruned tiny_mlp passes the gate");
+        assert_eq!(new.slot(), old.slot(), "swap keeps the storage slot");
+        assert_ne!(new.group(), old.group(), "swap must issue a fresh batching group");
+        assert_eq!(reg.len(), 1);
+        let x = Tensor::from_fn(&dims, |i| (i as f32) * 0.013 - 0.4);
+        let codes = old.quantize(&x);
+        let old_out = old.model().run_quantized(&codes).unwrap();
+        let new_out = reg.get("mlp").unwrap().model().run_quantized(&codes).unwrap();
+        assert_ne!(old_out.as_slice(), new_out.as_slice(), "v2 must actually differ");
+        // A failing swap leaves the current model untouched.
+        let (mut broken, _) = zoo::tiny_mlp();
+        broken.nodes[1].inputs = vec![Src::Node(9)];
+        assert!(matches!(reg.swap("mlp", broken), Err(AdmissionError::LintGate { .. })));
+        let (fresh, _) = zoo::tiny_mlp();
+        assert!(matches!(reg.swap("ghost", fresh), Err(AdmissionError::NotFound(_))));
+        assert_eq!(
+            reg.get("mlp").unwrap().model().run_quantized(&codes).unwrap().as_slice(),
+            new_out.as_slice()
+        );
+    }
+
+    #[test]
     fn circuit_breaker_poisons_after_the_panic_budget() {
         let reg = ModelRegistry::new();
         let (m, dims) = zoo::tiny_mlp();
         let admitted = reg.admit("mlp", m, &dims).unwrap();
         assert!(!admitted.is_poisoned());
-        assert_eq!(admitted.record_panic(3), 1);
-        assert_eq!(admitted.record_panic(3), 2);
+        assert_eq!(admitted.record_panic(3, 10), 1);
+        assert_eq!(admitted.record_panic(3, 20), 2);
         assert!(!admitted.is_poisoned());
-        assert_eq!(admitted.record_panic(3), 3);
+        assert_eq!(admitted.record_panic(3, 30), 3);
         assert!(admitted.is_poisoned());
         assert_eq!(reg.health()["mlp"], (true, 3));
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed_on_a_good_probe() {
+        let reg = ModelRegistry::new();
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).unwrap();
+        let cooldown = 1_000u64;
+        // Closed: everything admits.
+        assert_eq!(admitted.breaker_admit(0, cooldown), BreakerDecision::Admit);
+        // Trip at t=100.
+        admitted.record_panic(1, 100);
+        assert!(admitted.is_poisoned() && admitted.breaker_is_open());
+        // Open: rejected until the cooldown elapses.
+        assert_eq!(admitted.breaker_admit(500, cooldown), BreakerDecision::Reject);
+        assert_eq!(admitted.breaker_admit(1_099, cooldown), BreakerDecision::Reject);
+        // Cooldown over: exactly one probe, everyone else still rejected.
+        assert_eq!(admitted.breaker_admit(1_100, cooldown), BreakerDecision::Probe);
+        assert!(!admitted.breaker_is_open(), "half-open must let the probe batch run");
+        assert_eq!(admitted.breaker_admit(1_101, cooldown), BreakerDecision::Reject);
+        // Probe succeeds: breaker closes, panic budget resets.
+        admitted.breaker_on_success();
+        assert!(!admitted.is_poisoned());
+        assert_eq!(admitted.panic_count(), 0);
+        assert_eq!(admitted.breaker_admit(1_200, cooldown), BreakerDecision::Admit);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let reg = ModelRegistry::new();
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).unwrap();
+        let cooldown = 1_000u64;
+        admitted.record_panic(1, 0);
+        assert_eq!(admitted.breaker_admit(1_000, cooldown), BreakerDecision::Probe);
+        // The probe itself panics: straight back to open, timed from the
+        // failure — the next probe needs a full fresh cooldown.
+        admitted.record_panic(1, 1_050);
+        assert!(admitted.breaker_is_open());
+        assert_eq!(admitted.breaker_admit(1_100, cooldown), BreakerDecision::Reject);
+        assert_eq!(admitted.breaker_admit(2_050, cooldown), BreakerDecision::Probe);
+        // A wedged half-open (probe lost in the queue) re-arms after
+        // another cooldown instead of staying stuck forever.
+        assert_eq!(admitted.breaker_admit(2_100, cooldown), BreakerDecision::Reject);
+        assert_eq!(admitted.breaker_admit(3_050, cooldown), BreakerDecision::Probe);
+        // Cooldown 0 never recovers (the pre-cooldown contract).
+        admitted.record_panic(1, 3_060);
+        assert_eq!(admitted.breaker_admit(u64::MAX, 0), BreakerDecision::Reject);
     }
 }

@@ -66,6 +66,19 @@ pub struct ServerConfig {
     /// Dual-path audit sampling period: every Nth completed request is
     /// re-run through the float path and compared (0 = audit off).
     pub audit_every: u64,
+    /// Circuit-breaker cooldown: how long a poisoned model stays open
+    /// before the breaker goes half-open and admits a single recovery
+    /// probe. `0` (the default) never recovers — the pre-cooldown
+    /// quarantine-forever contract.
+    pub breaker_cooldown_ns: u64,
+    /// Minimum wall-clock service time per dispatched batch, emulating a
+    /// fixed-rate attached accelerator (the device the toolkit's export
+    /// path targets): after host compute finishes, the worker holds the
+    /// batch until the pace window elapses. `0` (the default) disables
+    /// pacing. The cluster bench uses this to model device-bound
+    /// replicas, where scale-out multiplies throughput even when the
+    /// replicas share host cores.
+    pub pace_batch_ns: u64,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +89,8 @@ impl Default for ServerConfig {
             default_deadline_ns: 0,
             max_panics: 3,
             audit_every: 0,
+            breaker_cooldown_ns: 0,
+            pace_batch_ns: 0,
         }
     }
 }
@@ -106,6 +121,26 @@ impl Pending {
             cell = self.cv.wait(cell).unwrap_or_else(PoisonError::into_inner);
         }
     }
+
+    fn wait_timeout(&self, dur: Duration) -> Option<Result<Tensor<i32>, ServeError>> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = cell.take() {
+                return Some(result);
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, timeout) =
+                self.cv.wait_timeout(cell, left).unwrap_or_else(PoisonError::into_inner);
+            cell = guard;
+            if timeout.timed_out() {
+                return cell.take();
+            }
+        }
+    }
 }
 
 /// Handle to an in-flight request returned by [`Handle::submit`].
@@ -122,6 +157,14 @@ impl PendingResponse {
     /// Whatever the server resolved the request to — see [`ServeError`].
     pub fn wait(self) -> Result<Tensor<i32>, ServeError> {
         self.inner.wait()
+    }
+
+    /// Polls for the result for up to `dur` without consuming the handle:
+    /// `None` means the request is still in flight and a later call can
+    /// still win. The cluster's hedging path uses this to race two
+    /// in-flight attempts and take whichever resolves first.
+    pub fn wait_timeout(&self, dur: Duration) -> Option<Result<Tensor<i32>, ServeError>> {
+        self.inner.wait_timeout(dur)
     }
 }
 
@@ -192,6 +235,8 @@ pub struct StatsSnapshot {
     pub audits_invalid: u64,
     /// Worst normalized integer-vs-float divergence seen by the audit.
     pub max_audit_divergence: f64,
+    /// Requests sitting in the admission queue at snapshot time.
+    pub queue_depth: u64,
 }
 
 impl StatsSnapshot {
@@ -269,6 +314,13 @@ impl Handle {
         self.submit(model, input)?.wait()
     }
 
+    /// Current runtime counters — the same snapshot as
+    /// [`Server::stats`], reachable from the cloneable handle so the
+    /// cluster's health monitor can poll replicas it doesn't own.
+    pub fn stats(&self) -> StatsSnapshot {
+        snapshot(&self.shared)
+    }
+
     /// Blocking convenience with a deadline budget.
     ///
     /// # Errors
@@ -294,7 +346,11 @@ impl Handle {
             .registry
             .get(model)
             .ok_or_else(|| ServeError::ModelNotFound(model.to_string()))?;
-        if admitted.is_poisoned() {
+        // Breaker gate: closed admits, open rejects, and once the cooldown
+        // elapses a single request slips through as the recovery probe.
+        let decision =
+            admitted.breaker_admit(shared.clock.now_ns(), shared.cfg.breaker_cooldown_ns);
+        if decision == crate::registry::BreakerDecision::Reject {
             return Err(ServeError::ModelPoisoned(admitted.name().to_string()));
         }
         let want = admitted.input_dims();
@@ -311,7 +367,7 @@ impl Handle {
         let now = shared.clock.now_ns();
         let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
         let was_empty = queue.is_empty();
-        match queue.admit(job, admitted.slot(), rows, now, deadline_ns) {
+        match queue.admit(job, admitted.group(), rows, now, deadline_ns) {
             Ok(_) => {
                 t2c_obs::gauge_set("serve.queue_depth", queue.len() as f64);
                 // Wakeup coalescing: the batcher only needs a nudge when a
@@ -320,7 +376,7 @@ impl Handle {
                 // the window timeout the batcher is already sleeping on.
                 // On a loaded single core this trims one scheduler context
                 // switch per request down to ~2 per batch.
-                let batch_full = queue.group_rows(admitted.slot()) >= shared.cfg.batch.max_batch;
+                let batch_full = queue.group_rows(admitted.group()) >= shared.cfg.batch.max_batch;
                 drop(queue);
                 if was_empty || batch_full {
                     shared.wakeup.notify_all();
@@ -419,20 +475,7 @@ impl Server {
 
     /// Current runtime counters.
     pub fn stats(&self) -> StatsSnapshot {
-        let s = &self.shared.stats;
-        StatsSnapshot {
-            completed: s.completed.load(Ordering::Relaxed),
-            rejected_busy: s.rejected_busy.load(Ordering::Relaxed),
-            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
-            panics: s.panics.load(Ordering::Relaxed),
-            batches: s.batches.load(Ordering::Relaxed),
-            batched_rows: s.batched_rows.load(Ordering::Relaxed),
-            audits: s.audits.load(Ordering::Relaxed),
-            audits_invalid: s.audits_invalid.load(Ordering::Relaxed),
-            max_audit_divergence: f64::from_bits(
-                s.max_audit_divergence_bits.load(Ordering::Relaxed),
-            ),
-        }
+        snapshot(&self.shared)
     }
 
     /// Graceful drain: stops admission, flushes every queued request in
@@ -476,6 +519,26 @@ impl std::fmt::Debug for Server {
             .field("models", &self.shared.registry.names())
             .field("workers", &self.workers.len())
             .finish_non_exhaustive()
+    }
+}
+
+fn snapshot(shared: &Shared) -> StatsSnapshot {
+    let s = &shared.stats;
+    let queue_depth = {
+        let queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        queue.len() as u64
+    };
+    StatsSnapshot {
+        completed: s.completed.load(Ordering::Relaxed),
+        rejected_busy: s.rejected_busy.load(Ordering::Relaxed),
+        deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+        panics: s.panics.load(Ordering::Relaxed),
+        batches: s.batches.load(Ordering::Relaxed),
+        batched_rows: s.batched_rows.load(Ordering::Relaxed),
+        audits: s.audits.load(Ordering::Relaxed),
+        audits_invalid: s.audits_invalid.load(Ordering::Relaxed),
+        max_audit_divergence: f64::from_bits(s.max_audit_divergence_bits.load(Ordering::Relaxed)),
+        queue_depth,
     }
 }
 
@@ -570,7 +633,10 @@ fn process_batch(shared: &Arc<Shared>, tickets: Vec<Ticket<Job>>) {
             ticket.payload.pending.fulfill(Err(err.clone()));
         }
     };
-    if model.is_poisoned() {
+    // A fully-open breaker fails queued batches without running them; a
+    // half-open one lets the batch through — that batch *is* the recovery
+    // probe, and its outcome decides whether the breaker closes.
+    if model.breaker_is_open() {
         fail_all(live, ServeError::ModelPoisoned(model.name().to_string()));
         return;
     }
@@ -592,7 +658,7 @@ fn process_batch(shared: &Arc<Shared>, tickets: Vec<Ticket<Job>>) {
         Err(payload) => {
             shared.stats.panics.fetch_add(1, Ordering::Relaxed);
             t2c_obs::counter_add("serve.worker_panics", 1);
-            let count = model.record_panic(shared.cfg.max_panics);
+            let count = model.record_panic(shared.cfg.max_panics, shared.clock.now_ns());
             if model.is_poisoned() {
                 t2c_obs::counter_add("serve.models_poisoned", 1);
             }
@@ -610,6 +676,16 @@ fn process_batch(shared: &Arc<Shared>, tickets: Vec<Ticket<Job>>) {
             fail_all(live, ServeError::Internal(format!("model error: {e}")));
         }
         Ok(Ok(output)) => {
+            model.breaker_on_success();
+            // Device pacing: hold the batch until the configured per-batch
+            // service window elapses, emulating a fixed-rate attached
+            // accelerator (see `ServerConfig::pace_batch_ns`).
+            if shared.cfg.pace_batch_ns > 0 {
+                let elapsed = shared.clock.now_ns().saturating_sub(now);
+                if elapsed < shared.cfg.pace_batch_ns {
+                    std::thread::sleep(Duration::from_nanos(shared.cfg.pace_batch_ns - elapsed));
+                }
+            }
             let sizes: Vec<usize> = live.iter().map(|t| t.rows).collect();
             match output.split_axis0(&sizes) {
                 Err(e) => {
@@ -955,6 +1031,94 @@ mod tests {
         // Zero observed divergence trivially sits under any finite bound,
         // which is exactly what the canary asserts at runtime.
         assert!(stats.max_audit_divergence <= bound);
+    }
+
+    #[test]
+    fn in_flight_requests_complete_on_the_old_version_across_a_swap() {
+        // Batches never flush on their own, so v1's tickets are still
+        // queued when the swap lands; drain resolves everything.
+        let (reg, v1) = mlp_registry();
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 1_000, max_delay_ns: u64::MAX / 2, queue_cap: 16 },
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(Arc::clone(&reg), cfg);
+        let handle = server.handle();
+        let x = Tensor::from_fn(v1.input_dims(), |i| (i as f32) * 0.013 - 0.4);
+        let old_codes = v1.quantize(&x);
+        let want_old = v1.model().run_quantized(&old_codes).unwrap();
+        let p_old_a = handle.submit("mlp", old_codes.clone()).unwrap();
+        let p_old_b = handle.submit("mlp", old_codes.clone()).unwrap();
+        // Rolling update: replace the graph in place while those tickets
+        // are in flight. The new version is a genuinely different graph
+        // (heavily pruned fc1) with the same input shape.
+        let (v2_model, _) = zoo::tiny_mlp_pruned(0.8);
+        let v2 = reg.swap("mlp", v2_model).expect("swap passes the gate");
+        let want_new = v2.model().run_quantized(&old_codes).unwrap();
+        assert_ne!(want_old.as_slice(), want_new.as_slice(), "versions must differ");
+        let p_new = handle.submit("mlp", old_codes).unwrap();
+        let stats = server.shutdown();
+        // The in-flight v1 requests completed on the graph they were
+        // admitted under; the post-swap request ran v2. Fresh batching
+        // groups guarantee the drain never mixed them into one batch.
+        assert_eq!(p_old_a.wait().unwrap().as_slice(), want_old.as_slice());
+        assert_eq!(p_old_b.wait().unwrap().as_slice(), want_old.as_slice());
+        assert_eq!(p_new.wait().unwrap().as_slice(), want_new.as_slice());
+        assert_eq!(stats.completed, 3);
+        assert!(stats.batches >= 2, "v1 and v2 tickets must dispatch as separate batches");
+    }
+
+    #[test]
+    fn breaker_recovers_through_a_half_open_probe_end_to_end() {
+        // Same faulty LUT as the isolation test: any code above the grid
+        // minimum indexes out of bounds and panics; code −128 (index 0)
+        // succeeds — that's the probe's recovery evidence.
+        let reg = Arc::new(ModelRegistry::new());
+        let mut m = t2c_core::IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 0.01, spec: QuantSpec::signed(8) }, vec![]);
+        let spec = QuantSpec::signed(8);
+        m.push(
+            "boom",
+            IntOp::GeluLut(GeluLut {
+                table: vec![0],
+                in_spec: spec,
+                in_scale: 0.01,
+                out_spec: spec,
+                out_scale: 0.01,
+            }),
+            vec![Src::Node(0)],
+        );
+        reg.admit_unchecked("flaky", m, &[1, 8]).unwrap();
+        let clock = Arc::new(FakeClock::new(1_000));
+        let cooldown = 1_000_000u64;
+        let cfg = ServerConfig {
+            batch: BatchConfig { max_batch: 1, max_delay_ns: 0, queue_cap: 16 },
+            workers: 1,
+            max_panics: 1,
+            breaker_cooldown_ns: cooldown,
+            ..ServerConfig::default()
+        };
+        let server =
+            Server::start_with_clock(Arc::clone(&reg), cfg, Arc::<FakeClock>::clone(&clock));
+        let handle = server.handle();
+        let bad = Tensor::from_fn(&[1, 8], |_| 100);
+        let good = Tensor::from_fn(&[1, 8], |_| -128);
+        // One panic trips the breaker (budget 1) — open.
+        assert!(matches!(handle.infer("flaky", bad.clone()), Err(ServeError::Internal(_))));
+        assert_eq!(
+            handle.infer("flaky", good.clone()).err(),
+            Some(ServeError::ModelPoisoned("flaky".into()))
+        );
+        // Cooldown elapses: the next request is the single recovery probe.
+        clock.advance(cooldown + 1);
+        handle.infer("flaky", good.clone()).expect("probe with a good input must succeed");
+        // Probe success closed the breaker: traffic flows again.
+        handle.infer("flaky", good).expect("breaker must be closed after a good probe");
+        // And a fresh panic re-opens it with the reset budget.
+        assert!(matches!(handle.infer("flaky", bad), Err(ServeError::Internal(_))));
+        assert!(reg.get("flaky").unwrap().is_poisoned());
+        server.shutdown();
     }
 
     #[test]

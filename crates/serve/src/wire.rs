@@ -266,15 +266,45 @@ fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Ve
     Ok(Some(payload))
 }
 
-fn handle_connection(mut stream: TcpStream, handle: &Handle, stop: &AtomicBool) {
+/// What the TCP front-end needs from whatever answers requests: a single
+/// runtime ([`Handle`]) or a whole routing tier (`t2c-cluster`). The wire
+/// protocol is identical either way, so `TcpClient` cannot tell a replica
+/// from a cluster.
+pub trait InferBackend: Send + Sync + 'static {
+    /// One inference with the wire deadline semantics
+    /// (`deadline_ms = 0` → backend default policy).
+    ///
+    /// # Errors
+    ///
+    /// The backend's rejection — becomes the wire status verbatim.
+    fn infer_wire(
+        &self,
+        model: &str,
+        input: Tensor<i32>,
+        deadline_ms: u32,
+    ) -> Result<Tensor<i32>, ServeError>;
+}
+
+impl InferBackend for Handle {
+    fn infer_wire(
+        &self,
+        model: &str,
+        input: Tensor<i32>,
+        deadline_ms: u32,
+    ) -> Result<Tensor<i32>, ServeError> {
+        match deadline_ms {
+            0 => self.infer(model, input),
+            ms => self.infer_within(model, input, u64::from(ms) * 1_000_000),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, backend: &dyn InferBackend, stop: &AtomicBool) {
     stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
     stream.set_nodelay(true).ok();
     while let Ok(Some(payload)) = read_frame(&mut stream, stop) {
         let result = match decode_request(&payload) {
-            Ok(req) => match req.deadline_ms {
-                0 => handle.infer(&req.model, req.input),
-                ms => handle.infer_within(&req.model, req.input, u64::from(ms) * 1_000_000),
-            },
+            Ok(req) => backend.infer_wire(&req.model, req.input, req.deadline_ms),
             Err(e) => Err(e),
         };
         if write_frame(&mut stream, &encode_response(&result)).is_err() {
@@ -297,17 +327,31 @@ pub fn serve_tcp(
     listener: TcpListener,
     stop: Arc<AtomicBool>,
 ) -> io::Result<JoinHandle<()>> {
+    serve_tcp_backend(Arc::new(handle), listener, stop)
+}
+
+/// [`serve_tcp`] generalized over the answering backend — the cluster bin
+/// plugs its router in here and inherits the whole TCP front-end.
+///
+/// # Errors
+///
+/// As [`serve_tcp`].
+pub fn serve_tcp_backend<B: InferBackend>(
+    backend: Arc<B>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+) -> io::Result<JoinHandle<()>> {
     listener.set_nonblocking(true)?;
     let thread = std::thread::Builder::new().name("t2c-serve-accept".into()).spawn(move || {
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
         while !stop.load(Ordering::Acquire) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    let handle = handle.clone();
+                    let backend = Arc::clone(&backend);
                     let stop = Arc::clone(&stop);
                     let conn = std::thread::Builder::new()
                         .name("t2c-serve-conn".into())
-                        .spawn(move || handle_connection(stream, &handle, &stop))
+                        .spawn(move || handle_connection(stream, backend.as_ref(), &stop))
                         .expect("spawn connection thread");
                     connections.push(conn);
                 }
@@ -329,6 +373,7 @@ pub fn serve_tcp(
 #[derive(Debug)]
 pub struct TcpClient {
     stream: TcpStream,
+    addr: std::net::SocketAddr,
 }
 
 impl TcpClient {
@@ -340,7 +385,24 @@ impl TcpClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(TcpClient { stream })
+        let addr = stream.peer_addr()?;
+        Ok(TcpClient { stream, addr })
+    }
+
+    /// Drops the current connection and dials the same endpoint again.
+    /// The recovery move after an [`ServeError::Io`] failure (server
+    /// restarted, connection cut mid-response): the old stream is in an
+    /// unknown framing state and must not be reused.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures; the client keeps the old (broken)
+    /// stream in that case so retries remain possible.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        self.stream = stream;
+        Ok(())
     }
 
     /// One request/response round trip. `deadline_ms = 0` uses the
@@ -451,5 +513,94 @@ mod tests {
         accept.join().unwrap();
         let stats = server.shutdown();
         assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn partial_frames_from_a_dying_peer_error_instead_of_hanging() {
+        // A connected localhost stream pair lets the test inject exact
+        // partial writes and close at any byte boundary.
+        let pair = || {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let writer = TcpStream::connect(addr).unwrap();
+            let (reader, _) = listener.accept().unwrap();
+            reader.set_read_timeout(Some(Duration::from_millis(20))).ok();
+            (writer, reader)
+        };
+        let never = AtomicBool::new(false);
+
+        // Half a length header, then close: clean-EOF rules say mid-header
+        // EOF is an error, not a silent None.
+        let (mut w, mut r) = pair();
+        w.write_all(&[7, 0]).unwrap();
+        drop(w);
+        assert_eq!(read_frame(&mut r, &never).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+
+        // Full header promising 8 bytes, only 3 delivered, then close.
+        let (mut w, mut r) = pair();
+        w.write_all(&8u32.to_le_bytes()).unwrap();
+        w.write_all(&[1, 2, 3]).unwrap();
+        drop(w);
+        assert_eq!(read_frame(&mut r, &never).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+
+        // Close before any byte: that's the clean end-of-stream case.
+        let (w, mut r) = pair();
+        drop(w);
+        assert!(read_frame(&mut r, &never).unwrap().is_none());
+
+        // A frame split across many tiny writes still assembles: partial
+        // *writes* are a normal TCP condition, only EOF is fatal.
+        let (mut w, mut r) = pair();
+        let payload = b"split-me".to_vec();
+        let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&payload);
+        let h = std::thread::spawn(move || {
+            for b in framed {
+                w.write_all(&[b]).unwrap();
+                w.flush().unwrap();
+            }
+            w
+        });
+        assert_eq!(read_frame(&mut r, &never).unwrap().unwrap(), payload);
+        drop(h.join().unwrap());
+    }
+
+    #[test]
+    fn client_reconnects_after_the_server_dies_mid_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let want = Tensor::from_fn(&[1, 3], |i| i as i32 * 2 - 1);
+        let reply = want.clone();
+        // First connection: read the request, write a *partial* response
+        // frame (header promises more than is sent) and slam the
+        // connection. Second connection: behave, answering correctly.
+        let fake = std::thread::spawn(move || {
+            let stop = AtomicBool::new(false);
+            let (mut bad, _) = listener.accept().unwrap();
+            bad.set_read_timeout(Some(Duration::from_millis(50))).ok();
+            let req = read_frame(&mut bad, &stop).unwrap().expect("first request");
+            assert!(decode_request(&req).is_ok());
+            let full = encode_response(&Ok(reply.clone()));
+            bad.write_all(&(full.len() as u32).to_le_bytes()).unwrap();
+            bad.write_all(&full[..full.len() / 2]).unwrap();
+            drop(bad); // mid-response close
+            let (mut good, _) = listener.accept().unwrap();
+            good.set_read_timeout(Some(Duration::from_millis(50))).ok();
+            let req = read_frame(&mut good, &stop).unwrap().expect("retried request");
+            assert!(decode_request(&req).is_ok());
+            write_frame(&mut good, &encode_response(&Ok(reply))).unwrap();
+        });
+        let mut client = TcpClient::connect(addr).unwrap();
+        let input = Tensor::from_fn(&[1, 3], |i| i as i32);
+        let first = client.infer("mlp", &input, 0);
+        assert!(
+            matches!(first, Err(ServeError::Io(_))),
+            "mid-response close must surface as Io, got {first:?}"
+        );
+        // The stream is in an unknown framing state: reconnect, retry, win.
+        client.reconnect().unwrap();
+        let got = client.infer("mlp", &input, 0).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        fake.join().unwrap();
     }
 }

@@ -31,6 +31,14 @@
 #      dense serving path (per-call transpose + naive saturating matmul)
 #      at every swept shape and at least 1.5× faster at 64×1024×1024
 #      with 4 host threads, with a schema-valid gemm_pack.json
+#   10. cluster_smoke: t2c-cluster --smoke spins up a replicated tier on
+#      an ephemeral port and exercises TCP round-trips for every zoo
+#      model, a rolling model update, a replica kill with continued
+#      service, and a structured rejection; then the cluster_loadgen
+#      sweep must demonstrate the scale-out win (4 replicas ≥ 2.5× 1
+#      replica on the zoo MLP at 32-way concurrency, device-paced) with
+#      zero requests lost when a replica is killed mid-run, and emit a
+#      schema-valid cluster_loadgen.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -103,5 +111,19 @@ for key in version bench created_unix threads shapes dense_ns packed_ns \
     grep -q "\"$key\"" "$pack_report" || { echo "missing key '$key' in $pack_report"; exit 1; }
 done
 grep -q '"pass": true' "$pack_report" || { echo "$pack_report did not pass"; exit 1; }
+
+echo "==> cluster smoke (t2c-cluster --smoke, ephemeral port)"
+cargo run --release -q -p t2c-cluster --bin t2c-cluster -- --smoke
+
+echo "==> cluster loadgen (scale-out throughput gate)"
+cluster_report=bench_results/cluster_loadgen.json
+cargo run --release -q -p t2c-bench --bin cluster_loadgen
+for key in version bench created_unix device_paced pace_batch_ns configs \
+    replicas concurrency requests completed errors retries hedges wall_ns \
+    throughput_rps p50_ns p99_ns killed_replica scaleout_4v1 \
+    kill_lost_requests pass; do
+    grep -q "\"$key\"" "$cluster_report" || { echo "missing key '$key' in $cluster_report"; exit 1; }
+done
+grep -q '"pass": true' "$cluster_report" || { echo "$cluster_report did not pass"; exit 1; }
 
 echo "verify: all green"

@@ -21,6 +21,7 @@
 //! | [`obs`] | opt-in profiling: counters, histograms, JSON reports (`T2C_PROFILE=1`) |
 //! | [`lint`] | static integer-pipeline verifier + quantization-error certifier (`t2c-check` CLI) |
 //! | [`serve`] | batched integer-inference serving runtime (`t2c-serve` binary) |
+//! | [`cluster`] | replicated, sharded serving tier: placement, health-aware routing, hedging, rolling updates (`t2c-cluster` binary) |
 //!
 //! ## The five-line workflow (paper §3.4)
 //!
@@ -48,6 +49,7 @@
 
 pub use t2c_accel as accel;
 pub use t2c_autograd as autograd;
+pub use t2c_cluster as cluster;
 pub use t2c_core as core;
 pub use t2c_data as data;
 pub use t2c_export as export;
@@ -64,6 +66,7 @@ pub use t2c_tensor as tensor;
 pub mod prelude {
     pub use t2c_accel::{Accelerator, AcceleratorConfig};
     pub use t2c_autograd::{Graph, Param, Var};
+    pub use t2c_cluster::{Cluster, ClusterConfig};
     pub use t2c_core::qmodels::{QMobileNet, QResNet, QViT, QuantFactory, QuantModel};
     pub use t2c_core::trainer::{
         dual_path_divergence, evaluate, evaluate_int, FpTrainer, PtqMethod, PtqPipeline,
