@@ -47,10 +47,22 @@ impl LayerNormInt {
     /// Applies integer LayerNorm over the last axis.
     pub fn apply(&self, x: &Tensor<i32>) -> Tensor<i32> {
         let d = x.dim(x.rank() - 1);
-        let rows = x.numel() / d.max(1);
         let mut out = Tensor::<i32>::zeros(x.dims());
-        let xs = x.as_slice();
-        let os = out.as_mut_slice();
+        self.apply_into(x.as_slice(), d, out.as_mut_slice());
+        out
+    }
+
+    /// The allocation-free core of [`LayerNormInt::apply`]: normalizes
+    /// rows of `d` values from `xs` into `os` (compiled plans call this
+    /// directly on arena slices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs`/`os` lengths disagree or the parameter vectors are
+    /// shorter than `d`.
+    pub(crate) fn apply_into(&self, xs: &[i32], d: usize, os: &mut [i32]) {
+        assert_eq!(xs.len(), os.len());
+        let rows = xs.len() / d.max(1);
         let (qmin, qmax) = (self.out_spec.qmin() as i64, self.out_spec.qmax() as i64);
         for r in 0..rows {
             let row = &xs[r * d..(r + 1) * d];
@@ -72,7 +84,6 @@ impl LayerNormInt {
                 os[r * d + j] = round_shift(v, self.frac).clamp(qmin, qmax) as i32;
             }
         }
-        out
     }
 }
 
@@ -411,22 +422,76 @@ impl IntModel {
     ///
     /// Returns an error if the graph is malformed or shapes mismatch.
     pub fn run_quantized(&self, input: &Tensor<i32>) -> Result<Tensor<i32>> {
-        self.execute(input)?
-            .pop()
-            .ok_or_else(|| TensorError::InvalidArgument("empty IntModel".into()))
+        let (mut values, _) = self.execute_droppable(input, false)?;
+        values.pop().flatten().ok_or_else(|| TensorError::InvalidArgument("empty IntModel".into()))
     }
 
+    /// Keep-everything execution — the hook `run_all` and the plan
+    /// compiler's shape inference use.
     fn execute(&self, input: &Tensor<i32>) -> Result<Vec<Tensor<i32>>> {
-        let mut values: Vec<Tensor<i32>> = Vec::with_capacity(self.nodes.len());
+        let (values, _) = self.execute_droppable(input, true)?;
+        Ok(values.into_iter().map(|v| v.expect("keep_all retains every value")).collect())
+    }
+
+    /// Per-node output shapes for a quantized input of `input_dims` —
+    /// computed by running the interpreter on zeros (the plan compiler's
+    /// shape-inference pass; graphs are data-independent in shape).
+    pub(crate) fn infer_shapes(&self, input_dims: &[usize]) -> Result<Vec<Vec<usize>>> {
+        let zeros = Tensor::<i32>::zeros(input_dims);
+        let values = self.execute(&zeros)?;
+        Ok(values.into_iter().map(|v| v.dims().to_vec()).collect())
+    }
+
+    /// Index of the step after which each node's output is dead: the
+    /// maximum consumer index, the node's own index if nothing consumes
+    /// it, and `usize::MAX` for the model output.
+    fn last_uses(&self) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut last: Vec<usize> = (0..n).collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for src in &node.inputs {
+                if let Src::Node(id) = src {
+                    if *id < n {
+                        last[*id] = last[*id].max(i);
+                    }
+                }
+            }
+        }
+        if n > 0 {
+            last[n - 1] = usize::MAX;
+        }
+        last
+    }
+
+    /// The interpreter loop. With `keep_all` every node's output is
+    /// retained (the `run_all` contract); otherwise each intermediate is
+    /// dropped right after its last consumer runs, so peak liveness is
+    /// bounded by the widest producer/consumer frontier instead of the sum
+    /// of every layer in the network. Returns the (partially `None` when
+    /// dropping) value list and the peak number of simultaneously live
+    /// output elements.
+    fn execute_droppable(
+        &self,
+        input: &Tensor<i32>,
+        keep_all: bool,
+    ) -> Result<(Vec<Option<Tensor<i32>>>, usize)> {
+        let last = self.last_uses();
+        let mut values: Vec<Option<Tensor<i32>>> = Vec::with_capacity(self.nodes.len());
+        let mut live_elems = 0usize;
+        let mut peak_elems = 0usize;
         for (i, node) in self.nodes.iter().enumerate() {
             let _t = t2c_obs::Timer::scoped_with(|| format!("layer.{}.forward_ns", node.name));
             let fetch = |src: &Src| -> Result<&Tensor<i32>> {
                 match src {
                     Src::Input => Ok(input),
-                    Src::Node(id) if *id < values.len() => Ok(&values[*id]),
-                    Src::Node(id) => Err(TensorError::InvalidArgument(format!(
-                        "node {i} reads not-yet-computed node {id}"
-                    ))),
+                    // Liveness covers every read, so a computed value can
+                    // only be missing on a malformed (forward/dangling)
+                    // reference — the same error either way.
+                    Src::Node(id) => values.get(*id).and_then(Option::as_ref).ok_or_else(|| {
+                        TensorError::InvalidArgument(format!(
+                            "node {i} reads not-yet-computed node {id}"
+                        ))
+                    }),
                 }
             };
             // Operand access must be fallible: a malformed graph (too few
@@ -452,141 +517,146 @@ impl IntModel {
                     r.apply(acc, axis, relu)
                 }
             };
-            let out = match &node.op {
-                IntOp::Quantize { .. } => input.clone(),
-                IntOp::Conv2d { weight, bias, spec, requant, relu, .. } => {
-                    let xin = operand(0)?;
-                    let acc = conv2d_i32(xin, weight, None, *spec)?;
-                    let acc = match bias {
-                        Some(b) => add_channel_bias(&acc, b, 1),
-                        None => acc,
-                    };
-                    requant_counted(requant, &acc, 1, *relu)
-                }
-                IntOp::Conv2dPacked { weight, bias, spec, requant, relu, .. } => {
-                    let xin = operand(0)?;
-                    let acc = conv2d_i32_packed(xin, weight, *spec)?;
-                    let acc = match bias {
-                        Some(b) => add_channel_bias(&acc, b, 1),
-                        None => acc,
-                    };
-                    requant_counted(requant, &acc, 1, *relu)
-                }
-                IntOp::Linear { weight, bias, requant, relu, .. } => {
-                    let xin = operand(0)?;
-                    let acc = linear_i32(xin, weight)?;
-                    let acc = match bias {
-                        Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
-                        None => acc,
-                    };
-                    match requant {
-                        Some(r) => requant_counted(r, &acc, acc.rank() - 1, *relu),
-                        None => acc,
+            let out =
+                match &node.op {
+                    IntOp::Quantize { .. } => input.clone(),
+                    IntOp::Conv2d { weight, bias, spec, requant, relu, .. } => {
+                        let xin = operand(0)?;
+                        let acc = conv2d_i32(xin, weight, None, *spec)?;
+                        let acc = match bias {
+                            Some(b) => add_channel_bias(&acc, b, 1),
+                            None => acc,
+                        };
+                        requant_counted(requant, &acc, 1, *relu)
                     }
-                }
-                IntOp::LinearPacked { weight, bias, requant, relu, .. } => {
-                    let xin = operand(0)?;
-                    let acc = linear_packed_i32(xin, weight)?;
-                    let acc = match bias {
-                        Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
-                        None => acc,
-                    };
-                    match requant {
-                        Some(r) => requant_counted(r, &acc, acc.rank() - 1, *relu),
-                        None => acc,
+                    IntOp::Conv2dPacked { weight, bias, spec, requant, relu, .. } => {
+                        let xin = operand(0)?;
+                        let acc = conv2d_i32_packed(xin, weight, *spec)?;
+                        let acc = match bias {
+                            Some(b) => add_channel_bias(&acc, b, 1),
+                            None => acc,
+                        };
+                        requant_counted(requant, &acc, 1, *relu)
                     }
-                }
-                IntOp::LinearSparse { weight, bias, requant, relu, .. } => {
-                    let xin = operand(0)?;
-                    let acc = linear_sparse_i32(xin, weight)?;
-                    let acc = match bias {
-                        Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
-                        None => acc,
-                    };
-                    match requant {
-                        Some(r) => requant_counted(r, &acc, acc.rank() - 1, *relu),
-                        None => acc,
+                    IntOp::Linear { weight, bias, requant, relu, .. } => {
+                        let xin = operand(0)?;
+                        let acc = linear_i32(xin, weight)?;
+                        let acc = match bias {
+                            Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
+                            None => acc,
+                        };
+                        match requant {
+                            Some(r) => requant_counted(r, &acc, acc.rank() - 1, *relu),
+                            None => acc,
+                        }
                     }
-                }
-                IntOp::AddRequant { m_a, m_b, out_spec, relu } => {
-                    let a = operand(0)?;
-                    let b = operand(1)?;
-                    add_requant(a, b, *m_a, *m_b, *out_spec, *relu)?
-                }
-                IntOp::AddConstRequant { value, m, out_spec } => {
-                    let a = operand(0)?;
-                    add_const_requant(a, value, *m, *out_spec)?
-                }
-                IntOp::MaxPool2d { spec } => {
-                    let a = operand(0)?;
-                    max_pool_i32(a, *spec)?
-                }
-                IntOp::GlobalAvgPool { frac_bits } => {
-                    let a = operand(0)?;
-                    global_avg_pool_i32(a, *frac_bits)?
-                }
-                IntOp::Flatten => {
-                    let a = operand(0)?;
-                    let n = a.dim(0);
-                    let rest = a.numel() / n.max(1);
-                    a.reshape(&[n, rest])?
-                }
-                IntOp::PatchToTokens => {
-                    let a = operand(0)?;
-                    let (n, d, h, w) = (a.dim(0), a.dim(1), a.dim(2), a.dim(3));
-                    a.reshape(&[n, d, h * w])?.permute(&[0, 2, 1])?
-                }
-                IntOp::ConcatToken { token } => {
-                    let a = operand(0)?;
-                    concat_token(a, token)?
-                }
-                IntOp::TakeToken { index } => {
-                    let a = operand(0)?;
-                    take_token(a, *index)?
-                }
-                IntOp::SplitHeads { heads } => {
-                    let a = operand(0)?;
-                    let (n, l, d) = (a.dim(0), a.dim(1), a.dim(2));
-                    a.reshape(&[n, l, *heads, d / heads])?.permute(&[0, 2, 1, 3])?.reshape(&[
-                        n * heads,
-                        l,
-                        d / heads,
-                    ])?
-                }
-                IntOp::MergeHeads { heads } => {
-                    let a = operand(0)?;
-                    let (nh, l, dh) = (a.dim(0), a.dim(1), a.dim(2));
-                    let n = nh / heads;
-                    a.reshape(&[n, *heads, l, dh])?.permute(&[0, 2, 1, 3])?.reshape(&[
-                        n,
-                        l,
-                        heads * dh,
-                    ])?
-                }
-                IntOp::BmmRequant { transpose_rhs, m, out_spec } => {
-                    let a = operand(0)?;
-                    let b = operand(1)?;
-                    let b = if *transpose_rhs { b.permute(&[0, 2, 1])? } else { b.clone() };
-                    let acc = a.bmm_i(&b)?;
-                    Ok::<Tensor<i32>, TensorError>(requant_per_tensor(&acc, *m, *out_spec, false))?
-                }
-                IntOp::Requant { m, out_spec } => {
-                    let a = operand(0)?;
-                    requant_per_tensor(a, *m, *out_spec, false)
-                }
-                IntOp::LayerNorm(ln) => {
-                    let a = operand(0)?;
-                    ln.apply(a)
-                }
-                IntOp::SoftmaxLut(lut) => {
-                    let a = operand(0)?;
-                    lut.apply(a)
-                }
-                IntOp::GeluLut(lut) => {
-                    let a = operand(0)?;
-                    lut.apply(a)
-                }
-            };
+                    IntOp::LinearPacked { weight, bias, requant, relu, .. } => {
+                        let xin = operand(0)?;
+                        let acc = linear_packed_i32(xin, weight)?;
+                        let acc = match bias {
+                            Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
+                            None => acc,
+                        };
+                        match requant {
+                            Some(r) => requant_counted(r, &acc, acc.rank() - 1, *relu),
+                            None => acc,
+                        }
+                    }
+                    IntOp::LinearSparse { weight, bias, requant, relu, .. } => {
+                        let xin = operand(0)?;
+                        let acc = linear_sparse_i32(xin, weight)?;
+                        let acc = match bias {
+                            Some(b) => add_channel_bias(&acc, b, acc.rank() - 1),
+                            None => acc,
+                        };
+                        match requant {
+                            Some(r) => requant_counted(r, &acc, acc.rank() - 1, *relu),
+                            None => acc,
+                        }
+                    }
+                    IntOp::AddRequant { m_a, m_b, out_spec, relu } => {
+                        let a = operand(0)?;
+                        let b = operand(1)?;
+                        add_requant(a, b, *m_a, *m_b, *out_spec, *relu)?
+                    }
+                    IntOp::AddConstRequant { value, m, out_spec } => {
+                        let a = operand(0)?;
+                        add_const_requant(a, value, *m, *out_spec)?
+                    }
+                    IntOp::MaxPool2d { spec } => {
+                        let a = operand(0)?;
+                        max_pool_i32(a, *spec)?
+                    }
+                    IntOp::GlobalAvgPool { frac_bits } => {
+                        let a = operand(0)?;
+                        global_avg_pool_i32(a, *frac_bits)?
+                    }
+                    IntOp::Flatten => {
+                        let a = operand(0)?;
+                        let n = a.dim(0);
+                        let rest = a.numel() / n.max(1);
+                        a.reshape(&[n, rest])?
+                    }
+                    IntOp::PatchToTokens => {
+                        let a = operand(0)?;
+                        let (n, d, h, w) = (a.dim(0), a.dim(1), a.dim(2), a.dim(3));
+                        a.reshape(&[n, d, h * w])?.permute(&[0, 2, 1])?
+                    }
+                    IntOp::ConcatToken { token } => {
+                        let a = operand(0)?;
+                        concat_token(a, token)?
+                    }
+                    IntOp::TakeToken { index } => {
+                        let a = operand(0)?;
+                        take_token(a, *index)?
+                    }
+                    IntOp::SplitHeads { heads } => {
+                        let a = operand(0)?;
+                        let (n, l, d) = (a.dim(0), a.dim(1), a.dim(2));
+                        a.reshape(&[n, l, *heads, d / heads])?
+                            .permute(&[0, 2, 1, 3])?
+                            .reshape(&[n * heads, l, d / heads])?
+                    }
+                    IntOp::MergeHeads { heads } => {
+                        let a = operand(0)?;
+                        let (nh, l, dh) = (a.dim(0), a.dim(1), a.dim(2));
+                        let n = nh / heads;
+                        a.reshape(&[n, *heads, l, dh])?.permute(&[0, 2, 1, 3])?.reshape(&[
+                            n,
+                            l,
+                            heads * dh,
+                        ])?
+                    }
+                    IntOp::BmmRequant { transpose_rhs, m, out_spec } => {
+                        let a = operand(0)?;
+                        let b = operand(1)?;
+                        // Only the transposing branch needs a new tensor; the
+                        // plain branch multiplies against the operand in place.
+                        let acc = if *transpose_rhs {
+                            let bt = b.permute(&[0, 2, 1])?;
+                            a.bmm_i(&bt)?
+                        } else {
+                            a.bmm_i(b)?
+                        };
+                        requant_per_tensor(&acc, *m, *out_spec, false)
+                    }
+                    IntOp::Requant { m, out_spec } => {
+                        let a = operand(0)?;
+                        requant_per_tensor(a, *m, *out_spec, false)
+                    }
+                    IntOp::LayerNorm(ln) => {
+                        let a = operand(0)?;
+                        ln.apply(a)
+                    }
+                    IntOp::SoftmaxLut(lut) => {
+                        let a = operand(0)?;
+                        lut.apply(a)
+                    }
+                    IntOp::GeluLut(lut) => {
+                        let a = operand(0)?;
+                        lut.apply(a)
+                    }
+                };
             if t2c_obs::enabled() {
                 let name = &node.name;
                 let elements = out.numel() as u64;
@@ -629,9 +699,29 @@ impl IntModel {
                     (in_elems + w_elems + elements) * 4,
                 );
             }
-            values.push(out);
+            live_elems += out.numel();
+            peak_elems = peak_elems.max(live_elems);
+            values.push(Some(out));
+            if !keep_all {
+                // Drop every operand this node was the last consumer of
+                // (and the node's own output when nothing consumes it).
+                for src in &self.nodes[i].inputs {
+                    if let Src::Node(id) = src {
+                        if last.get(*id) == Some(&i) {
+                            if let Some(t) = values[*id].take() {
+                                live_elems -= t.numel();
+                            }
+                        }
+                    }
+                }
+                if last[i] == i {
+                    if let Some(t) = values[i].take() {
+                        live_elems -= t.numel();
+                    }
+                }
+            }
         }
-        Ok(values)
+        Ok((values, peak_elems))
     }
 
     /// Classifies a float batch: integer forward + argmax over logits.
@@ -932,19 +1022,41 @@ fn linear_sparse_i32(x: &Tensor<i32>, w: &SparseMat) -> Result<Tensor<i32>> {
     }
 }
 
-fn requant_per_tensor(
+pub(crate) fn requant_per_tensor(
     acc: &Tensor<i32>,
     m: FixedScalar,
     spec: QuantSpec,
     relu: bool,
 ) -> Tensor<i32> {
-    acc.map(|v| {
-        let mut s = m.mul_shift(v as i64);
-        if relu {
-            s = s.max(0);
-        }
-        s.clamp(spec.qmin() as i64, spec.qmax() as i64) as i32
-    })
+    acc.map(|v| requant_scalar(v, m, spec, relu))
+}
+
+/// One per-tensor requant step — shared by the interpreter's map and the
+/// plan executor's slice loops so both produce identical bits.
+#[inline]
+pub(crate) fn requant_scalar(v: i32, m: FixedScalar, spec: QuantSpec, relu: bool) -> i32 {
+    let mut s = m.mul_shift(v as i64);
+    if relu {
+        s = s.max(0);
+    }
+    s.clamp(spec.qmin() as i64, spec.qmax() as i64) as i32
+}
+
+/// One residual-add requant step (shared with the plan executor).
+#[inline]
+pub(crate) fn add_requant_scalar(
+    x: i32,
+    y: i32,
+    m_a: FixedScalar,
+    m_b: FixedScalar,
+    spec: QuantSpec,
+    relu: bool,
+) -> i32 {
+    let mut v = m_a.mul_shift(x as i64) + m_b.mul_shift(y as i64);
+    if relu {
+        v = v.max(0);
+    }
+    v.clamp(spec.qmin() as i64, spec.qmax() as i64) as i32
 }
 
 fn add_requant(
@@ -955,13 +1067,14 @@ fn add_requant(
     spec: QuantSpec,
     relu: bool,
 ) -> Result<Tensor<i32>> {
-    a.zip_map(b, |x, y| {
-        let mut v = m_a.mul_shift(x as i64) + m_b.mul_shift(y as i64);
-        if relu {
-            v = v.max(0);
-        }
-        v.clamp(spec.qmin() as i64, spec.qmax() as i64) as i32
-    })
+    a.zip_map(b, |x, y| add_requant_scalar(x, y, m_a, m_b, spec, relu))
+}
+
+/// One constant-add requant step (shared with the plan executor).
+#[inline]
+pub(crate) fn add_const_requant_scalar(v: i32, c: i32, m: FixedScalar, spec: QuantSpec) -> i32 {
+    let sum = v as i64 + c as i64;
+    m.mul_shift(sum).clamp(spec.qmin() as i64, spec.qmax() as i64) as i32
 }
 
 fn add_const_requant(
@@ -983,8 +1096,7 @@ fn add_const_requant(
     let mut out = Tensor::<i32>::zeros(a.dims());
     let os = out.as_mut_slice();
     for (i, &v) in a.as_slice().iter().enumerate() {
-        let sum = v as i64 + cs[i % inner] as i64;
-        os[i] = m.mul_shift(sum).clamp(spec.qmin() as i64, spec.qmax() as i64) as i32;
+        os[i] = add_const_requant_scalar(v, cs[i % inner], m, spec);
     }
     Ok(out)
 }
@@ -996,8 +1108,18 @@ fn max_pool_i32(x: &Tensor<i32>, spec: PoolSpec) -> Result<Tensor<i32>> {
     let oh = (h + 2 * spec.padding - spec.kernel) / spec.stride + 1;
     let ow = (w + 2 * spec.padding - spec.kernel) / spec.stride + 1;
     let mut out = Tensor::<i32>::zeros(&[n, c, oh, ow]);
-    let xs = x.as_slice();
-    let os = out.as_mut_slice();
+    max_pool_into(x.as_slice(), [n, c, h, w], spec, out.as_mut_slice());
+    Ok(out)
+}
+
+/// The allocation-free core of the integer max pool (shared with the plan
+/// executor): `xs` is `[n, c, h, w]` row-major, `os` holds the pooled
+/// `[n, c, oh, ow]` result.
+pub(crate) fn max_pool_into(xs: &[i32], dims: [usize; 4], spec: PoolSpec, os: &mut [i32]) {
+    let [n, c, h, w] = dims;
+    let oh = (h + 2 * spec.padding - spec.kernel) / spec.stride + 1;
+    let ow = (w + 2 * spec.padding - spec.kernel) / spec.stride + 1;
+    debug_assert_eq!(os.len(), n * c * oh * ow);
     let mut o = 0usize;
     for img in 0..n {
         for ch in 0..c {
@@ -1024,7 +1146,6 @@ fn max_pool_i32(x: &Tensor<i32>, spec: PoolSpec) -> Result<Tensor<i32>> {
             }
         }
     }
-    Ok(out)
 }
 
 fn global_avg_pool_i32(x: &Tensor<i32>, frac_bits: u8) -> Result<Tensor<i32>> {
@@ -1036,12 +1157,19 @@ fn global_avg_pool_i32(x: &Tensor<i32>, frac_bits: u8) -> Result<Tensor<i32>> {
         });
     }
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let mut out = Tensor::<i32>::zeros(&[n, c]);
+    global_avg_pool_into(x.as_slice(), [n, c, h, w], frac_bits, out.as_mut_slice());
+    Ok(out)
+}
+
+/// The allocation-free core of the global average pool (shared with the
+/// plan executor).
+pub(crate) fn global_avg_pool_into(xs: &[i32], dims: [usize; 4], frac_bits: u8, os: &mut [i32]) {
+    let [n, c, h, w] = dims;
+    debug_assert_eq!(os.len(), n * c);
     // Fixed-point 2^frac/(H·W) with 16 fractional bits of intermediate
     // precision; the output keeps `frac_bits` fractional bits.
     let m = (((1i64 << (16 + frac_bits as i64)) as f64) / (h * w) as f64).round() as i64;
-    let mut out = Tensor::<i32>::zeros(&[n, c]);
-    let xs = x.as_slice();
-    let os = out.as_mut_slice();
     for img in 0..n {
         for ch in 0..c {
             let base = (img * c + ch) * h * w;
@@ -1049,7 +1177,6 @@ fn global_avg_pool_i32(x: &Tensor<i32>, frac_bits: u8) -> Result<Tensor<i32>> {
             os[img * c + ch] = round_shift(sum * m, 16) as i32;
         }
     }
-    Ok(out)
 }
 
 fn concat_token(x: &Tensor<i32>, token: &Tensor<i32>) -> Result<Tensor<i32>> {
@@ -1062,15 +1189,20 @@ fn concat_token(x: &Tensor<i32>, token: &Tensor<i32>) -> Result<Tensor<i32>> {
         });
     }
     let mut out = Tensor::<i32>::zeros(&[n, l + 1, d]);
-    let os = out.as_mut_slice();
-    let xs = x.as_slice();
-    let ts = token.as_slice();
+    concat_token_into(x.as_slice(), [n, l, d], token.as_slice(), out.as_mut_slice());
+    Ok(out)
+}
+
+/// The allocation-free core of the class-token prepend (shared with the
+/// plan executor).
+pub(crate) fn concat_token_into(xs: &[i32], dims: [usize; 3], ts: &[i32], os: &mut [i32]) {
+    let [n, l, d] = dims;
+    debug_assert_eq!(os.len(), n * (l + 1) * d);
     for img in 0..n {
         let base = img * (l + 1) * d;
         os[base..base + d].copy_from_slice(ts);
         os[base + d..base + (l + 1) * d].copy_from_slice(&xs[img * l * d..(img + 1) * l * d]);
     }
-    Ok(out)
 }
 
 fn take_token(x: &Tensor<i32>, index: usize) -> Result<Tensor<i32>> {
@@ -1079,13 +1211,19 @@ fn take_token(x: &Tensor<i32>, index: usize) -> Result<Tensor<i32>> {
         return Err(TensorError::InvalidArgument(format!("token {index} out of {l}")));
     }
     let mut out = Tensor::<i32>::zeros(&[n, d]);
-    let os = out.as_mut_slice();
-    let xs = x.as_slice();
+    take_token_into(x.as_slice(), [n, l, d], index, out.as_mut_slice());
+    Ok(out)
+}
+
+/// The allocation-free core of the token extraction (shared with the plan
+/// executor).
+pub(crate) fn take_token_into(xs: &[i32], dims: [usize; 3], index: usize, os: &mut [i32]) {
+    let [n, l, d] = dims;
+    debug_assert_eq!(os.len(), n * d);
     for img in 0..n {
         os[img * d..(img + 1) * d]
             .copy_from_slice(&xs[(img * l + index) * d..(img * l + index) * d + d]);
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -1442,6 +1580,100 @@ mod tests {
         assert_eq!(m.sparsify(0.3), 1);
         assert_eq!(m.prepack(), 0, "sparse nodes must keep their skip-zero layout");
         assert_eq!(m.nodes[1].op.label(), "linear_sparse");
+    }
+
+    #[test]
+    fn intermediates_are_dropped_after_their_last_consumer() {
+        // A deep chain of Requant nodes: with eager dropping the peak
+        // liveness is 2 tensors (producer + consumer), not the whole chain.
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        let depth = 16usize;
+        for i in 0..depth {
+            m.push(
+                format!("rq{i}"),
+                IntOp::Requant { m: fixed(1.0), out_spec: QuantSpec::signed(8) },
+                vec![Src::Node(i)],
+            );
+        }
+        let n = 64usize;
+        let xq = Tensor::from_fn(&[1, n], |i| (i as i32 % 17) - 8);
+        let (values, peak) = m.execute_droppable(&xq, false).unwrap();
+        assert_eq!(peak, 2 * n, "peak {peak} elements, expected 2 tensors of {n}");
+        // Every intermediate was released; only the output survives.
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(v.is_some(), i == depth, "node {i}");
+        }
+        // The keep-all path still retains everything (run_all contract)
+        // and its peak is the full chain.
+        let (all, peak_all) = m.execute_droppable(&xq, true).unwrap();
+        assert!(all.iter().all(Option::is_some));
+        assert_eq!(peak_all, (depth + 1) * n);
+        // Outputs are identical either way.
+        let y = m.run_quantized(&xq).unwrap();
+        assert_eq!(y.as_slice(), all.last().unwrap().as_ref().unwrap().as_slice());
+    }
+
+    #[test]
+    fn dropping_respects_multi_consumer_fanout() {
+        // Node 0 feeds both branches of a residual add several steps
+        // apart; it must stay live until the add consumes it.
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        m.push(
+            "rq",
+            IntOp::Requant { m: fixed(0.5), out_spec: QuantSpec::signed(8) },
+            vec![Src::Node(0)],
+        );
+        m.push(
+            "add",
+            IntOp::AddRequant {
+                m_a: fixed(1.0),
+                m_b: fixed(1.0),
+                out_spec: QuantSpec::signed(8),
+                relu: false,
+            },
+            vec![Src::Node(0), Src::Node(1)],
+        );
+        let xq = Tensor::from_vec(vec![10, -6, 4, 0], &[1, 4]).unwrap();
+        let y = m.run_quantized(&xq).unwrap();
+        assert_eq!(y.as_slice(), &[15, -9, 6, 0]);
+    }
+
+    #[test]
+    fn bmm_requant_borrows_rhs_on_the_plain_branch() {
+        // Both branches must agree with a manual bmm + per-tensor requant;
+        // the plain branch used to clone its operand wholesale.
+        let a = Tensor::from_fn(&[2, 3, 4], |i| (i as i32 % 11) - 5);
+        let m_fix = fixed(0.25);
+        let spec = QuantSpec::signed(8);
+        let mut m = IntModel::new();
+        m.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        m.push("split", IntOp::SplitHeads { heads: 1 }, vec![Src::Node(0)]);
+        m.push(
+            "bmm",
+            IntOp::BmmRequant { transpose_rhs: false, m: m_fix, out_spec: spec },
+            vec![Src::Node(1), Src::Node(1)],
+        );
+        // SplitHeads with 1 head is identity on [N, L, D]; bmm squares it.
+        let sq = Tensor::from_fn(&[2, 4, 4], |i| (i as i32 % 5) - 2);
+        let expect = requant_per_tensor(&sq.bmm_i(&sq).unwrap(), m_fix, spec, false);
+        let y = m.run_quantized(&sq).unwrap();
+        assert_eq!(y.as_slice(), expect.as_slice());
+
+        // And the transposing branch matches a manual permute + bmm.
+        let mut mt = IntModel::new();
+        mt.push("input", IntOp::Quantize { scale: 1.0, spec: QuantSpec::signed(8) }, vec![]);
+        mt.push("split", IntOp::SplitHeads { heads: 1 }, vec![Src::Node(0)]);
+        mt.push(
+            "bmm",
+            IntOp::BmmRequant { transpose_rhs: true, m: m_fix, out_spec: spec },
+            vec![Src::Node(1), Src::Node(1)],
+        );
+        let at = a.bmm_i(&a.permute(&[0, 2, 1]).unwrap()).unwrap();
+        let expect_t = requant_per_tensor(&at, m_fix, spec, false);
+        let yt = mt.run_quantized(&a).unwrap();
+        assert_eq!(yt.as_slice(), expect_t.as_slice());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod convert;
 pub mod fuse;
 pub mod intmodel;
 pub mod lut;
+pub mod plan;
 pub mod qmodels;
 pub mod quantizer;
 pub mod trainer;
@@ -60,6 +61,7 @@ pub use fuse::FuseScheme;
 pub use intmodel::IntModel;
 pub use mulquant::MulQuant;
 pub use observer::{Observer, ObserverKind};
+pub use plan::{Arena, ExecPlan};
 pub use qconfig::{QuantConfig, QuantSpec};
 pub use qlayers::{PathMode, QAdd, QConvUnit, QLinearUnit};
 // Host-parallelism control for the kernels beneath QConvUnit / QLinearUnit

@@ -53,28 +53,42 @@ impl SoftmaxLut {
     pub fn apply(&self, scores: &Tensor<i32>) -> Tensor<i32> {
         assert!(scores.rank() > 0, "softmax needs at least rank 1");
         let cols = scores.dim(scores.rank() - 1);
-        let rows = scores.numel() / cols.max(1);
         let mut out = Tensor::<i32>::zeros(scores.dims());
-        let xs = scores.as_slice();
-        let os = out.as_mut_slice();
+        self.apply_into(scores.as_slice(), cols, out.as_mut_slice());
+        out
+    }
+
+    /// The allocation-free core of [`SoftmaxLut::apply`]: integer softmax
+    /// over rows of `cols` values from `xs` into `os`. Two passes per row
+    /// — the first sums the table lookups into the denominator, the second
+    /// re-looks-up each numerator and divides — so no per-row scratch is
+    /// needed and the summation order (hence every bit of the result)
+    /// matches the one-pass variant exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs`/`os` lengths disagree or are not multiples of `cols`.
+    pub(crate) fn apply_into(&self, xs: &[i32], cols: usize, os: &mut [i32]) {
+        assert_eq!(xs.len(), os.len());
+        let rows = xs.len() / cols.max(1);
+        assert_eq!(rows * cols.max(1), xs.len());
         let qmax = self.out_spec.qmax() as i64;
         for r in 0..rows {
             let row = &xs[r * cols..(r + 1) * cols];
             let m = *row.iter().max().expect("non-empty row");
-            let mut num = vec![0i64; cols];
             let mut den: i64 = 0;
-            for (j, &v) in row.iter().enumerate() {
+            for &v in row {
                 let idx = ((m - v) as usize).min(self.table.len() - 1);
-                num[j] = self.table[idx] as i64;
-                den += num[j];
+                den += self.table[idx] as i64;
             }
             let den = den.max(1);
-            for j in 0..cols {
+            for (j, &v) in row.iter().enumerate() {
+                let idx = ((m - v) as usize).min(self.table.len() - 1);
+                let num = self.table[idx] as i64;
                 // round(num·qmax/den)
-                os[r * cols + j] = ((num[j] * qmax + den / 2) / den) as i32;
+                os[r * cols + j] = ((num * qmax + den / 2) / den) as i32;
             }
         }
-        out
     }
 
     /// Bytes needed to store the table.
@@ -131,9 +145,21 @@ impl GeluLut {
 
     /// Applies the table elementwise.
     pub fn apply(&self, x: &Tensor<i32>) -> Tensor<i32> {
+        x.map(|c| self.lookup(c))
+    }
+
+    /// Looks up one code — the exact per-element computation of
+    /// [`GeluLut::apply`], exposed so fused-kernel epilogues can call it
+    /// per output element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is shorter than the input grid.
+    #[inline]
+    pub fn lookup(&self, c: i32) -> i32 {
         let qmin = self.in_spec.qmin();
         let qmax = self.in_spec.qmax();
-        x.map(|c| self.table[(c.clamp(qmin, qmax) - qmin) as usize])
+        self.table[(c.clamp(qmin, qmax) - qmin) as usize]
     }
 
     /// Bytes needed to store the table.

@@ -85,10 +85,21 @@ impl MulQuant {
 
     /// Requantizes one accumulator value for channel `ch`.
     pub fn apply_scalar(&self, acc: i32, ch: usize) -> i32 {
+        self.apply_scalar_relu(acc, ch, false)
+    }
+
+    /// Requantizes one accumulator value for channel `ch`, optionally
+    /// applying the integer ReLU (`max(0, ·)`) before the clamp — the
+    /// exact per-element computation of [`MulQuant::apply`], exposed as a
+    /// scalar so fused-kernel epilogues can call it per output element.
+    pub fn apply_scalar_relu(&self, acc: i32, ch: usize, relu: bool) -> i32 {
         let i = ch.min(self.scale_raw.len() - 1);
         let v =
             acc as i64 * self.scale_raw[i] as i64 + self.bias_raw[i.min(self.bias_raw.len() - 1)];
-        let shifted = round_shift(v, self.format.frac_bits);
+        let mut shifted = round_shift(v, self.format.frac_bits);
+        if relu {
+            shifted = shifted.max(0);
+        }
         shifted.clamp(self.out_spec.qmin() as i64, self.out_spec.qmax() as i64) as i32
     }
 

@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use t2c_core::intmodel::IntOp;
-use t2c_core::{IntModel, QuantSpec};
+use t2c_core::{ExecPlan, IntModel, QuantSpec};
 use t2c_lint::{certify_model, lint_model, lint_package, ErrorBoundConfig, LintReport, Severity};
 use t2c_tensor::Tensor;
 
@@ -82,6 +82,7 @@ pub(crate) enum BreakerDecision {
 pub struct AdmittedModel {
     name: String,
     model: IntModel,
+    plan: Option<ExecPlan>,
     input_dims: Vec<usize>,
     lint: LintReport,
     slot: usize,
@@ -103,6 +104,13 @@ impl AdmittedModel {
     /// The integer graph.
     pub fn model(&self) -> &IntModel {
         &self.model
+    }
+
+    /// The compiled execution plan (fused epilogues + arena layout),
+    /// when admission could compile one. Workers run it with a per-worker
+    /// [`t2c_core::Arena`]; `None` falls back to the interpreter.
+    pub fn plan(&self) -> Option<&ExecPlan> {
+        self.plan.as_ref()
     }
 
     /// Canonical input dims with batch axis 1 (e.g. `[1, 3, 8, 8]`).
@@ -272,6 +280,7 @@ fn error_rules(report: &LintReport) -> Vec<&'static str> {
 /// Everything the gate derives from a model that survived it.
 struct Gated {
     model: IntModel,
+    plan: Option<ExecPlan>,
     lint: LintReport,
     input_scale: f32,
     input_spec: QuantSpec,
@@ -458,7 +467,26 @@ impl ModelRegistry {
         if packed > 0 && t2c_obs::enabled() {
             t2c_obs::counter_add("serve.prepacked_layers", packed as u64);
         }
-        Ok(Gated { model, lint: report, input_scale, input_spec, certified_steps })
+        // Compile the execution plan at the same boundary: fused
+        // epilogues + arena layout, bit-identical to the interpreter
+        // (which stays available as the fallback when compilation is
+        // unsupported for a graph). The lint/certification verdicts
+        // above apply verbatim — the graph is untouched. Shape inference
+        // inside `compile` executes the graph, so a model admitted via
+        // `admit_unchecked` may panic here; such models fall back to the
+        // interpreter, keeping admission itself panic-free.
+        let plan = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.compile(input_dims).ok()
+        }))
+        .ok()
+        .flatten();
+        if t2c_obs::enabled() {
+            t2c_obs::counter_add(
+                if plan.is_some() { "serve.plans_compiled" } else { "serve.plans_fallback" },
+                1,
+            );
+        }
+        Ok(Gated { model, plan, lint: report, input_scale, input_spec, certified_steps })
     }
 
     fn build(
@@ -471,6 +499,7 @@ impl ModelRegistry {
         Arc::new(AdmittedModel {
             name: name.to_string(),
             model: gated.model,
+            plan: gated.plan,
             input_dims: input_dims.to_vec(),
             lint: gated.lint,
             slot,
@@ -663,6 +692,22 @@ mod tests {
         assert!(rules.contains(&"T2C602"), "rules {rules:?} should name T2C602");
         assert!(first.contains("fc1"), "rejection should name the offending layer: {first}");
         assert_eq!(reg.names(), vec!["mlp".to_string()]);
+    }
+
+    #[test]
+    fn admission_compiles_a_plan_that_matches_the_interpreter() {
+        let reg = ModelRegistry::new();
+        let (m, dims) = zoo::tiny_mlp();
+        let admitted = reg.admit("mlp", m, &dims).unwrap();
+        let plan = admitted.plan().expect("tiny_mlp must compile");
+        assert_eq!(plan.steady_allocs(), 0, "pure GEMM pipeline");
+        let x = Tensor::from_fn(&[3usize, 256], |i| (i as f32) * 0.017 - 0.9);
+        let codes = admitted.quantize(&x);
+        let want = admitted.model().run_quantized(&codes).unwrap();
+        let mut arena = t2c_core::Arena::new();
+        let got = plan.run_quantized(&codes, &mut arena).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        assert_eq!(got.dims(), want.dims());
     }
 
     #[test]

@@ -42,6 +42,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, SyncSender};
+use t2c_core::Arena;
 use t2c_obs::SampledAudit;
 use t2c_tensor::Tensor;
 
@@ -581,6 +582,11 @@ fn batcher_loop(shared: &Arc<Shared>, tx: &SyncSender<Vec<Ticket<Job>>>) {
 }
 
 fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Vec<Ticket<Job>>>>>) {
+    // One scratch arena per worker: compiled plans execute inside it,
+    // growing it monotonically to the largest model × batch seen. Reusing
+    // it across batches keeps plan inference free of steady-state heap
+    // allocations.
+    let mut arena = Arena::new();
     loop {
         // Holding the lock only while *waiting* is fine: processing
         // happens after the guard drops, so workers overlap on compute.
@@ -589,7 +595,7 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Vec<Ticket<Job>>>>>
             guard.recv()
         };
         match msg {
-            Ok(batch) => process_batch(shared, batch),
+            Ok(batch) => process_batch(shared, batch, &mut arena),
             Err(_) => break,
         }
     }
@@ -605,7 +611,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn process_batch(shared: &Arc<Shared>, tickets: Vec<Ticket<Job>>) {
+fn process_batch(shared: &Arc<Shared>, tickets: Vec<Ticket<Job>>, arena: &mut Arena) {
     let now = shared.clock.now_ns();
     // Last-chance expiry: a ticket may have timed out while the batch sat
     // in the dispatch channel.
@@ -652,8 +658,13 @@ fn process_batch(shared: &Arc<Shared>, tickets: Vec<Ticket<Job>>) {
             }
         }
     };
-    let outcome =
-        std::panic::catch_unwind(AssertUnwindSafe(|| model.model().run_quantized(&joined)));
+    // Compiled models run their execution plan inside the worker's arena
+    // (fused epilogues, zero steady-state allocations, bit-identical to
+    // the interpreter); uncompiled models fall back to the interpreter.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match model.plan() {
+        Some(plan) => plan.run_quantized(&joined, arena),
+        None => model.model().run_quantized(&joined),
+    }));
     match outcome {
         Err(payload) => {
             shared.stats.panics.fetch_add(1, Ordering::Relaxed);

@@ -36,6 +36,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod fused;
 pub mod ops;
 pub mod packed;
 pub mod parallel;
@@ -43,6 +44,7 @@ pub mod rng;
 pub mod sparse;
 
 pub use error::TensorError;
+pub use fused::{conv2d_fused_into, gemm_fused_into, spmm_fused_into};
 pub use packed::{conv2d_i32_packed, matmul_i32_sat_packed, PackedConv, PackedMat};
 pub use parallel::{num_threads, set_num_threads, with_threads};
 pub use shape::Shape;

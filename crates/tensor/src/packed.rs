@@ -69,7 +69,7 @@ pub const PANEL: usize = crate::ops::BLOCK;
 
 /// Output rows accumulated per tile: each panel pass reuses one `PANEL`-wide
 /// weight row across `MR` activation rows before it leaves cache.
-const MR: usize = 8;
+pub(crate) const MR: usize = 8;
 
 /// A `[n, k]` integer weight prepacked into column-panel tiles (see the
 /// module docs for the layout).
@@ -361,7 +361,14 @@ fn record_packed(op: &str, m: usize, k: usize, n: usize) {
 /// the module docs. When every row's `Σ|a| · pmax` bound proves the clamp
 /// can never engage, the tile runs the unclamped vectorizable chain
 /// instead (same results, module docs).
-fn packed_tile(a: &[i32], rows: usize, k: usize, pdata: &[i32], pmax: u32, tile: &mut [i32]) {
+pub(crate) fn packed_tile(
+    a: &[i32],
+    rows: usize,
+    k: usize,
+    pdata: &[i32],
+    pmax: u32,
+    tile: &mut [i32],
+) {
     debug_assert!(rows <= MR && rows > 0);
     debug_assert_eq!(pdata.len(), k * PANEL);
     debug_assert_eq!(tile.len(), MR * PANEL);
@@ -499,8 +506,28 @@ pub fn conv2d_i32_packed(
     weight: &PackedConv,
     spec: Conv2dSpec,
 ) -> Result<Tensor<i32>> {
-    require_rank(x, 4, "conv2d_i32_packed")?;
     weight.validate()?;
+    let dims = conv2d_packed_shape(x, weight, spec)?;
+    let mut out = vec![0i32; dims.iter().product()];
+    conv2d_packed_epi(x, weight, spec, &|acc, _| acc, &mut out)?;
+    Tensor::from_vec(out, &dims)
+}
+
+/// Checks the geometry of a packed convolution (rank, group agreement,
+/// channel split, stride/padding feasibility) and returns the
+/// `[N, OC, OH, OW]` output shape. Does **not** validate the packed weight
+/// payload — [`conv2d_i32_packed`] does that separately, and compiled
+/// plans validate once at build time.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape/geometry mismatches.
+pub(crate) fn conv2d_packed_shape(
+    x: &Tensor<i32>,
+    weight: &PackedConv,
+    spec: Conv2dSpec,
+) -> Result<[usize; 4]> {
+    require_rank(x, 4, "conv2d_i32_packed")?;
     if spec.groups != weight.groups {
         return Err(TensorError::InvalidGeometry(format!(
             "spec groups {} disagree with packed weight groups {}",
@@ -510,7 +537,7 @@ pub fn conv2d_i32_packed(
     let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let g = weight.groups;
     let (oc, cg, kh, kw) = (weight.oc, weight.cg, weight.kh, weight.kw);
-    if c % g != 0 || cg != c / g {
+    if g == 0 || oc % g != 0 || c % g != 0 || cg != c / g {
         return Err(TensorError::ShapeMismatch {
             lhs: x.dims().to_vec(),
             rhs: vec![oc, cg, kh, kw],
@@ -519,16 +546,39 @@ pub fn conv2d_i32_packed(
     }
     let oh = spec.out_extent(h, kh)?;
     let ow = spec.out_extent(wd, kw)?;
+    Ok([n, oc, oh, ow])
+}
+
+/// The im2col + per-group packed GEMM body, with a caller-supplied
+/// epilogue `epi(acc, out_channel)` applied at the gather — the narrow
+/// fused result is written to `out` and the wide accumulator block never
+/// leaves the per-worker scratch. Geometry must have been checked by
+/// [`conv2d_packed_shape`] and `out` sized to the returned shape.
+pub(crate) fn conv2d_packed_epi<E>(
+    x: &Tensor<i32>,
+    weight: &PackedConv,
+    spec: Conv2dSpec,
+    epi: &E,
+    out: &mut [i32],
+) -> Result<()>
+where
+    E: Fn(i32, usize) -> i32 + Sync,
+{
+    let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let g = weight.groups;
+    let (oc, kh, kw) = (weight.oc, weight.kh, weight.kw);
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(wd, kw)?;
     let l = oh * ow;
     let ocg = oc / g;
     let k = weight.k();
+    debug_assert_eq!(out.len(), n * oc * l);
     let _t = t2c_obs::Timer::scoped("kernel.conv2d_i32_packed.time_ns");
     record_packed("kernel.conv2d_i32_packed", n * l, k, oc);
     let cols = im2col(x, kh, kw, spec)?;
     let cols_rows = c * kh * kw;
     let cslice = cols.as_slice();
-    let mut out = vec![0i32; n * oc * l];
-    par_units(&mut out, ocg * l, |u0, run| {
+    par_units(out, ocg * l, |u0, run| {
         // Per-worker scratch: the transposed patch block and the packed
         // product in `[l, ocg]` orientation.
         let mut ct = vec![0i32; l * k];
@@ -545,12 +595,12 @@ pub fn conv2d_i32_packed(
             packed_gemm_seq(&ct, l, k, &weight.blocks[grp], &mut ot);
             for (oi, orow) in ounit.chunks_mut(l).enumerate() {
                 for (j, ov) in orow.iter_mut().enumerate() {
-                    *ov = ot[j * ocg + oi];
+                    *ov = epi(ot[j * ocg + oi], grp * ocg + oi);
                 }
             }
         }
     });
-    Tensor::from_vec(out, &[n, oc, oh, ow])
+    Ok(())
 }
 
 #[cfg(test)]

@@ -464,13 +464,13 @@ pub fn matmul_sparse_i(x: &Tensor<i32>, w: &SparseMat) -> Result<Tensor<i32>> {
 
 /// Batch-row block width for [`matmul_sparse_i`]: enough independent
 /// saturating-accumulator chains to hide the clamp's dependency latency.
-const SPMM_BLOCK: usize = 16;
+pub(crate) const SPMM_BLOCK: usize = 16;
 
 /// Accumulates one compressed weight row against `B` consecutive input
 /// rows (starting at `xs[xbase]`, stride `k`), clamping to `i32` range
 /// after every MAC — the exact dense accumulation order per output.
 #[inline]
-fn spmm_rows<const B: usize>(
+pub(crate) fn spmm_rows<const B: usize>(
     xs: &[i32],
     xbase: usize,
     k: usize,

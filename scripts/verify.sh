@@ -21,8 +21,11 @@
 #   7. serve_smoke: t2c-serve --smoke binds an ephemeral port and
 #      round-trips one request per zoo model over TCP against direct
 #      execution, then the loadgen sweep must demonstrate the batching
-#      win (max_batch=16 ≥ 2× max_batch=1 on the zoo MLP at 32-way
-#      concurrency) and emit a schema-valid serve_loadgen.json
+#      win (device-paced, cluster_loadgen-style: max_batch=16 ≥ 2×
+#      max_batch=1 on the zoo MLP at 32-way concurrency with a fixed
+#      per-batch device service time; the gate ran unpaced before
+#      admission-compiled plans made the batch-1 host baseline ~3×
+#      faster) and emit a schema-valid serve_loadgen.json
 #   8. sparse_speedup: the skip-zero kernel must be bit-identical to the
 #      dense path and at least 1.5× faster on the zoo MLP at both 80%
 #      unstructured and 2:4 structured sparsity, with a schema-valid
@@ -31,6 +34,12 @@
 #      dense serving path (per-call transpose + naive saturating matmul)
 #      at every swept shape and at least 1.5× faster at 64×1024×1024
 #      with 4 host threads, with a schema-valid gemm_pack.json
+#   9b. plan_speedup: the compiled execution plan (fused GEMM epilogues +
+#      arena-backed intermediates) must be bit-identical to the
+#      interpreter on the zoo MLP, at least 1.3× faster single-threaded
+#      end to end, and perform zero steady-state heap allocations
+#      (counting-allocator odometer), with a schema-valid
+#      plan_speedup.json
 #   10. cluster_smoke: t2c-cluster --smoke spins up a replicated tier on
 #      an ephemeral port and exercises TCP round-trips for every zoo
 #      model, a rolling model update, a replica kill with continued
@@ -86,7 +95,8 @@ cargo run --release -q -p t2c-serve --bin t2c-serve -- --smoke
 echo "==> serve loadgen (batching throughput gate)"
 serve_report=bench_results/serve_loadgen.json
 cargo run --release -q -p t2c-bench --bin loadgen
-for key in version bench created_unix configs model max_batch concurrency \
+for key in version bench created_unix gate_pace_batch_ns configs model \
+    max_batch pace_batch_ns concurrency \
     completed throughput_rps p50_ns p99_ns mean_batch_rows \
     mlp_speedup_b16_vs_b1 pass; do
     grep -q "\"$key\"" "$serve_report" || { echo "missing key '$key' in $serve_report"; exit 1; }
@@ -111,6 +121,17 @@ for key in version bench created_unix threads shapes dense_ns packed_ns \
     grep -q "\"$key\"" "$pack_report" || { echo "missing key '$key' in $pack_report"; exit 1; }
 done
 grep -q '"pass": true' "$pack_report" || { echo "$pack_report did not pass"; exit 1; }
+
+echo "==> plan speedup (compiled execution-plan gate, 1 thread)"
+plan_report=bench_results/plan_speedup.json
+cargo run --release -q -p t2c-bench --bin plan_speedup
+for key in version bench created_unix threads batch unplanned_ns planned_ns \
+    speedup bit_identical steady_allocs arena_bytes fused_nodes \
+    gate_speedup pass; do
+    grep -q "\"$key\"" "$plan_report" || { echo "missing key '$key' in $plan_report"; exit 1; }
+done
+grep -q '"steady_allocs": 0' "$plan_report" || { echo "$plan_report reports steady-state allocations"; exit 1; }
+grep -q '"pass": true' "$plan_report" || { echo "$plan_report did not pass"; exit 1; }
 
 echo "==> cluster smoke (t2c-cluster --smoke, ephemeral port)"
 cargo run --release -q -p t2c-cluster --bin t2c-cluster -- --smoke

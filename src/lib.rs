@@ -73,7 +73,8 @@ pub mod prelude {
         QatTrainer, TrainConfig,
     };
     pub use t2c_core::{
-        FixedPointFormat, FuseScheme, IntModel, MulQuant, PathMode, QuantConfig, QuantSpec, T2C,
+        Arena, ExecPlan, FixedPointFormat, FuseScheme, IntModel, MulQuant, PathMode, QuantConfig,
+        QuantSpec, T2C,
     };
     pub use t2c_data::{Augment, AugmentConfig, BatchIter, SynthVision, SynthVisionConfig};
     pub use t2c_export::{export_package, verify_package, CertifiedError};
